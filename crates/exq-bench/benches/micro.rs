@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks for the substrates: the cipher, PRF, OPE,
+//! OPESS planning, B-tree, DSI labeling, structural joins, XML parsing, and
+//! vertex-cover solvers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exq_core::cover::{solve_clarkson, solve_exact, ConstraintGraph};
+use exq_crypto::{ChaCha20, OpeKey, OpessPlan, Prf};
+use exq_index::dsi::DsiLabeling;
+use exq_index::sjoin::{join_anc_desc, sort_intervals};
+use exq_index::BTree;
+use exq_workload::{nasa, xmark};
+use exq_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_chacha(c: &mut Criterion) {
+    let cipher = ChaCha20::new(&[7u8; 32], &[1u8; 12]);
+    let mut data = vec![0xA5u8; 16 * 1024];
+    c.bench_function("chacha20/keystream_16k", |b| {
+        b.iter(|| cipher.apply_keystream(0, black_box(&mut data)))
+    });
+}
+
+fn bench_prf(c: &mut Criterion) {
+    let prf = Prf::new([3u8; 32]);
+    c.bench_function("prf/eval_u64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(prf.eval_u64(&i.to_le_bytes()))
+        })
+    });
+}
+
+fn bench_ope(c: &mut Criterion) {
+    let key = OpeKey::new([5u8; 32]);
+    c.bench_function("ope/encrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(key.encrypt(x))
+        })
+    });
+}
+
+fn bench_opess(c: &mut Criterion) {
+    let values: Vec<(f64, u32)> = (0..200).map(|i| (i as f64, (i % 37 + 2) as u32)).collect();
+    c.bench_function("opess/build_plan_200_values", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(OpessPlan::build(&values, OpeKey::new([5u8; 32]), &mut rng).unwrap())
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut t = BTree::new();
+            for i in 0..10_000u32 {
+                t.insert((i as u128).wrapping_mul(0x9E37_79B9) % 100_000, i);
+            }
+            black_box(t.len())
+        })
+    });
+    let mut t = BTree::new();
+    for i in 0..100_000u32 {
+        t.insert((i as u128).wrapping_mul(0x9E37_79B9) % 1_000_000, i);
+    }
+    group.bench_function("range_scan_1pct_of_100k", |b| {
+        b.iter(|| black_box(t.range(0, 10_000).len()))
+    });
+    group.finish();
+}
+
+fn bench_dsi(c: &mut Criterion) {
+    let doc = nasa::generate_datasets(500, 3);
+    c.bench_function("dsi/label_500_datasets", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(4);
+            black_box(DsiLabeling::assign(&doc, &mut rng))
+        })
+    });
+}
+
+fn bench_sjoin(c: &mut Criterion) {
+    let doc = nasa::generate_datasets(1000, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let l = DsiLabeling::assign(&doc, &mut rng);
+    let mut anc: Vec<_> = doc
+        .elements_by_tag("dataset")
+        .iter()
+        .map(|&n| l.interval(n).unwrap())
+        .collect();
+    let mut desc: Vec<_> = doc
+        .elements_by_tag("last")
+        .iter()
+        .map(|&n| l.interval(n).unwrap())
+        .collect();
+    sort_intervals(&mut anc);
+    sort_intervals(&mut desc);
+    c.bench_function("sjoin/anc_desc_1k_datasets", |b| {
+        b.iter(|| black_box(join_anc_desc(&anc, &desc).len()))
+    });
+}
+
+fn bench_xml_parse(c: &mut Criterion) {
+    let doc = xmark::generate_people(500, 3);
+    let xml = doc.to_xml();
+    c.bench_function("xml/parse_500_people", |b| {
+        b.iter(|| black_box(Document::parse(&xml).unwrap().len()))
+    });
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_cover");
+    for n in [10usize, 16, 22] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = ConstraintGraph::default();
+        for i in 0..n {
+            g.vertices.push(exq_core::cover::CoverVertex {
+                path: exq_xpath::Path::parse(&format!("//v{i}")).unwrap(),
+                weight: rng.gen_range(1..100),
+                bound_nodes: 1,
+            });
+        }
+        for a in 0..n {
+            for b in a + 1..n {
+                if rng.gen_bool(0.3) {
+                    g.edges.push((a, b));
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
+            b.iter(|| black_box(solve_exact(g).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("clarkson", n), &g, |b, g| {
+            b.iter(|| black_box(solve_clarkson(g).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chacha,
+    bench_prf,
+    bench_ope,
+    bench_opess,
+    bench_btree,
+    bench_dsi,
+    bench_sjoin,
+    bench_xml_parse,
+    bench_cover
+);
+criterion_main!(benches);

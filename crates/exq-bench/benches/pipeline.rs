@@ -1,0 +1,140 @@
+//! Criterion benchmarks for the end-to-end pipeline: outsourcing per scheme
+//! and the secure-vs-naive query round trip (the criterion companions to
+//! experiments E3/E4/E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_workload::{generate_queries, nasa, QueryClass};
+
+fn bench_outsource(c: &mut Criterion) {
+    let doc = nasa::generate_datasets(200, 5);
+    let constraints = nasa::constraints();
+    let mut group = c.benchmark_group("outsource_200_datasets");
+    group.sample_size(10);
+    for kind in SchemeKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                Outsourcer::new(OutsourceConfig::default())
+                    .outsource(&doc, &constraints, k, 11)
+                    .unwrap()
+                    .setup
+                    .block_count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let doc = nasa::generate_datasets(200, 5);
+    let constraints = nasa::constraints();
+    let mut group = c.benchmark_group("query_200_datasets");
+    group.sample_size(20);
+    for kind in SchemeKind::ALL {
+        let hosted = Outsourcer::new(OutsourceConfig::default())
+            .outsource(&doc, &constraints, kind, 11)
+            .unwrap();
+        let q = &generate_queries(&doc, QueryClass::Ql, 1, 7)[0];
+        group.bench_with_input(BenchmarkId::new("secure", kind.name()), &hosted, |b, h| {
+            b.iter(|| h.query(q).unwrap().results.len())
+        });
+    }
+    let hosted = Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &constraints, SchemeKind::Opt, 11)
+        .unwrap();
+    let q = &generate_queries(&doc, QueryClass::Ql, 1, 7)[0];
+    group.bench_function("naive/opt", |b| {
+        b.iter(|| hosted.query_naive(q).unwrap().results.len())
+    });
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let doc = nasa::generate_datasets(100, 5);
+    let constraints = nasa::constraints();
+    let mut group = c.benchmark_group("updates_100_datasets");
+    group.sample_size(10);
+    group.bench_function("insert", |b| {
+        let hosted = Outsourcer::new(OutsourceConfig::default())
+            .outsource(&doc, &constraints, SchemeKind::Opt, 11)
+            .unwrap();
+        let (client, server) = hosted.split();
+        let mut i = 0u64;
+        b.iter_batched(
+            || (client.clone(), server.clone()),
+            |(mut client, mut server)| {
+                i += 1;
+                let rec = format!(
+                    "<dataset><title>t{i}</title><author><initial>Q</initial>                     <last>L{i}</last><age>44</age></author></dataset>"
+                );
+                client.insert(&mut server, "/datasets", &rec, i).unwrap();
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("delete", |b| {
+        let hosted = Outsourcer::new(OutsourceConfig::default())
+            .outsource(&doc, &constraints, SchemeKind::Opt, 11)
+            .unwrap();
+        let (client, server) = hosted.split();
+        b.iter_batched(
+            || server.clone(),
+            |mut server| {
+                client
+                    .delete(&mut server, "//dataset[date/year = 1990]")
+                    .unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let doc = nasa::generate_datasets(200, 5);
+    let constraints = nasa::constraints();
+    let hosted = Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &constraints, SchemeKind::Opt, 11)
+        .unwrap();
+    let (client, server) = hosted.split();
+    let mut group = c.benchmark_group("persistence_200_datasets");
+    group.sample_size(20);
+    group.bench_function("server_save", |b| b.iter(|| server.save_bytes().len()));
+    let bytes = server.save_bytes();
+    group.bench_function("server_load", |b| {
+        b.iter(|| exq_core::Server::load_bytes(&bytes).unwrap().block_count())
+    });
+    group.bench_function("client_save", |b| b.iter(|| client.save_bytes().len()));
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    use exq_core::aggregate::Aggregate;
+    let doc = nasa::generate_datasets(200, 5);
+    let constraints = nasa::constraints();
+    let hosted = Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &constraints, SchemeKind::Opt, 11)
+        .unwrap();
+    let (client, server) = hosted.split();
+    let mut group = c.benchmark_group("aggregate_200_datasets");
+    group.bench_function("max_encrypted", |b| {
+        b.iter(|| {
+            client
+                .aggregate(&server, "//author/age", Aggregate::Max)
+                .unwrap()
+                .value
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_outsource,
+    bench_query,
+    bench_updates,
+    bench_persistence,
+    bench_aggregates
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Regenerates every reproduced table and figure (see DESIGN.md §2).
+//!
+//! ```sh
+//! cargo run --release -p exq-bench --bin experiments            # all
+//! cargo run --release -p exq-bench --bin experiments -- --exp e4
+//! cargo run --release -p exq-bench --bin experiments -- --size-mb 25 --trials 5
+//! ```
+//!
+//! Tables are printed and written as CSV under `results/`, plus a combined
+//! JSON dump `results/experiments.json`.
+
+use exq_bench::experiments::registry;
+use exq_bench::report::Table;
+use exq_bench::ExpConfig;
+use std::time::Instant;
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut only: Option<Vec<String>> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                only.get_or_insert_with(Vec::new)
+                    .push(args[i].to_lowercase());
+            }
+            "--size-mb" => {
+                i += 1;
+                cfg.size_bytes =
+                    (args[i].parse::<f64>().expect("--size-mb <float>") * 1024.0 * 1024.0) as usize;
+            }
+            "--size-kb" => {
+                i += 1;
+                cfg.size_bytes =
+                    (args[i].parse::<f64>().expect("--size-kb <float>") * 1024.0) as usize;
+            }
+            "--trials" => {
+                i += 1;
+                cfg.trials = args[i].parse().expect("--trials <n>");
+            }
+            "--queries" => {
+                i += 1;
+                cfg.query_count = args[i].parse().expect("--queries <n>");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed <n>");
+            }
+            "--out" => {
+                i += 1;
+                cfg.out_dir = args[i].clone().into();
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--exp eN]... [--size-mb F] [--trials N] \
+                     [--queries N] [--seed N] [--out DIR]"
+                );
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    println!(
+        "config: {} bytes/dataset, {} trials, {} queries/class, seed {}\n",
+        cfg.size_bytes, cfg.trials, cfg.query_count, cfg.seed
+    );
+
+    let mut all_tables: Vec<Table> = Vec::new();
+    for (id, title, runner) in registry() {
+        if let Some(filter) = &only {
+            if !filter.iter().any(|f| f == id) {
+                continue;
+            }
+        }
+        println!("--- {id}: {title}");
+        let t0 = Instant::now();
+        let tables = runner(&cfg);
+        for t in &tables {
+            print!("{}", t.render());
+            if let Err(e) = t.write_csv(&cfg.out_dir) {
+                eprintln!("  (csv write failed: {e})");
+            }
+        }
+        println!("  [{id} took {:.2?}]\n", t0.elapsed());
+        all_tables.extend(tables);
+    }
+
+    // Combined JSON dump for downstream tooling.
+    let json = tables_to_json(&all_tables);
+    let path = cfg.out_dir.join("experiments.json");
+    if std::fs::create_dir_all(&cfg.out_dir)
+        .and_then(|_| std::fs::write(&path, json))
+        .is_ok()
+    {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn tables_to_json(tables: &[Table]) -> String {
+    use serde_json::{json, Value};
+    let v: Vec<Value> = tables
+        .iter()
+        .map(|t| {
+            json!({
+                "id": t.id,
+                "title": t.title,
+                "columns": t.columns,
+                "rows": t.rows,
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&v).expect("json")
+}

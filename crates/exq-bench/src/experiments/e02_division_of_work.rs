@@ -1,0 +1,49 @@
+//! E2 — §7.2: division of work between client and server.
+//!
+//! Paper shape: translation times (client and server) are negligible next to
+//! server processing; decryption is the largest client factor; server
+//! processing time exceeds client processing time; transmission is
+//! negligible at 100 Mbps.
+
+use crate::experiments::{measure_query, sum_phases};
+use crate::report::{fmt_duration, Table};
+use crate::setup::Dataset;
+use crate::ExpConfig;
+use exq_core::scheme::SchemeKind;
+use exq_workload::{generate_queries, QueryClass};
+
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let ds = Dataset::nasa(cfg);
+    let hosted = ds.host(SchemeKind::Opt, cfg.seed);
+    let mut t = Table::new(
+        "e2_division_of_work",
+        "§7.2 division of work (NASA-like, opt scheme; sums over the class's queries)",
+        &[
+            "class",
+            "client translate",
+            "server translate",
+            "server process",
+            "transmit",
+            "decrypt",
+            "client post",
+        ],
+    );
+    for class in QueryClass::ALL {
+        let queries = generate_queries(&ds.doc, class, cfg.query_count, cfg.seed);
+        let phases: Vec<_> = queries
+            .iter()
+            .map(|q| measure_query(&hosted, q, cfg.trials, false).0)
+            .collect();
+        let s = sum_phases(&phases);
+        t.row(vec![
+            class.name().to_owned(),
+            fmt_duration(s.client_translate),
+            fmt_duration(s.server_translate),
+            fmt_duration(s.server_process),
+            fmt_duration(s.transmit),
+            fmt_duration(s.decrypt),
+            fmt_duration(s.post_process),
+        ]);
+    }
+    vec![t]
+}

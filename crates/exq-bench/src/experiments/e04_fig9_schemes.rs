@@ -1,0 +1,60 @@
+//! E4 — Figure 9: query performance of the four encryption schemes on the
+//! NASA-like dataset, per query class (Qs, Qm, Ql), reporting the three
+//! phases the paper plots: query processing time on the server, decryption
+//! time on the client, and query (post-)processing time on the client.
+//!
+//! Paper shape: every phase decreases in the order top > sub > app ≥ opt;
+//! decryption is the largest factor; the server-side phase shrinks more
+//! slowly than the client-side phases; app stays within ~1.1–1.3× of opt.
+
+use crate::experiments::{measure_query, sum_phases};
+use crate::report::{fmt_duration, Table};
+use crate::setup::Dataset;
+use crate::ExpConfig;
+use exq_core::scheme::SchemeKind;
+use exq_core::system::PhaseTiming;
+use exq_workload::{generate_queries, QueryClass};
+
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let ds = Dataset::nasa(cfg);
+    let hosted: Vec<_> = SchemeKind::ALL
+        .iter()
+        .map(|&k| (k, ds.host(k, cfg.seed)))
+        .collect();
+    let mut tables = Vec::new();
+    for class in QueryClass::ALL {
+        let queries = generate_queries(&ds.doc, class, cfg.query_count, cfg.seed);
+        let mut t = Table::new(
+            &format!("e4_fig9_{}", class.name()),
+            &format!(
+                "Figure 9 ({}): per-scheme phase times, NASA-like {}B, {} queries",
+                class.name(),
+                ds.doc.serialized_size(),
+                queries.len()
+            ),
+            &[
+                "scheme",
+                "server process",
+                "client decrypt",
+                "client post",
+                "total",
+            ],
+        );
+        for (kind, h) in &hosted {
+            let phases: Vec<PhaseTiming> = queries
+                .iter()
+                .map(|q| measure_query(h, q, cfg.trials, false).0)
+                .collect();
+            let s = sum_phases(&phases);
+            t.row(vec![
+                kind.name().to_owned(),
+                fmt_duration(s.server_translate + s.server_process),
+                fmt_duration(s.decrypt),
+                fmt_duration(s.post_process),
+                fmt_duration(s.total()),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

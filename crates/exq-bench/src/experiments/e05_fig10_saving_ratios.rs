@@ -1,0 +1,57 @@
+//! E5 — Figure 10: saving ratios of the app and opt schemes over the top and
+//! sub schemes on both datasets.
+//!
+//! `S_{a/t} = (T_top − T_app) / T_top`, and analogously for the other three.
+//! Paper shape: ratios over top exceed ratios over sub, and all ratios grow
+//! as the query output node moves toward the leaves (Ql > Qm > Qs); the
+//! best reported value is ~0.64 over top for Ql on NASA.
+
+use crate::experiments::measure_query;
+use crate::report::Table;
+use crate::setup::Dataset;
+use crate::ExpConfig;
+use exq_core::scheme::SchemeKind;
+use exq_workload::{generate_queries, QueryClass};
+use std::collections::HashMap;
+use std::time::Duration;
+
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for ds in Dataset::both(cfg) {
+        let hosted: HashMap<&str, _> = SchemeKind::ALL
+            .iter()
+            .map(|&k| (k.name(), ds.host(k, cfg.seed)))
+            .collect();
+        let mut t = Table::new(
+            &format!("e5_fig10_{}", ds.name),
+            &format!("Figure 10 saving ratios ({}-like)", ds.name),
+            &["class", "S_a/t", "S_a/s", "S_o/t", "S_o/s"],
+        );
+        for class in QueryClass::ALL {
+            let queries = generate_queries(&ds.doc, class, cfg.query_count, cfg.seed);
+            let total = |scheme: &str| -> Duration {
+                queries
+                    .iter()
+                    .map(|q| {
+                        measure_query(&hosted[scheme], q, cfg.trials, false)
+                            .0
+                            .total()
+                    })
+                    .sum()
+            };
+            let (tt, ts, ta, to) = (total("top"), total("sub"), total("app"), total("opt"));
+            let ratio = |base: Duration, x: Duration| {
+                (base.as_secs_f64() - x.as_secs_f64()) / base.as_secs_f64()
+            };
+            t.row(vec![
+                class.name().to_owned(),
+                format!("{:.2}", ratio(tt, ta)),
+                format!("{:.2}", ratio(ts, ta)),
+                format!("{:.2}", ratio(tt, to)),
+                format!("{:.2}", ratio(ts, to)),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,56 @@
+//! E6 — §7.4 (first part): owner-side encryption time and encrypted
+//! document size for each scheme on both datasets.
+//!
+//! Paper shape: the scheme encrypting the most elements takes the longest to
+//! encrypt (their `app`; in our runs Clarkson often finds the optimum, so
+//! the over-encrypting `match` ablation plays that role); `sub` produces
+//! the largest hosted size (thousands of blocks, each paying the envelope
+//! overhead, with bigger subtrees than app/opt); `opt` is best overall.
+
+use crate::report::{fmt_bytes, fmt_duration, Table};
+use crate::setup::Dataset;
+use crate::ExpConfig;
+use exq_core::scheme::SchemeKind;
+
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let kinds = [
+        SchemeKind::Top,
+        SchemeKind::Sub,
+        SchemeKind::App,
+        SchemeKind::Opt,
+        SchemeKind::Match,
+    ];
+    let mut tables = Vec::new();
+    for ds in Dataset::both(cfg) {
+        let mut t = Table::new(
+            &format!("e6_encryption_{}", ds.name),
+            &format!(
+                "§7.4 encryption cost ({}-like, plaintext {}, {} nodes)",
+                ds.name,
+                fmt_bytes(ds.doc.serialized_size()),
+                ds.doc.len()
+            ),
+            &[
+                "scheme",
+                "blocks",
+                "scheme size |S|",
+                "encrypt time",
+                "hosted size",
+                "metadata entries",
+            ],
+        );
+        for kind in kinds {
+            let hosted = ds.host(kind, cfg.seed);
+            t.row(vec![
+                kind.name().to_owned(),
+                hosted.setup.block_count.to_string(),
+                hosted.setup.scheme_size.to_string(),
+                fmt_duration(hosted.setup.encrypt_time),
+                fmt_bytes(hosted.setup.hosted_bytes()),
+                (hosted.setup.dsi_entries + hosted.setup.value_index_entries).to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,63 @@
+//! E9 — Theorem 6.1: the attacker's belief that a captured association holds
+//! in a given block must not increase as queries and responses are observed.
+
+use crate::report::Table;
+use crate::setup::Dataset;
+use crate::ExpConfig;
+use exq_core::analysis::belief::BeliefTracker;
+use exq_core::scheme::SchemeKind;
+use exq_workload::{generate_queries, QueryClass};
+
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let small = ExpConfig {
+        size_bytes: cfg.size_bytes.min(512 * 1024),
+        ..cfg.clone()
+    };
+    let ds = Dataset::nasa(&small);
+    let hosted = ds.host(SchemeKind::Opt, cfg.seed);
+
+    // Attacker parameters from the hosted value indexes.
+    let state = hosted.client.state();
+    let k = state
+        .opess
+        .values()
+        .map(|a| a.plan.entries().len() as u64)
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let n = hosted
+        .server
+        .metadata()
+        .value_indexes
+        .values()
+        .map(|t| t.key_histogram().len() as u64)
+        .max()
+        .unwrap_or(k)
+        .max(k);
+
+    // Drive a real query stream through the server while tracking belief.
+    let mut tracker = BeliefTracker::new(k, n);
+    let mut observed = 0usize;
+    for class in QueryClass::ALL {
+        for q in generate_queries(&ds.doc, class, cfg.query_count, cfg.seed) {
+            let _ = hosted.query(&q).expect("query");
+            tracker.observe_query();
+            observed += 1;
+        }
+    }
+
+    let mut t = Table::new(
+        "e9_belief",
+        &format!("Theorem 6.1 belief sequence over {observed} observed queries (k={k}, n={n})"),
+        &["observation", "Bel(B(A))"],
+    );
+    for (i, b) in tracker.sequence().iter().enumerate().take(12) {
+        t.row(vec![i.to_string(), format!("{b:.3e}")]);
+    }
+    t.row(vec![
+        "non-increasing".into(),
+        tracker.is_non_increasing().to_string(),
+    ]);
+    assert!(tracker.is_non_increasing(), "Theorem 6.1 violated");
+    vec![t]
+}

@@ -1,0 +1,93 @@
+//! E10 — §4.2 ablation: exact branch-and-bound vs Clarkson's greedy vs the
+//! matching 2-approximation on the Figure 8 constraint graphs and on random
+//! graphs, comparing cover weight and solver runtime.
+//!
+//! Expected shape: exact ≤ clarkson ≤ 2×exact ≤ matching (weights), with
+//! exact paying solver time that grows with graph size (it is solving an
+//! NP-hard problem, Theorem 4.2).
+
+use crate::report::{fmt_duration, Table};
+use crate::setup::Dataset;
+use crate::ExpConfig;
+use exq_core::cover::{solve_clarkson, solve_exact, solve_matching, ConstraintGraph, CoverVertex};
+use exq_xpath::Path;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "e10_cover_ablation",
+        "Vertex-cover solver ablation (weight | runtime)",
+        &[
+            "graph",
+            "V",
+            "E",
+            "exact",
+            "clarkson",
+            "matching",
+            "t_exact",
+            "t_clarkson",
+        ],
+    );
+    let small = ExpConfig {
+        size_bytes: cfg.size_bytes.min(256 * 1024),
+        ..cfg.clone()
+    };
+    for ds in Dataset::both(&small) {
+        let g = ConstraintGraph::build(&ds.doc, &ds.constraints);
+        add_row(&mut t, &format!("fig8-{}", ds.name), &g);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for (i, n) in [8usize, 14, 20].into_iter().enumerate() {
+        let g = random_graph(n, 0.35, &mut rng);
+        add_row(&mut t, &format!("random{}(n={n})", i + 1), &g);
+    }
+    vec![t]
+}
+
+fn add_row(t: &mut Table, name: &str, g: &ConstraintGraph) {
+    let t0 = Instant::now();
+    let exact = solve_exact(g);
+    let t_exact = t0.elapsed();
+    let t1 = Instant::now();
+    let clarkson = solve_clarkson(g);
+    let t_clarkson = t1.elapsed();
+    let matching = solve_matching(g);
+    assert!(g.is_cover(&exact) && g.is_cover(&clarkson) && g.is_cover(&matching));
+    let (we, wc, wm) = (
+        g.cover_weight(&exact),
+        g.cover_weight(&clarkson),
+        g.cover_weight(&matching),
+    );
+    assert!(we <= wc && wc <= 2 * we.max(1));
+    t.row(vec![
+        name.to_owned(),
+        g.vertex_count().to_string(),
+        g.edge_count().to_string(),
+        we.to_string(),
+        wc.to_string(),
+        wm.to_string(),
+        fmt_duration(t_exact),
+        fmt_duration(t_clarkson),
+    ]);
+}
+
+fn random_graph(n: usize, p: f64, rng: &mut StdRng) -> ConstraintGraph {
+    let mut g = ConstraintGraph::default();
+    for i in 0..n {
+        g.vertices.push(CoverVertex {
+            path: Path::parse(&format!("//v{i}")).expect("static"),
+            weight: rng.gen_range(1..100),
+            bound_nodes: 1,
+        });
+    }
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool(p) {
+                g.edges.push((a, b));
+            }
+        }
+    }
+    g
+}

@@ -1,0 +1,97 @@
+//! E12 — extension ablation (paper §8 future work #3): incremental update
+//! performance.
+//!
+//! Measures, on a NASA-like database hosted under the opt scheme:
+//! per-record insert latency (client preparation + server application),
+//! delta wire size vs re-outsourcing the whole database, delete latency,
+//! and query correctness/latency after a batch of updates.
+
+use crate::report::{fmt_bytes, fmt_duration, Table};
+use crate::setup::Dataset;
+use crate::ExpConfig;
+use exq_core::scheme::SchemeKind;
+use std::time::Instant;
+
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let small = ExpConfig {
+        size_bytes: cfg.size_bytes.min(2 * 1024 * 1024),
+        ..cfg.clone()
+    };
+    let ds = Dataset::nasa(&small);
+    let hosted = ds.host(SchemeKind::Opt, cfg.seed);
+    let hosted_bytes = hosted.server.hosted_bytes();
+    let (mut client, mut server) = hosted.split();
+
+    let record = |i: usize| {
+        format!(
+            "<dataset><title>inserted catalog {i}</title><altname>INS-{i:05}</altname>\
+             <date><year>199{}</year></date>\
+             <author><initial>Q</initial><last>Newcomer{i}</last><age>4{}</age></author>\
+             <journal><publisher>AstroPress</publisher><city>Vancouver</city></journal>\
+             </dataset>",
+            i % 10,
+            i % 10
+        )
+    };
+
+    // Inserts.
+    let n_inserts = 50usize;
+    let mut delta_bytes = 0usize;
+    let t0 = Instant::now();
+    for i in 0..n_inserts {
+        let delta = client
+            .insert(&mut server, "/datasets", &record(i), cfg.seed + i as u64)
+            .expect("insert");
+        delta_bytes += delta.wire_size();
+    }
+    let insert_time = t0.elapsed();
+
+    // Queries over inserted data stay correct and fast.
+    let t1 = Instant::now();
+    let out = client
+        .query(&server, "//dataset[.//last = 'Newcomer7']/altname")
+        .expect("query");
+    let post_insert_query = t1.elapsed();
+    assert_eq!(out.results, ["<altname>INS-00007</altname>"]);
+
+    // Deletes.
+    let t2 = Instant::now();
+    let del = client
+        .delete(&mut server, "//dataset[date/year = 1990]")
+        .expect("delete");
+    let delete_time = t2.elapsed();
+
+    let mut t = Table::new(
+        "e12_updates",
+        "Update-support ablation (NASA-like, opt scheme)",
+        &["metric", "value"],
+    );
+    t.row(vec![
+        "hosted bytes before updates".into(),
+        fmt_bytes(hosted_bytes),
+    ]);
+    t.row(vec![
+        format!("insert latency (mean of {n_inserts})"),
+        fmt_duration(insert_time / n_inserts as u32),
+    ]);
+    t.row(vec![
+        "delta bytes per insert (mean)".into(),
+        fmt_bytes(delta_bytes / n_inserts),
+    ]);
+    t.row(vec![
+        "delta/full-reoutsource ratio".into(),
+        format!(
+            "{:.5}",
+            (delta_bytes as f64 / n_inserts as f64) / hosted_bytes as f64
+        ),
+    ]);
+    t.row(vec![
+        "query latency after inserts".into(),
+        fmt_duration(post_insert_query),
+    ]);
+    t.row(vec![
+        format!("delete latency ({} victims)", del.deleted),
+        fmt_duration(delete_time),
+    ]);
+    vec![t]
+}

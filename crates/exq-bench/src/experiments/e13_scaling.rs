@@ -1,0 +1,57 @@
+//! E13 — extension ablation: query latency vs document size.
+//!
+//! Not a paper figure (the paper fixes 25 MB documents), but the natural
+//! scalability question a systems reader asks: how do outsourcing time,
+//! metadata size, and per-query latency grow with the database? Expected
+//! shape: outsourcing and naive queries grow linearly with size; secure
+//! selective queries (Ql with a value predicate) grow sublinearly in the
+//! shipped/decrypted bytes and mildly in server join time.
+
+use crate::experiments::measure_query;
+use crate::report::{fmt_bytes, fmt_duration, Table};
+use crate::ExpConfig;
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_workload::nasa;
+use std::time::Instant;
+
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "e13_scaling",
+        "Scalability: NASA-like document size sweep (opt scheme)",
+        &[
+            "doc bytes",
+            "outsource time",
+            "hosted bytes",
+            "selective query",
+            "query bytes",
+            "naive query",
+        ],
+    );
+    let base = cfg.size_bytes.min(4 * 1024 * 1024);
+    for factor in [1usize, 2, 4, 8] {
+        let target = base * factor / 8;
+        let doc = nasa::generate(&nasa::NasaConfig {
+            target_bytes: target,
+            seed: cfg.seed,
+        });
+        let cs = nasa::constraints();
+        let t0 = Instant::now();
+        let hosted = Outsourcer::new(OutsourceConfig::default())
+            .outsource(&doc, &cs, SchemeKind::Opt, cfg.seed)
+            .expect("outsource");
+        let outsource_time = t0.elapsed();
+        let q = "//dataset[.//last = 'Smith']/altname";
+        let (phases, bytes, _) = measure_query(&hosted, q, cfg.trials, false);
+        let (naive_phases, _, _) = measure_query(&hosted, q, cfg.trials.min(3), true);
+        t.row(vec![
+            fmt_bytes(doc.serialized_size()),
+            fmt_duration(outsource_time),
+            fmt_bytes(hosted.server.hosted_bytes()),
+            fmt_duration(phases.total()),
+            fmt_bytes(bytes),
+            fmt_duration(naive_phases.total()),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,155 @@
+//! Tabular experiment output: aligned text + CSV persistence.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One experiment table (a paper table or figure's data).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier, e.g. `e4_fig9_nasa_Qs`.
+    pub id: String,
+    /// Human title, e.g. `Figure 9 (Qs): query performance, NASA-like`.
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} [{}]", self.title, self.id);
+        let hdr: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", hdr.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join("  "));
+        }
+        out
+    }
+
+    /// CSV serialization.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv` (directory created as needed).
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}us")
+    } else if us < 1e6 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{:.3}s", us / 1e6)
+    }
+}
+
+/// Formats a byte count in adaptive units.
+pub fn fmt_bytes(b: usize) -> String {
+    if b < 10 * 1024 {
+        format!("{b}B")
+    } else if b < 10 * 1024 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("t1", "demo", &["scheme", "time"]);
+        t.row(vec!["opt".into(), "1.2ms".into()]);
+        t.row(vec!["top".into(), "44.0ms".into()]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("opt"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("scheme,time\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("t2", "demo", &["a"]);
+        t.row(vec!["x,y".into()]);
+        t.row(vec!["q\"uote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"uote\""));
+    }
+
+    #[test]
+    fn formatting() {
+        use std::time::Duration;
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(100 * 1024), "100.0KiB");
+    }
+}

@@ -1,0 +1,53 @@
+//! Smoke tests: every registered experiment runs end to end at a tiny scale
+//! and produces non-empty, well-formed tables (guards the harness against
+//! rot as the system evolves).
+
+use exq_bench::experiments::registry;
+use exq_bench::ExpConfig;
+
+fn tiny() -> ExpConfig {
+    ExpConfig {
+        size_bytes: 48 * 1024,
+        trials: 1,
+        query_count: 2,
+        seed: 11,
+        out_dir: std::env::temp_dir().join(format!("exq-smoke-{}", std::process::id())),
+    }
+}
+
+#[test]
+fn every_experiment_runs_and_reports() {
+    let cfg = tiny();
+    for (id, title, runner) in registry() {
+        let tables = runner(&cfg);
+        assert!(!tables.is_empty(), "{id} ({title}) produced no tables");
+        for t in &tables {
+            assert!(!t.columns.is_empty(), "{id}: table {} has no columns", t.id);
+            assert!(!t.rows.is_empty(), "{id}: table {} has no rows", t.id);
+            for row in &t.rows {
+                assert_eq!(
+                    row.len(),
+                    t.columns.len(),
+                    "{id}: ragged row in table {}",
+                    t.id
+                );
+            }
+            // Render + CSV never panic and carry the content.
+            let rendered = t.render();
+            assert!(rendered.contains(&t.id));
+            let csv = t.to_csv();
+            assert_eq!(csv.lines().count(), t.rows.len() + 1);
+        }
+    }
+    std::fs::remove_dir_all(&cfg.out_dir).ok();
+}
+
+#[test]
+fn experiment_ids_are_unique_and_ordered() {
+    let ids: Vec<&str> = registry().iter().map(|(id, _, _)| *id).collect();
+    let mut dedup = ids.clone();
+    dedup.dedup();
+    assert_eq!(ids, dedup);
+    assert_eq!(ids[0], "e1");
+    assert!(ids.contains(&"e13"));
+}

@@ -1,0 +1,378 @@
+//! Command implementations behind the `exq` binary.
+//!
+//! Each command is a plain function from parsed arguments to a printable
+//! report, so the test suite can drive them without spawning processes.
+
+use exq_core::aggregate::Aggregate;
+use exq_core::constraints::SecurityConstraint;
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::{Client, CoreError, Server};
+use exq_xml::Document;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// CLI-level error: core error or usage problem.
+#[derive(Debug)]
+pub enum CliError {
+    Core(CoreError),
+    Usage(String),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn usage<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError::Usage(msg.into()))
+}
+
+/// Parses a scheme name.
+pub fn parse_scheme(name: &str) -> Result<SchemeKind, CliError> {
+    match name {
+        "top" => Ok(SchemeKind::Top),
+        "sub" => Ok(SchemeKind::Sub),
+        "app" => Ok(SchemeKind::App),
+        "opt" => Ok(SchemeKind::Opt),
+        "match" => Ok(SchemeKind::Match),
+        other => usage(format!("unknown scheme `{other}` (top|sub|app|opt|match)")),
+    }
+}
+
+/// Reads a constraints file: one SC per line, `#` comments and blank lines
+/// ignored.
+pub fn read_constraints(path: &Path) -> Result<Vec<SecurityConstraint>, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_constraints(&text)
+}
+
+/// Parses constraints from text (same syntax as the file format).
+pub fn parse_constraints(text: &str) -> Result<Vec<SecurityConstraint>, CliError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(
+            SecurityConstraint::parse(line)
+                .map_err(|e| CliError::Usage(format!("constraint on line {}: {e}", i + 1)))?,
+        );
+    }
+    if out.is_empty() {
+        return usage("constraints file contains no constraints");
+    }
+    Ok(out)
+}
+
+/// `exq encrypt`: outsource a plaintext document.
+pub fn cmd_encrypt(
+    input: &Path,
+    constraints: &Path,
+    scheme: &str,
+    seed: u64,
+    server_out: &Path,
+    client_out: &Path,
+) -> Result<String, CliError> {
+    let xml = std::fs::read_to_string(input)?;
+    let doc = Document::parse(&xml).map_err(|e| CliError::Usage(format!("input document: {e}")))?;
+    let cs = read_constraints(constraints)?;
+    let kind = parse_scheme(scheme)?;
+    let hosted = Outsourcer::new(OutsourceConfig::default()).outsource(&doc, &cs, kind, seed)?;
+    if !hosted.scheme.enforces(&doc, &cs) {
+        return usage("scheme failed to enforce the constraints (internal error)");
+    }
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "encrypted {} ({} bytes, {} nodes) with scheme `{}`",
+        input.display(),
+        doc.serialized_size(),
+        doc.len(),
+        scheme
+    );
+    let _ = writeln!(
+        report,
+        "  blocks: {}   scheme size |S|: {}   hosted bytes: {}",
+        hosted.setup.block_count,
+        hosted.setup.scheme_size,
+        hosted.setup.hosted_bytes()
+    );
+    let _ = writeln!(
+        report,
+        "  metadata: {} DSI entries, {} value-index entries",
+        hosted.setup.dsi_entries, hosted.setup.value_index_entries
+    );
+    let (client, server) = hosted.split();
+    server.save(server_out)?;
+    client.save(client_out)?;
+    let _ = writeln!(
+        report,
+        "  server state -> {}   client state -> {}",
+        server_out.display(),
+        client_out.display()
+    );
+    Ok(report)
+}
+
+/// `exq query`: run one XPath query through the secure pipeline.
+pub fn cmd_query(
+    server_path: &Path,
+    client_path: &Path,
+    query: &str,
+    naive: bool,
+) -> Result<String, CliError> {
+    let server = Server::load(server_path)?;
+    let client = Client::load(client_path)?;
+    let tq = client.translate(query)?;
+    let (resp, post_query) = match (&tq.server_query, naive) {
+        (Some(sq), false) => (server.answer(sq), &tq.post_query),
+        _ => (server.answer_naive(), &tq.full_query),
+    };
+    let post = client.post_process(post_query, &resp)?;
+    let mut report = String::new();
+    for r in &post.results {
+        let _ = writeln!(report, "{r}");
+    }
+    let _ = writeln!(
+        report,
+        "-- {} result(s); {} block(s) decrypted; {} bytes from server",
+        post.results.len(),
+        post.blocks_decrypted,
+        resp.payload_bytes()
+    );
+    Ok(report)
+}
+
+/// `exq aggregate`: MIN/MAX/COUNT over an attribute path.
+pub fn cmd_aggregate(
+    server_path: &Path,
+    client_path: &Path,
+    func: &str,
+    path: &str,
+) -> Result<String, CliError> {
+    let server = Server::load(server_path)?;
+    let client = Client::load(client_path)?;
+    let agg = match func {
+        "min" => Aggregate::Min,
+        "max" => Aggregate::Max,
+        "count" => Aggregate::Count,
+        other => return usage(format!("unknown aggregate `{other}` (min|max|count)")),
+    };
+    let out = client.aggregate(&server, path, agg)?;
+    Ok(format!(
+        "{}\n-- {} block(s) decrypted\n",
+        out.value.as_deref().unwrap_or("(no value)"),
+        out.blocks_decrypted
+    ))
+}
+
+/// `exq insert`: insert a record under a parent; rewrites both state files.
+pub fn cmd_insert(
+    server_path: &Path,
+    client_path: &Path,
+    parent_query: &str,
+    record: &Path,
+    seed: u64,
+) -> Result<String, CliError> {
+    let mut server = Server::load(server_path)?;
+    let mut client = Client::load(client_path)?;
+    let record_xml = std::fs::read_to_string(record)?;
+    let delta = client.insert(&mut server, parent_query, &record_xml, seed)?;
+    server.save(server_path)?;
+    client.save(client_path)?;
+    Ok(format!(
+        "inserted under {parent_query}: {} new block(s), {} metadata entries, {} bytes sent\n",
+        delta.blocks.len(),
+        delta.dsi_entries.len() + delta.value_entries.len(),
+        delta.wire_size()
+    ))
+}
+
+/// `exq delete`: delete matching subtrees; rewrites the server file.
+pub fn cmd_delete(server_path: &Path, client_path: &Path, query: &str) -> Result<String, CliError> {
+    let mut server = Server::load(server_path)?;
+    let client = Client::load(client_path)?;
+    let out = client.delete(&mut server, query)?;
+    server.save(server_path)?;
+    Ok(format!(
+        "deleted {} subtree(s); {} match(es) inside blocks were skipped\n",
+        out.deleted, out.skipped_in_block
+    ))
+}
+
+/// `exq export`: decrypt the full database back to plaintext XML (owner
+/// data recovery).
+pub fn cmd_export(
+    server_path: &Path,
+    client_path: &Path,
+    out: &Path,
+) -> Result<String, CliError> {
+    let server = Server::load(server_path)?;
+    let client = Client::load(client_path)?;
+    let doc = client
+        .export(&server)?
+        .ok_or_else(|| CliError::Usage("hosted database is empty".into()))?;
+    std::fs::write(out, doc.to_xml())?;
+    Ok(format!(
+        "exported {} bytes ({} nodes) to {}\n",
+        doc.serialized_size(),
+        doc.len(),
+        out.display()
+    ))
+}
+
+/// `exq explain`: show per-step server-side pruning for a query.
+pub fn cmd_explain(
+    server_path: &Path,
+    client_path: &Path,
+    query: &str,
+) -> Result<String, CliError> {
+    let server = Server::load(server_path)?;
+    let client = Client::load(client_path)?;
+    let tq = client.translate(query)?;
+    let Some(sq) = &tq.server_query else {
+        return Ok("query is not server-evaluable (naive fallback: whole database ships)\n".into());
+    };
+    let report = server.explain(sq);
+    let mut out = String::new();
+    for (i, step) in report.steps.iter().enumerate() {
+        let marker = if i == report.anchor { " <- anchor" } else { "" };
+        let _ = writeln!(
+            out,
+            "step {i}: tags={:?} candidates={} survivors={} predicates={}{marker}",
+            step.tags, step.candidates, step.survivors, step.predicates
+        );
+    }
+    let _ = writeln!(out, "anchor matches: {}", report.anchors);
+    Ok(out)
+}
+
+/// `exq stats`: server-visible statistics (what the host can see).
+pub fn cmd_stats(server_path: &Path) -> Result<String, CliError> {
+    let server = Server::load(server_path)?;
+    let m = server.metadata();
+    let mut report = String::new();
+    let _ = writeln!(report, "hosted bytes:        {}", server.hosted_bytes());
+    let _ = writeln!(report, "encrypted blocks:    {}", server.block_count());
+    let _ = writeln!(
+        report,
+        "DSI index:           {} tags, {} interval entries",
+        m.dsi_table.tag_count(),
+        m.dsi_table.entry_count()
+    );
+    let _ = writeln!(
+        report,
+        "value indexes:       {} attributes, {} entries",
+        m.value_indexes.len(),
+        m.value_indexes.values().map(|t| t.len()).sum::<usize>()
+    );
+    Ok(report)
+}
+
+/// `exq gen`: generate a synthetic dataset (plus its constraint file).
+pub fn cmd_gen(
+    dataset: &str,
+    size_kb: usize,
+    seed: u64,
+    out: &Path,
+    constraints_out: Option<&Path>,
+) -> Result<String, CliError> {
+    use exq_workload::{hospital, nasa, xmark};
+    let (doc, cs): (Document, Vec<SecurityConstraint>) = match dataset {
+        "xmark" => (
+            xmark::generate(&xmark::XmarkConfig {
+                target_bytes: size_kb * 1024,
+                seed,
+            }),
+            xmark::constraints(),
+        ),
+        "nasa" => (
+            nasa::generate(&nasa::NasaConfig {
+                target_bytes: size_kb * 1024,
+                seed,
+            }),
+            nasa::constraints(),
+        ),
+        "hospital" => (hospital::document(), hospital::constraints()),
+        other => return usage(format!("unknown dataset `{other}` (xmark|nasa|hospital)")),
+    };
+    std::fs::write(out, doc.to_xml())?;
+    let mut report = format!(
+        "wrote {} ({} bytes, {} nodes)\n",
+        out.display(),
+        doc.serialized_size(),
+        doc.len()
+    );
+    if let Some(cpath) = constraints_out {
+        let text: String = cs.iter().map(|c| format!("{c}\n")).collect();
+        std::fs::write(cpath, text)?;
+        let _ = writeln!(
+            report,
+            "wrote {} ({} constraints)",
+            cpath.display(),
+            cs.len()
+        );
+    }
+    Ok(report)
+}
+
+pub const USAGE: &str = "\
+exq — secure query evaluation over encrypted XML databases (VLDB'06 reproduction)
+
+USAGE:
+  exq gen       --dataset xmark|nasa|hospital --size-kb N --seed N --out doc.xml
+                [--constraints-out sc.txt]
+  exq encrypt   --in doc.xml --constraints sc.txt --scheme opt --seed N
+                --server server.exq --client client.exq
+  exq query     --server server.exq --client client.exq [--naive] 'XPATH'
+  exq aggregate --server server.exq --client client.exq --fn min|max|count 'PATH'
+  exq insert    --server server.exq --client client.exq --parent 'QUERY'
+                --record rec.xml [--seed N]
+  exq delete    --server server.exq --client client.exq 'QUERY'
+  exq explain   --server server.exq --client client.exq 'QUERY'
+  exq export    --server server.exq --client client.exq --out doc.xml
+  exq stats     --server server.exq
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_parsing() {
+        assert!(matches!(parse_scheme("opt"), Ok(SchemeKind::Opt)));
+        assert!(matches!(parse_scheme("match"), Ok(SchemeKind::Match)));
+        assert!(parse_scheme("bogus").is_err());
+    }
+
+    #[test]
+    fn constraints_parsing() {
+        let text = "# comment\n//insurance\n\n//patient:(/pname, /SSN)\n";
+        let cs = parse_constraints(text).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert!(parse_constraints("# nothing\n").is_err());
+        assert!(parse_constraints("//bad:(").is_err());
+    }
+}

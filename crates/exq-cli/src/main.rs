@@ -1,0 +1,129 @@
+//! The `exq` binary: argument dispatch over [`exq_cli`]'s commands.
+
+use exq_cli::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::Usage("no command given".into()));
+    };
+    let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if name == "naive" {
+                flags.insert(name.to_owned(), "true".to_owned());
+            } else {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                flags.insert(name.to_owned(), v.clone());
+            }
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let path = |k: &str| -> Result<PathBuf, CliError> {
+        flags
+            .get(k)
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError::Usage(format!("missing --{k}")))
+    };
+    let string = |k: &str| -> Result<String, CliError> {
+        flags
+            .get(k)
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("missing --{k}")))
+    };
+    let seed = flags
+        .get("seed")
+        .map(|s| s.parse::<u64>())
+        .transpose()
+        .map_err(|_| CliError::Usage("--seed must be an integer".into()))?
+        .unwrap_or(42);
+
+    match cmd.as_str() {
+        "gen" => {
+            let size_kb = flags
+                .get("size-kb")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|_| CliError::Usage("--size-kb must be an integer".into()))?
+                .unwrap_or(64);
+            cmd_gen(
+                &string("dataset")?,
+                size_kb,
+                seed,
+                &path("out")?,
+                flags.get("constraints-out").map(PathBuf::from).as_deref(),
+            )
+        }
+        "encrypt" => cmd_encrypt(
+            &path("in")?,
+            &path("constraints")?,
+            flags.get("scheme").map(String::as_str).unwrap_or("opt"),
+            seed,
+            &path("server")?,
+            &path("client")?,
+        ),
+        "query" => {
+            let q = positional
+                .first()
+                .ok_or_else(|| CliError::Usage("missing query".into()))?;
+            cmd_query(
+                &path("server")?,
+                &path("client")?,
+                q,
+                flags.contains_key("naive"),
+            )
+        }
+        "aggregate" => {
+            let p = positional
+                .first()
+                .ok_or_else(|| CliError::Usage("missing path".into()))?;
+            cmd_aggregate(&path("server")?, &path("client")?, &string("fn")?, p)
+        }
+        "insert" => cmd_insert(
+            &path("server")?,
+            &path("client")?,
+            &string("parent")?,
+            &path("record")?,
+            seed,
+        ),
+        "delete" => {
+            let q = positional
+                .first()
+                .ok_or_else(|| CliError::Usage("missing query".into()))?;
+            cmd_delete(&path("server")?, &path("client")?, q)
+        }
+        "explain" => {
+            let q = positional
+                .first()
+                .ok_or_else(|| CliError::Usage("missing query".into()))?;
+            cmd_explain(&path("server")?, &path("client")?, q)
+        }
+        "export" => cmd_export(&path("server")?, &path("client")?, &path("out")?),
+        "stats" => cmd_stats(&path("server")?),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}

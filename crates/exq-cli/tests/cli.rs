@@ -1,0 +1,174 @@
+//! End-to-end CLI workflow: gen → encrypt → query → insert → delete →
+//! aggregate → stats, over real state files in a temp directory.
+
+use exq_cli::*;
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("exq-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn setup(dir: &TempDir) -> (PathBuf, PathBuf) {
+    let doc = dir.path("doc.xml");
+    let cons = dir.path("sc.txt");
+    cmd_gen("hospital", 4, 1, &doc, Some(&cons)).unwrap();
+    let server = dir.path("server.exq");
+    let client = dir.path("client.exq");
+    let report = cmd_encrypt(&doc, &cons, "opt", 7, &server, &client).unwrap();
+    assert!(report.contains("blocks:"));
+    (server, client)
+}
+
+#[test]
+fn full_workflow() {
+    let dir = TempDir::new("flow");
+    let (server, client) = setup(&dir);
+
+    // Query.
+    let out = cmd_query(&server, &client, "//patient[pname = 'Betty']/SSN", false).unwrap();
+    assert!(out.contains("763895"), "query output: {out}");
+    assert!(out.contains("1 result(s)"));
+
+    // Naive agrees.
+    let naive = cmd_query(&server, &client, "//patient[pname = 'Betty']/SSN", true).unwrap();
+    assert!(naive.contains("763895"));
+
+    // Aggregate.
+    let out = cmd_aggregate(&server, &client, "max", "//policy/@coverage").unwrap();
+    assert!(out.starts_with("1000000"), "aggregate output: {out}");
+    let out = cmd_aggregate(&server, &client, "count", "//patient").unwrap();
+    assert!(out.starts_with('2'));
+
+    // Insert.
+    let rec = dir.path("rec.xml");
+    std::fs::write(
+        &rec,
+        "<patient><pname>Zoe</pname><SSN>112233</SSN><age>29</age></patient>",
+    )
+    .unwrap();
+    let out = cmd_insert(&server, &client, "/hospital", &rec, 3).unwrap();
+    assert!(out.contains("inserted"));
+    let out = cmd_query(&server, &client, "//patient[pname = 'Zoe']/SSN", false).unwrap();
+    assert!(out.contains("112233"));
+
+    // Delete.
+    let out = cmd_delete(&server, &client, "//patient[age = 29]").unwrap();
+    assert!(out.contains("deleted 1"));
+    let out = cmd_query(&server, &client, "//patient", false).unwrap();
+    assert!(out.contains("2 result(s)"), "after delete: {out}");
+
+    // Stats.
+    let out = cmd_stats(&server).unwrap();
+    assert!(out.contains("encrypted blocks"));
+
+    // Explain.
+    let out = cmd_explain(&server, &client, "//patient[age = 35]/pname").unwrap();
+    assert!(out.contains("anchor matches"), "explain output: {out}");
+    let out = cmd_explain(&server, &client, "//a/../b").unwrap();
+    assert!(out.contains("naive fallback"));
+}
+
+#[test]
+fn export_recovers_plaintext() {
+    let dir = TempDir::new("export");
+    let (server, client) = setup(&dir);
+    let out = dir.path("recovered.xml");
+    let report = cmd_export(&server, &client, &out).unwrap();
+    assert!(report.contains("exported"));
+    let recovered = std::fs::read_to_string(&out).unwrap();
+    // All original sensitive values are back, and no artifacts remain.
+    for v in ["Betty", "763895", "34221", "1000000"] {
+        assert!(recovered.contains(v), "missing {v}");
+    }
+    assert!(!recovered.contains("_exq_enc"));
+    assert!(!recovered.contains("_exq_decoy"));
+}
+
+#[test]
+fn gen_datasets() {
+    let dir = TempDir::new("gen");
+    for ds in ["xmark", "nasa"] {
+        let doc = dir.path(&format!("{ds}.xml"));
+        let cons = dir.path(&format!("{ds}.txt"));
+        let report = cmd_gen(ds, 16, 5, &doc, Some(&cons)).unwrap();
+        assert!(report.contains("wrote"));
+        assert!(doc.exists() && cons.exists());
+        // Generated constraints re-parse.
+        assert!(read_constraints(&cons).unwrap().len() >= 4);
+    }
+    assert!(cmd_gen("bogus", 1, 1, &dir.path("x.xml"), None).is_err());
+}
+
+#[test]
+fn usage_errors() {
+    let dir = TempDir::new("usage");
+    assert!(cmd_query(&dir.path("missing"), &dir.path("missing2"), "//x", false).is_err());
+    assert!(parse_scheme("nope").is_err());
+    let (server, client) = setup(&dir);
+    assert!(cmd_aggregate(&server, &client, "median", "//age").is_err());
+}
+
+#[test]
+fn binary_smoke() {
+    // Drive the actual binary once to cover main's dispatch.
+    let dir = TempDir::new("bin");
+    let doc = dir.path("doc.xml");
+    let cons = dir.path("sc.txt");
+    cmd_gen("hospital", 4, 1, &doc, Some(&cons)).unwrap();
+    let exe = env!("CARGO_BIN_EXE_exq");
+    let out = std::process::Command::new(exe)
+        .args([
+            "encrypt",
+            "--in",
+            doc.to_str().unwrap(),
+            "--constraints",
+            cons.to_str().unwrap(),
+            "--scheme",
+            "opt",
+            "--server",
+            dir.path("s.exq").to_str().unwrap(),
+            "--client",
+            dir.path("c.exq").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = std::process::Command::new(exe)
+        .args([
+            "query",
+            "--server",
+            dir.path("s.exq").to_str().unwrap(),
+            "--client",
+            dir.path("c.exq").to_str().unwrap(),
+            "//patient/pname",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Betty"));
+    // Unknown command fails with usage.
+    let out = std::process::Command::new(exe)
+        .arg("frobnicate")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,451 @@
+//! The client: query translation, decryption, and post-processing
+//! (§6.1, §6.4).
+//!
+//! Translation replaces tags with their server-visible forms (Vernam
+//! ciphertext for encrypted tags, plaintext otherwise — a tag occurring both
+//! inside and outside blocks contributes both forms) and value predicates
+//! with OPESS ciphertext ranges per Figure 7(a). Queries using axes the
+//! server cannot evaluate over intervals (`parent`, `following-sibling`,
+//! explicit `self` steps) fall back to the naive method transparently.
+//!
+//! Post-processing reconstructs a partial document from the server's pruned
+//! response — decrypting blocks, splicing them over their markers, removing
+//! decoys — and evaluates the *post query* (the original query with
+//! predicates above the anchor stripped; those were verified exactly on the
+//! server) to obtain the final answer, which equals the answer on the
+//! plaintext database.
+
+use crate::encrypt::{ClientCryptoState, BLOCK_ID_ATTR, BLOCK_MARKER_TAG, DECOY_TAG};
+use crate::error::CoreError;
+use crate::server::Server;
+use crate::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
+use exq_crypto::{open_block, RangeOp};
+use exq_xml::{Document, NodeId};
+use exq_xpath::{eval_document, Axis, CmpOp, Literal, NodeTest, Path, Predicate};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The data owner's query-side state.
+#[derive(Debug, Clone)]
+pub struct Client {
+    state: ClientCryptoState,
+}
+
+/// A translated query plus what the client needs for post-processing.
+#[derive(Debug, Clone)]
+pub struct TranslatedQuery {
+    /// What goes to the server, or `None` when the query needs the naive
+    /// fallback (unsupported server axis).
+    pub server_query: Option<ServerQuery>,
+    /// The query the client re-runs on the reconstructed document.
+    pub post_query: Path,
+    /// The original query in full (used when the whole database is shipped,
+    /// e.g. the naive baseline).
+    pub full_query: Path,
+    /// Time spent translating (§7.2's client translation time).
+    pub translate_time: Duration,
+}
+
+/// The client-side result of one query round trip.
+#[derive(Debug, Clone)]
+pub struct PostProcessed {
+    /// Serialized XML of each result node.
+    pub results: Vec<String>,
+    pub decrypt_time: Duration,
+    pub post_process_time: Duration,
+    pub blocks_decrypted: usize,
+}
+
+impl Client {
+    pub fn new(state: ClientCryptoState) -> Client {
+        Client { state }
+    }
+
+    pub fn state(&self) -> &ClientCryptoState {
+        &self.state
+    }
+
+    pub(crate) fn state_mut(&mut self) -> &mut ClientCryptoState {
+        &mut self.state
+    }
+
+    /// Translates an XPath string (§6.1).
+    pub fn translate(&self, query: &str) -> Result<TranslatedQuery, CoreError> {
+        let start = Instant::now();
+        let path = Path::parse(query).map_err(|e| CoreError::Query(e.to_string()))?;
+        let server_query = self.translate_path(&path);
+        // The client re-runs the FULL query on the reconstruction: the
+        // server ships predicate witnesses for steps above the anchor, so
+        // every predicate is re-checkable exactly (see `translate_path`).
+        let post_query = path.clone();
+        Ok(TranslatedQuery {
+            server_query,
+            post_query,
+            full_query: path,
+            translate_time: start.elapsed(),
+        })
+    }
+
+    /// Executes the full round trip against a server.
+    pub fn run(
+        &self,
+        server: &Server,
+        query: &str,
+    ) -> Result<(TranslatedQuery, ServerResponse, PostProcessed), CoreError> {
+        let tq = self.translate(query)?;
+        let resp = match &tq.server_query {
+            Some(sq) => server.answer(sq),
+            None => server.answer_naive(),
+        };
+        let post = self.post_process(&tq.post_query, &resp)?;
+        Ok((tq, resp, post))
+    }
+
+    /// Decrypts, reconstructs, and evaluates the post query (§6.4).
+    pub fn post_process(
+        &self,
+        post_query: &Path,
+        resp: &ServerResponse,
+    ) -> Result<PostProcessed, CoreError> {
+        let t0 = Instant::now();
+        let key = self.state.keys.block_key();
+        let mut decrypted: HashMap<u32, Document> = HashMap::new();
+        for b in &resp.blocks {
+            let bytes = open_block(&key, b).map_err(|e| CoreError::Block(e.to_string()))?;
+            let xml = String::from_utf8(bytes)
+                .map_err(|e| CoreError::Block(format!("block not UTF-8: {e}")))?;
+            let doc = Document::parse(&xml)
+                .map_err(|e| CoreError::Block(format!("block not XML: {e}")))?;
+            decrypted.insert(b.id, doc);
+        }
+        let decrypt_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let reconstructed = self.reconstruct(&resp.pruned_xml, &decrypted)?;
+        let results = match &reconstructed {
+            None => Vec::new(),
+            Some(doc) => eval_document(doc, post_query)
+                .into_iter()
+                .map(|n| render_result(doc, n))
+                .collect(),
+        };
+        Ok(PostProcessed {
+            results,
+            decrypt_time,
+            post_process_time: t1.elapsed(),
+            blocks_decrypted: resp.blocks.len(),
+        })
+    }
+
+    /// Reconstructs the complete plaintext database from the server — the
+    /// owner's data-recovery path (decrypt everything, splice, strip
+    /// decoys). Returns `None` only for an empty hosted database.
+    pub fn export(&self, server: &Server) -> Result<Option<Document>, CoreError> {
+        let resp = server.answer_naive();
+        let key = self.state.keys.block_key();
+        let mut decrypted: HashMap<u32, Document> = HashMap::new();
+        for b in &resp.blocks {
+            let bytes = open_block(&key, b).map_err(|e| CoreError::Block(e.to_string()))?;
+            let xml = String::from_utf8(bytes)
+                .map_err(|e| CoreError::Block(format!("block not UTF-8: {e}")))?;
+            let doc = Document::parse(&xml)
+                .map_err(|e| CoreError::Block(format!("block not XML: {e}")))?;
+            decrypted.insert(b.id, doc);
+        }
+        self.reconstruct(&resp.pruned_xml, &decrypted)
+    }
+
+    /// Splices decrypted blocks over their markers and removes decoys.
+    fn reconstruct(
+        &self,
+        pruned_xml: &str,
+        decrypted: &HashMap<u32, Document>,
+    ) -> Result<Option<Document>, CoreError> {
+        if pruned_xml.is_empty() {
+            return Ok(decrypted.is_empty().then(Document::new));
+        }
+        let pruned = Document::parse(pruned_xml).map_err(|e| CoreError::Response(e.to_string()))?;
+        let mut out = Document::new();
+        let root = pruned.root().ok_or(CoreError::EmptyDocument)?;
+        splice(&pruned, root, None, decrypted, &mut out)?;
+        // Remove decoys anywhere in the reconstruction.
+        let decoys: Vec<NodeId> = out.elements_by_tag(DECOY_TAG).into_iter().collect();
+        for d in decoys {
+            out.detach(d);
+        }
+        Ok(Some(out))
+    }
+
+    /// Translates a path into a server pattern; `None` on unsupported axes.
+    ///
+    /// The **anchor** is the highest (closest-to-root) step whose predicate
+    /// set the server can only over-approximate — encrypted value predicates
+    /// are exact only at block granularity, and unsupported predicates are
+    /// dropped server-side entirely. The server ships each anchor match's
+    /// whole region, plus one witness region per positive predicate above
+    /// the anchor, so the client's re-run of the full query on the
+    /// reconstruction is exact: positive predicates are monotone (holding
+    /// on the shipped subset implies holding on `D`), and non-monotone
+    /// predicates (`not`, `!=`, positional) always sit at or below the
+    /// anchor, whose region is complete. Predicates that look *upward*
+    /// (parent / following-sibling inside a predicate) cannot be re-checked
+    /// on a pruned response at all; those queries fall back to naive.
+    fn translate_path(&self, path: &Path) -> Option<ServerQuery> {
+        // Upward-looking predicates anywhere force the naive path.
+        if path
+            .steps
+            .iter()
+            .any(|s| s.predicates.iter().any(pred_looks_upward))
+        {
+            return None;
+        }
+        let mut steps = Vec::with_capacity(path.steps.len());
+        let mut anchor_cap = usize::MAX;
+        for (i, step) in path.steps.iter().enumerate() {
+            // A trailing text() step is evaluated client-side only.
+            if step.test == NodeTest::Text && i + 1 == path.steps.len() {
+                break;
+            }
+            let axis = match step.axis {
+                Axis::Child => SAxis::Child,
+                Axis::Descendant => SAxis::Descendant,
+                Axis::DescendantOrSelf => SAxis::DescendantOrSelf,
+                Axis::Attribute => SAxis::Attribute,
+                Axis::SelfAxis | Axis::Parent | Axis::FollowingSibling => return None,
+            };
+            let tags = self.translate_test(&step.test, axis)?;
+            let mut preds = Vec::with_capacity(step.predicates.len());
+            for p in &step.predicates {
+                match self.translate_pred(p) {
+                    Some(sp) => {
+                        if matches!(&sp, SPred::Value { range: Some(_), .. }) {
+                            anchor_cap = anchor_cap.min(i);
+                        }
+                        preds.push(sp);
+                    }
+                    // Unsupported predicate: server over-approximates,
+                    // client must re-verify from this step down.
+                    None => anchor_cap = anchor_cap.min(i),
+                }
+            }
+            steps.push(SStep { axis, tags, preds });
+        }
+        if steps.is_empty() {
+            return None;
+        }
+        let anchor = (steps.len() - 1).min(anchor_cap);
+        Some(ServerQuery { steps, anchor })
+    }
+
+    /// The DSI-table keys for a node test (possibly both plain + encrypted).
+    fn translate_test(&self, test: &NodeTest, axis: SAxis) -> Option<Vec<String>> {
+        match test {
+            NodeTest::Wildcard => Some(Vec::new()),
+            NodeTest::Text => None,
+            NodeTest::Name(name) => {
+                let key = match axis {
+                    SAxis::Attribute => format!("@{name}"),
+                    _ => name.clone(),
+                };
+                let mut tags = Vec::new();
+                if self.state.plain_tags.contains(&key) {
+                    tags.push(key.clone());
+                }
+                if self.state.encrypted_tags.contains(&key) {
+                    tags.push(self.state.keys.tag_cipher().encrypt(&key));
+                }
+                if tags.is_empty() {
+                    // Unknown tag: send the plaintext form; it will match
+                    // nothing, which is the correct (empty) answer.
+                    tags.push(key);
+                }
+                Some(tags)
+            }
+        }
+    }
+
+    fn translate_pred(&self, pred: &Predicate) -> Option<SPred> {
+        match pred {
+            // Positional and boolean predicates are evaluated client-side
+            // only: returning None makes the server over-approximate and
+            // caps the anchor at this step, so the client re-checks exactly.
+            Predicate::Position(_)
+            | Predicate::And(..)
+            | Predicate::Or(..)
+            | Predicate::Not(..) => None,
+            Predicate::Exists(path) => {
+                let steps = self.translate_relative(path)?;
+                Some(SPred::Exists(steps))
+            }
+            Predicate::Compare(path, op, lit) => {
+                let steps = self.translate_relative(path)?;
+                // The predicate's target attribute name.
+                let attr_key = attr_key_of(path)?;
+                let enc = self.state.opess.get(&attr_key).and_then(|attr| {
+                    let v = attr.codec.encode_query(&lit.as_text())?;
+                    let range = attr.plan.translate(to_range_op(*op), v);
+                    Some((self.state.keys.tag_cipher().encrypt(&attr_key), range))
+                });
+                let plain = self
+                    .state
+                    .plain_tags
+                    .contains(&attr_key)
+                    .then(|| (*op, lit.clone()));
+                if enc.is_none() && plain.is_none() {
+                    // Attribute unknown anywhere: predicate can never hold.
+                    // Encode as an impossible plain comparison.
+                    return Some(SPred::Value {
+                        path: steps,
+                        range: None,
+                        plain: Some((CmpOp::Eq, Literal::Str("\u{0}unsatisfiable".into()))),
+                    });
+                }
+                Some(SPred::Value {
+                    path: steps,
+                    range: enc,
+                    plain,
+                })
+            }
+        }
+    }
+
+    fn translate_relative(&self, path: &Path) -> Option<Vec<SStep>> {
+        let mut out = Vec::with_capacity(path.steps.len());
+        for step in &path.steps {
+            let axis = match step.axis {
+                Axis::Child => SAxis::Child,
+                Axis::Descendant => SAxis::Descendant,
+                Axis::DescendantOrSelf => SAxis::DescendantOrSelf,
+                Axis::Attribute => SAxis::Attribute,
+                _ => return None,
+            };
+            if step.test == NodeTest::Text {
+                // Value predicates on text() compare the parent's value:
+                // stop the structural path here.
+                break;
+            }
+            let tags = self.translate_test(&step.test, axis)?;
+            let mut preds = Vec::new();
+            for p in &step.predicates {
+                preds.push(self.translate_pred(p)?);
+            }
+            out.push(SStep { axis, tags, preds });
+        }
+        Some(out)
+    }
+}
+
+/// The attribute name a comparison predicate targets: `@name` for attribute
+/// steps, the final element tag otherwise (self-comparisons have no name).
+fn attr_key_of(path: &Path) -> Option<String> {
+    let last = path.steps.last()?;
+    match (&last.axis, &last.test) {
+        (Axis::Attribute, NodeTest::Name(n)) => Some(format!("@{n}")),
+        (_, NodeTest::Name(n)) => Some(n.clone()),
+        (_, NodeTest::Text) => {
+            // [x/text() = v] targets x.
+            let prev = path.steps.get(path.steps.len().checked_sub(2)?)?;
+            match &prev.test {
+                NodeTest::Name(n) => Some(n.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn to_range_op(op: CmpOp) -> RangeOp {
+    match op {
+        CmpOp::Eq => RangeOp::Eq,
+        CmpOp::Ne => RangeOp::Ne,
+        CmpOp::Lt => RangeOp::Lt,
+        CmpOp::Le => RangeOp::Le,
+        CmpOp::Gt => RangeOp::Gt,
+        CmpOp::Ge => RangeOp::Ge,
+    }
+}
+
+/// Recursively copies the pruned doc, replacing block markers with their
+/// decrypted contents.
+fn splice(
+    pruned: &Document,
+    n: NodeId,
+    parent: Option<NodeId>,
+    decrypted: &HashMap<u32, Document>,
+    out: &mut Document,
+) -> Result<(), CoreError> {
+    use exq_xml::NodeKind;
+    if pruned.element_name(n) == Some(BLOCK_MARKER_TAG) {
+        let id: u32 = pruned
+            .node(n)
+            .attrs()
+            .iter()
+            .find_map(|&a| match pruned.node(a).kind() {
+                NodeKind::Attribute(name, v) if pruned.tag_name(*name) == BLOCK_ID_ATTR => {
+                    v.parse().ok()
+                }
+                _ => None,
+            })
+            .ok_or_else(|| CoreError::Response("marker without id".into()))?;
+        if let Some(block_doc) = decrypted.get(&id) {
+            let broot = block_doc
+                .root()
+                .ok_or_else(|| CoreError::Response("empty block".into()))?;
+            block_doc.clone_subtree_into(broot, out, parent);
+        }
+        // Markers whose blocks were not shipped simply vanish: the anchor
+        // logic guarantees the client never needs them.
+        return Ok(());
+    }
+    match pruned.node(n).kind() {
+        NodeKind::Element(t) => {
+            let name = pruned.tag_name(*t).to_owned();
+            let el = out.add_element(parent, &name);
+            for &a in pruned.node(n).attrs() {
+                if let NodeKind::Attribute(at, v) = pruned.node(a).kind() {
+                    let an = pruned.tag_name(*at).to_owned();
+                    out.add_attr(el, &an, v);
+                }
+            }
+            for &c in pruned.node(n).children() {
+                splice(pruned, c, Some(el), decrypted, out)?;
+            }
+        }
+        NodeKind::Text(v) => {
+            if let Some(p) = parent {
+                out.add_text(p, v);
+            }
+        }
+        NodeKind::Attribute(..) => {}
+    }
+    Ok(())
+}
+
+/// Does a predicate (recursively) contain a path step that looks upward or
+/// sideways (parent / following-sibling)? Self steps are fine: they stay on
+/// the node. Such predicates cannot be re-verified on a pruned response.
+fn pred_looks_upward(pred: &Predicate) -> bool {
+    fn path_upward(p: &Path) -> bool {
+        p.steps.iter().any(|s| {
+            matches!(s.axis, Axis::Parent | Axis::FollowingSibling)
+                || s.predicates.iter().any(pred_looks_upward)
+        })
+    }
+    match pred {
+        Predicate::Exists(p) => path_upward(p),
+        Predicate::Compare(p, _, _) => path_upward(p),
+        Predicate::Position(_) => false,
+        Predicate::And(a, b) | Predicate::Or(a, b) => pred_looks_upward(a) || pred_looks_upward(b),
+        Predicate::Not(a) => pred_looks_upward(a),
+    }
+}
+
+/// Renders one result node: elements as XML, attributes/text as their value.
+fn render_result(doc: &Document, n: NodeId) -> String {
+    use exq_xml::NodeKind;
+    match doc.node(n).kind() {
+        NodeKind::Element(_) => doc.node_to_xml(n),
+        NodeKind::Attribute(_, v) => v.clone(),
+        NodeKind::Text(t) => t.clone(),
+    }
+}

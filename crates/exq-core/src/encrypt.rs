@@ -1,0 +1,763 @@
+//! The data-owner side: block encryption, decoys, and server metadata
+//! construction (§4.1, §5).
+//!
+//! [`encrypt_database`] applies an [`EncryptionScheme`] to a document and
+//! produces everything in Figure 1's data flow:
+//!
+//! * the **visible document** — the original tree with each encryption block
+//!   replaced by an opaque `<_exq_enc id="…"/>` marker;
+//! * the **sealed blocks** — each target subtree (plus decoy, §4.1)
+//!   serialized and ChaCha20-sealed;
+//! * the **server metadata** (§5): the DSI index table with Vernam-encrypted
+//!   tags and same-tag adjacent grouping for block-internal nodes, the
+//!   encryption block table, and one OPESS value index (B-tree) per
+//!   encrypted leaf attribute;
+//! * the **client state**: key chain, the encrypted/plain tag vocabularies,
+//!   and the OPESS plans + categorical codecs needed for query translation.
+
+use crate::error::CoreError;
+use crate::scheme::EncryptionScheme;
+use exq_crypto::{seal_block, KeyChain, OpessPlan, SealedBlock};
+use exq_index::{
+    dsi::{DsiLabeling, Interval},
+    BTree, BlockTable, DsiIndexTable,
+};
+use exq_xml::{Document, NodeId, NodeKind};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Marker tag for an encrypted block in the visible document.
+pub const BLOCK_MARKER_TAG: &str = "_exq_enc";
+/// Attribute carrying the block id on a marker.
+pub const BLOCK_ID_ATTR: &str = "id";
+/// Tag of decoy children inserted into leaf blocks (§4.1).
+pub const DECOY_TAG: &str = "_exq_decoy";
+
+/// Server-side metadata (the `M` of Figure 1).
+#[derive(Debug, Clone, Default)]
+pub struct ServerMetadata {
+    pub dsi_table: DsiIndexTable,
+    pub block_table: BlockTable,
+    /// Per-attribute OPESS value index; keys are the server-visible
+    /// (Vernam-encrypted) attribute names.
+    pub value_indexes: HashMap<String, BTree>,
+}
+
+impl ServerMetadata {
+    /// Total metadata entries (structural + value) — the index-size metric.
+    pub fn entry_count(&self) -> usize {
+        self.dsi_table.entry_count() + self.value_indexes.values().map(BTree::len).sum::<usize>()
+    }
+}
+
+/// How query-literal strings map into the OPESS numeric domain.
+#[derive(Debug, Clone)]
+pub enum ValueCodec {
+    /// All domain values parse as numbers; encode by parsing.
+    Numeric,
+    /// Categorical domain: alphabetically sorted distinct values map to
+    /// their rank (the paper's "client keeps the mapping between categorical
+    /// values and natural numbers").
+    Categorical(Vec<String>),
+}
+
+impl ValueCodec {
+    /// Builds a codec from the distinct domain values.
+    pub fn build(values: &[&str]) -> ValueCodec {
+        if values.iter().all(|v| v.trim().parse::<f64>().is_ok()) {
+            ValueCodec::Numeric
+        } else {
+            let mut sorted: Vec<String> = values.iter().map(|s| s.to_string()).collect();
+            sorted.sort();
+            sorted.dedup();
+            ValueCodec::Categorical(sorted)
+        }
+    }
+
+    /// Encodes a *domain* value; `None` when it cannot be represented.
+    pub fn encode(&self, v: &str) -> Option<f64> {
+        match self {
+            ValueCodec::Numeric => v.trim().parse::<f64>().ok(),
+            ValueCodec::Categorical(sorted) => sorted
+                .binary_search_by(|x| x.as_str().cmp(v))
+                .ok()
+                .map(|i| i as f64),
+        }
+    }
+
+    /// Encodes a *query* literal: absent categorical values land between
+    /// their alphabetic neighbors so range translations stay correct.
+    pub fn encode_query(&self, v: &str) -> Option<f64> {
+        match self {
+            ValueCodec::Numeric => v.trim().parse::<f64>().ok(),
+            ValueCodec::Categorical(sorted) => {
+                Some(match sorted.binary_search_by(|x| x.as_str().cmp(v)) {
+                    Ok(i) => i as f64,
+                    Err(ins) => ins as f64 - 0.5,
+                })
+            }
+        }
+    }
+}
+
+/// The client-side OPESS state for one encrypted attribute.
+#[derive(Debug, Clone)]
+pub struct OpessAttr {
+    pub plan: OpessPlan,
+    pub codec: ValueCodec,
+}
+
+/// Everything the client keeps after outsourcing (besides the keys being
+/// derivable from the master key, this is small: vocabularies + OPESS
+/// parameters).
+#[derive(Debug, Clone)]
+pub struct ClientCryptoState {
+    pub keys: KeyChain,
+    /// Plaintext tags (elements, and attributes as `@name`) that occur
+    /// inside encryption blocks.
+    pub encrypted_tags: HashSet<String>,
+    /// Tags that occur outside blocks (visible to the server in plaintext).
+    pub plain_tags: HashSet<String>,
+    /// OPESS plan per encrypted leaf attribute (plaintext attribute name).
+    pub opess: HashMap<String, OpessAttr>,
+    /// The encryption policy, re-applied to inserted records: absolute
+    /// paths whose bindings are encrypted, and whether to lift to parents
+    /// (`sub` scheme).
+    pub scheme_paths: Vec<exq_xpath::Path>,
+    pub lift_to_parent: bool,
+}
+
+/// Owner-side encryption statistics (§7.4 metrics).
+#[derive(Debug, Clone, Default)]
+pub struct EncryptStats {
+    pub encrypt_time: Duration,
+    pub block_count: usize,
+    /// Total sealed-block bytes including per-block envelope overhead.
+    pub encrypted_bytes: usize,
+    /// Serialized visible-document bytes.
+    pub visible_bytes: usize,
+    pub dsi_entries: usize,
+    pub value_index_entries: usize,
+    pub scheme_size: u64,
+}
+
+impl EncryptStats {
+    /// Total bytes hosted on the server (visible + blocks), the
+    /// "size of the encrypted document" of §7.4.
+    pub fn hosted_bytes(&self) -> usize {
+        self.encrypted_bytes + self.visible_bytes
+    }
+}
+
+/// The full output of the owner-side pipeline.
+#[derive(Debug, Clone)]
+pub struct EncryptedOutput {
+    pub visible: Document,
+    /// DSI interval per visible-document arena slot (markers carry their
+    /// block's representative interval).
+    pub visible_intervals: Vec<Option<Interval>>,
+    pub blocks: Vec<SealedBlock>,
+    pub metadata: ServerMetadata,
+    pub client_state: ClientCryptoState,
+    pub stats: EncryptStats,
+}
+
+/// Applies `scheme` to `doc`, producing the hosted artifacts.
+pub fn encrypt_database(
+    doc: &Document,
+    scheme: &EncryptionScheme,
+    keys: &KeyChain,
+    rng: &mut impl Rng,
+) -> Result<EncryptedOutput, CoreError> {
+    let start = Instant::now();
+    doc.root().ok_or(CoreError::EmptyDocument)?;
+
+    // 1. Working copy with decoys inserted into leaf blocks.
+    let mut working = doc.clone();
+    let decoy_prf = keys.decoy_prf();
+    for (i, t) in scheme.targets.iter().enumerate() {
+        if t.decoy {
+            let decoy_el = working.add_element(Some(t.node), DECOY_TAG);
+            working.add_text(decoy_el, &decoy_value(&decoy_prf, i as u64));
+        }
+    }
+
+    // 2. DSI labeling of the working document (block internals included:
+    //    their intervals go into the DSI table under encrypted tags).
+    let labeling = DsiLabeling::assign(&working, rng);
+
+    // 3. Block membership: node -> block id.
+    let mut block_of: Vec<Option<u32>> = vec![None; arena_len(&working)];
+    for (i, t) in scheme.targets.iter().enumerate() {
+        for n in working.descendants(t.node) {
+            block_of[n.index()] = Some(i as u32);
+        }
+    }
+
+    // 4. Seal blocks.
+    let block_key = keys.block_key();
+    let mut blocks = Vec::with_capacity(scheme.targets.len());
+    for (i, t) in scheme.targets.iter().enumerate() {
+        let xml = working.node_to_xml(t.node);
+        let nonce = keys.nonce("block", i as u64);
+        blocks.push(seal_block(&block_key, i as u32, nonce, xml.as_bytes()));
+    }
+
+    // 5. Visible document + interval alignment.
+    let mut visible = Document::new();
+    let mut visible_intervals: Vec<Option<Interval>> = Vec::new();
+    build_visible(
+        &working,
+        working.root().unwrap(),
+        None,
+        &block_of,
+        scheme,
+        &labeling,
+        &mut visible,
+        &mut visible_intervals,
+    );
+
+    // 6–7. DSI index table (with grouping) + block table.
+    let tag_cipher = keys.tag_cipher();
+    let mut dsi_table = DsiIndexTable::new();
+    let mut encrypted_tags = HashSet::new();
+    let mut plain_tags = HashSet::new();
+    build_dsi_table(
+        &working,
+        working.root().unwrap(),
+        &block_of,
+        &labeling,
+        &tag_cipher,
+        &mut dsi_table,
+        &mut encrypted_tags,
+        &mut plain_tags,
+    );
+    dsi_table.seal();
+
+    let mut block_table = BlockTable::new();
+    for (i, t) in scheme.targets.iter().enumerate() {
+        let rep = labeling
+            .interval(t.node)
+            .expect("block root must be labeled");
+        block_table.add(rep, i as u32);
+    }
+    block_table.seal();
+
+    // 8. OPESS value indexes over encrypted leaf values.
+    let (value_indexes, opess, value_entries) =
+        build_value_indexes(&working, &block_of, keys, &tag_cipher, rng)?;
+
+    let stats = EncryptStats {
+        encrypt_time: start.elapsed(),
+        block_count: blocks.len(),
+        encrypted_bytes: blocks.iter().map(SealedBlock::stored_size).sum(),
+        visible_bytes: visible.serialized_size(),
+        dsi_entries: dsi_table.entry_count(),
+        value_index_entries: value_entries,
+        scheme_size: scheme.size(doc),
+    };
+
+    Ok(EncryptedOutput {
+        visible,
+        visible_intervals,
+        blocks,
+        metadata: ServerMetadata {
+            dsi_table,
+            block_table,
+            value_indexes,
+        },
+        client_state: ClientCryptoState {
+            keys: keys.clone(),
+            encrypted_tags,
+            plain_tags,
+            opess,
+            scheme_paths: scheme.paths.clone(),
+            lift_to_parent: scheme.lift_to_parent,
+        },
+        stats,
+    })
+}
+
+fn arena_len(doc: &Document) -> usize {
+    doc.iter().map(|n| n.index() + 1).max().unwrap_or(0)
+}
+
+fn decoy_value(prf: &exq_crypto::Prf, i: u64) -> String {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    let mut buf = [0u8; 6];
+    prf.fill(&i.to_le_bytes(), &mut buf);
+    buf.iter()
+        .map(|&b| ALPHA[b as usize % 26] as char)
+        .collect()
+}
+
+/// Recursively builds the visible document, replacing block roots with
+/// markers and aligning intervals.
+#[allow(clippy::too_many_arguments)]
+fn build_visible(
+    working: &Document,
+    node: NodeId,
+    vis_parent: Option<NodeId>,
+    block_of: &[Option<u32>],
+    scheme: &EncryptionScheme,
+    labeling: &DsiLabeling,
+    visible: &mut Document,
+    intervals: &mut Vec<Option<Interval>>,
+) {
+    let record = |intervals: &mut Vec<Option<Interval>>, vis_id: NodeId, iv: Option<Interval>| {
+        if vis_id.index() >= intervals.len() {
+            intervals.resize(vis_id.index() + 1, None);
+        }
+        intervals[vis_id.index()] = iv;
+    };
+
+    // A block root becomes a marker.
+    if let Some(b) = block_of[node.index()] {
+        debug_assert_eq!(scheme.targets[b as usize].node, node);
+        let marker = visible.add_element(vis_parent, BLOCK_MARKER_TAG);
+        visible.add_attr(marker, BLOCK_ID_ATTR, &b.to_string());
+        record(intervals, marker, labeling.interval(node));
+        return;
+    }
+
+    match working.node(node).kind() {
+        NodeKind::Element(t) => {
+            let name = working.tag_name(*t).to_owned();
+            let el = visible.add_element(vis_parent, &name);
+            record(intervals, el, labeling.interval(node));
+            for &a in working.node(node).attrs() {
+                if let NodeKind::Attribute(at, v) = working.node(a).kind() {
+                    let an = working.tag_name(*at).to_owned();
+                    let attr = visible.add_attr(el, &an, v);
+                    record(intervals, attr, labeling.interval(a));
+                }
+            }
+            for &c in working.node(node).children() {
+                build_visible(
+                    working,
+                    c,
+                    Some(el),
+                    block_of,
+                    scheme,
+                    labeling,
+                    visible,
+                    intervals,
+                );
+            }
+        }
+        NodeKind::Text(v) => {
+            let p = vis_parent.expect("text under an element");
+            let txt = visible.add_text(p, v);
+            record(intervals, txt, labeling.interval(node));
+        }
+        NodeKind::Attribute(..) => unreachable!("attributes handled with their element"),
+    }
+}
+
+/// Populates the DSI index table: plaintext tags for nodes outside blocks,
+/// Vernam-encrypted tags with adjacent same-tag grouping inside blocks.
+#[allow(clippy::too_many_arguments)]
+fn build_dsi_table(
+    doc: &Document,
+    node: NodeId,
+    block_of: &[Option<u32>],
+    labeling: &DsiLabeling,
+    cipher: &exq_crypto::TagCipher,
+    table: &mut DsiIndexTable,
+    encrypted_tags: &mut HashSet<String>,
+    plain_tags: &mut HashSet<String>,
+) {
+    // Attributes first (no grouping: names are unique per element).
+    for &a in doc.node(node).attrs() {
+        if let NodeKind::Attribute(at, _) = doc.node(a).kind() {
+            let name = format!("@{}", doc.tag_name(*at));
+            let iv = labeling.interval(a).expect("attribute labeled");
+            if block_of[a.index()].is_some() {
+                encrypted_tags.insert(name.clone());
+                table.add(&cipher.encrypt(&name), iv);
+            } else {
+                plain_tags.insert(name.clone());
+                table.add(&name, iv);
+            }
+        }
+    }
+    // The node itself.
+    if let NodeKind::Element(t) = doc.node(node).kind() {
+        let name = doc.tag_name(*t).to_owned();
+        let iv = labeling.interval(node).expect("element labeled");
+        if block_of[node.index()].is_some() {
+            encrypted_tags.insert(name.clone());
+        } else {
+            plain_tags.insert(name.clone());
+            table.add(&name, iv);
+        }
+        // Entry addition for block-internal elements happens in the parent's
+        // grouping pass below; the only element without a parent pass is the
+        // document root (relevant under the `top` scheme).
+        if block_of[node.index()].is_some() && doc.node(node).parent().is_none() {
+            table.add(&cipher.encrypt(&name), iv);
+        }
+        // Grouping pass over element children that live inside blocks:
+        // runs of adjacent same-tag children in the same block merge into
+        // one span interval (§5.1.1).
+        let children = doc.node(node).children();
+        let mut run: Option<(String, u32, Interval)> = None;
+        for &c in children {
+            let cur = match doc.node(c).kind() {
+                NodeKind::Element(ct) if block_of[c.index()].is_some() => Some((
+                    doc.tag_name(*ct).to_owned(),
+                    block_of[c.index()].unwrap(),
+                    labeling.interval(c).expect("child labeled"),
+                )),
+                _ => None,
+            };
+            match (&mut run, cur) {
+                (Some((rt, rb, riv)), Some((ct, cb, civ))) if *rt == ct && *rb == cb => {
+                    *riv = riv.span(&civ);
+                }
+                (prev, cur) => {
+                    if let Some((rt, _, riv)) = prev.take() {
+                        table.add(&cipher.encrypt(&rt), riv);
+                    }
+                    *prev = cur;
+                }
+            }
+        }
+        if let Some((rt, _, riv)) = run {
+            table.add(&cipher.encrypt(&rt), riv);
+        }
+        // Recurse.
+        for &c in children {
+            build_dsi_table(
+                doc,
+                c,
+                block_of,
+                labeling,
+                cipher,
+                table,
+                encrypted_tags,
+                plain_tags,
+            );
+        }
+    }
+}
+
+type ValueIndexes = (HashMap<String, BTree>, HashMap<String, OpessAttr>, usize);
+
+/// Builds per-attribute OPESS B-trees over leaf values inside blocks.
+fn build_value_indexes(
+    doc: &Document,
+    block_of: &[Option<u32>],
+    keys: &KeyChain,
+    cipher: &exq_crypto::TagCipher,
+    rng: &mut impl Rng,
+) -> Result<ValueIndexes, CoreError> {
+    // attribute name -> [(value, block id)]
+    let mut occ: HashMap<String, Vec<(String, u32)>> = HashMap::new();
+    for n in doc.iter() {
+        let Some(b) = block_of[n.index()] else {
+            continue;
+        };
+        match doc.node(n).kind() {
+            NodeKind::Text(v) => {
+                let parent = doc.node(n).parent().expect("text has parent");
+                let Some(tag) = doc.element_name(parent) else {
+                    continue;
+                };
+                if tag == DECOY_TAG {
+                    continue;
+                }
+                occ.entry(tag.to_owned()).or_default().push((v.clone(), b));
+            }
+            NodeKind::Attribute(at, v) => {
+                let name = format!("@{}", doc.tag_name(*at));
+                occ.entry(name).or_default().push((v.clone(), b));
+            }
+            NodeKind::Element(_) => {}
+        }
+    }
+
+    let mut indexes = HashMap::new();
+    let mut opess = HashMap::new();
+    let mut total_entries = 0usize;
+    // Deterministic iteration order for reproducibility.
+    let mut attrs: Vec<String> = occ.keys().cloned().collect();
+    attrs.sort();
+    for attr in attrs {
+        let occurrences = &occ[&attr];
+        let distinct: Vec<&str> = {
+            let mut v: Vec<&str> = occurrences.iter().map(|(s, _)| s.as_str()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let codec = ValueCodec::build(&distinct);
+        // Histogram in the encoded domain.
+        let mut hist: HashMap<u64, (f64, u32)> = HashMap::new();
+        for (v, _) in occurrences {
+            let Some(x) = codec.encode(v) else {
+                return Err(CoreError::Opess(format!(
+                    "value `{v}` of `{attr}` not encodable"
+                )));
+            };
+            let e = hist.entry(x.to_bits()).or_insert((x, 0));
+            e.1 += 1;
+        }
+        let hist: Vec<(f64, u32)> = hist.values().copied().collect();
+        let plan = OpessPlan::build(&hist, keys.ope_key(&attr), rng)
+            .map_err(|e| CoreError::Opess(e.to_string()))?;
+
+        // Assign occurrences to chunks and fill the B-tree.
+        let mut tree = BTree::new();
+        // Group occurrences by encoded value.
+        let mut by_value: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (v, b) in occurrences {
+            let x = codec.encode(v).unwrap();
+            by_value.entry(x.to_bits()).or_default().push(*b);
+        }
+        for entry in plan.entries() {
+            let blocks = &by_value[&entry.plaintext.to_bits()];
+            if entry.count == 1 {
+                // Singleton: every chunk ciphertext points to the lone block.
+                for c in &entry.chunks {
+                    for _ in 0..entry.scale {
+                        tree.insert(c.ciphertext, blocks[0]);
+                    }
+                }
+                continue;
+            }
+            let mut it = blocks.iter();
+            for c in &entry.chunks {
+                for _ in 0..c.occurrences {
+                    let b = *it.next().expect("chunk sizes sum to the count");
+                    for _ in 0..entry.scale {
+                        tree.insert(c.ciphertext, b);
+                    }
+                }
+            }
+        }
+        total_entries += tree.len();
+        indexes.insert(cipher.encrypt(&attr), tree);
+        opess.insert(attr, OpessAttr { plan, codec });
+    }
+    Ok((indexes, opess, total_entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::SecurityConstraint;
+    use crate::scheme::{EncryptionScheme, SchemeKind};
+    use exq_crypto::open_block;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn doc() -> Document {
+        Document::parse(
+            r#"<hospital>
+                <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age>
+                  <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+                  <insurance><policy coverage="1000000">34221</policy>
+                              <policy coverage="10000">44louis</policy></insurance></patient>
+                <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age>
+                  <treat><disease>leukemia</disease><doctor>Brown</doctor></treat>
+                  <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+                  <insurance><policy coverage="5000">78543</policy></insurance></patient>
+               </hospital>"#,
+        )
+        .unwrap()
+    }
+
+    fn constraints() -> Vec<SecurityConstraint> {
+        [
+            "//insurance",
+            "//patient:(/pname, /SSN)",
+            "//patient:(/pname, //disease)",
+            "//treat:(/disease, /doctor)",
+        ]
+        .iter()
+        .map(|s| SecurityConstraint::parse(s).unwrap())
+        .collect()
+    }
+
+    fn encrypt(kind: SchemeKind) -> (Document, EncryptedOutput) {
+        let d = doc();
+        let s = EncryptionScheme::build(&d, &constraints(), kind).unwrap();
+        let keys = KeyChain::from_seed(77);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = encrypt_database(&d, &s, &keys, &mut rng).unwrap();
+        (d, out)
+    }
+
+    #[test]
+    fn blocks_decrypt_back_to_subtrees() {
+        let (_, out) = encrypt(SchemeKind::Opt);
+        assert!(!out.blocks.is_empty());
+        let key = out.client_state.keys.block_key();
+        for b in &out.blocks {
+            let pt = open_block(&key, b).unwrap();
+            let xml = String::from_utf8(pt).unwrap();
+            Document::parse(&xml).unwrap();
+        }
+    }
+
+    #[test]
+    fn visible_document_has_markers_not_secrets() {
+        let (_, out) = encrypt(SchemeKind::Opt);
+        let xml = out.visible.to_xml();
+        assert!(xml.contains(BLOCK_MARKER_TAG));
+        // The node-type SC //insurance hides the whole insurance subtree.
+        for secret in ["34221", "78543", "1000000", "policy", "coverage"] {
+            assert!(!xml.contains(secret), "leaked {secret}");
+        }
+        // Association SCs require at least one endpoint hidden per pair.
+        let hidden = |s: &str| !xml.contains(s);
+        assert!(
+            hidden("Betty") || hidden("763895"),
+            "pname–SSN association leaked"
+        );
+        assert!(
+            hidden("Betty") || hidden("diarrhea"),
+            "pname–disease association leaked"
+        );
+        assert!(
+            hidden("diarrhea") || hidden("Smith"),
+            "disease–doctor association leaked"
+        );
+        // Non-sensitive structure stays visible.
+        assert!(xml.contains("<hospital>"));
+        assert!(xml.contains("<patient>"));
+    }
+
+    #[test]
+    fn top_scheme_single_block() {
+        let (_, out) = encrypt(SchemeKind::Top);
+        assert_eq!(out.blocks.len(), 1);
+        assert_eq!(out.visible.len(), 2); // marker + id attribute
+    }
+
+    #[test]
+    fn dsi_table_hides_encrypted_tags() {
+        let (_, out) = encrypt(SchemeKind::Opt);
+        let table = &out.metadata.dsi_table;
+        // pname is encrypted by every reasonable cover here.
+        assert!(out.client_state.encrypted_tags.contains("pname"));
+        assert!(
+            table.lookup("pname").is_empty(),
+            "plaintext sensitive tag in table"
+        );
+        let cipher = out.client_state.keys.tag_cipher();
+        assert!(!table.lookup(&cipher.encrypt("pname")).is_empty());
+        // hospital stays plaintext.
+        assert_eq!(table.lookup("hospital").len(), 1);
+    }
+
+    #[test]
+    fn block_table_has_representative_intervals() {
+        let (_, out) = encrypt(SchemeKind::Opt);
+        assert_eq!(out.metadata.block_table.len(), out.blocks.len());
+        for (iv, id) in out.metadata.block_table.iter() {
+            assert!(iv.lo < iv.hi);
+            assert!((id as usize) < out.blocks.len());
+        }
+    }
+
+    #[test]
+    fn value_indexes_flat_histogram() {
+        let (_, out) = encrypt(SchemeKind::Opt);
+        assert!(!out.metadata.value_indexes.is_empty());
+        for attr in out.client_state.opess.values() {
+            let hist = attr.plan.split_histogram();
+            let m = attr.plan.m();
+            for h in hist {
+                assert!(h == 1 || (m - 1..=m + 1).contains(&h));
+            }
+        }
+    }
+
+    #[test]
+    fn decoys_inserted_into_leaf_blocks() {
+        let (_, out) = encrypt(SchemeKind::Opt);
+        let key = out.client_state.keys.block_key();
+        let mut any_decoy = false;
+        for b in &out.blocks {
+            let xml = String::from_utf8(open_block(&key, b).unwrap()).unwrap();
+            if xml.contains(DECOY_TAG) {
+                any_decoy = true;
+            }
+        }
+        assert!(any_decoy, "no decoys found in any block");
+    }
+
+    #[test]
+    fn equal_plaintexts_seal_to_distinct_ciphertexts() {
+        // The two identical <disease>diarrhea</disease> blocks must differ.
+        let d = doc();
+        let cs = vec![SecurityConstraint::parse("//disease").unwrap()];
+        let s = EncryptionScheme::build(&d, &cs, SchemeKind::Opt).unwrap();
+        let keys = KeyChain::from_seed(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = encrypt_database(&d, &s, &keys, &mut rng).unwrap();
+        let diarrhea: Vec<&SealedBlock> = out.blocks.iter().collect();
+        for i in 0..diarrhea.len() {
+            for j in i + 1..diarrhea.len() {
+                assert_ne!(diarrhea[i].ciphertext, diarrhea[j].ciphertext);
+            }
+        }
+    }
+
+    #[test]
+    fn visible_intervals_align() {
+        let (_, out) = encrypt(SchemeKind::Opt);
+        for n in out.visible.iter() {
+            if out.visible.element_name(n) == Some(BLOCK_MARKER_TAG) {
+                let iv = out.visible_intervals[n.index()].expect("marker labeled");
+                // Marker interval must be a block representative.
+                assert!(out.metadata.block_table.covering_block(&iv).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_merges_adjacent_same_tag_siblings() {
+        // Both policies of patient 1 sit in one insurance block and are
+        // adjacent same-tag siblings: the DSI table must hold one merged
+        // interval covering both, not two.
+        let (d, out) = encrypt(SchemeKind::Opt);
+        let cipher = out.client_state.keys.tag_cipher();
+        let policies = d.elements_by_tag("policy");
+        assert_eq!(policies.len(), 3);
+        let entries = out.metadata.dsi_table.lookup(&cipher.encrypt("policy"));
+        assert_eq!(entries.len(), 2, "adjacent policies should be grouped");
+    }
+
+    #[test]
+    fn stats_populated() {
+        let (_, out) = encrypt(SchemeKind::Opt);
+        assert!(out.stats.block_count > 0);
+        assert!(out.stats.encrypted_bytes > 0);
+        assert!(out.stats.visible_bytes > 0);
+        assert!(out.stats.dsi_entries > 0);
+        assert!(out.stats.value_index_entries > 0);
+        assert!(out.stats.hosted_bytes() > out.stats.encrypted_bytes);
+    }
+
+    #[test]
+    fn codec_numeric_and_categorical() {
+        let c = ValueCodec::build(&["10", "2", "33"]);
+        assert!(matches!(c, ValueCodec::Numeric));
+        assert_eq!(c.encode("2"), Some(2.0));
+        let c = ValueCodec::build(&["flu", "cold", "flu"]);
+        match &c {
+            ValueCodec::Categorical(sorted) => assert_eq!(sorted, &["cold", "flu"]),
+            _ => panic!(),
+        }
+        assert_eq!(c.encode("cold"), Some(0.0));
+        assert_eq!(c.encode("flu"), Some(1.0));
+        assert_eq!(c.encode("zzz"), None);
+        assert_eq!(c.encode_query("aaa"), Some(-0.5));
+        assert_eq!(c.encode_query("dog"), Some(0.5));
+        assert_eq!(c.encode_query("flu"), Some(1.0));
+    }
+}

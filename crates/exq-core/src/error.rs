@@ -1,0 +1,38 @@
+//! Unified error type for the core crate.
+
+use std::fmt;
+
+/// Errors surfaced by the core system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A security-constraint expression failed to parse.
+    ConstraintSyntax(String),
+    /// An XPath expression failed to parse.
+    Query(String),
+    /// The document is empty or malformed for the requested operation.
+    EmptyDocument,
+    /// OPESS plan construction failed for an attribute.
+    Opess(String),
+    /// A sealed block failed to decrypt/authenticate.
+    Block(String),
+    /// Response payload could not be parsed back into a document.
+    Response(String),
+    /// Persistence (save/load) failure.
+    Persist(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ConstraintSyntax(m) => write!(f, "security constraint syntax: {m}"),
+            CoreError::Query(m) => write!(f, "query error: {m}"),
+            CoreError::EmptyDocument => write!(f, "document has no root element"),
+            CoreError::Opess(m) => write!(f, "OPESS error: {m}"),
+            CoreError::Block(m) => write!(f, "block decryption error: {m}"),
+            CoreError::Response(m) => write!(f, "malformed server response: {m}"),
+            CoreError::Persist(m) => write!(f, "persistence error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,46 @@
+//! The paper's contribution: secure query evaluation over encrypted XML.
+//!
+//! This crate wires the substrates (`exq-xml`, `exq-xpath`, `exq-crypto`,
+//! `exq-index`) into the system of Wang & Lakshmanan (VLDB 2006):
+//!
+//! * [`constraints`] — security constraints (§3.2): node-type (`//insurance`)
+//!   and association (`//patient:(/pname, /SSN)`) constraints;
+//! * [`cover`] — the constraint graph and weighted vertex-cover solvers
+//!   behind optimal/approximate secure encryption schemes (§4.2; exact
+//!   optimal selection is NP-hard, Theorem 4.2);
+//! * [`scheme`] — encryption schemes (§3.1, §4.1): which subtrees to encrypt
+//!   and which get decoys, plus the experimental Top/Sub/App/Opt variants;
+//! * [`encrypt`] — the data-owner side: block sealing, decoy insertion, and
+//!   construction of the server metadata (DSI index table, encryption block
+//!   table, OPESS value indexes) (§4.1, §5);
+//! * [`server`] — the untrusted server: structural joins over DSI intervals,
+//!   B-tree range lookups, and pruned-response assembly (§6.2);
+//! * [`client`] — query translation (§6.1), decryption, decoy removal, and
+//!   post-processing (§6.4);
+//! * [`system`] — the end-to-end hosted-database wrapper with per-phase
+//!   timing and a simulated client/server link (Figure 1), plus the naive
+//!   ship-everything baseline of §7.3;
+//! * [`analysis`] — the security analysis: exact candidate-database counts
+//!   (Theorems 4.1/5.1/5.2), frequency- and size-based attack simulators
+//!   (§3.3), and the query-answering belief tracker (Theorem 6.1).
+
+pub mod aggregate;
+pub mod analysis;
+pub mod client;
+pub mod constraints;
+pub mod cover;
+pub mod encrypt;
+pub mod error;
+pub mod persist;
+pub mod scheme;
+pub mod server;
+pub mod system;
+pub mod update;
+pub mod wire;
+
+pub use client::Client;
+pub use constraints::SecurityConstraint;
+pub use error::CoreError;
+pub use scheme::{EncryptionScheme, SchemeKind};
+pub use server::Server;
+pub use system::{HostedDatabase, OutsourceConfig, Outsourcer, QueryOutcome};

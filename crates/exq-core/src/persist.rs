@@ -1,0 +1,483 @@
+//! Persistence: serialize the server's hosted state and the client's key
+//! material to compact binary files, so a hosted database outlives the
+//! process (and so the `exq` CLI can operate on real files).
+//!
+//! The format is a hand-rolled tagged binary layout (no external codec
+//! dependencies in the core): little-endian integers, length-prefixed
+//! strings/blobs, and a versioned magic header per artifact.
+//!
+//! Interval↔node alignment survives re-parsing because intervals are keyed
+//! by the node's *pre-order position among elements and attributes*, which
+//! is invariant under serialize→parse (text nodes are excluded: adjacent
+//! text merging could shift their positions, and the server never looks up
+//! text intervals).
+
+use crate::client::Client;
+use crate::encrypt::{ClientCryptoState, OpessAttr, ServerMetadata, ValueCodec};
+use crate::error::CoreError;
+use crate::server::Server;
+use exq_crypto::opess::{ChunkCipher, PlanEntry};
+use exq_crypto::{KeyChain, OpessPlan, SealedBlock};
+use exq_index::dsi::Interval;
+use exq_index::{BTree, BlockTable, DsiIndexTable};
+use exq_xml::Document;
+use exq_xpath::Path;
+use std::collections::{HashMap, HashSet};
+
+const SERVER_MAGIC: &[u8; 6] = b"EXQSV1";
+const CLIENT_MAGIC: &[u8; 6] = b"EXQCL1";
+
+// ---------------------------------------------------------------- codec --
+
+/// Minimal byte writer.
+#[derive(Default)]
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Minimal byte reader.
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        R { buf, pos: 0 }
+    }
+    fn err(msg: &str) -> CoreError {
+        CoreError::Persist(msg.to_owned())
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Self::err("truncated input"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CoreError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, CoreError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, CoreError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, CoreError> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() {
+            return Err(Self::err("length prefix exceeds input"));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+    /// Reads an element count, bounding it by the remaining input (each
+    /// element occupies at least `min_entry_size` bytes) so corrupted
+    /// prefixes cannot trigger huge allocations.
+    fn count(&mut self, min_entry_size: usize) -> Result<usize, CoreError> {
+        let n = self.u64()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.checked_mul(min_entry_size.max(1))
+            .is_none_or(|need| need > remaining)
+        {
+            return Err(Self::err("count prefix exceeds input"));
+        }
+        Ok(n)
+    }
+    fn string(&mut self) -> Result<String, CoreError> {
+        String::from_utf8(self.bytes()?).map_err(|_| Self::err("non-UTF-8 string"))
+    }
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn interval(w: &mut W, iv: Interval) {
+    w.u64(iv.lo);
+    w.u64(iv.hi);
+}
+
+fn read_interval(r: &mut R) -> Result<Interval, CoreError> {
+    let lo = r.u64()?;
+    let hi = r.u64()?;
+    if lo >= hi {
+        return Err(R::err("degenerate interval"));
+    }
+    Ok(Interval::new(lo, hi))
+}
+
+// ---------------------------------------------------------------- server --
+
+impl Server {
+    /// Serializes the full hosted state.
+    pub fn save_bytes(&self) -> Vec<u8> {
+        let mut w = W::default();
+        w.buf.extend_from_slice(SERVER_MAGIC);
+        let visible_xml = self.visible_xml();
+        w.string(&visible_xml);
+
+        // Interval annotations by element/attribute pre-order position.
+        let positions = self.interval_positions();
+        w.u64(positions.len() as u64);
+        for (pos, iv) in positions {
+            w.u64(pos as u64);
+            interval(&mut w, iv);
+        }
+
+        // DSI index table.
+        let dsi = &self.metadata().dsi_table;
+        w.u64(dsi.tag_count() as u64);
+        for (tag, ivs) in dsi.iter() {
+            w.string(tag);
+            w.u64(ivs.len() as u64);
+            for &iv in ivs {
+                interval(&mut w, iv);
+            }
+        }
+
+        // Block table.
+        let bt = &self.metadata().block_table;
+        w.u64(bt.len() as u64);
+        for (iv, id) in bt.iter() {
+            interval(&mut w, iv);
+            w.u32(id);
+        }
+
+        // Value indexes.
+        let vi = &self.metadata().value_indexes;
+        w.u64(vi.len() as u64);
+        let mut attrs: Vec<&String> = vi.keys().collect();
+        attrs.sort();
+        for attr in attrs {
+            w.string(attr);
+            let entries = vi[attr].iter();
+            w.u64(entries.len() as u64);
+            for (k, v) in entries {
+                w.u128(k);
+                w.u32(v);
+            }
+        }
+
+        // Blocks (including tombstoned slots: ids are positional).
+        let blocks = self.all_blocks();
+        w.u64(blocks.len() as u64);
+        for b in blocks {
+            w.u32(b.id);
+            w.buf.extend_from_slice(&b.nonce);
+            w.bytes(&b.ciphertext);
+            w.buf.extend_from_slice(&b.tag);
+        }
+        let dead = self.dead_block_ids();
+        w.u64(dead.len() as u64);
+        for id in dead {
+            w.u32(id);
+        }
+        w.buf
+    }
+
+    /// Restores a server from [`save_bytes`](Self::save_bytes) output.
+    pub fn load_bytes(data: &[u8]) -> Result<Server, CoreError> {
+        let mut r = R::new(data);
+        if r.take(6)? != SERVER_MAGIC {
+            return Err(R::err("not a server state file"));
+        }
+        let visible_xml = r.string()?;
+        let visible = if visible_xml.is_empty() {
+            Document::new()
+        } else {
+            Document::parse(&visible_xml)
+                .map_err(|e| CoreError::Persist(format!("visible doc: {e}")))?
+        };
+
+        let n = r.count(24)?;
+        let mut pos_intervals: HashMap<usize, Interval> = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let pos = r.u64()? as usize;
+            pos_intervals.insert(pos, read_interval(&mut r)?);
+        }
+
+        let mut dsi = DsiIndexTable::new();
+        let tags = r.count(16)?;
+        for _ in 0..tags {
+            let tag = r.string()?;
+            let k = r.count(16)?;
+            for _ in 0..k {
+                dsi.add(&tag, read_interval(&mut r)?);
+            }
+        }
+        dsi.seal();
+
+        let mut bt = BlockTable::new();
+        let k = r.count(20)?;
+        for _ in 0..k {
+            let iv = read_interval(&mut r)?;
+            let id = r.u32()?;
+            bt.add(iv, id);
+        }
+        bt.seal();
+
+        let mut value_indexes = HashMap::new();
+        let k = r.count(16)?;
+        for _ in 0..k {
+            let attr = r.string()?;
+            let n = r.count(20)?;
+            let mut tree = BTree::new();
+            for _ in 0..n {
+                let key = r.u128()?;
+                let val = r.u32()?;
+                tree.insert(key, val);
+            }
+            value_indexes.insert(attr, tree);
+        }
+
+        let k = r.count(40)?;
+        let mut blocks = Vec::with_capacity(k);
+        for _ in 0..k {
+            let id = r.u32()?;
+            let nonce: [u8; 12] = r.take(12)?.try_into().unwrap();
+            let ciphertext = r.bytes()?;
+            let tag: [u8; 16] = r.take(16)?.try_into().unwrap();
+            blocks.push(SealedBlock {
+                id,
+                nonce,
+                ciphertext,
+                tag,
+            });
+        }
+        let k = r.count(4)?;
+        let mut dead = HashSet::with_capacity(k);
+        for _ in 0..k {
+            dead.insert(r.u32()?);
+        }
+        if !r.finished() {
+            return Err(R::err("trailing bytes"));
+        }
+
+        Ok(Server::from_parts(
+            visible,
+            pos_intervals,
+            ServerMetadata {
+                dsi_table: dsi,
+                block_table: bt,
+                value_indexes,
+            },
+            blocks,
+            dead,
+        ))
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), CoreError> {
+        std::fs::write(path, self.save_bytes()).map_err(|e| CoreError::Persist(e.to_string()))
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &std::path::Path) -> Result<Server, CoreError> {
+        let data = std::fs::read(path).map_err(|e| CoreError::Persist(e.to_string()))?;
+        Server::load_bytes(&data)
+    }
+}
+
+// ---------------------------------------------------------------- client --
+
+impl Client {
+    /// Serializes the client's state (keys + vocabularies + OPESS plans).
+    pub fn save_bytes(&self) -> Vec<u8> {
+        let s = self.state();
+        let mut w = W::default();
+        w.buf.extend_from_slice(CLIENT_MAGIC);
+        w.buf.extend_from_slice(&s.keys.master_key());
+
+        string_set(&mut w, &s.encrypted_tags);
+        string_set(&mut w, &s.plain_tags);
+
+        let mut attrs: Vec<&String> = s.opess.keys().collect();
+        attrs.sort();
+        w.u64(attrs.len() as u64);
+        for attr in attrs {
+            let oa = &s.opess[attr];
+            w.string(attr);
+            match &oa.codec {
+                ValueCodec::Numeric => w.u8(0),
+                ValueCodec::Categorical(values) => {
+                    w.u8(1);
+                    w.u64(values.len() as u64);
+                    for v in values {
+                        w.string(v);
+                    }
+                }
+            }
+            let plan = &oa.plan;
+            w.u32(plan.m());
+            w.f64(plan.delta());
+            w.u64(plan.weight_prefix().len() as u64);
+            for &wp in plan.weight_prefix() {
+                w.f64(wp);
+            }
+            w.u64(plan.entries().len() as u64);
+            for e in plan.entries() {
+                w.f64(e.plaintext);
+                w.u32(e.count);
+                w.u32(e.scale);
+                w.u64(e.chunks.len() as u64);
+                for c in &e.chunks {
+                    w.u128(c.ciphertext);
+                    w.u32(c.occurrences);
+                }
+            }
+        }
+
+        w.u64(s.scheme_paths.len() as u64);
+        for p in &s.scheme_paths {
+            w.string(&p.to_string());
+        }
+        w.u8(u8::from(s.lift_to_parent));
+        w.buf
+    }
+
+    /// Restores a client from [`save_bytes`](Self::save_bytes) output.
+    pub fn load_bytes(data: &[u8]) -> Result<Client, CoreError> {
+        let mut r = R::new(data);
+        if r.take(6)? != CLIENT_MAGIC {
+            return Err(R::err("not a client state file"));
+        }
+        let master: [u8; 32] = r.take(32)?.try_into().unwrap();
+        let keys = KeyChain::new(master);
+
+        let encrypted_tags = read_string_set(&mut r)?;
+        let plain_tags = read_string_set(&mut r)?;
+
+        let n = r.count(16)?;
+        let mut opess = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let attr = r.string()?;
+            let codec = match r.u8()? {
+                0 => ValueCodec::Numeric,
+                1 => {
+                    let k = r.count(8)?;
+                    let mut values = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        values.push(r.string()?);
+                    }
+                    ValueCodec::Categorical(values)
+                }
+                _ => return Err(R::err("unknown codec tag")),
+            };
+            let m = r.u32()?;
+            let delta = r.f64()?;
+            let k = r.count(8)?;
+            let mut weights = Vec::with_capacity(k);
+            for _ in 0..k {
+                weights.push(r.f64()?);
+            }
+            let k = r.count(24)?;
+            let mut entries = Vec::with_capacity(k);
+            for _ in 0..k {
+                let plaintext = r.f64()?;
+                let count = r.u32()?;
+                let scale = r.u32()?;
+                let cn = r.count(20)?;
+                let mut chunks = Vec::with_capacity(cn);
+                for _ in 0..cn {
+                    let ciphertext = r.u128()?;
+                    let occurrences = r.u32()?;
+                    chunks.push(ChunkCipher {
+                        ciphertext,
+                        occurrences,
+                    });
+                }
+                entries.push(PlanEntry {
+                    plaintext,
+                    count,
+                    chunks,
+                    scale,
+                });
+            }
+            let plan = OpessPlan::from_parts(keys.ope_key(&attr), m, weights, delta, entries);
+            opess.insert(attr, OpessAttr { plan, codec });
+        }
+
+        let k = r.count(8)?;
+        let mut scheme_paths = Vec::with_capacity(k);
+        for _ in 0..k {
+            let p = r.string()?;
+            scheme_paths.push(Path::parse(&p).map_err(|e| CoreError::Persist(e.to_string()))?);
+        }
+        let lift_to_parent = r.u8()? != 0;
+        if !r.finished() {
+            return Err(R::err("trailing bytes"));
+        }
+
+        Ok(Client::new(ClientCryptoState {
+            keys,
+            encrypted_tags,
+            plain_tags,
+            opess,
+            scheme_paths,
+            lift_to_parent,
+        }))
+    }
+
+    /// Saves to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), CoreError> {
+        std::fs::write(path, self.save_bytes()).map_err(|e| CoreError::Persist(e.to_string()))
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &std::path::Path) -> Result<Client, CoreError> {
+        let data = std::fs::read(path).map_err(|e| CoreError::Persist(e.to_string()))?;
+        Client::load_bytes(&data)
+    }
+}
+
+fn string_set(w: &mut W, set: &HashSet<String>) {
+    let mut v: Vec<&String> = set.iter().collect();
+    v.sort();
+    w.u64(v.len() as u64);
+    for s in v {
+        w.string(s);
+    }
+}
+
+fn read_string_set(r: &mut R) -> Result<HashSet<String>, CoreError> {
+    let n = r.count(8)?;
+    let mut out = HashSet::with_capacity(n);
+    for _ in 0..n {
+        out.insert(r.string()?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,977 @@
+//! The untrusted server (§6.2).
+//!
+//! The server stores the visible document, the sealed blocks, and the
+//! metadata `M` (DSI index table, block table, OPESS value indexes). Query
+//! answering follows the paper's three steps:
+//!
+//! 1. **structure translation** — each query step's tags are looked up in
+//!    the DSI index table to obtain candidate interval lists;
+//! 2. **value translation** — each value predicate's ciphertext range is
+//!    scanned in the B-tree, yielding the set of blocks containing matching
+//!    occurrences;
+//! 3. **final joins** — structural semi-joins (forward and backward passes)
+//!    prune the candidates; surviving anchor-step matches determine the
+//!    pruned visible document and the block set shipped to the client.
+//!
+//! The server never decrypts anything; it cannot, it has no keys.
+
+use crate::encrypt::{EncryptedOutput, ServerMetadata, BLOCK_MARKER_TAG};
+use crate::error::CoreError;
+use crate::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
+use exq_crypto::SealedBlock;
+use exq_index::dsi::Interval;
+use exq_index::sjoin::{sort_intervals, IntervalUniverse};
+use exq_xml::{Document, NodeId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant;
+
+/// One step of an [`ExplainReport`].
+#[derive(Debug, Clone)]
+pub struct ExplainStep {
+    /// Server-visible tag keys probed in the DSI table.
+    pub tags: Vec<String>,
+    /// Interval candidates the table returned.
+    pub candidates: usize,
+    /// Candidates surviving axis + predicate filtering and the backward pass.
+    pub survivors: usize,
+    /// Number of predicates evaluated at this step.
+    pub predicates: usize,
+}
+
+/// Server-side execution explanation (candidate pruning per step).
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    pub steps: Vec<ExplainStep>,
+    /// The anchor step index whose matches determine the response.
+    pub anchor: usize,
+    /// Matches at the anchor step.
+    pub anchors: usize,
+}
+
+/// The hosting server.
+#[derive(Debug, Clone)]
+pub struct Server {
+    visible: Document,
+    interval_to_visible: HashMap<Interval, NodeId>,
+    metadata: ServerMetadata,
+    universe: IntervalUniverse,
+    blocks: Vec<SealedBlock>,
+    /// Blocks tombstoned by deletions (update support).
+    dead_blocks: HashSet<u32>,
+}
+
+impl Server {
+    /// Builds the server from the owner's encrypted output.
+    pub fn new(out: &EncryptedOutput) -> Server {
+        let universe = IntervalUniverse::new(out.metadata.dsi_table.all_intervals());
+        let mut interval_to_visible = HashMap::new();
+        for n in out.visible.iter() {
+            if let Some(Some(iv)) = out.visible_intervals.get(n.index()) {
+                interval_to_visible.insert(*iv, n);
+            }
+        }
+        Server {
+            visible: out.visible.clone(),
+            interval_to_visible,
+            metadata: out.metadata.clone(),
+            universe,
+            blocks: out.blocks.clone(),
+            dead_blocks: HashSet::new(),
+        }
+    }
+
+    /// True when a block id refers to live data.
+    fn block_live(&self, id: u32) -> bool {
+        !self.dead_blocks.contains(&id) && (id as usize) < self.blocks.len()
+    }
+
+    /// Total bytes the server hosts (visible doc + blocks) — what the naive
+    /// method ships for every query.
+    pub fn hosted_bytes(&self) -> usize {
+        self.visible.serialized_size()
+            + self
+                .blocks
+                .iter()
+                .map(SealedBlock::stored_size)
+                .sum::<usize>()
+    }
+
+    /// Number of sealed blocks hosted.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Fetches one sealed block by id (used by the MIN/MAX aggregate path,
+    /// which ships a single block instead of a query response).
+    pub fn fetch_block(&self, id: u32) -> Option<exq_crypto::SealedBlock> {
+        if !self.block_live(id) {
+            return None;
+        }
+        self.blocks.get(id as usize).cloned()
+    }
+
+    /// Read-only access to the hosted metadata (used by the security
+    /// analysis, which models an attacker *on* the server).
+    pub fn metadata(&self) -> &ServerMetadata {
+        &self.metadata
+    }
+
+    // --- update-support plumbing (see `crate::update`) -------------------
+
+    pub(crate) fn visible_node_of(&self, iv: &Interval) -> Option<NodeId> {
+        self.interval_to_visible
+            .get(iv)
+            .copied()
+            .filter(|&n| self.visible.is_live(n))
+    }
+
+    pub(crate) fn visible_element_name(&self, n: NodeId) -> Option<&str> {
+        self.visible.element_name(n)
+    }
+
+    /// Every server-known interval strictly inside `parent` (table entries
+    /// plus visible-node intervals, including text).
+    pub(crate) fn known_intervals_within(&self, parent: &Interval) -> Vec<Interval> {
+        let mut out: Vec<Interval> = self
+            .metadata
+            .dsi_table
+            .all_intervals()
+            .into_iter()
+            .filter(|iv| parent.contains(iv))
+            .collect();
+        out.extend(
+            self.interval_to_visible
+                .keys()
+                .filter(|iv| parent.contains(iv))
+                .copied(),
+        );
+        out
+    }
+
+    pub(crate) fn push_block(&mut self, block: SealedBlock) {
+        self.blocks.push(block);
+    }
+
+    pub(crate) fn apply_metadata_delta(
+        &mut self,
+        dsi_entries: &[(String, Interval)],
+        block_entries: &[(Interval, u32)],
+        value_entries: &[(String, u128, u32)],
+    ) {
+        for (tag, iv) in dsi_entries {
+            self.metadata.dsi_table.add(tag, *iv);
+        }
+        self.metadata.dsi_table.seal();
+        for &(iv, id) in block_entries {
+            self.metadata.block_table.add(iv, id);
+        }
+        self.metadata.block_table.seal();
+        for (attr, cipher, id) in value_entries {
+            self.metadata
+                .value_indexes
+                .entry(attr.clone())
+                .or_default()
+                .insert(*cipher, *id);
+        }
+        self.rebuild_universe();
+    }
+
+    pub(crate) fn rebuild_universe(&mut self) {
+        self.universe = IntervalUniverse::new(self.metadata.dsi_table.all_intervals());
+    }
+
+    /// Splices an `_exq_iv`-annotated fragment under a visible parent,
+    /// registering the new intervals.
+    pub(crate) fn splice_annotated(
+        &mut self,
+        frag: &Document,
+        node: NodeId,
+        vis_parent: NodeId,
+    ) -> Result<(), CoreError> {
+        use crate::update::IV_ATTR;
+        let parse_iv = |v: &str| -> Result<Interval, CoreError> {
+            let (lo, hi) = v
+                .split_once(',')
+                .ok_or_else(|| CoreError::Response("bad interval annotation".into()))?;
+            let lo = lo
+                .parse()
+                .map_err(|_| CoreError::Response("bad interval lo".into()))?;
+            let hi = hi
+                .parse()
+                .map_err(|_| CoreError::Response("bad interval hi".into()))?;
+            Ok(Interval::new(lo, hi))
+        };
+        match frag.node(node).kind() {
+            exq_xml::NodeKind::Element(t) => {
+                let name = frag.tag_name(*t).to_owned();
+                let el = self.visible.add_element(Some(vis_parent), &name);
+                // First pass: collect annotations and real attributes.
+                let mut own_iv = None;
+                let mut attr_ivs: Vec<(String, Interval)> = Vec::new();
+                let mut real_attrs: Vec<(String, String)> = Vec::new();
+                for &a in frag.node(node).attrs() {
+                    if let exq_xml::NodeKind::Attribute(at, v) = frag.node(a).kind() {
+                        let an = frag.tag_name(*at);
+                        if an == IV_ATTR {
+                            own_iv = Some(parse_iv(v)?);
+                        } else if let Some(real) = an.strip_prefix(&format!("{IV_ATTR}_")) {
+                            attr_ivs.push((real.to_owned(), parse_iv(v)?));
+                        } else {
+                            real_attrs.push((an.to_owned(), v.clone()));
+                        }
+                    }
+                }
+                let own_iv = own_iv
+                    .ok_or_else(|| CoreError::Response("unannotated fragment node".into()))?;
+                self.interval_to_visible.insert(own_iv, el);
+                for (an, v) in &real_attrs {
+                    let attr = self.visible.add_attr(el, an, v);
+                    if let Some((_, aiv)) = attr_ivs.iter().find(|(n, _)| n == an) {
+                        self.interval_to_visible.insert(*aiv, attr);
+                    }
+                }
+                for &c in frag.node(node).children() {
+                    self.splice_annotated(frag, c, el)?;
+                }
+                Ok(())
+            }
+            exq_xml::NodeKind::Text(v) => {
+                self.visible.add_text(vis_parent, v);
+                Ok(())
+            }
+            exq_xml::NodeKind::Attribute(..) => Ok(()),
+        }
+    }
+
+    // --- persistence plumbing (see `crate::persist`) ----------------------
+
+    /// `(pre-order position among elements+attributes, interval)` pairs for
+    /// the visible document — the persistence keying of the interval map.
+    pub(crate) fn interval_positions(&self) -> Vec<(usize, Interval)> {
+        let node_to_iv: HashMap<NodeId, Interval> = self
+            .interval_to_visible
+            .iter()
+            .map(|(&iv, &n)| (n, iv))
+            .collect();
+        self.visible
+            .iter()
+            .filter(|&n| !self.visible.node(n).is_text())
+            .enumerate()
+            .filter_map(|(pos, n)| node_to_iv.get(&n).map(|&iv| (pos, iv)))
+            .collect()
+    }
+
+    pub(crate) fn all_blocks(&self) -> &[SealedBlock] {
+        &self.blocks
+    }
+
+    pub(crate) fn dead_block_ids(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.dead_blocks.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Reassembles a server from persisted parts.
+    pub(crate) fn from_parts(
+        visible: Document,
+        pos_intervals: HashMap<usize, Interval>,
+        metadata: ServerMetadata,
+        blocks: Vec<SealedBlock>,
+        dead_blocks: HashSet<u32>,
+    ) -> Server {
+        let mut interval_to_visible = HashMap::with_capacity(pos_intervals.len());
+        for (pos, n) in visible
+            .iter()
+            .filter(|&n| !visible.node(n).is_text())
+            .enumerate()
+        {
+            if let Some(&iv) = pos_intervals.get(&pos) {
+                interval_to_visible.insert(iv, n);
+            }
+        }
+        let universe = IntervalUniverse::new(metadata.dsi_table.all_intervals());
+        Server {
+            visible,
+            interval_to_visible,
+            metadata,
+            universe,
+            blocks,
+            dead_blocks,
+        }
+    }
+
+    /// Removes a victim interval's visible subtree and metadata; `false`
+    /// when the victim lives strictly inside a block (cannot be removed).
+    pub(crate) fn remove_visible_subtree(&mut self, victim: &Interval) -> bool {
+        let Some(vis) = self.visible_node_of(victim) else {
+            return false;
+        };
+        self.visible.detach(vis);
+        self.interval_to_visible.retain(|iv, _| !victim.covers(iv));
+        self.metadata.dsi_table.remove_within(*victim);
+        for id in self.metadata.block_table.remove_within(*victim) {
+            self.dead_blocks.insert(id);
+        }
+        true
+    }
+
+    /// The visible document as the attacker sees it.
+    pub fn visible_xml(&self) -> String {
+        self.visible.to_xml()
+    }
+
+    /// The naive method of §7.3: ship the entire hosted database.
+    pub fn answer_naive(&self) -> ServerResponse {
+        let start = Instant::now();
+        ServerResponse {
+            pruned_xml: self.visible.to_xml(),
+            blocks: self
+                .blocks
+                .iter()
+                .filter(|b| self.block_live(b.id))
+                .cloned()
+                .collect(),
+            translate_time: std::time::Duration::ZERO,
+            process_time: start.elapsed(),
+        }
+    }
+
+    /// Answers a translated query.
+    pub fn answer(&self, q: &ServerQuery) -> ServerResponse {
+        if q.steps.is_empty() {
+            // Degenerate query (`.`): equivalent to the naive method.
+            return self.answer_naive();
+        }
+        // Step 1: structure translation — candidate intervals per step.
+        let t0 = Instant::now();
+        let step_candidates: Vec<Vec<Interval>> =
+            q.steps.iter().map(|s| self.candidates(s)).collect();
+        let translate_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let survivors = self.match_survivors(q, &step_candidates);
+        let n = q.steps.len();
+        // Step 3: response assembly. Ship every anchor match's region plus
+        // one witness region per predicate at steps above the anchor, so
+        // the client can re-verify the full query exactly.
+        let anchor_idx = q.anchor.min(n.saturating_sub(1));
+        let mut targets: Vec<Interval> = survivors[anchor_idx].clone();
+        for (i, step) in q.steps.iter().enumerate().take(anchor_idx) {
+            if step.preds.is_empty() {
+                continue;
+            }
+            for c in &survivors[i] {
+                for pred in &step.preds {
+                    if let Some(w) = self.pred_witness(c, pred) {
+                        targets.push(w);
+                    }
+                }
+            }
+        }
+        let (pruned_xml, blocks) = self.assemble(&targets);
+        ServerResponse {
+            pruned_xml,
+            blocks,
+            translate_time,
+            process_time: t1.elapsed(),
+        }
+    }
+
+    /// One witness interval demonstrating that `pred` holds at `ctx`
+    /// (shipped so the client can re-check the predicate exactly).
+    fn pred_witness(&self, ctx: &Interval, pred: &SPred) -> Option<Interval> {
+        match pred {
+            SPred::Exists(steps) => self.eval_relative(*ctx, steps).into_iter().next(),
+            SPred::Value { path, range, plain } => {
+                let targets = if path.is_empty() {
+                    vec![*ctx]
+                } else {
+                    self.eval_relative(*ctx, path)
+                };
+                let matching_blocks: Option<HashSet<u32>> = range.as_ref().map(|(attr, r)| {
+                    self.metadata
+                        .value_indexes
+                        .get(attr)
+                        .map(|t| {
+                            t.range(r.lo, r.hi)
+                                .into_iter()
+                                .filter(|&b| self.block_live(b))
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                });
+                targets.into_iter().find(|t| {
+                    let plain_ok = plain.as_ref().is_some_and(|(op, lit)| {
+                        self.interval_to_visible.get(t).is_some_and(|&n| {
+                            op.holds(lit.compare_with(&self.visible.text_value(n)))
+                        })
+                    });
+                    let enc_ok = matching_blocks.as_ref().is_some_and(|set| {
+                        self.metadata
+                            .block_table
+                            .covering_block(t)
+                            .is_some_and(|b| set.contains(&b))
+                    });
+                    plain_ok || enc_ok
+                })
+            }
+        }
+    }
+
+    /// Explains how a translated query would execute: per-step candidate
+    /// counts from the DSI table, survivors after the forward pass
+    /// (axis + predicate filtering), and survivors after the backward pass —
+    /// the server-side equivalent of a database EXPLAIN.
+    pub fn explain(&self, q: &ServerQuery) -> ExplainReport {
+        let step_candidates: Vec<Vec<Interval>> =
+            q.steps.iter().map(|s| self.candidates(s)).collect();
+        let survivors = if q.steps.is_empty() {
+            Vec::new()
+        } else {
+            self.match_survivors(q, &step_candidates)
+        };
+        let steps = q
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, step)| ExplainStep {
+                tags: step.tags.clone(),
+                candidates: step_candidates.get(i).map_or(0, Vec::len),
+                survivors: survivors.get(i).map_or(0, Vec::len),
+                predicates: step.preds.len(),
+            })
+            .collect();
+        let anchor = q.anchor.min(q.steps.len().saturating_sub(1));
+        let anchors = survivors.get(anchor).map_or(0, Vec::len);
+        ExplainReport {
+            steps,
+            anchor,
+            anchors,
+        }
+    }
+
+    /// Matches a query's intervals at the final step (used by updates to
+    /// locate parents/victims without assembling a response).
+    pub fn locate(&self, q: &ServerQuery) -> Vec<Interval> {
+        if q.steps.is_empty() {
+            return Vec::new();
+        }
+        let step_candidates: Vec<Vec<Interval>> =
+            q.steps.iter().map(|s| self.candidates(s)).collect();
+        let survivors = self.match_survivors(q, &step_candidates);
+        survivors.last().cloned().unwrap_or_default()
+    }
+
+    /// Forward + backward structural passes; returns per-step survivors.
+    fn match_survivors(
+        &self,
+        q: &ServerQuery,
+        step_candidates: &[Vec<Interval>],
+    ) -> Vec<Vec<Interval>> {
+        // Step 2 is lazy: value ranges resolve on first use inside
+        // `pred_holds` via the per-query cache.
+        let mut value_cache: HashMap<usize, HashSet<u32>> = HashMap::new();
+
+        // Forward pass with predicate filtering.
+        let mut survivors: Vec<Vec<Interval>> = Vec::with_capacity(q.steps.len());
+        for (i, step) in q.steps.iter().enumerate() {
+            let ctx: Option<&[Interval]> = if i == 0 {
+                None
+            } else {
+                Some(&survivors[i - 1])
+            };
+            let mut cands = self.apply_axis(ctx, step.axis, &step_candidates[i]);
+            cands.retain(|c| {
+                step.preds
+                    .iter()
+                    .enumerate()
+                    .all(|(pi, p)| self.pred_holds(c, p, (i, pi), &mut value_cache))
+            });
+            let empty = cands.is_empty();
+            survivors.push(cands);
+            if empty {
+                break;
+            }
+        }
+        while survivors.len() < q.steps.len() {
+            survivors.push(Vec::new());
+        }
+
+        // Backward pass: keep only intervals leading to a full match.
+        let n = q.steps.len();
+        for i in (0..n.saturating_sub(1)).rev() {
+            let next_axis = q.steps[i + 1].axis;
+            let next: Vec<Interval> = survivors[i + 1].clone();
+            match next_axis {
+                SAxis::Descendant => {
+                    let keep = exq_index::sjoin::semijoin_anc(&survivors[i], &next);
+                    survivors[i] = keep.into_iter().map(|k| survivors[i][k]).collect();
+                }
+                SAxis::DescendantOrSelf => {
+                    let keep: HashSet<usize> = exq_index::sjoin::semijoin_anc(&survivors[i], &next)
+                        .into_iter()
+                        .collect();
+                    let next_set: HashSet<Interval> = next.iter().copied().collect();
+                    survivors[i] = survivors[i]
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, c)| keep.contains(k) || next_set.contains(*c))
+                        .map(|(_, c)| *c)
+                        .collect();
+                }
+                SAxis::Child | SAxis::Attribute => {
+                    let parents: HashSet<Interval> = next
+                        .iter()
+                        .filter_map(|d| self.universe.tightest_container(d))
+                        .collect();
+                    survivors[i].retain(|c| parents.contains(c));
+                }
+            }
+        }
+
+        survivors
+    }
+
+    /// DSI-table lookups for one step.
+    fn candidates(&self, step: &SStep) -> Vec<Interval> {
+        let mut out: Vec<Interval> = if step.tags.is_empty() {
+            self.metadata.dsi_table.all_intervals()
+        } else {
+            step.tags
+                .iter()
+                .flat_map(|t| self.metadata.dsi_table.lookup(t).iter().copied())
+                .collect()
+        };
+        sort_intervals(&mut out);
+        out.dedup();
+        out
+    }
+
+    /// Applies an axis between a context set (`None` = the virtual document
+    /// node) and candidates. Inputs and output are sorted interval lists.
+    fn apply_axis(
+        &self,
+        ctx: Option<&[Interval]>,
+        axis: SAxis,
+        cands: &[Interval],
+    ) -> Vec<Interval> {
+        match ctx {
+            None => match axis {
+                // From the document node, descendant(-or-self) reaches
+                // everything.
+                SAxis::Descendant | SAxis::DescendantOrSelf => cands.to_vec(),
+                // Child of the document node = top-level intervals.
+                SAxis::Child | SAxis::Attribute => cands
+                    .iter()
+                    .copied()
+                    .filter(|c| self.universe.tightest_container(c).is_none())
+                    .collect(),
+            },
+            Some(ctx) => match axis {
+                SAxis::Descendant => {
+                    let idx = exq_index::sjoin::semijoin_desc(ctx, cands);
+                    idx.into_iter().map(|i| cands[i]).collect()
+                }
+                SAxis::DescendantOrSelf => {
+                    let ctx_set: HashSet<Interval> = ctx.iter().copied().collect();
+                    let mut out: Vec<Interval> = exq_index::sjoin::semijoin_desc(ctx, cands)
+                        .into_iter()
+                        .map(|i| cands[i])
+                        .collect();
+                    out.extend(cands.iter().copied().filter(|c| ctx_set.contains(c)));
+                    exq_index::sjoin::sort_intervals(&mut out);
+                    out.dedup();
+                    out
+                }
+                SAxis::Child | SAxis::Attribute => {
+                    let ctx_set: HashSet<Interval> = ctx.iter().copied().collect();
+                    cands
+                        .iter()
+                        .copied()
+                        .filter(|c| {
+                            self.universe
+                                .tightest_container(c)
+                                .is_some_and(|t| ctx_set.contains(&t))
+                        })
+                        .collect()
+                }
+            },
+        }
+    }
+
+    /// Evaluates a relative pattern from a single context interval.
+    fn eval_relative(&self, ctx: Interval, steps: &[SStep]) -> Vec<Interval> {
+        let mut cur = vec![ctx];
+        let mut cache = HashMap::new();
+        for (i, step) in steps.iter().enumerate() {
+            let cands = self.candidates(step);
+            let mut next = self.apply_axis(Some(&cur), step.axis, &cands);
+            next.retain(|c| {
+                step.preds
+                    .iter()
+                    .enumerate()
+                    .all(|(pi, p)| self.pred_holds(c, p, (usize::MAX - i, pi), &mut cache))
+            });
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        cur
+    }
+
+    fn pred_holds(
+        &self,
+        ctx: &Interval,
+        pred: &SPred,
+        key: (usize, usize),
+        value_cache: &mut HashMap<usize, HashSet<u32>>,
+    ) -> bool {
+        match pred {
+            SPred::Exists(steps) => !self.eval_relative(*ctx, steps).is_empty(),
+            SPred::Value { path, range, plain } => {
+                let targets = if path.is_empty() {
+                    vec![*ctx]
+                } else {
+                    self.eval_relative(*ctx, path)
+                };
+                if targets.is_empty() {
+                    return false;
+                }
+                // Resolve the ciphertext range to a block set once per query.
+                let cache_key = key.0.wrapping_mul(1009).wrapping_add(key.1);
+                let matching_blocks: Option<&HashSet<u32>> = match range {
+                    None => None,
+                    Some((attr, r)) => Some(value_cache.entry(cache_key).or_insert_with(|| {
+                        self.metadata
+                            .value_indexes
+                            .get(attr)
+                            .map(|t| {
+                                t.range(r.lo, r.hi)
+                                    .into_iter()
+                                    .filter(|&b| self.block_live(b))
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    })),
+                };
+                targets.iter().any(|t| {
+                    let plain_ok = plain.as_ref().is_some_and(|(op, lit)| {
+                        self.interval_to_visible.get(t).is_some_and(|&n| {
+                            op.holds(lit.compare_with(&self.visible.text_value(n)))
+                        })
+                    });
+                    let enc_ok = matching_blocks.is_some_and(|set| {
+                        self.metadata
+                            .block_table
+                            .covering_block(t)
+                            .is_some_and(|b| set.contains(&b))
+                    });
+                    plain_ok || enc_ok
+                })
+            }
+        }
+    }
+
+    /// Builds the pruned visible document + block set for the anchor set.
+    fn assemble(&self, anchors: &[Interval]) -> (String, Vec<SealedBlock>) {
+        if anchors.is_empty() {
+            return (String::new(), Vec::new());
+        }
+        let mut include: HashSet<NodeId> = HashSet::new();
+        let mut block_ids: BTreeSet<u32> = BTreeSet::new();
+
+        for a in anchors {
+            if let Some(&v) = self.interval_to_visible.get(a) {
+                // Visible anchor: chain + full subtree + blocks under it.
+                for anc in self.visible.ancestors(v) {
+                    include.insert(anc);
+                }
+                for d in self.visible.descendants(v) {
+                    include.insert(d);
+                    if self.visible.element_name(d) == Some(BLOCK_MARKER_TAG) {
+                        if let Some(b) = self.marker_block_id(d) {
+                            block_ids.insert(b);
+                        }
+                    }
+                }
+            } else if let Some(b) = self.metadata.block_table.covering_block(a) {
+                // Anchor inside a block: chain to the marker + the block.
+                block_ids.insert(b);
+                if let Some(rep) = self.metadata.block_table.representative(b) {
+                    if let Some(&marker) = self.interval_to_visible.get(&rep) {
+                        for d in self.visible.descendants(marker) {
+                            include.insert(d);
+                        }
+                        for anc in self.visible.ancestors(marker) {
+                            include.insert(anc);
+                        }
+                    }
+                }
+            }
+        }
+
+        let pruned = self.clone_filtered(&include);
+        let blocks = block_ids
+            .into_iter()
+            .filter(|&b| self.block_live(b))
+            .filter_map(|b| self.blocks.get(b as usize).cloned())
+            .collect();
+        (pruned.to_xml(), blocks)
+    }
+
+    fn marker_block_id(&self, marker: NodeId) -> Option<u32> {
+        self.visible
+            .node(marker)
+            .attrs()
+            .iter()
+            .find_map(|&a| match self.visible.node(a).kind() {
+                exq_xml::NodeKind::Attribute(name, v)
+                    if self.visible.tag_name(*name) == crate::encrypt::BLOCK_ID_ATTR =>
+                {
+                    v.parse().ok()
+                }
+                _ => None,
+            })
+    }
+
+    /// Clones the subset of the visible document induced by `include`.
+    /// The include set is ancestor-closed by construction (chains are always
+    /// added with their targets), so membership alone decides emission.
+    fn clone_filtered(&self, include: &HashSet<NodeId>) -> Document {
+        let mut out = Document::new();
+        if let Some(root) = self.visible.root() {
+            if include.contains(&root) {
+                self.clone_filtered_rec(root, None, include, &mut out);
+            }
+        }
+        out
+    }
+
+    fn clone_filtered_rec(
+        &self,
+        n: NodeId,
+        parent: Option<NodeId>,
+        include: &HashSet<NodeId>,
+        out: &mut Document,
+    ) {
+        use exq_xml::NodeKind;
+        match self.visible.node(n).kind() {
+            NodeKind::Element(t) => {
+                let name = self.visible.tag_name(*t).to_owned();
+                let el = out.add_element(parent, &name);
+                for &a in self.visible.node(n).attrs() {
+                    // Attributes ride along with any included element.
+                    if include.contains(&n) || include.contains(&a) {
+                        if let NodeKind::Attribute(at, v) = self.visible.node(a).kind() {
+                            let an = self.visible.tag_name(*at).to_owned();
+                            out.add_attr(el, &an, v);
+                        }
+                    }
+                }
+                for &c in self.visible.node(n).children() {
+                    if include.contains(&c) {
+                        self.clone_filtered_rec(c, Some(el), include, out);
+                    }
+                }
+            }
+            NodeKind::Text(v) => {
+                if let Some(p) = parent {
+                    out.add_text(p, v);
+                }
+            }
+            NodeKind::Attribute(..) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::SecurityConstraint;
+    use crate::scheme::{EncryptionScheme, SchemeKind};
+    use crate::wire::{SAxis, SStep};
+    use exq_crypto::KeyChain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn server(kind: SchemeKind) -> (Server, crate::encrypt::ClientCryptoState) {
+        let doc = Document::parse(
+            r#"<hospital><patient><pname>Betty</pname><SSN>763895</SSN></patient>
+               <patient><pname>Matt</pname><SSN>276543</SSN></patient></hospital>"#,
+        )
+        .unwrap();
+        let cs = vec![SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap()];
+        let scheme = EncryptionScheme::build(&doc, &cs, kind).unwrap();
+        let keys = KeyChain::from_seed(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = crate::encrypt::encrypt_database(&doc, &scheme, &keys, &mut rng).unwrap();
+        (Server::new(&out), out.client_state)
+    }
+
+    fn step(axis: SAxis, tag: &str) -> SStep {
+        SStep {
+            axis,
+            tags: vec![tag.to_owned()],
+            preds: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn locate_finds_plain_tags() {
+        let (s, _) = server(SchemeKind::Opt);
+        let q = ServerQuery {
+            steps: vec![step(SAxis::Descendant, "patient")],
+            anchor: 0,
+        };
+        assert_eq!(s.locate(&q).len(), 2);
+        // Unknown tag matches nothing.
+        let q = ServerQuery {
+            steps: vec![step(SAxis::Descendant, "ghost")],
+            anchor: 0,
+        };
+        assert!(s.locate(&q).is_empty());
+    }
+
+    #[test]
+    fn locate_child_chain() {
+        let (s, _) = server(SchemeKind::Opt);
+        let q = ServerQuery {
+            steps: vec![
+                step(SAxis::Child, "hospital"),
+                step(SAxis::Child, "patient"),
+            ],
+            anchor: 1,
+        };
+        assert_eq!(s.locate(&q).len(), 2);
+        // Wrong root tag kills the chain.
+        let q = ServerQuery {
+            steps: vec![step(SAxis::Child, "clinic"), step(SAxis::Child, "patient")],
+            anchor: 1,
+        };
+        assert!(s.locate(&q).is_empty());
+    }
+
+    #[test]
+    fn wildcard_step_uses_all_intervals() {
+        let (s, _) = server(SchemeKind::Opt);
+        let q = ServerQuery {
+            steps: vec![SStep {
+                axis: SAxis::Descendant,
+                tags: Vec::new(),
+                preds: Vec::new(),
+            }],
+            anchor: 0,
+        };
+        // Every table interval (plain + encrypted tags) is a candidate.
+        assert_eq!(
+            s.locate(&q).len(),
+            s.metadata().dsi_table.all_intervals().len()
+        );
+    }
+
+    #[test]
+    fn insertion_slot_requires_visible_parent() {
+        let (s, state) = server(SchemeKind::Opt);
+        // A visible patient works.
+        let q = ServerQuery {
+            steps: vec![step(SAxis::Descendant, "patient")],
+            anchor: 0,
+        };
+        let parent = s.locate(&q)[0];
+        let slot = s.insertion_slot(parent).unwrap();
+        assert!(slot.gap_lo < slot.gap_hi);
+        assert_eq!(slot.next_block_id as usize, s.block_count());
+        // An interval inside a block has no visible node.
+        let cipher = state.keys.tag_cipher();
+        let enc_tag = cipher.encrypt("pname");
+        let hidden = s.metadata().dsi_table.lookup(&enc_tag)[0];
+        assert!(s.insertion_slot(hidden).is_err());
+    }
+
+    #[test]
+    fn answer_naive_ships_everything() {
+        let (s, _) = server(SchemeKind::Opt);
+        let resp = s.answer_naive();
+        assert_eq!(resp.blocks.len(), s.block_count());
+        assert_eq!(resp.pruned_xml, s.visible_xml());
+    }
+
+    #[test]
+    fn empty_query_degenerates_to_naive() {
+        let (s, _) = server(SchemeKind::Opt);
+        let resp = s.answer(&ServerQuery {
+            steps: Vec::new(),
+            anchor: 0,
+        });
+        assert_eq!(resp.blocks.len(), s.block_count());
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::tests_support::*;
+    use super::*;
+    use crate::wire::SAxis;
+
+    #[test]
+    fn explain_reports_pruning() {
+        let (s, _) = build_server(crate::scheme::SchemeKind::Opt);
+        let q = ServerQuery {
+            steps: vec![
+                mk_step(SAxis::Child, "hospital"),
+                mk_step(SAxis::Child, "patient"),
+            ],
+            anchor: 1,
+        };
+        let r = s.explain(&q);
+        assert_eq!(r.steps.len(), 2);
+        assert_eq!(r.anchor, 1);
+        assert_eq!(r.anchors, 2);
+        assert!(r.steps[0].candidates >= r.steps[0].survivors);
+    }
+
+    #[test]
+    fn explain_empty_query() {
+        let (s, _) = build_server(crate::scheme::SchemeKind::Opt);
+        let r = s.explain(&ServerQuery {
+            steps: Vec::new(),
+            anchor: 0,
+        });
+        assert!(r.steps.is_empty());
+        assert_eq!(r.anchors, 0);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use crate::constraints::SecurityConstraint;
+    use crate::scheme::{EncryptionScheme, SchemeKind};
+    use crate::wire::SAxis;
+    use exq_crypto::KeyChain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn build_server(kind: SchemeKind) -> (Server, crate::encrypt::ClientCryptoState) {
+        let doc = Document::parse(
+            r#"<hospital><patient><pname>Betty</pname><SSN>763895</SSN></patient>
+               <patient><pname>Matt</pname><SSN>276543</SSN></patient></hospital>"#,
+        )
+        .unwrap();
+        let cs = vec![SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap()];
+        let scheme = EncryptionScheme::build(&doc, &cs, kind).unwrap();
+        let keys = KeyChain::from_seed(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = crate::encrypt::encrypt_database(&doc, &scheme, &keys, &mut rng).unwrap();
+        (Server::new(&out), out.client_state)
+    }
+
+    pub(crate) fn mk_step(axis: SAxis, tag: &str) -> crate::wire::SStep {
+        crate::wire::SStep {
+            axis,
+            tags: vec![tag.to_owned()],
+            preds: Vec::new(),
+        }
+    }
+}

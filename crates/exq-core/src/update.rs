@@ -1,0 +1,507 @@
+//! Incremental updates — the paper's future-work item #3.
+//!
+//! The integer DSI labeling makes this possible without global relabeling:
+//! gaps are wide (see `exq_index::dsi::UPDATE_STRIDE`), so a new record's
+//! intervals can be nested into the slack between a parent's last child and
+//! the parent's upper bound. The protocol:
+//!
+//! * **insert** — the client locates the parent (a translated query), asks
+//!   the server for an [`InsertionSlot`] (the free label range plus the next
+//!   block id), applies the *stored encryption policy* (the scheme's chosen
+//!   paths) to the new record, labels it inside the slot, seals its blocks,
+//!   and sends an [`InsertDelta`]: an annotated visible fragment plus the
+//!   DSI/block/value-index entries. The server splices everything in.
+//! * **delete** — the client sends a translated query; the server detaches
+//!   matching visible subtrees, drops their metadata entries, and tombstones
+//!   their blocks. Victims strictly inside a block cannot be removed
+//!   server-side (the server cannot rewrite ciphertext) and are reported as
+//!   skipped.
+//!
+//! Security caveats (this goes beyond what the paper analyzes): repeated
+//! inserts of the same value let the attacker watch the OPESS histogram
+//! evolve, and inserted blocks are visibly newer than the original ones.
+//! The per-update leakage is bounded by the same counting arguments, but
+//! the formal guarantees of §4–6 are only proved for the static database.
+
+use crate::client::Client;
+use crate::encrypt::{OpessAttr, ValueCodec, BLOCK_ID_ATTR, BLOCK_MARKER_TAG, DECOY_TAG};
+use crate::error::CoreError;
+use crate::server::Server;
+use exq_crypto::{seal_block, OpessPlan, SealedBlock};
+use exq_index::dsi::{DsiLabeling, Interval};
+use exq_xml::{Document, NodeId, NodeKind};
+use exq_xpath::eval_document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Reserved attribute prefix carrying interval annotations in the visible
+/// fragment of an [`InsertDelta`].
+pub const IV_ATTR: &str = "_exq_iv";
+
+/// What the server offers the client for an insertion under a parent.
+#[derive(Debug, Clone, Copy)]
+pub struct InsertionSlot {
+    pub parent: Interval,
+    /// Open label range `(gap_lo, gap_hi)` available for the new subtree.
+    pub gap_lo: u64,
+    pub gap_hi: u64,
+    /// Block ids the client may assign to new blocks, starting here.
+    pub next_block_id: u32,
+}
+
+/// The client-prepared insertion payload.
+#[derive(Debug, Clone)]
+pub struct InsertDelta {
+    pub parent: Interval,
+    /// Visible fragment with `_exq_iv` interval annotations and block
+    /// markers.
+    pub visible_fragment: String,
+    pub blocks: Vec<SealedBlock>,
+    /// `(table key, interval)` additions for the DSI index table.
+    pub dsi_entries: Vec<(String, Interval)>,
+    /// `(representative interval, block id)` additions.
+    pub block_entries: Vec<(Interval, u32)>,
+    /// `(encrypted attribute, ciphertext, block id)` additions.
+    pub value_entries: Vec<(String, u128, u32)>,
+}
+
+impl InsertDelta {
+    /// Approximate wire size (transmission accounting).
+    pub fn wire_size(&self) -> usize {
+        self.visible_fragment.len()
+            + self
+                .blocks
+                .iter()
+                .map(SealedBlock::stored_size)
+                .sum::<usize>()
+            + self
+                .dsi_entries
+                .iter()
+                .map(|(t, _)| t.len() + 16)
+                .sum::<usize>()
+            + self.block_entries.len() * 20
+            + self
+                .value_entries
+                .iter()
+                .map(|(a, _, _)| a.len() + 20)
+                .sum::<usize>()
+    }
+}
+
+/// Result of a delete request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeleteOutcome {
+    /// Matching subtrees removed.
+    pub deleted: usize,
+    /// Matches that could not be removed because they live strictly inside
+    /// an encryption block.
+    pub skipped_in_block: usize,
+}
+
+impl Server {
+    /// Offers an insertion slot under the given (visible) parent interval.
+    pub fn insertion_slot(&self, parent: Interval) -> Result<InsertionSlot, CoreError> {
+        let vis = self
+            .visible_node_of(&parent)
+            .ok_or_else(|| CoreError::Query("insertion parent is not a visible node".into()))?;
+        if self.visible_element_name(vis).is_none()
+            || self.visible_element_name(vis) == Some(BLOCK_MARKER_TAG)
+        {
+            return Err(CoreError::Query(
+                "insertion parent must be a visible element".into(),
+            ));
+        }
+        let mut gap_lo = parent.lo;
+        for iv in self.known_intervals_within(&parent) {
+            gap_lo = gap_lo.max(iv.hi);
+        }
+        Ok(InsertionSlot {
+            parent,
+            gap_lo,
+            gap_hi: parent.hi,
+            next_block_id: self.block_count() as u32,
+        })
+    }
+
+    /// Applies a client-prepared insertion.
+    pub fn apply_insert(&mut self, delta: &InsertDelta) -> Result<(), CoreError> {
+        let vis_parent = self
+            .visible_node_of(&delta.parent)
+            .ok_or_else(|| CoreError::Query("insertion parent vanished".into()))?;
+        let frag = Document::parse(&delta.visible_fragment)
+            .map_err(|e| CoreError::Response(format!("bad fragment: {e}")))?;
+        let froot = frag
+            .root()
+            .ok_or_else(|| CoreError::Response("empty fragment".into()))?;
+        for b in &delta.blocks {
+            if b.id as usize != self.block_count() {
+                return Err(CoreError::Response("block id collision".into()));
+            }
+            self.push_block(b.clone());
+        }
+        self.splice_annotated(&frag, froot, vis_parent)?;
+        self.apply_metadata_delta(
+            &delta.dsi_entries,
+            &delta.block_entries,
+            &delta.value_entries,
+        );
+        Ok(())
+    }
+
+    /// Deletes every subtree matched by the translated query.
+    pub fn delete_where(&mut self, q: &crate::wire::ServerQuery) -> DeleteOutcome {
+        let victims = self.locate(q);
+        let mut out = DeleteOutcome {
+            deleted: 0,
+            skipped_in_block: 0,
+        };
+        for v in victims {
+            if self.remove_visible_subtree(&v) {
+                out.deleted += 1;
+            } else {
+                out.skipped_in_block += 1;
+            }
+        }
+        if out.deleted > 0 {
+            self.rebuild_universe();
+        }
+        out
+    }
+}
+
+impl Client {
+    /// Inserts `record_xml` as a new child of the first node matching
+    /// `parent_query`, applying the stored encryption policy.
+    pub fn insert(
+        &mut self,
+        server: &mut Server,
+        parent_query: &str,
+        record_xml: &str,
+        seed: u64,
+    ) -> Result<InsertDelta, CoreError> {
+        let tq = self.translate(parent_query)?;
+        let sq = tq
+            .server_query
+            .ok_or_else(|| CoreError::Query("parent query not server-evaluable".into()))?;
+        let parents = server.locate(&sq);
+        let parent = parents
+            .first()
+            .copied()
+            .ok_or_else(|| CoreError::Query("insertion parent not found".into()))?;
+        let slot = server.insertion_slot(parent)?;
+        let delta = self.prepare_insert(&slot, record_xml, seed)?;
+        server.apply_insert(&delta)?;
+        Ok(delta)
+    }
+
+    /// Prepares the insertion payload for a slot (exposed separately so
+    /// tests and tools can inspect deltas before applying them).
+    pub fn prepare_insert(
+        &mut self,
+        slot: &InsertionSlot,
+        record_xml: &str,
+        seed: u64,
+    ) -> Result<InsertDelta, CoreError> {
+        let record = Document::parse(record_xml).map_err(|e| CoreError::Query(e.to_string()))?;
+        record.root().ok_or(CoreError::EmptyDocument)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // 1. Apply the stored encryption policy to the record.
+        let targets = self.policy_targets(&record);
+
+        // 2. Decoys on leaf-element targets.
+        let mut working = record.clone();
+        let decoy_prf = self.state().keys.decoy_prf();
+        for (i, &t) in targets.iter().enumerate() {
+            let is_leaf = working
+                .node(t)
+                .children()
+                .iter()
+                .all(|&c| !working.node(c).is_element());
+            if is_leaf {
+                let d = working.add_element(Some(t), DECOY_TAG);
+                let mut buf = [0u8; 6];
+                decoy_prf.fill(&(slot.gap_lo ^ i as u64).to_le_bytes(), &mut buf);
+                let val: String = buf.iter().map(|&b| (b'a' + b % 26) as char).collect();
+                working.add_text(d, &val);
+            }
+        }
+
+        // 3. Label inside the slot.
+        let labeling = DsiLabeling::assign_in_slot(&working, &mut rng, slot.gap_lo, slot.gap_hi)
+            .ok_or_else(|| {
+                CoreError::Query("insertion slot exhausted; re-outsource to relabel".into())
+            })?;
+
+        // 4. Block membership.
+        let mut block_of: Vec<Option<u32>> =
+            vec![None; working.iter().map(|n| n.index() + 1).max().unwrap_or(0)];
+        for (i, &t) in targets.iter().enumerate() {
+            for n in working.descendants(t) {
+                block_of[n.index()] = Some(slot.next_block_id + i as u32);
+            }
+        }
+
+        // 5. Seal blocks.
+        let block_key = self.state().keys.block_key();
+        let mut blocks = Vec::with_capacity(targets.len());
+        let mut block_entries = Vec::with_capacity(targets.len());
+        for (i, &t) in targets.iter().enumerate() {
+            let id = slot.next_block_id + i as u32;
+            let xml = working.node_to_xml(t);
+            let nonce = self
+                .state()
+                .keys
+                .nonce("block-insert", slot.gap_lo ^ id as u64);
+            blocks.push(seal_block(&block_key, id, nonce, xml.as_bytes()));
+            let rep = labeling.interval(t).expect("target labeled");
+            block_entries.push((rep, id));
+        }
+
+        // 6. Visible fragment + DSI entries + vocabulary updates.
+        let cipher = self.state().keys.tag_cipher();
+        let mut visible = Document::new();
+        let mut dsi_entries = Vec::new();
+        build_insert_fragment(
+            &working,
+            working.root().unwrap(),
+            None,
+            &block_of,
+            &labeling,
+            &cipher,
+            &mut visible,
+            &mut dsi_entries,
+        );
+        // Vocabulary updates so future query translation knows the forms.
+        {
+            let state = self.state_mut();
+            for n in working.iter() {
+                let key = match working.node(n).kind() {
+                    NodeKind::Element(t) => working.tag_name(*t).to_owned(),
+                    NodeKind::Attribute(t, _) => format!("@{}", working.tag_name(*t)),
+                    NodeKind::Text(_) => continue,
+                };
+                if block_of[n.index()].is_some() {
+                    state.encrypted_tags.insert(key);
+                } else {
+                    state.plain_tags.insert(key);
+                }
+            }
+        }
+
+        // 7. Value-index entries for encrypted leaf values.
+        let mut value_entries = Vec::new();
+        for n in working.iter() {
+            let Some(b) = block_of[n.index()] else {
+                continue;
+            };
+            let (attr, value) = match working.node(n).kind() {
+                NodeKind::Text(v) => {
+                    let p = working.node(n).parent().expect("text parent");
+                    let Some(tag) = working.element_name(p) else {
+                        continue;
+                    };
+                    if tag == DECOY_TAG {
+                        continue;
+                    }
+                    (tag.to_owned(), v.clone())
+                }
+                NodeKind::Attribute(t, v) => (format!("@{}", working.tag_name(*t)), v.clone()),
+                NodeKind::Element(_) => continue,
+            };
+            let ciphers_scale = self.value_ciphers_for_insert(&attr, &value, &mut rng)?;
+            let enc_attr = cipher.encrypt(&attr);
+            for (c, scale) in ciphers_scale {
+                for _ in 0..scale {
+                    value_entries.push((enc_attr.clone(), c, b));
+                }
+            }
+        }
+
+        Ok(InsertDelta {
+            parent: slot.parent,
+            visible_fragment: visible.to_xml(),
+            blocks,
+            dsi_entries,
+            block_entries,
+            value_entries,
+        })
+    }
+
+    /// Deletes every subtree matching `query`.
+    pub fn delete(&self, server: &mut Server, query: &str) -> Result<DeleteOutcome, CoreError> {
+        let tq = self.translate(query)?;
+        let sq = tq
+            .server_query
+            .ok_or_else(|| CoreError::Query("delete query not server-evaluable".into()))?;
+        Ok(server.delete_where(&sq))
+    }
+
+    /// Encryption targets for a new record under the stored policy.
+    fn policy_targets(&self, record: &Document) -> Vec<NodeId> {
+        let mut roots: BTreeSet<NodeId> = BTreeSet::new();
+        for p in &self.state().scheme_paths {
+            for n in eval_document(record, p) {
+                let el = match record.node(n).kind() {
+                    NodeKind::Element(_) => n,
+                    _ => record.node(n).parent().expect("non-root binding"),
+                };
+                let el = if self.state().lift_to_parent {
+                    record.node(el).parent().unwrap_or(el)
+                } else {
+                    el
+                };
+                roots.insert(el);
+            }
+        }
+        // Drop nested targets.
+        roots
+            .iter()
+            .copied()
+            .filter(|&n| !record.ancestors(n).iter().any(|a| roots.contains(a)))
+            .collect()
+    }
+
+    /// Ciphertexts (with scale) for one inserted occurrence of `value`.
+    fn value_ciphers_for_insert(
+        &mut self,
+        attr: &str,
+        value: &str,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(u128, u32)>, CoreError> {
+        if !self.state().opess.contains_key(attr) {
+            // First encrypted occurrence of this attribute: fresh plan.
+            let codec = ValueCodec::build(&[value]);
+            let v = codec
+                .encode(value)
+                .ok_or_else(|| CoreError::Opess(format!("unencodable value for {attr}")))?;
+            let plan = OpessPlan::build(&[(v, 1)], self.state().keys.ope_key(attr), rng)
+                .map_err(|e| CoreError::Opess(e.to_string()))?;
+            let ciphers: Vec<(u128, u32)> = plan
+                .entries()
+                .iter()
+                .flat_map(|e| e.chunks.iter().map(move |c| (c.ciphertext, e.scale)))
+                .collect();
+            self.state_mut()
+                .opess
+                .insert(attr.to_owned(), OpessAttr { plan, codec });
+            return Ok(ciphers);
+        }
+        let opess = &self.state().opess[attr];
+        let v = opess
+            .codec
+            .encode_query(value)
+            .ok_or_else(|| CoreError::Opess(format!("unencodable value for {attr}")))?;
+        // Existing value: reuse one of its chunks; new value: a fresh band.
+        if let Some(entry) = opess.plan.entries().iter().find(|e| e.plaintext == v) {
+            let j = (rng.gen_range(0..entry.chunks.len() as u32)) as usize;
+            Ok(vec![(entry.chunks[j].ciphertext, entry.scale)])
+        } else {
+            let scale = rng.gen_range(1..=10);
+            Ok(opess
+                .plan
+                .insert_ciphertexts(v)
+                .into_iter()
+                .map(|c| (c, scale))
+                .collect())
+        }
+    }
+}
+
+/// Builds the annotated visible fragment and the DSI entry list for an
+/// inserted record (markers for blocks, `_exq_iv` annotations everywhere).
+#[allow(clippy::too_many_arguments)]
+fn build_insert_fragment(
+    working: &Document,
+    node: NodeId,
+    vis_parent: Option<NodeId>,
+    block_of: &[Option<u32>],
+    labeling: &DsiLabeling,
+    cipher: &exq_crypto::TagCipher,
+    visible: &mut Document,
+    dsi_entries: &mut Vec<(String, Interval)>,
+) {
+    let iv = labeling.interval(node).expect("labeled");
+    let iv_str = format!("{},{}", iv.lo, iv.hi);
+    if let Some(b) = block_of[node.index()] {
+        let in_block_root = working
+            .node(node)
+            .parent()
+            .map(|p| block_of[p.index()] != Some(b))
+            .unwrap_or(true);
+        if in_block_root {
+            // Marker in the visible fragment.
+            let marker = visible.add_element(vis_parent, BLOCK_MARKER_TAG);
+            visible.add_attr(marker, BLOCK_ID_ATTR, &b.to_string());
+            visible.add_attr(marker, IV_ATTR, &iv_str);
+        }
+        // DSI entries for block internals (encrypted tags, no grouping).
+        match working.node(node).kind() {
+            NodeKind::Element(t) => {
+                let name = working.tag_name(*t).to_owned();
+                dsi_entries.push((cipher.encrypt(&name), iv));
+                for &a in working.node(node).attrs() {
+                    if let NodeKind::Attribute(at, _) = working.node(a).kind() {
+                        let an = format!("@{}", working.tag_name(*at));
+                        let aiv = labeling.interval(a).expect("attr labeled");
+                        dsi_entries.push((cipher.encrypt(&an), aiv));
+                    }
+                }
+                for &c in working.node(node).children() {
+                    build_insert_fragment(
+                        working,
+                        c,
+                        None,
+                        block_of,
+                        labeling,
+                        cipher,
+                        visible,
+                        dsi_entries,
+                    );
+                }
+            }
+            _ => { /* text inside blocks carries no table entry */ }
+        }
+        return;
+    }
+    match working.node(node).kind() {
+        NodeKind::Element(t) => {
+            let name = working.tag_name(*t).to_owned();
+            let el = visible.add_element(vis_parent, &name);
+            visible.add_attr(el, IV_ATTR, &iv_str);
+            dsi_entries.push((name, iv));
+            for &a in working.node(node).attrs() {
+                if let NodeKind::Attribute(at, v) = working.node(a).kind() {
+                    let an = working.tag_name(*at).to_owned();
+                    visible.add_attr(el, &an, v);
+                    let aiv = labeling.interval(a).expect("attr labeled");
+                    visible.add_attr(
+                        el,
+                        &format!("{IV_ATTR}_{an}"),
+                        &format!("{},{}", aiv.lo, aiv.hi),
+                    );
+                    dsi_entries.push((format!("@{an}"), aiv));
+                }
+            }
+            for &c in working.node(node).children() {
+                build_insert_fragment(
+                    working,
+                    c,
+                    Some(el),
+                    block_of,
+                    labeling,
+                    cipher,
+                    visible,
+                    dsi_entries,
+                );
+            }
+        }
+        NodeKind::Text(v) => {
+            if let Some(p) = vis_parent {
+                visible.add_text(p, v);
+            }
+        }
+        NodeKind::Attribute(..) => unreachable!("attributes handled by their element"),
+    }
+}

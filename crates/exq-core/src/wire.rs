@@ -1,0 +1,252 @@
+//! The client↔server wire protocol: translated queries and responses.
+//!
+//! A translated query ([`ServerQuery`], the `Qs` of Figure 1) is a tree
+//! pattern whose tags are already in server-visible form (plaintext for
+//! visible nodes, Vernam ciphertext for block-internal nodes) and whose
+//! value predicates are already OPESS ciphertext ranges (Figure 7). The
+//! server never sees plaintext sensitive tags or values.
+
+use exq_crypto::{SealedBlock, ValueRange};
+use exq_xpath::{CmpOp, Literal};
+use std::time::Duration;
+
+/// Axes the server can evaluate over DSI intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SAxis {
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    Attribute,
+}
+
+/// One translated step.
+#[derive(Debug, Clone)]
+pub struct SStep {
+    pub axis: SAxis,
+    /// DSI-table keys to union; empty means wildcard (any labeled node).
+    pub tags: Vec<String>,
+    pub preds: Vec<SPred>,
+}
+
+/// A translated predicate.
+#[derive(Debug, Clone)]
+pub enum SPred {
+    /// Structural existence of a relative pattern.
+    Exists(Vec<SStep>),
+    /// A value comparison at the end of a relative pattern. Either side (or
+    /// both, when the attribute occurs both inside and outside blocks) may
+    /// be present; the predicate holds if any side matches.
+    Value {
+        path: Vec<SStep>,
+        /// Encrypted side: B-tree attribute key + ciphertext range.
+        range: Option<(String, ValueRange)>,
+        /// Plaintext side: comparison evaluated on the visible document.
+        plain: Option<(CmpOp, Literal)>,
+    },
+}
+
+/// A fully translated query.
+#[derive(Debug, Clone)]
+pub struct ServerQuery {
+    pub steps: Vec<SStep>,
+    /// The anchor step (see `client::translate`): the server returns, per
+    /// anchor match, the ancestor chain plus the anchor's full region.
+    pub anchor: usize,
+}
+
+impl ServerQuery {
+    /// Approximate wire size in bytes (for transmission accounting).
+    pub fn wire_size(&self) -> usize {
+        fn steps_size(steps: &[SStep]) -> usize {
+            steps
+                .iter()
+                .map(|s| {
+                    4 + s.tags.iter().map(String::len).sum::<usize>()
+                        + s.preds
+                            .iter()
+                            .map(|p| match p {
+                                SPred::Exists(q) => 2 + steps_size(q),
+                                SPred::Value { path, range, plain } => {
+                                    2 + steps_size(path)
+                                        + range.as_ref().map_or(0, |(k, _)| k.len() + 32)
+                                        + plain.as_ref().map_or(0, |(_, l)| l.as_text().len() + 2)
+                                }
+                            })
+                            .sum::<usize>()
+                })
+                .sum()
+        }
+        8 + steps_size(&self.steps)
+    }
+}
+
+/// The server's answer: a pruned visible document plus the encrypted blocks
+/// the client must decrypt.
+#[derive(Debug, Clone)]
+pub struct ServerResponse {
+    /// Serialized pruned visible document (may be empty when nothing
+    /// matched).
+    pub pruned_xml: String,
+    /// Sealed blocks referenced by the pruned document.
+    pub blocks: Vec<SealedBlock>,
+    /// Time the server spent translating (DSI lookups) — §7.2's "query
+    /// translation time on server".
+    pub translate_time: Duration,
+    /// Time the server spent on structural joins, B-tree lookups, and
+    /// response assembly.
+    pub process_time: Duration,
+}
+
+impl ServerResponse {
+    /// Bytes shipped back to the client.
+    pub fn payload_bytes(&self) -> usize {
+        self.pruned_xml.len()
+            + self
+                .blocks
+                .iter()
+                .map(SealedBlock::stored_size)
+                .sum::<usize>()
+    }
+}
+
+impl std::fmt::Display for ServerQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for step in &self.steps {
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for SStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.axis {
+            SAxis::Child => write!(f, "/")?,
+            SAxis::Descendant => write!(f, "//")?,
+            SAxis::DescendantOrSelf => write!(f, "/descendant-or-self::")?,
+            SAxis::Attribute => write!(f, "/@")?,
+        }
+        match self.tags.as_slice() {
+            [] => write!(f, "*")?,
+            [one] => write!(f, "{one}")?,
+            many => write!(f, "({})", many.join("|"))?,
+        }
+        for p in &self.preds {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for SPred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn steps(f: &mut std::fmt::Formatter<'_>, s: &[SStep]) -> std::fmt::Result {
+            write!(f, ".")?;
+            for st in s {
+                write!(f, "{st}")?;
+            }
+            Ok(())
+        }
+        match self {
+            SPred::Exists(s) => {
+                write!(f, "[")?;
+                steps(f, s)?;
+                write!(f, "]")
+            }
+            SPred::Value { path, range, plain } => {
+                write!(f, "[")?;
+                steps(f, path)?;
+                if let Some((attr, r)) = range {
+                    write!(f, " in {attr}:[{:x}..{:x}]", r.lo, r.hi)?;
+                }
+                if let Some((op, lit)) = plain {
+                    write!(f, " {} {}", op.as_str(), lit)?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_grows_with_query() {
+        let small = ServerQuery {
+            steps: vec![SStep {
+                axis: SAxis::Descendant,
+                tags: vec!["a".into()],
+                preds: vec![],
+            }],
+            anchor: 0,
+        };
+        let big = ServerQuery {
+            steps: vec![
+                SStep {
+                    axis: SAxis::Descendant,
+                    tags: vec!["patient".into()],
+                    preds: vec![SPred::Value {
+                        path: vec![SStep {
+                            axis: SAxis::Attribute,
+                            tags: vec!["X123456".into()],
+                            preds: vec![],
+                        }],
+                        range: Some(("X95SER".into(), ValueRange { lo: 0, hi: 10 })),
+                        plain: None,
+                    }],
+                },
+                SStep {
+                    axis: SAxis::Child,
+                    tags: vec!["U84573".into()],
+                    preds: vec![],
+                },
+            ],
+            anchor: 0,
+        };
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn display_renders_translated_query() {
+        let q = ServerQuery {
+            steps: vec![
+                SStep {
+                    axis: SAxis::Descendant,
+                    tags: vec!["patient".into()],
+                    preds: vec![SPred::Value {
+                        path: vec![SStep {
+                            axis: SAxis::Attribute,
+                            tags: vec!["XTY0POA".into()],
+                            preds: vec![],
+                        }],
+                        range: Some(("X95SER".into(), ValueRange { lo: 1, hi: 255 })),
+                        plain: None,
+                    }],
+                },
+                SStep {
+                    axis: SAxis::Descendant,
+                    tags: vec!["XU84573".into()],
+                    preds: vec![],
+                },
+            ],
+            anchor: 0,
+        };
+        let s = q.to_string();
+        assert!(s.contains("//patient["));
+        assert!(s.contains("XU84573"));
+        assert!(s.contains("X95SER:[1..ff]"));
+    }
+
+    #[test]
+    fn payload_accounts_blocks() {
+        let r = ServerResponse {
+            pruned_xml: "<r/>".into(),
+            blocks: vec![],
+            translate_time: Duration::ZERO,
+            process_time: Duration::ZERO,
+        };
+        assert_eq!(r.payload_bytes(), 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Save/load round trips: a hosted database persisted to bytes and restored
+//! must answer queries identically, and updates must survive persistence.
+
+use exq_core::constraints::SecurityConstraint;
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::{Client, Server};
+use exq_xml::Document;
+
+fn hosted() -> (Client, Server, Document) {
+    let doc = Document::parse(
+        r#"<hospital>
+            <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age>
+              <insurance><policy coverage="1000000">34221</policy></insurance></patient>
+            <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age>
+              <insurance><policy coverage="5000">78543</policy></insurance></patient>
+           </hospital>"#,
+    )
+    .unwrap();
+    let cs = vec![
+        SecurityConstraint::parse("//insurance").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /age)").unwrap(),
+    ];
+    let (c, s) = Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, SchemeKind::Opt, 31)
+        .unwrap()
+        .split();
+    (c, s, doc)
+}
+
+const QUERIES: &[&str] = &[
+    "//patient",
+    "//patient[pname = 'Betty']/SSN",
+    "//patient[.//policy/@coverage >= 10000]/SSN",
+    "//insurance//policy",
+    "//patient[age = 40]/pname",
+    "//pname",
+];
+
+#[test]
+fn server_roundtrip_answers_identically() {
+    let (client, server, _) = hosted();
+    let bytes = server.save_bytes();
+    let restored = Server::load_bytes(&bytes).unwrap();
+    for q in QUERIES {
+        let a = client.query(&server, q).unwrap().results;
+        let b = client.query(&restored, q).unwrap().results;
+        assert_eq!(a, b, "mismatch after server reload for {q}");
+    }
+}
+
+#[test]
+fn client_roundtrip_answers_identically() {
+    let (client, server, _) = hosted();
+    let bytes = client.save_bytes();
+    let restored = Client::load_bytes(&bytes).unwrap();
+    for q in QUERIES {
+        let a = client.query(&server, q).unwrap().results;
+        let b = restored.query(&server, q).unwrap().results;
+        assert_eq!(a, b, "mismatch after client reload for {q}");
+    }
+}
+
+#[test]
+fn both_roundtrip_through_files() {
+    let (client, server, _) = hosted();
+    let dir = std::env::temp_dir().join(format!("exq-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spath = dir.join("server.exq");
+    let cpath = dir.join("client.exq");
+    server.save(&spath).unwrap();
+    client.save(&cpath).unwrap();
+    let server2 = Server::load(&spath).unwrap();
+    let client2 = Client::load(&cpath).unwrap();
+    for q in QUERIES {
+        let a = client.query(&server, q).unwrap().results;
+        let b = client2.query(&server2, q).unwrap().results;
+        assert_eq!(a, b);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn updates_survive_persistence() {
+    let (mut client, mut server, _) = hosted();
+    client
+        .insert(
+            &mut server,
+            "/hospital",
+            "<patient><pname>Zoe</pname><SSN>112233</SSN><age>29</age></patient>",
+            5,
+        )
+        .unwrap();
+    client.delete(&mut server, "//patient[age = 40]").unwrap();
+
+    let server2 = Server::load_bytes(&server.save_bytes()).unwrap();
+    let client2 = Client::load_bytes(&client.save_bytes()).unwrap();
+
+    let out = client2.query(&server2, "//patient/pname").unwrap();
+    assert_eq!(out.results.len(), 2);
+    let out = client2
+        .query(&server2, "//patient[pname = 'Zoe']/age")
+        .unwrap();
+    assert_eq!(out.results, ["<age>29</age>"]);
+    let out = client2.query(&server2, "//patient[age = 40]").unwrap();
+    assert!(out.results.is_empty());
+}
+
+#[test]
+fn aggregates_survive_persistence() {
+    use exq_core::aggregate::Aggregate;
+    let (client, server, _) = hosted();
+    let server2 = Server::load_bytes(&server.save_bytes()).unwrap();
+    let client2 = Client::load_bytes(&client.save_bytes()).unwrap();
+    let max = client2
+        .aggregate(&server2, "//policy/@coverage", Aggregate::Max)
+        .unwrap();
+    assert_eq!(max.value.as_deref(), Some("1000000"));
+}
+
+#[test]
+fn corrupted_files_rejected() {
+    let (client, server, _) = hosted();
+    let mut s = server.save_bytes();
+    s[0] ^= 0xFF;
+    assert!(Server::load_bytes(&s).is_err());
+    let mut c = client.save_bytes();
+    c[0] ^= 0xFF;
+    assert!(Client::load_bytes(&c).is_err());
+    // Truncation.
+    let s = server.save_bytes();
+    assert!(Server::load_bytes(&s[..s.len() / 2]).is_err());
+    assert!(Server::load_bytes(&[]).is_err());
+}
+
+#[test]
+fn state_files_do_not_leak_plaintext() {
+    let (client, server, _) = hosted();
+    let bytes = server.save_bytes();
+    let as_text = String::from_utf8_lossy(&bytes);
+    // Node-type-protected values must not appear in the server state file.
+    for secret in ["34221", "78543", "1000000"] {
+        assert!(!as_text.contains(secret), "server file leaks {secret}");
+    }
+    // The client file may contain categorical codec values (it is the
+    // owner's private state) — but it must contain the master key material,
+    // so sanity-check the magic instead.
+    let cbytes = client.save_bytes();
+    assert!(cbytes.starts_with(b"EXQCL1"));
+    assert!(bytes.starts_with(b"EXQSV1"));
+}

@@ -1,0 +1,197 @@
+//! Update support (the paper's future-work item #3): inserted records are
+//! queryable under the same security policy; deleted records vanish.
+
+use exq_core::constraints::SecurityConstraint;
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::{Client, Server};
+use exq_xml::Document;
+
+fn hosted(kind: SchemeKind) -> (Client, Server) {
+    let doc = Document::parse(
+        r#"<hospital>
+            <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age>
+              <insurance><policy coverage="1000000">34221</policy></insurance></patient>
+            <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age>
+              <insurance><policy coverage="5000">78543</policy></insurance></patient>
+           </hospital>"#,
+    )
+    .unwrap();
+    let cs = vec![
+        SecurityConstraint::parse("//insurance").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap(),
+    ];
+    Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, kind, 77)
+        .unwrap()
+        .split()
+}
+
+const NEW_PATIENT: &str = r#"<patient><pname>Zoe</pname><SSN>112233</SSN><age>29</age>
+    <insurance><policy coverage="7500">55555</policy></insurance></patient>"#;
+
+#[test]
+fn insert_makes_record_queryable() {
+    let (mut client, mut server) = hosted(SchemeKind::Opt);
+    client
+        .insert(&mut server, "/hospital", NEW_PATIENT, 9)
+        .unwrap();
+
+    // Structural query finds three patients now.
+    let out = client.query(&server, "//patient/age").unwrap();
+    assert_eq!(out.results.len(), 3);
+
+    // The inserted encrypted association is retrievable by value.
+    let out = client
+        .query(&server, "//patient[pname = 'Zoe']/age")
+        .unwrap();
+    assert_eq!(out.results, ["<age>29</age>"]);
+
+    // Value predicate over the inserted numeric attribute.
+    let out = client
+        .query(&server, "//patient[.//policy/@coverage = 7500]/age")
+        .unwrap();
+    assert_eq!(out.results, ["<age>29</age>"]);
+}
+
+#[test]
+fn insert_respects_encryption_policy() {
+    let (mut client, mut server) = hosted(SchemeKind::Opt);
+    let delta = client
+        .insert(&mut server, "/hospital", NEW_PATIENT, 9)
+        .unwrap();
+    // The policy encrypts insurance (node-type SC) and one of pname/SSN.
+    assert!(!delta.blocks.is_empty());
+    let visible = server.visible_xml();
+    assert!(!visible.contains("55555"), "insurance value leaked");
+    assert!(!visible.contains("7500"), "coverage leaked");
+    assert!(
+        !visible.contains("Zoe") || !visible.contains("112233"),
+        "pname–SSN association leaked"
+    );
+    // Fragment annotations must not leak into the visible doc.
+    assert!(!visible.contains("_exq_iv"));
+}
+
+#[test]
+fn multiple_inserts() {
+    let (mut client, mut server) = hosted(SchemeKind::Opt);
+    for i in 0..5 {
+        let rec = format!(
+            "<patient><pname>P{i}</pname><SSN>90000{i}</SSN><age>{}</age></patient>",
+            30 + i
+        );
+        client
+            .insert(&mut server, "/hospital", &rec, 100 + i)
+            .unwrap();
+    }
+    let out = client.query(&server, "//patient").unwrap();
+    assert_eq!(out.results.len(), 7);
+    let out = client
+        .query(&server, "//patient[pname = 'P3']/age")
+        .unwrap();
+    assert_eq!(out.results, ["<age>33</age>"]);
+}
+
+#[test]
+fn many_sequential_inserts_do_not_exhaust_the_slot() {
+    // Regression: naive slot allocation halved the parent's tail gap per
+    // insert and died after ~15 records; budgeted strides must sustain far
+    // more.
+    let (mut client, mut server) = hosted(SchemeKind::Opt);
+    for i in 0..100 {
+        let rec = format!("<patient><pname>N{i}</pname><SSN>5{i:05}</SSN><age>33</age></patient>");
+        client
+            .insert(&mut server, "/hospital", &rec, 500 + i)
+            .unwrap_or_else(|e| panic!("insert {i} failed: {e}"));
+    }
+    let out = client.query(&server, "//patient").unwrap();
+    assert_eq!(out.results.len(), 102);
+    let out = client
+        .query(&server, "//patient[pname = 'N73']/SSN")
+        .unwrap();
+    assert_eq!(out.results, ["<SSN>500073</SSN>"]);
+}
+
+#[test]
+fn delete_removes_record() {
+    let (client, mut server) = hosted(SchemeKind::Opt);
+    let outcome = client.delete(&mut server, "//patient[age = 40]").unwrap();
+    assert_eq!(outcome.deleted, 1);
+    assert_eq!(outcome.skipped_in_block, 0);
+    let out = client.query(&server, "//patient/age").unwrap();
+    assert_eq!(out.results, ["<age>35</age>"]);
+    // Matt's SSN is gone entirely.
+    let out = client.query(&server, "//SSN").unwrap();
+    assert_eq!(out.results.len(), 1);
+}
+
+#[test]
+fn delete_then_insert_roundtrip() {
+    let (mut client, mut server) = hosted(SchemeKind::Opt);
+    client.delete(&mut server, "//patient[age = 35]").unwrap();
+    client
+        .insert(&mut server, "/hospital", NEW_PATIENT, 5)
+        .unwrap();
+    let out = client.query(&server, "//patient/pname").unwrap();
+    assert_eq!(out.results.len(), 2);
+    let out = client
+        .query(&server, "//patient[pname = 'Zoe']/SSN")
+        .unwrap();
+    assert_eq!(out.results, ["<SSN>112233</SSN>"]);
+}
+
+#[test]
+fn delete_inside_block_is_refused() {
+    let (client, mut server) = hosted(SchemeKind::Opt);
+    // policy nodes live inside insurance blocks.
+    let outcome = client.delete(&mut server, "//policy").unwrap();
+    assert_eq!(outcome.deleted, 0);
+    assert!(outcome.skipped_in_block >= 1);
+}
+
+#[test]
+fn insert_under_missing_parent_fails() {
+    let (mut client, mut server) = hosted(SchemeKind::Opt);
+    assert!(client
+        .insert(&mut server, "//clinic", NEW_PATIENT, 1)
+        .is_err());
+}
+
+#[test]
+fn top_scheme_rejects_insert() {
+    let (mut client, mut server) = hosted(SchemeKind::Top);
+    // Under `top`, the root is inside the single block: no visible parent.
+    assert!(client
+        .insert(&mut server, "/hospital", NEW_PATIENT, 1)
+        .is_err());
+}
+
+#[test]
+fn insert_with_novel_attribute_values() {
+    let (mut client, mut server) = hosted(SchemeKind::Opt);
+    // A brand-new pname not in the original OPESS domain.
+    let rec = "<patient><pname>Aaaaron</pname><SSN>424242</SSN><age>50</age></patient>";
+    client.insert(&mut server, "/hospital", rec, 3).unwrap();
+    let out = client
+        .query(&server, "//patient[pname = 'Aaaaron']/SSN")
+        .unwrap();
+    assert_eq!(out.results, ["<SSN>424242</SSN>"]);
+}
+
+#[test]
+fn aggregate_sees_inserted_values() {
+    use exq_core::aggregate::Aggregate;
+    let (mut client, mut server) = hosted(SchemeKind::Opt);
+    client
+        .insert(&mut server, "/hospital", NEW_PATIENT, 9)
+        .unwrap();
+    let min = client
+        .aggregate(&server, "//policy/@coverage", Aggregate::Min)
+        .unwrap();
+    assert_eq!(min.value.as_deref(), Some("5000"));
+    let count = client
+        .aggregate(&server, "//patient", Aggregate::Count)
+        .unwrap();
+    assert_eq!(count.value.as_deref(), Some("3"));
+}

@@ -1,0 +1,366 @@
+//! Minimal arbitrary-precision unsigned integers for exact candidate counts.
+//!
+//! The security theorems count candidate databases with multinomials and
+//! binomials that overflow `u128` immediately (the paper calls them
+//! "exponentially large"), so the analysis module needs exact big integers.
+//! This implementation supports exactly the operations the counting needs:
+//! construction, addition, small multiplication/division, comparison,
+//! decimal rendering, and bit length.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian u64 limbs, no
+/// trailing zero limbs; zero is the empty limb vector).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    pub fn one() -> Self {
+        Self::from(1u64)
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self * k` for a small factor.
+    pub fn mul_u64(&self, k: u64) -> BigUint {
+        if k == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u128 = 0;
+        for &l in &self.limbs {
+            let prod = l as u128 * k as u128 + carry;
+            out.push(prod as u64);
+            carry = prod >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Exact division by a small divisor; panics if the division has a
+    /// remainder (counting formulas are always exact) or `k == 0`.
+    pub fn div_exact_u64(&self, k: u64) -> BigUint {
+        let (q, r) = self.div_rem_u64(k);
+        assert_eq!(r, 0, "div_exact_u64 called with a non-divisor");
+        q
+    }
+
+    /// Division with remainder by a small divisor.
+    pub fn div_rem_u64(&self, k: u64) -> (BigUint, u64) {
+        assert!(k != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | l as u128;
+            out[i] = (cur / k as u128) as u64;
+            rem = cur % k as u128;
+        }
+        let mut q = BigUint { limbs: out };
+        q.trim();
+        (q, rem as u64)
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (a, b) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u128;
+        for (i, &ai) in a.iter().enumerate() {
+            let sum = ai as u128 + b.get(i).copied().unwrap_or(0) as u128 + carry;
+            out.push(sum as u64);
+            carry = sum >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// Full multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Approximate log₁₀ — handy for reporting "exponentially large" counts.
+    pub fn approx_log10(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        // mantissa = top limb interpreted in [1, 2) · 2^lead, so
+        // value ≈ mantissa_frac · 2^bits with mantissa_frac ∈ [0.5, 1).
+        let bits = self.bits();
+        let top = *self.limbs.last().unwrap();
+        let lead = 64 - top.leading_zeros() as usize;
+        let frac = top as f64 / 2f64.powi(lead as i32); // in [0.5, 1)
+        frac.log10() + bits as f64 * std::f64::consts::LOG10_2
+    }
+
+    /// Converts to `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `f64` (may saturate to infinity).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * 2f64.powi(64) + l as f64;
+        }
+        v
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        let mut b = BigUint { limbs: vec![v] };
+        b.trim();
+        b
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        let mut b = BigUint {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        b.trim();
+        b
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeatedly divide by 10^19 and render chunks.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        write!(f, "{}", chunks.pop().unwrap())?;
+        for c in chunks.into_iter().rev() {
+            write!(f, "{c:019}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `n!` as a big integer.
+pub fn factorial(n: u64) -> BigUint {
+    let mut out = BigUint::one();
+    for k in 2..=n {
+        out = out.mul_u64(k);
+    }
+    out
+}
+
+/// Binomial coefficient `C(n, k)`, exact.
+pub fn binomial(n: u64, k: u64) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let k = k.min(n - k);
+    let mut out = BigUint::one();
+    for i in 0..k {
+        out = out.mul_u64(n - i);
+        out = out.div_exact_u64(i + 1);
+    }
+    out
+}
+
+/// Multinomial coefficient `(Σkᵢ)! / Πkᵢ!`, exact — the paper's count of
+/// candidate plaintext→ciphertext mappings in Theorem 4.1.
+///
+/// ```
+/// // The paper's worked example: (3+4+5)!/(3!·4!·5!) = 27720.
+/// assert_eq!(exq_crypto::bignum::multinomial(&[3, 4, 5]).to_u64(), Some(27_720));
+/// ```
+pub fn multinomial(counts: &[u64]) -> BigUint {
+    let mut out = BigUint::one();
+    let mut total: u64 = 0;
+    for &k in counts {
+        total += k;
+        // multiply by C(total, k)
+        out = out.mul(&binomial(total, k));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_arithmetic() {
+        let a = BigUint::from(12u64);
+        assert_eq!(a.mul_u64(12).to_u64(), Some(144));
+        assert_eq!(a.add(&BigUint::from(30u64)).to_u64(), Some(42));
+        assert_eq!(a.div_exact_u64(4).to_u64(), Some(3));
+        assert_eq!(a.div_rem_u64(5), (BigUint::from(2u64), 2));
+    }
+
+    #[test]
+    fn zero_identities() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.mul_u64(100), BigUint::zero());
+        assert_eq!(z.add(&BigUint::from(5u64)).to_u64(), Some(5));
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(z.bits(), 0);
+    }
+
+    #[test]
+    fn carries_across_limbs() {
+        let big = BigUint::from(u64::MAX);
+        let sq = big.mul(&big);
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expected = BigUint::from((u64::MAX as u128) * (u64::MAX as u128));
+        assert_eq!(sq, expected);
+        assert_eq!(big.add(&BigUint::one()).bits(), 65);
+    }
+
+    #[test]
+    fn display_large() {
+        // 2^128 = 340282366920938463463374607431768211456
+        let v = BigUint::from(u64::MAX).add(&BigUint::one());
+        let sq = v.mul(&v);
+        assert_eq!(sq.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0).to_u64(), Some(1));
+        assert_eq!(factorial(5).to_u64(), Some(120));
+        assert_eq!(factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+        // 25! needs more than 64 bits
+        assert_eq!(factorial(25).to_string(), "15511210043330985984000000");
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2).to_u64(), Some(10));
+        assert_eq!(binomial(10, 0).to_u64(), Some(1));
+        assert_eq!(binomial(10, 10).to_u64(), Some(1));
+        assert_eq!(binomial(10, 11).to_u64(), Some(0));
+        // The paper's example: C(14, 4) = 1001
+        assert_eq!(binomial(14, 4).to_u64(), Some(1001));
+        assert_eq!(binomial(52, 26).to_string(), "495918532948104");
+    }
+
+    /// The paper's Theorem 4.1 example: (3+4+5)!/(3!·4!·5!) = 27720.
+    #[test]
+    fn multinomial_paper_example() {
+        assert_eq!(multinomial(&[3, 4, 5]).to_u64(), Some(27_720));
+    }
+
+    #[test]
+    fn multinomial_degenerate() {
+        assert_eq!(multinomial(&[7]).to_u64(), Some(1));
+        assert_eq!(multinomial(&[]).to_u64(), Some(1));
+        assert_eq!(multinomial(&[1, 1, 1]).to_u64(), Some(6));
+    }
+
+    #[test]
+    fn ordering() {
+        let a = factorial(30);
+        let b = factorial(31);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(BigUint::from(2u64) > BigUint::one());
+    }
+
+    #[test]
+    fn to_f64_monotone() {
+        assert!(factorial(25).to_f64() > factorial(24).to_f64());
+        assert!((BigUint::from(1000u64).to_f64() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::from(255u64).bits(), 8);
+        assert_eq!(BigUint::from(256u64).bits(), 9);
+    }
+}

@@ -1,0 +1,156 @@
+//! The ChaCha20 stream cipher (RFC 7539 core function).
+//!
+//! This is the workhorse primitive of the crate: block encryption XORs the
+//! keystream over serialized subtrees, and [`crate::prf`] uses single blocks
+//! as a PRF.
+
+/// ChaCha20 constants: `"expand 32-byte k"` as four little-endian words.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha20 keystream generator for one (key, nonce) pair.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance from a 256-bit key and 96-bit nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, w) in k.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for (i, w) in n.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        Self { key: k, nonce: n }
+    }
+
+    /// Produces the 64-byte keystream block for the given counter.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut w = state;
+        for _ in 0..10 {
+            // column rounds
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            // diagonal rounds
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = w[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream (starting at block counter `counter0`) into `data`.
+    /// Applying it twice with the same parameters decrypts.
+    pub fn apply_keystream(&self, counter0: u32, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(counter0.wrapping_add(i as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.1.1 quarter-round test vector.
+    #[test]
+    fn quarter_round_vector() {
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+
+    /// RFC 7539 §2.3.2 block function test vector (first keystream bytes).
+    #[test]
+    fn block_function_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let ks = ChaCha20::new(&key, &nonce).block(1);
+        let expected_prefix = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4,
+        ];
+        assert_eq!(&ks[..16], &expected_prefix);
+    }
+
+    #[test]
+    fn keystream_roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let c = ChaCha20::new(&key, &nonce);
+        let mut data = b"attack at dawn, bring the umbrella and the long ladder too!".to_vec();
+        let orig = data.clone();
+        c.apply_keystream(0, &mut data);
+        assert_ne!(data, orig);
+        c.apply_keystream(0, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [7u8; 32];
+        let a = ChaCha20::new(&key, &[0u8; 12]).block(0);
+        let b = ChaCha20::new(&key, &[1u8; 12]).block(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_counters_differ() {
+        let key = [7u8; 32];
+        let c = ChaCha20::new(&key, &[0u8; 12]);
+        assert_ne!(c.block(0), c.block(1));
+    }
+
+    #[test]
+    fn multi_block_messages() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let c = ChaCha20::new(&key, &nonce);
+        let mut data = vec![0xABu8; 200];
+        c.apply_keystream(5, &mut data);
+        // decrypting the tail alone with the right counter offset works
+        let mut tail = data[128..].to_vec();
+        c.apply_keystream(7, &mut tail);
+        assert!(tail.iter().all(|&b| b == 0xAB));
+    }
+}

@@ -1,0 +1,39 @@
+//! From-scratch cryptographic substrate for the encrypted-XML system.
+//!
+//! Nothing here depends on external crypto crates; every primitive the paper
+//! needs is implemented in this crate:
+//!
+//! * [`chacha`] — the ChaCha20 stream cipher (RFC 7539 core), used for block
+//!   encryption and as the PRF underlying everything else;
+//! * [`prf`] — keyed pseudo-random functions and key derivation;
+//! * [`vernam`] — the deterministic fixed-width tag cipher used for element
+//!   tags in the DSI index table and in client query translation (§5.1.1;
+//!   the paper suggests a Vernam pad, but determinism forces pad reuse, so
+//!   a keyed PRF realizes the same functional contract collision-free);
+//! * [`ope`] — a lazy-sampled strictly-monotone order-preserving encryption
+//!   function `u64 → u128` (the paper assumes an OPE function à la
+//!   Agrawal et al. [3]);
+//! * [`opess`] — Order-Preserving Encryption with Splitting and Scaling
+//!   (§5.2): frequency-flattening value transformation for the B-tree index;
+//! * [`block`] — authenticated sealing of serialized subtree blocks;
+//! * [`bignum`] — exact big-integer combinatorics for the security theorems'
+//!   candidate-database counts;
+//! * [`keys`] — the client's key chain (master key → per-purpose subkeys).
+
+pub mod bignum;
+pub mod block;
+pub mod chacha;
+pub mod keys;
+pub mod ope;
+pub mod opess;
+pub mod prf;
+pub mod vernam;
+
+pub use bignum::BigUint;
+pub use block::{open_block, seal_block, BlockCryptError, SealedBlock};
+pub use chacha::ChaCha20;
+pub use keys::KeyChain;
+pub use ope::OpeKey;
+pub use opess::{OpessError, OpessPlan, RangeOp, ValueRange};
+pub use prf::Prf;
+pub use vernam::TagCipher;

@@ -1,0 +1,150 @@
+//! Property tests for the cryptographic substrate.
+
+use exq_crypto::bignum::{binomial, factorial, multinomial, BigUint};
+use exq_crypto::ope::{f64_to_ordered_u64, OpeKey};
+use exq_crypto::opess::RangeOp;
+use exq_crypto::{open_block, seal_block, ChaCha20, OpessPlan, TagCipher};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// ChaCha20 keystream application is an involution.
+    #[test]
+    fn chacha_roundtrip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(), data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let c = ChaCha20::new(&key, &nonce);
+        let mut buf = data.clone();
+        c.apply_keystream(3, &mut buf);
+        c.apply_keystream(3, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Sealed blocks open back to the exact plaintext; tampering is caught.
+    #[test]
+    fn block_seal_open(key in any::<[u8; 32]>(), data in proptest::collection::vec(any::<u8>(), 0..200), flip in any::<(usize, u8)>()) {
+        let b = seal_block(&key, 9, [4u8; 12], &data);
+        prop_assert_eq!(open_block(&key, &b).unwrap(), data.clone());
+        if !b.ciphertext.is_empty() && flip.1 != 0 {
+            let mut tampered = b.clone();
+            let idx = flip.0 % tampered.ciphertext.len();
+            tampered.ciphertext[idx] ^= flip.1;
+            prop_assert!(open_block(&key, &tampered).is_err());
+        }
+    }
+
+    /// OPE is strictly monotone on arbitrary pairs.
+    #[test]
+    fn ope_monotone(key in any::<[u8; 32]>(), a in any::<u64>(), b in any::<u64>()) {
+        let k = OpeKey::new(key);
+        let (ca, cb) = (k.encrypt(a), k.encrypt(b));
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(ca < cb),
+            std::cmp::Ordering::Equal => prop_assert_eq!(ca, cb),
+            std::cmp::Ordering::Greater => prop_assert!(ca > cb),
+        }
+    }
+
+    /// OPE decrypt inverts encrypt.
+    #[test]
+    fn ope_invertible(key in any::<[u8; 32]>(), x in any::<u64>()) {
+        let k = OpeKey::new(key);
+        prop_assert_eq!(k.decrypt(k.encrypt(x)), Some(x));
+    }
+
+    /// The f64 → u64 embedding preserves order for finite values.
+    #[test]
+    fn f64_embedding_monotone(a in -1e300f64..1e300, b in -1e300f64..1e300) {
+        let (ua, ub) = (f64_to_ordered_u64(a), f64_to_ordered_u64(b));
+        match a.partial_cmp(&b).unwrap() {
+            std::cmp::Ordering::Less => prop_assert!(ua < ub),
+            std::cmp::Ordering::Equal => prop_assert_eq!(ua, ub),
+            std::cmp::Ordering::Greater => prop_assert!(ua > ub),
+        }
+    }
+
+    /// Tag encryption is deterministic and collision-free over small sets.
+    #[test]
+    fn tag_cipher_injective(key in any::<[u8; 32]>(), tags in proptest::collection::hash_set("[a-z]{1,8}", 1..12)) {
+        let c = TagCipher::new(key);
+        let encs: std::collections::HashSet<String> = tags.iter().map(|t| c.encrypt(t)).collect();
+        prop_assert_eq!(encs.len(), tags.len());
+    }
+
+    /// OPESS invariants on random histograms: totals preserved by splitting
+    /// (for counts ≥ 2), chunk frequencies flat, bands never straddle, and
+    /// Eq-ranges select exactly the band.
+    #[test]
+    fn opess_invariants(
+        seed in any::<u64>(),
+        counts in proptest::collection::vec(2u32..40, 1..10),
+    ) {
+        let values: Vec<(f64, u32)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((i * 3) as f64, c))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = OpessPlan::build(&values, OpeKey::new([7u8; 32]), &mut rng).unwrap();
+
+        // totals preserved
+        let total_in: u32 = counts.iter().sum();
+        let total_out: u32 = plan.split_histogram().iter().sum();
+        prop_assert_eq!(total_in, total_out);
+
+        // flat frequencies
+        let m = plan.m();
+        for h in plan.split_histogram() {
+            prop_assert!((m - 1..=m + 1).contains(&h));
+        }
+
+        // non-straddling + Eq exactness
+        let mut prev_hi = None;
+        for e in plan.entries() {
+            let lo = e.chunks.first().unwrap().ciphertext;
+            let hi = e.chunks.last().unwrap().ciphertext;
+            if let Some(p) = prev_hi {
+                prop_assert!(lo > p, "straddle at {}", e.plaintext);
+            }
+            prev_hi = Some(hi);
+            let r = plan.translate(RangeOp::Eq, e.plaintext);
+            for c in &e.chunks {
+                prop_assert!(r.contains(c.ciphertext));
+            }
+        }
+    }
+
+    /// Pascal's identity: C(n,k) = C(n−1,k−1) + C(n−1,k).
+    #[test]
+    fn binomial_pascal(n in 1u64..80, k in 1u64..80) {
+        let lhs = binomial(n, k);
+        let rhs = binomial(n - 1, k - 1).add(&binomial(n - 1, k));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Multinomial consistency: multinomial([a,b]) = C(a+b, a).
+    #[test]
+    fn multinomial_two_parts(a in 0u64..50, b in 0u64..50) {
+        prop_assert_eq!(multinomial(&[a, b]), binomial(a + b, a));
+    }
+
+    /// Factorial ratio: n! = n · (n−1)!.
+    #[test]
+    fn factorial_recurrence(n in 1u64..100) {
+        prop_assert_eq!(factorial(n), factorial(n - 1).mul_u64(n));
+    }
+
+    /// Big integer add/mul agree with u128 on small values.
+    #[test]
+    fn bignum_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+        prop_assert_eq!(ba.add(&bb), BigUint::from(a as u128 + b as u128));
+        prop_assert_eq!(ba.mul(&bb), BigUint::from(a as u128 * b as u128));
+        prop_assert_eq!(ba.mul_u64(b), BigUint::from(a as u128 * b as u128));
+    }
+
+    /// Decimal rendering round-trips through string parsing on u128 values.
+    #[test]
+    fn bignum_display_matches_u128(v in any::<u128>()) {
+        prop_assert_eq!(BigUint::from(v).to_string(), v.to_string());
+    }
+}

@@ -1,0 +1,21 @@
+//! Server-side metadata structures for the encrypted-XML system.
+//!
+//! * [`dsi`] — the discontinuous structural interval (DSI) index of §5.1:
+//!   randomized-gap interval labels for tree nodes, plus the paper-literal
+//!   real-valued construction of Figure 3 and the *continuous* labeling used
+//!   as the ablation baseline;
+//! * [`btree`] — an in-memory B-tree with duplicate keys and range scans,
+//!   the carrier of the OPESS value index (§5.2);
+//! * [`sjoin`] — stack-based structural-join operators over intervals
+//!   (ancestor–descendant, and parent–child derived from interval nesting,
+//!   §5.1/§6.2);
+//! * [`tables`] — the DSI index table and encryption block table of §5.1.1.
+
+pub mod btree;
+pub mod dsi;
+pub mod sjoin;
+pub mod tables;
+
+pub use btree::BTree;
+pub use dsi::{DsiLabeling, Interval};
+pub use tables::{BlockTable, DsiIndexTable};

@@ -1,0 +1,234 @@
+//! Structural-join operators over DSI intervals (§6.2).
+//!
+//! The server evaluates the structural part of a translated query with
+//! standard interval structural joins: an ancestor–descendant pair matches
+//! when the descendant's interval nests strictly inside the ancestor's.
+//! Parent–child is derived exactly as §5.1 prescribes:
+//! `child(x, y) ⇔ desc(x, y) ∧ ¬∃z: desc(x, z) ∧ desc(z, y)`,
+//! with `z` ranging over every interval the server can see.
+
+use crate::dsi::Interval;
+
+/// Sorts intervals by `(lo asc, hi desc)` — the order every join expects.
+pub fn sort_intervals(iv: &mut [Interval]) {
+    iv.sort_by(|a, b| a.lo.cmp(&b.lo).then(b.hi.cmp(&a.hi)));
+}
+
+/// Stack-based ancestor–descendant join. Inputs must be sorted with
+/// [`sort_intervals`]; output is every `(ancestor-index, descendant-index)`
+/// pair with strict containment.
+pub fn join_anc_desc(anc: &[Interval], desc: &[Interval]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    // Sweep descendants; maintain a stack of enclosing ancestor candidates.
+    let mut stack: Vec<usize> = Vec::new();
+    let mut ai = 0;
+    for (di, d) in desc.iter().enumerate() {
+        // Push ancestors that start before this descendant.
+        while ai < anc.len() && anc[ai].lo < d.lo {
+            stack.push(ai);
+            ai += 1;
+        }
+        // Pop ancestors that ended before this descendant starts.
+        while let Some(&top) = stack.last() {
+            if anc[top].hi < d.lo {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        // All remaining stack entries that contain `d` match. Ancestor
+        // intervals on the stack are nested; scan from the top until one no
+        // longer contains the descendant... but because unrelated intervals
+        // may interleave on the stack only as nested chains, every stack
+        // member with hi > d.hi contains d.
+        for &a in stack.iter() {
+            if anc[a].contains(d) {
+                out.push((a, di));
+            }
+        }
+    }
+    out
+}
+
+/// Descendant semi-join: indices of `desc` having at least one strict
+/// ancestor in `anc`. Inputs sorted with [`sort_intervals`].
+pub fn semijoin_desc(anc: &[Interval], desc: &[Interval]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut stack: Vec<Interval> = Vec::new();
+    let mut ai = 0;
+    for (di, d) in desc.iter().enumerate() {
+        while ai < anc.len() && anc[ai].lo < d.lo {
+            stack.push(anc[ai]);
+            ai += 1;
+        }
+        while stack.last().is_some_and(|t| t.hi < d.lo) {
+            stack.pop();
+        }
+        if stack.iter().any(|a| a.contains(d)) {
+            out.push(di);
+        }
+    }
+    out
+}
+
+/// Ancestor semi-join: indices of `anc` having at least one strict
+/// descendant in `desc`. Inputs sorted with [`sort_intervals`].
+///
+/// Exploits laminarity (intervals from one labeling never partially
+/// overlap): `d` nests in `a` iff `a.lo < d.lo < a.hi`, so one binary
+/// search per ancestor suffices — O(n log m).
+pub fn semijoin_anc(anc: &[Interval], desc: &[Interval]) -> Vec<usize> {
+    let los: Vec<u64> = desc.iter().map(|d| d.lo).collect();
+    anc.iter()
+        .enumerate()
+        .filter_map(|(i, a)| {
+            let p = los.partition_point(|&lo| lo <= a.lo);
+            (p < los.len() && los[p] < a.hi).then_some(i)
+        })
+        .collect()
+}
+
+/// The set of "visible" intervals the server uses for parent–child
+/// derivation. The nesting forest (each interval's tightest container) is
+/// precomputed with one stack sweep, so parent lookups are O(1).
+#[derive(Debug, Clone)]
+pub struct IntervalUniverse {
+    sorted: Vec<Interval>,
+    parent: std::collections::HashMap<Interval, Option<Interval>>,
+}
+
+impl IntervalUniverse {
+    pub fn new(mut intervals: Vec<Interval>) -> Self {
+        sort_intervals(&mut intervals);
+        intervals.dedup();
+        // Properly nesting intervals sorted by (lo asc, hi desc): a stack of
+        // currently-open intervals yields each one's tightest container.
+        let mut parent = std::collections::HashMap::with_capacity(intervals.len());
+        let mut stack: Vec<Interval> = Vec::new();
+        for &iv in &intervals {
+            while stack.last().is_some_and(|top| !top.contains(&iv)) {
+                stack.pop();
+            }
+            parent.insert(iv, stack.last().copied());
+            stack.push(iv);
+        }
+        IntervalUniverse {
+            sorted: intervals,
+            parent,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The tightest universe interval strictly containing `x`, i.e. `x`'s
+    /// parent as far as the server can tell. O(1) for universe members;
+    /// falls back to a scan for foreign intervals.
+    pub fn tightest_container(&self, x: &Interval) -> Option<Interval> {
+        if let Some(p) = self.parent.get(x) {
+            return *p;
+        }
+        // Foreign interval: scan backwards from its insertion point.
+        let end = self.sorted.partition_point(|iv| iv.lo < x.lo);
+        self.sorted[..end]
+            .iter()
+            .rev()
+            .find(|iv| iv.contains(x))
+            .copied()
+    }
+
+    /// Parent–child test per §5.1: `a` strictly contains `d` and no other
+    /// visible interval lies strictly between them.
+    pub fn is_parent_child(&self, a: &Interval, d: &Interval) -> bool {
+        a.contains(d) && self.tightest_container(d).as_ref() == Some(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn basic_join() {
+        let mut anc = vec![iv(0, 100), iv(10, 40), iv(50, 90)];
+        let mut desc = vec![iv(20, 30), iv(60, 70), iv(95, 99)];
+        sort_intervals(&mut anc);
+        sort_intervals(&mut desc);
+        let pairs = join_anc_desc(&anc, &desc);
+        // (0,100) contains all three; (10,40) contains (20,30); (50,90) contains (60,70)
+        assert_eq!(pairs.len(), 5);
+    }
+
+    #[test]
+    fn semijoins() {
+        let mut anc = vec![iv(10, 40), iv(50, 90)];
+        let mut desc = vec![iv(20, 30), iv(95, 99)];
+        sort_intervals(&mut anc);
+        sort_intervals(&mut desc);
+        assert_eq!(semijoin_desc(&anc, &desc), [0]);
+        assert_eq!(semijoin_anc(&anc, &desc), [0]);
+    }
+
+    #[test]
+    fn no_self_match() {
+        let a = vec![iv(10, 40)];
+        let d = vec![iv(10, 40)];
+        assert!(join_anc_desc(&a, &d).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(join_anc_desc(&[], &[iv(1, 2)]).is_empty());
+        assert!(join_anc_desc(&[iv(1, 2)], &[]).is_empty());
+        assert!(semijoin_desc(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut anc: Vec<Interval> = (0..50).map(|i| iv(i, 200 - i)).collect();
+        let desc = vec![iv(90, 110)];
+        sort_intervals(&mut anc);
+        let pairs = join_anc_desc(&anc, &desc);
+        assert_eq!(pairs.len(), 50);
+    }
+
+    #[test]
+    fn tightest_container() {
+        let u = IntervalUniverse::new(vec![iv(0, 100), iv(10, 50), iv(20, 30), iv(60, 90)]);
+        assert_eq!(u.tightest_container(&iv(22, 25)), Some(iv(20, 30)));
+        assert_eq!(u.tightest_container(&iv(12, 15)), Some(iv(10, 50)));
+        assert_eq!(u.tightest_container(&iv(61, 62)), Some(iv(60, 90)));
+        assert_eq!(u.tightest_container(&iv(0, 100)), None);
+        assert_eq!(u.tightest_container(&iv(200, 300)), None);
+    }
+
+    #[test]
+    fn parent_child_derivation() {
+        // r=[0,100], a=[10,50], b=[20,30]: a is child of r, b child of a,
+        // b is NOT child of r (a lies between).
+        let u = IntervalUniverse::new(vec![iv(0, 100), iv(10, 50), iv(20, 30)]);
+        assert!(u.is_parent_child(&iv(0, 100), &iv(10, 50)));
+        assert!(u.is_parent_child(&iv(10, 50), &iv(20, 30)));
+        assert!(!u.is_parent_child(&iv(0, 100), &iv(20, 30)));
+        assert!(!u.is_parent_child(&iv(20, 30), &iv(10, 50)));
+    }
+
+    #[test]
+    fn interleaved_siblings() {
+        let mut anc = vec![iv(0, 10), iv(20, 30), iv(40, 50)];
+        let mut desc = vec![iv(2, 4), iv(22, 24), iv(42, 44), iv(60, 62)];
+        sort_intervals(&mut anc);
+        sort_intervals(&mut desc);
+        let pairs = join_anc_desc(&anc, &desc);
+        assert_eq!(pairs, [(0, 0), (1, 1), (2, 2)]);
+    }
+}

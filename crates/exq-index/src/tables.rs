@@ -1,0 +1,230 @@
+//! The DSI index table and the encryption block table (§5.1.1).
+//!
+//! The DSI index table maps tags — Vernam-encrypted when the element is
+//! inside an encryption block, plaintext otherwise — to the list of DSI
+//! intervals of elements with that tag, after same-tag adjacent-sibling
+//! grouping inside blocks. The block table maps each block's representative
+//! interval (the interval of the block's subtree root) to the block id.
+//!
+//! Both tables are plain data: the decision of *which* tag string to store
+//! (plain vs ciphertext) and which intervals to group is made by the
+//! metadata builder in `exq-core`; the server only ever performs lookups.
+
+use crate::dsi::Interval;
+use crate::sjoin::sort_intervals;
+use std::collections::HashMap;
+
+/// Tag → interval list.
+#[derive(Debug, Clone, Default)]
+pub struct DsiIndexTable {
+    entries: HashMap<String, Vec<Interval>>,
+}
+
+impl DsiIndexTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one interval under a tag (plaintext or ciphertext form).
+    pub fn add(&mut self, tag: &str, interval: Interval) {
+        self.entries
+            .entry(tag.to_owned())
+            .or_default()
+            .push(interval);
+    }
+
+    /// Finishes construction: sorts every interval list into join order.
+    pub fn seal(&mut self) {
+        for list in self.entries.values_mut() {
+            sort_intervals(list);
+            list.dedup();
+        }
+    }
+
+    /// Looks up the intervals for a tag.
+    pub fn lookup(&self, tag: &str) -> &[Interval] {
+        self.entries.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every interval in the table — the server's "visible universe" used
+    /// for parent–child derivation.
+    pub fn all_intervals(&self) -> Vec<Interval> {
+        let mut out: Vec<Interval> = self.entries.values().flatten().copied().collect();
+        sort_intervals(&mut out);
+        out.dedup();
+        out
+    }
+
+    /// Number of distinct tags.
+    pub fn tag_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total interval entries — the structural-index size metric.
+    pub fn entry_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Iterates `(tag, intervals)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[Interval])> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Removes every interval covered by `range` (subtree deletion) and
+    /// returns how many entries were dropped.
+    pub fn remove_within(&mut self, range: Interval) -> usize {
+        let mut removed = 0;
+        self.entries.retain(|_, list| {
+            let before = list.len();
+            list.retain(|iv| !range.covers(iv));
+            removed += before - list.len();
+            !list.is_empty()
+        });
+        removed
+    }
+}
+
+/// Representative interval → block id.
+#[derive(Debug, Clone, Default)]
+pub struct BlockTable {
+    /// Sorted by representative interval `lo`.
+    entries: Vec<(Interval, u32)>,
+    by_id: std::collections::HashMap<u32, Interval>,
+    sealed: bool,
+}
+
+impl BlockTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, representative: Interval, block_id: u32) {
+        self.entries.push((representative, block_id));
+        self.by_id.insert(block_id, representative);
+        self.sealed = false;
+    }
+
+    pub fn seal(&mut self) {
+        self.entries.sort_by_key(|(iv, _)| (iv.lo, iv.hi));
+        self.sealed = true;
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Interval, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The block whose representative interval covers `x` (equality or
+    /// strict containment). Blocks never nest (encryption targets are
+    /// disjoint subtrees), so the cover is unique if it exists.
+    pub fn covering_block(&self, x: &Interval) -> Option<u32> {
+        debug_assert!(self.sealed, "BlockTable::seal() must run before lookups");
+        // Binary search for candidates with lo <= x.lo.
+        let end = self.entries.partition_point(|(iv, _)| iv.lo <= x.lo);
+        self.entries[..end]
+            .iter()
+            .rev()
+            .find(|(iv, _)| iv.covers(x))
+            .map(|&(_, id)| id)
+    }
+
+    /// The representative interval of a block id. O(1).
+    pub fn representative(&self, block_id: u32) -> Option<Interval> {
+        self.by_id.get(&block_id).copied()
+    }
+
+    /// Removes every block whose representative interval is covered by
+    /// `range`; returns the removed ids.
+    pub fn remove_within(&mut self, range: Interval) -> Vec<u32> {
+        let mut removed = Vec::new();
+        self.entries.retain(|&(iv, id)| {
+            if range.covers(&iv) {
+                removed.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in &removed {
+            self.by_id.remove(id);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn dsi_table_lookup() {
+        let mut t = DsiIndexTable::new();
+        t.add("patient", iv(14, 46));
+        t.add("patient", iv(54, 86));
+        t.add("U84573", iv(16, 20));
+        t.seal();
+        assert_eq!(t.lookup("patient").len(), 2);
+        assert_eq!(t.lookup("U84573"), [iv(16, 20)]);
+        assert!(t.lookup("ghost").is_empty());
+        assert_eq!(t.tag_count(), 2);
+        assert_eq!(t.entry_count(), 3);
+    }
+
+    #[test]
+    fn dsi_table_sorts_on_seal() {
+        let mut t = DsiIndexTable::new();
+        t.add("a", iv(50, 60));
+        t.add("a", iv(10, 20));
+        t.add("a", iv(10, 90));
+        t.seal();
+        let l = t.lookup("a");
+        assert_eq!(l, [iv(10, 90), iv(10, 20), iv(50, 60)]);
+    }
+
+    #[test]
+    fn all_intervals_dedup() {
+        let mut t = DsiIndexTable::new();
+        t.add("a", iv(1, 5));
+        t.add("b", iv(1, 5));
+        t.add("b", iv(7, 9));
+        t.seal();
+        assert_eq!(t.all_intervals().len(), 2);
+    }
+
+    #[test]
+    fn block_cover_lookup() {
+        let mut b = BlockTable::new();
+        b.add(iv(16, 20), 1);
+        b.add(iv(39, 44), 2);
+        b.add(iv(55, 60), 3);
+        b.seal();
+        assert_eq!(b.covering_block(&iv(17, 18)), Some(1));
+        assert_eq!(b.covering_block(&iv(39, 44)), Some(2));
+        assert_eq!(b.covering_block(&iv(25, 30)), None);
+        assert_eq!(b.covering_block(&iv(10, 90)), None);
+        assert_eq!(b.representative(3), Some(iv(55, 60)));
+        assert_eq!(b.representative(99), None);
+    }
+
+    #[test]
+    fn empty_tables() {
+        let mut t = DsiIndexTable::new();
+        t.seal();
+        assert_eq!(t.entry_count(), 0);
+        let mut b = BlockTable::new();
+        b.seal();
+        assert!(b.is_empty());
+        assert_eq!(b.covering_block(&iv(1, 2)), None);
+    }
+}

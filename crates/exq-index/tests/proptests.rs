@@ -1,0 +1,146 @@
+//! Property tests for the index substrate.
+
+use exq_index::dsi::{DsiLabeling, Interval};
+use exq_index::sjoin::{
+    join_anc_desc, semijoin_anc, semijoin_desc, sort_intervals, IntervalUniverse,
+};
+use exq_index::BTree;
+use exq_xml::Document;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// B-tree behaves like a sorted multiset reference model.
+    #[test]
+    fn btree_matches_model(
+        order in 3usize..12,
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>()), 0..300),
+        (qlo, qhi) in (any::<u8>(), any::<u8>()),
+    ) {
+        let mut tree = BTree::with_order(order);
+        let mut model: Vec<(u128, u32)> = Vec::new();
+        for (k, v) in ops {
+            tree.insert(k as u128, v);
+            model.push((k as u128, v));
+        }
+        tree.validate().unwrap();
+        model.sort_by_key(|&(k, _)| k);
+        prop_assert_eq!(tree.len(), model.len());
+        // Full iteration matches the sorted model's keys.
+        let got_keys: Vec<u128> = tree.iter().into_iter().map(|(k, _)| k).collect();
+        let want_keys: Vec<u128> = model.iter().map(|&(k, _)| k).collect();
+        prop_assert_eq!(got_keys, want_keys);
+        // Range scans match model filtering (as multisets).
+        let (lo, hi) = (qlo.min(qhi) as u128, qlo.max(qhi) as u128);
+        let mut got = tree.range(lo, hi);
+        got.sort_unstable();
+        let mut want: Vec<u32> = model
+            .iter()
+            .filter(|&&(k, _)| k >= lo && k <= hi)
+            .map(|&(_, v)| v)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Random small documents via nested XML strings.
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    proptest::collection::vec(0u8..5, 1..40).prop_map(|shape| {
+        let mut d = Document::new();
+        let root = d.add_element(None, "r");
+        let mut stack = vec![root];
+        for s in shape {
+            let top = *stack.last().unwrap();
+            match s {
+                0 | 1 => {
+                    let el = d.add_element(Some(top), if s == 0 { "x" } else { "y" });
+                    stack.push(el);
+                }
+                2 => {
+                    d.add_text(top, "t");
+                }
+                3 => {
+                    d.add_attr(top, "k", "v");
+                }
+                _ => {
+                    if stack.len() > 1 {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        d
+    })
+}
+
+proptest! {
+    /// DSI labeling always satisfies the gap/nesting invariants, and the
+    /// interval order mirrors the tree's ancestor relation exactly.
+    #[test]
+    fn dsi_invariants(d in doc_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = DsiLabeling::assign(&d, &mut rng);
+        l.validate(&d).unwrap();
+        let nodes: Vec<_> = d.iter().collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                let ix = l.interval(x).unwrap();
+                let iy = l.interval(y).unwrap();
+                let is_anc = d.ancestors(y).contains(&x);
+                prop_assert_eq!(ix.contains(&iy), is_anc);
+            }
+        }
+    }
+
+    /// The structural join over DSI intervals equals the tree-walk truth.
+    #[test]
+    fn sjoin_matches_tree(d in doc_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = DsiLabeling::assign(&d, &mut rng);
+        let xs = d.elements_by_tag("x");
+        let ys = d.elements_by_tag("y");
+        let mut anc: Vec<Interval> = xs.iter().map(|&n| l.interval(n).unwrap()).collect();
+        let mut desc: Vec<Interval> = ys.iter().map(|&n| l.interval(n).unwrap()).collect();
+        sort_intervals(&mut anc);
+        sort_intervals(&mut desc);
+        let pairs = join_anc_desc(&anc, &desc).len();
+        let truth = xs
+            .iter()
+            .map(|&x| {
+                ys.iter()
+                    .filter(|&&y| d.ancestors(y).contains(&x))
+                    .count()
+            })
+            .sum::<usize>();
+        prop_assert_eq!(pairs, truth);
+        // Semijoins agree with the pair join.
+        let da = semijoin_desc(&anc, &desc).len();
+        let truth_d = ys
+            .iter()
+            .filter(|&&y| d.ancestors(y).iter().any(|a| xs.contains(a)))
+            .count();
+        prop_assert_eq!(da, truth_d);
+        let aa = semijoin_anc(&anc, &desc).len();
+        let truth_a = xs
+            .iter()
+            .filter(|&&x| ys.iter().any(|&y| d.ancestors(y).contains(&x)))
+            .count();
+        prop_assert_eq!(aa, truth_a);
+    }
+
+    /// The interval universe's parent pointers equal the tree's parents.
+    #[test]
+    fn universe_parents_match_tree(d in doc_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l = DsiLabeling::assign(&d, &mut rng);
+        let intervals: Vec<Interval> = d.iter().map(|n| l.interval(n).unwrap()).collect();
+        let u = IntervalUniverse::new(intervals);
+        for n in d.iter() {
+            let iv = l.interval(n).unwrap();
+            let expected = d.node(n).parent().map(|p| l.interval(p).unwrap());
+            prop_assert_eq!(u.tightest_container(&iv), expected);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's running example: the Figure 2 health-care database and the
+//! Example 3.1 security constraints.
+
+use exq_core::constraints::SecurityConstraint;
+use exq_xml::Document;
+
+/// The Figure 2 instance (two patients; values as printed in the paper).
+pub fn document() -> Document {
+    Document::parse(
+        r#"<hospital>
+            <patient>
+              <pname>Betty</pname>
+              <SSN>763895</SSN>
+              <age>35</age>
+              <treat><disease>diarrhea</disease><doctor>Smith</doctor><doctor>Walker</doctor></treat>
+              <insurance><policy coverage="1000000">34221</policy>
+                          <policy coverage="10000">26544</policy></insurance>
+            </patient>
+            <patient>
+              <pname>Matt</pname>
+              <SSN>276543</SSN>
+              <age>40</age>
+              <treat><disease>leukemia</disease><doctor>Brown</doctor></treat>
+              <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+              <insurance><policy coverage="5000">78543</policy></insurance>
+            </patient>
+           </hospital>"#,
+    )
+    .expect("static document")
+}
+
+/// The Example 3.1 security constraints:
+/// SC1 `//insurance`, SC2 `//patient:(/pname, /SSN)`,
+/// SC3 `//patient:(/pname, //disease)`, SC4 `//treat:(/disease, /doctor)`.
+pub fn constraints() -> Vec<SecurityConstraint> {
+    [
+        "//insurance",
+        "//patient:(/pname, /SSN)",
+        "//patient:(/pname, //disease)",
+        "//treat:(/disease, /doctor)",
+    ]
+    .iter()
+    .map(|s| SecurityConstraint::parse(s).expect("static SC"))
+    .collect()
+}
+
+/// A scaled variant with `patients` records for perf-ish tests.
+pub fn scaled(patients: usize, seed: u64) -> Document {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let diseases = ["diarrhea", "leukemia", "flu", "measles", "asthma"];
+    let doctors = ["Smith", "Brown", "Walker", "Lee", "Garcia"];
+    let names = crate::values::FIRST_NAMES;
+    let mut d = Document::new();
+    let root = d.add_element(None, "hospital");
+    for i in 0..patients {
+        let p = d.add_element(Some(root), "patient");
+        let pname = d.add_element(Some(p), "pname");
+        d.add_text(pname, names[i % names.len()]);
+        let ssn = d.add_element(Some(p), "SSN");
+        d.add_text(ssn, &format!("{:06}", 100000 + i * 7919 % 900000));
+        let age = d.add_element(Some(p), "age");
+        d.add_text(age, &(20 + (i * 13) % 60).to_string());
+        for _ in 0..rng.gen_range(1..3) {
+            let treat = d.add_element(Some(p), "treat");
+            let disease = d.add_element(Some(treat), "disease");
+            d.add_text(disease, diseases[rng.gen_range(0..diseases.len())]);
+            let doctor = d.add_element(Some(treat), "doctor");
+            d.add_text(doctor, doctors[rng.gen_range(0..doctors.len())]);
+        }
+        let ins = d.add_element(Some(p), "insurance");
+        let policy = d.add_element(Some(ins), "policy");
+        d.add_attr(
+            policy,
+            "coverage",
+            &(1000 * rng.gen_range(1..1000)).to_string(),
+        );
+        d.add_text(policy, &format!("{:05}", rng.gen_range(10000..99999)));
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_xpath::{eval_document, Path};
+
+    #[test]
+    fn figure2_shape() {
+        let d = document();
+        assert_eq!(d.elements_by_tag("patient").len(), 2);
+        assert_eq!(d.elements_by_tag("treat").len(), 3);
+        assert_eq!(d.elements_by_tag("policy").len(), 3);
+        let q = Path::parse("//patient[pname = 'Betty']/SSN").unwrap();
+        let r = eval_document(&d, &q);
+        assert_eq!(d.text_value(r[0]), "763895");
+    }
+
+    #[test]
+    fn example31_constraints_parse() {
+        assert_eq!(constraints().len(), 4);
+    }
+
+    #[test]
+    fn scaled_has_requested_patients() {
+        let d = scaled(50, 1);
+        assert_eq!(d.elements_by_tag("patient").len(), 50);
+    }
+}

@@ -1,0 +1,20 @@
+//! Workloads for the paper's experiments (§7.1).
+//!
+//! The paper evaluates on the XMark benchmark (synthetic auction-site data)
+//! and the NASA dataset from the UW XML repository. Neither is available
+//! offline, so this crate generates *schema-faithful synthetic equivalents*:
+//! documents with the same element vocabulary the paper's constraint graphs
+//! (Figure 8) reference, skewed value distributions, and byte-size
+//! targeting. See DESIGN.md §4 for the substitution rationale.
+//!
+//! Also here: the paper's running health-care example (Figure 2 /
+//! Example 3.1), the Figure 8 security-constraint sets, and the Qs/Qm/Ql
+//! query-class generators.
+
+pub mod hospital;
+pub mod nasa;
+pub mod queries;
+pub mod values;
+pub mod xmark;
+
+pub use queries::{generate_queries, QueryClass};

@@ -1,0 +1,183 @@
+//! NASA-like synthetic generator.
+//!
+//! Emits the astronomical-dataset subset the paper's NASA constraint graph
+//! (Figure 8(b)) touches: `datasets/dataset` records with `title`,
+//! `altname`, `date/year`, `author/{initial, last, age}`, and
+//! `journal/{publisher, city}`, plus reference `para` text so documents
+//! have realistic text bulk.
+
+use crate::values;
+use exq_core::constraints::SecurityConstraint;
+use exq_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct NasaConfig {
+    pub target_bytes: usize,
+    pub seed: u64,
+}
+
+impl Default for NasaConfig {
+    fn default() -> Self {
+        NasaConfig {
+            target_bytes: 200 * 1024,
+            seed: 11,
+        }
+    }
+}
+
+/// Average serialized bytes per dataset record.
+const BYTES_PER_DATASET: usize = 1150;
+
+/// Generates a document of roughly `target_bytes`.
+pub fn generate(cfg: &NasaConfig) -> Document {
+    let datasets = (cfg.target_bytes / BYTES_PER_DATASET).max(1);
+    generate_datasets(datasets, cfg.seed)
+}
+
+/// Generates a document with exactly `datasets` dataset records.
+pub fn generate_datasets(datasets: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Document::new();
+    let root = d.add_element(None, "datasets");
+    for i in 0..datasets {
+        let ds = d.add_element(Some(root), "dataset");
+        d.add_attr(ds, "subject", values::zipf_pick(&mut rng, values::SUBJECTS));
+        let title = d.add_element(Some(ds), "title");
+        d.add_text(
+            title,
+            &format!(
+                "{} catalog {}",
+                values::zipf_pick(&mut rng, values::SUBJECTS),
+                rng.gen_range(1..40)
+            ),
+        );
+        let altname = d.add_element(Some(ds), "altname");
+        d.add_text(altname, &format!("DS-{i:05}"));
+        let date = d.add_element(Some(ds), "date");
+        let year = d.add_element(Some(date), "year");
+        d.add_text(year, &values::year(&mut rng).to_string());
+        for _ in 0..rng.gen_range(1..4) {
+            let author = d.add_element(Some(ds), "author");
+            let initial = d.add_element(Some(author), "initial");
+            let first = values::zipf_pick(&mut rng, values::FIRST_NAMES);
+            d.add_text(initial, &first[..1]);
+            let last = d.add_element(Some(author), "last");
+            d.add_text(last, values::zipf_pick(&mut rng, values::LAST_NAMES));
+            let age = d.add_element(Some(author), "age");
+            d.add_text(age, &values::age(&mut rng).to_string());
+        }
+        let journal = d.add_element(Some(ds), "journal");
+        let publisher = d.add_element(Some(journal), "publisher");
+        d.add_text(publisher, values::zipf_pick(&mut rng, values::PUBLISHERS));
+        let city = d.add_element(Some(journal), "city");
+        d.add_text(city, values::zipf_pick(&mut rng, values::CITIES));
+        let reference = d.add_element(Some(ds), "reference");
+        let para = d.add_element(Some(reference), "para");
+        d.add_text(
+            para,
+            &format!(
+                "Observations of {} sources collected over {} nights at the {} station.                  The reduced catalog lists positions, proper motions and {} magnitudes;                  systematic errors were estimated against the {} reference frame and the                  residuals stay below {} milliarcseconds across the surveyed field.",
+                values::zipf_pick(&mut rng, values::SUBJECTS),
+                rng.gen_range(3..300),
+                values::zipf_pick(&mut rng, values::CITIES),
+                values::zipf_pick(&mut rng, values::SUBJECTS),
+                values::zipf_pick(&mut rng, values::PUBLISHERS),
+                rng.gen_range(1..50),
+            ),
+        );
+        // Non-sensitive instrument/table bulk, as in the real NASA records.
+        let instrument = d.add_element(Some(ds), "instrument");
+        let iname = d.add_element(Some(instrument), "instname");
+        d.add_text(
+            iname,
+            &format!(
+                "{}-scope-{}",
+                values::zipf_pick(&mut rng, values::SUBJECTS),
+                rng.gen_range(1..9)
+            ),
+        );
+        let wavelength = d.add_element(Some(instrument), "wavelength");
+        d.add_text(wavelength, &format!("{}nm", rng.gen_range(300..2200)));
+        let table = d.add_element(Some(ds), "tableHead");
+        for f in ["ra", "dec", "mag", "epoch"] {
+            let field = d.add_element(Some(table), "field");
+            d.add_attr(field, "name", f);
+            d.add_text(field, &format!("{} column in units of degrees", f));
+        }
+    }
+    d
+}
+
+/// The Figure 8(b)-style security constraints for NASA data.
+///
+/// Endpoint fields all live under `author` or `journal` so that, as in the
+/// paper's reported covers (opt = {initial, last}), the `sub` scheme
+/// encrypts the small `author`/`journal` parents rather than whole
+/// `dataset` records.
+pub fn constraints() -> Vec<SecurityConstraint> {
+    [
+        "//author:(/initial, /last)",
+        "//author:(/last, /age)",
+        "//journal:(/publisher, /city)",
+        "//dataset:(//date, //publisher)",
+        "//dataset:(//age, //city)",
+    ]
+    .iter()
+    .map(|s| SecurityConstraint::parse(s).expect("static SC"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_xpath::eval_document;
+
+    #[test]
+    fn generates_requested_datasets() {
+        let d = generate_datasets(20, 2);
+        assert_eq!(d.elements_by_tag("dataset").len(), 20);
+        assert!(!d.elements_by_tag("author").is_empty());
+    }
+
+    #[test]
+    fn size_targeting_reasonable() {
+        let cfg = NasaConfig {
+            target_bytes: 150 * 1024,
+            seed: 2,
+        };
+        let d = generate(&cfg);
+        let size = d.serialized_size();
+        assert!(
+            size > cfg.target_bytes / 2 && size < cfg.target_bytes * 2,
+            "size {size} vs target {}",
+            cfg.target_bytes
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            generate_datasets(5, 9).to_xml(),
+            generate_datasets(5, 9).to_xml()
+        );
+    }
+
+    #[test]
+    fn constraint_paths_bind() {
+        let d = generate_datasets(10, 2);
+        for sc in constraints() {
+            let (p1, p2) = sc.endpoint_paths().unwrap();
+            assert!(!eval_document(&d, &p1).is_empty(), "{p1} binds nothing");
+            assert!(!eval_document(&d, &p2).is_empty(), "{p2} binds nothing");
+        }
+    }
+
+    #[test]
+    fn depth_is_multi_level() {
+        let d = generate_datasets(5, 2);
+        assert!(d.height() >= 3, "NASA-like docs need mid levels for Qm");
+    }
+}

@@ -1,0 +1,180 @@
+//! The Qs/Qm/Ql query classes of §7.1.
+//!
+//! * `Qs` — output nodes are children of the document root;
+//! * `Qm` — output nodes sit at level ⌈h/2⌉ of the tree;
+//! * `Ql` — output nodes are leaf elements.
+//!
+//! Queries are derived from the actual document: sample a node at the
+//! target level, take its root-to-node tag path, and randomly contract
+//! steps into descendant (`//`) axes. Every generated query is guaranteed
+//! non-empty on the source document.
+
+use exq_xml::{Document, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// The three query classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Output = children of the root.
+    Qs,
+    /// Output = nodes at the middle level.
+    Qm,
+    /// Output = leaf elements.
+    Ql,
+}
+
+impl QueryClass {
+    pub const ALL: [QueryClass; 3] = [QueryClass::Qs, QueryClass::Qm, QueryClass::Ql];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Qs => "Qs",
+            QueryClass::Qm => "Qm",
+            QueryClass::Ql => "Ql",
+        }
+    }
+}
+
+/// Generates up to `count` distinct queries of a class for `doc`.
+pub fn generate_queries(doc: &Document, class: QueryClass, count: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let candidates = target_nodes(doc, class);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut out = BTreeSet::new();
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 30 {
+        attempts += 1;
+        let node = candidates[rng.gen_range(0..candidates.len())];
+        out.insert(path_query(doc, node, &mut rng));
+    }
+    out.into_iter().collect()
+}
+
+/// Nodes whose root-to-node paths the class samples.
+fn target_nodes(doc: &Document, class: QueryClass) -> Vec<NodeId> {
+    let Some(root) = doc.root() else {
+        return Vec::new();
+    };
+    match class {
+        QueryClass::Qs => doc
+            .node(root)
+            .children()
+            .iter()
+            .copied()
+            .filter(|&c| doc.node(c).is_element())
+            .collect(),
+        QueryClass::Qm => {
+            let h = doc.height().max(1);
+            let mid = h.div_ceil(2);
+            doc.iter()
+                .filter(|&n| doc.node(n).is_element() && doc.depth(n) == mid)
+                .collect()
+        }
+        QueryClass::Ql => doc
+            .iter()
+            .filter(|&n| {
+                doc.node(n).is_element()
+                    && doc
+                        .node(n)
+                        .children()
+                        .iter()
+                        .all(|&c| !doc.node(c).is_element())
+            })
+            .collect(),
+    }
+}
+
+/// Builds a mixed child/descendant query whose last step names `node`.
+fn path_query(doc: &Document, node: NodeId, rng: &mut StdRng) -> String {
+    let mut tags: Vec<String> = doc
+        .ancestors(node)
+        .into_iter()
+        .rev()
+        .chain(std::iter::once(node))
+        .filter_map(|n| doc.element_name(n).map(str::to_owned))
+        .collect();
+    debug_assert!(!tags.is_empty());
+    // Randomly contract: each step independently becomes a `//` step with
+    // probability 0.35, which drops the requirement that the previous tag
+    // be its direct parent... to keep the query non-empty we only switch
+    // the axis, never remove tags, plus optionally skip a prefix.
+    let skip = if tags.len() > 2 && rng.gen_bool(0.4) {
+        rng.gen_range(0..tags.len() - 1)
+    } else {
+        0
+    };
+    tags.drain(..skip);
+    let mut q = String::new();
+    for (i, t) in tags.iter().enumerate() {
+        // A skipped prefix forces `//` on the first step (the remaining tag
+        // is no longer a child of the document node); later steps randomly
+        // relax to the descendant axis.
+        let descendant = (i == 0 && skip > 0) || (i > 0 && rng.gen_bool(0.35));
+        q.push_str(if descendant { "//" } else { "/" });
+        q.push_str(t);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nasa;
+    use crate::xmark;
+    use exq_xpath::{eval_document, Path};
+
+    fn check_class(doc: &Document, class: QueryClass) {
+        let qs = generate_queries(doc, class, 10, 99);
+        assert!(!qs.is_empty(), "{class:?} generated nothing");
+        for q in &qs {
+            let path = Path::parse(q).unwrap_or_else(|e| panic!("bad query {q}: {e}"));
+            let res = eval_document(doc, &path);
+            assert!(!res.is_empty(), "{class:?} query {q} is empty");
+        }
+    }
+
+    #[test]
+    fn xmark_classes_nonempty() {
+        let d = xmark::generate_people(30, 4);
+        for c in QueryClass::ALL {
+            check_class(&d, c);
+        }
+    }
+
+    #[test]
+    fn nasa_classes_nonempty() {
+        let d = nasa::generate_datasets(30, 4);
+        for c in QueryClass::ALL {
+            check_class(&d, c);
+        }
+    }
+
+    #[test]
+    fn ql_outputs_are_leafward() {
+        let d = nasa::generate_datasets(30, 4);
+        let ql = generate_queries(&d, QueryClass::Ql, 5, 1);
+        let qs = generate_queries(&d, QueryClass::Qs, 5, 1);
+        // Ql queries mention deeper tags than Qs queries on average.
+        let depth = |q: &str| q.matches('/').count();
+        let avg = |v: &[String]| v.iter().map(|q| depth(q)).sum::<usize>() as f64 / v.len() as f64;
+        assert!(avg(&ql) >= avg(&qs));
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = xmark::generate_people(20, 4);
+        let a = generate_queries(&d, QueryClass::Qm, 8, 5);
+        let b = generate_queries(&d, QueryClass::Qm, 8, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new();
+        assert!(generate_queries(&d, QueryClass::Qs, 5, 0).is_empty());
+    }
+}

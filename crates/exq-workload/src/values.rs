@@ -1,0 +1,194 @@
+//! Shared value pools and skewed samplers for the generators.
+
+use rand::Rng;
+
+/// Samples an index in `0..n` with a Zipf-like distribution (weight ∝
+/// 1/(rank+1)); rank 0 is the most frequent.
+pub fn zipf_index(rng: &mut impl Rng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    let total: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for k in 0..n {
+        x -= 1.0 / (k + 1) as f64;
+        if x <= 0.0 {
+            return k;
+        }
+    }
+    n - 1
+}
+
+/// Samples from a pool with Zipf skew.
+pub fn zipf_pick<'a>(rng: &mut impl Rng, pool: &'a [&'a str]) -> &'a str {
+    pool[zipf_index(rng, pool.len())]
+}
+
+pub const FIRST_NAMES: &[&str] = &[
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Betty",
+    "Matt",
+    "Zoe",
+    "Omar",
+    "Priya",
+    "Chen",
+    "Fatima",
+    "Yuki",
+    "Lars",
+    "Ana",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Walker",
+    "Martinez", "Lopez", "Wilson", "Anderson", "Taylor", "Thomas", "Moore", "Jackson", "Lee",
+    "Perez", "White",
+];
+
+pub const CITIES: &[&str] = &[
+    "Vancouver",
+    "Seattle",
+    "Seoul",
+    "Tokyo",
+    "Berlin",
+    "Paris",
+    "London",
+    "Mumbai",
+    "Cairo",
+    "Lagos",
+    "Lima",
+    "Sydney",
+    "Toronto",
+    "Boston",
+    "Austin",
+];
+
+pub const COUNTRIES: &[&str] = &[
+    "Canada",
+    "USA",
+    "Korea",
+    "Japan",
+    "Germany",
+    "France",
+    "UK",
+    "India",
+    "Egypt",
+    "Nigeria",
+    "Peru",
+    "Australia",
+];
+
+pub const INTERESTS: &[&str] = &[
+    "auctions",
+    "antiques",
+    "books",
+    "coins",
+    "stamps",
+    "art",
+    "music",
+    "sports",
+    "travel",
+    "gardening",
+];
+
+pub const PUBLISHERS: &[&str] = &[
+    "AstroPress",
+    "SkyData",
+    "CosmoArchive",
+    "StellarHouse",
+    "OrbitPub",
+    "NebulaWorks",
+    "GalaxyPrint",
+    "CometMedia",
+];
+
+pub const SUBJECTS: &[&str] = &[
+    "astronomy",
+    "astrometry",
+    "photometry",
+    "spectroscopy",
+    "radio",
+    "infrared",
+    "xray",
+    "survey",
+];
+
+/// A skewed income in dollars.
+pub fn income(rng: &mut impl Rng) -> u32 {
+    let base: f64 = rng.gen_range(0.0f64..1.0).powi(3);
+    20_000 + (base * 280_000.0) as u32
+}
+
+/// A skewed age in years.
+pub fn age(rng: &mut impl Rng) -> u32 {
+    18 + zipf_index(rng, 60) as u32
+}
+
+/// A 16-digit credit-card number string (deliberately low-entropy prefix so
+/// some numbers repeat, exercising frequency histograms).
+pub fn creditcard(rng: &mut impl Rng, pool_size: u32) -> String {
+    let n = rng.gen_range(0..pool_size);
+    format!("4000 1111 2222 {n:04}")
+}
+
+/// A publication year.
+pub fn year(rng: &mut impl Rng) -> u32 {
+    1960 + zipf_index(rng, 45) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 10)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "zipf not skewed: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn samplers_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let a = age(&mut rng);
+            assert!((18..=78).contains(&a));
+            let i = income(&mut rng);
+            assert!((20_000..=300_000).contains(&i));
+            let y = year(&mut rng);
+            assert!((1960..=2005).contains(&y));
+        }
+    }
+
+    #[test]
+    fn creditcards_repeat_with_small_pool() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(creditcard(&mut rng, 5));
+        }
+        assert!(seen.len() <= 5);
+    }
+}

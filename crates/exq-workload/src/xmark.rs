@@ -1,0 +1,237 @@
+//! XMark-like synthetic generator.
+//!
+//! Emits the auction-site subset the paper's XMark constraint graph
+//! (Figure 8(a)) touches: `site/people/person` records with `name`,
+//! `emailaddress`, `creditcard`, `age`, `profile/income` + `interest`, and
+//! `address/{street, city, country}`, plus a small `regions/item` section
+//! for structural variety.
+
+use crate::values;
+use exq_core::constraints::SecurityConstraint;
+use exq_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct XmarkConfig {
+    /// Approximate serialized size to aim for.
+    pub target_bytes: usize,
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            target_bytes: 200 * 1024,
+            seed: 7,
+        }
+    }
+}
+
+/// Average serialized bytes per person record (estimated empirically by
+/// `bytes_per_person` below; kept as a constant so sizing is O(1)).
+const BYTES_PER_PERSON: usize = 560;
+
+/// Generates a document of roughly `target_bytes`.
+pub fn generate(cfg: &XmarkConfig) -> Document {
+    let people = (cfg.target_bytes / BYTES_PER_PERSON).max(1);
+    generate_people(people, cfg.seed)
+}
+
+/// Generates a document with exactly `people` person records.
+pub fn generate_people(people: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Document::new();
+    let site = d.add_element(None, "site");
+
+    let people_el = d.add_element(Some(site), "people");
+    for i in 0..people {
+        let p = d.add_element(Some(people_el), "person");
+        d.add_attr(p, "id", &format!("person{i}"));
+        let name = d.add_element(Some(p), "name");
+        let full = format!(
+            "{} {}",
+            values::zipf_pick(&mut rng, values::FIRST_NAMES),
+            values::zipf_pick(&mut rng, values::LAST_NAMES)
+        );
+        d.add_text(name, &full);
+        let email = d.add_element(Some(p), "emailaddress");
+        d.add_text(
+            email,
+            &format!("mailto:{}@example.org", full.replace(' ', ".")),
+        );
+        let cc = d.add_element(Some(p), "creditcard");
+        d.add_text(
+            cc,
+            &values::creditcard(&mut rng, (people as u32 / 2).max(4)),
+        );
+        let age = d.add_element(Some(p), "age");
+        d.add_text(age, &values::age(&mut rng).to_string());
+        let profile = d.add_element(Some(p), "profile");
+        d.add_attr(profile, "income", &values::income(&mut rng).to_string());
+        let income = d.add_element(Some(profile), "income");
+        d.add_text(income, &values::income(&mut rng).to_string());
+        for _ in 0..rng.gen_range(0..3) {
+            let interest = d.add_element(Some(profile), "interest");
+            d.add_attr(
+                interest,
+                "category",
+                values::zipf_pick(&mut rng, values::INTERESTS),
+            );
+        }
+        let address = d.add_element(Some(p), "address");
+        let street = d.add_element(Some(address), "street");
+        d.add_text(street, &format!("{} Main St", rng.gen_range(1..9999)));
+        let city = d.add_element(Some(address), "city");
+        d.add_text(city, values::zipf_pick(&mut rng, values::CITIES));
+        let country = d.add_element(Some(address), "country");
+        d.add_text(country, values::zipf_pick(&mut rng, values::COUNTRIES));
+    }
+
+    // A light regions/item section for structural variety (never sensitive).
+    let regions = d.add_element(Some(site), "regions");
+    let na = d.add_element(Some(regions), "namerica");
+    for i in 0..(people / 4).max(1) {
+        let item = d.add_element(Some(na), "item");
+        d.add_attr(item, "id", &format!("item{i}"));
+        let iname = d.add_element(Some(item), "itemname");
+        d.add_text(iname, values::zipf_pick(&mut rng, values::INTERESTS));
+        let quantity = d.add_element(Some(item), "quantity");
+        d.add_text(quantity, &rng.gen_range(1..20).to_string());
+    }
+
+    // Auctions, as in real XMark: non-sensitive bulk referencing people and
+    // items, giving Qm/Ql queries more structural variety.
+    let auctions = d.add_element(Some(site), "open_auctions");
+    for i in 0..(people / 3).max(1) {
+        let auction = d.add_element(Some(auctions), "open_auction");
+        d.add_attr(auction, "id", &format!("auction{i}"));
+        let initial = d.add_element(Some(auction), "initial");
+        d.add_text(
+            initial,
+            &format!("{}.{:02}", rng.gen_range(1..500), rng.gen_range(0..100)),
+        );
+        for _ in 0..rng.gen_range(1..4) {
+            let bidder = d.add_element(Some(auction), "bidder");
+            let increase = d.add_element(Some(bidder), "increase");
+            d.add_text(increase, &format!("{}.00", rng.gen_range(1..50)));
+            let personref = d.add_element(Some(bidder), "personref");
+            d.add_attr(
+                personref,
+                "person",
+                &format!("person{}", rng.gen_range(0..people)),
+            );
+        }
+        let itemref = d.add_element(Some(auction), "itemref");
+        d.add_attr(
+            itemref,
+            "item",
+            &format!("item{}", rng.gen_range(0..(people / 4).max(1))),
+        );
+        let current = d.add_element(Some(auction), "current");
+        d.add_text(
+            current,
+            &format!("{}.{:02}", rng.gen_range(1..2000), rng.gen_range(0..100)),
+        );
+    }
+    d
+}
+
+/// The Figure 8(a)-style security constraints for XMark data.
+pub fn constraints() -> Vec<SecurityConstraint> {
+    [
+        "//person:(/name, /creditcard)",
+        "//person:(/name, /profile/income)",
+        "//person:(/name, /address)",
+        "//person:(/name, /emailaddress)",
+        "//person:(/age, /profile/income)",
+    ]
+    .iter()
+    .map(|s| SecurityConstraint::parse(s).expect("static SC"))
+    .collect()
+}
+
+/// Empirical bytes-per-person estimate (test/calibration helper).
+pub fn bytes_per_person(seed: u64) -> usize {
+    let sample = generate_people(100, seed);
+    sample.serialized_size() / 100
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_xpath::{eval_document, Path};
+
+    #[test]
+    fn generates_requested_people() {
+        let d = generate_people(25, 3);
+        assert_eq!(d.elements_by_tag("person").len(), 25);
+        assert_eq!(d.elements_by_tag("name").len(), 25);
+        assert_eq!(d.elements_by_tag("creditcard").len(), 25);
+    }
+
+    #[test]
+    fn size_targeting_reasonable() {
+        let cfg = XmarkConfig {
+            target_bytes: 100 * 1024,
+            seed: 3,
+        };
+        let d = generate(&cfg);
+        let size = d.serialized_size();
+        assert!(
+            size > cfg.target_bytes / 2 && size < cfg.target_bytes * 2,
+            "size {size} too far from target {}",
+            cfg.target_bytes
+        );
+    }
+
+    #[test]
+    fn bytes_per_person_near_constant() {
+        let bpp = bytes_per_person(3);
+        assert!(
+            (BYTES_PER_PERSON / 2..BYTES_PER_PERSON * 2).contains(&bpp),
+            "calibration constant stale: measured {bpp}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            generate_people(10, 5).to_xml(),
+            generate_people(10, 5).to_xml()
+        );
+        assert_ne!(
+            generate_people(10, 5).to_xml(),
+            generate_people(10, 6).to_xml()
+        );
+    }
+
+    #[test]
+    fn constraint_paths_bind() {
+        let d = generate_people(10, 3);
+        for sc in constraints() {
+            let (p1, p2) = sc.endpoint_paths().unwrap();
+            assert!(
+                !eval_document(&d, &p1).is_empty(),
+                "endpoint {p1} binds nothing"
+            );
+            assert!(
+                !eval_document(&d, &p2).is_empty(),
+                "endpoint {p2} binds nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn values_have_skew() {
+        let d = generate_people(200, 3);
+        let names = eval_document(&d, &Path::parse("//name").unwrap());
+        let mut hist = std::collections::HashMap::new();
+        for n in names {
+            *hist.entry(d.text_value(n)).or_insert(0usize) += 1;
+        }
+        let max = hist.values().max().unwrap();
+        assert!(*max >= 3, "no frequency skew in names");
+    }
+}

@@ -1,0 +1,135 @@
+//! XML entity escaping and unescaping.
+
+use std::borrow::Cow;
+
+/// Escapes text content: `& < >`.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape(s, false)
+}
+
+/// Escapes attribute values: `& < > "`.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape(s, true)
+}
+
+fn escape(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Expands the five predefined entities plus decimal/hex character
+/// references. Unknown entities are left verbatim (lenient mode).
+pub fn unescape(s: &str) -> Cow<'_, str> {
+    if !s.contains('&') {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = match rest.find(';') {
+            Some(e) if e <= 12 => e,
+            _ => {
+                // Not a well-formed entity; emit '&' verbatim and move on.
+                out.push('&');
+                rest = &rest[1..];
+                continue;
+            }
+        };
+        let ent = &rest[1..end];
+        let expanded = match ent {
+            "amp" => Some('&'),
+            "lt" => Some('<'),
+            "gt" => Some('>'),
+            "quot" => Some('"'),
+            "apos" => Some('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                u32::from_str_radix(&ent[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+            }
+            _ if ent.starts_with('#') => ent[1..].parse::<u32>().ok().and_then(char::from_u32),
+            _ => None,
+        };
+        match expanded {
+            Some(c) => {
+                out.push(c);
+                rest = &rest[end + 1..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    Cow::Owned(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape_text("hello"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("hello"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_basic() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr("say \"hi\""), "say &quot;hi&quot;");
+        // text mode leaves quotes alone
+        assert_eq!(escape_text("say \"hi\""), "say \"hi\"");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(
+            unescape("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;"),
+            "<a> & \"b\" 'c'"
+        );
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;"), "ABc");
+    }
+
+    #[test]
+    fn unescape_lenient_on_garbage() {
+        assert_eq!(unescape("a & b"), "a & b");
+        assert_eq!(unescape("fish&chips;"), "fish&chips;");
+        assert_eq!(unescape("&#xZZ;"), "&#xZZ;");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let samples = ["", "plain", "<tag attr=\"v\">&amp;</tag>", "a&b<c>d\"e'f"];
+        for s in samples {
+            assert_eq!(unescape(&escape_text(s)), s);
+            assert_eq!(unescape(&escape_attr(s)), s);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Hand-written recursive-descent XML parser.
+//!
+//! Supports elements, attributes, text, comments, CDATA sections, the XML
+//! declaration and processing instructions (skipped), and entity references.
+//! No namespaces or DTDs — the paper's databases do not use them.
+
+use crate::escape::unescape;
+use crate::tree::{Document, NodeId};
+use std::fmt;
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Drop text nodes that consist solely of whitespace (indentation between
+    /// elements). Defaults to `true`, matching data-oriented XML usage.
+    pub skip_whitespace_text: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        Self {
+            skip_whitespace_text: true,
+        }
+    }
+}
+
+/// A parse failure with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Document {
+    /// Parses a document with default options.
+    pub fn parse(input: &str) -> Result<Document, ParseError> {
+        Self::parse_with(input, ParseOptions::default())
+    }
+
+    /// Parses a document with explicit options.
+    pub fn parse_with(input: &str, opts: ParseOptions) -> Result<Document, ParseError> {
+        let mut p = Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            doc: Document::new(),
+            opts,
+        };
+        p.skip_misc()?;
+        p.parse_element(None)?;
+        p.skip_misc()?;
+        if p.pos != p.input.len() {
+            return Err(p.err("trailing content after the root element"));
+        }
+        Ok(p.doc)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    doc: Document,
+    opts: ParseOptions,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, the XML declaration, PIs, and DOCTYPE.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), ParseError> {
+        let hay = &self.input[self.pos..];
+        match find_sub(hay, end.as_bytes()) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct, expected `{end}`"))),
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':' | b'#')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        String::from_utf8(self.input[start..self.pos].to_vec())
+            .map_err(|_| self.err("name is not valid UTF-8"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_element(&mut self, parent: Option<NodeId>) -> Result<NodeId, ParseError> {
+        self.expect(b'<')?;
+        let tag = self.read_name()?;
+        let el = self.doc.add_element(parent, &tag);
+
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(el);
+                }
+                Some(_) => {
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while self.peek().map(|b| b != quote).unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.input[vstart..self.pos])
+                        .map_err(|_| self.err("attribute value is not valid UTF-8"))?;
+                    let value = unescape(raw).into_owned();
+                    self.expect(quote)?;
+                    self.doc.add_attr(el, &name, &value);
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // content
+        let mut text_buf = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("unclosed element <{tag}>"))),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.flush_text(el, &mut text_buf);
+                        self.pos += 2;
+                        let close = self.read_name()?;
+                        if close != tag {
+                            return Err(
+                                self.err(format!("mismatched close tag: <{tag}> vs </{close}>"))
+                            );
+                        }
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        return Ok(el);
+                    } else if self.starts_with("<!--") {
+                        self.skip_until("-->")?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.pos += "<![CDATA[".len();
+                        let hay = &self.input[self.pos..];
+                        let end = find_sub(hay, b"]]>")
+                            .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                        let raw = std::str::from_utf8(&hay[..end])
+                            .map_err(|_| self.err("CDATA is not valid UTF-8"))?;
+                        text_buf.push_str(raw);
+                        self.pos += end + 3;
+                    } else if self.starts_with("<?") {
+                        self.skip_until("?>")?;
+                    } else {
+                        self.flush_text(el, &mut text_buf);
+                        self.parse_element(Some(el))?;
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().map(|b| b != b'<').unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err("text is not valid UTF-8"))?;
+                    text_buf.push_str(&unescape(raw));
+                }
+            }
+        }
+    }
+
+    fn flush_text(&mut self, el: NodeId, buf: &mut String) {
+        if buf.is_empty() {
+            return;
+        }
+        let keep = !self.opts.skip_whitespace_text || !buf.chars().all(char::is_whitespace);
+        if keep {
+            self.doc.add_text(el, buf);
+        }
+        buf.clear();
+    }
+}
+
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Document;
+
+    #[test]
+    fn minimal() {
+        let d = Document::parse("<a/>").unwrap();
+        assert_eq!(d.element_name(d.root().unwrap()), Some("a"));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn nested_with_attrs_and_text() {
+        let d = Document::parse(r#"<r><p id="1">hi <b>there</b></p></r>"#).unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.text_value(root), "hi there");
+        let p = d.node(root).children()[0];
+        assert_eq!(d.node(p).attrs().len(), 1);
+    }
+
+    #[test]
+    fn declaration_comment_doctype() {
+        let src = "<?xml version=\"1.0\"?><!DOCTYPE r><!-- c --><r>x</r><!-- after -->";
+        let d = Document::parse(src).unwrap();
+        assert_eq!(d.text_value(d.root().unwrap()), "x");
+    }
+
+    #[test]
+    fn cdata_and_entities() {
+        let d = Document::parse("<r>a &amp; b <![CDATA[<raw> & stuff]]></r>").unwrap();
+        assert_eq!(d.text_value(d.root().unwrap()), "a & b <raw> & stuff");
+    }
+
+    #[test]
+    fn inner_comment_splits_nothing() {
+        let d = Document::parse("<r>ab<!-- x -->cd</r>").unwrap();
+        assert_eq!(d.text_value(d.root().unwrap()), "abcd");
+    }
+
+    #[test]
+    fn whitespace_skipping_default() {
+        let d = Document::parse("<r>\n  <a>1</a>\n  <b>2</b>\n</r>").unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.node(root).children().len(), 2);
+    }
+
+    #[test]
+    fn whitespace_kept_on_request() {
+        let opts = ParseOptions {
+            skip_whitespace_text: false,
+        };
+        let d = Document::parse_with("<r>\n  <a>1</a>\n</r>", opts).unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.node(root).children().len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Document::parse("<a>").is_err());
+        assert!(Document::parse("<a></b>").is_err());
+        assert!(Document::parse("<a x=1/>").is_err());
+        assert!(Document::parse("<a/><b/>").is_err());
+        assert!(Document::parse("").is_err());
+        assert!(Document::parse("just text").is_err());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = Document::parse("<aa></bb>").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(e.to_string().contains("mismatched"));
+    }
+
+    #[test]
+    fn single_quoted_attrs() {
+        let d = Document::parse("<a x='1' y=\"2\"/>").unwrap();
+        let r = d.root().unwrap();
+        assert_eq!(d.node(r).attrs().len(), 2);
+        assert_eq!(d.text_value(d.node(r).attrs()[0]), "1");
+    }
+
+    #[test]
+    fn attr_entities_unescaped() {
+        let d = Document::parse(r#"<a x="1 &lt; 2"/>"#).unwrap();
+        let r = d.root().unwrap();
+        assert_eq!(d.text_value(d.node(r).attrs()[0]), "1 < 2");
+    }
+}

@@ -1,0 +1,220 @@
+//! Document serialization back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Document, NodeId, NodeKind};
+
+impl Document {
+    /// Serializes the whole document (no XML declaration, no pretty
+    /// printing — the output is byte-stable for hashing and size metrics).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root() {
+            self.write_node(root, &mut out);
+        }
+        out
+    }
+
+    /// Serializes a single subtree.
+    pub fn node_to_xml(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.write_node(id, &mut out);
+        out
+    }
+
+    fn write_node(&self, id: NodeId, out: &mut String) {
+        let n = self.node(id);
+        if n.detached {
+            return;
+        }
+        match &n.kind {
+            NodeKind::Text(t) => out.push_str(&escape_text(t)),
+            NodeKind::Attribute(name, v) => {
+                // An attribute serialized on its own (outside a tag) renders
+                // as name="value"; inside tags it is written by the Element arm.
+                out.push_str(self.tag_name(*name));
+                out.push_str("=\"");
+                out.push_str(&escape_attr(v));
+                out.push('"');
+            }
+            NodeKind::Element(tag) => {
+                out.push('<');
+                out.push_str(self.tag_name(*tag));
+                for &a in &n.attrs {
+                    let an = self.node(a);
+                    if an.detached {
+                        continue;
+                    }
+                    if let NodeKind::Attribute(name, v) = &an.kind {
+                        out.push(' ');
+                        out.push_str(self.tag_name(*name));
+                        out.push_str("=\"");
+                        out.push_str(&escape_attr(v));
+                        out.push('"');
+                    }
+                }
+                let live_children: Vec<NodeId> = n
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|&c| !self.node(c).detached)
+                    .collect();
+                if live_children.is_empty() {
+                    out.push_str("/>");
+                } else {
+                    out.push('>');
+                    for c in live_children {
+                        self.write_node(c, out);
+                    }
+                    out.push_str("</");
+                    out.push_str(self.tag_name(*tag));
+                    out.push('>');
+                }
+            }
+        }
+    }
+
+    /// Size in bytes of the serialized document — the metric used for the
+    /// paper's size-based attack and for transmission-cost accounting.
+    pub fn serialized_size(&self) -> usize {
+        self.to_xml().len()
+    }
+
+    /// Pretty-printed serialization with the given indent width (element-only
+    /// documents gain newlines; elements with text content stay inline so
+    /// re-parsing with whitespace-skipping reproduces the same tree).
+    pub fn to_xml_pretty(&self, indent: usize) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root() {
+            self.write_pretty(root, 0, indent, &mut out);
+        }
+        out
+    }
+
+    fn write_pretty(&self, id: NodeId, depth: usize, indent: usize, out: &mut String) {
+        let n = self.node(id);
+        if n.detached {
+            return;
+        }
+        let pad = " ".repeat(depth * indent);
+        let NodeKind::Element(tag) = &n.kind else {
+            return;
+        };
+        let live: Vec<NodeId> = n
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| !self.node(c).detached)
+            .collect();
+        let has_element_children = live.iter().any(|&c| self.node(c).is_element());
+        out.push_str(&pad);
+        if has_element_children {
+            // Open tag, children on their own lines, close tag.
+            out.push('<');
+            out.push_str(self.tag_name(*tag));
+            self.write_attrs(id, out);
+            out.push_str(">\n");
+            for c in live {
+                if self.node(c).is_element() {
+                    self.write_pretty(c, depth + 1, indent, out);
+                } else {
+                    out.push_str(&" ".repeat((depth + 1) * indent));
+                    self.write_node(c, out);
+                    out.push('\n');
+                }
+            }
+            out.push_str(&pad);
+            out.push_str("</");
+            out.push_str(self.tag_name(*tag));
+            out.push_str(">\n");
+        } else {
+            // Leaf-ish element: inline.
+            self.write_node(id, out);
+            out.push('\n');
+        }
+    }
+
+    fn write_attrs(&self, id: NodeId, out: &mut String) {
+        for &a in self.node(id).attrs() {
+            let an = self.node(a);
+            if an.detached {
+                continue;
+            }
+            if let NodeKind::Attribute(name, v) = &an.kind {
+                out.push(' ');
+                out.push_str(self.tag_name(*name));
+                out.push_str("=\"");
+                out.push_str(&escape_attr(v));
+                out.push('"');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<r a="1"><x>hi</x><y/></r>"#;
+        let d = Document::parse(src).unwrap();
+        assert_eq!(d.to_xml(), src);
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        let src = "<r a=\"1 &lt; 2\">x &amp; y</r>";
+        let d = Document::parse(src).unwrap();
+        assert_eq!(d.to_xml(), src);
+    }
+
+    #[test]
+    fn detached_nodes_skipped() {
+        let mut d = Document::parse("<r><a>1</a><b>2</b></r>").unwrap();
+        let root = d.root().unwrap();
+        let a = d.node(root).children()[0];
+        d.detach(a);
+        assert_eq!(d.to_xml(), "<r><b>2</b></r>");
+    }
+
+    #[test]
+    fn empty_document_serializes_empty() {
+        let d = Document::new();
+        assert_eq!(d.to_xml(), "");
+        assert_eq!(d.serialized_size(), 0);
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let d = Document::parse("<r><a k=\"v\">t</a></r>").unwrap();
+        let a = d.node(d.root().unwrap()).children()[0];
+        assert_eq!(d.node_to_xml(a), "<a k=\"v\">t</a>");
+    }
+
+    #[test]
+    fn pretty_print_reparses_identically() {
+        let src = "<r a=\"1\"><p><n>Betty</n><s>123</s></p><q/></r>";
+        let d = Document::parse(src).unwrap();
+        let pretty = d.to_xml_pretty(2);
+        assert!(pretty.contains("\n"));
+        assert!(pretty.contains("  <p>"));
+        let reparsed = Document::parse(&pretty).unwrap();
+        assert_eq!(reparsed.to_xml(), src);
+    }
+
+    #[test]
+    fn pretty_print_empty_and_leaf() {
+        assert_eq!(Document::new().to_xml_pretty(2), "");
+        let d = Document::parse("<a>x</a>").unwrap();
+        assert_eq!(d.to_xml_pretty(2), "<a>x</a>\n");
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_stable() {
+        let src = "<r><p id=\"1\"><n>Betty</n><s>12&#65;3</s></p><p id=\"2\"/></r>";
+        let d1 = Document::parse(src).unwrap();
+        let s1 = d1.to_xml();
+        let d2 = Document::parse(&s1).unwrap();
+        assert_eq!(d2.to_xml(), s1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Document statistics used by the attack model and the experiments.
+
+use crate::tree::{Document, NodeKind};
+use std::collections::HashMap;
+
+/// Aggregate statistics over a document.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentStats {
+    /// Live node count (elements + attributes + text).
+    pub nodes: usize,
+    pub elements: usize,
+    pub attributes: usize,
+    pub text_nodes: usize,
+    /// Tree height over elements.
+    pub height: usize,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+    /// Per-element-tag counts.
+    pub tag_histogram: HashMap<String, usize>,
+}
+
+impl Document {
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> DocumentStats {
+        let mut s = DocumentStats {
+            height: self.height(),
+            bytes: self.serialized_size(),
+            ..Default::default()
+        };
+        for id in self.iter() {
+            s.nodes += 1;
+            match self.node(id).kind() {
+                NodeKind::Element(t) => {
+                    s.elements += 1;
+                    *s.tag_histogram
+                        .entry(self.tag_name(*t).to_owned())
+                        .or_default() += 1;
+                }
+                NodeKind::Attribute(..) => s.attributes += 1,
+                NodeKind::Text(_) => s.text_nodes += 1,
+            }
+        }
+        s
+    }
+
+    /// The occurrence-frequency histogram of leaf values grouped by the
+    /// "attribute" they belong to (parent element tag for text leaves,
+    /// attribute name for attribute nodes).
+    ///
+    /// This is exactly the attacker's background knowledge in the paper's
+    /// frequency-based attack model (§3.3): for each attribute, the domain
+    /// values and their exact occurrence frequencies.
+    pub fn value_histogram(&self) -> HashMap<String, HashMap<String, usize>> {
+        let mut out: HashMap<String, HashMap<String, usize>> = HashMap::new();
+        for id in self.iter() {
+            match self.node(id).kind() {
+                NodeKind::Attribute(name, v) => {
+                    let key = format!("@{}", self.tag_name(*name));
+                    *out.entry(key).or_default().entry(v.clone()).or_default() += 1;
+                }
+                NodeKind::Text(t) => {
+                    let parent = self.node(id).parent().expect("text has a parent");
+                    let key = self.element_name(parent).unwrap_or("#unknown").to_owned();
+                    *out.entry(key).or_default().entry(t.clone()).or_default() += 1;
+                }
+                NodeKind::Element(_) => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_counts() {
+        let d = Document::parse(r#"<r a="1"><x>hi</x><x>ho</x><y/></r>"#).unwrap();
+        let s = d.stats();
+        assert_eq!(s.elements, 4);
+        assert_eq!(s.attributes, 1);
+        assert_eq!(s.text_nodes, 2);
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.height, 1);
+        assert_eq!(s.tag_histogram["x"], 2);
+        assert_eq!(s.bytes, d.to_xml().len());
+    }
+
+    #[test]
+    fn value_histogram_groups_by_attribute() {
+        let d = Document::parse(
+            r#"<r><p><d>flu</d><d>flu</d><d>cold</d></p><q age="40"/><q age="40"/></r>"#,
+        )
+        .unwrap();
+        let h = d.value_histogram();
+        assert_eq!(h["d"]["flu"], 2);
+        assert_eq!(h["d"]["cold"], 1);
+        assert_eq!(h["@age"]["40"], 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: serialize∘parse is the identity on the document model.
+
+use exq_xml::{Document, NodeId};
+use proptest::prelude::*;
+
+/// A recursive generator for random documents built through the public API.
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(String),
+    Element {
+        tag: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
+}
+
+fn tag_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_-]{0,8}"
+}
+
+fn text_value() -> impl Strategy<Value = String> {
+    // Includes characters that require escaping.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just('&'),
+            Just('<'),
+            Just('>'),
+            Just('"'),
+            Just('\''),
+            Just(' '),
+            Just('é'),
+        ],
+        1..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn tree() -> impl Strategy<Value = Tree> {
+    let leaf = text_value().prop_map(Tree::Leaf);
+    leaf.prop_recursive(4, 40, 5, |inner| {
+        (
+            tag_name(),
+            proptest::collection::vec((tag_name(), text_value()), 0..3),
+            proptest::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(tag, attrs, children)| Tree::Element {
+                tag,
+                attrs,
+                children,
+            })
+    })
+}
+
+fn build(doc: &mut Document, parent: Option<NodeId>, t: &Tree) {
+    match t {
+        Tree::Leaf(s) => {
+            if let Some(p) = parent {
+                doc.add_text(p, s);
+            }
+        }
+        Tree::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            let el = doc.add_element(parent, tag);
+            // Attribute names must be unique within an element for the
+            // parse-serialize roundtrip to be exact.
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    doc.add_attr(el, k, v);
+                }
+            }
+            for c in children {
+                build(doc, Some(el), c);
+            }
+        }
+    }
+}
+
+fn root_tree() -> impl Strategy<Value = Tree> {
+    (
+        tag_name(),
+        proptest::collection::vec((tag_name(), text_value()), 0..3),
+        proptest::collection::vec(tree(), 0..5),
+    )
+        .prop_map(|(tag, attrs, children)| Tree::Element {
+            tag,
+            attrs,
+            children,
+        })
+}
+
+proptest! {
+    /// parse(serialize(doc)) reproduces the serialization exactly.
+    #[test]
+    fn serialize_parse_roundtrip(t in root_tree()) {
+        let mut doc = Document::new();
+        build(&mut doc, None, &t);
+        let xml = doc.to_xml();
+        // Whitespace-only text nodes are dropped by the default parser, so we
+        // keep them for the comparison.
+        let opts = exq_xml::ParseOptions { skip_whitespace_text: false };
+        let reparsed = Document::parse_with(&xml, opts).unwrap();
+        prop_assert_eq!(reparsed.to_xml(), xml);
+    }
+
+    /// The parsed copy preserves node counts apart from adjacent-text merging.
+    #[test]
+    fn roundtrip_preserves_text_value(t in root_tree()) {
+        let mut doc = Document::new();
+        build(&mut doc, None, &t);
+        let xml = doc.to_xml();
+        let opts = exq_xml::ParseOptions { skip_whitespace_text: false };
+        let reparsed = Document::parse_with(&xml, opts).unwrap();
+        let (r1, r2) = (doc.root().unwrap(), reparsed.root().unwrap());
+        prop_assert_eq!(doc.text_value(r1), reparsed.text_value(r2));
+        prop_assert_eq!(doc.height(), reparsed.height());
+    }
+
+    /// Escaping never panics and always survives unescaping.
+    #[test]
+    fn escape_unescape_identity(s in "\\PC*") {
+        let esc = exq_xml::escape_text(&s);
+        prop_assert_eq!(exq_xml::unescape(&esc).into_owned(), s);
+    }
+}

@@ -1,0 +1,509 @@
+//! Naive tree-walking evaluator — the reference semantics for the system.
+
+use crate::ast::{Axis, NodeTest, Path, Predicate, Step};
+use exq_xml::{Document, NodeId, NodeKind};
+use std::collections::BTreeSet;
+
+/// Evaluates a path with the document node as context (i.e. an absolute
+/// query such as `//patient/SSN` or `/hospital/patient`).
+pub fn eval_document(doc: &Document, path: &Path) -> Vec<NodeId> {
+    let Some(root) = doc.root() else {
+        return Vec::new();
+    };
+    if path.steps.is_empty() {
+        return vec![root];
+    }
+    // The virtual document node: its only child is the root element and its
+    // descendants are every node. Materialize the first step by hand, then
+    // continue normally.
+    let first = &path.steps[0];
+    let mut context: BTreeSet<NodeId> = BTreeSet::new();
+    match first.axis {
+        Axis::Child => {
+            if test_matches(doc, root, &first.test, Axis::Child) {
+                context.insert(root);
+            }
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            for n in doc.iter() {
+                if test_matches(doc, n, &first.test, Axis::Descendant) {
+                    context.insert(n);
+                }
+            }
+        }
+        _ => {
+            // Attribute/self/parent/following-sibling from the document node
+            // yield nothing useful; treat like child of root for robustness.
+            if test_matches(doc, root, &first.test, Axis::Child) {
+                context.insert(root);
+            }
+        }
+    }
+    let context = apply_predicates(doc, context.into_iter().collect(), &first.predicates);
+    let rest = Path {
+        steps: path.steps[1..].to_vec(),
+    };
+    eval_from(doc, &rest, &context)
+}
+
+/// Evaluates a (relative) path from the given context nodes. Results are in
+/// document order, deduplicated.
+pub fn eval_from(doc: &Document, path: &Path, context: &[NodeId]) -> Vec<NodeId> {
+    let mut current: BTreeSet<NodeId> = context.iter().copied().collect();
+    for step in &path.steps {
+        let mut next = BTreeSet::new();
+        for &ctx in &current {
+            // Positional predicates need the per-context node list, so
+            // filtering happens before merging across contexts.
+            let mut nodes = BTreeSet::new();
+            step_nodes(doc, ctx, step, &mut nodes);
+            let filtered = apply_predicates(doc, nodes.into_iter().collect(), &step.predicates);
+            next.extend(filtered);
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current.into_iter().collect()
+}
+
+/// Applies the step's predicates sequentially (XPath semantics: each
+/// predicate re-numbers positions over the surviving list).
+fn apply_predicates(doc: &Document, mut nodes: Vec<NodeId>, preds: &[Predicate]) -> Vec<NodeId> {
+    for pred in preds {
+        let total = nodes.len();
+        nodes = nodes
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, n)| satisfies_predicate(doc, n, pred, i + 1, total))
+            .map(|(_, n)| n)
+            .collect();
+        if nodes.is_empty() {
+            break;
+        }
+    }
+    nodes
+}
+
+/// Evaluates a union of paths from the document node: branch results are
+/// merged and deduplicated in document order.
+pub fn eval_union(doc: &Document, paths: &[Path]) -> Vec<NodeId> {
+    let mut out: BTreeSet<NodeId> = BTreeSet::new();
+    for p in paths {
+        out.extend(eval_document(doc, p));
+    }
+    out.into_iter().collect()
+}
+
+/// True when `node` is in the result of evaluating `path` from the document.
+pub fn matches(doc: &Document, path: &Path, node: NodeId) -> bool {
+    eval_document(doc, path).contains(&node)
+}
+
+/// True when the relative `path` has a non-empty result from `node`.
+pub fn node_satisfies(doc: &Document, node: NodeId, path: &Path) -> bool {
+    !eval_from(doc, path, &[node]).is_empty()
+}
+
+fn step_nodes(doc: &Document, ctx: NodeId, step: &Step, out: &mut BTreeSet<NodeId>) {
+    match step.axis {
+        Axis::Child => {
+            for &c in doc.node(ctx).children() {
+                if doc.is_live(c) && test_matches(doc, c, &step.test, step.axis) {
+                    out.insert(c);
+                }
+            }
+        }
+        Axis::Descendant => {
+            for d in doc.descendants(ctx).skip(1) {
+                if test_matches(doc, d, &step.test, step.axis) {
+                    out.insert(d);
+                }
+            }
+        }
+        Axis::DescendantOrSelf => {
+            for d in doc.descendants(ctx) {
+                if test_matches(doc, d, &step.test, step.axis) {
+                    out.insert(d);
+                }
+            }
+        }
+        Axis::Attribute => {
+            for &a in doc.node(ctx).attrs() {
+                if doc.is_live(a) && test_matches(doc, a, &step.test, step.axis) {
+                    out.insert(a);
+                }
+            }
+        }
+        Axis::SelfAxis => {
+            if test_matches(doc, ctx, &step.test, step.axis) {
+                out.insert(ctx);
+            }
+        }
+        Axis::Parent => {
+            if let Some(p) = doc.node(ctx).parent() {
+                if test_matches(doc, p, &step.test, step.axis) {
+                    out.insert(p);
+                }
+            }
+        }
+        Axis::FollowingSibling => {
+            if let Some(p) = doc.node(ctx).parent() {
+                let siblings = doc.node(p).children();
+                let mut seen_self = false;
+                for &s in siblings {
+                    if s == ctx {
+                        seen_self = true;
+                        continue;
+                    }
+                    if seen_self && doc.is_live(s) && test_matches(doc, s, &step.test, step.axis) {
+                        out.insert(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn test_matches(doc: &Document, node: NodeId, test: &NodeTest, axis: Axis) -> bool {
+    let kind = doc.node(node).kind();
+    match test {
+        NodeTest::Text => matches!(kind, NodeKind::Text(_)),
+        NodeTest::Wildcard => match axis {
+            Axis::Attribute => matches!(kind, NodeKind::Attribute(..)),
+            Axis::SelfAxis | Axis::Parent => true,
+            _ => matches!(kind, NodeKind::Element(_)),
+        },
+        NodeTest::Name(name) => match kind {
+            NodeKind::Element(t) => !matches!(axis, Axis::Attribute) && doc.tag_name(*t) == name,
+            NodeKind::Attribute(t, _) => {
+                matches!(axis, Axis::Attribute) && doc.tag_name(*t) == name
+            }
+            NodeKind::Text(_) => false,
+        },
+    }
+}
+
+fn satisfies_predicate(
+    doc: &Document,
+    node: NodeId,
+    pred: &Predicate,
+    pos: usize,
+    total: usize,
+) -> bool {
+    match pred {
+        Predicate::Exists(path) => !eval_from(doc, path, &[node]).is_empty(),
+        Predicate::Compare(path, op, lit) => {
+            let targets = if path.is_self() {
+                vec![node]
+            } else {
+                eval_from(doc, path, &[node])
+            };
+            targets
+                .iter()
+                .any(|&t| op.holds(lit.compare_with(&doc.text_value(t))))
+        }
+        Predicate::Position(crate::ast::PositionTest::Index(i)) => pos == *i,
+        Predicate::Position(crate::ast::PositionTest::Last) => pos == total,
+        Predicate::And(a, b) => {
+            satisfies_predicate(doc, node, a, pos, total)
+                && satisfies_predicate(doc, node, b, pos, total)
+        }
+        Predicate::Or(a, b) => {
+            satisfies_predicate(doc, node, a, pos, total)
+                || satisfies_predicate(doc, node, b, pos, total)
+        }
+        Predicate::Not(a) => !satisfies_predicate(doc, node, a, pos, total),
+        Predicate::Contains(path, lit) => string_fn_targets(doc, node, path)
+            .iter()
+            .any(|v| v.contains(lit.as_str())),
+        Predicate::StartsWith(path, lit) => string_fn_targets(doc, node, path)
+            .iter()
+            .any(|v| v.starts_with(lit.as_str())),
+    }
+}
+
+fn string_fn_targets(doc: &Document, node: NodeId, path: &Path) -> Vec<String> {
+    let targets = if path.is_self() {
+        vec![node]
+    } else {
+        eval_from(doc, path, &[node])
+    };
+    targets.into_iter().map(|t| doc.text_value(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Path;
+
+    fn hospital() -> Document {
+        Document::parse(
+            r#"<hospital>
+              <patient id="1">
+                <pname>Betty</pname>
+                <SSN>763895</SSN>
+                <age>35</age>
+                <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+                <insurance><policy coverage="1000000">34221</policy></insurance>
+              </patient>
+              <patient id="2">
+                <pname>Matt</pname>
+                <SSN>276543</SSN>
+                <age>40</age>
+                <treat><disease>leukemia</disease><doctor>Brown</doctor></treat>
+                <treat><disease>diarrhea</disease><doctor>Smith</doctor></treat>
+                <insurance><policy coverage="5000">78543</policy></insurance>
+              </patient>
+            </hospital>"#,
+        )
+        .unwrap()
+    }
+
+    fn q(doc: &Document, s: &str) -> Vec<String> {
+        eval_document(doc, &Path::parse(s).unwrap())
+            .into_iter()
+            .map(|n| doc.text_value(n))
+            .collect()
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = hospital();
+        assert_eq!(q(&d, "//pname"), ["Betty", "Matt"]);
+        assert_eq!(q(&d, "//disease").len(), 3);
+    }
+
+    #[test]
+    fn child_chain() {
+        let d = hospital();
+        assert_eq!(q(&d, "/hospital/patient/pname"), ["Betty", "Matt"]);
+        assert!(q(&d, "/patient").is_empty());
+    }
+
+    #[test]
+    fn equality_predicate() {
+        let d = hospital();
+        assert_eq!(q(&d, "//patient[pname = 'Betty']/SSN"), ["763895"]);
+        assert_eq!(q(&d, "//patient[pname = Matt]/SSN"), ["276543"]);
+    }
+
+    #[test]
+    fn descendant_predicate() {
+        let d = hospital();
+        // Both patients have diarrhea.
+        assert_eq!(q(&d, "//patient[.//disease = 'diarrhea']/pname").len(), 2);
+        assert_eq!(q(&d, "//patient[.//disease = 'leukemia']/pname"), ["Matt"]);
+    }
+
+    #[test]
+    fn numeric_range_predicates() {
+        let d = hospital();
+        assert_eq!(q(&d, "//patient[age > 36]/pname"), ["Matt"]);
+        assert_eq!(q(&d, "//patient[age >= 35]/pname").len(), 2);
+        assert_eq!(q(&d, "//patient[age < 36]/pname"), ["Betty"]);
+        assert_eq!(q(&d, "//patient[age != 35]/pname"), ["Matt"]);
+    }
+
+    #[test]
+    fn attribute_predicates() {
+        let d = hospital();
+        assert_eq!(
+            q(&d, "//patient[.//policy/@coverage >= 10000]/pname"),
+            ["Betty"]
+        );
+        assert_eq!(q(&d, "//policy[@coverage = 5000]"), ["78543"]);
+    }
+
+    #[test]
+    fn attribute_output() {
+        let d = hospital();
+        assert_eq!(q(&d, "//policy/@coverage"), ["1000000", "5000"]);
+        assert_eq!(q(&d, "//patient/@id"), ["1", "2"]);
+    }
+
+    #[test]
+    fn wildcard() {
+        let d = hospital();
+        assert_eq!(q(&d, "/hospital/*").len(), 2);
+        assert_eq!(q(&d, "//treat/*").len(), 6);
+    }
+
+    #[test]
+    fn existence_predicate() {
+        let d = hospital();
+        assert_eq!(q(&d, "//patient[insurance]").len(), 2);
+        assert!(q(&d, "//patient[nonexistent]").is_empty());
+    }
+
+    #[test]
+    fn following_sibling_axis() {
+        let d = hospital();
+        assert_eq!(
+            q(
+                &d,
+                "//patient[pname=Matt]/treat/following-sibling::treat//disease"
+            ),
+            ["diarrhea"]
+        );
+    }
+
+    #[test]
+    fn parent_axis() {
+        let d = hospital();
+        let names = q(&d, "//disease/../doctor");
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn self_path_returns_root() {
+        let d = hospital();
+        let r = eval_document(&d, &Path::parse(".").unwrap());
+        assert_eq!(r, vec![d.root().unwrap()]);
+    }
+
+    #[test]
+    fn text_test_selects_leaves() {
+        let d = hospital();
+        assert_eq!(q(&d, "//pname/text()"), ["Betty", "Matt"]);
+    }
+
+    #[test]
+    fn results_in_document_order_and_deduped() {
+        let d = hospital();
+        let r = eval_document(&d, &Path::parse("//patient//disease").unwrap());
+        let mut sorted = r.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(r, sorted);
+    }
+
+    #[test]
+    fn node_satisfies_relative() {
+        let d = hospital();
+        let betty = eval_document(&d, &Path::parse("//patient[pname=Betty]").unwrap())[0];
+        assert!(node_satisfies(
+            &d,
+            betty,
+            &Path::parse("insurance").unwrap()
+        ));
+        assert!(!node_satisfies(&d, betty, &Path::parse("zzz").unwrap()));
+    }
+
+    #[test]
+    fn matches_checks_membership() {
+        let d = hospital();
+        let root = d.root().unwrap();
+        assert!(matches(&d, &Path::parse("/hospital").unwrap(), root));
+        assert!(!matches(&d, &Path::parse("//patient").unwrap(), root));
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = Document::new();
+        assert!(eval_document(&d, &Path::parse("//a").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let d = hospital();
+        // Second treat of Matt.
+        assert_eq!(
+            q(&d, "//patient[pname=Matt]/treat[2]/disease"),
+            ["diarrhea"]
+        );
+        assert_eq!(
+            q(&d, "//patient[pname=Matt]/treat[last()]/doctor"),
+            ["Smith"]
+        );
+        assert_eq!(q(&d, "//patient[1]/pname"), ["Betty"]);
+        assert!(q(&d, "//patient[pname=Betty]/treat[2]").is_empty());
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let d = hospital();
+        assert_eq!(
+            q(&d, "//patient[age = 35 and pname = 'Betty']/SSN"),
+            ["763895"]
+        );
+        assert!(q(&d, "//patient[age = 35 and pname = 'Matt']/SSN").is_empty());
+        assert_eq!(
+            q(&d, "//patient[pname = 'Betty' or pname = 'Matt']/SSN").len(),
+            2
+        );
+        // Precedence: and binds tighter than or.
+        assert_eq!(
+            q(
+                &d,
+                "//patient[age = 99 and pname = 'Betty' or pname = 'Matt']/pname"
+            ),
+            ["Matt"]
+        );
+        // Parentheses override.
+        assert!(q(
+            &d,
+            "//patient[age = 99 and (pname = 'Betty' or pname = 'Matt')]/pname"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn position_with_structural_mix() {
+        let d = hospital();
+        assert_eq!(q(&d, "//patient[treat and age >= 35][1]/pname"), ["Betty"]);
+    }
+
+    #[test]
+    fn not_predicate() {
+        let d = hospital();
+        assert_eq!(q(&d, "//patient[not(age = 35)]/pname"), ["Matt"]);
+        assert_eq!(
+            q(&d, "//patient[not(insurance)]/pname").len(),
+            0,
+            "both patients have insurance"
+        );
+        assert_eq!(
+            q(&d, "//patient[not(pname = 'Betty' or pname = 'Matt')]").len(),
+            0
+        );
+    }
+
+    #[test]
+    fn union_queries() {
+        let d = hospital();
+        let paths = Path::parse_union("//pname | //SSN").unwrap();
+        assert_eq!(paths.len(), 2);
+        let r = eval_union(&d, &paths);
+        assert_eq!(r.len(), 4);
+        // Union with overlap dedups by node.
+        let paths = Path::parse_union("//patient | //patient[age = 35]").unwrap();
+        assert_eq!(eval_union(&d, &paths).len(), 2);
+        // A `|` inside a quoted literal is not a separator.
+        let paths = Path::parse_union("//patient[pname = 'a|b']").unwrap();
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn string_functions() {
+        let d = hospital();
+        assert_eq!(q(&d, "//patient[contains(pname, 'ett')]/SSN"), ["763895"]);
+        assert_eq!(q(&d, "//patient[starts-with(pname, 'M')]/SSN"), ["276543"]);
+        assert_eq!(q(&d, "//treat[contains(disease, 'ia')]").len(), 3);
+        assert!(q(&d, "//patient[contains(pname, 'zzz')]").is_empty());
+        assert_eq!(
+            q(&d, "//patient[contains(pname, 'tt') and age = 35]/pname"),
+            ["Betty"]
+        );
+        assert_eq!(q(&d, "//patient[not(starts-with(pname, 'B'))]/pname"), ["Matt"]);
+    }
+
+    #[test]
+    fn compare_direction_is_value_op_literal() {
+        // [age > 36] means value > 36, not 36 > value.
+        let d = Document::parse("<r><p><age>40</age></p><p><age>30</age></p></r>").unwrap();
+        assert_eq!(q(&d, "//p[age > 36]/age"), ["40"]);
+        assert_eq!(q(&d, "//p[age < 36]/age"), ["30"]);
+    }
+}

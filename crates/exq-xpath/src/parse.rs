@@ -1,0 +1,592 @@
+//! Recursive-descent parser for the XPath subset.
+
+use crate::ast::{Axis, CmpOp, Literal, NodeTest, Path, PositionTest, Predicate, Step};
+use std::fmt;
+
+/// An XPath syntax error with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+impl Path {
+    /// Parses an XPath expression.
+    ///
+    /// A leading `/` or no leading slash means the first step uses the child
+    /// axis; a leading `//` means the descendant axis. `.` and `..` are
+    /// supported, as are `.//a` relative descendant paths.
+    pub fn parse(input: &str) -> Result<Path, XPathError> {
+        let mut p = P {
+            input: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let path = p.parse_path()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(p.err("trailing input"));
+        }
+        Ok(path)
+    }
+}
+
+struct P<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> XPathError {
+        XPathError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_path(&mut self) -> Result<Path, XPathError> {
+        let mut steps = Vec::new();
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            let axis_prefix = if self.eat("//") {
+                Some(Axis::Descendant)
+            } else if self.eat("/") {
+                Some(Axis::Child)
+            } else {
+                None
+            };
+            match axis_prefix {
+                Some(mut ax) => {
+                    // `//@name` means descendant-or-self::node()/@name.
+                    if ax == Axis::Descendant && self.peek() == Some(b'@') {
+                        steps.push(Step {
+                            axis: Axis::DescendantOrSelf,
+                            test: NodeTest::Wildcard,
+                            predicates: Vec::new(),
+                        });
+                        ax = Axis::Child;
+                    }
+                    steps.push(self.parse_step(ax)?);
+                }
+                None if first => {
+                    // Relative start: `.`, `..`, `.//a`, or a bare step.
+                    if self.eat("..") {
+                        steps.push(Step {
+                            axis: Axis::Parent,
+                            test: NodeTest::Wildcard,
+                            predicates: Vec::new(),
+                        });
+                    } else if self.eat(".") {
+                        // `.` alone or `.//a` / `./a` — the self step is a
+                        // no-op, loop continues on the slash.
+                    } else if self.at_step_start() {
+                        steps.push(self.parse_step(Axis::Child)?);
+                    } else {
+                        return Err(self.err("expected a path"));
+                    }
+                }
+                None => break,
+            }
+            first = false;
+        }
+        Ok(Path { steps })
+    }
+
+    fn at_step_start(&self) -> bool {
+        matches!(self.peek(), Some(b) if b == b'@' || b == b'*' || is_name_byte(b))
+    }
+
+    fn parse_step(&mut self, mut axis: Axis) -> Result<Step, XPathError> {
+        if self.eat("..") {
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::Wildcard,
+                predicates: self.parse_predicates()?,
+            });
+        }
+        if self.eat(".") {
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::Wildcard,
+                predicates: self.parse_predicates()?,
+            });
+        }
+        if self.eat("@") {
+            axis = Axis::Attribute;
+        } else if self.eat("following-sibling::") {
+            axis = Axis::FollowingSibling;
+        } else if self.eat("descendant-or-self::") {
+            axis = Axis::DescendantOrSelf;
+        } else if self.eat("descendant::") {
+            axis = Axis::Descendant;
+        } else if self.eat("child::") {
+            axis = Axis::Child;
+        } else if self.eat("attribute::") {
+            axis = Axis::Attribute;
+        } else if self.eat("self::") {
+            axis = Axis::SelfAxis;
+        } else if self.eat("parent::") {
+            axis = Axis::Parent;
+        }
+
+        let test = if self.eat("*") {
+            NodeTest::Wildcard
+        } else if self.eat("text()") {
+            NodeTest::Text
+        } else {
+            NodeTest::Name(self.read_name()?)
+        };
+
+        Ok(Step {
+            axis,
+            test,
+            predicates: self.parse_predicates()?,
+        })
+    }
+
+    fn parse_predicates(&mut self) -> Result<Vec<Predicate>, XPathError> {
+        let mut preds = Vec::new();
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                return Ok(preds);
+            }
+            self.skip_ws();
+            let pred = self.parse_or_expr()?;
+            self.skip_ws();
+            if !self.eat("]") {
+                return Err(self.err("expected `]`"));
+            }
+            preds.push(pred);
+        }
+    }
+
+    /// `or-expr := and-expr ('or' and-expr)*`
+    fn parse_or_expr(&mut self) -> Result<Predicate, XPathError> {
+        let mut lhs = self.parse_and_expr()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("or") {
+                self.skip_ws();
+                let rhs = self.parse_and_expr()?;
+                lhs = Predicate::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// `and-expr := atom ('and' atom)*`
+    fn parse_and_expr(&mut self) -> Result<Predicate, XPathError> {
+        let mut lhs = self.parse_pred_atom()?;
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("and") {
+                self.skip_ws();
+                let rhs = self.parse_pred_atom()?;
+                lhs = Predicate::And(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// `atom := '(' or-expr ')' | number | 'last()' | path [op literal]`
+    fn parse_pred_atom(&mut self) -> Result<Predicate, XPathError> {
+        self.skip_ws();
+        if self.eat("(") {
+            let inner = self.parse_or_expr()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected `)`"));
+            }
+            return Ok(inner);
+        }
+        if self.eat("last()") {
+            return Ok(Predicate::Position(PositionTest::Last));
+        }
+        if self.eat("not(") {
+            let inner = self.parse_or_expr()?;
+            self.skip_ws();
+            if !self.eat(")") {
+                return Err(self.err("expected `)` after not(...)"));
+            }
+            return Ok(Predicate::Not(Box::new(inner)));
+        }
+        if self.eat("contains(") {
+            let (path, lit) = self.parse_string_fn_args()?;
+            return Ok(Predicate::Contains(path, lit));
+        }
+        if self.eat("starts-with(") {
+            let (path, lit) = self.parse_string_fn_args()?;
+            return Ok(Predicate::StartsWith(path, lit));
+        }
+        // Bare integer followed by a predicate terminator = position test.
+        if let Some(pos) = self.try_parse_position() {
+            return Ok(Predicate::Position(PositionTest::Index(pos)));
+        }
+        let path = self.parse_path()?;
+        self.skip_ws();
+        match self.try_parse_op() {
+            None => Ok(Predicate::Exists(path)),
+            Some(op) => {
+                self.skip_ws();
+                let lit = self.parse_literal()?;
+                Ok(Predicate::Compare(path, op, lit))
+            }
+        }
+    }
+
+    /// Parses `path, 'literal')` — the tail of a two-argument string
+    /// function call.
+    fn parse_string_fn_args(&mut self) -> Result<(Path, String), XPathError> {
+        self.skip_ws();
+        let path = self.parse_path()?;
+        self.skip_ws();
+        if !self.eat(",") {
+            return Err(self.err("expected `,` in string function"));
+        }
+        self.skip_ws();
+        let lit = match self.parse_literal()? {
+            Literal::Str(s) => s,
+            Literal::Number(n) => Literal::Number(n).as_text(),
+        };
+        self.skip_ws();
+        if !self.eat(")") {
+            return Err(self.err("expected `)` after string function"));
+        }
+        Ok((path, lit))
+    }
+
+    /// Consumes a keyword only when followed by a non-name byte.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            let after = self.input.get(self.pos + kw.len()).copied();
+            if after.is_none() || !is_name_byte(after.unwrap()) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes `digits` only when the lookahead ends the atom (so tags that
+    /// begin with digits still parse as paths).
+    fn try_parse_position(&mut self) -> Option<usize> {
+        let start = self.pos;
+        let mut end = self.pos;
+        while self.input.get(end).is_some_and(|b| b.is_ascii_digit()) {
+            end += 1;
+        }
+        if end == start {
+            return None;
+        }
+        // Lookahead: skip whitespace, then require a terminator.
+        let mut look = end;
+        while matches!(self.input.get(look), Some(b' ' | b'\t')) {
+            look += 1;
+        }
+        let terminator = match self.input.get(look) {
+            None | Some(b']') | Some(b')') => true,
+            _ => self.input[look..].starts_with(b"and ") || self.input[look..].starts_with(b"or "),
+        };
+        if !terminator {
+            return None;
+        }
+        let n: usize = std::str::from_utf8(&self.input[start..end])
+            .ok()?
+            .parse()
+            .ok()?;
+        self.pos = end;
+        Some(n)
+    }
+
+    fn try_parse_op(&mut self) -> Option<CmpOp> {
+        if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, XPathError> {
+        match self.peek() {
+            Some(q @ (b'\'' | b'"')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek().map(|b| b != q).unwrap_or(false) {
+                    self.pos += 1;
+                }
+                if self.peek() != Some(q) {
+                    return Err(self.err("unterminated string literal"));
+                }
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("literal is not valid UTF-8"))?
+                    .to_owned();
+                self.pos += 1;
+                Ok(Literal::Str(s))
+            }
+            Some(b) if b.is_ascii_digit() || b == b'-' || b == b'+' => {
+                let start = self.pos;
+                self.pos += 1;
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.') {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+                s.parse::<f64>()
+                    .map(Literal::Number)
+                    .map_err(|_| self.err(format!("bad number `{s}`")))
+            }
+            Some(b) if is_name_byte(b) => {
+                // Bare word treated as a string literal, matching the paper's
+                // query style: //patient[pname=Betty].
+                let name = self.read_name()?;
+                Ok(Literal::Str(name))
+            }
+            _ => Err(self.err("expected a literal")),
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XPathError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if is_name_byte(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("name is not valid UTF-8"))?
+            .to_owned())
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'#') || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    #[test]
+    fn simple_paths() {
+        assert_eq!(p("/a").steps.len(), 1);
+        assert_eq!(p("//a/b").steps.len(), 2);
+        assert_eq!(p("//a/b").steps[0].axis, Axis::Descendant);
+        assert_eq!(p("//a/b").steps[1].axis, Axis::Child);
+        assert_eq!(p("a/b").steps[0].axis, Axis::Child);
+    }
+
+    #[test]
+    fn relative_descendant() {
+        let q = p(".//disease");
+        assert_eq!(q.steps.len(), 1);
+        assert_eq!(q.steps[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn self_and_parent() {
+        assert!(p(".").is_self());
+        assert_eq!(p("..").steps[0].axis, Axis::Parent);
+    }
+
+    #[test]
+    fn attribute_axis() {
+        let q = p("//insurance//*/@coverage");
+        assert_eq!(q.steps.len(), 3);
+        assert_eq!(q.steps[1].test, NodeTest::Wildcard);
+        assert_eq!(q.steps[2].axis, Axis::Attribute);
+        assert_eq!(q.steps[2].test, NodeTest::Name("coverage".into()));
+    }
+
+    #[test]
+    fn predicates() {
+        let q = p("//patient[pname = 'Betty'][.//disease=diarrhea]/SSN");
+        assert_eq!(q.steps[0].predicates.len(), 2);
+        match &q.steps[0].predicates[0] {
+            Predicate::Compare(path, CmpOp::Eq, Literal::Str(s)) => {
+                assert_eq!(path.steps[0].axis, Axis::Child);
+                assert_eq!(s, "Betty");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &q.steps[0].predicates[1] {
+            Predicate::Compare(path, CmpOp::Eq, Literal::Str(s)) => {
+                assert_eq!(path.steps[0].axis, Axis::Descendant);
+                assert_eq!(s, "diarrhea");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_predicates_and_ops() {
+        let q = p("//patient[.//insurance/@coverage >= 10000]//SSN");
+        match &q.steps[0].predicates[0] {
+            Predicate::Compare(_, CmpOp::Ge, Literal::Number(n)) => assert_eq!(*n, 10000.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        for (s, op) in [
+            ("[a<1]", CmpOp::Lt),
+            ("[a<=1]", CmpOp::Le),
+            ("[a>1]", CmpOp::Gt),
+            ("[a>=1]", CmpOp::Ge),
+            ("[a=1]", CmpOp::Eq),
+            ("[a!=1]", CmpOp::Ne),
+        ] {
+            let q = p(&format!("//x{s}"));
+            match &q.steps[0].predicates[0] {
+                Predicate::Compare(_, o, _) => assert_eq!(*o, op),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn existence_predicate() {
+        let q = p("//patient[insurance]");
+        assert!(matches!(&q.steps[0].predicates[0], Predicate::Exists(_)));
+    }
+
+    #[test]
+    fn following_sibling() {
+        let q = p("/a/following-sibling::b");
+        assert_eq!(q.steps[1].axis, Axis::FollowingSibling);
+    }
+
+    #[test]
+    fn explicit_axes() {
+        assert_eq!(p("/child::a").steps[0].axis, Axis::Child);
+        assert_eq!(p("/descendant::a").steps[0].axis, Axis::Descendant);
+        assert_eq!(p("/attribute::a").steps[0].axis, Axis::Attribute);
+    }
+
+    #[test]
+    fn text_test() {
+        let q = p("//a/text()");
+        assert_eq!(q.steps[1].test, NodeTest::Text);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "//patient/SSN",
+            "//patient[pname = 'Betty']/SSN",
+            "//insurance//*/@coverage",
+            "//a[b >= 10]/c",
+            "//treat[disease != 'flu']",
+            "/hospital/patient",
+        ] {
+            let once = p(s);
+            let again = p(&once.to_string());
+            assert_eq!(once, again, "display roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("//").is_err());
+        assert!(Path::parse("//a[").is_err());
+        assert!(Path::parse("//a[b=']").is_err());
+        assert!(Path::parse("//a]").is_err());
+        assert!(Path::parse("//a[b=]").is_err());
+    }
+
+    #[test]
+    fn positional_and_boolean_predicates() {
+        let q = p("//a[2]");
+        assert!(matches!(
+            q.steps[0].predicates[0],
+            Predicate::Position(PositionTest::Index(2))
+        ));
+        let q = p("//a[last()]");
+        assert!(matches!(
+            q.steps[0].predicates[0],
+            Predicate::Position(PositionTest::Last)
+        ));
+        let q = p("//a[b = 1 and c = 2]");
+        assert!(matches!(q.steps[0].predicates[0], Predicate::And(..)));
+        let q = p("//a[b or c and d]");
+        // and binds tighter: Or(b, And(c, d))
+        match &q.steps[0].predicates[0] {
+            Predicate::Or(_, rhs) => assert!(matches!(**rhs, Predicate::And(..))),
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = p("//a[(b or c) and d]");
+        assert!(matches!(q.steps[0].predicates[0], Predicate::And(..)));
+        // A bare number compared to a path is NOT positional.
+        let q = p("//a[b = 2]");
+        assert!(matches!(q.steps[0].predicates[0], Predicate::Compare(..)));
+    }
+
+    #[test]
+    fn position_display_roundtrip() {
+        for s in [
+            "//a[2]/b",
+            "//a[last()]",
+            "//a[b = 1 and c = 2]",
+            "//a[b or c]",
+        ] {
+            let once = p(s);
+            let again = p(&once.to_string());
+            assert_eq!(once, again, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn quoted_strings() {
+        let q = p(r#"//a[b = "x y"]"#);
+        match &q.steps[0].predicates[0] {
+            Predicate::Compare(_, _, Literal::Str(s)) => assert_eq!(s, "x y"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

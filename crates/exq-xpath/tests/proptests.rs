@@ -1,0 +1,127 @@
+//! Property tests for the XPath engine.
+
+use exq_xml::Document;
+use exq_xpath::{eval_document, Path};
+use proptest::prelude::*;
+
+/// Random documents over a small tag alphabet.
+fn tag() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")].prop_map(str::to_owned)
+}
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Text(u8),
+    El(String, Vec<Tree>),
+}
+
+fn tree() -> impl Strategy<Value = Tree> {
+    let leaf = any::<u8>().prop_map(Tree::Text);
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (tag(), proptest::collection::vec(inner, 0..4)).prop_map(|(t, c)| Tree::El(t, c))
+    })
+}
+
+fn build(doc: &mut Document, parent: Option<exq_xml::NodeId>, t: &Tree) {
+    match t {
+        Tree::Text(v) => {
+            if let Some(p) = parent {
+                doc.add_text(p, &v.to_string());
+            }
+        }
+        Tree::El(tag, children) => {
+            let el = doc.add_element(parent, tag);
+            for c in children {
+                build(doc, Some(el), c);
+            }
+        }
+    }
+}
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    (tag(), proptest::collection::vec(tree(), 0..4)).prop_map(|(t, children)| {
+        let mut d = Document::new();
+        let root = d.add_element(None, &t);
+        for c in &children {
+            build(&mut d, Some(root), c);
+        }
+        d
+    })
+}
+
+proptest! {
+    /// `//t` returns exactly the elements with tag t, in document order.
+    #[test]
+    fn descendant_matches_elements_by_tag(d in doc_strategy(), t in tag()) {
+        let q = Path::parse(&format!("//{t}")).unwrap();
+        let got = eval_document(&d, &q);
+        prop_assert_eq!(got, d.elements_by_tag(&t));
+    }
+
+    /// `//a//b` ⊆ `//b`, and every result has an `a` ancestor.
+    #[test]
+    fn nested_descendants_are_consistent(d in doc_strategy()) {
+        let all_b = eval_document(&d, &Path::parse("//b").unwrap());
+        let nested = eval_document(&d, &Path::parse("//a//b").unwrap());
+        for n in &nested {
+            prop_assert!(all_b.contains(n));
+            let has_a_anc = d
+                .ancestors(*n)
+                .iter()
+                .any(|&x| d.element_name(x) == Some("a"));
+            prop_assert!(has_a_anc);
+        }
+    }
+
+    /// Child-step results are exactly the parent-filtered descendant results.
+    #[test]
+    fn child_is_refinement_of_descendant(d in doc_strategy()) {
+        let child = eval_document(&d, &Path::parse("//a/b").unwrap());
+        let desc = eval_document(&d, &Path::parse("//a//b").unwrap());
+        for n in &child {
+            prop_assert!(desc.contains(n));
+            prop_assert_eq!(d.element_name(d.node(*n).parent().unwrap()), Some("a"));
+        }
+        for n in &desc {
+            if d.element_name(d.node(*n).parent().unwrap()) == Some("a") {
+                prop_assert!(child.contains(n));
+            }
+        }
+    }
+
+    /// The wildcard counts every element except the root.
+    #[test]
+    fn wildcard_descendant_counts_elements(d in doc_strategy()) {
+        let q = Path::parse("//*").unwrap();
+        let got = eval_document(&d, &q).len();
+        let expected = d
+            .iter()
+            .filter(|&n| d.node(n).is_element())
+            .count();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Display → parse is the identity on generated query shapes.
+    #[test]
+    fn display_parse_roundtrip(
+        t1 in tag(),
+        t2 in tag(),
+        v in 0u8..200,
+        op in prop_oneof![Just("="), Just("<"), Just(">="), Just("!=")],
+    ) {
+        let q = format!("//{t1}[{t2} {op} {v}]/{t2}");
+        let p1 = Path::parse(&q).unwrap();
+        let p2 = Path::parse(&p1.to_string()).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// Predicates never enlarge the result set.
+    #[test]
+    fn predicates_filter(d in doc_strategy(), v in 0u8..255) {
+        let all = eval_document(&d, &Path::parse("//a").unwrap());
+        let some = eval_document(&d, &Path::parse(&format!("//a[b = {v}]")).unwrap());
+        for n in &some {
+            prop_assert!(all.contains(n));
+        }
+    }
+}

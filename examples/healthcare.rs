@@ -1,0 +1,63 @@
+//! The paper's running example: the Figure 2 health-care database with the
+//! Example 3.1 security constraints, including the §6 worked query
+//! `//patient[.//insurance//@coverage >= 10000]//SSN`.
+//!
+//! ```sh
+//! cargo run --release --example healthcare
+//! ```
+
+use encrypted_xml::core::scheme::SchemeKind;
+use encrypted_xml::core::system::{OutsourceConfig, Outsourcer};
+use encrypted_xml::workload::hospital;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let doc = hospital::document();
+    let constraints = hospital::constraints();
+
+    println!("security constraints (Example 3.1):");
+    for sc in &constraints {
+        println!("  {sc}");
+    }
+
+    for kind in SchemeKind::ALL {
+        let hosted =
+            Outsourcer::new(OutsourceConfig::default()).outsource(&doc, &constraints, kind, 7)?;
+        println!(
+            "\nscheme {:>4}: {} blocks, scheme size {}, hosted {} bytes",
+            kind.name(),
+            hosted.setup.block_count,
+            hosted.setup.scheme_size,
+            hosted.setup.hosted_bytes(),
+        );
+        assert!(hosted.scheme.enforces(&doc, &constraints));
+
+        // The §6.1/Figure 7(b) worked query.
+        let q = "//patient[.//insurance//@coverage >= 10000]//SSN";
+        let outcome = hosted.query(q)?;
+        println!("  {q}");
+        println!("    -> {:?}", outcome.results);
+        println!(
+            "    shipped {} bytes, {} blocks; total {:?}",
+            outcome.bytes_to_client,
+            outcome.blocks_shipped,
+            outcome.timing.total(),
+        );
+    }
+
+    // Show what the server actually sees under the optimal scheme.
+    let hosted = Outsourcer::new(OutsourceConfig::default()).outsource(
+        &doc,
+        &constraints,
+        SchemeKind::Opt,
+        7,
+    )?;
+    println!("\nserver-visible document (opt scheme):");
+    println!("{}", hosted.server.visible_xml());
+    println!(
+        "\nDSI index table: {} tags, {} interval entries; value indexes: {} attributes",
+        hosted.server.metadata().dsi_table.tag_count(),
+        hosted.server.metadata().dsi_table.entry_count(),
+        hosted.server.metadata().value_indexes.len(),
+    );
+    Ok(())
+}

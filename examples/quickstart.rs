@@ -1,0 +1,56 @@
+//! Quickstart: outsource a tiny database, run one query, inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use encrypted_xml::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The data owner's plaintext database.
+    let doc = Document::parse(
+        r#"<hospital>
+            <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age></patient>
+            <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age></patient>
+           </hospital>"#,
+    )?;
+
+    // 2. What must be protected: the name↔SSN association.
+    let constraints = vec![SecurityConstraint::parse("//patient:(/pname, /SSN)")?];
+
+    // 3. Outsource: build the optimal secure encryption scheme, seal the
+    //    blocks, construct the server metadata.
+    let hosted = Outsourcer::new(OutsourceConfig::default()).outsource(
+        &doc,
+        &constraints,
+        SchemeKind::Opt,
+        42,
+    )?;
+    println!(
+        "outsourced: {} blocks, {} hosted bytes, scheme size {}",
+        hosted.setup.block_count,
+        hosted.setup.hosted_bytes(),
+        hosted.setup.scheme_size,
+    );
+
+    // 4. Query through the secure pipeline.
+    let outcome = hosted.query("//patient[age >= 36]/SSN")?;
+    println!("results: {:?}", outcome.results);
+    println!(
+        "phases: translate {:?} | server {:?} | transmit {:?} | decrypt {:?} | post {:?}",
+        outcome.timing.client_translate,
+        outcome.timing.server_translate + outcome.timing.server_process,
+        outcome.timing.transmit,
+        outcome.timing.decrypt,
+        outcome.timing.post_process,
+    );
+    println!(
+        "shipped {} bytes / {} blocks (hosted total: {} bytes)",
+        outcome.bytes_to_client,
+        outcome.blocks_shipped,
+        hosted.server.hosted_bytes(),
+    );
+
+    assert_eq!(outcome.results, ["<SSN>276543</SSN>"]);
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Encryption-granularity study (§4, §7.4): how the four schemes trade
+//! encryption cost, hosted size, and query performance on a NASA-like
+//! document.
+//!
+//! ```sh
+//! cargo run --release --example scheme_tradeoffs
+//! ```
+
+use encrypted_xml::core::scheme::SchemeKind;
+use encrypted_xml::core::system::{OutsourceConfig, Outsourcer};
+use encrypted_xml::workload::{generate_queries, nasa, QueryClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let doc = nasa::generate(&nasa::NasaConfig {
+        target_bytes: 256 * 1024,
+        seed: 5,
+    });
+    let constraints = nasa::constraints();
+    println!(
+        "document: {} bytes, {} nodes, height {}",
+        doc.serialized_size(),
+        doc.len(),
+        doc.height()
+    );
+
+    println!(
+        "\n{:>6} {:>8} {:>12} {:>12} {:>12}",
+        "scheme", "blocks", "scheme size", "hosted B", "enc time"
+    );
+    let mut hosted_by_kind = Vec::new();
+    for kind in SchemeKind::ALL {
+        let hosted =
+            Outsourcer::new(OutsourceConfig::default()).outsource(&doc, &constraints, kind, 13)?;
+        println!(
+            "{:>6} {:>8} {:>12} {:>12} {:>12?}",
+            kind.name(),
+            hosted.setup.block_count,
+            hosted.setup.scheme_size,
+            hosted.setup.hosted_bytes(),
+            hosted.setup.encrypt_time,
+        );
+        hosted_by_kind.push((kind, hosted));
+    }
+
+    for class in QueryClass::ALL {
+        let queries = generate_queries(&doc, class, 5, 31);
+        println!(
+            "\nquery class {} ({} queries): total round-trip time per scheme",
+            class.name(),
+            queries.len()
+        );
+        for (kind, hosted) in &hosted_by_kind {
+            let mut total = std::time::Duration::ZERO;
+            let mut bytes = 0usize;
+            for q in &queries {
+                let out = hosted.query(q)?;
+                total += out.timing.total();
+                bytes += out.bytes_to_client;
+            }
+            println!(
+                "  {:>4}: {:>12?}  ({} bytes shipped)",
+                kind.name(),
+                total / queries.len() as u32,
+                bytes / queries.len()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Full-feature tour: outsourcing, querying, aggregates, updates, and
+//! persistence — everything a downstream user touches, in one script.
+//!
+//! ```sh
+//! cargo run --release --example tutorial
+//! ```
+
+use encrypted_xml::core::aggregate::Aggregate;
+use encrypted_xml::core::scheme::SchemeKind;
+use encrypted_xml::core::system::{OutsourceConfig, Outsourcer};
+use encrypted_xml::core::{Client, SecurityConstraint, Server};
+use encrypted_xml::xml::Document;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------ 1. outsourcing ----
+    let doc = Document::parse(
+        r#"<clinic>
+            <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age>
+              <insurance><policy coverage="1000000">34221</policy></insurance></patient>
+            <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age>
+              <insurance><policy coverage="5000">78543</policy></insurance></patient>
+           </clinic>"#,
+    )?;
+    let constraints = vec![
+        SecurityConstraint::parse("//insurance")?,
+        SecurityConstraint::parse("//patient:(/pname, /SSN)")?,
+    ];
+    let hosted = Outsourcer::new(OutsourceConfig::default()).outsource(
+        &doc,
+        &constraints,
+        SchemeKind::Opt,
+        2024,
+    )?;
+    println!(
+        "outsourced: {} blocks, {} hosted bytes",
+        hosted.setup.block_count,
+        hosted.setup.hosted_bytes()
+    );
+    let (mut client, mut server) = hosted.split();
+
+    // ------------------------------------------------ 2. querying -------
+    let out = client.query(&server, "//patient[.//policy/@coverage >= 10000]/age")?;
+    println!("high-coverage patients' ages: {:?}", out.results);
+    assert_eq!(out.results, ["<age>35</age>"]);
+
+    // Boolean, positional, and union queries all work.
+    let out = client.query(
+        &server,
+        "//patient[age = 35 or age = 40]/pname | //patient[1]/SSN",
+    )?;
+    println!("union query: {} results", out.results.len());
+
+    // ------------------------------------------------ 3. aggregates -----
+    let max = client.aggregate(&server, "//policy/@coverage", Aggregate::Max)?;
+    println!(
+        "MAX coverage = {:?} (decrypted {} block)",
+        max.value, max.blocks_decrypted
+    );
+    assert_eq!(max.value.as_deref(), Some("1000000"));
+
+    // ------------------------------------------------ 4. updates --------
+    client.insert(
+        &mut server,
+        "/clinic",
+        "<patient><pname>Zoe</pname><SSN>112233</SSN><age>29</age>
+           <insurance><policy coverage=\"7500\">90210</policy></insurance></patient>",
+        7,
+    )?;
+    let out = client.query(&server, "//patient[pname = 'Zoe']/age")?;
+    assert_eq!(out.results, ["<age>29</age>"]);
+    println!("inserted Zoe; she is queryable under the same policy");
+
+    let deleted = client.delete(&mut server, "//patient[age = 40]")?;
+    println!("deleted {} patient(s)", deleted.deleted);
+
+    // ------------------------------------------------ 5. persistence ----
+    let dir = std::env::temp_dir().join("exq-tutorial");
+    std::fs::create_dir_all(&dir)?;
+    let (spath, cpath) = (dir.join("server.exq"), dir.join("client.exq"));
+    server.save(&spath)?;
+    client.save(&cpath)?;
+    let server2 = Server::load(&spath)?;
+    let client2 = Client::load(&cpath)?;
+    let out = client2.query(&server2, "//patient/pname")?;
+    println!("after reload: {} patients", out.results.len());
+    assert_eq!(out.results.len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!("tutorial complete ✓");
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Robustness: malformed inputs must produce errors, never panics, at every
+//! public entry point; concurrent read-only querying must be safe.
+
+use encrypted_xml::core::scheme::SchemeKind;
+use encrypted_xml::core::system::{OutsourceConfig, Outsourcer};
+use encrypted_xml::core::SecurityConstraint;
+use encrypted_xml::workload::hospital;
+use encrypted_xml::xml::Document;
+use encrypted_xml::xpath::Path;
+use std::sync::Arc;
+
+#[test]
+fn malformed_xml_is_an_error() {
+    let bad = [
+        "",
+        "<",
+        "<a",
+        "<a></b>",
+        "<a><b></a></b>",
+        "text only",
+        "<a/><b/>",
+        "<a x=></a>",
+        "<a x='1' x='2'",
+        "<!-- unterminated",
+        "<a><![CDATA[never closed</a>",
+        "</closing-first>",
+        "<a>&#xFFFFFFFF;</a>",
+    ];
+    for b in bad {
+        // Parsing may succeed leniently (entities) or fail — never panic.
+        let _ = Document::parse(b);
+    }
+    // These specifically must fail.
+    for b in ["", "<", "<a></b>", "<a/><b/>"] {
+        assert!(Document::parse(b).is_err(), "{b:?} should fail");
+    }
+}
+
+#[test]
+fn malformed_xpath_is_an_error() {
+    let bad = [
+        "",
+        "//",
+        "/",
+        "//a[",
+        "//a]",
+        "//a[b=]",
+        "//a[b='x]",
+        "//a[[b]]",
+        "//a[()]",
+        "//a[not(]",
+        "//a[1 and]",
+        "//a || //b",
+        "@",
+        "//a/@",
+        "//a[b <>< 2]",
+    ];
+    for b in bad {
+        assert!(Path::parse(b).is_err(), "{b:?} should fail to parse");
+    }
+}
+
+#[test]
+fn malformed_constraints_are_errors() {
+    for b in ["", "//a:(", "//a:(b", "//a:()", ":(a, b)", "//a:(b c)"] {
+        assert!(
+            SecurityConstraint::parse(b).is_err(),
+            "{b:?} should fail to parse"
+        );
+    }
+    // Single-path form with garbage.
+    assert!(SecurityConstraint::parse("//[").is_err());
+}
+
+#[test]
+fn queries_on_weird_documents_never_panic() {
+    let weird_docs = [
+        "<a/>",
+        "<a><a><a><a/></a></a></a>",
+        "<r><x/><x/><x/><x/><x/><x/><x/><x/></r>",
+        "<r a=\"1\" b=\"2\" c=\"3\"/>",
+        "<r>&amp;&lt;&gt;</r>",
+    ];
+    let queries = [
+        "//a",
+        "//a/a/a",
+        "/a",
+        "//*",
+        "//x[9]",
+        "//x[last()]",
+        "//@a",
+        "//r[@a = 1 and @b = 2]",
+        "//missing//also//missing",
+    ];
+    for d in weird_docs {
+        let doc = Document::parse(d).unwrap();
+        let cs = vec![SecurityConstraint::parse("//a:(/x, /y)").unwrap()];
+        for kind in SchemeKind::ALL {
+            let hosted = Outsourcer::new(OutsourceConfig::default())
+                .outsource(&doc, &cs, kind, 1)
+                .unwrap();
+            for q in queries {
+                let _ = hosted.query(q).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn single_node_document() {
+    let doc = Document::parse("<only/>").unwrap();
+    let hosted = Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &[], SchemeKind::Opt, 1)
+        .unwrap();
+    assert_eq!(hosted.query("/only").unwrap().results, ["<only/>"]);
+    assert!(hosted.query("//nothing").unwrap().results.is_empty());
+}
+
+#[test]
+fn concurrent_queries_share_one_server() {
+    let doc = hospital::scaled(60, 2);
+    let cs = hospital::constraints();
+    let hosted = Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, SchemeKind::Opt, 2)
+        .unwrap();
+    let (client, server) = hosted.split();
+    let client = Arc::new(client);
+    let server = Arc::new(server);
+    let expected = client.query(&server, "//patient[age = 33]/pname").unwrap();
+
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let client = Arc::clone(&client);
+        let server = Arc::clone(&server);
+        let expected = expected.results.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20 {
+                let q = match (t + i) % 3 {
+                    0 => "//patient[age = 33]/pname",
+                    1 => "//patient[age = 33]/pname",
+                    _ => "//patient[age = 33]/pname",
+                };
+                let out = client.query(&server, q).unwrap();
+                assert_eq!(out.results, expected);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn zero_constraints_still_works() {
+    let doc = hospital::document();
+    let hosted = Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &[], SchemeKind::Opt, 5)
+        .unwrap();
+    // Nothing to protect: no blocks, everything visible, queries exact.
+    assert_eq!(hosted.setup.block_count, 0);
+    let out = hosted.query("//patient[pname = 'Betty']/SSN").unwrap();
+    assert_eq!(out.results, ["<SSN>763895</SSN>"]);
+}
