@@ -13,6 +13,7 @@ pub mod e10_cover_ablation;
 pub mod e11_dsi_ablation;
 pub mod e12_updates;
 pub mod e13_scaling;
+pub mod e14_concurrency;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -89,6 +90,11 @@ pub fn registry() -> Vec<Experiment> {
             "e13",
             "extension: document-size scalability sweep",
             e13_scaling::run,
+        ),
+        (
+            "e14",
+            "extension: concurrent TCP clients vs one server",
+            e14_concurrency::run,
         ),
     ]
 }

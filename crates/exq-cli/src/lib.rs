@@ -7,10 +7,12 @@ use exq_core::aggregate::Aggregate;
 use exq_core::constraints::SecurityConstraint;
 use exq_core::scheme::SchemeKind;
 use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::transport::{serve, InProcess, ServeConfig, ServeHandle, TcpTransport, Transport};
 use exq_core::{Client, CoreError, Server};
 use exq_xml::Document;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::{Arc, RwLock};
 
 /// CLI-level error: core error or usage problem.
 #[derive(Debug)]
@@ -136,7 +138,8 @@ pub fn cmd_encrypt(
     Ok(report)
 }
 
-/// `exq query`: run one XPath query through the secure pipeline.
+/// `exq query`: run one XPath query through the secure pipeline over an
+/// in-process link.
 pub fn cmd_query(
     server_path: &Path,
     client_path: &Path,
@@ -145,10 +148,27 @@ pub fn cmd_query(
 ) -> Result<String, CliError> {
     let server = Server::load(server_path)?;
     let client = Client::load(client_path)?;
+    let mut link = InProcess::shared(&server);
+    query_over(&client, &mut link, query, naive)
+}
+
+/// `exq query --addr`: same pipeline, but the server is a network peer.
+pub fn cmd_query_remote(addr: &str, client_path: &Path, query: &str) -> Result<String, CliError> {
+    let client = Client::load(client_path)?;
+    let mut link = TcpTransport::connect_default(addr)?;
+    query_over(&client, &mut link, query, false)
+}
+
+fn query_over(
+    client: &Client,
+    link: &mut dyn Transport,
+    query: &str,
+    naive: bool,
+) -> Result<String, CliError> {
     let tq = client.translate(query)?;
     let (resp, post_query) = match (&tq.server_query, naive) {
-        (Some(sq), false) => (server.answer(sq), &tq.post_query),
-        _ => (server.answer_naive(), &tq.full_query),
+        (Some(sq), false) => (link.send_query(sq)?, &tq.post_query),
+        _ => (link.send_naive()?, &tq.full_query),
     };
     let post = client.post_process(post_query, &resp)?;
     let mut report = String::new();
@@ -160,9 +180,37 @@ pub fn cmd_query(
         "-- {} result(s); {} block(s) decrypted; {} bytes from server",
         post.results.len(),
         post.blocks_decrypted,
-        resp.payload_bytes()
+        link.stats().bytes_received
     );
     Ok(report)
+}
+
+/// `exq serve`: host a server state file on a TCP address. Returns the
+/// running handle plus a banner; the binary parks until interrupted, tests
+/// shut the handle down directly.
+pub fn cmd_serve(
+    server_path: &Path,
+    addr: &str,
+    workers: usize,
+) -> Result<(ServeHandle, String), CliError> {
+    let server = Server::load(server_path)?;
+    let blocks = server.block_count();
+    let bytes = server.hosted_bytes();
+    let listener = std::net::TcpListener::bind(addr)?;
+    let handle = serve(
+        listener,
+        Arc::new(RwLock::new(server)),
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    )?;
+    let banner = format!(
+        "serving {} ({bytes} hosted bytes, {blocks} blocks) on {} with {workers} worker(s)\n",
+        server_path.display(),
+        handle.addr()
+    );
+    Ok((handle, banner))
 }
 
 /// `exq aggregate`: MIN/MAX/COUNT over an attribute path.
@@ -224,11 +272,7 @@ pub fn cmd_delete(server_path: &Path, client_path: &Path, query: &str) -> Result
 
 /// `exq export`: decrypt the full database back to plaintext XML (owner
 /// data recovery).
-pub fn cmd_export(
-    server_path: &Path,
-    client_path: &Path,
-    out: &Path,
-) -> Result<String, CliError> {
+pub fn cmd_export(server_path: &Path, client_path: &Path, out: &Path) -> Result<String, CliError> {
     let server = Server::load(server_path)?;
     let client = Client::load(client_path)?;
     let doc = client
@@ -347,6 +391,8 @@ USAGE:
   exq encrypt   --in doc.xml --constraints sc.txt --scheme opt --seed N
                 --server server.exq --client client.exq
   exq query     --server server.exq --client client.exq [--naive] 'XPATH'
+  exq query     --addr HOST:PORT --client client.exq 'XPATH'
+  exq serve     --server server.exq --addr HOST:PORT [--workers N]
   exq aggregate --server server.exq --client client.exq --fn min|max|count 'PATH'
   exq insert    --server server.exq --client client.exq --parent 'QUERY'
                 --record rec.xml [--seed N]

@@ -89,12 +89,31 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let q = positional
                 .first()
                 .ok_or_else(|| CliError::Usage("missing query".into()))?;
-            cmd_query(
-                &path("server")?,
-                &path("client")?,
-                q,
-                flags.contains_key("naive"),
-            )
+            match flags.get("addr") {
+                Some(addr) => cmd_query_remote(addr, &path("client")?, q),
+                None => cmd_query(
+                    &path("server")?,
+                    &path("client")?,
+                    q,
+                    flags.contains_key("naive"),
+                ),
+            }
+        }
+        "serve" => {
+            let workers = flags
+                .get("workers")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|_| CliError::Usage("--workers must be an integer".into()))?
+                .unwrap_or(4);
+            let (handle, banner) = cmd_serve(&path("server")?, &string("addr")?, workers)?;
+            print!("{banner}");
+            // Serve until killed; the handle's threads do all the work.
+            loop {
+                std::thread::park();
+                // Spurious unparks are possible; `handle` must stay alive.
+                let _ = &handle;
+            }
         }
         "aggregate" => {
             let p = positional

@@ -172,3 +172,25 @@ fn binary_smoke() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn serve_and_query_remote() {
+    let dir = TempDir::new("serve");
+    let (server, client) = setup(&dir);
+
+    // Bind on an ephemeral port, then query it over the wire.
+    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2).unwrap();
+    assert!(banner.contains("serving"), "banner: {banner}");
+    let addr = handle.addr().to_string();
+
+    let remote = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN").unwrap();
+    assert!(remote.contains("763895"), "remote output: {remote}");
+    // Local and remote answer lines agree (the byte counter line matches
+    // too, since both links count the same frames).
+    let local = cmd_query(&server, &client, "//patient[pname = 'Betty']/SSN", false).unwrap();
+    assert_eq!(remote, local);
+
+    handle.shutdown();
+    // Server gone: the connect retries, then errors instead of hanging.
+    assert!(cmd_query_remote(&addr, &client, "//patient").is_err());
+}

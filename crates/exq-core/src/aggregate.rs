@@ -43,7 +43,11 @@ impl Server {
     pub fn value_extreme(&self, attr_key: &str, max: bool) -> Option<(u128, u32)> {
         let tree = self.metadata().value_indexes.get(attr_key)?;
         // Fast path: the raw extreme is usually live.
-        let raw = if max { tree.max_entry() } else { tree.min_entry() };
+        let raw = if max {
+            tree.max_entry()
+        } else {
+            tree.min_entry()
+        };
         if let Some((_, b)) = raw {
             if self.fetch_block(b).is_some() {
                 return raw;
@@ -63,10 +67,21 @@ impl Server {
 impl Client {
     /// Evaluates `agg` over the values selected by `value_path` (a path
     /// whose final step names the attribute, e.g. `//policy/@coverage` or
-    /// `//age`).
+    /// `//age`) over an in-process link.
     pub fn aggregate(
         &self,
         server: &Server,
+        value_path: &str,
+        agg: Aggregate,
+    ) -> Result<AggregateOutcome, CoreError> {
+        let mut link = crate::transport::InProcess::shared(server);
+        self.aggregate_via(&mut link, value_path, agg)
+    }
+
+    /// [`Client::aggregate`] over an arbitrary transport.
+    pub fn aggregate_via(
+        &self,
+        transport: &mut dyn crate::transport::Transport,
         value_path: &str,
         agg: Aggregate,
     ) -> Result<AggregateOutcome, CoreError> {
@@ -78,7 +93,7 @@ impl Client {
             Aggregate::Count => {
                 // Splitting + scaling make COUNT impossible on the index;
                 // run the full secure query and count (paper §6.4).
-                let outcome = self.query(server, value_path)?;
+                let outcome = self.query_via(transport, value_path)?;
                 Ok(AggregateOutcome {
                     value: Some(outcome.results.len().to_string()),
                     blocks_decrypted: outcome.blocks_shipped,
@@ -89,14 +104,14 @@ impl Client {
                 if let Some(opess) = self.state().opess.get(&attr_key) {
                     // Encrypted attribute: one B-tree probe, one block.
                     let enc = self.state().keys.tag_cipher().encrypt(&attr_key);
-                    let Some((_, block_id)) = server.value_extreme(&enc, want_max) else {
+                    let Some((_, block_id)) = transport.value_extreme(&enc, want_max)? else {
                         return Ok(AggregateOutcome {
                             value: None,
                             blocks_decrypted: 0,
                         });
                     };
-                    let block = server
-                        .fetch_block(block_id)
+                    let block = transport
+                        .fetch_block(block_id)?
                         .ok_or_else(|| CoreError::Response("extreme block missing".into()))?;
                     let bytes = open_block(&self.state().keys.block_key(), &block)
                         .map_err(|e| CoreError::Block(e.to_string()))?;
@@ -111,7 +126,7 @@ impl Client {
                 } else {
                     // Plaintext attribute: evaluate via the normal secure
                     // path (everything relevant is server-visible anyway).
-                    let outcome = self.query(server, value_path)?;
+                    let outcome = self.query_via(transport, value_path)?;
                     let texts: Vec<&str> =
                         outcome.results.iter().map(|r| extract_text(r)).collect();
                     let codec = crate::encrypt::ValueCodec::build(&texts);
@@ -121,7 +136,8 @@ impl Client {
                         .map(|r| extract_text(r))
                         .filter_map(|v| codec.encode(v).map(|x| (x, v.to_owned())))
                         .max_by(|a, b| {
-                            let ord = a.0.partial_cmp(&b.0).unwrap();
+                            // total_cmp: a literal "NaN" value must not panic.
+                            let ord = a.0.total_cmp(&b.0);
                             if want_max {
                                 ord
                             } else {
@@ -166,7 +182,8 @@ fn extreme_in_fragment(
         .map(|n| doc.text_value(n))
         .filter_map(|v| codec.encode(&v).map(|x| (x, v)))
         .max_by(|a, b| {
-            let ord = a.0.partial_cmp(&b.0).unwrap();
+            // total_cmp: a literal "NaN" value must not panic.
+            let ord = a.0.total_cmp(&b.0);
             if want_max {
                 ord
             } else {
@@ -253,9 +270,7 @@ mod tests {
     fn extremes_skip_deleted_blocks() {
         let (client, mut server) = hosted();
         // Delete Betty, whose policy held the maximum coverage.
-        let out = client
-            .delete(&mut server, "//patient[age = 35]")
-            .unwrap();
+        let out = client.delete(&mut server, "//patient[age = 35]").unwrap();
         assert_eq!(out.deleted, 1);
         let max = client
             .aggregate(&server, "//policy/@coverage", Aggregate::Max)

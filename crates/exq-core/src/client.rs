@@ -86,16 +86,20 @@ impl Client {
         })
     }
 
-    /// Executes the full round trip against a server.
+    /// Executes the full round trip over a transport. The client never
+    /// touches a `Server` directly: whether the link is [`InProcess`] or
+    /// TCP, requests and responses travel as encoded frames.
+    ///
+    /// [`InProcess`]: crate::transport::InProcess
     pub fn run(
         &self,
-        server: &Server,
+        transport: &mut dyn crate::transport::Transport,
         query: &str,
     ) -> Result<(TranslatedQuery, ServerResponse, PostProcessed), CoreError> {
         let tq = self.translate(query)?;
         let resp = match &tq.server_query {
-            Some(sq) => server.answer(sq),
-            None => server.answer_naive(),
+            Some(sq) => transport.send_query(sq)?,
+            None => transport.send_naive()?,
         };
         let post = self.post_process(&tq.post_query, &resp)?;
         Ok((tq, resp, post))
@@ -273,6 +277,10 @@ impl Client {
             | Predicate::And(..)
             | Predicate::Or(..)
             | Predicate::Not(..) => None,
+            // Substring predicates have no encrypted-domain evaluation
+            // (OPESS preserves order, not containment): same client-side
+            // treatment as booleans.
+            Predicate::Contains(..) | Predicate::StartsWith(..) => None,
             Predicate::Exists(path) => {
                 let steps = self.translate_relative(path)?;
                 Some(SPred::Exists(steps))
@@ -434,6 +442,7 @@ fn pred_looks_upward(pred: &Predicate) -> bool {
     match pred {
         Predicate::Exists(p) => path_upward(p),
         Predicate::Compare(p, _, _) => path_upward(p),
+        Predicate::Contains(p, _) | Predicate::StartsWith(p, _) => path_upward(p),
         Predicate::Position(_) => false,
         Predicate::And(a, b) | Predicate::Or(a, b) => pred_looks_upward(a) || pred_looks_upward(b),
         Predicate::Not(a) => pred_looks_upward(a),

@@ -1,0 +1,1266 @@
+//! The binary wire codec: a hand-rolled, versioned, length-prefixed
+//! encoding for every client↔server message.
+//!
+//! Layout
+//! ------
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! +-------+-------+---------+----------+------------------+
+//! | magic | ver   | msgtype | paylen   | payload          |
+//! | "EQ"  | u8    | u8      | u32 LE   | paylen bytes     |
+//! +-------+-------+---------+----------+------------------+
+//! ```
+//!
+//! Inside payloads, integers are LEB128 varints (`u128` is fixed 16-byte
+//! little-endian), strings and byte arrays are varint-length-prefixed, and
+//! enums carry a one-byte tag. The encoding is the *single source of truth*
+//! for transmission accounting: `ServerQuery::wire_size` and
+//! `ServerResponse::payload_bytes` are exact encoded lengths, not estimates.
+//!
+//! Robustness: everything here decodes **attacker-supplied** bytes on the
+//! server path, so every read is bounds-checked, declared element counts are
+//! validated against the bytes actually remaining (no allocation bombs),
+//! recursion depth is capped, and structural invariants (`Interval::lo <
+//! hi`, anchor in range) are re-validated instead of trusted. Decoding never
+//! panics; it returns [`CodecError`].
+
+use crate::error::CoreError;
+use crate::update::{DeleteOutcome, InsertDelta, InsertionSlot};
+use crate::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
+use exq_crypto::block::TAG_BYTES;
+use exq_crypto::{SealedBlock, ValueRange};
+use exq_index::dsi::Interval;
+use exq_xpath::{CmpOp, Literal};
+use std::time::Duration;
+
+/// Protocol version carried in every frame header.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame magic: the first two bytes of every frame.
+pub const FRAME_MAGIC: [u8; 2] = *b"EQ";
+
+/// Fixed frame header length (magic + version + type + payload length).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Hard cap on a frame payload; anything larger is rejected before
+/// allocation.
+pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
+/// Cap on `SStep`/`SPred` nesting; legitimate translated queries are a
+/// handful of levels deep.
+pub const MAX_PATTERN_DEPTH: usize = 64;
+
+/// Decoding failure. Every variant is reachable from malformed or malicious
+/// input; none of them panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// Frame does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// Frame version is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Unknown enum/message tag for the given context.
+    BadTag { context: &'static str, tag: u8 },
+    /// Declared length exceeds the hard cap.
+    Oversize { len: usize, max: usize },
+    /// Declared element count cannot fit in the remaining bytes.
+    CountOverflow,
+    /// Pattern nesting exceeded [`MAX_PATTERN_DEPTH`].
+    DepthExceeded,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// A decoded string was not valid UTF-8.
+    Utf8,
+    /// A semantic invariant failed after structural decoding.
+    Invalid(&'static str),
+    /// Payload decoded but bytes were left over.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated input"),
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (want {PROTOCOL_VERSION})"
+                )
+            }
+            CodecError::BadTag { context, tag } => write!(f, "unknown {context} tag {tag:#04x}"),
+            CodecError::Oversize { len, max } => write!(f, "length {len} exceeds cap {max}"),
+            CodecError::CountOverflow => write!(f, "element count exceeds remaining bytes"),
+            CodecError::DepthExceeded => write!(f, "pattern nesting exceeds {MAX_PATTERN_DEPTH}"),
+            CodecError::VarintOverflow => write!(f, "varint overflow"),
+            CodecError::Utf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::Invalid(what) => write!(f, "invalid value: {what}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> CoreError {
+        CoreError::Codec(e.to_string())
+    }
+}
+
+// ----------------------------------------------------------------- writer --
+
+/// Payload writer.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// LEB128.
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.varint(v as u64);
+    }
+
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.usize(bytes.len());
+        self.raw(bytes);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn duration(&mut self, d: Duration) {
+        // Fixed-width nanoseconds (u64 holds ~584 years): a varint here
+        // would make the frame length depend on measured timing jitter,
+        // breaking "identical queries produce identical byte counts".
+        self.raw(&(d.as_nanos().min(u64::MAX as u128) as u64).to_le_bytes());
+    }
+}
+
+// ----------------------------------------------------------------- reader --
+
+/// Bounds-checked payload reader.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::BadTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                // Reject non-canonical bits that don't fit in u64.
+                if shift == 63 && byte > 1 {
+                    return Err(CodecError::VarintOverflow);
+                }
+                return Ok(v);
+            }
+        }
+        Err(CodecError::VarintOverflow)
+    }
+
+    fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.varint()?;
+        usize::try_from(v).map_err(|_| CodecError::VarintOverflow)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        u32::try_from(self.varint()?).map_err(|_| CodecError::VarintOverflow)
+    }
+
+    fn u128(&mut self) -> Result<u128, CodecError> {
+        let raw: [u8; 16] = self.take(16)?.try_into().expect("sized take");
+        Ok(u128::from_le_bytes(raw))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        let raw: [u8; 8] = self.take(8)?.try_into().expect("sized take");
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        Ok(self.take(N)?.try_into().expect("sized take"))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        self.take(len)
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::Utf8)
+    }
+
+    fn duration(&mut self) -> Result<Duration, CodecError> {
+        Ok(Duration::from_nanos(u64::from_le_bytes(self.array()?)))
+    }
+
+    /// Reads an element count and proves it can fit in the remaining input
+    /// (each element needs at least `min_entry` bytes). This is what stops
+    /// a 16-byte frame from declaring a billion-entry vector.
+    fn count(&mut self, min_entry: usize) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        if n.checked_mul(min_entry.max(1))
+            .ok_or(CodecError::CountOverflow)?
+            > self.remaining()
+        {
+            return Err(CodecError::CountOverflow);
+        }
+        Ok(n)
+    }
+
+    /// Fails unless the reader consumed every byte.
+    pub fn finish(self) -> Result<(), CodecError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::TrailingBytes(n)),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ trait --
+
+/// Types with a wire encoding. `encode`/`decode` operate on bare payloads
+/// (no frame header); [`Message`] adds framing on top.
+pub trait WireCodec: Sized {
+    fn encode_into(&self, enc: &mut Enc);
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError>;
+
+    /// Encoded payload as a standalone byte string.
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.encode_into(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Exact encoded length in bytes.
+    fn encoded_len(&self) -> usize {
+        // Simple and always exact; encoding is cheap relative to the crypto
+        // and joins around it.
+        self.encode().len()
+    }
+
+    /// Decodes a standalone payload, requiring full consumption.
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Dec::new(bytes);
+        let v = Self::decode_from(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+// ------------------------------------------------------------- leaf types --
+
+impl WireCodec for Interval {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.varint(self.lo);
+        enc.varint(self.hi);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let lo = dec.varint()?;
+        let hi = dec.varint()?;
+        // Re-establish the labeling invariant instead of trusting the peer;
+        // `Interval::new` only debug-asserts it.
+        if lo >= hi {
+            return Err(CodecError::Invalid("interval lo >= hi"));
+        }
+        Ok(Interval { lo, hi })
+    }
+}
+
+impl WireCodec for ValueRange {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.u128(self.lo);
+        enc.u128(self.hi);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(ValueRange {
+            lo: dec.u128()?,
+            hi: dec.u128()?,
+        })
+    }
+}
+
+impl WireCodec for SAxis {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.u8(match self {
+            SAxis::Child => 0,
+            SAxis::Descendant => 1,
+            SAxis::DescendantOrSelf => 2,
+            SAxis::Attribute => 3,
+        });
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        match dec.u8()? {
+            0 => Ok(SAxis::Child),
+            1 => Ok(SAxis::Descendant),
+            2 => Ok(SAxis::DescendantOrSelf),
+            3 => Ok(SAxis::Attribute),
+            tag => Err(CodecError::BadTag {
+                context: "axis",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireCodec for CmpOp {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.u8(match self {
+            CmpOp::Eq => 0,
+            CmpOp::Ne => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        });
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        match dec.u8()? {
+            0 => Ok(CmpOp::Eq),
+            1 => Ok(CmpOp::Ne),
+            2 => Ok(CmpOp::Lt),
+            3 => Ok(CmpOp::Le),
+            4 => Ok(CmpOp::Gt),
+            5 => Ok(CmpOp::Ge),
+            tag => Err(CodecError::BadTag {
+                context: "cmp-op",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireCodec for Literal {
+    fn encode_into(&self, enc: &mut Enc) {
+        match self {
+            Literal::Number(n) => {
+                enc.u8(0);
+                enc.f64(*n);
+            }
+            Literal::Str(s) => {
+                enc.u8(1);
+                enc.str(s);
+            }
+        }
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        match dec.u8()? {
+            0 => Ok(Literal::Number(dec.f64()?)),
+            1 => Ok(Literal::Str(dec.str()?)),
+            tag => Err(CodecError::BadTag {
+                context: "literal",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireCodec for SealedBlock {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.varint(self.id as u64);
+        enc.raw(&self.nonce);
+        enc.bytes(&self.ciphertext);
+        enc.raw(&self.tag);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let id = dec.u32()?;
+        let nonce: [u8; 12] = dec.array()?;
+        let ciphertext = dec.bytes()?.to_vec();
+        let tag: [u8; TAG_BYTES] = dec.array()?;
+        Ok(SealedBlock {
+            id,
+            nonce,
+            ciphertext,
+            tag,
+        })
+    }
+}
+
+// --------------------------------------------------------- query patterns --
+
+fn encode_steps(steps: &[SStep], enc: &mut Enc) {
+    enc.usize(steps.len());
+    for s in steps {
+        s.axis.encode_into(enc);
+        enc.usize(s.tags.len());
+        for t in &s.tags {
+            enc.str(t);
+        }
+        enc.usize(s.preds.len());
+        for p in &s.preds {
+            encode_pred(p, enc);
+        }
+    }
+}
+
+fn encode_pred(pred: &SPred, enc: &mut Enc) {
+    match pred {
+        SPred::Exists(steps) => {
+            enc.u8(0);
+            encode_steps(steps, enc);
+        }
+        SPred::Value { path, range, plain } => {
+            enc.u8(1);
+            encode_steps(path, enc);
+            match range {
+                None => enc.u8(0),
+                Some((key, r)) => {
+                    enc.u8(1);
+                    enc.str(key);
+                    r.encode_into(enc);
+                }
+            }
+            match plain {
+                None => enc.u8(0),
+                Some((op, lit)) => {
+                    enc.u8(1);
+                    op.encode_into(enc);
+                    lit.encode_into(enc);
+                }
+            }
+        }
+    }
+}
+
+fn decode_steps(dec: &mut Dec<'_>, depth: usize) -> Result<Vec<SStep>, CodecError> {
+    if depth > MAX_PATTERN_DEPTH {
+        return Err(CodecError::DepthExceeded);
+    }
+    // Minimum step: axis byte + two zero counts.
+    let n = dec.count(3)?;
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        let axis = SAxis::decode_from(dec)?;
+        let n_tags = dec.count(1)?;
+        let mut tags = Vec::with_capacity(n_tags);
+        for _ in 0..n_tags {
+            tags.push(dec.str()?);
+        }
+        let n_preds = dec.count(2)?;
+        let mut preds = Vec::with_capacity(n_preds);
+        for _ in 0..n_preds {
+            preds.push(decode_pred(dec, depth + 1)?);
+        }
+        steps.push(SStep { axis, tags, preds });
+    }
+    Ok(steps)
+}
+
+fn decode_pred(dec: &mut Dec<'_>, depth: usize) -> Result<SPred, CodecError> {
+    if depth > MAX_PATTERN_DEPTH {
+        return Err(CodecError::DepthExceeded);
+    }
+    match dec.u8()? {
+        0 => Ok(SPred::Exists(decode_steps(dec, depth + 1)?)),
+        1 => {
+            let path = decode_steps(dec, depth + 1)?;
+            let range = match dec.u8()? {
+                0 => None,
+                1 => {
+                    let key = dec.str()?;
+                    Some((key, ValueRange::decode_from(dec)?))
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        context: "value-range option",
+                        tag,
+                    })
+                }
+            };
+            let plain = match dec.u8()? {
+                0 => None,
+                1 => {
+                    let op = CmpOp::decode_from(dec)?;
+                    let lit = Literal::decode_from(dec)?;
+                    Some((op, lit))
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        context: "plain-cmp option",
+                        tag,
+                    })
+                }
+            };
+            Ok(SPred::Value { path, range, plain })
+        }
+        tag => Err(CodecError::BadTag {
+            context: "predicate",
+            tag,
+        }),
+    }
+}
+
+impl WireCodec for ServerQuery {
+    fn encode_into(&self, enc: &mut Enc) {
+        encode_steps(&self.steps, enc);
+        enc.usize(self.anchor);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let steps = decode_steps(dec, 0)?;
+        let anchor = dec.usize()?;
+        if steps.is_empty() {
+            return Err(CodecError::Invalid("query has no steps"));
+        }
+        if anchor >= steps.len() {
+            return Err(CodecError::Invalid("anchor out of range"));
+        }
+        Ok(ServerQuery { steps, anchor })
+    }
+}
+
+impl WireCodec for ServerResponse {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.str(&self.pruned_xml);
+        enc.usize(self.blocks.len());
+        for b in &self.blocks {
+            b.encode_into(enc);
+        }
+        enc.duration(self.translate_time);
+        enc.duration(self.process_time);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let pruned_xml = dec.str()?;
+        // Minimum sealed block: id + nonce + empty ciphertext + tag.
+        let n = dec.count(1 + 12 + 1 + TAG_BYTES)?;
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            blocks.push(SealedBlock::decode_from(dec)?);
+        }
+        Ok(ServerResponse {
+            pruned_xml,
+            blocks,
+            translate_time: dec.duration()?,
+            process_time: dec.duration()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------- update types --
+
+impl WireCodec for InsertionSlot {
+    fn encode_into(&self, enc: &mut Enc) {
+        self.parent.encode_into(enc);
+        enc.varint(self.gap_lo);
+        enc.varint(self.gap_hi);
+        enc.varint(self.next_block_id as u64);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(InsertionSlot {
+            parent: Interval::decode_from(dec)?,
+            gap_lo: dec.varint()?,
+            gap_hi: dec.varint()?,
+            next_block_id: dec.u32()?,
+        })
+    }
+}
+
+impl WireCodec for InsertDelta {
+    fn encode_into(&self, enc: &mut Enc) {
+        self.parent.encode_into(enc);
+        enc.str(&self.visible_fragment);
+        enc.usize(self.blocks.len());
+        for b in &self.blocks {
+            b.encode_into(enc);
+        }
+        enc.usize(self.dsi_entries.len());
+        for (tag, iv) in &self.dsi_entries {
+            enc.str(tag);
+            iv.encode_into(enc);
+        }
+        enc.usize(self.block_entries.len());
+        for (iv, id) in &self.block_entries {
+            iv.encode_into(enc);
+            enc.varint(*id as u64);
+        }
+        enc.usize(self.value_entries.len());
+        for (attr, cipher, id) in &self.value_entries {
+            enc.str(attr);
+            enc.u128(*cipher);
+            enc.varint(*id as u64);
+        }
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let parent = Interval::decode_from(dec)?;
+        let visible_fragment = dec.str()?;
+        let n = dec.count(1 + 12 + 1 + TAG_BYTES)?;
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            blocks.push(SealedBlock::decode_from(dec)?);
+        }
+        let n = dec.count(3)?;
+        let mut dsi_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = dec.str()?;
+            dsi_entries.push((tag, Interval::decode_from(dec)?));
+        }
+        let n = dec.count(3)?;
+        let mut block_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let iv = Interval::decode_from(dec)?;
+            block_entries.push((iv, dec.u32()?));
+        }
+        let n = dec.count(1 + 16 + 1)?;
+        let mut value_entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let attr = dec.str()?;
+            let cipher = dec.u128()?;
+            value_entries.push((attr, cipher, dec.u32()?));
+        }
+        Ok(InsertDelta {
+            parent,
+            visible_fragment,
+            blocks,
+            dsi_entries,
+            block_entries,
+            value_entries,
+        })
+    }
+}
+
+impl WireCodec for DeleteOutcome {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.usize(self.deleted);
+        enc.usize(self.skipped_in_block);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(DeleteOutcome {
+            deleted: dec.usize()?,
+            skipped_in_block: dec.usize()?,
+        })
+    }
+}
+
+// --------------------------------------------------------------- messages --
+
+/// A [`CoreError`] in transit: category code + message. Lossless enough for
+/// clients to react; the exact variant is preserved for known categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    pub code: u8,
+    pub message: String,
+}
+
+impl WireError {
+    pub fn from_core(e: &CoreError) -> WireError {
+        let (code, message) = match e {
+            CoreError::ConstraintSyntax(m) => (0, m.clone()),
+            CoreError::Query(m) => (1, m.clone()),
+            CoreError::EmptyDocument => (2, String::new()),
+            CoreError::Opess(m) => (3, m.clone()),
+            CoreError::Block(m) => (4, m.clone()),
+            CoreError::Response(m) => (5, m.clone()),
+            CoreError::Persist(m) => (6, m.clone()),
+            CoreError::Codec(m) => (7, m.clone()),
+            CoreError::Transport(m) => (8, m.clone()),
+        };
+        WireError { code, message }
+    }
+
+    pub fn into_core(self) -> CoreError {
+        match self.code {
+            0 => CoreError::ConstraintSyntax(self.message),
+            1 => CoreError::Query(self.message),
+            2 => CoreError::EmptyDocument,
+            3 => CoreError::Opess(self.message),
+            4 => CoreError::Block(self.message),
+            5 => CoreError::Response(self.message),
+            6 => CoreError::Persist(self.message),
+            7 => CoreError::Codec(self.message),
+            8 => CoreError::Transport(self.message),
+            other => CoreError::Transport(format!(
+                "server error (unknown category {other}): {}",
+                self.message
+            )),
+        }
+    }
+}
+
+impl WireCodec for WireError {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.u8(self.code);
+        enc.str(&self.message);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(WireError {
+            code: dec.u8()?,
+            message: dec.str()?,
+        })
+    }
+}
+
+/// Every message that crosses the client↔server boundary. Requests are
+/// `0x01..=0x7F`, responses `0x80..=0xFF`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    // Requests.
+    /// Evaluate a translated query (§5: pruned doc + blocks).
+    Query(ServerQuery),
+    /// Ship the whole hosted database (the naive baseline).
+    NaiveQuery,
+    /// Fetch one sealed block by id.
+    FetchBlock(u32),
+    /// Minimum/maximum ciphertext under an encrypted attribute key.
+    ValueExtreme {
+        attr_key: String,
+        max: bool,
+    },
+    /// Intervals of nodes matching a translated query (update path).
+    Locate(ServerQuery),
+    /// Request an insertion slot under a parent interval.
+    InsertionSlotReq(Interval),
+    /// Apply a prepared insertion.
+    ApplyInsert(InsertDelta),
+    /// Delete all subtrees matching a translated query.
+    DeleteWhere(ServerQuery),
+
+    // Responses.
+    Answer(ServerResponse),
+    Block(Option<SealedBlock>),
+    Extreme(Option<(u128, u32)>),
+    Intervals(Vec<Interval>),
+    Slot(InsertionSlot),
+    InsertOk,
+    Deleted(DeleteOutcome),
+    Error(WireError),
+}
+
+impl Message {
+    /// The frame-header message type byte.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Message::Query(_) => 0x01,
+            Message::NaiveQuery => 0x02,
+            Message::FetchBlock(_) => 0x03,
+            Message::ValueExtreme { .. } => 0x04,
+            Message::Locate(_) => 0x05,
+            Message::InsertionSlotReq(_) => 0x06,
+            Message::ApplyInsert(_) => 0x07,
+            Message::DeleteWhere(_) => 0x08,
+            Message::Answer(_) => 0x81,
+            Message::Block(_) => 0x82,
+            Message::Extreme(_) => 0x83,
+            Message::Intervals(_) => 0x84,
+            Message::Slot(_) => 0x85,
+            Message::InsertOk => 0x86,
+            Message::Deleted(_) => 0x87,
+            Message::Error(_) => 0xFF,
+        }
+    }
+
+    /// True for client→server messages.
+    pub fn is_request(&self) -> bool {
+        self.msg_type() < 0x80
+    }
+
+    /// True for requests that mutate server state.
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, Message::ApplyInsert(_) | Message::DeleteWhere(_))
+    }
+
+    fn encode_payload(&self, enc: &mut Enc) {
+        match self {
+            Message::Query(q) | Message::Locate(q) | Message::DeleteWhere(q) => q.encode_into(enc),
+            Message::NaiveQuery | Message::InsertOk => {}
+            Message::FetchBlock(id) => enc.varint(*id as u64),
+            Message::ValueExtreme { attr_key, max } => {
+                enc.str(attr_key);
+                enc.bool(*max);
+            }
+            Message::InsertionSlotReq(iv) => iv.encode_into(enc),
+            Message::ApplyInsert(delta) => delta.encode_into(enc),
+            Message::Answer(resp) => resp.encode_into(enc),
+            Message::Block(opt) => match opt {
+                None => enc.u8(0),
+                Some(b) => {
+                    enc.u8(1);
+                    b.encode_into(enc);
+                }
+            },
+            Message::Extreme(opt) => match opt {
+                None => enc.u8(0),
+                Some((cipher, id)) => {
+                    enc.u8(1);
+                    enc.u128(*cipher);
+                    enc.varint(*id as u64);
+                }
+            },
+            Message::Intervals(ivs) => {
+                enc.usize(ivs.len());
+                for iv in ivs {
+                    iv.encode_into(enc);
+                }
+            }
+            Message::Slot(slot) => slot.encode_into(enc),
+            Message::Deleted(outcome) => outcome.encode_into(enc),
+            Message::Error(err) => err.encode_into(enc),
+        }
+    }
+
+    fn decode_payload(msg_type: u8, dec: &mut Dec<'_>) -> Result<Message, CodecError> {
+        match msg_type {
+            0x01 => Ok(Message::Query(ServerQuery::decode_from(dec)?)),
+            0x02 => Ok(Message::NaiveQuery),
+            0x03 => Ok(Message::FetchBlock(dec.u32()?)),
+            0x04 => Ok(Message::ValueExtreme {
+                attr_key: dec.str()?,
+                max: dec.bool()?,
+            }),
+            0x05 => Ok(Message::Locate(ServerQuery::decode_from(dec)?)),
+            0x06 => Ok(Message::InsertionSlotReq(Interval::decode_from(dec)?)),
+            0x07 => Ok(Message::ApplyInsert(InsertDelta::decode_from(dec)?)),
+            0x08 => Ok(Message::DeleteWhere(ServerQuery::decode_from(dec)?)),
+            0x81 => Ok(Message::Answer(ServerResponse::decode_from(dec)?)),
+            0x82 => match dec.u8()? {
+                0 => Ok(Message::Block(None)),
+                1 => Ok(Message::Block(Some(SealedBlock::decode_from(dec)?))),
+                tag => Err(CodecError::BadTag {
+                    context: "block option",
+                    tag,
+                }),
+            },
+            0x83 => match dec.u8()? {
+                0 => Ok(Message::Extreme(None)),
+                1 => {
+                    let cipher = dec.u128()?;
+                    Ok(Message::Extreme(Some((cipher, dec.u32()?))))
+                }
+                tag => Err(CodecError::BadTag {
+                    context: "extreme option",
+                    tag,
+                }),
+            },
+            0x84 => {
+                let n = dec.count(2)?;
+                let mut ivs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ivs.push(Interval::decode_from(dec)?);
+                }
+                Ok(Message::Intervals(ivs))
+            }
+            0x85 => Ok(Message::Slot(InsertionSlot::decode_from(dec)?)),
+            0x86 => Ok(Message::InsertOk),
+            0x87 => Ok(Message::Deleted(DeleteOutcome::decode_from(dec)?)),
+            0xFF => Ok(Message::Error(WireError::decode_from(dec)?)),
+            tag => Err(CodecError::BadTag {
+                context: "message",
+                tag,
+            }),
+        }
+    }
+
+    /// Encodes the message as a complete frame (header + payload).
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.encode_payload(&mut enc);
+        let payload = enc.into_bytes();
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.push(PROTOCOL_VERSION);
+        frame.push(self.msg_type());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Exact frame length without materializing the frame twice.
+    pub fn frame_len(&self) -> usize {
+        let mut enc = Enc::new();
+        self.encode_payload(&mut enc);
+        FRAME_HEADER_LEN + enc.into_bytes().len()
+    }
+
+    /// Parses the frame header, returning `(msg_type, payload_len)`.
+    /// `header` must be exactly [`FRAME_HEADER_LEN`] bytes.
+    pub fn parse_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, usize), CodecError> {
+        if header[0..2] != FRAME_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        if header[2] != PROTOCOL_VERSION {
+            return Err(CodecError::BadVersion(header[2]));
+        }
+        let len = u32::from_le_bytes(header[4..8].try_into().expect("sized slice")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::Oversize {
+                len,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        Ok((header[3], len))
+    }
+
+    /// Decodes one complete frame from a buffer; the buffer must contain
+    /// exactly one frame.
+    pub fn decode_frame(bytes: &[u8]) -> Result<Message, CodecError> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Err(CodecError::Truncated);
+        }
+        let header: [u8; FRAME_HEADER_LEN] =
+            bytes[..FRAME_HEADER_LEN].try_into().expect("sized slice");
+        let (msg_type, len) = Self::parse_header(&header)?;
+        let payload = &bytes[FRAME_HEADER_LEN..];
+        if payload.len() < len {
+            return Err(CodecError::Truncated);
+        }
+        if payload.len() > len {
+            return Err(CodecError::TrailingBytes(payload.len() - len));
+        }
+        let mut dec = Dec::new(payload);
+        let msg = Self::decode_payload(msg_type, &mut dec)?;
+        dec.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> ServerQuery {
+        ServerQuery {
+            steps: vec![
+                SStep {
+                    axis: SAxis::Descendant,
+                    tags: vec!["patient".into(), "XTY0POA".into()],
+                    preds: vec![SPred::Value {
+                        path: vec![SStep {
+                            axis: SAxis::Attribute,
+                            tags: vec!["@age".into()],
+                            preds: vec![],
+                        }],
+                        range: Some((
+                            "X95SER".into(),
+                            ValueRange {
+                                lo: 7,
+                                hi: 1 << 100,
+                            },
+                        )),
+                        plain: Some((CmpOp::Ge, Literal::Number(42.5))),
+                    }],
+                },
+                SStep {
+                    axis: SAxis::Child,
+                    tags: vec![],
+                    preds: vec![SPred::Exists(vec![SStep {
+                        axis: SAxis::Child,
+                        tags: vec!["name".into()],
+                        preds: vec![],
+                    }])],
+                },
+            ],
+            anchor: 1,
+        }
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = sample_query();
+        assert_eq!(ServerQuery::decode(&q.encode()).unwrap(), q);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = ServerResponse {
+            pruned_xml: "<r><a/></r>".into(),
+            blocks: vec![SealedBlock {
+                id: 3,
+                nonce: [9; 12],
+                ciphertext: vec![1, 2, 3, 4],
+                tag: [7; TAG_BYTES],
+            }],
+            translate_time: Duration::from_micros(12),
+            process_time: Duration::from_millis(3),
+        };
+        assert_eq!(ServerResponse::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn frame_roundtrip_every_message() {
+        let messages = vec![
+            Message::Query(sample_query()),
+            Message::NaiveQuery,
+            Message::FetchBlock(77),
+            Message::ValueExtreme {
+                attr_key: "Xk".into(),
+                max: true,
+            },
+            Message::Locate(sample_query()),
+            Message::InsertionSlotReq(Interval { lo: 4, hi: 900 }),
+            Message::ApplyInsert(InsertDelta {
+                parent: Interval { lo: 1, hi: 10_000 },
+                visible_fragment: "<x _exq_iv=\"2,9\"/>".into(),
+                blocks: vec![SealedBlock {
+                    id: 0,
+                    nonce: [1; 12],
+                    ciphertext: vec![0xAB; 20],
+                    tag: [2; TAG_BYTES],
+                }],
+                dsi_entries: vec![("Xtag".into(), Interval { lo: 2, hi: 9 })],
+                block_entries: vec![(Interval { lo: 2, hi: 9 }, 0)],
+                value_entries: vec![("Xattr".into(), 123456789u128, 0)],
+            }),
+            Message::DeleteWhere(sample_query()),
+            Message::Answer(ServerResponse {
+                pruned_xml: String::new(),
+                blocks: vec![],
+                translate_time: Duration::ZERO,
+                process_time: Duration::ZERO,
+            }),
+            Message::Block(None),
+            Message::Block(Some(SealedBlock {
+                id: 1,
+                nonce: [0; 12],
+                ciphertext: vec![],
+                tag: [0; TAG_BYTES],
+            })),
+            Message::Extreme(None),
+            Message::Extreme(Some((u128::MAX, 42))),
+            Message::Intervals(vec![Interval { lo: 1, hi: 2 }, Interval { lo: 5, hi: 99 }]),
+            Message::Slot(InsertionSlot {
+                parent: Interval { lo: 1, hi: 100 },
+                gap_lo: 50,
+                gap_hi: 100,
+                next_block_id: 6,
+            }),
+            Message::InsertOk,
+            Message::Deleted(DeleteOutcome {
+                deleted: 3,
+                skipped_in_block: 1,
+            }),
+            Message::Error(WireError::from_core(&CoreError::Query("nope".into()))),
+        ];
+        for msg in messages {
+            let frame = msg.encode_frame();
+            assert_eq!(frame.len(), msg.frame_len(), "frame_len mismatch: {msg:?}");
+            let back = Message::decode_frame(&frame).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let frame = Message::Query(sample_query()).encode_frame();
+        for cut in 0..frame.len() {
+            let err = Message::decode_frame(&frame[..cut]);
+            assert!(err.is_err(), "prefix of len {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_type() {
+        let mut frame = Message::NaiveQuery.encode_frame();
+        frame[0] = b'Z';
+        assert_eq!(Message::decode_frame(&frame), Err(CodecError::BadMagic));
+
+        let mut frame = Message::NaiveQuery.encode_frame();
+        frame[2] = 99;
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::BadVersion(99))
+        );
+
+        let mut frame = Message::NaiveQuery.encode_frame();
+        frame[3] = 0x60;
+        assert!(matches!(
+            Message::decode_frame(&frame),
+            Err(CodecError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_length_prefix_rejected_before_allocation() {
+        let mut frame = Message::NaiveQuery.encode_frame();
+        frame[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Message::decode_frame(&frame),
+            Err(CodecError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn count_bomb_rejected() {
+        // An Intervals frame claiming 2^40 entries in a 10-byte payload.
+        let mut enc = Enc::new();
+        enc.varint(1u64 << 40);
+        let payload = enc.into_bytes();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.push(PROTOCOL_VERSION);
+        frame.push(0x84);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::CountOverflow)
+        );
+    }
+
+    #[test]
+    fn invalid_interval_rejected() {
+        let mut enc = Enc::new();
+        enc.varint(9);
+        enc.varint(4); // hi < lo
+        let payload = enc.into_bytes();
+        assert_eq!(
+            Interval::decode(&payload),
+            Err(CodecError::Invalid("interval lo >= hi"))
+        );
+    }
+
+    #[test]
+    fn anchor_out_of_range_rejected() {
+        let mut q = sample_query();
+        q.anchor = 7;
+        let bytes = q.encode();
+        assert_eq!(
+            ServerQuery::decode(&bytes),
+            Err(CodecError::Invalid("anchor out of range"))
+        );
+    }
+
+    #[test]
+    fn depth_bomb_rejected() {
+        // Nest Exists predicates past the cap.
+        let mut q = ServerQuery {
+            steps: vec![SStep {
+                axis: SAxis::Child,
+                tags: vec![],
+                preds: vec![],
+            }],
+            anchor: 0,
+        };
+        for _ in 0..(MAX_PATTERN_DEPTH + 2) {
+            q = ServerQuery {
+                steps: vec![SStep {
+                    axis: SAxis::Child,
+                    tags: vec![],
+                    preds: vec![SPred::Exists(std::mem::take(&mut q.steps))],
+                }],
+                anchor: 0,
+            };
+        }
+        assert_eq!(
+            ServerQuery::decode(&q.encode()),
+            Err(CodecError::DepthExceeded)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Message::InsertOk.encode_frame();
+        bytes.push(0);
+        assert!(matches!(
+            Message::decode_frame(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut enc = Enc::new();
+            enc.varint(v);
+            let bytes = enc.into_bytes();
+            let mut dec = Dec::new(&bytes);
+            assert_eq!(dec.varint().unwrap(), v);
+            dec.finish().unwrap();
+        }
+    }
+}

@@ -19,6 +19,10 @@ pub enum CoreError {
     Response(String),
     /// Persistence (save/load) failure.
     Persist(String),
+    /// A wire frame failed to encode/decode (see `codec`).
+    Codec(String),
+    /// A transport-level failure: connect, send, receive, or timeout.
+    Transport(String),
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +35,8 @@ impl fmt::Display for CoreError {
             CoreError::Block(m) => write!(f, "block decryption error: {m}"),
             CoreError::Response(m) => write!(f, "malformed server response: {m}"),
             CoreError::Persist(m) => write!(f, "persistence error: {m}"),
+            CoreError::Codec(m) => write!(f, "wire codec error: {m}"),
+            CoreError::Transport(m) => write!(f, "transport error: {m}"),
         }
     }
 }

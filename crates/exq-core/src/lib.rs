@@ -27,6 +27,7 @@
 pub mod aggregate;
 pub mod analysis;
 pub mod client;
+pub mod codec;
 pub mod constraints;
 pub mod cover;
 pub mod encrypt;
@@ -35,12 +36,15 @@ pub mod persist;
 pub mod scheme;
 pub mod server;
 pub mod system;
+pub mod transport;
 pub mod update;
 pub mod wire;
 
 pub use client::Client;
+pub use codec::{CodecError, Message, WireCodec};
 pub use constraints::SecurityConstraint;
 pub use error::CoreError;
 pub use scheme::{EncryptionScheme, SchemeKind};
 pub use server::Server;
 pub use system::{HostedDatabase, OutsourceConfig, Outsourcer, QueryOutcome};
+pub use transport::{serve, InProcess, ServeConfig, ServeHandle, TcpTransport, Transport};

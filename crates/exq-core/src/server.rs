@@ -199,6 +199,12 @@ impl Server {
             let hi = hi
                 .parse()
                 .map_err(|_| CoreError::Response("bad interval hi".into()))?;
+            // The annotation comes from the (untrusted-at-this-layer) wire;
+            // reject inverted intervals rather than trip Interval::new's
+            // invariant.
+            if lo >= hi {
+                return Err(CoreError::Response("inverted interval annotation".into()));
+            }
             Ok(Interval::new(lo, hi))
         };
         match frag.node(node).kind() {

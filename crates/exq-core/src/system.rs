@@ -14,6 +14,7 @@ use crate::encrypt::{encrypt_database, EncryptStats};
 use crate::error::CoreError;
 use crate::scheme::{EncryptionScheme, SchemeKind};
 use crate::server::Server;
+use crate::transport::{InProcess, Transport};
 use exq_crypto::KeyChain;
 use exq_xml::Document;
 use rand::rngs::StdRng;
@@ -174,29 +175,46 @@ impl HostedDatabase {
         (self.client, self.server)
     }
 
-    /// Runs one query through the secure pipeline.
+    /// Runs one query through the secure pipeline (in-process link).
     pub fn query(&self, query: &str) -> Result<QueryOutcome, CoreError> {
-        run_query(&self.client, &self.server, &self.config, query, false)
+        let mut link = InProcess::shared(&self.server);
+        run_query(&self.client, &mut link, &self.config, query, false)
     }
 
     /// Runs one query through the naive baseline of §7.3: the server ships
     /// the whole encrypted database, the client decrypts everything and
     /// evaluates locally.
     pub fn query_naive(&self, query: &str) -> Result<QueryOutcome, CoreError> {
-        run_query(&self.client, &self.server, &self.config, query, true)
+        let mut link = InProcess::shared(&self.server);
+        run_query(&self.client, &mut link, &self.config, query, true)
     }
 }
 
 impl Client {
-    /// Round-trip convenience with default link parameters.
+    /// Round-trip convenience with default link parameters over an
+    /// in-process link.
     pub fn query(&self, server: &Server, query: &str) -> Result<QueryOutcome, CoreError> {
-        run_query(self, server, &OutsourceConfig::default(), query, false)
+        let mut link = InProcess::shared(server);
+        run_query(self, &mut link, &OutsourceConfig::default(), query, false)
+    }
+
+    /// Round trip over an arbitrary transport (e.g. [`TcpTransport`]) with
+    /// default link parameters; byte counts come from the transport's own
+    /// frame accounting.
+    ///
+    /// [`TcpTransport`]: crate::transport::TcpTransport
+    pub fn query_via(
+        &self,
+        transport: &mut dyn Transport,
+        query: &str,
+    ) -> Result<QueryOutcome, CoreError> {
+        run_query(self, transport, &OutsourceConfig::default(), query, false)
     }
 }
 
 fn run_query(
     client: &Client,
-    server: &Server,
+    transport: &mut dyn Transport,
     config: &OutsourceConfig,
     query: &str,
     force_naive: bool,
@@ -214,7 +232,7 @@ fn run_query(
         let mut blocks_shipped = 0;
         let mut naive_fallback = false;
         for b in &branches {
-            let out = run_query(client, server, config, &b.to_string(), force_naive)?;
+            let out = run_query(client, transport, config, &b.to_string(), force_naive)?;
             for r in out.results {
                 if seen.insert(r.clone()) {
                     merged.push(r);
@@ -243,13 +261,17 @@ fn run_query(
     }
     let tq = client.translate(query)?;
     let naive = force_naive || tq.server_query.is_none();
-    let (resp, bytes_to_server) = if naive {
-        (server.answer_naive(), query.len())
+    // Byte accounting is read off the transport: exact encoded frame
+    // lengths in both directions, identical for in-process and TCP links.
+    let before = transport.stats();
+    let resp = if naive {
+        transport.send_naive()?
     } else {
-        let sq = tq.server_query.as_ref().unwrap();
-        (server.answer(sq), sq.wire_size())
+        transport.send_query(tq.server_query.as_ref().unwrap())?
     };
-    let bytes_to_client = resp.payload_bytes();
+    let traffic = transport.stats().since(&before);
+    let bytes_to_server = traffic.bytes_sent as usize;
+    let bytes_to_client = traffic.bytes_received as usize;
     let cipher_bytes: usize = resp.blocks.iter().map(|b| b.ciphertext.len()).sum();
     let block_count = resp.blocks.len();
     let post_query = if naive {

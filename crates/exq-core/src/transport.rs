@@ -1,0 +1,663 @@
+//! The transport layer: how encoded frames move between client and server.
+//!
+//! [`Transport`] abstracts the link. Two implementations:
+//!
+//! * [`InProcess`] — wraps a direct `Server` reference but still pushes
+//!   every request and response through the frame codec, so byte accounting
+//!   and decode hardening are identical to the networked path;
+//! * [`TcpTransport`] — a real socket (std only, no async runtime), with
+//!   connect retry + exponential backoff and per-request I/O timeouts.
+//!
+//! The server side is [`serve`]: an accept loop handing connections to a
+//! small worker pool over an `Arc<RwLock<Server>>`. Read-style requests
+//! (queries, block fetches) share the read lock and run concurrently;
+//! mutations (insert/delete) take the write lock.
+//!
+//! Both sides treat the peer as untrusted at the framing layer: decode
+//! errors never panic, and a connection that sends garbage framing is
+//! answered with an error frame and closed.
+
+use crate::codec::{CodecError, Message, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use crate::error::CoreError;
+use crate::server::Server;
+use crate::update::{DeleteOutcome, InsertDelta, InsertionSlot};
+use crate::wire::{ServerQuery, ServerResponse};
+use exq_crypto::SealedBlock;
+use exq_index::dsi::Interval;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread;
+use std::time::Duration;
+
+/// Exact byte accounting for one transport: every frame that crossed the
+/// link (or would have, for [`InProcess`]), measured in encoded bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    pub requests: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+}
+
+impl LinkStats {
+    /// Traffic since an earlier snapshot.
+    pub fn since(&self, earlier: &LinkStats) -> LinkStats {
+        LinkStats {
+            requests: self.requests - earlier.requests,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+        }
+    }
+}
+
+/// A client-side link to a server.
+///
+/// `roundtrip` moves one request frame out and one response frame back; the
+/// typed helpers wrap it with request construction and response matching.
+/// Implementations must keep [`LinkStats`] exact: encoded frame lengths,
+/// nothing estimated.
+pub trait Transport {
+    /// Sends one request and returns the raw response message (which may be
+    /// an error frame — the typed helpers convert those to `Err`).
+    fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError>;
+
+    /// Cumulative traffic over this transport.
+    fn stats(&self) -> LinkStats;
+
+    /// Evaluate a translated query.
+    fn send_query(&mut self, q: &ServerQuery) -> Result<ServerResponse, CoreError> {
+        match self.roundtrip(&Message::Query(q.clone()))? {
+            Message::Answer(r) => Ok(r),
+            other => Err(unexpected("Answer", other)),
+        }
+    }
+
+    /// Ship the whole hosted database (naive baseline).
+    fn send_naive(&mut self) -> Result<ServerResponse, CoreError> {
+        match self.roundtrip(&Message::NaiveQuery)? {
+            Message::Answer(r) => Ok(r),
+            other => Err(unexpected("Answer", other)),
+        }
+    }
+
+    /// Fetch one sealed block.
+    fn fetch_block(&mut self, id: u32) -> Result<Option<SealedBlock>, CoreError> {
+        match self.roundtrip(&Message::FetchBlock(id))? {
+            Message::Block(b) => Ok(b),
+            other => Err(unexpected("Block", other)),
+        }
+    }
+
+    /// Minimum or maximum ciphertext under an encrypted attribute.
+    fn value_extreme(
+        &mut self,
+        attr_key: &str,
+        max: bool,
+    ) -> Result<Option<(u128, u32)>, CoreError> {
+        let req = Message::ValueExtreme {
+            attr_key: attr_key.to_owned(),
+            max,
+        };
+        match self.roundtrip(&req)? {
+            Message::Extreme(e) => Ok(e),
+            other => Err(unexpected("Extreme", other)),
+        }
+    }
+
+    /// Intervals matching a translated query (update path).
+    fn locate(&mut self, q: &ServerQuery) -> Result<Vec<Interval>, CoreError> {
+        match self.roundtrip(&Message::Locate(q.clone()))? {
+            Message::Intervals(ivs) => Ok(ivs),
+            other => Err(unexpected("Intervals", other)),
+        }
+    }
+
+    /// Request an insertion slot under a parent interval.
+    fn insertion_slot(&mut self, parent: Interval) -> Result<InsertionSlot, CoreError> {
+        match self.roundtrip(&Message::InsertionSlotReq(parent))? {
+            Message::Slot(s) => Ok(s),
+            other => Err(unexpected("Slot", other)),
+        }
+    }
+
+    /// Apply a prepared insertion.
+    fn apply_insert(&mut self, delta: &InsertDelta) -> Result<(), CoreError> {
+        match self.roundtrip(&Message::ApplyInsert(delta.clone()))? {
+            Message::InsertOk => Ok(()),
+            other => Err(unexpected("InsertOk", other)),
+        }
+    }
+
+    /// Delete all subtrees matching a translated query.
+    fn delete_where(&mut self, q: &ServerQuery) -> Result<DeleteOutcome, CoreError> {
+        match self.roundtrip(&Message::DeleteWhere(q.clone()))? {
+            Message::Deleted(outcome) => Ok(outcome),
+            other => Err(unexpected("Deleted", other)),
+        }
+    }
+}
+
+/// Error frames become their carried error; everything else is a protocol
+/// violation.
+fn unexpected(want: &str, got: Message) -> CoreError {
+    match got {
+        Message::Error(e) => e.into_core(),
+        other => CoreError::Transport(format!(
+            "expected {want} response, got message type {:#04x}",
+            other.msg_type()
+        )),
+    }
+}
+
+// --------------------------------------------------------------- dispatch --
+
+/// Answers a read-style request against a shared server. Mutating requests
+/// are rejected (the caller must hold exclusive access for those).
+pub fn answer_request(server: &Server, req: &Message) -> Result<Message, CoreError> {
+    match req {
+        Message::Query(q) => Ok(Message::Answer(server.answer(q))),
+        Message::NaiveQuery => Ok(Message::Answer(server.answer_naive())),
+        Message::FetchBlock(id) => Ok(Message::Block(server.fetch_block(*id))),
+        Message::ValueExtreme { attr_key, max } => {
+            Ok(Message::Extreme(server.value_extreme(attr_key, *max)))
+        }
+        Message::Locate(q) => Ok(Message::Intervals(server.locate(q))),
+        Message::InsertionSlotReq(iv) => server.insertion_slot(*iv).map(Message::Slot),
+        Message::ApplyInsert(_) | Message::DeleteWhere(_) => Err(CoreError::Transport(
+            "mutating request on a read-only server handle".into(),
+        )),
+        other => Err(CoreError::Transport(format!(
+            "not a request: message type {:#04x}",
+            other.msg_type()
+        ))),
+    }
+}
+
+/// Answers any request, including mutations.
+pub fn apply_request(server: &mut Server, req: &Message) -> Result<Message, CoreError> {
+    match req {
+        Message::ApplyInsert(delta) => server.apply_insert(delta).map(|()| Message::InsertOk),
+        Message::DeleteWhere(q) => Ok(Message::Deleted(server.delete_where(q))),
+        other => answer_request(server, other),
+    }
+}
+
+// -------------------------------------------------------------- in-process --
+
+enum ServerHandle<'a> {
+    Shared(&'a Server),
+    Exclusive(&'a mut Server),
+}
+
+/// The in-process transport: a direct server reference behind the full
+/// frame codec. Every request is encoded, decoded, dispatched, and its
+/// response encoded and decoded again — so hardening and byte accounting
+/// match the TCP path bit for bit.
+pub struct InProcess<'a> {
+    server: ServerHandle<'a>,
+    stats: LinkStats,
+}
+
+impl<'a> InProcess<'a> {
+    /// Read-only link: queries, block fetches, aggregates. Mutating
+    /// requests are answered with an error frame.
+    pub fn shared(server: &'a Server) -> InProcess<'a> {
+        InProcess {
+            server: ServerHandle::Shared(server),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Full link including insert/delete.
+    pub fn exclusive(server: &'a mut Server) -> InProcess<'a> {
+        InProcess {
+            server: ServerHandle::Exclusive(server),
+            stats: LinkStats::default(),
+        }
+    }
+}
+
+impl Transport for InProcess<'_> {
+    fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError> {
+        let frame = req.encode_frame();
+        self.stats.requests += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        // Decode our own frame: the server must only ever see what survives
+        // the codec, exactly as over a socket.
+        let decoded = Message::decode_frame(&frame)?;
+        let result = match &mut self.server {
+            ServerHandle::Shared(s) => answer_request(s, &decoded),
+            ServerHandle::Exclusive(s) => apply_request(s, &decoded),
+        };
+        let resp = match result {
+            Ok(msg) => msg,
+            Err(e) => Message::Error(WireError::from_core(&e)),
+        };
+        let resp_frame = resp.encode_frame();
+        self.stats.bytes_received += resp_frame.len() as u64;
+        Ok(Message::decode_frame(&resp_frame)?)
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+// --------------------------------------------------------------------- tcp --
+
+/// Connection/retry/timeout knobs for [`TcpTransport`].
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Timeout for each connect attempt.
+    pub connect_timeout: Duration,
+    /// Total connect attempts before giving up.
+    pub connect_attempts: u32,
+    /// Sleep before the second attempt; doubles each further attempt.
+    pub retry_backoff: Duration,
+    /// Per-request read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_secs(2),
+            connect_attempts: 5,
+            retry_backoff: Duration::from_millis(50),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A blocking TCP client link speaking the frame protocol.
+pub struct TcpTransport {
+    stream: TcpStream,
+    peer: SocketAddr,
+    config: TcpConfig,
+    stats: LinkStats,
+}
+
+impl TcpTransport {
+    /// Connects with retry and exponential backoff.
+    pub fn connect(addr: impl ToSocketAddrs, config: TcpConfig) -> Result<TcpTransport, CoreError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| CoreError::Transport(format!("address resolution failed: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(CoreError::Transport("address resolved to nothing".into()));
+        }
+        let mut backoff = config.retry_backoff;
+        let mut last_err = String::new();
+        for attempt in 0..config.connect_attempts.max(1) {
+            if attempt > 0 {
+                thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            for peer in &addrs {
+                match TcpStream::connect_timeout(peer, config.connect_timeout) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true).ok();
+                        stream
+                            .set_read_timeout(Some(config.io_timeout))
+                            .map_err(|e| CoreError::Transport(e.to_string()))?;
+                        stream
+                            .set_write_timeout(Some(config.io_timeout))
+                            .map_err(|e| CoreError::Transport(e.to_string()))?;
+                        return Ok(TcpTransport {
+                            stream,
+                            peer: *peer,
+                            config,
+                            stats: LinkStats::default(),
+                        });
+                    }
+                    Err(e) => last_err = e.to_string(),
+                }
+            }
+        }
+        Err(CoreError::Transport(format!(
+            "connect to {addrs:?} failed after {} attempts: {last_err}",
+            config.connect_attempts.max(1)
+        )))
+    }
+
+    /// Connects with default [`TcpConfig`].
+    pub fn connect_default(addr: impl ToSocketAddrs) -> Result<TcpTransport, CoreError> {
+        TcpTransport::connect(addr, TcpConfig::default())
+    }
+
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+}
+
+impl Transport for TcpTransport {
+    fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError> {
+        let frame = req.encode_frame();
+        self.stream
+            .write_all(&frame)
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| CoreError::Transport(format!("send to {} failed: {e}", self.peer)))?;
+        self.stats.requests += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+
+        let mut resp_frame = vec![0u8; FRAME_HEADER_LEN];
+        self.stream
+            .read_exact(&mut resp_frame)
+            .map_err(|e| CoreError::Transport(format!("receive from {} failed: {e}", self.peer)))?;
+        let header: [u8; FRAME_HEADER_LEN] = resp_frame[..].try_into().expect("sized vec");
+        let (_, payload_len) = Message::parse_header(&header)?;
+        resp_frame.resize(FRAME_HEADER_LEN + payload_len, 0);
+        self.stream
+            .read_exact(&mut resp_frame[FRAME_HEADER_LEN..])
+            .map_err(|e| CoreError::Transport(format!("receive from {} failed: {e}", self.peer)))?;
+        self.stats.bytes_received += resp_frame.len() as u64;
+        // Sanity note: config retained for future reconnect support.
+        let _ = &self.config;
+        Ok(Message::decode_frame(&resp_frame)?)
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+// ------------------------------------------------------------------- serve --
+
+/// Server-side knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Per-read socket timeout; bounds how long shutdown can take.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            io_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`ServeHandle::shutdown`])
+/// stops the accept loop and joins every thread.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains workers, joins threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `accept`; a throwaway connection wakes
+        // it so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Runs the frame protocol over `listener` against a shared server.
+///
+/// Read-style requests are answered under the read lock (concurrently);
+/// insert/delete take the write lock. Returns immediately; the returned
+/// handle owns the accept and worker threads.
+pub fn serve(
+    listener: TcpListener,
+    server: Arc<RwLock<Server>>,
+    config: ServeConfig,
+) -> std::io::Result<ServeHandle> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
+
+    for _ in 0..config.workers.max(1) {
+        let rx = Arc::clone(&conn_rx);
+        let srv = Arc::clone(&server);
+        let stop_flag = Arc::clone(&stop);
+        let io_timeout = config.io_timeout;
+        threads.push(thread::spawn(move || loop {
+            // Lock is held only for the recv; a worker going down with a
+            // panic would poison it, so recover defensively.
+            let next = match rx.lock() {
+                Ok(guard) => guard.recv(),
+                Err(poisoned) => poisoned.into_inner().recv(),
+            };
+            match next {
+                Ok(stream) => handle_connection(stream, &srv, &stop_flag, io_timeout),
+                Err(_) => return, // accept loop gone
+            }
+        }));
+    }
+
+    {
+        let stop_flag = Arc::clone(&stop);
+        threads.push(thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    return; // drops conn_tx, draining the workers
+                }
+                if let Ok(stream) = conn {
+                    if conn_tx.send(stream).is_err() {
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    Ok(ServeHandle {
+        addr,
+        stop,
+        threads,
+    })
+}
+
+/// Serves one connection until EOF, shutdown, or a framing error.
+fn handle_connection(
+    stream: TcpStream,
+    server: &RwLock<Server>,
+    stop: &AtomicBool,
+    io_timeout: Duration,
+) {
+    let mut stream = stream;
+    stream.set_nodelay(true).ok();
+    if stream.set_read_timeout(Some(io_timeout)).is_err() {
+        return;
+    }
+    loop {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        match read_exact_or_stop(&mut stream, &mut header, stop) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Closed | ReadOutcome::Stopped => return,
+        }
+        let (_, payload_len) = match Message::parse_header(&header) {
+            Ok(v) => v,
+            Err(e) => {
+                // Framing is unrecoverable: answer once and drop the link.
+                send_error(&mut stream, &e);
+                return;
+            }
+        };
+        let mut frame = vec![0u8; FRAME_HEADER_LEN + payload_len];
+        frame[..FRAME_HEADER_LEN].copy_from_slice(&header);
+        match read_exact_or_stop(&mut stream, &mut frame[FRAME_HEADER_LEN..], stop) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Closed | ReadOutcome::Stopped => return,
+        }
+        let reply = match Message::decode_frame(&frame) {
+            Err(e) => {
+                send_error(&mut stream, &e);
+                return;
+            }
+            Ok(req) => {
+                let result = if req.is_mutation() {
+                    match server.write() {
+                        Ok(mut guard) => apply_request(&mut guard, &req),
+                        Err(poisoned) => apply_request(&mut poisoned.into_inner(), &req),
+                    }
+                } else {
+                    match server.read() {
+                        Ok(guard) => answer_request(&guard, &req),
+                        Err(poisoned) => answer_request(&poisoned.into_inner(), &req),
+                    }
+                };
+                match result {
+                    Ok(msg) => msg,
+                    Err(e) => Message::Error(WireError::from_core(&e)),
+                }
+            }
+        };
+        let frame = reply.encode_frame();
+        debug_assert!(frame.len() <= FRAME_HEADER_LEN + MAX_FRAME_LEN);
+        if stream
+            .write_all(&frame)
+            .and_then(|_| stream.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+enum ReadOutcome {
+    Ok,
+    Closed,
+    Stopped,
+}
+
+/// `read_exact` that keeps polling across read timeouts so idle connections
+/// still notice shutdown promptly.
+fn read_exact_or_stop(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return ReadOutcome::Stopped;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Ok
+}
+
+fn send_error(stream: &mut TcpStream, err: &CodecError) {
+    let core: CoreError = err.clone().into();
+    let frame = Message::Error(WireError::from_core(&core)).encode_frame();
+    let _ = stream.write_all(&frame).and_then(|_| stream.flush());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::WireCodec;
+
+    #[test]
+    fn link_stats_deltas() {
+        let a = LinkStats {
+            requests: 2,
+            bytes_sent: 100,
+            bytes_received: 900,
+        };
+        let b = LinkStats {
+            requests: 5,
+            bytes_sent: 180,
+            bytes_received: 1400,
+        };
+        assert_eq!(
+            b.since(&a),
+            LinkStats {
+                requests: 3,
+                bytes_sent: 80,
+                bytes_received: 500,
+            }
+        );
+    }
+
+    #[test]
+    fn unexpected_error_frame_surfaces_core_error() {
+        let err = unexpected(
+            "Answer",
+            Message::Error(WireError::from_core(&CoreError::Query("bad".into()))),
+        );
+        assert_eq!(err, CoreError::Query("bad".into()));
+        let err = unexpected("Answer", Message::InsertOk);
+        assert!(matches!(err, CoreError::Transport(_)));
+    }
+
+    #[test]
+    fn in_process_counts_exact_frame_bytes() {
+        // A server over the tiniest possible database.
+        let doc = exq_xml::Document::parse("<r><a/></r>").unwrap();
+        let hosted = crate::system::Outsourcer::new(crate::system::OutsourceConfig::default())
+            .outsource(&doc, &[], crate::scheme::SchemeKind::Opt, 3)
+            .unwrap();
+        let (_, server) = hosted.split();
+        let mut t = InProcess::shared(&server);
+        let before = t.stats();
+        assert_eq!(before, LinkStats::default());
+        let resp = t.send_naive().unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(
+            stats.bytes_sent as usize,
+            Message::NaiveQuery.encode_frame().len()
+        );
+        assert_eq!(
+            stats.bytes_received as usize,
+            FRAME_HEADER_LEN + resp.encoded_len()
+        );
+    }
+
+    #[test]
+    fn shared_handle_rejects_mutations() {
+        let doc = exq_xml::Document::parse("<r><a/></r>").unwrap();
+        let hosted = crate::system::Outsourcer::new(crate::system::OutsourceConfig::default())
+            .outsource(&doc, &[], crate::scheme::SchemeKind::Opt, 3)
+            .unwrap();
+        let (_, server) = hosted.split();
+        let mut t = InProcess::shared(&server);
+        let q = ServerQuery {
+            steps: vec![crate::wire::SStep {
+                axis: crate::wire::SAxis::Descendant,
+                tags: vec!["a".into()],
+                preds: vec![],
+            }],
+            anchor: 0,
+        };
+        let err = t.delete_where(&q).unwrap_err();
+        assert!(matches!(err, CoreError::Transport(_)), "got {err:?}");
+    }
+}

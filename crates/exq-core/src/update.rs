@@ -40,7 +40,7 @@ use std::collections::BTreeSet;
 pub const IV_ATTR: &str = "_exq_iv";
 
 /// What the server offers the client for an insertion under a parent.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InsertionSlot {
     pub parent: Interval,
     /// Open label range `(gap_lo, gap_hi)` available for the new subtree.
@@ -51,7 +51,7 @@ pub struct InsertionSlot {
 }
 
 /// The client-prepared insertion payload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InsertDelta {
     pub parent: Interval,
     /// Visible fragment with `_exq_iv` interval annotations and block
@@ -67,25 +67,11 @@ pub struct InsertDelta {
 }
 
 impl InsertDelta {
-    /// Approximate wire size (transmission accounting).
+    /// Exact wire size: the length of the encoded `ApplyInsert` frame this
+    /// delta travels in (header included).
     pub fn wire_size(&self) -> usize {
-        self.visible_fragment.len()
-            + self
-                .blocks
-                .iter()
-                .map(SealedBlock::stored_size)
-                .sum::<usize>()
-            + self
-                .dsi_entries
-                .iter()
-                .map(|(t, _)| t.len() + 16)
-                .sum::<usize>()
-            + self.block_entries.len() * 20
-            + self
-                .value_entries
-                .iter()
-                .map(|(a, _, _)| a.len() + 20)
-                .sum::<usize>()
+        use crate::codec::WireCodec;
+        crate::codec::FRAME_HEADER_LEN + self.encoded_len()
     }
 }
 
@@ -172,10 +158,25 @@ impl Server {
 
 impl Client {
     /// Inserts `record_xml` as a new child of the first node matching
-    /// `parent_query`, applying the stored encryption policy.
+    /// `parent_query`, applying the stored encryption policy (in-process
+    /// link).
     pub fn insert(
         &mut self,
         server: &mut Server,
+        parent_query: &str,
+        record_xml: &str,
+        seed: u64,
+    ) -> Result<InsertDelta, CoreError> {
+        let mut link = crate::transport::InProcess::exclusive(server);
+        self.insert_via(&mut link, parent_query, record_xml, seed)
+    }
+
+    /// [`Client::insert`] over an arbitrary transport: locate the parent,
+    /// request a slot, prepare the delta locally, apply it remotely — four
+    /// round trips, all framed.
+    pub fn insert_via(
+        &mut self,
+        transport: &mut dyn crate::transport::Transport,
         parent_query: &str,
         record_xml: &str,
         seed: u64,
@@ -184,14 +185,14 @@ impl Client {
         let sq = tq
             .server_query
             .ok_or_else(|| CoreError::Query("parent query not server-evaluable".into()))?;
-        let parents = server.locate(&sq);
+        let parents = transport.locate(&sq)?;
         let parent = parents
             .first()
             .copied()
             .ok_or_else(|| CoreError::Query("insertion parent not found".into()))?;
-        let slot = server.insertion_slot(parent)?;
+        let slot = transport.insertion_slot(parent)?;
         let delta = self.prepare_insert(&slot, record_xml, seed)?;
-        server.apply_insert(&delta)?;
+        transport.apply_insert(&delta)?;
         Ok(delta)
     }
 
@@ -329,13 +330,23 @@ impl Client {
         })
     }
 
-    /// Deletes every subtree matching `query`.
+    /// Deletes every subtree matching `query` (in-process link).
     pub fn delete(&self, server: &mut Server, query: &str) -> Result<DeleteOutcome, CoreError> {
+        let mut link = crate::transport::InProcess::exclusive(server);
+        self.delete_via(&mut link, query)
+    }
+
+    /// [`Client::delete`] over an arbitrary transport.
+    pub fn delete_via(
+        &self,
+        transport: &mut dyn crate::transport::Transport,
+        query: &str,
+    ) -> Result<DeleteOutcome, CoreError> {
         let tq = self.translate(query)?;
         let sq = tq
             .server_query
             .ok_or_else(|| CoreError::Query("delete query not server-evaluable".into()))?;
-        Ok(server.delete_where(&sq))
+        transport.delete_where(&sq)
     }
 
     /// Encryption targets for a new record under the stored policy.

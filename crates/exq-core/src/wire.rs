@@ -20,7 +20,7 @@ pub enum SAxis {
 }
 
 /// One translated step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SStep {
     pub axis: SAxis,
     /// DSI-table keys to union; empty means wildcard (any labeled node).
@@ -29,7 +29,7 @@ pub struct SStep {
 }
 
 /// A translated predicate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SPred {
     /// Structural existence of a relative pattern.
     Exists(Vec<SStep>),
@@ -46,7 +46,7 @@ pub enum SPred {
 }
 
 /// A fully translated query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerQuery {
     pub steps: Vec<SStep>,
     /// The anchor step (see `client::translate`): the server returns, per
@@ -55,34 +55,18 @@ pub struct ServerQuery {
 }
 
 impl ServerQuery {
-    /// Approximate wire size in bytes (for transmission accounting).
+    /// Exact wire size in bytes: the length of the encoded `Query` frame
+    /// this query travels in (header included). A `Query` frame's payload
+    /// is exactly the query's own encoding.
     pub fn wire_size(&self) -> usize {
-        fn steps_size(steps: &[SStep]) -> usize {
-            steps
-                .iter()
-                .map(|s| {
-                    4 + s.tags.iter().map(String::len).sum::<usize>()
-                        + s.preds
-                            .iter()
-                            .map(|p| match p {
-                                SPred::Exists(q) => 2 + steps_size(q),
-                                SPred::Value { path, range, plain } => {
-                                    2 + steps_size(path)
-                                        + range.as_ref().map_or(0, |(k, _)| k.len() + 32)
-                                        + plain.as_ref().map_or(0, |(_, l)| l.as_text().len() + 2)
-                                }
-                            })
-                            .sum::<usize>()
-                })
-                .sum()
-        }
-        8 + steps_size(&self.steps)
+        use crate::codec::WireCodec;
+        crate::codec::FRAME_HEADER_LEN + self.encoded_len()
     }
 }
 
 /// The server's answer: a pruned visible document plus the encrypted blocks
 /// the client must decrypt.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerResponse {
     /// Serialized pruned visible document (may be empty when nothing
     /// matched).
@@ -98,14 +82,11 @@ pub struct ServerResponse {
 }
 
 impl ServerResponse {
-    /// Bytes shipped back to the client.
+    /// Exact bytes shipped back to the client: the encoded `Answer` frame
+    /// length (header included).
     pub fn payload_bytes(&self) -> usize {
-        self.pruned_xml.len()
-            + self
-                .blocks
-                .iter()
-                .map(SealedBlock::stored_size)
-                .sum::<usize>()
+        use crate::codec::WireCodec;
+        crate::codec::FRAME_HEADER_LEN + self.encoded_len()
     }
 }
 
@@ -240,13 +221,49 @@ mod tests {
     }
 
     #[test]
-    fn payload_accounts_blocks() {
-        let r = ServerResponse {
+    fn payload_bytes_is_exact_frame_length() {
+        use crate::codec::Message;
+        let empty = ServerResponse {
             pruned_xml: "<r/>".into(),
             blocks: vec![],
             translate_time: Duration::ZERO,
             process_time: Duration::ZERO,
         };
-        assert_eq!(r.payload_bytes(), 4);
+        // payload_bytes == the frame this response actually travels in.
+        assert_eq!(
+            empty.payload_bytes(),
+            Message::Answer(empty.clone()).encode_frame().len()
+        );
+        let with_block = ServerResponse {
+            blocks: vec![SealedBlock {
+                id: 0,
+                nonce: [0; 12],
+                ciphertext: vec![0xA5; 100],
+                tag: [0; 16],
+            }],
+            ..empty.clone()
+        };
+        assert_eq!(
+            with_block.payload_bytes(),
+            Message::Answer(with_block.clone()).encode_frame().len()
+        );
+        assert!(with_block.payload_bytes() > empty.payload_bytes() + 100);
+    }
+
+    #[test]
+    fn wire_size_is_exact_frame_length() {
+        use crate::codec::Message;
+        let q = ServerQuery {
+            steps: vec![SStep {
+                axis: SAxis::Descendant,
+                tags: vec!["a".into()],
+                preds: vec![],
+            }],
+            anchor: 0,
+        };
+        assert_eq!(
+            q.wire_size(),
+            Message::Query(q.clone()).encode_frame().len()
+        );
     }
 }

@@ -1,0 +1,283 @@
+//! Property tests for the wire codec: arbitrary messages survive an
+//! encode/decode round trip bit-exactly, and corrupted frames fail with an
+//! error — never a panic, never a bogus decode that re-encodes differently.
+
+use exq_core::codec::{CodecError, Message, WireCodec, WireError, FRAME_HEADER_LEN};
+use exq_core::update::{DeleteOutcome, InsertDelta, InsertionSlot};
+use exq_core::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
+use exq_crypto::{SealedBlock, ValueRange};
+use exq_xpath::{CmpOp, Literal};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_interval() -> impl Strategy<Value = exq_index::dsi::Interval> {
+    (0u64..1 << 48, 1u64..1 << 16)
+        .prop_map(|(lo, span)| exq_index::dsi::Interval::new(lo, lo + span))
+}
+
+fn arb_tag() -> impl Strategy<Value = String> {
+    "[a-zA-Z@_][a-zA-Z0-9_]{0,10}".prop_map(|s| s)
+}
+
+fn arb_value_range() -> impl Strategy<Value = ValueRange> {
+    (any::<u128>(), any::<u128>()).prop_map(|(a, b)| ValueRange {
+        lo: a.min(b),
+        hi: a.max(b),
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (-1e12f64..1e12).prop_map(Literal::Number),
+        "[ -~]{0,16}".prop_map(Literal::Str),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_axis() -> impl Strategy<Value = SAxis> {
+    prop_oneof![
+        Just(SAxis::Child),
+        Just(SAxis::Descendant),
+        Just(SAxis::DescendantOrSelf),
+        Just(SAxis::Attribute),
+    ]
+}
+
+/// A flat step (no predicates) — the recursion base.
+fn arb_flat_step() -> impl Strategy<Value = SStep> {
+    (arb_axis(), proptest::collection::vec(arb_tag(), 0..3)).prop_map(|(axis, tags)| SStep {
+        axis,
+        tags,
+        preds: vec![],
+    })
+}
+
+/// Steps whose predicates may nest further steps, up to a small depth.
+fn arb_step() -> BoxedStrategy<SStep> {
+    arb_flat_step()
+        .prop_recursive(3, 12, 3, |inner| {
+            let pred = prop_oneof![
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(SPred::Exists),
+                (
+                    proptest::collection::vec(inner, 1..3),
+                    proptest::option::of((arb_tag(), arb_value_range())),
+                    proptest::option::of((arb_cmp(), arb_literal())),
+                )
+                    .prop_map(|(path, range, plain)| SPred::Value {
+                        path,
+                        range,
+                        plain
+                    }),
+            ];
+            (
+                arb_axis(),
+                proptest::collection::vec(arb_tag(), 0..3),
+                proptest::collection::vec(pred, 0..2),
+            )
+                .prop_map(|(axis, tags, preds)| SStep { axis, tags, preds })
+        })
+        .boxed()
+}
+
+fn arb_query() -> impl Strategy<Value = ServerQuery> {
+    (proptest::collection::vec(arb_step(), 1..4), any::<u16>()).prop_map(|(steps, a)| {
+        let anchor = a as usize % steps.len();
+        ServerQuery { steps, anchor }
+    })
+}
+
+fn arb_block() -> impl Strategy<Value = SealedBlock> {
+    (
+        any::<u32>(),
+        any::<[u8; 12]>(),
+        proptest::collection::vec(any::<u8>(), 0..200),
+        any::<[u8; 16]>(),
+    )
+        .prop_map(|(id, nonce, ciphertext, tag)| SealedBlock {
+            id,
+            nonce,
+            ciphertext,
+            tag,
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = ServerResponse> {
+    (
+        "[ -~]{0,200}",
+        proptest::collection::vec(arb_block(), 0..4),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(pruned_xml, blocks, t1, t2)| ServerResponse {
+            pruned_xml,
+            blocks,
+            translate_time: Duration::from_nanos(t1 as u64),
+            process_time: Duration::from_nanos(t2 as u64),
+        })
+}
+
+fn arb_delta() -> impl Strategy<Value = InsertDelta> {
+    (
+        arb_interval(),
+        "[ -~]{0,100}",
+        proptest::collection::vec(arb_block(), 0..3),
+        proptest::collection::vec((arb_tag(), arb_interval()), 0..4),
+        proptest::collection::vec((arb_interval(), any::<u32>()), 0..4),
+        proptest::collection::vec((arb_tag(), any::<u128>(), any::<u32>()), 0..4),
+    )
+        .prop_map(
+            |(parent, visible_fragment, blocks, dsi_entries, block_entries, value_entries)| {
+                InsertDelta {
+                    parent,
+                    visible_fragment,
+                    blocks,
+                    dsi_entries,
+                    block_entries,
+                    value_entries,
+                }
+            },
+        )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_query().prop_map(Message::Query),
+        Just(Message::NaiveQuery),
+        any::<u32>().prop_map(Message::FetchBlock),
+        (arb_tag(), any::<bool>())
+            .prop_map(|(attr_key, max)| Message::ValueExtreme { attr_key, max }),
+        arb_query().prop_map(Message::Locate),
+        arb_interval().prop_map(Message::InsertionSlotReq),
+        arb_delta().prop_map(Message::ApplyInsert),
+        arb_query().prop_map(Message::DeleteWhere),
+        arb_response().prop_map(Message::Answer),
+        proptest::option::of(arb_block()).prop_map(Message::Block),
+        proptest::option::of((any::<u128>(), any::<u32>())).prop_map(Message::Extreme),
+        proptest::collection::vec(arb_interval(), 0..6).prop_map(Message::Intervals),
+        (arb_interval(), any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+            |(parent, a, b, id)| {
+                Message::Slot(InsertionSlot {
+                    parent,
+                    gap_lo: a.min(b),
+                    gap_hi: a.max(b),
+                    next_block_id: id,
+                })
+            }
+        ),
+        Just(Message::InsertOk),
+        (any::<u16>(), any::<u16>()).prop_map(|(d, s)| Message::Deleted(DeleteOutcome {
+            deleted: d as usize,
+            skipped_in_block: s as usize,
+        })),
+        (0u8..12, "[ -~]{0,40}")
+            .prop_map(|(code, message)| Message::Error(WireError { code, message })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn message_frame_roundtrip(msg in arb_message()) {
+        let frame = msg.encode_frame();
+        prop_assert_eq!(frame.len(), msg.frame_len());
+        let back = Message::decode_frame(&frame).expect("decode own frame");
+        // WireError codes are canonicalized on decode (unknown → transport),
+        // so compare re-encodings rather than values for error frames.
+        prop_assert_eq!(back.encode_frame(), frame);
+    }
+
+    #[test]
+    fn query_payload_roundtrip(q in arb_query()) {
+        let bytes = q.encode();
+        let back = ServerQuery::decode(&bytes).expect("decode");
+        prop_assert_eq!(back, q);
+    }
+
+    #[test]
+    fn response_payload_roundtrip(r in arb_response()) {
+        let bytes = r.encode();
+        let back = ServerResponse::decode(&bytes).expect("decode");
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn delta_payload_roundtrip(d in arb_delta()) {
+        let bytes = d.encode();
+        let back = InsertDelta::decode(&bytes).expect("decode");
+        prop_assert_eq!(back, d);
+    }
+
+    /// Any truncation of a valid frame errors cleanly.
+    #[test]
+    fn truncation_never_panics(msg in arb_message(), cut in 0.0f64..1.0) {
+        let frame = msg.encode_frame();
+        let keep = (frame.len() as f64 * cut) as usize;
+        if keep < frame.len() {
+            prop_assert!(Message::decode_frame(&frame[..keep]).is_err());
+        }
+    }
+
+    /// Single-byte corruption anywhere in the frame either fails cleanly or
+    /// decodes to a message that re-encodes without panicking. (A flipped
+    /// byte inside, say, a tag string can still be a valid frame.)
+    #[test]
+    fn corruption_never_panics(msg in arb_message(), pos in any::<u32>(), xor in 1u8..=255) {
+        let mut frame = msg.encode_frame();
+        let idx = pos as usize % frame.len();
+        frame[idx] ^= xor;
+        match Message::decode_frame(&frame) {
+            Err(_) => {}
+            Ok(m) => {
+                let _ = m.encode_frame();
+            }
+        }
+    }
+
+    /// Random garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Message::decode_frame(&bytes);
+    }
+
+    /// Garbage behind a valid header never panics either — this is the path
+    /// a network server actually feeds the decoder.
+    #[test]
+    fn framed_garbage_never_panics(
+        msg_type in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        frame.extend_from_slice(b"EQ");
+        frame.push(1); // protocol version
+        frame.push(msg_type);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let _ = Message::decode_frame(&frame);
+    }
+}
+
+/// Decoded intervals always satisfy the `lo < hi` invariant, so downstream
+/// `Interval` code can rely on it even on attacker-supplied frames.
+#[test]
+fn decoded_intervals_uphold_invariant() {
+    // frame = header + varint(lo) + varint(hi); with lo=3, hi=9 both varints
+    // are single bytes, so swapping them fabricates the inverted interval
+    // (9, 3) that the constructor itself would refuse to build.
+    let mut frame = Message::InsertionSlotReq(exq_index::dsi::Interval::new(3, 9)).encode_frame();
+    frame.swap(FRAME_HEADER_LEN, FRAME_HEADER_LEN + 1);
+    match Message::decode_frame(&frame) {
+        Err(e) => assert!(matches!(e, CodecError::Invalid(_)), "got {e:?}"),
+        Ok(m) => panic!("inverted interval decoded: {m:?}"),
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end tests over a real socket: a server behind [`serve`] on an
+//! ephemeral port must be indistinguishable from the in-process link —
+//! same results, same exact byte counts, mutations and aggregates
+//! included — and must survive hostile framing without dying.
+
+use exq_core::aggregate::Aggregate;
+use exq_core::codec::{Message, FRAME_HEADER_LEN};
+use exq_core::constraints::SecurityConstraint;
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::transport::{serve, InProcess, ServeConfig, ServeHandle, TcpTransport, Transport};
+use exq_core::{Client, Server};
+use exq_xml::Document;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, RwLock};
+
+fn hosted() -> (Client, Server) {
+    let doc = Document::parse(
+        r#"<hospital>
+            <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age>
+              <insurance><policy coverage="1000000">34221</policy></insurance></patient>
+            <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age>
+              <insurance><policy coverage="5000">78543</policy></insurance></patient>
+           </hospital>"#,
+    )
+    .unwrap();
+    let cs = vec![
+        SecurityConstraint::parse("//insurance").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap(),
+    ];
+    Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, SchemeKind::Opt, 77)
+        .unwrap()
+        .split()
+}
+
+fn start(server: Server) -> (ServeHandle, Arc<RwLock<Server>>) {
+    let shared = Arc::new(RwLock::new(server));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let handle = serve(listener, Arc::clone(&shared), ServeConfig::default()).unwrap();
+    (handle, shared)
+}
+
+#[test]
+fn tcp_matches_in_process_results_and_bytes() {
+    let (client, server) = hosted();
+    let reference = server.clone();
+    let (handle, _shared) = start(server);
+    let mut tcp = TcpTransport::connect_default(handle.addr()).unwrap();
+    let mut local = InProcess::shared(&reference);
+
+    for q in [
+        "//patient/pname",
+        "//patient[pname = 'Betty']/age",
+        "//patient[.//policy/@coverage = 5000]/pname",
+        "//insurance",
+        "//nosuchtag",
+    ] {
+        let over_tcp = client.query_via(&mut tcp, q).unwrap();
+        let in_proc = client.query_via(&mut local, q).unwrap();
+        assert_eq!(over_tcp.results, in_proc.results, "results differ for {q}");
+        assert_eq!(
+            over_tcp.bytes_to_server, in_proc.bytes_to_server,
+            "request bytes differ for {q}"
+        );
+        assert_eq!(
+            over_tcp.bytes_to_client, in_proc.bytes_to_client,
+            "response bytes differ for {q}"
+        );
+    }
+    // Both links saw identical cumulative traffic.
+    assert_eq!(tcp.stats(), local.stats());
+    handle.shutdown();
+}
+
+#[test]
+fn naive_fallback_runs_over_tcp() {
+    let (client, server) = hosted();
+    let (handle, _shared) = start(server);
+    let mut tcp = TcpTransport::connect_default(handle.addr()).unwrap();
+    // `parent::` is not server-evaluable; the client transparently falls
+    // back to shipping the whole database in a NaiveQuery round trip.
+    let out = client.query_via(&mut tcp, "//age/parent::patient").unwrap();
+    assert!(out.naive_fallback);
+    assert_eq!(out.results.len(), 2);
+    handle.shutdown();
+}
+
+#[test]
+fn aggregates_run_over_tcp() {
+    let (client, server) = hosted();
+    let reference = server.clone();
+    let (handle, _shared) = start(server);
+    let mut tcp = TcpTransport::connect_default(handle.addr()).unwrap();
+
+    for (path, agg) in [
+        ("//policy/@coverage", Aggregate::Max),
+        ("//policy/@coverage", Aggregate::Min),
+        ("//patient", Aggregate::Count),
+        ("//age", Aggregate::Max),
+    ] {
+        let over_tcp = client.aggregate_via(&mut tcp, path, agg).unwrap();
+        let in_proc = client.aggregate(&reference, path, agg).unwrap();
+        assert_eq!(over_tcp.value, in_proc.value, "{path} {agg:?}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn mutations_run_over_tcp() {
+    let (mut client, server) = hosted();
+    let (handle, shared) = start(server);
+    let record = r#"<patient><pname>Zoe</pname><SSN>112233</SSN><age>29</age>
+        <insurance><policy coverage="7500">55555</policy></insurance></patient>"#;
+
+    let mut tcp = TcpTransport::connect_default(handle.addr()).unwrap();
+    client.insert_via(&mut tcp, "/hospital", record, 9).unwrap();
+    let out = client.query_via(&mut tcp, "//patient/age").unwrap();
+    assert_eq!(out.results.len(), 3);
+    let out = client
+        .query_via(&mut tcp, "//patient[pname = 'Zoe']/age")
+        .unwrap();
+    assert_eq!(out.results, ["<age>29</age>"]);
+
+    let deleted = client.delete_via(&mut tcp, "//patient[age = 40]").unwrap();
+    assert_eq!(deleted.deleted, 1);
+    let out = client.query_via(&mut tcp, "//patient/age").unwrap();
+    assert_eq!(out.results.len(), 2);
+
+    handle.shutdown();
+    // The mutations really landed in the shared server state.
+    assert!(shared.read().unwrap().block_count() > 0);
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let (client, server) = hosted();
+    let (handle, _shared) = start(server);
+    let addr = handle.addr();
+    let client = Arc::new(client);
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let client = Arc::clone(&client);
+            std::thread::spawn(move || {
+                let mut tcp = TcpTransport::connect_default(addr).unwrap();
+                for _ in 0..5 {
+                    let out = client
+                        .query_via(&mut tcp, "//patient[pname = 'Betty']/age")
+                        .unwrap();
+                    assert_eq!(out.results, ["<age>35</age>"]);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_framing_gets_error_frame_then_close() {
+    let (_, server) = hosted();
+    let (handle, _shared) = start(server);
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+
+    // Valid length, bogus magic: the server answers with one error frame
+    // and hangs up (framing cannot be resynchronized).
+    raw.write_all(b"XXzz\x00\x00\x00\x00").unwrap();
+    raw.flush().unwrap();
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    raw.read_exact(&mut header).unwrap();
+    let (msg_type, payload_len) = Message::parse_header(&header).unwrap();
+    assert_eq!(msg_type, 0xFF, "expected an error frame");
+    let mut payload = vec![0u8; payload_len];
+    raw.read_exact(&mut payload).unwrap();
+    let mut frame = header.to_vec();
+    frame.extend_from_slice(&payload);
+    assert!(matches!(
+        Message::decode_frame(&frame),
+        Ok(Message::Error(_))
+    ));
+    // Connection is closed afterwards.
+    let n = raw.read(&mut header).unwrap();
+    assert_eq!(n, 0, "server should close after a framing error");
+
+    // The server is still alive for well-behaved clients.
+    let mut tcp = TcpTransport::connect_default(handle.addr()).unwrap();
+    assert!(tcp.send_naive().is_ok());
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_not_allocated() {
+    let (_, server) = hosted();
+    let (handle, _shared) = start(server);
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+
+    // Magic + version + Query type, then a 3 GiB length prefix.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"EQ");
+    frame.push(1);
+    frame.push(0x01);
+    frame.extend_from_slice(&(3_000_000_000u32).to_le_bytes());
+    raw.write_all(&frame).unwrap();
+    raw.flush().unwrap();
+
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    raw.read_exact(&mut header).unwrap();
+    let (msg_type, _) = Message::parse_header(&header).unwrap();
+    assert_eq!(msg_type, 0xFF, "oversize must be answered with an error");
+    handle.shutdown();
+}

@@ -496,7 +496,10 @@ mod tests {
             q(&d, "//patient[contains(pname, 'tt') and age = 35]/pname"),
             ["Betty"]
         );
-        assert_eq!(q(&d, "//patient[not(starts-with(pname, 'B'))]/pname"), ["Matt"]);
+        assert_eq!(
+            q(&d, "//patient[not(starts-with(pname, 'B'))]/pname"),
+            ["Matt"]
+        );
     }
 
     #[test]

@@ -1,0 +1,778 @@
+//! Workspace-local shim for the subset of the `proptest` 1.x API this
+//! repository uses. The build environment has no crates.io access, so the
+//! real crate is replaced by a minimal random-testing engine: the same
+//! `proptest!` / `prop_assert*` / strategy-combinator surface, driven by a
+//! seeded PRNG, **without shrinking** (a failing case prints its inputs via
+//! `Debug` instead of minimizing them).
+//!
+//! Supported surface (everything the repo's test suites touch):
+//! `proptest!` with `#![proptest_config(...)]`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`, `any::<T>()`, `Just`, integer/float
+//! range strategies, string-literal regex strategies (character classes and
+//! `{m,n}`/`*`/`+`/`?` quantifiers), tuple strategies, `prop_map`,
+//! `prop_recursive`, and `proptest::collection::{vec, hash_set}`.
+
+#![allow(clippy::all)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// The RNG driving every strategy.
+pub type TestRng = StdRng;
+
+/// A failed property (carried to the harness, which panics with it).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Run configuration, selected with `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Seed for a named test: deterministic per test name, overridable with
+/// `PROPTEST_SEED` for reproduction.
+pub fn rng_for_test(name: &str) -> TestRng {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.parse::<u64>() {
+            return TestRng::seed_from_u64(seed);
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+// ------------------------------------------------------------ strategies --
+
+/// A generator of random values (no shrinking in this shim).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Depth-bounded recursive composition. `_desired_size` and
+    /// `_expected_branch_size` are accepted for signature compatibility; the
+    /// shim bounds growth by `depth` plus the branching strategies'
+    /// own size ranges.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: BoxedStrategy::new(self),
+            recurse: Rc::new(move |inner| BoxedStrategy::new(recurse(inner))),
+            depth,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+trait StrategyObj<T> {
+    fn generate_obj(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> StrategyObj<S::Value> for S {
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn StrategyObj<T>>);
+
+impl<T> BoxedStrategy<T> {
+    fn new<S: Strategy<Value = T> + 'static>(s: S) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::new(s))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_oneof!` combinator: uniform choice among same-typed strategies.
+pub struct Union<S>(pub Vec<S>);
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// `prop_recursive` combinator: layer the recursion `depth` times over the
+/// base strategy; each layer's branching strategies decide the actual shape.
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut strat = self.base.clone();
+        let layers = rng.gen_range(0..=self.depth);
+        for _ in 0..layers {
+            strat = (self.recurse)(strat);
+        }
+        strat.generate(rng)
+    }
+}
+
+// Integer/float ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// Tuples of strategies are strategies.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ------------------------------------------------------------- arbitrary --
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rand::RngCore::next_u64(rng) as u128) << 64 | rand::RngCore::next_u64(rng) as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only, spread over a wide magnitude range.
+        let mag = rng.gen_range(-300i32..300) as f64;
+        let mantissa = rng.gen_range(-1.0f64..1.0);
+        mantissa * 10f64.powf(mag / 2.0)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII most of the time, occasional multibyte.
+        const EXTRA: &[char] = &['é', 'ß', '字', '🦀'];
+        if rng.gen_bool(0.9) {
+            rng.gen_range(0x20u32..0x7F).try_into().unwrap_or('a')
+        } else {
+            EXTRA[rng.gen_range(0..EXTRA.len())]
+        }
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        core::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
+/// Strategy form of [`Arbitrary`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+// ----------------------------------------------------- regex strategies --
+
+/// String literals are strategies: a small regex-shaped generator covering
+/// the patterns this repository uses (character classes, `{m,n}`/`*`/`+`/`?`
+/// quantifiers, `\PC` for printable characters, and literal characters).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Candidate characters to draw from.
+    Class(Vec<char>),
+    /// Any printable character (`\PC`).
+    Printable,
+    Literal(char),
+}
+
+fn printable_char(rng: &mut TestRng) -> char {
+    const EXTRA: &[char] = &['é', 'ß', '字', '→', '🦀'];
+    if rng.gen_bool(0.85) {
+        char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap_or('a')
+    } else {
+        EXTRA[rng.gen_range(0..EXTRA.len())]
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '-' => {
+                // Range if bracketed by characters, literal '-' otherwise.
+                match (prev, chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        for x in lo as u32 + 1..=hi as u32 {
+                            if let Some(ch) = char::from_u32(x) {
+                                out.push(ch);
+                            }
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        out.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    out
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut atoms: Vec<(Atom, u32, u32)> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC`: anything outside the control category.
+                    chars.next();
+                    Atom::Printable
+                }
+                Some(esc) => Atom::Literal(esc),
+                None => Atom::Literal('\\'),
+            },
+            '.' => Atom::Printable,
+            c => Atom::Literal(c),
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(8)),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((atom, lo, hi));
+    }
+
+    let mut out = String::new();
+    for (atom, lo, hi) in atoms {
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            match &atom {
+                Atom::Class(cs) if !cs.is_empty() => out.push(cs[rng.gen_range(0..cs.len())]),
+                Atom::Class(_) => {}
+                Atom::Printable => out.push(printable_char(rng)),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------ collection --
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Size specifications accepted by the collection strategies.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy, R: SizeRange>(elem: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { elem, size }
+    }
+
+    pub struct HashSetStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::new();
+            // Duplicate draws may fall short of `target`; bound the retries
+            // so tiny domains still terminate.
+            let mut attempts = 0;
+            while out.len() < target && attempts < 10 * (target + 1) {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `HashSet` of (about) `size` distinct elements drawn from `elem`.
+    pub fn hash_set<S, R>(elem: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        HashSetStrategy { elem, size }
+    }
+}
+
+// ---------------------------------------------------------------- macros --
+
+/// Property-test harness macro: runs each test body over `cases` random
+/// draws of its parameter strategies. No shrinking — failures print the
+/// case number; re-run with `PROPTEST_SEED` to reproduce a specific stream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for_test(stringify!($name));
+            for case in 0..config.cases {
+                let ($($pat,)+) = ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!("proptest {} failed at case {}/{}: {}",
+                           stringify!($name), case + 1, config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategy arms sharing a `Value` type. Arms are
+/// boxed so differently-typed combinator chains can mix in one union.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+pub mod option {
+    //! `proptest::option::of`: half the cases `Some`, half `None`.
+    use crate::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::rng_for_test("ranges");
+        let s = (0u8..4, 1usize..=3, any::<bool>());
+        for _ in 0..100 {
+            let (a, b, _c) = s.generate(&mut rng);
+            assert!(a < 4);
+            assert!((1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_patterns_match_shape() {
+        let mut rng = crate::rng_for_test("regex");
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad char: {s:?}");
+
+            let t = "[a-zA-Z][a-zA-Z0-9_-]{0,8}".generate(&mut rng);
+            assert!(!t.is_empty());
+            assert!(t.chars().next().unwrap().is_ascii_alphabetic());
+
+            let free = "\\PC*".generate(&mut rng);
+            assert!(free.chars().count() <= 8);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(T::Node)
+        });
+        let mut rng = crate::rng_for_test("recursive");
+        for _ in 0..50 {
+            assert!(depth(&s.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn harness_runs_and_binds_patterns(
+            (a, b) in (any::<u8>(), any::<u8>()),
+            v in crate::collection::vec(0u32..10, 0..5),
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(a as u16 + b as u16, b as u16 + a as u16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
