@@ -14,6 +14,7 @@ pub mod e11_dsi_ablation;
 pub mod e12_updates;
 pub mod e13_scaling;
 pub mod e14_concurrency;
+pub mod e15_parallel;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -95,6 +96,11 @@ pub fn registry() -> Vec<Experiment> {
             "e14",
             "extension: concurrent TCP clients vs one server",
             e14_concurrency::run,
+        ),
+        (
+            "e15",
+            "extension: parallel hot path — threaded decrypt and server fan-out",
+            e15_parallel::run,
         ),
     ]
 }

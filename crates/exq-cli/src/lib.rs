@@ -145,16 +145,23 @@ pub fn cmd_query(
     client_path: &Path,
     query: &str,
     naive: bool,
+    threads: usize,
 ) -> Result<String, CliError> {
-    let server = Server::load(server_path)?;
-    let client = Client::load(client_path)?;
+    let mut server = Server::load(server_path)?;
+    server.set_threads(threads);
+    let client = Client::load(client_path)?.with_threads(threads);
     let mut link = InProcess::shared(&server);
     query_over(&client, &mut link, query, naive)
 }
 
 /// `exq query --addr`: same pipeline, but the server is a network peer.
-pub fn cmd_query_remote(addr: &str, client_path: &Path, query: &str) -> Result<String, CliError> {
-    let client = Client::load(client_path)?;
+pub fn cmd_query_remote(
+    addr: &str,
+    client_path: &Path,
+    query: &str,
+    threads: usize,
+) -> Result<String, CliError> {
+    let client = Client::load(client_path)?.with_threads(threads);
     let mut link = TcpTransport::connect_default(addr)?;
     query_over(&client, &mut link, query, false)
 }
@@ -192,6 +199,7 @@ pub fn cmd_serve(
     server_path: &Path,
     addr: &str,
     workers: usize,
+    threads: usize,
 ) -> Result<(ServeHandle, String), CliError> {
     let server = Server::load(server_path)?;
     let blocks = server.block_count();
@@ -202,11 +210,14 @@ pub fn cmd_serve(
         Arc::new(RwLock::new(server)),
         ServeConfig {
             workers,
+            threads,
             ..ServeConfig::default()
         },
     )?;
+    let per_query = exq_core::pool::resolve_threads(threads);
     let banner = format!(
-        "serving {} ({bytes} hosted bytes, {blocks} blocks) on {} with {workers} worker(s)\n",
+        "serving {} ({bytes} hosted bytes, {blocks} blocks) on {} with {workers} worker(s), \
+         {per_query} intra-query thread(s)\n",
         server_path.display(),
         handle.addr()
     );
@@ -390,9 +401,9 @@ USAGE:
                 [--constraints-out sc.txt]
   exq encrypt   --in doc.xml --constraints sc.txt --scheme opt --seed N
                 --server server.exq --client client.exq
-  exq query     --server server.exq --client client.exq [--naive] 'XPATH'
-  exq query     --addr HOST:PORT --client client.exq 'XPATH'
-  exq serve     --server server.exq --addr HOST:PORT [--workers N]
+  exq query     --server server.exq --client client.exq [--naive] [--threads N] 'XPATH'
+  exq query     --addr HOST:PORT --client client.exq [--threads N] 'XPATH'
+  exq serve     --server server.exq --addr HOST:PORT [--workers N] [--threads N]
   exq aggregate --server server.exq --client client.exq --fn min|max|count 'PATH'
   exq insert    --server server.exq --client client.exq --parent 'QUERY'
                 --record rec.xml [--seed N]

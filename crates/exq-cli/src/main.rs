@@ -60,6 +60,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
         .transpose()
         .map_err(|_| CliError::Usage("--seed must be an integer".into()))?
         .unwrap_or(42);
+    // 0 means "auto": pick up EXQ_THREADS or the machine's parallelism.
+    let threads = flags
+        .get("threads")
+        .map(|s| s.parse::<usize>())
+        .transpose()
+        .map_err(|_| CliError::Usage("--threads must be an integer".into()))?
+        .unwrap_or(0);
 
     match cmd.as_str() {
         "gen" => {
@@ -90,12 +97,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .first()
                 .ok_or_else(|| CliError::Usage("missing query".into()))?;
             match flags.get("addr") {
-                Some(addr) => cmd_query_remote(addr, &path("client")?, q),
+                Some(addr) => cmd_query_remote(addr, &path("client")?, q, threads),
                 None => cmd_query(
                     &path("server")?,
                     &path("client")?,
                     q,
                     flags.contains_key("naive"),
+                    threads,
                 ),
             }
         }
@@ -106,7 +114,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .transpose()
                 .map_err(|_| CliError::Usage("--workers must be an integer".into()))?
                 .unwrap_or(4);
-            let (handle, banner) = cmd_serve(&path("server")?, &string("addr")?, workers)?;
+            let (handle, banner) = cmd_serve(&path("server")?, &string("addr")?, workers, threads)?;
             print!("{banner}");
             // Serve until killed; the handle's threads do all the work.
             loop {

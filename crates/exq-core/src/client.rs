@@ -25,10 +25,16 @@ use exq_xpath::{eval_document, Axis, CmpOp, Literal, NodeTest, Path, Predicate};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+/// Synthetic root used when several root-level blocks must splice into one
+/// reconstruction (a [`Document`] holds exactly one root element).
+const SPLICE_ROOT_TAG: &str = "_exq_splice";
+
 /// The data owner's query-side state.
 #[derive(Debug, Clone)]
 pub struct Client {
     state: ClientCryptoState,
+    /// Worker threads for block decryption/parsing (resolved; >= 1).
+    threads: usize,
 }
 
 /// A translated query plus what the client needs for post-processing.
@@ -58,7 +64,28 @@ pub struct PostProcessed {
 
 impl Client {
     pub fn new(state: ClientCryptoState) -> Client {
-        Client { state }
+        Client {
+            state,
+            threads: crate::pool::default_threads(),
+        }
+    }
+
+    /// Sets the decrypt/parse worker count (1 = strictly serial). Builder
+    /// form; see also [`set_threads`](Client::set_threads).
+    pub fn with_threads(mut self, threads: usize) -> Client {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Sets the decrypt/parse worker count; `0` means auto (the
+    /// `EXQ_THREADS` / available-parallelism resolution).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = crate::pool::resolve_threads(threads);
+    }
+
+    /// The resolved decrypt/parse worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     pub fn state(&self) -> &ClientCryptoState {
@@ -105,6 +132,34 @@ impl Client {
         Ok((tq, resp, post))
     }
 
+    /// Decrypts and parses every shipped block, fanning out across the
+    /// configured worker threads. Results are keyed by block id; errors
+    /// surface in block order, exactly as the serial loop reported them.
+    fn decrypt_blocks(
+        &self,
+        blocks: &[exq_crypto::SealedBlock],
+    ) -> Result<HashMap<u32, Document>, CoreError> {
+        let key = self.state.keys.block_key();
+        let opened = crate::pool::parallel_map(
+            self.threads,
+            blocks,
+            |b| -> Result<(u32, Document), CoreError> {
+                let bytes = open_block(&key, b).map_err(|e| CoreError::Block(e.to_string()))?;
+                let xml = String::from_utf8(bytes)
+                    .map_err(|e| CoreError::Block(format!("block not UTF-8: {e}")))?;
+                let doc = Document::parse(&xml)
+                    .map_err(|e| CoreError::Block(format!("block not XML: {e}")))?;
+                Ok((b.id, doc))
+            },
+        );
+        let mut decrypted: HashMap<u32, Document> = HashMap::with_capacity(blocks.len());
+        for entry in opened {
+            let (id, doc) = entry?;
+            decrypted.insert(id, doc);
+        }
+        Ok(decrypted)
+    }
+
     /// Decrypts, reconstructs, and evaluates the post query (§6.4).
     pub fn post_process(
         &self,
@@ -112,16 +167,7 @@ impl Client {
         resp: &ServerResponse,
     ) -> Result<PostProcessed, CoreError> {
         let t0 = Instant::now();
-        let key = self.state.keys.block_key();
-        let mut decrypted: HashMap<u32, Document> = HashMap::new();
-        for b in &resp.blocks {
-            let bytes = open_block(&key, b).map_err(|e| CoreError::Block(e.to_string()))?;
-            let xml = String::from_utf8(bytes)
-                .map_err(|e| CoreError::Block(format!("block not UTF-8: {e}")))?;
-            let doc = Document::parse(&xml)
-                .map_err(|e| CoreError::Block(format!("block not XML: {e}")))?;
-            decrypted.insert(b.id, doc);
-        }
+        let decrypted = self.decrypt_blocks(&resp.blocks)?;
         let decrypt_time = t0.elapsed();
 
         let t1 = Instant::now();
@@ -146,32 +192,50 @@ impl Client {
     /// decoys). Returns `None` only for an empty hosted database.
     pub fn export(&self, server: &Server) -> Result<Option<Document>, CoreError> {
         let resp = server.answer_naive();
-        let key = self.state.keys.block_key();
-        let mut decrypted: HashMap<u32, Document> = HashMap::new();
-        for b in &resp.blocks {
-            let bytes = open_block(&key, b).map_err(|e| CoreError::Block(e.to_string()))?;
-            let xml = String::from_utf8(bytes)
-                .map_err(|e| CoreError::Block(format!("block not UTF-8: {e}")))?;
-            let doc = Document::parse(&xml)
-                .map_err(|e| CoreError::Block(format!("block not XML: {e}")))?;
-            decrypted.insert(b.id, doc);
-        }
+        let decrypted = self.decrypt_blocks(&resp.blocks)?;
         self.reconstruct(&resp.pruned_xml, &decrypted)
     }
 
     /// Splices decrypted blocks over their markers and removes decoys.
+    ///
+    /// An empty `pruned_xml` with shipped blocks is the fully-encrypted-root
+    /// case: the server has no visible context to send, but the blocks are
+    /// the answer — they splice directly at the root level (ascending block
+    /// id, matching document order) rather than being dropped. `None` is
+    /// returned only when *nothing* came back (an empty hosted database).
     fn reconstruct(
         &self,
         pruned_xml: &str,
         decrypted: &HashMap<u32, Document>,
     ) -> Result<Option<Document>, CoreError> {
-        if pruned_xml.is_empty() {
-            return Ok(decrypted.is_empty().then(Document::new));
-        }
-        let pruned = Document::parse(pruned_xml).map_err(|e| CoreError::Response(e.to_string()))?;
         let mut out = Document::new();
-        let root = pruned.root().ok_or(CoreError::EmptyDocument)?;
-        splice(&pruned, root, None, decrypted, &mut out)?;
+        if pruned_xml.is_empty() {
+            if decrypted.is_empty() {
+                return Ok(None);
+            }
+            let mut ids: Vec<u32> = decrypted.keys().copied().collect();
+            ids.sort_unstable();
+            // One block: its root becomes the document root (the common
+            // fully-encrypted-root shape). Several blocks cannot share the
+            // root slot, so they splice under a synthetic wrapper element;
+            // descendant-axis post-queries see through it unchanged.
+            let parent = if ids.len() > 1 {
+                Some(out.add_element(None, SPLICE_ROOT_TAG))
+            } else {
+                None
+            };
+            for id in ids {
+                let block_doc = &decrypted[&id];
+                if let Some(broot) = block_doc.root() {
+                    block_doc.clone_subtree_into(broot, &mut out, parent);
+                }
+            }
+        } else {
+            let pruned =
+                Document::parse(pruned_xml).map_err(|e| CoreError::Response(e.to_string()))?;
+            let root = pruned.root().ok_or(CoreError::EmptyDocument)?;
+            splice(&pruned, root, None, decrypted, &mut out)?;
+        }
         // Remove decoys anywhere in the reconstruction.
         let decoys: Vec<NodeId> = out.elements_by_tag(DECOY_TAG).into_iter().collect();
         for d in decoys {

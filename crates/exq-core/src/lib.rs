@@ -33,6 +33,7 @@ pub mod cover;
 pub mod encrypt;
 pub mod error;
 pub mod persist;
+pub mod pool;
 pub mod scheme;
 pub mod server;
 pub mod system;

@@ -58,6 +58,26 @@ pub struct Server {
     blocks: Vec<SealedBlock>,
     /// Blocks tombstoned by deletions (update support).
     dead_blocks: HashSet<u32>,
+    /// Worker threads for intra-query candidate filtering and response
+    /// assembly (resolved; >= 1). Runtime-only: not persisted.
+    threads: usize,
+}
+
+/// Per-query resolution of every ciphertext value range to its matching
+/// live-block set (the lazy "step 2" of query answering, §6.2, hoisted to a
+/// pre-pass). Built once per query from the *query alone* — the entries
+/// depend only on the B-trees, never on which candidate is being tested —
+/// so predicate filtering over it is read-only and safe to fan out across
+/// threads.
+#[derive(Debug, Default)]
+struct ValueBlockCache {
+    by_range: HashMap<(String, u128, u128), HashSet<u32>>,
+}
+
+impl ValueBlockCache {
+    fn get(&self, attr: &str, lo: u128, hi: u128) -> Option<&HashSet<u32>> {
+        self.by_range.get(&(attr.to_owned(), lo, hi))
+    }
 }
 
 impl Server {
@@ -77,7 +97,22 @@ impl Server {
             universe,
             blocks: out.blocks.clone(),
             dead_blocks: HashSet::new(),
+            threads: crate::pool::default_threads(),
         }
+    }
+
+    /// Sets the intra-query worker count; `0` means auto (the `EXQ_THREADS`
+    /// / available-parallelism resolution). Intra-query parallelism composes
+    /// with the transport layer's connection concurrency: queries run under
+    /// the serve loop's `RwLock` *read* guard, so concurrent clients and
+    /// these workers share the server without exclusion.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = crate::pool::resolve_threads(threads);
+    }
+
+    /// The resolved intra-query worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// True when a block id refers to live data.
@@ -303,6 +338,7 @@ impl Server {
             universe,
             blocks,
             dead_blocks,
+            threads: crate::pool::default_threads(),
         }
     }
 
@@ -355,7 +391,10 @@ impl Server {
         let translate_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let survivors = self.match_survivors(q, &step_candidates);
+        // Step 2 up front: resolve every ciphertext range in the query to
+        // its block set, so the per-candidate passes below are read-only.
+        let cache = self.build_value_cache(&q.steps);
+        let survivors = self.match_survivors(q, &step_candidates, &cache);
         let n = q.steps.len();
         // Step 3: response assembly. Ship every anchor match's region plus
         // one witness region per predicate at steps above the anchor, so
@@ -366,13 +405,13 @@ impl Server {
             if step.preds.is_empty() {
                 continue;
             }
-            for c in &survivors[i] {
-                for pred in &step.preds {
-                    if let Some(w) = self.pred_witness(c, pred) {
-                        targets.push(w);
-                    }
-                }
-            }
+            let witnesses = crate::pool::parallel_map(self.threads, &survivors[i], |c| {
+                step.preds
+                    .iter()
+                    .filter_map(|pred| self.pred_witness(c, pred, &cache))
+                    .collect::<Vec<Interval>>()
+            });
+            targets.extend(witnesses.into_iter().flatten());
         }
         let (pruned_xml, blocks) = self.assemble(&targets);
         ServerResponse {
@@ -383,36 +422,76 @@ impl Server {
         }
     }
 
+    /// Resolves one ciphertext range against an attribute's B-tree,
+    /// dropping tombstoned blocks.
+    fn value_blocks(&self, attr: &str, lo: u128, hi: u128) -> HashSet<u32> {
+        self.metadata
+            .value_indexes
+            .get(attr)
+            .map(|t| {
+                t.range(lo, hi)
+                    .into_iter()
+                    .filter(|&b| self.block_live(b))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Walks every predicate reachable from `steps` (including relative
+    /// patterns nested inside predicates) and resolves each encrypted value
+    /// range once. The resulting cache depends only on the query and the
+    /// hosted indexes — never on a candidate — so all later passes share it
+    /// immutably.
+    fn build_value_cache(&self, steps: &[SStep]) -> ValueBlockCache {
+        fn walk(server: &Server, steps: &[SStep], cache: &mut ValueBlockCache) {
+            for step in steps {
+                for pred in &step.preds {
+                    match pred {
+                        SPred::Exists(inner) => walk(server, inner, cache),
+                        SPred::Value { path, range, .. } => {
+                            walk(server, path, cache);
+                            if let Some((attr, r)) = range {
+                                cache
+                                    .by_range
+                                    .entry((attr.clone(), r.lo, r.hi))
+                                    .or_insert_with(|| server.value_blocks(attr, r.lo, r.hi));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut cache = ValueBlockCache::default();
+        walk(self, steps, &mut cache);
+        cache
+    }
+
     /// One witness interval demonstrating that `pred` holds at `ctx`
     /// (shipped so the client can re-check the predicate exactly).
-    fn pred_witness(&self, ctx: &Interval, pred: &SPred) -> Option<Interval> {
+    fn pred_witness(
+        &self,
+        ctx: &Interval,
+        pred: &SPred,
+        cache: &ValueBlockCache,
+    ) -> Option<Interval> {
         match pred {
-            SPred::Exists(steps) => self.eval_relative(*ctx, steps).into_iter().next(),
+            SPred::Exists(steps) => self.eval_relative(*ctx, steps, cache).into_iter().next(),
             SPred::Value { path, range, plain } => {
                 let targets = if path.is_empty() {
                     vec![*ctx]
                 } else {
-                    self.eval_relative(*ctx, path)
+                    self.eval_relative(*ctx, path, cache)
                 };
-                let matching_blocks: Option<HashSet<u32>> = range.as_ref().map(|(attr, r)| {
-                    self.metadata
-                        .value_indexes
-                        .get(attr)
-                        .map(|t| {
-                            t.range(r.lo, r.hi)
-                                .into_iter()
-                                .filter(|&b| self.block_live(b))
-                                .collect()
-                        })
-                        .unwrap_or_default()
-                });
+                let matching_blocks: Option<&HashSet<u32>> = range
+                    .as_ref()
+                    .and_then(|(attr, r)| cache.get(attr, r.lo, r.hi));
                 targets.into_iter().find(|t| {
                     let plain_ok = plain.as_ref().is_some_and(|(op, lit)| {
                         self.interval_to_visible.get(t).is_some_and(|&n| {
                             op.holds(lit.compare_with(&self.visible.text_value(n)))
                         })
                     });
-                    let enc_ok = matching_blocks.as_ref().is_some_and(|set| {
+                    let enc_ok = matching_blocks.is_some_and(|set| {
                         self.metadata
                             .block_table
                             .covering_block(t)
@@ -434,7 +513,8 @@ impl Server {
         let survivors = if q.steps.is_empty() {
             Vec::new()
         } else {
-            self.match_survivors(q, &step_candidates)
+            let cache = self.build_value_cache(&q.steps);
+            self.match_survivors(q, &step_candidates, &cache)
         };
         let steps = q
             .steps
@@ -464,20 +544,23 @@ impl Server {
         }
         let step_candidates: Vec<Vec<Interval>> =
             q.steps.iter().map(|s| self.candidates(s)).collect();
-        let survivors = self.match_survivors(q, &step_candidates);
+        let cache = self.build_value_cache(&q.steps);
+        let survivors = self.match_survivors(q, &step_candidates, &cache);
         survivors.last().cloned().unwrap_or_default()
     }
 
     /// Forward + backward structural passes; returns per-step survivors.
+    ///
+    /// Predicate filtering is the per-candidate hot loop: every candidate's
+    /// predicates evaluate independently against the immutable value cache,
+    /// so the filter fans out across the configured worker threads while
+    /// keeping the serial path's candidate order exactly.
     fn match_survivors(
         &self,
         q: &ServerQuery,
         step_candidates: &[Vec<Interval>],
+        cache: &ValueBlockCache,
     ) -> Vec<Vec<Interval>> {
-        // Step 2 is lazy: value ranges resolve on first use inside
-        // `pred_holds` via the per-query cache.
-        let mut value_cache: HashMap<usize, HashSet<u32>> = HashMap::new();
-
         // Forward pass with predicate filtering.
         let mut survivors: Vec<Vec<Interval>> = Vec::with_capacity(q.steps.len());
         for (i, step) in q.steps.iter().enumerate() {
@@ -487,12 +570,11 @@ impl Server {
                 Some(&survivors[i - 1])
             };
             let mut cands = self.apply_axis(ctx, step.axis, &step_candidates[i]);
-            cands.retain(|c| {
-                step.preds
-                    .iter()
-                    .enumerate()
-                    .all(|(pi, p)| self.pred_holds(c, p, (i, pi), &mut value_cache))
-            });
+            if !step.preds.is_empty() {
+                cands = crate::pool::parallel_filter(self.threads, cands, |c| {
+                    step.preds.iter().all(|p| self.pred_holds(c, p, cache))
+                });
+            }
             let empty = cands.is_empty();
             survivors.push(cands);
             if empty {
@@ -606,18 +688,17 @@ impl Server {
     }
 
     /// Evaluates a relative pattern from a single context interval.
-    fn eval_relative(&self, ctx: Interval, steps: &[SStep]) -> Vec<Interval> {
+    fn eval_relative(
+        &self,
+        ctx: Interval,
+        steps: &[SStep],
+        cache: &ValueBlockCache,
+    ) -> Vec<Interval> {
         let mut cur = vec![ctx];
-        let mut cache = HashMap::new();
-        for (i, step) in steps.iter().enumerate() {
+        for step in steps {
             let cands = self.candidates(step);
             let mut next = self.apply_axis(Some(&cur), step.axis, &cands);
-            next.retain(|c| {
-                step.preds
-                    .iter()
-                    .enumerate()
-                    .all(|(pi, p)| self.pred_holds(c, p, (usize::MAX - i, pi), &mut cache))
-            });
+            next.retain(|c| step.preds.iter().all(|p| self.pred_holds(c, p, cache)));
             cur = next;
             if cur.is_empty() {
                 break;
@@ -626,40 +707,30 @@ impl Server {
         cur
     }
 
-    fn pred_holds(
-        &self,
-        ctx: &Interval,
-        pred: &SPred,
-        key: (usize, usize),
-        value_cache: &mut HashMap<usize, HashSet<u32>>,
-    ) -> bool {
+    fn pred_holds(&self, ctx: &Interval, pred: &SPred, cache: &ValueBlockCache) -> bool {
         match pred {
-            SPred::Exists(steps) => !self.eval_relative(*ctx, steps).is_empty(),
+            SPred::Exists(steps) => !self.eval_relative(*ctx, steps, cache).is_empty(),
             SPred::Value { path, range, plain } => {
                 let targets = if path.is_empty() {
                     vec![*ctx]
                 } else {
-                    self.eval_relative(*ctx, path)
+                    self.eval_relative(*ctx, path, cache)
                 };
                 if targets.is_empty() {
                     return false;
                 }
-                // Resolve the ciphertext range to a block set once per query.
-                let cache_key = key.0.wrapping_mul(1009).wrapping_add(key.1);
+                let resolved;
                 let matching_blocks: Option<&HashSet<u32>> = match range {
                     None => None,
-                    Some((attr, r)) => Some(value_cache.entry(cache_key).or_insert_with(|| {
-                        self.metadata
-                            .value_indexes
-                            .get(attr)
-                            .map(|t| {
-                                t.range(r.lo, r.hi)
-                                    .into_iter()
-                                    .filter(|&b| self.block_live(b))
-                                    .collect()
-                            })
-                            .unwrap_or_default()
-                    })),
+                    Some((attr, r)) => match cache.get(attr, r.lo, r.hi) {
+                        Some(set) => Some(set),
+                        // A range the pre-pass did not see (defensive only:
+                        // `build_value_cache` walks every reachable pred).
+                        None => {
+                            resolved = self.value_blocks(attr, r.lo, r.hi);
+                            Some(&resolved)
+                        }
+                    },
                 };
                 targets.iter().any(|t| {
                     let plain_ok = plain.as_ref().is_some_and(|(op, lit)| {
@@ -680,14 +751,20 @@ impl Server {
     }
 
     /// Builds the pruned visible document + block set for the anchor set.
+    ///
+    /// Region pruning runs per anchor match on the worker pool: each anchor
+    /// independently walks its ancestor chain and subtree, collecting the
+    /// visible nodes and block ids its region needs. The per-anchor sets
+    /// are then unioned — set union is order-insensitive and the pruned
+    /// document is emitted in document order from the union, so the output
+    /// is byte-identical to the serial pass.
     fn assemble(&self, anchors: &[Interval]) -> (String, Vec<SealedBlock>) {
         if anchors.is_empty() {
             return (String::new(), Vec::new());
         }
-        let mut include: HashSet<NodeId> = HashSet::new();
-        let mut block_ids: BTreeSet<u32> = BTreeSet::new();
-
-        for a in anchors {
+        let regions = crate::pool::parallel_map(self.threads, anchors, |a| {
+            let mut include: HashSet<NodeId> = HashSet::new();
+            let mut block_ids: BTreeSet<u32> = BTreeSet::new();
             if let Some(&v) = self.interval_to_visible.get(a) {
                 // Visible anchor: chain + full subtree + blocks under it.
                 for anc in self.visible.ancestors(v) {
@@ -715,6 +792,13 @@ impl Server {
                     }
                 }
             }
+            (include, block_ids)
+        });
+        let mut include: HashSet<NodeId> = HashSet::new();
+        let mut block_ids: BTreeSet<u32> = BTreeSet::new();
+        for (inc, ids) in regions {
+            include.extend(inc);
+            block_ids.extend(ids);
         }
 
         let pruned = self.clone_filtered(&include);

@@ -272,8 +272,7 @@ fn run_query(
     let traffic = transport.stats().since(&before);
     let bytes_to_server = traffic.bytes_sent as usize;
     let bytes_to_client = traffic.bytes_received as usize;
-    let cipher_bytes: usize = resp.blocks.iter().map(|b| b.ciphertext.len()).sum();
-    let block_count = resp.blocks.len();
+    let block_sizes: Vec<usize> = resp.blocks.iter().map(|b| b.ciphertext.len()).collect();
     let post_query = if naive {
         &tq.full_query
     } else {
@@ -281,7 +280,7 @@ fn run_query(
     };
     let post = client.post_process(post_query, &resp)?;
     let transmit = simulate_link(config, bytes_to_server + bytes_to_client);
-    let decrypt = post.decrypt_time + simulate_decrypt(config, cipher_bytes, block_count);
+    let decrypt = post.decrypt_time + simulate_decrypt(config, &block_sizes, client.threads());
     Ok(QueryOutcome {
         results: post.results,
         timing: PhaseTiming {
@@ -304,14 +303,31 @@ fn simulate_link(config: &OutsourceConfig, bytes: usize) -> Duration {
     config.latency * 2 + Duration::from_secs_f64(secs)
 }
 
-fn simulate_decrypt(config: &OutsourceConfig, cipher_bytes: usize, blocks: usize) -> Duration {
-    match &config.era {
-        None => Duration::ZERO,
-        Some(era) => {
-            Duration::from_secs_f64(cipher_bytes as f64 / era.decrypt_bytes_per_sec)
-                + era.per_block * blocks as u32
-        }
+/// Simulated era decryption time for a set of blocks decrypted by
+/// `threads` client workers.
+///
+/// Blocks are independent work items, so a multi-core era client decrypts
+/// them in parallel; the simulated wall time is the makespan of assigning
+/// each block (in shipping order) to the least-loaded worker — the same
+/// dynamic scheduling the real pool uses. One thread reduces exactly to the
+/// old serial sum.
+fn simulate_decrypt(config: &OutsourceConfig, block_bytes: &[usize], threads: usize) -> Duration {
+    let Some(era) = &config.era else {
+        return Duration::ZERO;
+    };
+    let cost = |bytes: usize| {
+        Duration::from_secs_f64(bytes as f64 / era.decrypt_bytes_per_sec) + era.per_block
+    };
+    let workers = threads.max(1).min(block_bytes.len().max(1));
+    let mut load = vec![Duration::ZERO; workers];
+    for &bytes in block_bytes {
+        let min = load
+            .iter_mut()
+            .min()
+            .expect("at least one simulated worker");
+        *min += cost(bytes);
     }
+    load.into_iter().max().unwrap_or(Duration::ZERO)
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Exact byte accounting for one transport: every frame that crossed the
 /// link (or would have, for [`InProcess`]), measured in encoded bytes.
@@ -370,15 +370,26 @@ impl Transport for TcpTransport {
 pub struct ServeConfig {
     /// Worker threads handling connections.
     pub workers: usize,
-    /// Per-read socket timeout; bounds how long shutdown can take.
+    /// Per-`read` socket timeout. Between frames this is only the polling
+    /// cadence for the stop flag (an idle connection is never dropped for
+    /// slowness); it also bounds how long shutdown can take.
+    pub poll_interval: Duration,
+    /// Total time a peer gets to deliver the *rest* of a frame once its
+    /// first byte has arrived. A slow-but-live client dribbling bytes keeps
+    /// the connection; one stalled mid-frame past this budget is dropped.
     pub io_timeout: Duration,
+    /// Intra-query worker threads (`0` = auto via `EXQ_THREADS` /
+    /// available parallelism); applied to the served [`Server`].
+    pub threads: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 4,
-            io_timeout: Duration::from_millis(200),
+            poll_interval: Duration::from_millis(200),
+            io_timeout: Duration::from_secs(30),
+            threads: 0,
         }
     }
 }
@@ -433,6 +444,11 @@ pub fn serve(
 ) -> std::io::Result<ServeHandle> {
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    // Apply the intra-query parallelism knob to the served instance.
+    match server.write() {
+        Ok(mut guard) => guard.set_threads(config.threads),
+        Err(poisoned) => poisoned.into_inner().set_threads(config.threads),
+    }
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
     let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
@@ -441,6 +457,7 @@ pub fn serve(
         let rx = Arc::clone(&conn_rx);
         let srv = Arc::clone(&server);
         let stop_flag = Arc::clone(&stop);
+        let poll_interval = config.poll_interval;
         let io_timeout = config.io_timeout;
         threads.push(thread::spawn(move || loop {
             // Lock is held only for the recv; a worker going down with a
@@ -450,7 +467,9 @@ pub fn serve(
                 Err(poisoned) => poisoned.into_inner().recv(),
             };
             match next {
-                Ok(stream) => handle_connection(stream, &srv, &stop_flag, io_timeout),
+                Ok(stream) => {
+                    handle_connection(stream, &srv, &stop_flag, poll_interval, io_timeout)
+                }
                 Err(_) => return, // accept loop gone
             }
         }));
@@ -479,21 +498,26 @@ pub fn serve(
     })
 }
 
-/// Serves one connection until EOF, shutdown, or a framing error.
+/// Serves one connection until EOF, shutdown, a framing error, or a
+/// mid-frame stall longer than `io_timeout`.
 fn handle_connection(
     stream: TcpStream,
     server: &RwLock<Server>,
     stop: &AtomicBool,
+    poll_interval: Duration,
     io_timeout: Duration,
 ) {
     let mut stream = stream;
     stream.set_nodelay(true).ok();
-    if stream.set_read_timeout(Some(io_timeout)).is_err() {
+    if stream.set_read_timeout(Some(poll_interval)).is_err() {
         return;
     }
     loop {
+        // Waiting for a frame's first byte is *idle* time: poll the stop
+        // flag forever, never drop for slowness. Once any byte of a frame
+        // has arrived the peer owes us the rest within `io_timeout`.
         let mut header = [0u8; FRAME_HEADER_LEN];
-        match read_exact_or_stop(&mut stream, &mut header, stop) {
+        match read_exact_or_stop(&mut stream, &mut header, stop, io_timeout, false) {
             ReadOutcome::Ok => {}
             ReadOutcome::Closed | ReadOutcome::Stopped => return,
         }
@@ -507,7 +531,15 @@ fn handle_connection(
         };
         let mut frame = vec![0u8; FRAME_HEADER_LEN + payload_len];
         frame[..FRAME_HEADER_LEN].copy_from_slice(&header);
-        match read_exact_or_stop(&mut stream, &mut frame[FRAME_HEADER_LEN..], stop) {
+        // The payload read is mid-frame from its first moment: the header
+        // already arrived, so the full-frame budget is already running.
+        match read_exact_or_stop(
+            &mut stream,
+            &mut frame[FRAME_HEADER_LEN..],
+            stop,
+            io_timeout,
+            true,
+        ) {
             ReadOutcome::Ok => {}
             ReadOutcome::Closed | ReadOutcome::Stopped => return,
         }
@@ -552,20 +584,52 @@ enum ReadOutcome {
     Stopped,
 }
 
-/// `read_exact` that keeps polling across read timeouts so idle connections
-/// still notice shutdown promptly.
-fn read_exact_or_stop(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> ReadOutcome {
+/// `read_exact` that keeps polling across short read timeouts so idle
+/// connections still notice shutdown promptly, while holding a stalled
+/// peer to the mid-frame budget.
+///
+/// Two timeout regimes, chosen by whether we are inside a frame:
+///
+/// * **idle** (`mid_frame == false` and nothing read yet) — each poll
+///   timeout just re-checks the stop flag; a connection may sit here
+///   indefinitely between requests;
+/// * **mid-frame** (`mid_frame == true`, or as soon as the first byte of
+///   this buffer lands) — a deadline of `io_timeout` starts; any progress
+///   (fresh bytes) resets it, so a slow-but-live writer dribbling a large
+///   frame is fine, but a peer that goes silent mid-frame is dropped once
+///   the budget elapses.
+fn read_exact_or_stop(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    io_timeout: Duration,
+    mid_frame: bool,
+) -> ReadOutcome {
     let mut filled = 0;
+    let mut deadline = if mid_frame {
+        Some(Instant::now() + io_timeout)
+    } else {
+        None
+    };
     while filled < buf.len() {
         if stop.load(Ordering::SeqCst) {
             return ReadOutcome::Stopped;
         }
         match stream.read(&mut buf[filled..]) {
             Ok(0) => return ReadOutcome::Closed,
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                // Progress restarts the stall budget.
+                deadline = Some(Instant::now() + io_timeout);
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return ReadOutcome::Closed;
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return ReadOutcome::Closed,
         }

@@ -1,0 +1,130 @@
+//! Client-side reconstruction edge cases (§6 splice step).
+//!
+//! Regression focus: a response whose `pruned_xml` is **empty** but that
+//! still ships sealed blocks — the shape a fully-encrypted root produces —
+//! must splice those blocks into a real document, not collapse to "no
+//! answer". A truly empty response (no skeleton, no blocks) is the only
+//! shape that reconstructs to nothing.
+
+use exq_core::constraints::SecurityConstraint;
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::wire::ServerResponse;
+use exq_crypto::seal_block;
+use exq_xml::Document;
+use exq_xpath::Path;
+use std::time::Duration;
+
+const DOC: &str = r#"<hospital>
+    <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age></patient>
+    <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age></patient>
+   </hospital>"#;
+
+fn hosted(constraints: &[&str]) -> (exq_core::Client, exq_core::Server) {
+    let doc = Document::parse(DOC).unwrap();
+    let cs: Vec<SecurityConstraint> = constraints
+        .iter()
+        .map(|s| SecurityConstraint::parse(s).unwrap())
+        .collect();
+    Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, SchemeKind::Opt, 17)
+        .unwrap()
+        .split()
+}
+
+/// Empty pruned skeleton + a shipped root-level block: the block's content
+/// must be spliced in and queried, not dropped.
+#[test]
+fn root_level_block_splices_into_empty_pruned_doc() {
+    let (client, _server) = hosted(&["//patient:(/pname, /SSN)"]);
+
+    // Seal the *entire* document as one block, as a fully-encrypted root
+    // would ship it.
+    let key = client.state().keys.block_key();
+    let sealed = seal_block(&key, 42, [7u8; 12], DOC.as_bytes());
+    let resp = ServerResponse {
+        pruned_xml: String::new(),
+        blocks: vec![sealed],
+        translate_time: Duration::ZERO,
+        process_time: Duration::ZERO,
+    };
+
+    let post = client
+        .post_process(&Path::parse("//patient/pname").unwrap(), &resp)
+        .unwrap();
+    assert_eq!(post.blocks_decrypted, 1);
+    assert_eq!(
+        post.results,
+        ["<pname>Betty</pname>", "<pname>Matt</pname>"],
+        "root-level block content must be reachable after reconstruction"
+    );
+}
+
+/// Several root-level blocks splice in ascending block-id order, giving a
+/// deterministic reconstructed document.
+#[test]
+fn multiple_root_blocks_splice_in_id_order() {
+    let (client, _server) = hosted(&["//patient:(/pname, /SSN)"]);
+    let key = client.state().keys.block_key();
+
+    // Ship the two fragments in *descending* id order; reconstruction must
+    // still order by block id, not arrival order.
+    let b9 = seal_block(&key, 9, [1u8; 12], b"<patient><pname>Zoe</pname></patient>");
+    let b3 = seal_block(&key, 3, [2u8; 12], b"<patient><pname>Al</pname></patient>");
+    let resp = ServerResponse {
+        pruned_xml: String::new(),
+        blocks: vec![b9, b3],
+        translate_time: Duration::ZERO,
+        process_time: Duration::ZERO,
+    };
+
+    let post = client
+        .post_process(&Path::parse("//pname").unwrap(), &resp)
+        .unwrap();
+    assert_eq!(
+        post.results,
+        ["<pname>Al</pname>", "<pname>Zoe</pname>"],
+        "splice order must follow block ids"
+    );
+}
+
+/// A response with no skeleton *and* no blocks is genuinely empty: no
+/// results, nothing decrypted.
+#[test]
+fn truly_empty_response_yields_no_results() {
+    let (client, _server) = hosted(&["//patient:(/pname, /SSN)"]);
+    let resp = ServerResponse {
+        pruned_xml: String::new(),
+        blocks: Vec::new(),
+        translate_time: Duration::ZERO,
+        process_time: Duration::ZERO,
+    };
+    let post = client
+        .post_process(&Path::parse("//pname").unwrap(), &resp)
+        .unwrap();
+    assert!(post.results.is_empty());
+    assert_eq!(post.blocks_decrypted, 0);
+}
+
+/// End-to-end: a constraint that encrypts the whole root still answers
+/// every query correctly through the real pipeline.
+#[test]
+fn fully_encrypted_root_round_trips() {
+    let (client, server) = hosted(&["//hospital"]);
+    let mut link = exq_core::transport::InProcess::shared(&server);
+    let (_, _, post) = client.run(&mut link, "//patient/pname").unwrap();
+    assert_eq!(
+        post.results,
+        ["<pname>Betty</pname>", "<pname>Matt</pname>"]
+    );
+
+    let (_, _, post) = client.run(&mut link, "//patient[age = 40]/SSN").unwrap();
+    assert_eq!(post.results, ["<SSN>276543</SSN>"]);
+
+    // Export recovers the full plaintext even with nothing visible.
+    let recovered = client.export(&server).unwrap().expect("export content");
+    let xml = recovered.to_xml();
+    for v in ["Betty", "763895", "Matt", "276543"] {
+        assert!(xml.contains(v), "missing {v} in export");
+    }
+}

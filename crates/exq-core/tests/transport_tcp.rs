@@ -213,3 +213,96 @@ fn oversized_length_prefix_is_rejected_not_allocated() {
     assert_eq!(msg_type, 0xFF, "oversize must be answered with an error");
     handle.shutdown();
 }
+
+fn start_with(server: Server, config: ServeConfig) -> ServeHandle {
+    let shared = Arc::new(RwLock::new(server));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    serve(listener, shared, config).unwrap()
+}
+
+/// Reads one full response frame (header + payload) off a raw stream.
+fn read_frame(raw: &mut TcpStream) -> Message {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    raw.read_exact(&mut header).unwrap();
+    let (_, payload_len) = Message::parse_header(&header).unwrap();
+    let mut frame = header.to_vec();
+    frame.resize(FRAME_HEADER_LEN + payload_len, 0);
+    raw.read_exact(&mut frame[FRAME_HEADER_LEN..]).unwrap();
+    Message::decode_frame(&frame).unwrap()
+}
+
+#[test]
+fn dribbling_writer_is_served_but_mid_frame_staller_is_dropped() {
+    let (_, server) = hosted();
+    let handle = start_with(
+        server,
+        ServeConfig {
+            workers: 2,
+            poll_interval: std::time::Duration::from_millis(20),
+            io_timeout: std::time::Duration::from_millis(400),
+            threads: 1,
+        },
+    );
+
+    // A dribbling but live writer: one byte every 25 ms. Each byte of
+    // progress resets the mid-frame deadline, so the whole frame lands even
+    // though total delivery time (~frame_len * 25 ms) exceeds io_timeout.
+    let frame = Message::NaiveQuery.encode_frame();
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    for b in &frame {
+        raw.write_all(std::slice::from_ref(b)).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(
+        matches!(read_frame(&mut raw), Message::Answer(_)),
+        "dribbling writer must still get its answer"
+    );
+
+    // A mid-frame staller: half a header, then silence. Once io_timeout
+    // elapses with no progress the server drops the connection.
+    let mut stalled = TcpStream::connect(handle.addr()).unwrap();
+    stalled.write_all(&frame[..FRAME_HEADER_LEN / 2]).unwrap();
+    stalled.flush().unwrap();
+    stalled
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 8];
+    let start = std::time::Instant::now();
+    let n = stalled.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "stalled mid-frame peer must be disconnected");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(4),
+        "drop must come from io_timeout, not the test's own read timeout"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn idle_between_frames_is_never_dropped() {
+    let (_, server) = hosted();
+    let handle = start_with(
+        server,
+        ServeConfig {
+            workers: 1,
+            poll_interval: std::time::Duration::from_millis(20),
+            io_timeout: std::time::Duration::from_millis(150),
+            threads: 1,
+        },
+    );
+
+    // Idle well past io_timeout *between* frames: the connection must
+    // survive, because the budget only applies once a frame has started.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    raw.write_all(&Message::NaiveQuery.encode_frame()).unwrap();
+    raw.flush().unwrap();
+    assert!(matches!(read_frame(&mut raw), Message::Answer(_)));
+
+    // And again: a second idle gap on the same connection.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    raw.write_all(&Message::NaiveQuery.encode_frame()).unwrap();
+    raw.flush().unwrap();
+    assert!(matches!(read_frame(&mut raw), Message::Answer(_)));
+    handle.shutdown();
+}

@@ -37,3 +37,21 @@ pub use ope::OpeKey;
 pub use opess::{OpessError, OpessPlan, RangeOp, ValueRange};
 pub use prf::Prf;
 pub use vernam::TagCipher;
+
+/// The parallel query path shares sealed blocks and key material across
+/// worker threads, so these types must stay `Send + Sync`. Breaking that
+/// (e.g. by introducing `Rc` or interior mutability without a lock) is a
+/// compile error here rather than a distant one in `exq-core`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SealedBlock>();
+    assert_send_sync::<BlockCryptError>();
+    assert_send_sync::<ChaCha20>();
+    assert_send_sync::<KeyChain>();
+    assert_send_sync::<OpeKey>();
+    assert_send_sync::<OpessPlan>();
+    assert_send_sync::<ValueRange>();
+    assert_send_sync::<Prf>();
+    assert_send_sync::<TagCipher>();
+    assert_send_sync::<BigUint>();
+};

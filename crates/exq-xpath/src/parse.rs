@@ -28,6 +28,7 @@ impl Path {
         let mut p = P {
             input: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let path = p.parse_path()?;
@@ -39,9 +40,14 @@ impl Path {
     }
 }
 
+/// Cap on predicate/path nesting: adversarial inputs like `a[(((((…` must
+/// produce a parse error, never exhaust the real call stack.
+const MAX_NESTING: usize = 64;
+
 struct P<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> P<'a> {
@@ -191,6 +197,16 @@ impl<'a> P<'a> {
 
     /// `or-expr := and-expr ('or' and-expr)*`
     fn parse_or_expr(&mut self) -> Result<Predicate, XPathError> {
+        if self.depth >= MAX_NESTING {
+            return Err(self.err("expression nesting too deep"));
+        }
+        self.depth += 1;
+        let out = self.parse_or_expr_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_or_expr_inner(&mut self) -> Result<Predicate, XPathError> {
         let mut lhs = self.parse_and_expr()?;
         loop {
             self.skip_ws();
@@ -370,7 +386,10 @@ impl<'a> P<'a> {
                 while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.') {
                     self.pos += 1;
                 }
-                let s = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+                // The scanned bytes are ASCII digits/sign/dot by construction,
+                // but surface a parse error rather than trusting that here.
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("number literal is not valid UTF-8"))?;
                 s.parse::<f64>()
                     .map(Literal::Number)
                     .map_err(|_| self.err(format!("bad number `{s}`")))

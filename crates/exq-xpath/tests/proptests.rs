@@ -124,4 +124,63 @@ proptest! {
             prop_assert!(all.contains(n));
         }
     }
+
+    /// The parser never panics on arbitrary UTF-8 input — garbage must come
+    /// back as `Err(XPathError)`, not a crash.
+    #[test]
+    fn parse_never_panics_on_arbitrary_strings(s in "\\PC{0,128}") {
+        let _ = Path::parse(&s);
+    }
+
+    /// Same, over byte soup forced through lossy UTF-8 conversion (covers
+    /// multi-byte boundary slicing in names and literals).
+    #[test]
+    fn parse_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = Path::parse(&s);
+    }
+
+    /// Query-shaped fragments stitched together at random: anything accepted
+    /// must survive a display → re-parse roundtrip without panicking.
+    #[test]
+    fn parse_never_panics_on_query_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("//"), Just("/"), Just("a"), Just("bé"), Just("@id"), Just("*"),
+                Just("["), Just("]"), Just("("), Just(")"), Just("="), Just("<="),
+                Just("'x"), Just("'x'"), Just("42"), Just("-"), Just("+"), Just("."),
+                Just(".."), Just("not("), Just("contains("), Just("last()"),
+                Just(" and "), Just(" or "), Just(","), Just("text()"),
+            ],
+            0..24,
+        )
+    ) {
+        let q: String = parts.concat();
+        if let Ok(p) = Path::parse(&q) {
+            let _ = Path::parse(&p.to_string());
+        }
+    }
+}
+
+/// Pathological nesting must be rejected with a parse error, never a stack
+/// overflow: the parser caps recursion depth.
+#[test]
+fn deep_nesting_is_an_error_not_a_crash() {
+    let deep = format!("//a[{}b{}]", "not(".repeat(4000), ")".repeat(4000));
+    assert!(Path::parse(&deep).is_err());
+    let parens = format!("//a[{}b = 1{}]", "(".repeat(4000), ")".repeat(4000));
+    assert!(Path::parse(&parens).is_err());
+    // Modest nesting still parses fine.
+    let ok = format!("//a[{}b{}]", "not(".repeat(8), ")".repeat(8));
+    assert!(Path::parse(&ok).is_ok());
+}
+
+/// Malformed number literals are parse errors (regression for a former
+/// `unwrap` in the number-literal scanner).
+#[test]
+fn bad_number_literals_are_errors() {
+    for q in ["//a[b = +]", "//a[b = -]", "//a[b = 1.2.3]", "//a[b = ++1]"] {
+        assert!(Path::parse(q).is_err(), "expected error for {q}");
+    }
+    assert!(Path::parse("//a[b = -12.5]").is_ok());
 }
