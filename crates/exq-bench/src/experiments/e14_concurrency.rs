@@ -44,6 +44,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         Arc::clone(&shared),
         ServeConfig {
             workers: 8,
+            // Throughput of real recomputation: repeat trials must not
+            // degenerate into response-cache hits (e16 measures those).
+            cache_entries: Some(0),
             ..ServeConfig::default()
         },
     )

@@ -86,6 +86,10 @@ struct Measured {
 fn measure(sweep: &mut Sweep, threads: usize, trials: usize) -> Measured {
     sweep.hosted.client.set_threads(threads);
     sweep.hosted.server.set_threads(threads);
+    // This experiment measures recomputation, not memoization: with the
+    // response cache on, repeat trials would all be hits and the server
+    // column would collapse to lookup time (e16 measures that instead).
+    sweep.hosted.server.set_cache_entries(Some(0));
     let mut decrypt = Vec::new();
     let mut post = Vec::new();
     let mut server = Vec::new();
@@ -192,9 +196,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     json.push_str("\n  ]\n}\n");
     // Anchor to the workspace root so the trajectory file lands in the same
     // place no matter the working directory (cargo run vs. cargo test).
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e15_parallel.json");
-    if let Err(e) = std::fs::write(out, &json) {
-        eprintln!("e15: could not write {out}: {e}");
+    if cfg.write_root_artifacts {
+        let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e15_parallel.json");
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("e15: could not write {out}: {e}");
+        }
     }
     tables
 }

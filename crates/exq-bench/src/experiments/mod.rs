@@ -15,6 +15,7 @@ pub mod e12_updates;
 pub mod e13_scaling;
 pub mod e14_concurrency;
 pub mod e15_parallel;
+pub mod e16_cache;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -101,6 +102,11 @@ pub fn registry() -> Vec<Experiment> {
             "e15",
             "extension: parallel hot path — threaded decrypt and server fan-out",
             e15_parallel::run,
+        ),
+        (
+            "e16",
+            "extension: server response/range caching — hot-query replay",
+            e16_cache::run,
         ),
     ]
 }

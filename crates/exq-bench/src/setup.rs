@@ -42,10 +42,15 @@ impl Dataset {
         vec![Dataset::xmark(cfg), Dataset::nasa(cfg)]
     }
 
-    /// Outsources under one scheme.
+    /// Outsources under one scheme. The server caches are disabled: the
+    /// paper experiments measure recomputation, and repeat trials of the
+    /// same query must not degenerate into response-cache hits (e16
+    /// measures the caches on purpose and manages the knob itself).
     pub fn host(&self, kind: SchemeKind, seed: u64) -> HostedDatabase {
-        Outsourcer::new(OutsourceConfig::default())
+        let mut hosted = Outsourcer::new(OutsourceConfig::default())
             .outsource(&self.doc, &self.constraints, kind, seed)
-            .expect("outsourcing failed")
+            .expect("outsourcing failed");
+        hosted.server.set_cache_entries(Some(0));
+        hosted
     }
 }

@@ -12,6 +12,8 @@ fn tiny() -> ExpConfig {
         query_count: 2,
         seed: 11,
         out_dir: std::env::temp_dir().join(format!("exq-smoke-{}", std::process::id())),
+        // Tiny debug-mode runs must not clobber the committed BENCH_*.json.
+        write_root_artifacts: false,
     }
 }
 

@@ -146,9 +146,11 @@ pub fn cmd_query(
     query: &str,
     naive: bool,
     threads: usize,
+    cache_entries: Option<usize>,
 ) -> Result<String, CliError> {
     let mut server = Server::load(server_path)?;
     server.set_threads(threads);
+    server.set_cache_entries(cache_entries);
     let client = Client::load(client_path)?.with_threads(threads);
     let mut link = InProcess::shared(&server);
     query_over(&client, &mut link, query, naive)
@@ -200,6 +202,7 @@ pub fn cmd_serve(
     addr: &str,
     workers: usize,
     threads: usize,
+    cache_entries: Option<usize>,
 ) -> Result<(ServeHandle, String), CliError> {
     let server = Server::load(server_path)?;
     let blocks = server.block_count();
@@ -211,17 +214,41 @@ pub fn cmd_serve(
         ServeConfig {
             workers,
             threads,
+            cache_entries,
             ..ServeConfig::default()
         },
     )?;
     let per_query = exq_core::pool::resolve_threads(threads);
+    let cache = handle.cache_stats().capacity;
+    let cache_desc = if cache == 0 {
+        "cache disabled".to_owned()
+    } else {
+        format!("cache {cache} entries")
+    };
     let banner = format!(
         "serving {} ({bytes} hosted bytes, {blocks} blocks) on {} with {workers} worker(s), \
-         {per_query} intra-query thread(s)\n",
+         {per_query} intra-query thread(s), {cache_desc}\n",
         server_path.display(),
         handle.addr()
     );
     Ok((handle, banner))
+}
+
+/// One-line cache counter report for `exq serve` logs.
+pub fn format_cache_stats(s: &exq_core::cache::CacheStatsSnapshot) -> String {
+    format!(
+        "cache[gen {}]: responses {} hit / {} miss ({} entries, {} evicted), \
+         ranges {} hit / {} miss ({} entries, {} evicted)",
+        s.generation,
+        s.response_hits,
+        s.response_misses,
+        s.response_entries,
+        s.response_evictions,
+        s.range_hits,
+        s.range_misses,
+        s.range_entries,
+        s.range_evictions,
+    )
 }
 
 /// `exq aggregate`: MIN/MAX/COUNT over an attribute path.
@@ -401,9 +428,11 @@ USAGE:
                 [--constraints-out sc.txt]
   exq encrypt   --in doc.xml --constraints sc.txt --scheme opt --seed N
                 --server server.exq --client client.exq
-  exq query     --server server.exq --client client.exq [--naive] [--threads N] 'XPATH'
+  exq query     --server server.exq --client client.exq [--naive] [--threads N]
+                [--cache-entries N] 'XPATH'
   exq query     --addr HOST:PORT --client client.exq [--threads N] 'XPATH'
   exq serve     --server server.exq --addr HOST:PORT [--workers N] [--threads N]
+                [--cache-entries N]   (0 disables the server caches)
   exq aggregate --server server.exq --client client.exq --fn min|max|count 'PATH'
   exq insert    --server server.exq --client client.exq --parent 'QUERY'
                 --record rec.xml [--seed N]

@@ -67,6 +67,12 @@ fn run(args: &[String]) -> Result<String, CliError> {
         .transpose()
         .map_err(|_| CliError::Usage("--threads must be an integer".into()))?
         .unwrap_or(0);
+    // None resolves from EXQ_CACHE / the built-in default; 0 disables.
+    let cache_entries = flags
+        .get("cache-entries")
+        .map(|s| s.parse::<usize>())
+        .transpose()
+        .map_err(|_| CliError::Usage("--cache-entries must be an integer".into()))?;
 
     match cmd.as_str() {
         "gen" => {
@@ -104,6 +110,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     q,
                     flags.contains_key("naive"),
                     threads,
+                    cache_entries,
                 ),
             }
         }
@@ -114,13 +121,19 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .transpose()
                 .map_err(|_| CliError::Usage("--workers must be an integer".into()))?
                 .unwrap_or(4);
-            let (handle, banner) = cmd_serve(&path("server")?, &string("addr")?, workers, threads)?;
+            let (handle, banner) = cmd_serve(
+                &path("server")?,
+                &string("addr")?,
+                workers,
+                threads,
+                cache_entries,
+            )?;
             print!("{banner}");
-            // Serve until killed; the handle's threads do all the work.
+            // Serve until killed; the handle's threads do all the work. Log
+            // cache counters periodically so the operator can watch hit rates.
             loop {
-                std::thread::park();
-                // Spurious unparks are possible; `handle` must stay alive.
-                let _ = &handle;
+                std::thread::sleep(std::time::Duration::from_secs(60));
+                eprintln!("{}", format_cache_stats(&handle.cache_stats()));
             }
         }
         "aggregate" => {

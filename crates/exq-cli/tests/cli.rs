@@ -40,12 +40,28 @@ fn full_workflow() {
     let (server, client) = setup(&dir);
 
     // Query.
-    let out = cmd_query(&server, &client, "//patient[pname = 'Betty']/SSN", false, 1).unwrap();
+    let out = cmd_query(
+        &server,
+        &client,
+        "//patient[pname = 'Betty']/SSN",
+        false,
+        1,
+        None,
+    )
+    .unwrap();
     assert!(out.contains("763895"), "query output: {out}");
     assert!(out.contains("1 result(s)"));
 
     // Naive agrees.
-    let naive = cmd_query(&server, &client, "//patient[pname = 'Betty']/SSN", true, 1).unwrap();
+    let naive = cmd_query(
+        &server,
+        &client,
+        "//patient[pname = 'Betty']/SSN",
+        true,
+        1,
+        None,
+    )
+    .unwrap();
     assert!(naive.contains("763895"));
 
     // Aggregate.
@@ -63,13 +79,21 @@ fn full_workflow() {
     .unwrap();
     let out = cmd_insert(&server, &client, "/hospital", &rec, 3).unwrap();
     assert!(out.contains("inserted"));
-    let out = cmd_query(&server, &client, "//patient[pname = 'Zoe']/SSN", false, 1).unwrap();
+    let out = cmd_query(
+        &server,
+        &client,
+        "//patient[pname = 'Zoe']/SSN",
+        false,
+        1,
+        None,
+    )
+    .unwrap();
     assert!(out.contains("112233"));
 
     // Delete.
     let out = cmd_delete(&server, &client, "//patient[age = 29]").unwrap();
     assert!(out.contains("deleted 1"));
-    let out = cmd_query(&server, &client, "//patient", false, 1).unwrap();
+    let out = cmd_query(&server, &client, "//patient", false, 1, None).unwrap();
     assert!(out.contains("2 result(s)"), "after delete: {out}");
 
     // Stats.
@@ -117,7 +141,15 @@ fn gen_datasets() {
 #[test]
 fn usage_errors() {
     let dir = TempDir::new("usage");
-    assert!(cmd_query(&dir.path("missing"), &dir.path("missing2"), "//x", false, 1).is_err());
+    assert!(cmd_query(
+        &dir.path("missing"),
+        &dir.path("missing2"),
+        "//x",
+        false,
+        1,
+        None
+    )
+    .is_err());
     assert!(parse_scheme("nope").is_err());
     let (server, client) = setup(&dir);
     assert!(cmd_aggregate(&server, &client, "median", "//age").is_err());
@@ -179,16 +211,32 @@ fn serve_and_query_remote() {
     let (server, client) = setup(&dir);
 
     // Bind on an ephemeral port, then query it over the wire.
-    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 2).unwrap();
+    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 2, Some(64)).unwrap();
     assert!(banner.contains("serving"), "banner: {banner}");
+    assert!(banner.contains("cache 64 entries"), "banner: {banner}");
     let addr = handle.addr().to_string();
 
     let remote = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2).unwrap();
     assert!(remote.contains("763895"), "remote output: {remote}");
     // Local and remote answer lines agree (the byte counter line matches
     // too, since both links count the same frames).
-    let local = cmd_query(&server, &client, "//patient[pname = 'Betty']/SSN", false, 1).unwrap();
+    let local = cmd_query(
+        &server,
+        &client,
+        "//patient[pname = 'Betty']/SSN",
+        false,
+        1,
+        None,
+    )
+    .unwrap();
     assert_eq!(remote, local);
+
+    // A repeat of the same remote query hits the server response cache.
+    let again = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2).unwrap();
+    assert_eq!(again, remote);
+    let stats = handle.cache_stats();
+    assert!(stats.response_hits >= 1, "stats: {stats:?}");
+    assert!(!format_cache_stats(&stats).is_empty());
 
     handle.shutdown();
     // Server gone: the connect retries, then errors instead of hanging.

@@ -137,14 +137,15 @@ impl Client {
     /// surface in block order, exactly as the serial loop reported them.
     fn decrypt_blocks(
         &self,
-        blocks: &[exq_crypto::SealedBlock],
+        blocks: &[std::sync::Arc<exq_crypto::SealedBlock>],
     ) -> Result<HashMap<u32, Document>, CoreError> {
         let key = self.state.keys.block_key();
         let opened = crate::pool::parallel_map(
             self.threads,
             blocks,
             |b| -> Result<(u32, Document), CoreError> {
-                let bytes = open_block(&key, b).map_err(|e| CoreError::Block(e.to_string()))?;
+                let bytes =
+                    open_block(&key, b.as_ref()).map_err(|e| CoreError::Block(e.to_string()))?;
                 let xml = String::from_utf8(bytes)
                     .map_err(|e| CoreError::Block(format!("block not UTF-8: {e}")))?;
                 let doc = Document::parse(&xml)

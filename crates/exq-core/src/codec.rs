@@ -25,6 +25,7 @@
 //! hi`, anchor in range) are re-validated instead of trusted. Decoding never
 //! panics; it returns [`CodecError`].
 
+use crate::cache::CacheStatsSnapshot;
 use crate::error::CoreError;
 use crate::update::{DeleteOutcome, InsertDelta, InsertionSlot};
 use crate::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
@@ -618,13 +619,43 @@ impl WireCodec for ServerResponse {
         let n = dec.count(1 + 12 + 1 + TAG_BYTES)?;
         let mut blocks = Vec::with_capacity(n);
         for _ in 0..n {
-            blocks.push(SealedBlock::decode_from(dec)?);
+            blocks.push(std::sync::Arc::new(SealedBlock::decode_from(dec)?));
         }
         Ok(ServerResponse {
             pruned_xml,
             blocks,
             translate_time: dec.duration()?,
             process_time: dec.duration()?,
+        })
+    }
+}
+
+impl WireCodec for CacheStatsSnapshot {
+    fn encode_into(&self, enc: &mut Enc) {
+        enc.varint(self.generation);
+        enc.varint(self.capacity);
+        enc.varint(self.response_hits);
+        enc.varint(self.response_misses);
+        enc.varint(self.response_evictions);
+        enc.varint(self.response_entries);
+        enc.varint(self.range_hits);
+        enc.varint(self.range_misses);
+        enc.varint(self.range_evictions);
+        enc.varint(self.range_entries);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(CacheStatsSnapshot {
+            generation: dec.varint()?,
+            capacity: dec.varint()?,
+            response_hits: dec.varint()?,
+            response_misses: dec.varint()?,
+            response_evictions: dec.varint()?,
+            response_entries: dec.varint()?,
+            range_hits: dec.varint()?,
+            range_misses: dec.varint()?,
+            range_evictions: dec.varint()?,
+            range_entries: dec.varint()?,
         })
     }
 }
@@ -810,6 +841,8 @@ pub enum Message {
     ApplyInsert(InsertDelta),
     /// Delete all subtrees matching a translated query.
     DeleteWhere(ServerQuery),
+    /// Request the server's cache counters.
+    CacheStatsReq,
 
     // Responses.
     Answer(ServerResponse),
@@ -819,6 +852,7 @@ pub enum Message {
     Slot(InsertionSlot),
     InsertOk,
     Deleted(DeleteOutcome),
+    CacheStats(CacheStatsSnapshot),
     Error(WireError),
 }
 
@@ -834,6 +868,7 @@ impl Message {
             Message::InsertionSlotReq(_) => 0x06,
             Message::ApplyInsert(_) => 0x07,
             Message::DeleteWhere(_) => 0x08,
+            Message::CacheStatsReq => 0x09,
             Message::Answer(_) => 0x81,
             Message::Block(_) => 0x82,
             Message::Extreme(_) => 0x83,
@@ -841,6 +876,7 @@ impl Message {
             Message::Slot(_) => 0x85,
             Message::InsertOk => 0x86,
             Message::Deleted(_) => 0x87,
+            Message::CacheStats(_) => 0x88,
             Message::Error(_) => 0xFF,
         }
     }
@@ -858,7 +894,7 @@ impl Message {
     fn encode_payload(&self, enc: &mut Enc) {
         match self {
             Message::Query(q) | Message::Locate(q) | Message::DeleteWhere(q) => q.encode_into(enc),
-            Message::NaiveQuery | Message::InsertOk => {}
+            Message::NaiveQuery | Message::InsertOk | Message::CacheStatsReq => {}
             Message::FetchBlock(id) => enc.varint(*id as u64),
             Message::ValueExtreme { attr_key, max } => {
                 enc.str(attr_key);
@@ -890,6 +926,7 @@ impl Message {
             }
             Message::Slot(slot) => slot.encode_into(enc),
             Message::Deleted(outcome) => outcome.encode_into(enc),
+            Message::CacheStats(stats) => stats.encode_into(enc),
             Message::Error(err) => err.encode_into(enc),
         }
     }
@@ -907,6 +944,7 @@ impl Message {
             0x06 => Ok(Message::InsertionSlotReq(Interval::decode_from(dec)?)),
             0x07 => Ok(Message::ApplyInsert(InsertDelta::decode_from(dec)?)),
             0x08 => Ok(Message::DeleteWhere(ServerQuery::decode_from(dec)?)),
+            0x09 => Ok(Message::CacheStatsReq),
             0x81 => Ok(Message::Answer(ServerResponse::decode_from(dec)?)),
             0x82 => match dec.u8()? {
                 0 => Ok(Message::Block(None)),
@@ -938,6 +976,7 @@ impl Message {
             0x85 => Ok(Message::Slot(InsertionSlot::decode_from(dec)?)),
             0x86 => Ok(Message::InsertOk),
             0x87 => Ok(Message::Deleted(DeleteOutcome::decode_from(dec)?)),
+            0x88 => Ok(Message::CacheStats(CacheStatsSnapshot::decode_from(dec)?)),
             0xFF => Ok(Message::Error(WireError::decode_from(dec)?)),
             tag => Err(CodecError::BadTag {
                 context: "message",
@@ -1059,12 +1098,12 @@ mod tests {
     fn response_roundtrip() {
         let r = ServerResponse {
             pruned_xml: "<r><a/></r>".into(),
-            blocks: vec![SealedBlock {
+            blocks: vec![std::sync::Arc::new(SealedBlock {
                 id: 3,
                 nonce: [9; 12],
                 ciphertext: vec![1, 2, 3, 4],
                 tag: [7; TAG_BYTES],
-            }],
+            })],
             translate_time: Duration::from_micros(12),
             process_time: Duration::from_millis(3),
         };
@@ -1123,6 +1162,19 @@ mod tests {
             Message::Deleted(DeleteOutcome {
                 deleted: 3,
                 skipped_in_block: 1,
+            }),
+            Message::CacheStatsReq,
+            Message::CacheStats(CacheStatsSnapshot {
+                generation: 7,
+                capacity: 1024,
+                response_hits: 10,
+                response_misses: 3,
+                response_evictions: 1,
+                response_entries: 2,
+                range_hits: 20,
+                range_misses: 4,
+                range_evictions: 0,
+                range_entries: 4,
             }),
             Message::Error(WireError::from_core(&CoreError::Query("nope".into()))),
         ];

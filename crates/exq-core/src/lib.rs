@@ -26,6 +26,7 @@
 
 pub mod aggregate;
 pub mod analysis;
+pub mod cache;
 pub mod client;
 pub mod codec;
 pub mod constraints;

@@ -15,6 +15,8 @@
 //!
 //! The server never decrypts anything; it cannot, it has no keys.
 
+use crate::cache::{CacheStatsSnapshot, ServerCaches};
+use crate::codec::WireCodec;
 use crate::encrypt::{EncryptedOutput, ServerMetadata, BLOCK_MARKER_TAG};
 use crate::error::CoreError;
 use crate::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
@@ -23,6 +25,7 @@ use exq_index::dsi::Interval;
 use exq_index::sjoin::{sort_intervals, IntervalUniverse};
 use exq_xml::{Document, NodeId};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One step of an [`ExplainReport`].
@@ -55,12 +58,19 @@ pub struct Server {
     interval_to_visible: HashMap<Interval, NodeId>,
     metadata: ServerMetadata,
     universe: IntervalUniverse,
-    blocks: Vec<SealedBlock>,
+    /// Top-level universe intervals (no enclosing member), precomputed
+    /// whenever the universe is (re)built so `apply_axis` from the document
+    /// node is a set probe instead of a per-candidate containment stab.
+    top_level: HashSet<Interval>,
+    blocks: Vec<Arc<SealedBlock>>,
     /// Blocks tombstoned by deletions (update support).
     dead_blocks: HashSet<u32>,
     /// Worker threads for intra-query candidate filtering and response
     /// assembly (resolved; >= 1). Runtime-only: not persisted.
     threads: usize,
+    /// Response + value-range caches with the generation counter.
+    /// Runtime-only: not persisted, and cloning yields fresh empty caches.
+    caches: ServerCaches,
 }
 
 /// Per-query resolution of every ciphertext value range to its matching
@@ -71,19 +81,24 @@ pub struct Server {
 /// threads.
 #[derive(Debug, Default)]
 struct ValueBlockCache {
-    by_range: HashMap<(String, u128, u128), HashSet<u32>>,
+    /// Shared with the cross-query range cache on hits: an `Arc` clone
+    /// instead of a set copy.
+    by_range: HashMap<(String, u128, u128), Arc<HashSet<u32>>>,
 }
 
 impl ValueBlockCache {
     fn get(&self, attr: &str, lo: u128, hi: u128) -> Option<&HashSet<u32>> {
-        self.by_range.get(&(attr.to_owned(), lo, hi))
+        self.by_range
+            .get(&(attr.to_owned(), lo, hi))
+            .map(Arc::as_ref)
     }
 }
 
 impl Server {
     /// Builds the server from the owner's encrypted output.
     pub fn new(out: &EncryptedOutput) -> Server {
-        let universe = IntervalUniverse::new(out.metadata.dsi_table.all_intervals());
+        let universe = IntervalUniverse::new(out.metadata.dsi_table.all_intervals().to_vec());
+        let top_level = universe.roots().collect();
         let mut interval_to_visible = HashMap::new();
         for n in out.visible.iter() {
             if let Some(Some(iv)) = out.visible_intervals.get(n.index()) {
@@ -95,9 +110,11 @@ impl Server {
             interval_to_visible,
             metadata: out.metadata.clone(),
             universe,
-            blocks: out.blocks.clone(),
+            top_level,
+            blocks: out.blocks.iter().cloned().map(Arc::new).collect(),
             dead_blocks: HashSet::new(),
             threads: crate::pool::default_threads(),
+            caches: ServerCaches::default(),
         }
     }
 
@@ -115,6 +132,25 @@ impl Server {
         self.threads
     }
 
+    /// Reconfigures the cache capacity (entries per cache layer).
+    /// `Some(0)` disables caching; `None` resolves from `EXQ_CACHE` /
+    /// the default. Existing entries and counters are dropped.
+    pub fn set_cache_entries(&mut self, entries: Option<usize>) {
+        self.caches
+            .set_capacity(crate::cache::resolve_cache_entries(entries));
+    }
+
+    /// The configured cache capacity (0 = caching off).
+    pub fn cache_entries(&self) -> usize {
+        self.caches.capacity()
+    }
+
+    /// Point-in-time cache counters (also served over the wire via
+    /// `CacheStatsReq`).
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.caches.snapshot()
+    }
+
     /// True when a block id refers to live data.
     fn block_live(&self, id: u32) -> bool {
         !self.dead_blocks.contains(&id) && (id as usize) < self.blocks.len()
@@ -123,12 +159,7 @@ impl Server {
     /// Total bytes the server hosts (visible doc + blocks) — what the naive
     /// method ships for every query.
     pub fn hosted_bytes(&self) -> usize {
-        self.visible.serialized_size()
-            + self
-                .blocks
-                .iter()
-                .map(SealedBlock::stored_size)
-                .sum::<usize>()
+        self.visible.serialized_size() + self.blocks.iter().map(|b| b.stored_size()).sum::<usize>()
     }
 
     /// Number of sealed blocks hosted.
@@ -142,7 +173,7 @@ impl Server {
         if !self.block_live(id) {
             return None;
         }
-        self.blocks.get(id as usize).cloned()
+        self.blocks.get(id as usize).map(|b| (**b).clone())
     }
 
     /// Read-only access to the hosted metadata (used by the security
@@ -171,8 +202,9 @@ impl Server {
             .metadata
             .dsi_table
             .all_intervals()
-            .into_iter()
+            .iter()
             .filter(|iv| parent.contains(iv))
+            .copied()
             .collect();
         out.extend(
             self.interval_to_visible
@@ -184,7 +216,8 @@ impl Server {
     }
 
     pub(crate) fn push_block(&mut self, block: SealedBlock) {
-        self.blocks.push(block);
+        self.blocks.push(Arc::new(block));
+        self.caches.bump_generation();
     }
 
     pub(crate) fn apply_metadata_delta(
@@ -212,7 +245,9 @@ impl Server {
     }
 
     pub(crate) fn rebuild_universe(&mut self) {
-        self.universe = IntervalUniverse::new(self.metadata.dsi_table.all_intervals());
+        self.universe = IntervalUniverse::new(self.metadata.dsi_table.all_intervals().to_vec());
+        self.top_level = self.universe.roots().collect();
+        self.caches.bump_generation();
     }
 
     /// Splices an `_exq_iv`-annotated fragment under a visible parent,
@@ -302,7 +337,7 @@ impl Server {
             .collect()
     }
 
-    pub(crate) fn all_blocks(&self) -> &[SealedBlock] {
+    pub(crate) fn all_blocks(&self) -> &[Arc<SealedBlock>] {
         &self.blocks
     }
 
@@ -330,15 +365,18 @@ impl Server {
                 interval_to_visible.insert(iv, n);
             }
         }
-        let universe = IntervalUniverse::new(metadata.dsi_table.all_intervals());
+        let universe = IntervalUniverse::new(metadata.dsi_table.all_intervals().to_vec());
+        let top_level = universe.roots().collect();
         Server {
             visible,
             interval_to_visible,
             metadata,
             universe,
-            blocks,
+            top_level,
+            blocks: blocks.into_iter().map(Arc::new).collect(),
             dead_blocks,
             threads: crate::pool::default_threads(),
+            caches: ServerCaches::default(),
         }
     }
 
@@ -354,6 +392,7 @@ impl Server {
         for id in self.metadata.block_table.remove_within(*victim) {
             self.dead_blocks.insert(id);
         }
+        self.caches.bump_generation();
         true
     }
 
@@ -382,8 +421,34 @@ impl Server {
     pub fn answer(&self, q: &ServerQuery) -> ServerResponse {
         if q.steps.is_empty() {
             // Degenerate query (`.`): equivalent to the naive method.
+            // Not cached — it ships the whole database anyway.
             return self.answer_naive();
         }
+        // Response cache: deterministic tag/OPESS encryption makes
+        // identical client queries encode to byte-identical `ServerQuery`s,
+        // so the canonical encoding is the memo key. Entries are tagged
+        // with the generation captured *before* computing; queries run
+        // under the serve loop's read guard and mutations under its write
+        // guard, so the generation cannot move mid-query.
+        let generation = self.caches.generation();
+        let cache_key = if self.caches.responses.enabled() {
+            let key = q.encode();
+            if let Some(hit) = self.caches.responses.get(&key, generation) {
+                let t = Instant::now();
+                let pruned_xml = hit.pruned_xml.clone();
+                // Arc clones — the ciphertext payloads are shared, not copied.
+                let blocks = hit.blocks.clone();
+                return ServerResponse {
+                    pruned_xml,
+                    blocks,
+                    translate_time: std::time::Duration::ZERO,
+                    process_time: t.elapsed(),
+                };
+            }
+            Some(key)
+        } else {
+            None
+        };
         // Step 1: structure translation — candidate intervals per step.
         let t0 = Instant::now();
         let step_candidates: Vec<Vec<Interval>> =
@@ -414,12 +479,18 @@ impl Server {
             targets.extend(witnesses.into_iter().flatten());
         }
         let (pruned_xml, blocks) = self.assemble(&targets);
-        ServerResponse {
+        let resp = ServerResponse {
             pruned_xml,
             blocks,
             translate_time,
             process_time: t1.elapsed(),
+        };
+        if let Some(key) = cache_key {
+            self.caches
+                .responses
+                .insert(key, Arc::new(resp.clone()), generation);
         }
+        resp
     }
 
     /// Resolves one ciphertext range against an attribute's B-tree,
@@ -443,18 +514,32 @@ impl Server {
     /// hosted indexes — never on a candidate — so all later passes share it
     /// immutably.
     fn build_value_cache(&self, steps: &[SStep]) -> ValueBlockCache {
-        fn walk(server: &Server, steps: &[SStep], cache: &mut ValueBlockCache) {
+        fn walk(server: &Server, generation: u64, steps: &[SStep], cache: &mut ValueBlockCache) {
             for step in steps {
                 for pred in &step.preds {
                     match pred {
-                        SPred::Exists(inner) => walk(server, inner, cache),
+                        SPred::Exists(inner) => walk(server, generation, inner, cache),
                         SPred::Value { path, range, .. } => {
-                            walk(server, path, cache);
+                            walk(server, generation, path, cache);
                             if let Some((attr, r)) = range {
-                                cache
-                                    .by_range
-                                    .entry((attr.clone(), r.lo, r.hi))
-                                    .or_insert_with(|| server.value_blocks(attr, r.lo, r.hi));
+                                let key = (attr.clone(), r.lo, r.hi);
+                                // Consult the cross-query range cache on a
+                                // per-query miss; resolve and publish when
+                                // the shared cache misses too.
+                                cache.by_range.entry(key.clone()).or_insert_with(|| {
+                                    server.caches.ranges.get(&key, generation).unwrap_or_else(
+                                        || {
+                                            let set =
+                                                Arc::new(server.value_blocks(attr, r.lo, r.hi));
+                                            server.caches.ranges.insert(
+                                                key.clone(),
+                                                set.clone(),
+                                                generation,
+                                            );
+                                            set
+                                        },
+                                    )
+                                });
                             }
                         }
                     }
@@ -462,7 +547,7 @@ impl Server {
             }
         }
         let mut cache = ValueBlockCache::default();
-        walk(self, steps, &mut cache);
+        walk(self, self.caches.generation(), steps, &mut cache);
         cache
     }
 
@@ -586,33 +671,39 @@ impl Server {
         }
 
         // Backward pass: keep only intervals leading to a full match.
+        // Splitting the survivor list gives simultaneous access to level i
+        // (mutable) and level i+1 (shared) without cloning level i+1.
         let n = q.steps.len();
         for i in (0..n.saturating_sub(1)).rev() {
             let next_axis = q.steps[i + 1].axis;
-            let next: Vec<Interval> = survivors[i + 1].clone();
+            let (head, tail) = survivors.split_at_mut(i + 1);
+            let cur = &mut head[i];
+            let next: &[Interval] = &tail[0];
             match next_axis {
                 SAxis::Descendant => {
-                    let keep = exq_index::sjoin::semijoin_anc(&survivors[i], &next);
-                    survivors[i] = keep.into_iter().map(|k| survivors[i][k]).collect();
+                    let keep = exq_index::sjoin::semijoin_anc(cur, next);
+                    let kept: Vec<Interval> = keep.into_iter().map(|k| cur[k]).collect();
+                    *cur = kept;
                 }
                 SAxis::DescendantOrSelf => {
-                    let keep: HashSet<usize> = exq_index::sjoin::semijoin_anc(&survivors[i], &next)
+                    let keep: HashSet<usize> = exq_index::sjoin::semijoin_anc(cur, next)
                         .into_iter()
                         .collect();
                     let next_set: HashSet<Interval> = next.iter().copied().collect();
-                    survivors[i] = survivors[i]
+                    let kept: Vec<Interval> = cur
                         .iter()
                         .enumerate()
                         .filter(|(k, c)| keep.contains(k) || next_set.contains(*c))
                         .map(|(_, c)| *c)
                         .collect();
+                    *cur = kept;
                 }
                 SAxis::Child | SAxis::Attribute => {
                     let parents: HashSet<Interval> = next
                         .iter()
                         .filter_map(|d| self.universe.tightest_container(d))
                         .collect();
-                    survivors[i].retain(|c| parents.contains(c));
+                    cur.retain(|c| parents.contains(c));
                 }
             }
         }
@@ -620,19 +711,34 @@ impl Server {
         survivors
     }
 
-    /// DSI-table lookups for one step.
+    /// DSI-table lookups for one step. The table guarantees sortedness at
+    /// seal time (posting lists and the interval union), so the common
+    /// cases — wildcard and single-tag — copy a pre-sorted slice with no
+    /// per-query sort; only multi-tag unions still merge.
     fn candidates(&self, step: &SStep) -> Vec<Interval> {
-        let mut out: Vec<Interval> = if step.tags.is_empty() {
-            self.metadata.dsi_table.all_intervals()
-        } else {
-            step.tags
-                .iter()
-                .flat_map(|t| self.metadata.dsi_table.lookup(t).iter().copied())
-                .collect()
-        };
-        sort_intervals(&mut out);
-        out.dedup();
-        out
+        match step.tags.as_slice() {
+            // Wildcard: the sorted, deduped union is precomputed.
+            [] => self.metadata.dsi_table.all_intervals().to_vec(),
+            [tag] => {
+                let list = self.metadata.dsi_table.lookup(tag);
+                debug_assert!(
+                    list.windows(2)
+                        .all(|w| (w[0].lo, std::cmp::Reverse(w[0].hi))
+                            < (w[1].lo, std::cmp::Reverse(w[1].hi))),
+                    "DSI posting list for {tag:?} not sorted/deduped at seal time"
+                );
+                list.to_vec()
+            }
+            tags => {
+                let mut out: Vec<Interval> = tags
+                    .iter()
+                    .flat_map(|t| self.metadata.dsi_table.lookup(t).iter().copied())
+                    .collect();
+                sort_intervals(&mut out);
+                out.dedup();
+                out
+            }
+        }
     }
 
     /// Applies an axis between a context set (`None` = the virtual document
@@ -648,11 +754,12 @@ impl Server {
                 // From the document node, descendant(-or-self) reaches
                 // everything.
                 SAxis::Descendant | SAxis::DescendantOrSelf => cands.to_vec(),
-                // Child of the document node = top-level intervals.
+                // Child of the document node = top-level intervals
+                // (precomputed whenever the universe is rebuilt).
                 SAxis::Child | SAxis::Attribute => cands
                     .iter()
                     .copied()
-                    .filter(|c| self.universe.tightest_container(c).is_none())
+                    .filter(|c| self.top_level.contains(c))
                     .collect(),
             },
             Some(ctx) => match axis {
@@ -758,7 +865,7 @@ impl Server {
     /// are then unioned — set union is order-insensitive and the pruned
     /// document is emitted in document order from the union, so the output
     /// is byte-identical to the serial pass.
-    fn assemble(&self, anchors: &[Interval]) -> (String, Vec<SealedBlock>) {
+    fn assemble(&self, anchors: &[Interval]) -> (String, Vec<Arc<SealedBlock>>) {
         if anchors.is_empty() {
             return (String::new(), Vec::new());
         }

@@ -136,6 +136,14 @@ pub trait Transport {
             other => Err(unexpected("Deleted", other)),
         }
     }
+
+    /// The server's cache counters (hits/misses/evictions, generation).
+    fn cache_stats(&mut self) -> Result<crate::cache::CacheStatsSnapshot, CoreError> {
+        match self.roundtrip(&Message::CacheStatsReq)? {
+            Message::CacheStats(stats) => Ok(stats),
+            other => Err(unexpected("CacheStats", other)),
+        }
+    }
 }
 
 /// Error frames become their carried error; everything else is a protocol
@@ -164,6 +172,7 @@ pub fn answer_request(server: &Server, req: &Message) -> Result<Message, CoreErr
         }
         Message::Locate(q) => Ok(Message::Intervals(server.locate(q))),
         Message::InsertionSlotReq(iv) => server.insertion_slot(*iv).map(Message::Slot),
+        Message::CacheStatsReq => Ok(Message::CacheStats(server.cache_stats())),
         Message::ApplyInsert(_) | Message::DeleteWhere(_) => Err(CoreError::Transport(
             "mutating request on a read-only server handle".into(),
         )),
@@ -381,6 +390,9 @@ pub struct ServeConfig {
     /// Intra-query worker threads (`0` = auto via `EXQ_THREADS` /
     /// available parallelism); applied to the served [`Server`].
     pub threads: usize,
+    /// Cache entries per layer: `Some(0)` disables caching, `None` resolves
+    /// from `EXQ_CACHE` / the default; applied to the served [`Server`].
+    pub cache_entries: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -390,6 +402,7 @@ impl Default for ServeConfig {
             poll_interval: Duration::from_millis(200),
             io_timeout: Duration::from_secs(30),
             threads: 0,
+            cache_entries: None,
         }
     }
 }
@@ -400,12 +413,21 @@ pub struct ServeHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<thread::JoinHandle<()>>,
+    server: Arc<RwLock<Server>>,
 }
 
 impl ServeHandle {
     /// The bound address (useful with ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Cache counters of the served instance (for `exq serve` logging).
+    pub fn cache_stats(&self) -> crate::cache::CacheStatsSnapshot {
+        match self.server.read() {
+            Ok(guard) => guard.cache_stats(),
+            Err(poisoned) => poisoned.into_inner().cache_stats(),
+        }
     }
 
     /// Stops accepting, drains workers, joins threads.
@@ -444,10 +466,18 @@ pub fn serve(
 ) -> std::io::Result<ServeHandle> {
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    // Apply the intra-query parallelism knob to the served instance.
+    // Apply the intra-query parallelism and cache knobs to the served
+    // instance.
     match server.write() {
-        Ok(mut guard) => guard.set_threads(config.threads),
-        Err(poisoned) => poisoned.into_inner().set_threads(config.threads),
+        Ok(mut guard) => {
+            guard.set_threads(config.threads);
+            guard.set_cache_entries(config.cache_entries);
+        }
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            guard.set_threads(config.threads);
+            guard.set_cache_entries(config.cache_entries);
+        }
     }
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -495,6 +525,7 @@ pub fn serve(
         addr,
         stop,
         threads,
+        server,
     })
 }
 

@@ -8,6 +8,7 @@
 
 use exq_crypto::{SealedBlock, ValueRange};
 use exq_xpath::{CmpOp, Literal};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Axes the server can evaluate over DSI intervals.
@@ -71,8 +72,11 @@ pub struct ServerResponse {
     /// Serialized pruned visible document (may be empty when nothing
     /// matched).
     pub pruned_xml: String,
-    /// Sealed blocks referenced by the pruned document.
-    pub blocks: Vec<SealedBlock>,
+    /// Sealed blocks referenced by the pruned document. `Arc`-shared so
+    /// response assembly, the response cache, and the naive path never
+    /// copy ciphertext payloads (`Arc<T>: PartialEq` compares contents,
+    /// so response equality is unchanged).
+    pub blocks: Vec<Arc<SealedBlock>>,
     /// Time the server spent translating (DSI lookups) — §7.2's "query
     /// translation time on server".
     pub translate_time: Duration,
@@ -235,12 +239,12 @@ mod tests {
             Message::Answer(empty.clone()).encode_frame().len()
         );
         let with_block = ServerResponse {
-            blocks: vec![SealedBlock {
+            blocks: vec![Arc::new(SealedBlock {
                 id: 0,
                 nonce: [0; 12],
                 ciphertext: vec![0xA5; 100],
                 tag: [0; 16],
-            }],
+            })],
             ..empty.clone()
         };
         assert_eq!(

@@ -44,7 +44,7 @@ fn root_level_block_splices_into_empty_pruned_doc() {
     let sealed = seal_block(&key, 42, [7u8; 12], DOC.as_bytes());
     let resp = ServerResponse {
         pruned_xml: String::new(),
-        blocks: vec![sealed],
+        blocks: vec![std::sync::Arc::new(sealed)],
         translate_time: Duration::ZERO,
         process_time: Duration::ZERO,
     };
@@ -73,7 +73,7 @@ fn multiple_root_blocks_splice_in_id_order() {
     let b3 = seal_block(&key, 3, [2u8; 12], b"<patient><pname>Al</pname></patient>");
     let resp = ServerResponse {
         pruned_xml: String::new(),
-        blocks: vec![b9, b3],
+        blocks: vec![std::sync::Arc::new(b9), std::sync::Arc::new(b3)],
         translate_time: Duration::ZERO,
         process_time: Duration::ZERO,
     };

@@ -241,6 +241,7 @@ fn dribbling_writer_is_served_but_mid_frame_staller_is_dropped() {
             poll_interval: std::time::Duration::from_millis(20),
             io_timeout: std::time::Duration::from_millis(400),
             threads: 1,
+            ..ServeConfig::default()
         },
     );
 
@@ -288,6 +289,7 @@ fn idle_between_frames_is_never_dropped() {
             poll_interval: std::time::Duration::from_millis(20),
             io_timeout: std::time::Duration::from_millis(150),
             threads: 1,
+            ..ServeConfig::default()
         },
     );
 

@@ -476,4 +476,67 @@ mod tests {
     fn tiny_order_rejected() {
         BTree::with_order(2);
     }
+
+    /// `lo == hi` point probes are exact at every position, including the
+    /// first/last key of each leaf and the gaps between leaves.
+    #[test]
+    fn point_ranges_at_every_leaf_boundary() {
+        // Order 3 → many tiny leaves, so every few keys sit on a boundary.
+        let mut t = BTree::with_order(3);
+        for i in 0..64u32 {
+            t.insert(u128::from(i) * 2, i);
+        }
+        t.validate().unwrap();
+        assert!(t.height() > 2, "test needs a multi-level tree");
+        for i in 0..64u32 {
+            let k = u128::from(i) * 2;
+            assert_eq!(t.range(k, k), [i], "point probe at key {k}");
+            // Probes *between* keys are empty even when the gap straddles
+            // two leaves.
+            assert!(t.range(k + 1, k + 1).is_empty(), "gap probe at {}", k + 1);
+        }
+    }
+
+    /// Ranges that start and end mid-leaf walk the whole leaf chain and
+    /// stop exactly at `hi`.
+    #[test]
+    fn ranges_spanning_the_leaf_chain() {
+        let mut t = BTree::with_order(4);
+        for i in 0..200u32 {
+            t.insert(u128::from(i), i);
+        }
+        assert!(t.height() > 2);
+        assert_eq!(t.range(0, 199), (0..=200 - 1).collect::<Vec<u32>>());
+        assert_eq!(t.range(3, 150), (3..=150).collect::<Vec<u32>>());
+        // Endpoints absent from the tree clamp correctly.
+        assert_eq!(t.range(150, u128::MAX), (150..200).collect::<Vec<u32>>());
+    }
+
+    /// A duplicate run longer than a leaf spans several leaves; a point
+    /// probe must still return the entire run in insertion order.
+    #[test]
+    fn duplicate_run_spanning_leaves() {
+        let mut t = BTree::with_order(3);
+        t.insert(5, 1000);
+        for i in 0..40u32 {
+            t.insert(7, i);
+        }
+        t.insert(9, 2000);
+        t.validate().unwrap();
+        assert_eq!(t.range(7, 7), (0..40).collect::<Vec<u32>>());
+        assert_eq!(t.range(5, 6), [1000]);
+        assert_eq!(t.range(8, u128::MAX), [2000]);
+    }
+
+    /// Degenerate probes on an empty tree: point, reversed, and full-range
+    /// scans all come back empty without touching a leaf chain.
+    #[test]
+    fn empty_tree_degenerate_probes() {
+        let t = BTree::with_order(3);
+        assert!(t.range(42, 42).is_empty());
+        assert!(t.range(9, 3).is_empty());
+        assert!(t.range(0, u128::MAX).is_empty());
+        assert_eq!(t.min_entry(), None);
+        assert_eq!(t.max_entry(), None);
+    }
 }

@@ -122,6 +122,15 @@ impl IntervalUniverse {
         self.sorted.len()
     }
 
+    /// Top-level intervals: universe members with no enclosing member.
+    /// Sorted in join order (a subset of the sorted universe).
+    pub fn roots(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.sorted
+            .iter()
+            .copied()
+            .filter(|iv| self.parent.get(iv).is_some_and(|p| p.is_none()))
+    }
+
     pub fn is_empty(&self) -> bool {
         self.sorted.is_empty()
     }
@@ -190,6 +199,29 @@ mod tests {
         assert!(join_anc_desc(&[], &[iv(1, 2)]).is_empty());
         assert!(join_anc_desc(&[iv(1, 2)], &[]).is_empty());
         assert!(semijoin_desc(&[], &[]).is_empty());
+    }
+
+    /// `roots()` is exactly the set of members with no enclosing member,
+    /// in join order, and stays consistent with `tightest_container`.
+    #[test]
+    fn roots_are_uncontained_members() {
+        let u = IntervalUniverse::new(vec![
+            iv(0, 100),
+            iv(10, 40),
+            iv(20, 30),
+            iv(200, 300),
+            iv(210, 220),
+            iv(400, 410),
+        ]);
+        let roots: Vec<Interval> = u.roots().collect();
+        assert_eq!(roots, [iv(0, 100), iv(200, 300), iv(400, 410)]);
+        for r in &roots {
+            assert_eq!(u.tightest_container(r), None);
+        }
+        assert!(IntervalUniverse::new(vec![]).roots().next().is_none());
+        // A single interval is its own root even when queried among nested
+        // siblings that all share it as an ancestor.
+        assert_eq!(u.tightest_container(&iv(210, 220)), Some(iv(200, 300)));
     }
 
     #[test]

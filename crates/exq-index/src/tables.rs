@@ -18,6 +18,13 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct DsiIndexTable {
     entries: HashMap<String, Vec<Interval>>,
+    /// Sorted, deduplicated union of every list — rebuilt by [`seal`],
+    /// kept consistent by [`remove_within`] (retain preserves order).
+    ///
+    /// [`seal`]: Self::seal
+    /// [`remove_within`]: Self::remove_within
+    all_sorted: Vec<Interval>,
+    sealed: bool,
 }
 
 impl DsiIndexTable {
@@ -31,28 +38,41 @@ impl DsiIndexTable {
             .entry(tag.to_owned())
             .or_default()
             .push(interval);
+        self.sealed = false;
     }
 
-    /// Finishes construction: sorts every interval list into join order.
+    /// Finishes construction: sorts every interval list into join order and
+    /// caches the sorted union so queries never sort again.
     pub fn seal(&mut self) {
         for list in self.entries.values_mut() {
             sort_intervals(list);
             list.dedup();
         }
+        let mut all: Vec<Interval> = self.entries.values().flatten().copied().collect();
+        sort_intervals(&mut all);
+        all.dedup();
+        self.all_sorted = all;
+        self.sealed = true;
     }
 
-    /// Looks up the intervals for a tag.
+    /// Whether [`seal`](Self::seal) has run since the last [`add`](Self::add).
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Looks up the intervals for a tag. Sorted in join order once the
+    /// table is sealed.
     pub fn lookup(&self, tag: &str) -> &[Interval] {
+        debug_assert!(self.sealed, "DsiIndexTable::seal() must run before lookups");
         self.entries.get(tag).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Every interval in the table — the server's "visible universe" used
-    /// for parent–child derivation.
-    pub fn all_intervals(&self) -> Vec<Interval> {
-        let mut out: Vec<Interval> = self.entries.values().flatten().copied().collect();
-        sort_intervals(&mut out);
-        out.dedup();
-        out
+    /// for parent–child derivation. Precomputed at seal time: sorted in
+    /// join order, deduplicated, O(1) to obtain.
+    pub fn all_intervals(&self) -> &[Interval] {
+        debug_assert!(self.sealed, "DsiIndexTable::seal() must run before lookups");
+        &self.all_sorted
     }
 
     /// Number of distinct tags.
@@ -80,6 +100,9 @@ impl DsiIndexTable {
             removed += before - list.len();
             !list.is_empty()
         });
+        // Retain preserves order, so the cached union stays sorted and the
+        // table stays sealed across deletes.
+        self.all_sorted.retain(|iv| !range.covers(iv));
         removed
     }
 }
