@@ -16,6 +16,7 @@ pub mod e13_scaling;
 pub mod e14_concurrency;
 pub mod e15_parallel;
 pub mod e16_cache;
+pub mod e17_telemetry;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -107,6 +108,11 @@ pub fn registry() -> Vec<Experiment> {
             "e16",
             "extension: server response/range caching — hot-query replay",
             e16_cache::run,
+        ),
+        (
+            "e17",
+            "extension: telemetry overhead — traced vs untraced hot-query replay",
+            e17_telemetry::run,
         ),
     ]
 }

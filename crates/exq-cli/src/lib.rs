@@ -7,6 +7,7 @@ use exq_core::aggregate::Aggregate;
 use exq_core::constraints::SecurityConstraint;
 use exq_core::scheme::SchemeKind;
 use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::telemetry;
 use exq_core::transport::{serve, InProcess, ServeConfig, ServeHandle, TcpTransport, Transport};
 use exq_core::{Client, CoreError, Server};
 use exq_xml::Document;
@@ -48,6 +49,32 @@ impl From<std::io::Error> for CliError {
 
 fn usage<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError::Usage(msg.into()))
+}
+
+/// Applies the global observability flags (`--trace-out`, `--slow-ms`,
+/// `--log-level`) to the process-wide telemetry state. Every command
+/// accepts them; all three are optional.
+pub fn apply_telemetry_flags(
+    trace_out: Option<&Path>,
+    slow_ms: Option<u64>,
+    log_level: Option<&str>,
+) -> Result<(), CliError> {
+    if let Some(path) = trace_out {
+        telemetry::set_trace_out(path)
+            .map_err(|e| CliError::Usage(format!("--trace-out {}: {e}", path.display())))?;
+    }
+    if let Some(ms) = slow_ms {
+        telemetry::set_slow_ms(ms);
+    }
+    if let Some(level) = log_level {
+        let level = telemetry::Level::parse(level).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown --log-level `{level}` (off|error|warn|info|debug)"
+            ))
+        })?;
+        telemetry::set_log_level(level);
+    }
+    Ok(())
 }
 
 /// Parses a scheme name.
@@ -174,12 +201,44 @@ fn query_over(
     query: &str,
     naive: bool,
 ) -> Result<String, CliError> {
+    // Same telemetry envelope as the library pipeline: one client trace per
+    // query (written to the sink if `--trace-out` opened one), span
+    // durations taken from the measured phase timings, and the slow-query
+    // accounting fed at the end.
+    let scope = if telemetry::tracing_wanted() && telemetry::current_trace() == 0 {
+        Some(telemetry::begin_trace(
+            telemetry::new_trace_id(),
+            telemetry::Side::Client,
+        ))
+    } else {
+        None
+    };
+    let started = std::time::Instant::now();
+    let out = query_over_inner(client, link, query, naive);
+    if let Some(scope) = scope {
+        telemetry::write_trace(&scope.finish());
+    }
+    if let Ok((_, served_from_cache)) = &out {
+        telemetry::note_query(query, started.elapsed(), *served_from_cache);
+    }
+    out.map(|(report, _)| report)
+}
+
+fn query_over_inner(
+    client: &Client,
+    link: &mut dyn Transport,
+    query: &str,
+    naive: bool,
+) -> Result<(String, bool), CliError> {
     let tq = client.translate(query)?;
+    telemetry::record_span("client.translate", tq.translate_time);
     let (resp, post_query) = match (&tq.server_query, naive) {
         (Some(sq), false) => (link.send_query(sq)?, &tq.post_query),
         _ => (link.send_naive()?, &tq.full_query),
     };
     let post = client.post_process(post_query, &resp)?;
+    telemetry::record_span("client.decrypt", post.decrypt_time);
+    telemetry::record_span("client.post_process", post.post_process_time);
     let mut report = String::new();
     for r in &post.results {
         let _ = writeln!(report, "{r}");
@@ -191,7 +250,7 @@ fn query_over(
         post.blocks_decrypted,
         link.stats().bytes_received
     );
-    Ok(report)
+    Ok((report, resp.served_from_cache))
 }
 
 /// `exq serve`: host a server state file on a TCP address. Returns the
@@ -373,6 +432,13 @@ pub fn cmd_stats(server_path: &Path) -> Result<String, CliError> {
     Ok(report)
 }
 
+/// `exq stats --addr`: fetch a running server's metrics registry as
+/// Prometheus-style text over the wire.
+pub fn cmd_stats_remote(addr: &str) -> Result<String, CliError> {
+    let mut link = TcpTransport::connect_default(addr)?;
+    Ok(link.metrics_text()?)
+}
+
 /// `exq gen`: generate a synthetic dataset (plus its constraint file).
 pub fn cmd_gen(
     dataset: &str,
@@ -440,6 +506,12 @@ USAGE:
   exq explain   --server server.exq --client client.exq 'QUERY'
   exq export    --server server.exq --client client.exq --out doc.xml
   exq stats     --server server.exq
+  exq stats     --addr HOST:PORT      (live metrics, Prometheus text format)
+
+Global observability flags (every command):
+  --trace-out FILE     write per-query span trees as JSON lines
+  --slow-ms N          log queries slower than N ms (0 disables)
+  --log-level LEVEL    off|error|warn|info|debug (stderr; default warn)
 ";
 
 #[cfg(test)]

@@ -73,6 +73,17 @@ fn run(args: &[String]) -> Result<String, CliError> {
         .map(|s| s.parse::<usize>())
         .transpose()
         .map_err(|_| CliError::Usage("--cache-entries must be an integer".into()))?;
+    // Global observability flags, honored by every command.
+    let slow_ms = flags
+        .get("slow-ms")
+        .map(|s| s.parse::<u64>())
+        .transpose()
+        .map_err(|_| CliError::Usage("--slow-ms must be an integer".into()))?;
+    apply_telemetry_flags(
+        flags.get("trace-out").map(PathBuf::from).as_deref(),
+        slow_ms,
+        flags.get("log-level").map(String::as_str),
+    )?;
 
     match cmd.as_str() {
         "gen" => {
@@ -129,11 +140,16 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 cache_entries,
             )?;
             print!("{banner}");
-            // Serve until killed; the handle's threads do all the work. Log
-            // cache counters periodically so the operator can watch hit rates.
+            // Serve until killed; the handle's threads do all the work.
+            // Periodic cache counters go through the leveled stderr logger
+            // (`--log-level info` to see them) so stdout stays
+            // machine-readable for scripts scraping the banner.
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(60));
-                eprintln!("{}", format_cache_stats(&handle.cache_stats()));
+                exq_core::telemetry::log(
+                    exq_core::telemetry::Level::Info,
+                    &format_cache_stats(&handle.cache_stats()),
+                );
             }
         }
         "aggregate" => {
@@ -162,7 +178,10 @@ fn run(args: &[String]) -> Result<String, CliError> {
             cmd_explain(&path("server")?, &path("client")?, q)
         }
         "export" => cmd_export(&path("server")?, &path("client")?, &path("out")?),
-        "stats" => cmd_stats(&path("server")?),
+        "stats" => match flags.get("addr") {
+            Some(addr) => cmd_stats_remote(addr),
+            None => cmd_stats(&path("server")?),
+        },
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }

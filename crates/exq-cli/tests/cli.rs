@@ -206,6 +206,81 @@ fn binary_smoke() {
 }
 
 #[test]
+fn serve_then_stats_scrapes_live_metrics() {
+    let dir = TempDir::new("stats-live");
+    let (server, client) = setup(&dir);
+    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64)).unwrap();
+    let addr = handle.addr().to_string();
+
+    // Drive one query so the counters move, then scrape the registry.
+    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1).unwrap();
+    assert!(out.contains("Betty"));
+    let text = cmd_stats_remote(&addr).unwrap();
+    assert!(
+        text.contains("# TYPE exq_wire_requests_total counter"),
+        "metrics text: {text}"
+    );
+    assert!(
+        text.contains("exq_cache_response_misses_total"),
+        "metrics text: {text}"
+    );
+    handle.shutdown();
+    assert!(
+        cmd_stats_remote(&addr).is_err(),
+        "server gone, scrape fails"
+    );
+}
+
+#[test]
+fn trace_out_flag_writes_stitched_span_tree() {
+    let dir = TempDir::new("trace");
+    let (server, client) = setup(&dir);
+    let exe = env!("CARGO_BIN_EXE_exq");
+    let trace = dir.path("trace.jsonl");
+    let out = std::process::Command::new(exe)
+        .args([
+            "query",
+            "--server",
+            server.to_str().unwrap(),
+            "--client",
+            client.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "//patient[pname = 'Betty']/SSN",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("763895"));
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert!(lines.len() >= 5, "expected a span tree, got:\n{text}");
+    for needle in [
+        "\"name\":\"client.translate\"",
+        "\"name\":\"wire.roundtrip\"",
+        "\"name\":\"server.dsi_lookup\"",
+        "\"side\":\"client\"",
+        "\"side\":\"server\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    // One stitched tree: a single shared trace id across all spans.
+    let trace_ids: std::collections::HashSet<&str> = lines
+        .iter()
+        .map(|l| {
+            let start = l.find("\"trace\":\"").unwrap() + 9;
+            &l[start..start + 16]
+        })
+        .collect();
+    assert_eq!(trace_ids.len(), 1, "spans must share one trace id:\n{text}");
+}
+
+#[test]
 fn serve_and_query_remote() {
     let dir = TempDir::new("serve");
     let (server, client) = setup(&dir);

@@ -23,6 +23,7 @@
 //!
 //! [`ServerQuery`]: crate::wire::ServerQuery
 
+use crate::telemetry;
 use crate::wire::ServerResponse;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -118,6 +119,26 @@ impl<K, V> Default for Shard<K, V> {
     }
 }
 
+/// Process-wide registry mirrors of one cache layer's counters. Kept
+/// alongside (not instead of) the per-instance atomics: snapshots and the
+/// `CacheStats` wire message report this instance, while the registry
+/// aggregates across every instance the process ever created.
+struct CacheMetrics {
+    hits: Arc<telemetry::Counter>,
+    misses: Arc<telemetry::Counter>,
+    evictions: Arc<telemetry::Counter>,
+}
+
+impl CacheMetrics {
+    fn new(layer: &str) -> Self {
+        CacheMetrics {
+            hits: telemetry::counter(&format!("exq_cache_{layer}_hits_total")),
+            misses: telemetry::counter(&format!("exq_cache_{layer}_misses_total")),
+            evictions: telemetry::counter(&format!("exq_cache_{layer}_evictions_total")),
+        }
+    }
+}
+
 /// A sharded, generation-tagged LRU cache usable through `&self`.
 pub struct GenCache<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
@@ -126,6 +147,8 @@ pub struct GenCache<K, V> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Set for the server's named layers, `None` for ad-hoc caches (tests).
+    metrics: Option<CacheMetrics>,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
@@ -143,7 +166,17 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Like [`GenCache::new`], but also mirrors hit/miss/eviction counts
+    /// into the global telemetry registry as
+    /// `exq_cache_<layer>_{hits,misses,evictions}_total`.
+    pub fn with_metrics(capacity: usize, layer: &str) -> Self {
+        let mut c = Self::new(capacity);
+        c.metrics = Some(CacheMetrics::new(layer));
+        c
     }
 
     pub fn enabled(&self) -> bool {
@@ -170,15 +203,24 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
                 e.stamp = tick;
                 let v = e.value.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.hits.inc();
+                }
                 Some(v)
             }
             Some(_) => {
                 shard.map.remove(key);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
                 None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -204,6 +246,9 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
             if let Some(k) = victim {
                 shard.map.remove(&k);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
             }
         }
         shard.map.insert(
@@ -256,8 +301,8 @@ impl ServerCaches {
         ServerCaches {
             generation: AtomicU64::new(0),
             capacity,
-            responses: GenCache::new(capacity),
-            ranges: GenCache::new(capacity),
+            responses: GenCache::with_metrics(capacity, "response"),
+            ranges: GenCache::with_metrics(capacity, "range"),
         }
     }
 
@@ -285,8 +330,8 @@ impl ServerCaches {
     /// (counters reset, generation preserved).
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
-        self.responses = GenCache::new(capacity);
-        self.ranges = GenCache::new(capacity);
+        self.responses = GenCache::with_metrics(capacity, "response");
+        self.ranges = GenCache::with_metrics(capacity, "range");
     }
 
     pub fn snapshot(&self) -> CacheStatsSnapshot {
@@ -437,6 +482,8 @@ mod tests {
             blocks: Vec::new(),
             translate_time: std::time::Duration::ZERO,
             process_time: std::time::Duration::ZERO,
+            served_from_cache: false,
+            spans: Vec::new(),
         }
     }
 }

@@ -6,11 +6,18 @@
 //! Every message travels as one **frame**:
 //!
 //! ```text
-//! +-------+-------+---------+----------+------------------+
-//! | magic | ver   | msgtype | paylen   | payload          |
-//! | "EQ"  | u8    | u8      | u32 LE   | paylen bytes     |
-//! +-------+-------+---------+----------+------------------+
+//! +-------+-------+---------+----------+----------+------------------+
+//! | magic | ver   | msgtype | paylen   | trace    | payload          |
+//! | "EQ"  | u8    | u8      | u32 LE   | u64 LE   | paylen bytes     |
+//! +-------+-------+---------+----------+----------+------------------+
 //! ```
+//!
+//! The `trace` field is new in protocol version 2: a query-scoped trace id
+//! (0 = untraced) that stitches client- and server-side telemetry spans
+//! into one tree. Version-1 frames (no trace field, no telemetry fields in
+//! [`ServerResponse`]) are still accepted, and replies to a v1 request are
+//! encoded as v1 so legacy peers keep working; `paylen` counts payload
+//! bytes only in both versions.
 //!
 //! Inside payloads, integers are LEB128 varints (`u128` is fixed 16-byte
 //! little-endian), strings and byte arrays are varint-length-prefixed, and
@@ -27,6 +34,7 @@
 
 use crate::cache::CacheStatsSnapshot;
 use crate::error::CoreError;
+use crate::telemetry::{Side, SpanRec};
 use crate::update::{DeleteOutcome, InsertDelta, InsertionSlot};
 use crate::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
 use exq_crypto::block::TAG_BYTES;
@@ -35,14 +43,34 @@ use exq_index::dsi::Interval;
 use exq_xpath::{CmpOp, Literal};
 use std::time::Duration;
 
-/// Protocol version carried in every frame header.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. Version 2 adds the
+/// trace-id field after the fixed header and the telemetry fields on
+/// [`ServerResponse`].
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// The previous protocol version, still accepted inbound; replies to a v1
+/// request are encoded as v1.
+pub const LEGACY_PROTOCOL_VERSION: u8 = 1;
 
 /// Frame magic: the first two bytes of every frame.
 pub const FRAME_MAGIC: [u8; 2] = *b"EQ";
 
-/// Fixed frame header length (magic + version + type + payload length).
+/// Fixed frame header length (magic + version + type + payload length),
+/// common to both protocol versions.
 pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Length of the v2 trace-id field that follows the fixed header.
+pub const TRACE_FIELD_LEN: usize = 8;
+
+/// Bytes after the fixed header that belong to framing (not payload) for a
+/// given protocol version.
+pub fn trace_field_len(version: u8) -> usize {
+    if version >= 2 {
+        TRACE_FIELD_LEN
+    } else {
+        0
+    }
+}
 
 /// Hard cap on a frame payload; anything larger is rejected before
 /// allocation.
@@ -60,7 +88,8 @@ pub enum CodecError {
     Truncated,
     /// Frame does not start with [`FRAME_MAGIC`].
     BadMagic,
-    /// Frame version is not [`PROTOCOL_VERSION`].
+    /// Frame version is neither [`PROTOCOL_VERSION`] nor
+    /// [`LEGACY_PROTOCOL_VERSION`].
     BadVersion(u8),
     /// Unknown enum/message tag for the given context.
     BadTag { context: &'static str, tag: u8 },
@@ -88,7 +117,8 @@ impl std::fmt::Display for CodecError {
             CodecError::BadVersion(v) => {
                 write!(
                     f,
-                    "unsupported protocol version {v} (want {PROTOCOL_VERSION})"
+                    "unsupported protocol version {v} \
+                     (want {LEGACY_PROTOCOL_VERSION} or {PROTOCOL_VERSION})"
                 )
             }
             CodecError::BadTag { context, tag } => write!(f, "unknown {context} tag {tag:#04x}"),
@@ -602,8 +632,49 @@ impl WireCodec for ServerQuery {
     }
 }
 
-impl WireCodec for ServerResponse {
+impl WireCodec for SpanRec {
     fn encode_into(&self, enc: &mut Enc) {
+        enc.varint(self.trace);
+        enc.varint(self.id);
+        enc.varint(self.parent);
+        enc.str(&self.name);
+        enc.u8(match self.side {
+            Side::Client => 0,
+            Side::Server => 1,
+        });
+        enc.varint(self.start_ns);
+        enc.varint(self.dur_ns);
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(SpanRec {
+            trace: dec.varint()?,
+            id: dec.varint()?,
+            parent: dec.varint()?,
+            name: dec.str()?,
+            side: match dec.u8()? {
+                0 => Side::Client,
+                1 => Side::Server,
+                tag => {
+                    return Err(CodecError::BadTag {
+                        context: "span side",
+                        tag,
+                    })
+                }
+            },
+            start_ns: dec.varint()?,
+            dur_ns: dec.varint()?,
+        })
+    }
+}
+
+/// Minimum encoded [`SpanRec`]: three 1-byte varints, an empty name, the
+/// side byte, and two 1-byte varints.
+const MIN_SPAN_LEN: usize = 7;
+
+impl ServerResponse {
+    /// Shared prefix of the v1 and v2 payload encodings.
+    fn encode_core_into(&self, enc: &mut Enc) {
         enc.str(&self.pruned_xml);
         enc.usize(self.blocks.len());
         for b in &self.blocks {
@@ -613,7 +684,7 @@ impl WireCodec for ServerResponse {
         enc.duration(self.process_time);
     }
 
-    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+    fn decode_core_from(dec: &mut Dec<'_>) -> Result<ServerResponse, CodecError> {
         let pruned_xml = dec.str()?;
         // Minimum sealed block: id + nonce + empty ciphertext + tag.
         let n = dec.count(1 + 12 + 1 + TAG_BYTES)?;
@@ -626,7 +697,43 @@ impl WireCodec for ServerResponse {
             blocks,
             translate_time: dec.duration()?,
             process_time: dec.duration()?,
+            served_from_cache: false,
+            spans: Vec::new(),
         })
+    }
+
+    /// v1 payload layout, used for replies to legacy peers: no
+    /// `served_from_cache`, no spans.
+    pub(crate) fn encode_legacy_into(&self, enc: &mut Enc) {
+        self.encode_core_into(enc);
+    }
+
+    /// Decodes the v1 payload layout; telemetry fields take their defaults.
+    pub(crate) fn decode_legacy_from(dec: &mut Dec<'_>) -> Result<ServerResponse, CodecError> {
+        Self::decode_core_from(dec)
+    }
+}
+
+impl WireCodec for ServerResponse {
+    fn encode_into(&self, enc: &mut Enc) {
+        self.encode_core_into(enc);
+        enc.bool(self.served_from_cache);
+        enc.usize(self.spans.len());
+        for s in &self.spans {
+            s.encode_into(enc);
+        }
+    }
+
+    fn decode_from(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let mut resp = Self::decode_core_from(dec)?;
+        resp.served_from_cache = dec.bool()?;
+        let n = dec.count(MIN_SPAN_LEN)?;
+        let mut spans = Vec::with_capacity(n);
+        for _ in 0..n {
+            spans.push(SpanRec::decode_from(dec)?);
+        }
+        resp.spans = spans;
+        Ok(resp)
     }
 }
 
@@ -843,9 +950,13 @@ pub enum Message {
     DeleteWhere(ServerQuery),
     /// Request the server's cache counters.
     CacheStatsReq,
+    /// Request the server's metrics-registry exposition.
+    MetricsReq,
 
     // Responses.
     Answer(ServerResponse),
+    /// Prometheus-style text exposition of the server's metrics registry.
+    MetricsText(String),
     Block(Option<SealedBlock>),
     Extreme(Option<(u128, u32)>),
     Intervals(Vec<Interval>),
@@ -869,7 +980,9 @@ impl Message {
             Message::ApplyInsert(_) => 0x07,
             Message::DeleteWhere(_) => 0x08,
             Message::CacheStatsReq => 0x09,
+            Message::MetricsReq => 0x0A,
             Message::Answer(_) => 0x81,
+            Message::MetricsText(_) => 0x89,
             Message::Block(_) => 0x82,
             Message::Extreme(_) => 0x83,
             Message::Intervals(_) => 0x84,
@@ -895,6 +1008,8 @@ impl Message {
         match self {
             Message::Query(q) | Message::Locate(q) | Message::DeleteWhere(q) => q.encode_into(enc),
             Message::NaiveQuery | Message::InsertOk | Message::CacheStatsReq => {}
+            Message::MetricsReq => {}
+            Message::MetricsText(text) => enc.str(text),
             Message::FetchBlock(id) => enc.varint(*id as u64),
             Message::ValueExtreme { attr_key, max } => {
                 enc.str(attr_key);
@@ -931,7 +1046,7 @@ impl Message {
         }
     }
 
-    fn decode_payload(msg_type: u8, dec: &mut Dec<'_>) -> Result<Message, CodecError> {
+    fn decode_payload(version: u8, msg_type: u8, dec: &mut Dec<'_>) -> Result<Message, CodecError> {
         match msg_type {
             0x01 => Ok(Message::Query(ServerQuery::decode_from(dec)?)),
             0x02 => Ok(Message::NaiveQuery),
@@ -945,7 +1060,12 @@ impl Message {
             0x07 => Ok(Message::ApplyInsert(InsertDelta::decode_from(dec)?)),
             0x08 => Ok(Message::DeleteWhere(ServerQuery::decode_from(dec)?)),
             0x09 => Ok(Message::CacheStatsReq),
+            0x0A => Ok(Message::MetricsReq),
+            0x81 if version == LEGACY_PROTOCOL_VERSION => {
+                Ok(Message::Answer(ServerResponse::decode_legacy_from(dec)?))
+            }
             0x81 => Ok(Message::Answer(ServerResponse::decode_from(dec)?)),
+            0x89 => Ok(Message::MetricsText(dec.str()?)),
             0x82 => match dec.u8()? {
                 0 => Ok(Message::Block(None)),
                 1 => Ok(Message::Block(Some(SealedBlock::decode_from(dec)?))),
@@ -985,35 +1105,65 @@ impl Message {
         }
     }
 
-    /// Encodes the message as a complete frame (header + payload).
+    /// Encodes the message as a complete current-version frame with no
+    /// trace id.
     pub fn encode_frame(&self) -> Vec<u8> {
+        self.encode_frame_v(PROTOCOL_VERSION, 0)
+    }
+
+    /// Encodes a current-version frame carrying `trace` (0 = untraced).
+    pub fn encode_frame_traced(&self, trace: u64) -> Vec<u8> {
+        self.encode_frame_v(PROTOCOL_VERSION, trace)
+    }
+
+    /// Encodes a frame in an explicit protocol version — v1 for replies to
+    /// legacy peers (no trace field, legacy [`ServerResponse`] layout).
+    pub fn encode_frame_v(&self, version: u8, trace: u64) -> Vec<u8> {
         let mut enc = Enc::new();
-        self.encode_payload(&mut enc);
+        self.encode_payload_v(version, &mut enc);
         let payload = enc.into_bytes();
-        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        let mut frame =
+            Vec::with_capacity(FRAME_HEADER_LEN + trace_field_len(version) + payload.len());
         frame.extend_from_slice(&FRAME_MAGIC);
-        frame.push(PROTOCOL_VERSION);
+        frame.push(version);
         frame.push(self.msg_type());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        if version >= 2 {
+            frame.extend_from_slice(&trace.to_le_bytes());
+        }
         frame.extend_from_slice(&payload);
         frame
     }
 
-    /// Exact frame length without materializing the frame twice.
+    fn encode_payload_v(&self, version: u8, enc: &mut Enc) {
+        if version == LEGACY_PROTOCOL_VERSION {
+            if let Message::Answer(resp) = self {
+                resp.encode_legacy_into(enc);
+                return;
+            }
+        }
+        self.encode_payload(enc);
+    }
+
+    /// Exact current-version frame length without materializing the frame
+    /// twice.
     pub fn frame_len(&self) -> usize {
         let mut enc = Enc::new();
         self.encode_payload(&mut enc);
-        FRAME_HEADER_LEN + enc.into_bytes().len()
+        FRAME_HEADER_LEN + TRACE_FIELD_LEN + enc.into_bytes().len()
     }
 
-    /// Parses the frame header, returning `(msg_type, payload_len)`.
+    /// Parses the fixed frame header, returning
+    /// `(version, msg_type, payload_len)`. For v2 frames, [`TRACE_FIELD_LEN`]
+    /// trace bytes follow the header before `payload_len` payload bytes.
     /// `header` must be exactly [`FRAME_HEADER_LEN`] bytes.
-    pub fn parse_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, usize), CodecError> {
+    pub fn parse_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, u8, usize), CodecError> {
         if header[0..2] != FRAME_MAGIC {
             return Err(CodecError::BadMagic);
         }
-        if header[2] != PROTOCOL_VERSION {
-            return Err(CodecError::BadVersion(header[2]));
+        let version = header[2];
+        if version != PROTOCOL_VERSION && version != LEGACY_PROTOCOL_VERSION {
+            return Err(CodecError::BadVersion(version));
         }
         let len = u32::from_le_bytes(header[4..8].try_into().expect("sized slice")) as usize;
         if len > MAX_FRAME_LEN {
@@ -1022,27 +1172,53 @@ impl Message {
                 max: MAX_FRAME_LEN,
             });
         }
-        Ok((header[3], len))
+        Ok((version, header[3], len))
     }
 
     /// Decodes one complete frame from a buffer; the buffer must contain
-    /// exactly one frame.
+    /// exactly one frame. Discards the trace id.
     pub fn decode_frame(bytes: &[u8]) -> Result<Message, CodecError> {
+        Self::decode_frame_full(bytes).map(|(msg, _, _)| msg)
+    }
+
+    /// Decodes one complete frame, also returning its trace id (0 for v1 or
+    /// untraced frames) and protocol version — servers reply in the
+    /// request's version.
+    pub fn decode_frame_full(bytes: &[u8]) -> Result<(Message, u64, u8), CodecError> {
         if bytes.len() < FRAME_HEADER_LEN {
             return Err(CodecError::Truncated);
         }
         let header: [u8; FRAME_HEADER_LEN] =
             bytes[..FRAME_HEADER_LEN].try_into().expect("sized slice");
-        let (msg_type, len) = Self::parse_header(&header)?;
-        let payload = &bytes[FRAME_HEADER_LEN..];
-        if payload.len() < len {
+        let (version, msg_type, len) = Self::parse_header(&header)?;
+        let mut rest = &bytes[FRAME_HEADER_LEN..];
+        let mut trace = 0u64;
+        if version >= 2 {
+            if rest.len() < TRACE_FIELD_LEN {
+                return Err(CodecError::Truncated);
+            }
+            trace = u64::from_le_bytes(rest[..TRACE_FIELD_LEN].try_into().expect("sized slice"));
+            rest = &rest[TRACE_FIELD_LEN..];
+        }
+        if rest.len() < len {
             return Err(CodecError::Truncated);
         }
-        if payload.len() > len {
-            return Err(CodecError::TrailingBytes(payload.len() - len));
+        if rest.len() > len {
+            return Err(CodecError::TrailingBytes(rest.len() - len));
         }
+        let msg = Self::decode_payload_bytes(version, msg_type, rest)?;
+        Ok((msg, trace, version))
+    }
+
+    /// Decodes a bare payload (already stripped of framing) for a given
+    /// protocol version, requiring full consumption.
+    pub fn decode_payload_bytes(
+        version: u8,
+        msg_type: u8,
+        payload: &[u8],
+    ) -> Result<Message, CodecError> {
         let mut dec = Dec::new(payload);
-        let msg = Self::decode_payload(msg_type, &mut dec)?;
+        let msg = Self::decode_payload(version, msg_type, &mut dec)?;
         dec.finish()?;
         Ok(msg)
     }
@@ -1094,6 +1270,18 @@ mod tests {
         assert_eq!(ServerQuery::decode(&q.encode()).unwrap(), q);
     }
 
+    fn sample_span() -> SpanRec {
+        SpanRec {
+            trace: 0xDEAD_BEEF,
+            id: 2,
+            parent: 1,
+            name: "server.sjoin".into(),
+            side: Side::Server,
+            start_ns: 1_000,
+            dur_ns: 250_000,
+        }
+    }
+
     #[test]
     fn response_roundtrip() {
         let r = ServerResponse {
@@ -1106,8 +1294,77 @@ mod tests {
             })],
             translate_time: Duration::from_micros(12),
             process_time: Duration::from_millis(3),
+            served_from_cache: true,
+            spans: vec![sample_span()],
         };
         assert_eq!(ServerResponse::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn span_roundtrip() {
+        let s = sample_span();
+        assert_eq!(SpanRec::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn legacy_v1_answer_roundtrip_drops_telemetry_fields() {
+        let resp = ServerResponse {
+            pruned_xml: "<r/>".into(),
+            blocks: vec![],
+            translate_time: Duration::from_micros(7),
+            process_time: Duration::from_micros(9),
+            served_from_cache: true,
+            spans: vec![sample_span()],
+        };
+        let frame = Message::Answer(resp.clone()).encode_frame_v(LEGACY_PROTOCOL_VERSION, 0);
+        assert_eq!(frame[2], LEGACY_PROTOCOL_VERSION);
+        let (msg, trace, version) = Message::decode_frame_full(&frame).unwrap();
+        assert_eq!(trace, 0);
+        assert_eq!(version, LEGACY_PROTOCOL_VERSION);
+        let Message::Answer(back) = msg else {
+            panic!("not an answer");
+        };
+        // Core fields survive; telemetry fields take their v1 defaults.
+        assert_eq!(back.pruned_xml, resp.pruned_xml);
+        assert_eq!(back.translate_time, resp.translate_time);
+        assert_eq!(back.process_time, resp.process_time);
+        assert!(!back.served_from_cache);
+        assert!(back.spans.is_empty());
+    }
+
+    #[test]
+    fn v1_request_frames_still_decode() {
+        // A legacy peer's request (no trace field) must still be served.
+        for msg in [
+            Message::Query(sample_query()),
+            Message::NaiveQuery,
+            Message::CacheStatsReq,
+        ] {
+            let frame = msg.encode_frame_v(LEGACY_PROTOCOL_VERSION, 0);
+            assert_eq!(
+                frame.len(),
+                msg.frame_len() - TRACE_FIELD_LEN,
+                "v1 frame must not carry the trace field"
+            );
+            let (back, trace, version) = Message::decode_frame_full(&frame).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(trace, 0, "v1 trace id defaults to none");
+            assert_eq!(version, LEGACY_PROTOCOL_VERSION);
+        }
+    }
+
+    #[test]
+    fn trace_id_rides_the_frame_header() {
+        let msg = Message::Query(sample_query());
+        let frame = msg.encode_frame_traced(0x0123_4567_89AB_CDEF);
+        assert_eq!(frame.len(), msg.frame_len());
+        let (back, trace, version) = Message::decode_frame_full(&frame).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(trace, 0x0123_4567_89AB_CDEF);
+        assert_eq!(version, PROTOCOL_VERSION);
+        // The trace id is framing, not payload: same payload length either
+        // way, so identical queries keep identical byte counts.
+        assert_eq!(frame.len(), msg.encode_frame().len());
     }
 
     #[test]
@@ -1141,7 +1398,19 @@ mod tests {
                 blocks: vec![],
                 translate_time: Duration::ZERO,
                 process_time: Duration::ZERO,
+                served_from_cache: false,
+                spans: vec![],
             }),
+            Message::Answer(ServerResponse {
+                pruned_xml: "<r/>".into(),
+                blocks: vec![],
+                translate_time: Duration::from_micros(1),
+                process_time: Duration::from_micros(2),
+                served_from_cache: true,
+                spans: vec![sample_span()],
+            }),
+            Message::MetricsReq,
+            Message::MetricsText("# TYPE exq_queries_total counter\n".into()),
             Message::Block(None),
             Message::Block(Some(SealedBlock {
                 id: 1,
@@ -1237,6 +1506,7 @@ mod tests {
         frame.push(PROTOCOL_VERSION);
         frame.push(0x84);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes()); // v2 trace field
         frame.extend_from_slice(&payload);
         assert_eq!(
             Message::decode_frame(&frame),

@@ -10,7 +10,8 @@
 //!   the association between the values that `q1` and `q2` bind to under `x`.
 //!
 //! Each SC *captures* a set of queries whose (non-)emptiness on the hosted
-//! database must be protected; [`captured_association_holds`] implements the
+//! database must be protected; [`SecurityConstraint::captured_association_holds`]
+//! implements the
 //! `D ⊨ A` check for association queries `p[q1 = v1][q2 = v2]`.
 
 use crate::error::CoreError;

@@ -11,7 +11,7 @@
 //!
 //! * [`solve_exact`] — branch-and-bound exact minimum (the `opt` scheme of
 //!   §7.1; constraint graphs are small, so exponential worst case is fine);
-//! * [`solve_clarkson`] — Clarkson's modified greedy 2-approximation [10]
+//! * [`solve_clarkson`] — Clarkson's modified greedy 2-approximation \[10\]
 //!   (the `app` scheme);
 //! * [`solve_matching`] — the classic maximal-matching 2-approximation,
 //!   kept as an ablation baseline.

@@ -22,7 +22,10 @@
 //!   ship-everything baseline of §7.3;
 //! * [`analysis`] — the security analysis: exact candidate-database counts
 //!   (Theorems 4.1/5.1/5.2), frequency- and size-based attack simulators
-//!   (§3.3), and the query-answering belief tracker (Theorem 6.1).
+//!   (§3.3), and the query-answering belief tracker (Theorem 6.1);
+//! * [`telemetry`] — the observability layer: a global metrics registry,
+//!   query-scoped trace spans stitched across the wire, and Prometheus-style
+//!   / JSON-lines exporters.
 
 pub mod aggregate;
 pub mod analysis;
@@ -38,6 +41,7 @@ pub mod pool;
 pub mod scheme;
 pub mod server;
 pub mod system;
+pub mod telemetry;
 pub mod transport;
 pub mod update;
 pub mod wire;

@@ -19,6 +19,7 @@ use crate::cache::{CacheStatsSnapshot, ServerCaches};
 use crate::codec::WireCodec;
 use crate::encrypt::{EncryptedOutput, ServerMetadata, BLOCK_MARKER_TAG};
 use crate::error::CoreError;
+use crate::telemetry;
 use crate::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
 use exq_crypto::SealedBlock;
 use exq_index::dsi::Interval;
@@ -404,7 +405,7 @@ impl Server {
     /// The naive method of §7.3: ship the entire hosted database.
     pub fn answer_naive(&self) -> ServerResponse {
         let start = Instant::now();
-        ServerResponse {
+        let resp = ServerResponse {
             pruned_xml: self.visible.to_xml(),
             blocks: self
                 .blocks
@@ -414,7 +415,11 @@ impl Server {
                 .collect(),
             translate_time: std::time::Duration::ZERO,
             process_time: start.elapsed(),
-        }
+            served_from_cache: false,
+            spans: Vec::new(),
+        };
+        telemetry::record_span("server.assemble", resp.process_time);
+        resp
     }
 
     /// Answers a translated query.
@@ -432,17 +437,27 @@ impl Server {
         // guard, so the generation cannot move mid-query.
         let generation = self.caches.generation();
         let cache_key = if self.caches.responses.enabled() {
+            // Time the key encode + probe for real: a warm query's
+            // `translate_time` is its probe cost, not a fake zero.
+            let t_probe = Instant::now();
             let key = q.encode();
-            if let Some(hit) = self.caches.responses.get(&key, generation) {
+            let probe = self.caches.responses.get(&key, generation);
+            let probe_time = t_probe.elapsed();
+            telemetry::record_span("server.cache_probe", probe_time);
+            if let Some(hit) = probe {
                 let t = Instant::now();
                 let pruned_xml = hit.pruned_xml.clone();
                 // Arc clones — the ciphertext payloads are shared, not copied.
                 let blocks = hit.blocks.clone();
+                let assemble_time = t.elapsed();
+                telemetry::record_span("server.assemble", assemble_time);
                 return ServerResponse {
                     pruned_xml,
                     blocks,
-                    translate_time: std::time::Duration::ZERO,
-                    process_time: t.elapsed(),
+                    translate_time: probe_time,
+                    process_time: assemble_time,
+                    served_from_cache: true,
+                    spans: Vec::new(),
                 };
             }
             Some(key)
@@ -454,11 +469,16 @@ impl Server {
         let step_candidates: Vec<Vec<Interval>> =
             q.steps.iter().map(|s| self.candidates(s)).collect();
         let translate_time = t0.elapsed();
+        // The span *is* the reported stat: same measured duration.
+        telemetry::record_span("server.dsi_lookup", translate_time);
 
         let t1 = Instant::now();
         // Step 2 up front: resolve every ciphertext range in the query to
         // its block set, so the per-candidate passes below are read-only.
+        let t_resolve = Instant::now();
         let cache = self.build_value_cache(&q.steps);
+        telemetry::record_span("server.value_resolve", t_resolve.elapsed());
+        let t_sjoin = Instant::now();
         let survivors = self.match_survivors(q, &step_candidates, &cache);
         let n = q.steps.len();
         // Step 3: response assembly. Ship every anchor match's region plus
@@ -478,12 +498,17 @@ impl Server {
             });
             targets.extend(witnesses.into_iter().flatten());
         }
+        telemetry::record_span("server.sjoin", t_sjoin.elapsed());
+        let t_assemble = Instant::now();
         let (pruned_xml, blocks) = self.assemble(&targets);
+        telemetry::record_span("server.assemble", t_assemble.elapsed());
         let resp = ServerResponse {
             pruned_xml,
             blocks,
             translate_time,
             process_time: t1.elapsed(),
+            served_from_cache: false,
+            spans: Vec::new(),
         };
         if let Some(key) = cache_key {
             self.caches

@@ -14,6 +14,7 @@ use crate::encrypt::{encrypt_database, EncryptStats};
 use crate::error::CoreError;
 use crate::scheme::{EncryptionScheme, SchemeKind};
 use crate::server::Server;
+use crate::telemetry;
 use crate::transport::{InProcess, Transport};
 use exq_crypto::KeyChain;
 use exq_xml::Document;
@@ -167,6 +168,8 @@ pub struct QueryOutcome {
     pub blocks_shipped: usize,
     /// Whether the naive fallback (unsupported server axis) was used.
     pub naive_fallback: bool,
+    /// Whether the server answered (any branch) from its response cache.
+    pub served_from_cache: bool,
 }
 
 impl HostedDatabase {
@@ -219,6 +222,36 @@ fn run_query(
     query: &str,
     force_naive: bool,
 ) -> Result<QueryOutcome, CoreError> {
+    // Telemetry wrapper: open a client trace for the whole query (union
+    // branches included — `current_trace() == 0` keeps recursion from
+    // nesting traces), sink the stitched spans, and feed the slow-query
+    // log. All of it is inert unless tracing was requested.
+    let scope = if telemetry::tracing_wanted() && telemetry::current_trace() == 0 {
+        Some(telemetry::begin_trace(
+            telemetry::new_trace_id(),
+            telemetry::Side::Client,
+        ))
+    } else {
+        None
+    };
+    let started = std::time::Instant::now();
+    let out = run_query_inner(client, transport, config, query, force_naive);
+    if let Some(scope) = scope {
+        telemetry::write_trace(&scope.finish());
+    }
+    if let Ok(o) = &out {
+        telemetry::note_query(query, started.elapsed(), o.served_from_cache);
+    }
+    out
+}
+
+fn run_query_inner(
+    client: &Client,
+    transport: &mut dyn Transport,
+    config: &OutsourceConfig,
+    query: &str,
+    force_naive: bool,
+) -> Result<QueryOutcome, CoreError> {
     // Top-level unions run branch by branch; results merge with
     // string-level deduplication (first occurrence wins).
     let branches =
@@ -231,8 +264,9 @@ fn run_query(
         let mut bytes_to_client = 0;
         let mut blocks_shipped = 0;
         let mut naive_fallback = false;
+        let mut served_from_cache = false;
         for b in &branches {
-            let out = run_query(client, transport, config, &b.to_string(), force_naive)?;
+            let out = run_query_inner(client, transport, config, &b.to_string(), force_naive)?;
             for r in out.results {
                 if seen.insert(r.clone()) {
                     merged.push(r);
@@ -248,6 +282,7 @@ fn run_query(
             bytes_to_client += out.bytes_to_client;
             blocks_shipped += out.blocks_shipped;
             naive_fallback |= out.naive_fallback;
+            served_from_cache |= out.served_from_cache;
         }
         merged.sort();
         return Ok(QueryOutcome {
@@ -257,9 +292,13 @@ fn run_query(
             bytes_to_client,
             blocks_shipped,
             naive_fallback,
+            served_from_cache,
         });
     }
     let tq = client.translate(query)?;
+    // The span *is* the reported stat: record the measured duration rather
+    // than re-timing, so traces and phase timings always agree.
+    telemetry::record_span("client.translate", tq.translate_time);
     let naive = force_naive || tq.server_query.is_none();
     // Byte accounting is read off the transport: exact encoded frame
     // lengths in both directions, identical for in-process and TCP links.
@@ -279,6 +318,8 @@ fn run_query(
         &tq.post_query
     };
     let post = client.post_process(post_query, &resp)?;
+    telemetry::record_span("client.decrypt", post.decrypt_time);
+    telemetry::record_span("client.post_process", post.post_process_time);
     let transmit = simulate_link(config, bytes_to_server + bytes_to_client);
     let decrypt = post.decrypt_time + simulate_decrypt(config, &block_sizes, client.threads());
     Ok(QueryOutcome {
@@ -295,6 +336,7 @@ fn run_query(
         bytes_to_client,
         blocks_shipped: resp.blocks.len(),
         naive_fallback: naive,
+        served_from_cache: resp.served_from_cache,
     })
 }
 
@@ -357,10 +399,19 @@ mod tests {
         let a = with_era.query(q).unwrap();
         let b = modern.query(q).unwrap();
         assert_eq!(a.results, b.results);
-        assert!(a.timing.decrypt >= b.timing.decrypt);
         assert!(
             a.blocks_shipped > 0,
             "era model needs shipped blocks to matter"
+        );
+        // Assert on the simulated component itself rather than comparing
+        // two wall-clock measurements (µs-scale and load-sensitive): the
+        // era model must add cost for the shipped blocks, the modern
+        // config none.
+        let shipped = vec![64usize; a.blocks_shipped];
+        assert!(simulate_decrypt(&OutsourceConfig::default(), &shipped, 1) > Duration::ZERO);
+        assert_eq!(
+            simulate_decrypt(&OutsourceConfig::modern(), &shipped, 1),
+            Duration::ZERO
         );
     }
 

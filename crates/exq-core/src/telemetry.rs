@@ -1,0 +1,934 @@
+//! Self-contained observability: a sharded metrics registry, query-scoped
+//! trace spans, and exporters — no external crates, matching repo policy.
+//!
+//! Three layers:
+//!
+//! * **Metrics registry** — named [`Counter`]s, [`Gauge`]s, and log2-bucketed
+//!   latency [`Histogram`]s behind atomics, global and shared across the
+//!   process. Lookups hash the name to one of 8 `RwLock`'d shards; hot paths
+//!   cache the returned `Arc` handle so steady-state cost is a relaxed
+//!   atomic add. Memory is bounded by the set of distinct metric names (all
+//!   compile-time constants in this codebase): a histogram is 64 buckets +
+//!   count + sum = 528 bytes, counters/gauges 8 bytes each.
+//!
+//! * **Trace spans** — a query begins a trace ([`begin_trace`]) holding a
+//!   thread-local span collector; [`span`] (RAII, self-timed) and
+//!   [`record_span`] (externally measured duration, guaranteed equal to the
+//!   reported stat) append [`SpanRec`]s to it. Collectors stack: a server
+//!   dispatch on the *same* thread (the in-process transport) pushes a fresh
+//!   shielded collector, so client and server spans never interleave. The
+//!   trace id crosses the wire in the frame header; server spans return
+//!   inside the response and are re-parented under the client's roundtrip
+//!   span by [`adopt_spans`], stitching one tree. Span `start_ns` offsets
+//!   are relative to each side's own trace epoch (no clock sync assumed);
+//!   durations are exact.
+//!
+//! * **Exporters** — a JSON-lines trace sink ([`set_trace_out`]), a
+//!   Prometheus-style text exposition ([`render`]), a leveled stderr logger
+//!   ([`log`]/[`set_log_level`]) keeping stdout clean for machine-readable
+//!   output, and a slow-query log ([`set_slow_ms`]).
+//!
+//! [`set_enabled`] (or `EXQ_TELEMETRY=0`) turns span recording off for
+//! overhead measurement (experiment e17); counters stay on — they are
+//! single atomic adds.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- metrics --
+
+/// Number of registry shards; name-hash picks the shard.
+const SHARDS: usize = 8;
+
+/// Histogram bucket count: bucket `i` holds observations with
+/// `floor(log2(nanos)) == i`, covering the full `u64` nanosecond range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Log2-bucketed latency histogram over nanoseconds. The invariant the
+/// concurrency tests pin down: the sum of bucket counts always equals the
+/// observation count.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// `floor(log2(nanos))` with 0 mapped to bucket 0.
+fn bucket_index(nanos: u64) -> usize {
+    63 - nanos.max(1).leading_zeros() as usize
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the bucket counters.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Quantile estimate (`0.0..=1.0`): the upper bound of the bucket where
+    /// the cumulative count crosses `q * total`. Resolution is one octave —
+    /// plenty for p50/p90/p99 dashboards.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Duration::from_nanos(bucket_upper(i));
+            }
+        }
+        Duration::from_nanos(bucket_upper(HIST_BUCKETS - 1))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Sharded name → metric map. One global instance lives behind
+/// [`registry`]; separate instances exist only in tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: [RwLock<HashMap<String, Metric>>; SHARDS],
+}
+
+/// FNV-1a; no need for DoS resistance — names are compile-time constants.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let shard = &self.shards[shard_of(name)];
+        if let Some(m) = shard.read().expect("registry shard").get(name) {
+            return m.clone();
+        }
+        let mut w = shard.write().expect("registry shard");
+        w.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Panics if `name` is already registered as a different kind —
+    /// metric names are compile-time constants, so that is a programming
+    /// error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::default()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Prometheus-style text exposition: `# TYPE` lines, cumulative
+    /// `_bucket{le="…"}` rows (seconds), `_sum`/`_count`, sorted by name so
+    /// the output is diffable.
+    pub fn render(&self) -> String {
+        let mut entries: Vec<(String, Metric)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read().expect("registry shard");
+            entries.extend(guard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        for (name, metric) in entries {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let counts = h.bucket_counts();
+                    let mut acc = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        if *c == 0 {
+                            continue;
+                        }
+                        acc += c;
+                        let le = bucket_upper(i) as f64 / 1e9;
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {acc}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {acc}\n"));
+                    out.push_str(&format!(
+                        "{name}_sum {}\n{name}_count {}\n",
+                        h.sum_nanos() as f64 / 1e9,
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-global registry. First access also applies the
+/// `EXQ_TELEMETRY` environment knob (`0`/`off`/`false` disable spans).
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        if let Ok(v) = std::env::var("EXQ_TELEMETRY") {
+            if matches!(v.as_str(), "0" | "off" | "false") {
+                set_enabled(false);
+            }
+        }
+        Registry::new()
+    })
+}
+
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+/// Renders the global registry's Prometheus-style exposition.
+pub fn render() -> String {
+    registry().render()
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Master switch for span recording (traces + span histograms). Counters
+/// are unaffected — they are single atomic adds.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ----------------------------------------------------------------- traces --
+
+/// Which end of the wire produced a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Client,
+    Server,
+}
+
+impl Side {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Side::Client => "client",
+            Side::Server => "server",
+        }
+    }
+}
+
+/// One completed span. `parent == 0` means root (within its side before
+/// stitching). `start_ns` is relative to the owning side's trace epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    pub trace: u64,
+    pub id: u64,
+    pub parent: u64,
+    pub name: String,
+    pub side: Side,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+struct ActiveTrace {
+    trace: u64,
+    side: Side,
+    /// Current parent span id for new spans (0 at trace root).
+    parent: u64,
+    spans: Vec<SpanRec>,
+    epoch: Instant,
+}
+
+thread_local! {
+    /// Stack of active collectors: the in-process transport dispatches the
+    /// server on the client's thread, and the pushed server collector
+    /// shields the client's so spans never interleave.
+    static TRACES: RefCell<Vec<ActiveTrace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Splitmix64-style finalizer over wall clock + pid: trace/span ids must be
+/// distinct across processes with no coordination.
+fn entropy_seed() -> u64 {
+    let ns = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut z = ns ^ (std::process::id() as u64).rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn id_source() -> &'static AtomicU64 {
+    static SRC: OnceLock<AtomicU64> = OnceLock::new();
+    SRC.get_or_init(|| AtomicU64::new(entropy_seed() | 1))
+}
+
+/// Fresh nonzero id; golden-ratio stride keeps ids spread even when the
+/// entropy seed is weak.
+fn fresh_id() -> u64 {
+    let v = id_source().fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    if v == 0 {
+        0x9e37_79b9_7f4a_7c15
+    } else {
+        v
+    }
+}
+
+/// Allocates a new trace id (client-side, at query entry).
+pub fn new_trace_id() -> u64 {
+    fresh_id()
+}
+
+/// Trace id of this thread's innermost active collector; 0 when untraced.
+/// This is what transports stamp into the frame header.
+pub fn current_trace() -> u64 {
+    TRACES.with(|t| t.borrow().last().map(|a| a.trace).unwrap_or(0))
+}
+
+/// RAII handle for an active trace; [`TraceScope::finish`] yields the
+/// collected spans. Dropping without finishing discards them.
+pub struct TraceScope {
+    pushed: bool,
+    done: bool,
+}
+
+/// Pushes a span collector for `trace` onto this thread's stack. A `trace`
+/// of 0 (untraced peer) yields an inert scope that collects nothing.
+pub fn begin_trace(trace: u64, side: Side) -> TraceScope {
+    if trace == 0 || !enabled() {
+        return TraceScope {
+            pushed: false,
+            done: false,
+        };
+    }
+    TRACES.with(|t| {
+        t.borrow_mut().push(ActiveTrace {
+            trace,
+            side,
+            parent: 0,
+            spans: Vec::new(),
+            epoch: Instant::now(),
+        })
+    });
+    TraceScope {
+        pushed: true,
+        done: false,
+    }
+}
+
+impl TraceScope {
+    /// True when this scope actually collects spans.
+    pub fn is_active(&self) -> bool {
+        self.pushed
+    }
+
+    /// Pops the collector and returns its spans.
+    pub fn finish(mut self) -> Vec<SpanRec> {
+        self.done = true;
+        if !self.pushed {
+            return Vec::new();
+        }
+        TRACES
+            .with(|t| t.borrow_mut().pop())
+            .map(|a| a.spans)
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if self.pushed && !self.done {
+            TRACES.with(|t| {
+                t.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+fn observe_span_metric(name: &str, dur: Duration) {
+    let mut metric = String::with_capacity(9 + name.len());
+    metric.push_str("exq_span_");
+    metric.extend(name.chars().map(|c| if c == '.' { '_' } else { c }));
+    histogram(&metric).observe_duration(dur);
+}
+
+/// Records a span with an externally measured duration — used where the
+/// code already times a phase, so the span duration and the reported stat
+/// are the *same* number. Feeds the span histogram even when no trace is
+/// active; appends a [`SpanRec`] only under an active trace. The span's
+/// start is back-dated `dur` from now.
+pub fn record_span(name: &str, dur: Duration) {
+    if !enabled() {
+        return;
+    }
+    observe_span_metric(name, dur);
+    TRACES.with(|t| {
+        let mut t = t.borrow_mut();
+        if let Some(active) = t.last_mut() {
+            let end = active.epoch.elapsed();
+            let start = end.checked_sub(dur).unwrap_or(Duration::ZERO);
+            let rec = SpanRec {
+                trace: active.trace,
+                id: fresh_id(),
+                parent: active.parent,
+                name: name.to_owned(),
+                side: active.side,
+                start_ns: start.as_nanos().min(u64::MAX as u128) as u64,
+                dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+            };
+            active.spans.push(rec);
+        }
+    });
+}
+
+/// Self-timing RAII span: times from construction to drop and becomes the
+/// parent of spans recorded while it is live.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    id: u64,
+    /// Whether a collector was active at construction (and we became its
+    /// current parent).
+    active: bool,
+    prev_parent: u64,
+}
+
+/// Opens a self-timed span. Cheap no-op (one atomic load, one `Instant`)
+/// when telemetry is disabled or no trace is active.
+pub fn span(name: &'static str) -> SpanGuard {
+    let mut g = SpanGuard {
+        name,
+        start: Instant::now(),
+        id: 0,
+        active: false,
+        prev_parent: 0,
+    };
+    if enabled() {
+        TRACES.with(|t| {
+            if let Some(a) = t.borrow_mut().last_mut() {
+                g.id = fresh_id();
+                g.active = true;
+                g.prev_parent = a.parent;
+                a.parent = g.id;
+            }
+        });
+    }
+    g
+}
+
+impl SpanGuard {
+    /// Span id (0 when no trace was active), used to re-parent adopted
+    /// remote spans under this span.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        if !enabled() {
+            return;
+        }
+        observe_span_metric(self.name, dur);
+        if !self.active {
+            return;
+        }
+        TRACES.with(|t| {
+            let mut t = t.borrow_mut();
+            if let Some(a) = t.last_mut() {
+                a.parent = self.prev_parent;
+                let end = a.epoch.elapsed();
+                let start = end.checked_sub(dur).unwrap_or(Duration::ZERO);
+                let rec = SpanRec {
+                    trace: a.trace,
+                    id: self.id,
+                    parent: self.prev_parent,
+                    name: self.name.to_owned(),
+                    side: a.side,
+                    start_ns: start.as_nanos().min(u64::MAX as u128) as u64,
+                    dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+                };
+                a.spans.push(rec);
+            }
+        });
+    }
+}
+
+/// Merges spans returned by the peer into this thread's active trace,
+/// re-writing their trace id and hanging their roots (`parent == 0`) under
+/// `parent` — typically the roundtrip span. No-op when untraced.
+pub fn adopt_spans(spans: &[SpanRec], parent: u64) {
+    if spans.is_empty() {
+        return;
+    }
+    TRACES.with(|t| {
+        let mut t = t.borrow_mut();
+        if let Some(a) = t.last_mut() {
+            for s in spans {
+                let mut s = s.clone();
+                s.trace = a.trace;
+                if s.parent == 0 {
+                    s.parent = parent;
+                }
+                a.spans.push(s);
+            }
+        }
+    });
+}
+
+// -------------------------------------------------------------- exporters --
+
+fn trace_sink() -> &'static Mutex<Option<BufWriter<File>>> {
+    static SINK: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Opens (truncating) a JSON-lines trace sink; every finished trace's spans
+/// are appended one JSON object per line.
+pub fn set_trace_out(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *trace_sink().lock().expect("trace sink") = Some(BufWriter::new(file));
+    Ok(())
+}
+
+/// Flushes and closes the trace sink (mainly for tests).
+pub fn clear_trace_out() {
+    if let Some(mut w) = trace_sink().lock().expect("trace sink").take() {
+        let _ = w.flush();
+    }
+}
+
+/// True when a trace sink is open.
+pub fn trace_out_set() -> bool {
+    trace_sink().lock().expect("trace sink").is_some()
+}
+
+static TRACE_ALL: AtomicBool = AtomicBool::new(false);
+
+/// Forces per-query trace collection even without a sink — used by the
+/// overhead experiment (e17) to measure span machinery without file I/O.
+pub fn set_trace_all(on: bool) {
+    TRACE_ALL.store(on, Ordering::Relaxed);
+}
+
+/// Should a new query start a trace? Yes when telemetry is on and either a
+/// sink is open or tracing is forced.
+pub fn tracing_wanted() -> bool {
+    enabled() && (TRACE_ALL.load(Ordering::Relaxed) || trace_out_set())
+}
+
+/// Serializes one span as a JSON object. Span names are code-controlled
+/// identifiers (no quotes/backslashes), so no escaping is needed.
+pub fn span_json(s: &SpanRec) -> String {
+    format!(
+        "{{\"trace\":\"{:016x}\",\"id\":\"{:016x}\",\"parent\":\"{:016x}\",\
+         \"name\":\"{}\",\"side\":\"{}\",\"start_ns\":{},\"dur_ns\":{}}}",
+        s.trace,
+        s.id,
+        s.parent,
+        s.name,
+        s.side.as_str(),
+        s.start_ns,
+        s.dur_ns
+    )
+}
+
+/// Writes a finished trace's spans to the sink, one JSON line per span.
+/// Silently a no-op when no sink is open.
+pub fn write_trace(spans: &[SpanRec]) {
+    if spans.is_empty() {
+        return;
+    }
+    let mut guard = trace_sink().lock().expect("trace sink");
+    if let Some(w) = guard.as_mut() {
+        for s in spans {
+            let _ = writeln!(w, "{}", span_json(s));
+        }
+        let _ = w.flush();
+    }
+}
+
+// ----------------------------------------------------------------- logger --
+
+/// Log severity; `Off` silences everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Off = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+}
+
+impl Level {
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "off" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+pub fn set_log_level(level: Level) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+pub fn log_level() -> Level {
+    match LOG_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Operational logging goes to **stderr** so stdout stays machine-readable.
+pub fn log(level: Level, msg: &str) {
+    if level == Level::Off || (level as u8) > LOG_LEVEL.load(Ordering::Relaxed) {
+        return;
+    }
+    eprintln!("[exq:{}] {msg}", level.as_str());
+}
+
+// ------------------------------------------------------------- slow query --
+
+static SLOW_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Queries slower than this (client-observed total) are logged at `warn`
+/// and counted in `exq_slow_queries_total`. 0 disables.
+pub fn set_slow_ms(ms: u64) {
+    SLOW_NS.store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+}
+
+/// Per-query bookkeeping: bumps query counters and applies the slow-query
+/// threshold.
+pub fn note_query(desc: &str, total: Duration, served_from_cache: bool) {
+    counter("exq_queries_total").inc();
+    if served_from_cache {
+        counter("exq_queries_cached_total").inc();
+    }
+    let threshold = SLOW_NS.load(Ordering::Relaxed);
+    let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+    if threshold > 0 && total_ns >= threshold {
+        counter("exq_slow_queries_total").inc();
+        log(
+            Level::Warn,
+            &format!(
+                "slow query ({:.2} ms{}): {desc}",
+                total.as_secs_f64() * 1e3,
+                if served_from_cache { ", cached" } else { "" }
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(1), 3);
+        assert_eq!(bucket_upper(63), u64::MAX);
+        for n in [0u64, 1, 2, 3, 5, 1000, u64::MAX] {
+            assert!(n <= bucket_upper(bucket_index(n)));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_and_invariant() {
+        let h = Histogram::default();
+        for nanos in [10u64, 20, 30, 1_000, 2_000, 100_000, 1_000_000] {
+            h.observe(nanos);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+        assert_eq!(
+            h.sum_nanos(),
+            10 + 20 + 30 + 1_000 + 2_000 + 100_000 + 1_000_000
+        );
+        // p50 lands in the bucket holding the 4th observation (1000ns →
+        // bucket 9, upper bound 1023).
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(1023));
+        assert!(h.quantile(1.0) >= Duration::from_nanos(1_000_000));
+        assert_eq!(Histogram::default().quantile(0.9), Duration::ZERO);
+    }
+
+    #[test]
+    fn registry_render_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("zz_total").add(3);
+        r.gauge("aa_gauge").set(-7);
+        r.histogram("mm_hist").observe(100);
+        let text = r.render();
+        let aa = text.find("# TYPE aa_gauge gauge").expect("gauge line");
+        let mm = text.find("# TYPE mm_hist histogram").expect("hist line");
+        let zz = text.find("# TYPE zz_total counter").expect("counter line");
+        assert!(aa < mm && mm < zz, "names not sorted:\n{text}");
+        assert!(text.contains("zz_total 3"));
+        assert!(text.contains("aa_gauge -7"));
+        assert!(text.contains("mm_hist_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("mm_hist_count 1"));
+    }
+
+    #[test]
+    fn counter_handles_alias_one_metric() {
+        let r = Registry::new();
+        let a = r.counter("same");
+        let b = r.counter("same");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("same").get(), 3);
+    }
+
+    #[test]
+    fn trace_scope_collects_and_shields() {
+        let outer = begin_trace(42, Side::Client);
+        record_span("outer.work", Duration::from_millis(1));
+        {
+            // Simulates the in-process server dispatch on the same thread.
+            let inner = begin_trace(42, Side::Server);
+            record_span("inner.work", Duration::from_millis(2));
+            let spans = inner.finish();
+            assert_eq!(spans.len(), 1);
+            assert_eq!(spans[0].name, "inner.work");
+            assert_eq!(spans[0].side, Side::Server);
+            adopt_spans(&spans, 7);
+        }
+        let spans = outer.finish();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer.work");
+        assert_eq!(spans[1].name, "inner.work");
+        assert_eq!(spans[1].parent, 7, "adopted root re-parented");
+        assert_eq!(spans[1].trace, 42);
+        assert_eq!(current_trace(), 0);
+    }
+
+    #[test]
+    fn span_guard_nests_parents() {
+        let scope = begin_trace(9, Side::Client);
+        let parent_id;
+        {
+            let g = span("parent.phase");
+            parent_id = g.id();
+            record_span("child.phase", Duration::from_micros(5));
+        }
+        record_span("sibling.phase", Duration::from_micros(5));
+        let spans = scope.finish();
+        assert_eq!(spans.len(), 3);
+        let child = spans.iter().find(|s| s.name == "child.phase").unwrap();
+        assert_eq!(child.parent, parent_id);
+        let parent = spans.iter().find(|s| s.name == "parent.phase").unwrap();
+        assert_eq!(parent.parent, 0);
+        let sib = spans.iter().find(|s| s.name == "sibling.phase").unwrap();
+        assert_eq!(sib.parent, 0);
+    }
+
+    #[test]
+    fn untraced_thread_records_nothing() {
+        assert_eq!(current_trace(), 0);
+        record_span("floating.span", Duration::from_micros(1));
+        let g = span("floating.guard");
+        assert_eq!(g.id(), 0);
+        drop(g);
+        let inert = begin_trace(0, Side::Client);
+        assert!(!inert.is_active());
+        assert!(inert.finish().is_empty());
+    }
+
+    #[test]
+    fn level_parse_roundtrip() {
+        for l in [
+            Level::Off,
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+        ] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let s = SpanRec {
+            trace: 0xABC,
+            id: 1,
+            parent: 0,
+            name: "client.translate".into(),
+            side: Side::Client,
+            start_ns: 5,
+            dur_ns: 17,
+        };
+        let j = span_json(&s);
+        assert!(j.contains("\"trace\":\"0000000000000abc\""));
+        assert!(j.contains("\"name\":\"client.translate\""));
+        assert!(j.contains("\"side\":\"client\""));
+        assert!(j.contains("\"dur_ns\":17"));
+    }
+
+    #[test]
+    fn fresh_ids_distinct_and_nonzero() {
+        let a = new_trace_id();
+        let b = new_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+}

@@ -17,9 +17,13 @@
 //! errors never panic, and a connection that sends garbage framing is
 //! answered with an error frame and closed.
 
-use crate::codec::{CodecError, Message, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use crate::codec::{
+    trace_field_len, CodecError, Message, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+    TRACE_FIELD_LEN,
+};
 use crate::error::CoreError;
 use crate::server::Server;
+use crate::telemetry::{self, Counter};
 use crate::update::{DeleteOutcome, InsertDelta, InsertionSlot};
 use crate::wire::{ServerQuery, ServerResponse};
 use exq_crypto::SealedBlock;
@@ -27,9 +31,26 @@ use exq_index::dsi::Interval;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Registry handles for wire-traffic counters, resolved once — the
+/// steady-state cost per frame is three relaxed atomic adds.
+struct WireMetrics {
+    requests: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static METRICS: OnceLock<WireMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| WireMetrics {
+        requests: telemetry::counter("exq_wire_requests_total"),
+        bytes_sent: telemetry::counter("exq_wire_bytes_sent_total"),
+        bytes_received: telemetry::counter("exq_wire_bytes_received_total"),
+    })
+}
 
 /// Exact byte accounting for one transport: every frame that crossed the
 /// link (or would have, for [`InProcess`]), measured in encoded bytes.
@@ -65,18 +86,29 @@ pub trait Transport {
     /// Cumulative traffic over this transport.
     fn stats(&self) -> LinkStats;
 
-    /// Evaluate a translated query.
+    /// Evaluate a translated query. Under an active trace, the roundtrip is
+    /// a span and the server's returned spans are stitched in beneath it.
     fn send_query(&mut self, q: &ServerQuery) -> Result<ServerResponse, CoreError> {
+        let guard = telemetry::span("wire.roundtrip");
         match self.roundtrip(&Message::Query(q.clone()))? {
-            Message::Answer(r) => Ok(r),
+            Message::Answer(mut r) => {
+                let spans = std::mem::take(&mut r.spans);
+                telemetry::adopt_spans(&spans, guard.id());
+                Ok(r)
+            }
             other => Err(unexpected("Answer", other)),
         }
     }
 
     /// Ship the whole hosted database (naive baseline).
     fn send_naive(&mut self) -> Result<ServerResponse, CoreError> {
+        let guard = telemetry::span("wire.roundtrip");
         match self.roundtrip(&Message::NaiveQuery)? {
-            Message::Answer(r) => Ok(r),
+            Message::Answer(mut r) => {
+                let spans = std::mem::take(&mut r.spans);
+                telemetry::adopt_spans(&spans, guard.id());
+                Ok(r)
+            }
             other => Err(unexpected("Answer", other)),
         }
     }
@@ -144,6 +176,14 @@ pub trait Transport {
             other => Err(unexpected("CacheStats", other)),
         }
     }
+
+    /// The server's metrics registry as Prometheus-style text.
+    fn metrics_text(&mut self) -> Result<String, CoreError> {
+        match self.roundtrip(&Message::MetricsReq)? {
+            Message::MetricsText(text) => Ok(text),
+            other => Err(unexpected("MetricsText", other)),
+        }
+    }
 }
 
 /// Error frames become their carried error; everything else is a protocol
@@ -173,6 +213,7 @@ pub fn answer_request(server: &Server, req: &Message) -> Result<Message, CoreErr
         Message::Locate(q) => Ok(Message::Intervals(server.locate(q))),
         Message::InsertionSlotReq(iv) => server.insertion_slot(*iv).map(Message::Slot),
         Message::CacheStatsReq => Ok(Message::CacheStats(server.cache_stats())),
+        Message::MetricsReq => Ok(Message::MetricsText(telemetry::render())),
         Message::ApplyInsert(_) | Message::DeleteWhere(_) => Err(CoreError::Transport(
             "mutating request on a read-only server handle".into(),
         )),
@@ -190,6 +231,24 @@ pub fn apply_request(server: &mut Server, req: &Message) -> Result<Message, Core
         Message::DeleteWhere(q) => Ok(Message::Deleted(server.delete_where(q))),
         other => answer_request(server, other),
     }
+}
+
+/// Runs a dispatch closure under a server-side trace scope for `trace`
+/// (0 = untraced, inert scope); spans collected during dispatch ride back
+/// on `Answer` responses so the client can stitch them into its tree.
+/// Errors become error frames here so span collection can't be skipped.
+fn dispatch_traced(trace: u64, dispatch: impl FnOnce() -> Result<Message, CoreError>) -> Message {
+    let scope = telemetry::begin_trace(trace, telemetry::Side::Server);
+    let result = dispatch();
+    let spans = scope.finish();
+    let mut reply = match result {
+        Ok(msg) => msg,
+        Err(e) => Message::Error(WireError::from_core(&e)),
+    };
+    if let Message::Answer(resp) = &mut reply {
+        resp.spans = spans;
+    }
+    reply
 }
 
 // -------------------------------------------------------------- in-process --
@@ -229,22 +288,26 @@ impl<'a> InProcess<'a> {
 
 impl Transport for InProcess<'_> {
     fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError> {
-        let frame = req.encode_frame();
+        let frame = req.encode_frame_traced(telemetry::current_trace());
         self.stats.requests += 1;
         self.stats.bytes_sent += frame.len() as u64;
         // Decode our own frame: the server must only ever see what survives
         // the codec, exactly as over a socket.
-        let decoded = Message::decode_frame(&frame)?;
-        let result = match &mut self.server {
+        let (decoded, trace, version) = Message::decode_frame_full(&frame)?;
+        // `dispatch_traced` pushes a *fresh* collector: the server runs on
+        // the client's thread here, and the shield keeps server spans out
+        // of the client's collector (they arrive via the response instead,
+        // exactly as over TCP).
+        let resp = dispatch_traced(trace, || match &mut self.server {
             ServerHandle::Shared(s) => answer_request(s, &decoded),
             ServerHandle::Exclusive(s) => apply_request(s, &decoded),
-        };
-        let resp = match result {
-            Ok(msg) => msg,
-            Err(e) => Message::Error(WireError::from_core(&e)),
-        };
-        let resp_frame = resp.encode_frame();
+        });
+        let resp_frame = resp.encode_frame_v(version, 0);
         self.stats.bytes_received += resp_frame.len() as u64;
+        let m = wire_metrics();
+        m.requests.inc();
+        m.bytes_sent.add(frame.len() as u64);
+        m.bytes_received.add(resp_frame.len() as u64);
         Ok(Message::decode_frame(&resp_frame)?)
     }
 
@@ -343,7 +406,7 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError> {
-        let frame = req.encode_frame();
+        let frame = req.encode_frame_traced(telemetry::current_trace());
         self.stream
             .write_all(&frame)
             .and_then(|_| self.stream.flush())
@@ -356,12 +419,16 @@ impl Transport for TcpTransport {
             .read_exact(&mut resp_frame)
             .map_err(|e| CoreError::Transport(format!("receive from {} failed: {e}", self.peer)))?;
         let header: [u8; FRAME_HEADER_LEN] = resp_frame[..].try_into().expect("sized vec");
-        let (_, payload_len) = Message::parse_header(&header)?;
-        resp_frame.resize(FRAME_HEADER_LEN + payload_len, 0);
+        let (version, _, payload_len) = Message::parse_header(&header)?;
+        resp_frame.resize(FRAME_HEADER_LEN + trace_field_len(version) + payload_len, 0);
         self.stream
             .read_exact(&mut resp_frame[FRAME_HEADER_LEN..])
             .map_err(|e| CoreError::Transport(format!("receive from {} failed: {e}", self.peer)))?;
         self.stats.bytes_received += resp_frame.len() as u64;
+        let m = wire_metrics();
+        m.requests.inc();
+        m.bytes_sent.add(frame.len() as u64);
+        m.bytes_received.add(resp_frame.len() as u64);
         // Sanity note: config retained for future reconnect support.
         let _ = &self.config;
         Ok(Message::decode_frame(&resp_frame)?)
@@ -552,15 +619,17 @@ fn handle_connection(
             ReadOutcome::Ok => {}
             ReadOutcome::Closed | ReadOutcome::Stopped => return,
         }
-        let (_, payload_len) = match Message::parse_header(&header) {
+        let (version, _, payload_len) = match Message::parse_header(&header) {
             Ok(v) => v,
             Err(e) => {
                 // Framing is unrecoverable: answer once and drop the link.
-                send_error(&mut stream, &e);
+                // The legacy frame version is understood by every peer.
+                send_error(&mut stream, &e, crate::codec::LEGACY_PROTOCOL_VERSION);
                 return;
             }
         };
-        let mut frame = vec![0u8; FRAME_HEADER_LEN + payload_len];
+        // v2 frames carry the trace-id field between header and payload.
+        let mut frame = vec![0u8; FRAME_HEADER_LEN + trace_field_len(version) + payload_len];
         frame[..FRAME_HEADER_LEN].copy_from_slice(&header);
         // The payload read is mid-frame from its first moment: the header
         // already arrived, so the full-frame budget is already running.
@@ -574,13 +643,13 @@ fn handle_connection(
             ReadOutcome::Ok => {}
             ReadOutcome::Closed | ReadOutcome::Stopped => return,
         }
-        let reply = match Message::decode_frame(&frame) {
+        let reply = match Message::decode_frame_full(&frame) {
             Err(e) => {
-                send_error(&mut stream, &e);
+                send_error(&mut stream, &e, version);
                 return;
             }
-            Ok(req) => {
-                let result = if req.is_mutation() {
+            Ok((req, trace, _)) => dispatch_traced(trace, || {
+                if req.is_mutation() {
                     match server.write() {
                         Ok(mut guard) => apply_request(&mut guard, &req),
                         Err(poisoned) => apply_request(&mut poisoned.into_inner(), &req),
@@ -590,15 +659,13 @@ fn handle_connection(
                         Ok(guard) => answer_request(&guard, &req),
                         Err(poisoned) => answer_request(&poisoned.into_inner(), &req),
                     }
-                };
-                match result {
-                    Ok(msg) => msg,
-                    Err(e) => Message::Error(WireError::from_core(&e)),
                 }
-            }
+            }),
         };
-        let frame = reply.encode_frame();
-        debug_assert!(frame.len() <= FRAME_HEADER_LEN + MAX_FRAME_LEN);
+        // Reply in the request's protocol version so legacy peers can
+        // decode the response.
+        let frame = reply.encode_frame_v(version, 0);
+        debug_assert!(frame.len() <= FRAME_HEADER_LEN + TRACE_FIELD_LEN + MAX_FRAME_LEN);
         if stream
             .write_all(&frame)
             .and_then(|_| stream.flush())
@@ -668,9 +735,9 @@ fn read_exact_or_stop(
     ReadOutcome::Ok
 }
 
-fn send_error(stream: &mut TcpStream, err: &CodecError) {
+fn send_error(stream: &mut TcpStream, err: &CodecError, version: u8) {
     let core: CoreError = err.clone().into();
-    let frame = Message::Error(WireError::from_core(&core)).encode_frame();
+    let frame = Message::Error(WireError::from_core(&core)).encode_frame_v(version, 0);
     let _ = stream.write_all(&frame).and_then(|_| stream.flush());
 }
 
@@ -732,8 +799,9 @@ mod tests {
         );
         assert_eq!(
             stats.bytes_received as usize,
-            FRAME_HEADER_LEN + resp.encoded_len()
+            FRAME_HEADER_LEN + TRACE_FIELD_LEN + resp.encoded_len()
         );
+        assert_eq!(stats.bytes_received as usize, resp.payload_bytes());
     }
 
     #[test]

@@ -57,11 +57,11 @@ pub struct ServerQuery {
 
 impl ServerQuery {
     /// Exact wire size in bytes: the length of the encoded `Query` frame
-    /// this query travels in (header included). A `Query` frame's payload
-    /// is exactly the query's own encoding.
+    /// this query travels in (header and trace field included). A `Query`
+    /// frame's payload is exactly the query's own encoding.
     pub fn wire_size(&self) -> usize {
         use crate::codec::WireCodec;
-        crate::codec::FRAME_HEADER_LEN + self.encoded_len()
+        crate::codec::FRAME_HEADER_LEN + crate::codec::TRACE_FIELD_LEN + self.encoded_len()
     }
 }
 
@@ -81,16 +81,25 @@ pub struct ServerResponse {
     /// translation time on server".
     pub translate_time: Duration,
     /// Time the server spent on structural joins, B-tree lookups, and
-    /// response assembly.
+    /// response assembly. On a response-cache hit this is the (real,
+    /// nonzero) time spent probing the cache and assembling the reply.
     pub process_time: Duration,
+    /// True when this response was served from the server's response cache
+    /// rather than recomputed — lets benchmarks and logs tell hits from
+    /// misses instead of inferring them from suspiciously small timings.
+    pub served_from_cache: bool,
+    /// Server-side telemetry spans for this query, populated only when the
+    /// request carried a trace id. The client re-parents these under its
+    /// roundtrip span to stitch one client+server trace tree.
+    pub spans: Vec<crate::telemetry::SpanRec>,
 }
 
 impl ServerResponse {
     /// Exact bytes shipped back to the client: the encoded `Answer` frame
-    /// length (header included).
+    /// length (header and trace field included).
     pub fn payload_bytes(&self) -> usize {
         use crate::codec::WireCodec;
-        crate::codec::FRAME_HEADER_LEN + self.encoded_len()
+        crate::codec::FRAME_HEADER_LEN + crate::codec::TRACE_FIELD_LEN + self.encoded_len()
     }
 }
 
@@ -232,6 +241,8 @@ mod tests {
             blocks: vec![],
             translate_time: Duration::ZERO,
             process_time: Duration::ZERO,
+            served_from_cache: false,
+            spans: vec![],
         };
         // payload_bytes == the frame this response actually travels in.
         assert_eq!(

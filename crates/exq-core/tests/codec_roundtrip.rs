@@ -2,7 +2,11 @@
 //! encode/decode round trip bit-exactly, and corrupted frames fail with an
 //! error — never a panic, never a bogus decode that re-encodes differently.
 
-use exq_core::codec::{CodecError, Message, WireCodec, WireError, FRAME_HEADER_LEN};
+use exq_core::codec::{
+    CodecError, Message, WireCodec, WireError, FRAME_HEADER_LEN, LEGACY_PROTOCOL_VERSION,
+    PROTOCOL_VERSION, TRACE_FIELD_LEN,
+};
+use exq_core::telemetry::{Side, SpanRec};
 use exq_core::update::{DeleteOutcome, InsertDelta, InsertionSlot};
 use exq_core::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
 use exq_crypto::{SealedBlock, ValueRange};
@@ -111,19 +115,48 @@ fn arb_block() -> impl Strategy<Value = SealedBlock> {
         })
 }
 
+fn arb_span() -> impl Strategy<Value = SpanRec> {
+    (
+        (1u64..u64::MAX, 1u64..u64::MAX, any::<u64>()),
+        (
+            "[a-z][a-z._]{0,20}",
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |((trace, id, parent), (name, server, start_ns, dur_ns))| SpanRec {
+                trace,
+                id,
+                parent,
+                name,
+                side: if server { Side::Server } else { Side::Client },
+                start_ns,
+                dur_ns,
+            },
+        )
+}
+
 fn arb_response() -> impl Strategy<Value = ServerResponse> {
     (
         "[ -~]{0,200}",
         proptest::collection::vec(arb_block(), 0..4),
         any::<u32>(),
         any::<u32>(),
+        any::<bool>(),
+        proptest::collection::vec(arb_span(), 0..4),
     )
-        .prop_map(|(pruned_xml, blocks, t1, t2)| ServerResponse {
-            pruned_xml,
-            blocks: blocks.into_iter().map(std::sync::Arc::new).collect(),
-            translate_time: Duration::from_nanos(t1 as u64),
-            process_time: Duration::from_nanos(t2 as u64),
-        })
+        .prop_map(
+            |(pruned_xml, blocks, t1, t2, served_from_cache, spans)| ServerResponse {
+                pruned_xml,
+                blocks: blocks.into_iter().map(std::sync::Arc::new).collect(),
+                translate_time: Duration::from_nanos(t1 as u64),
+                process_time: Duration::from_nanos(t2 as u64),
+                served_from_cache,
+                spans,
+            },
+        )
 }
 
 fn arb_delta() -> impl Strategy<Value = InsertDelta> {
@@ -259,11 +292,79 @@ proptest! {
     ) {
         let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
         frame.extend_from_slice(b"EQ");
-        frame.push(1); // protocol version
+        frame.push(1); // legacy protocol version: no trace field
         frame.push(msg_type);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&payload);
         let _ = Message::decode_frame(&frame);
+    }
+
+    /// Same for v2 headers, whose payload is preceded by the trace field.
+    #[test]
+    fn framed_garbage_v2_never_panics(
+        msg_type in any::<u8>(),
+        trace in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + TRACE_FIELD_LEN + payload.len());
+        frame.extend_from_slice(b"EQ");
+        frame.push(PROTOCOL_VERSION);
+        frame.push(msg_type);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&trace.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let _ = Message::decode_frame(&frame);
+    }
+
+    /// Any trace id — including 0 — survives the frame header on any
+    /// message, and the payload decodes identically to an untraced frame.
+    #[test]
+    fn trace_id_propagates_on_any_message(msg in arb_message(), trace in any::<u64>()) {
+        let frame = msg.encode_frame_traced(trace);
+        prop_assert_eq!(frame.len(), msg.frame_len());
+        let (back, got_trace, version) =
+            Message::decode_frame_full(&frame).expect("decode traced frame");
+        prop_assert_eq!(got_trace, trace);
+        prop_assert_eq!(version, PROTOCOL_VERSION);
+        // Compare re-encodings: WireError codes canonicalize on decode.
+        prop_assert_eq!(back.encode_frame_traced(trace), frame);
+    }
+
+    /// A v1 peer's frames (no trace field) still decode, report trace 0,
+    /// and re-encode byte-identically as v1 — the compat contract.
+    #[test]
+    fn v1_frames_still_served(msg in arb_message()) {
+        let frame = msg.encode_frame_v(LEGACY_PROTOCOL_VERSION, 0);
+        // Answer payloads shrink in v1 (telemetry fields dropped), so the
+        // exact-length check only applies to the other message kinds.
+        if !matches!(msg, Message::Answer(_)) {
+            prop_assert_eq!(frame.len(), msg.frame_len() - TRACE_FIELD_LEN);
+        }
+        let (back, trace, version) =
+            Message::decode_frame_full(&frame).expect("decode v1 frame");
+        prop_assert_eq!(trace, 0, "v1 frames carry no trace id");
+        prop_assert_eq!(version, LEGACY_PROTOCOL_VERSION);
+        prop_assert_eq!(back.encode_frame_v(LEGACY_PROTOCOL_VERSION, 0), frame);
+    }
+
+    /// Single-byte corruption of a traced frame — including within the
+    /// trace field itself — never panics the decoder.
+    #[test]
+    fn traced_corruption_never_panics(
+        msg in arb_message(),
+        trace in any::<u64>(),
+        pos in any::<u32>(),
+        xor in 1u8..=255,
+    ) {
+        let mut frame = msg.encode_frame_traced(trace);
+        let idx = pos as usize % frame.len();
+        frame[idx] ^= xor;
+        match Message::decode_frame(&frame) {
+            Err(_) => {}
+            Ok(m) => {
+                let _ = m.encode_frame();
+            }
+        }
     }
 }
 
@@ -271,11 +372,13 @@ proptest! {
 /// `Interval` code can rely on it even on attacker-supplied frames.
 #[test]
 fn decoded_intervals_uphold_invariant() {
-    // frame = header + varint(lo) + varint(hi); with lo=3, hi=9 both varints
-    // are single bytes, so swapping them fabricates the inverted interval
-    // (9, 3) that the constructor itself would refuse to build.
+    // frame = header + trace field + varint(lo) + varint(hi); with lo=3,
+    // hi=9 both varints are single bytes, so swapping them fabricates the
+    // inverted interval (9, 3) that the constructor itself would refuse to
+    // build.
     let mut frame = Message::InsertionSlotReq(exq_index::dsi::Interval::new(3, 9)).encode_frame();
-    frame.swap(FRAME_HEADER_LEN, FRAME_HEADER_LEN + 1);
+    let payload = FRAME_HEADER_LEN + TRACE_FIELD_LEN;
+    frame.swap(payload, payload + 1);
     match Message::decode_frame(&frame) {
         Err(e) => assert!(matches!(e, CodecError::Invalid(_)), "got {e:?}"),
         Ok(m) => panic!("inverted interval decoded: {m:?}"),

@@ -47,6 +47,8 @@ fn root_level_block_splices_into_empty_pruned_doc() {
         blocks: vec![std::sync::Arc::new(sealed)],
         translate_time: Duration::ZERO,
         process_time: Duration::ZERO,
+        served_from_cache: false,
+        spans: Vec::new(),
     };
 
     let post = client
@@ -76,6 +78,8 @@ fn multiple_root_blocks_splice_in_id_order() {
         blocks: vec![std::sync::Arc::new(b9), std::sync::Arc::new(b3)],
         translate_time: Duration::ZERO,
         process_time: Duration::ZERO,
+        served_from_cache: false,
+        spans: Vec::new(),
     };
 
     let post = client
@@ -98,6 +102,8 @@ fn truly_empty_response_yields_no_results() {
         blocks: Vec::new(),
         translate_time: Duration::ZERO,
         process_time: Duration::ZERO,
+        served_from_cache: false,
+        spans: Vec::new(),
     };
     let post = client
         .post_process(&Path::parse("//pname").unwrap(), &resp)

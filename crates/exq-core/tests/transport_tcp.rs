@@ -172,7 +172,7 @@ fn garbage_framing_gets_error_frame_then_close() {
     raw.flush().unwrap();
     let mut header = [0u8; FRAME_HEADER_LEN];
     raw.read_exact(&mut header).unwrap();
-    let (msg_type, payload_len) = Message::parse_header(&header).unwrap();
+    let (_, msg_type, payload_len) = Message::parse_header(&header).unwrap();
     assert_eq!(msg_type, 0xFF, "expected an error frame");
     let mut payload = vec![0u8; payload_len];
     raw.read_exact(&mut payload).unwrap();
@@ -209,7 +209,7 @@ fn oversized_length_prefix_is_rejected_not_allocated() {
 
     let mut header = [0u8; FRAME_HEADER_LEN];
     raw.read_exact(&mut header).unwrap();
-    let (msg_type, _) = Message::parse_header(&header).unwrap();
+    let (_, msg_type, _) = Message::parse_header(&header).unwrap();
     assert_eq!(msg_type, 0xFF, "oversize must be answered with an error");
     handle.shutdown();
 }
@@ -220,15 +220,51 @@ fn start_with(server: Server, config: ServeConfig) -> ServeHandle {
     serve(listener, shared, config).unwrap()
 }
 
-/// Reads one full response frame (header + payload) off a raw stream.
+/// Reads one full response frame (header + optional trace field + payload)
+/// off a raw stream, handling both protocol versions.
 fn read_frame(raw: &mut TcpStream) -> Message {
     let mut header = [0u8; FRAME_HEADER_LEN];
     raw.read_exact(&mut header).unwrap();
-    let (_, payload_len) = Message::parse_header(&header).unwrap();
+    let (version, _, payload_len) = Message::parse_header(&header).unwrap();
     let mut frame = header.to_vec();
-    frame.resize(FRAME_HEADER_LEN + payload_len, 0);
+    frame.resize(
+        FRAME_HEADER_LEN + exq_core::codec::trace_field_len(version) + payload_len,
+        0,
+    );
     raw.read_exact(&mut frame[FRAME_HEADER_LEN..]).unwrap();
     Message::decode_frame(&frame).unwrap()
+}
+
+/// A legacy v1 peer — no trace field in its frames — must still be served,
+/// and the reply must come back in v1 framing (no trace field, legacy
+/// Answer payload) so the old decoder can read it.
+#[test]
+fn legacy_v1_peer_is_still_served() {
+    use exq_core::codec::LEGACY_PROTOCOL_VERSION;
+    let (_, server) = hosted();
+    let (handle, _shared) = start(server);
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+
+    let frame = Message::NaiveQuery.encode_frame_v(LEGACY_PROTOCOL_VERSION, 0);
+    raw.write_all(&frame).unwrap();
+    raw.flush().unwrap();
+
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    raw.read_exact(&mut header).unwrap();
+    let (version, msg_type, payload_len) = Message::parse_header(&header).unwrap();
+    assert_eq!(version, LEGACY_PROTOCOL_VERSION, "reply must echo v1");
+    assert_eq!(msg_type, 0x81, "expected an Answer frame");
+    let mut reply = header.to_vec();
+    reply.resize(FRAME_HEADER_LEN + payload_len, 0);
+    raw.read_exact(&mut reply[FRAME_HEADER_LEN..]).unwrap();
+    match Message::decode_frame(&reply).unwrap() {
+        Message::Answer(resp) => {
+            assert!(!resp.pruned_xml.is_empty() || !resp.blocks.is_empty());
+            assert!(resp.spans.is_empty(), "v1 answers carry no spans");
+        }
+        other => panic!("expected Answer, got {other:?}"),
+    }
+    handle.shutdown();
 }
 
 #[test]

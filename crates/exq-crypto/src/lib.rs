@@ -12,7 +12,7 @@
 //!   a keyed PRF realizes the same functional contract collision-free);
 //! * [`ope`] — a lazy-sampled strictly-monotone order-preserving encryption
 //!   function `u64 → u128` (the paper assumes an OPE function à la
-//!   Agrawal et al. [3]);
+//!   Agrawal et al. \[3\]);
 //! * [`opess`] — Order-Preserving Encryption with Splitting and Scaling
 //!   (§5.2): frequency-flattening value transformation for the B-tree index;
 //! * [`block`] — authenticated sealing of serialized subtree blocks;

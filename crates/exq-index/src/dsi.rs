@@ -19,7 +19,7 @@
 //!   per-child random weights `w¹, w² ∈ (0, 0.5)`; used for demonstrations
 //!   and for cross-checking the integer labeling on small documents.
 //! * [`DsiLabeling::assign_continuous`] — the classic gap-free interval
-//!   labeling (Al-Khalifa et al. [4]) used by the ablation experiment to
+//!   labeling (Al-Khalifa et al. \[4\]) used by the ablation experiment to
 //!   show the information leak the paper describes.
 
 use exq_xml::{Document, NodeId};

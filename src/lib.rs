@@ -14,7 +14,7 @@
 //!    [`exq_core::cover`]), the sensitive subtrees are encrypted as blocks
 //!    with decoys, and server-side metadata is built: the
 //!    [DSI structural index](exq_index::dsi) and the
-//!    [OPESS value index](exq_core::opess).
+//!    [OPESS value index](exq_crypto::opess).
 //! 3. Queries are [translated by the client](exq_core::client), evaluated on
 //!    the server with [structural joins](exq_index::sjoin) and B-tree range
 //!    scans, and the returned blocks are decrypted and post-processed by the
