@@ -18,7 +18,7 @@
 //! Each configuration replays the identical schedule `ROUNDS` times over a
 //! pre-warmed response cache, with measurements paired per query draw and
 //! per-(configuration, draw) minima summed into the replay time (see
-//! [`measure`] — whole-replay timing cannot resolve a sub-percent effect
+//! `measure` — whole-replay timing cannot resolve a sub-percent effect
 //! on a machine with load waves). Answers are asserted byte-identical
 //! across configurations: telemetry must be invisible in every output
 //! bit. Results land in `BENCH_e17_telemetry.json`; the PR's acceptance

@@ -17,6 +17,7 @@ pub mod e14_concurrency;
 pub mod e15_parallel;
 pub mod e16_cache;
 pub mod e17_telemetry;
+pub mod e18_faults;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -113,6 +114,11 @@ pub fn registry() -> Vec<Experiment> {
             "e17",
             "extension: telemetry overhead — traced vs untraced hot-query replay",
             e17_telemetry::run,
+        ),
+        (
+            "e18",
+            "extension: fault tolerance — goodput and latency under injected faults",
+            e18_faults::run,
         ),
     ]
 }

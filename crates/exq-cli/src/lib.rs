@@ -5,6 +5,7 @@
 
 use exq_core::aggregate::Aggregate;
 use exq_core::constraints::SecurityConstraint;
+use exq_core::retry::{Retry, RetryConfig};
 use exq_core::scheme::SchemeKind;
 use exq_core::system::{OutsourceConfig, Outsourcer};
 use exq_core::telemetry;
@@ -184,15 +185,48 @@ pub fn cmd_query(
 }
 
 /// `exq query --addr`: same pipeline, but the server is a network peer.
+/// With `retries > 0` the link is wrapped in the retry layer: transient
+/// failures reconnect and replay (mutation-safe via request ids) up to
+/// `retries` extra attempts.
 pub fn cmd_query_remote(
     addr: &str,
     client_path: &Path,
     query: &str,
     threads: usize,
+    retries: u32,
 ) -> Result<String, CliError> {
     let client = Client::load(client_path)?.with_threads(threads);
-    let mut link = TcpTransport::connect_default(addr)?;
+    let tcp = TcpTransport::connect_default(addr)?;
+    if retries == 0 {
+        let mut link = tcp;
+        return query_over(&client, &mut link, query, false);
+    }
+    let mut link = Retry::new(
+        tcp,
+        RetryConfig {
+            max_attempts: retries.saturating_add(1),
+            ping_before_retry: true,
+            ..RetryConfig::default()
+        },
+    );
     query_over(&client, &mut link, query, false)
+}
+
+/// `exq ping --addr`: measure liveness round-trip times against a running
+/// server. Distinguishes a dead server (connect/ping error) from a slow one
+/// (answers, with latency printed).
+pub fn cmd_ping(addr: &str, count: u32) -> Result<String, CliError> {
+    let mut link = TcpTransport::connect_default(addr)?;
+    let mut report = String::new();
+    let mut total = std::time::Duration::ZERO;
+    let n = count.max(1);
+    for i in 0..n {
+        let rtt = link.ping()?;
+        total += rtt;
+        let _ = writeln!(report, "pong from {addr}: seq={i} time={rtt:.2?}");
+    }
+    let _ = writeln!(report, "-- {n} ping(s), avg {:.2?}", total / n);
+    Ok(report)
 }
 
 fn query_over(
@@ -262,6 +296,8 @@ pub fn cmd_serve(
     workers: usize,
     threads: usize,
     cache_entries: Option<usize>,
+    max_inflight: usize,
+    deadline_ms: u64,
 ) -> Result<(ServeHandle, String), CliError> {
     let server = Server::load(server_path)?;
     let blocks = server.block_count();
@@ -274,6 +310,8 @@ pub fn cmd_serve(
             workers,
             threads,
             cache_entries,
+            max_inflight,
+            deadline: std::time::Duration::from_millis(deadline_ms),
             ..ServeConfig::default()
         },
     )?;
@@ -284,9 +322,15 @@ pub fn cmd_serve(
     } else {
         format!("cache {cache} entries")
     };
+    let load_desc = match (max_inflight, deadline_ms) {
+        (0, 0) => String::new(),
+        (m, 0) => format!(", max {m} in flight"),
+        (0, d) => format!(", {d}ms deadline"),
+        (m, d) => format!(", max {m} in flight, {d}ms deadline"),
+    };
     let banner = format!(
         "serving {} ({bytes} hosted bytes, {blocks} blocks) on {} with {workers} worker(s), \
-         {per_query} intra-query thread(s), {cache_desc}\n",
+         {per_query} intra-query thread(s), {cache_desc}{load_desc}\n",
         server_path.display(),
         handle.addr()
     );
@@ -496,9 +540,13 @@ USAGE:
                 --server server.exq --client client.exq
   exq query     --server server.exq --client client.exq [--naive] [--threads N]
                 [--cache-entries N] 'XPATH'
-  exq query     --addr HOST:PORT --client client.exq [--threads N] 'XPATH'
+  exq query     --addr HOST:PORT --client client.exq [--threads N] [--retries N]
+                'XPATH'             (--retries: reconnect+replay budget, default 3)
   exq serve     --server server.exq --addr HOST:PORT [--workers N] [--threads N]
                 [--cache-entries N]   (0 disables the server caches)
+                [--max-inflight N]    (shed Busy beyond N concurrent requests; 0=off)
+                [--deadline-ms N]     (per-request lock deadline; 0=off)
+  exq ping      --addr HOST:PORT [--count N]   (liveness probe round-trips)
   exq aggregate --server server.exq --client client.exq --fn min|max|count 'PATH'
   exq insert    --server server.exq --client client.exq --parent 'QUERY'
                 --record rec.xml [--seed N]

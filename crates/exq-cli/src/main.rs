@@ -114,7 +114,16 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .first()
                 .ok_or_else(|| CliError::Usage("missing query".into()))?;
             match flags.get("addr") {
-                Some(addr) => cmd_query_remote(addr, &path("client")?, q, threads),
+                Some(addr) => {
+                    // Default retry budget of 3 extra attempts; 0 disables.
+                    let retries = flags
+                        .get("retries")
+                        .map(|s| s.parse::<u32>())
+                        .transpose()
+                        .map_err(|_| CliError::Usage("--retries must be an integer".into()))?
+                        .unwrap_or(3);
+                    cmd_query_remote(addr, &path("client")?, q, threads, retries)
+                }
                 None => cmd_query(
                     &path("server")?,
                     &path("client")?,
@@ -125,6 +134,15 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 ),
             }
         }
+        "ping" => {
+            let count = flags
+                .get("count")
+                .map(|s| s.parse::<u32>())
+                .transpose()
+                .map_err(|_| CliError::Usage("--count must be an integer".into()))?
+                .unwrap_or(4);
+            cmd_ping(&string("addr")?, count)
+        }
         "serve" => {
             let workers = flags
                 .get("workers")
@@ -132,12 +150,26 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .transpose()
                 .map_err(|_| CliError::Usage("--workers must be an integer".into()))?
                 .unwrap_or(4);
+            let max_inflight = flags
+                .get("max-inflight")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|_| CliError::Usage("--max-inflight must be an integer".into()))?
+                .unwrap_or(0);
+            let deadline_ms = flags
+                .get("deadline-ms")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|_| CliError::Usage("--deadline-ms must be an integer".into()))?
+                .unwrap_or(0);
             let (handle, banner) = cmd_serve(
                 &path("server")?,
                 &string("addr")?,
                 workers,
                 threads,
                 cache_entries,
+                max_inflight,
+                deadline_ms,
             )?;
             print!("{banner}");
             // Serve until killed; the handle's threads do all the work.

@@ -209,11 +209,11 @@ fn binary_smoke() {
 fn serve_then_stats_scrapes_live_metrics() {
     let dir = TempDir::new("stats-live");
     let (server, client) = setup(&dir);
-    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64)).unwrap();
+    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0).unwrap();
     let addr = handle.addr().to_string();
 
     // Drive one query so the counters move, then scrape the registry.
-    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1).unwrap();
+    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1).unwrap();
     assert!(out.contains("Betty"));
     let text = cmd_stats_remote(&addr).unwrap();
     assert!(
@@ -286,12 +286,12 @@ fn serve_and_query_remote() {
     let (server, client) = setup(&dir);
 
     // Bind on an ephemeral port, then query it over the wire.
-    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 2, Some(64)).unwrap();
+    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 2, Some(64), 0, 0).unwrap();
     assert!(banner.contains("serving"), "banner: {banner}");
     assert!(banner.contains("cache 64 entries"), "banner: {banner}");
     let addr = handle.addr().to_string();
 
-    let remote = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2).unwrap();
+    let remote = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2, 1).unwrap();
     assert!(remote.contains("763895"), "remote output: {remote}");
     // Local and remote answer lines agree (the byte counter line matches
     // too, since both links count the same frames).
@@ -307,7 +307,7 @@ fn serve_and_query_remote() {
     assert_eq!(remote, local);
 
     // A repeat of the same remote query hits the server response cache.
-    let again = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2).unwrap();
+    let again = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2, 1).unwrap();
     assert_eq!(again, remote);
     let stats = handle.cache_stats();
     assert!(stats.response_hits >= 1, "stats: {stats:?}");
@@ -315,5 +315,18 @@ fn serve_and_query_remote() {
 
     handle.shutdown();
     // Server gone: the connect retries, then errors instead of hanging.
-    assert!(cmd_query_remote(&addr, &client, "//patient", 1).is_err());
+    assert!(cmd_query_remote(&addr, &client, "//patient", 1, 0).is_err());
+}
+
+#[test]
+fn ping_measures_live_server_and_fails_on_dead_one() {
+    let dir = TempDir::new("ping");
+    let (server, _client) = setup(&dir);
+    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 1, 1, Some(0), 0, 0).unwrap();
+    let addr = handle.addr().to_string();
+    let out = cmd_ping(&addr, 3).unwrap();
+    assert!(out.contains("seq=2"), "ping output: {out}");
+    assert!(out.contains("3 ping(s)"), "ping output: {out}");
+    handle.shutdown();
+    assert!(cmd_ping(&addr, 1).is_err(), "dead server must fail ping");
 }

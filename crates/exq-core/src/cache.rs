@@ -226,6 +226,18 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
         }
     }
 
+    /// Whether `key` is present under the current generation, without
+    /// promoting the entry in LRU order or touching hit/miss counters.
+    /// Used by the serve loop's admission control, where a probe must not
+    /// distort the cache statistics of the query it is deciding about.
+    pub fn peek(&self, key: &K, generation: u64) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        matches!(shard.map.get(key), Some(e) if e.generation == generation)
+    }
+
     /// Inserts a value tagged with `generation`, evicting the
     /// least-recently-used entry of the target shard when full.
     pub fn insert(&self, key: K, value: V, generation: u64) {

@@ -6,18 +6,23 @@
 //! Every message travels as one **frame**:
 //!
 //! ```text
-//! +-------+-------+---------+----------+----------+------------------+
-//! | magic | ver   | msgtype | paylen   | trace    | payload          |
-//! | "EQ"  | u8    | u8      | u32 LE   | u64 LE   | paylen bytes     |
-//! +-------+-------+---------+----------+----------+------------------+
+//! +-------+-----+---------+--------+--------+--------+--------+---------+
+//! | magic | ver | msgtype | paylen | trace  | req id | crc32  | payload |
+//! | "EQ"  | u8  | u8      | u32 LE | u64 LE | u64 LE | u32 LE | paylen  |
+//! +-------+-----+---------+--------+--------+--------+--------+---------+
 //! ```
 //!
 //! The `trace` field is new in protocol version 2: a query-scoped trace id
 //! (0 = untraced) that stitches client- and server-side telemetry spans
-//! into one tree. Version-1 frames (no trace field, no telemetry fields in
-//! [`ServerResponse`]) are still accepted, and replies to a v1 request are
-//! encoded as v1 so legacy peers keep working; `paylen` counts payload
-//! bytes only in both versions.
+//! into one tree. Version 3 adds two more framing fields after it: a
+//! client-generated **request id** (0 = unassigned) that lets the retry
+//! layer replay a request over a fresh connection while the server
+//! deduplicates mutations, and a **CRC32** over the rest of the frame so a
+//! bit flipped in transit surfaces as a typed [`CodecError::Checksum`]
+//! instead of a silently wrong (or confusingly malformed) message. Version
+//! 1 and 2 frames are still accepted, and replies to an old-version
+//! request are encoded in that version so legacy peers keep working;
+//! `paylen` counts payload bytes only in every version.
 //!
 //! Inside payloads, integers are LEB128 varints (`u128` is fixed 16-byte
 //! little-endian), strings and byte arrays are varint-length-prefixed, and
@@ -43,12 +48,17 @@ use exq_index::dsi::Interval;
 use exq_xpath::{CmpOp, Literal};
 use std::time::Duration;
 
-/// Protocol version carried in every frame header. Version 2 adds the
+/// Protocol version carried in every frame header. Version 2 added the
 /// trace-id field after the fixed header and the telemetry fields on
-/// [`ServerResponse`].
-pub const PROTOCOL_VERSION: u8 = 2;
+/// [`ServerResponse`]; version 3 adds the request-id and checksum fields
+/// plus the `Ping`/`Pong`/`Busy` message types.
+pub const PROTOCOL_VERSION: u8 = 3;
 
-/// The previous protocol version, still accepted inbound; replies to a v1
+/// The version that introduced the trace-id field, still accepted inbound;
+/// replies to a v2 request are encoded as v2.
+pub const V2_PROTOCOL_VERSION: u8 = 2;
+
+/// The original protocol version, still accepted inbound; replies to a v1
 /// request are encoded as v1.
 pub const LEGACY_PROTOCOL_VERSION: u8 = 1;
 
@@ -56,20 +66,78 @@ pub const LEGACY_PROTOCOL_VERSION: u8 = 1;
 pub const FRAME_MAGIC: [u8; 2] = *b"EQ";
 
 /// Fixed frame header length (magic + version + type + payload length),
-/// common to both protocol versions.
+/// common to all protocol versions.
 pub const FRAME_HEADER_LEN: usize = 8;
 
-/// Length of the v2 trace-id field that follows the fixed header.
+/// Length of the trace-id field that follows the fixed header (v2+).
 pub const TRACE_FIELD_LEN: usize = 8;
 
-/// Bytes after the fixed header that belong to framing (not payload) for a
-/// given protocol version.
+/// Length of the request-id field that follows the trace id (v3+).
+pub const REQ_ID_FIELD_LEN: usize = 8;
+
+/// Length of the frame-checksum field that follows the request id (v3+).
+pub const CHECKSUM_FIELD_LEN: usize = 4;
+
+/// Framing bytes after the fixed header in a current-version frame.
+pub const FRAME_EXTRA_LEN: usize = TRACE_FIELD_LEN + REQ_ID_FIELD_LEN + CHECKSUM_FIELD_LEN;
+
+/// Length of the trace-id field for a given protocol version.
 pub fn trace_field_len(version: u8) -> usize {
-    if version >= 2 {
+    if version >= V2_PROTOCOL_VERSION {
         TRACE_FIELD_LEN
     } else {
         0
     }
+}
+
+/// Bytes after the fixed header that belong to framing (not payload) for a
+/// given protocol version: nothing in v1, the trace id in v2, trace id +
+/// request id + checksum in v3.
+pub fn frame_extra_len(version: u8) -> usize {
+    trace_field_len(version)
+        + if version >= PROTOCOL_VERSION {
+            REQ_ID_FIELD_LEN + CHECKSUM_FIELD_LEN
+        } else {
+            0
+        }
+}
+
+// ------------------------------------------------------------------ crc32 --
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over the concatenation of
+/// `parts`. Detects every single-bit and ≤32-bit-burst error, which is what
+/// the frame checksum needs: a flipped byte anywhere in a v3 frame must
+/// decode to a typed error, never a different message.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
 }
 
 /// Hard cap on a frame payload; anything larger is rejected before
@@ -88,9 +156,12 @@ pub enum CodecError {
     Truncated,
     /// Frame does not start with [`FRAME_MAGIC`].
     BadMagic,
-    /// Frame version is neither [`PROTOCOL_VERSION`] nor
-    /// [`LEGACY_PROTOCOL_VERSION`].
+    /// Frame version is not one of the supported protocol versions
+    /// ([`LEGACY_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`]).
     BadVersion(u8),
+    /// The v3 frame checksum did not match: the frame was corrupted in
+    /// transit (or deliberately, by fault injection).
+    Checksum { stored: u32, computed: u32 },
     /// Unknown enum/message tag for the given context.
     BadTag { context: &'static str, tag: u8 },
     /// Declared length exceeds the hard cap.
@@ -118,7 +189,13 @@ impl std::fmt::Display for CodecError {
                 write!(
                     f,
                     "unsupported protocol version {v} \
-                     (want {LEGACY_PROTOCOL_VERSION} or {PROTOCOL_VERSION})"
+                     (want {LEGACY_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                )
+            }
+            CodecError::Checksum { stored, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
                 )
             }
             CodecError::BadTag { context, tag } => write!(f, "unknown {context} tag {tag:#04x}"),
@@ -279,17 +356,18 @@ impl<'a> Dec<'a> {
     }
 
     fn u128(&mut self) -> Result<u128, CodecError> {
-        let raw: [u8; 16] = self.take(16)?.try_into().expect("sized take");
-        Ok(u128::from_le_bytes(raw))
+        Ok(u128::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, CodecError> {
-        let raw: [u8; 8] = self.take(8)?.try_into().expect("sized take");
-        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+        Ok(f64::from_bits(u64::from_le_bytes(self.array()?)))
     }
 
     fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
-        Ok(self.take(N)?.try_into().expect("sized take"))
+        let raw = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(raw);
+        Ok(out)
     }
 
     fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
@@ -924,6 +1002,16 @@ impl WireCodec for WireError {
     }
 }
 
+/// A fully decoded frame: the message plus every framing field. `trace`
+/// and `req_id` are 0 for frame versions that do not carry them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFrame {
+    pub msg: Message,
+    pub trace: u64,
+    pub req_id: u64,
+    pub version: u8,
+}
+
 /// Every message that crosses the client↔server boundary. Requests are
 /// `0x01..=0x7F`, responses `0x80..=0xFF`.
 #[derive(Debug, Clone, PartialEq)]
@@ -952,6 +1040,10 @@ pub enum Message {
     CacheStatsReq,
     /// Request the server's metrics-registry exposition.
     MetricsReq,
+    /// Liveness probe (v3): answered with [`Message::Pong`] without touching
+    /// the database, so the retry layer can tell a dead server from a slow
+    /// one.
+    Ping,
 
     // Responses.
     Answer(ServerResponse),
@@ -964,6 +1056,14 @@ pub enum Message {
     InsertOk,
     Deleted(DeleteOutcome),
     CacheStats(CacheStatsSnapshot),
+    /// Reply to [`Message::Ping`] (v3).
+    Pong,
+    /// Load-shed reply (v3): the server is saturated (or could not admit
+    /// the request within its deadline) and refuses the request instead of
+    /// queueing it; the client should retry after the suggested delay.
+    Busy {
+        retry_after_ms: u32,
+    },
     Error(WireError),
 }
 
@@ -981,6 +1081,7 @@ impl Message {
             Message::DeleteWhere(_) => 0x08,
             Message::CacheStatsReq => 0x09,
             Message::MetricsReq => 0x0A,
+            Message::Ping => 0x0B,
             Message::Answer(_) => 0x81,
             Message::MetricsText(_) => 0x89,
             Message::Block(_) => 0x82,
@@ -990,6 +1091,8 @@ impl Message {
             Message::InsertOk => 0x86,
             Message::Deleted(_) => 0x87,
             Message::CacheStats(_) => 0x88,
+            Message::Pong => 0x8A,
+            Message::Busy { .. } => 0x8B,
             Message::Error(_) => 0xFF,
         }
     }
@@ -1008,7 +1111,8 @@ impl Message {
         match self {
             Message::Query(q) | Message::Locate(q) | Message::DeleteWhere(q) => q.encode_into(enc),
             Message::NaiveQuery | Message::InsertOk | Message::CacheStatsReq => {}
-            Message::MetricsReq => {}
+            Message::MetricsReq | Message::Ping | Message::Pong => {}
+            Message::Busy { retry_after_ms } => enc.varint(*retry_after_ms as u64),
             Message::MetricsText(text) => enc.str(text),
             Message::FetchBlock(id) => enc.varint(*id as u64),
             Message::ValueExtreme { attr_key, max } => {
@@ -1061,6 +1165,11 @@ impl Message {
             0x08 => Ok(Message::DeleteWhere(ServerQuery::decode_from(dec)?)),
             0x09 => Ok(Message::CacheStatsReq),
             0x0A => Ok(Message::MetricsReq),
+            0x0B => Ok(Message::Ping),
+            0x8A => Ok(Message::Pong),
+            0x8B => Ok(Message::Busy {
+                retry_after_ms: dec.u32()?,
+            }),
             0x81 if version == LEGACY_PROTOCOL_VERSION => {
                 Ok(Message::Answer(ServerResponse::decode_legacy_from(dec)?))
             }
@@ -1116,22 +1225,40 @@ impl Message {
         self.encode_frame_v(PROTOCOL_VERSION, trace)
     }
 
-    /// Encodes a frame in an explicit protocol version — v1 for replies to
-    /// legacy peers (no trace field, legacy [`ServerResponse`] layout).
+    /// Encodes a frame in an explicit protocol version — v1/v2 for replies
+    /// to legacy peers (fewer framing fields, legacy [`ServerResponse`]
+    /// layout for v1) — with no request id.
     pub fn encode_frame_v(&self, version: u8, trace: u64) -> Vec<u8> {
+        self.encode_frame_req(version, trace, 0)
+    }
+
+    /// Encodes a frame in an explicit protocol version carrying `trace`
+    /// (0 = untraced) and `req_id` (0 = unassigned; ignored below v3). The
+    /// v3 checksum covers every byte of the frame except the checksum field
+    /// itself.
+    pub fn encode_frame_req(&self, version: u8, trace: u64, req_id: u64) -> Vec<u8> {
         let mut enc = Enc::new();
         self.encode_payload_v(version, &mut enc);
         let payload = enc.into_bytes();
         let mut frame =
-            Vec::with_capacity(FRAME_HEADER_LEN + trace_field_len(version) + payload.len());
+            Vec::with_capacity(FRAME_HEADER_LEN + frame_extra_len(version) + payload.len());
         frame.extend_from_slice(&FRAME_MAGIC);
         frame.push(version);
         frame.push(self.msg_type());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        if version >= 2 {
+        if version >= V2_PROTOCOL_VERSION {
             frame.extend_from_slice(&trace.to_le_bytes());
         }
-        frame.extend_from_slice(&payload);
+        if version >= PROTOCOL_VERSION {
+            frame.extend_from_slice(&req_id.to_le_bytes());
+            let crc_pos = frame.len();
+            frame.extend_from_slice(&[0u8; CHECKSUM_FIELD_LEN]);
+            frame.extend_from_slice(&payload);
+            let crc = crc32(&[&frame[..crc_pos], &frame[crc_pos + CHECKSUM_FIELD_LEN..]]);
+            frame[crc_pos..crc_pos + CHECKSUM_FIELD_LEN].copy_from_slice(&crc.to_le_bytes());
+        } else {
+            frame.extend_from_slice(&payload);
+        }
         frame
     }
 
@@ -1150,22 +1277,23 @@ impl Message {
     pub fn frame_len(&self) -> usize {
         let mut enc = Enc::new();
         self.encode_payload(&mut enc);
-        FRAME_HEADER_LEN + TRACE_FIELD_LEN + enc.into_bytes().len()
+        FRAME_HEADER_LEN + FRAME_EXTRA_LEN + enc.into_bytes().len()
     }
 
     /// Parses the fixed frame header, returning
-    /// `(version, msg_type, payload_len)`. For v2 frames, [`TRACE_FIELD_LEN`]
-    /// trace bytes follow the header before `payload_len` payload bytes.
-    /// `header` must be exactly [`FRAME_HEADER_LEN`] bytes.
+    /// `(version, msg_type, payload_len)`. For v2+ frames,
+    /// [`frame_extra_len`] framing bytes follow the header before
+    /// `payload_len` payload bytes. `header` must be exactly
+    /// [`FRAME_HEADER_LEN`] bytes.
     pub fn parse_header(header: &[u8; FRAME_HEADER_LEN]) -> Result<(u8, u8, usize), CodecError> {
         if header[0..2] != FRAME_MAGIC {
             return Err(CodecError::BadMagic);
         }
         let version = header[2];
-        if version != PROTOCOL_VERSION && version != LEGACY_PROTOCOL_VERSION {
+        if !(LEGACY_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
             return Err(CodecError::BadVersion(version));
         }
-        let len = u32::from_le_bytes(header[4..8].try_into().expect("sized slice")) as usize;
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
         if len > MAX_FRAME_LEN {
             return Err(CodecError::Oversize {
                 len,
@@ -1176,29 +1304,51 @@ impl Message {
     }
 
     /// Decodes one complete frame from a buffer; the buffer must contain
-    /// exactly one frame. Discards the trace id.
+    /// exactly one frame. Discards the trace and request ids.
     pub fn decode_frame(bytes: &[u8]) -> Result<Message, CodecError> {
-        Self::decode_frame_full(bytes).map(|(msg, _, _)| msg)
+        Self::decode_frame_ext(bytes).map(|d| d.msg)
     }
 
     /// Decodes one complete frame, also returning its trace id (0 for v1 or
     /// untraced frames) and protocol version — servers reply in the
-    /// request's version.
+    /// request's version. Discards the request id; servers that honor the
+    /// at-most-once replay table use [`Message::decode_frame_ext`].
     pub fn decode_frame_full(bytes: &[u8]) -> Result<(Message, u64, u8), CodecError> {
+        Self::decode_frame_ext(bytes).map(|d| (d.msg, d.trace, d.version))
+    }
+
+    /// Decodes one complete frame with all framing fields: message, trace
+    /// id, request id (0 for pre-v3 frames), and protocol version. For v3
+    /// frames the checksum is verified before the payload is interpreted.
+    pub fn decode_frame_ext(bytes: &[u8]) -> Result<DecodedFrame, CodecError> {
         if bytes.len() < FRAME_HEADER_LEN {
             return Err(CodecError::Truncated);
         }
-        let header: [u8; FRAME_HEADER_LEN] =
-            bytes[..FRAME_HEADER_LEN].try_into().expect("sized slice");
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&bytes[..FRAME_HEADER_LEN]);
         let (version, msg_type, len) = Self::parse_header(&header)?;
         let mut rest = &bytes[FRAME_HEADER_LEN..];
+        if rest.len() < frame_extra_len(version) {
+            return Err(CodecError::Truncated);
+        }
         let mut trace = 0u64;
-        if version >= 2 {
-            if rest.len() < TRACE_FIELD_LEN {
-                return Err(CodecError::Truncated);
-            }
-            trace = u64::from_le_bytes(rest[..TRACE_FIELD_LEN].try_into().expect("sized slice"));
+        let mut req_id = 0u64;
+        if version >= V2_PROTOCOL_VERSION {
+            let mut raw = [0u8; TRACE_FIELD_LEN];
+            raw.copy_from_slice(&rest[..TRACE_FIELD_LEN]);
+            trace = u64::from_le_bytes(raw);
             rest = &rest[TRACE_FIELD_LEN..];
+        }
+        let mut stored_crc = None;
+        if version >= PROTOCOL_VERSION {
+            let mut raw = [0u8; REQ_ID_FIELD_LEN];
+            raw.copy_from_slice(&rest[..REQ_ID_FIELD_LEN]);
+            req_id = u64::from_le_bytes(raw);
+            rest = &rest[REQ_ID_FIELD_LEN..];
+            let mut raw = [0u8; CHECKSUM_FIELD_LEN];
+            raw.copy_from_slice(&rest[..CHECKSUM_FIELD_LEN]);
+            stored_crc = Some(u32::from_le_bytes(raw));
+            rest = &rest[CHECKSUM_FIELD_LEN..];
         }
         if rest.len() < len {
             return Err(CodecError::Truncated);
@@ -1206,8 +1356,20 @@ impl Message {
         if rest.len() > len {
             return Err(CodecError::TrailingBytes(rest.len() - len));
         }
+        if let Some(stored) = stored_crc {
+            let crc_pos = FRAME_HEADER_LEN + TRACE_FIELD_LEN + REQ_ID_FIELD_LEN;
+            let computed = crc32(&[&bytes[..crc_pos], &bytes[crc_pos + CHECKSUM_FIELD_LEN..]]);
+            if stored != computed {
+                return Err(CodecError::Checksum { stored, computed });
+            }
+        }
         let msg = Self::decode_payload_bytes(version, msg_type, rest)?;
-        Ok((msg, trace, version))
+        Ok(DecodedFrame {
+            msg,
+            trace,
+            req_id,
+            version,
+        })
     }
 
     /// Decodes a bare payload (already stripped of framing) for a given
@@ -1343,8 +1505,8 @@ mod tests {
             let frame = msg.encode_frame_v(LEGACY_PROTOCOL_VERSION, 0);
             assert_eq!(
                 frame.len(),
-                msg.frame_len() - TRACE_FIELD_LEN,
-                "v1 frame must not carry the trace field"
+                msg.frame_len() - FRAME_EXTRA_LEN,
+                "v1 frame must not carry the trace/req-id/checksum fields"
             );
             let (back, trace, version) = Message::decode_frame_full(&frame).unwrap();
             assert_eq!(back, msg);
@@ -1445,6 +1607,9 @@ mod tests {
                 range_evictions: 0,
                 range_entries: 4,
             }),
+            Message::Ping,
+            Message::Pong,
+            Message::Busy { retry_after_ms: 25 },
             Message::Error(WireError::from_core(&CoreError::Query("nope".into()))),
         ];
         for msg in messages {
@@ -1477,7 +1642,17 @@ mod tests {
             Err(CodecError::BadVersion(99))
         );
 
+        // In a v3 frame a flipped type byte fails the checksum before the
+        // tag is ever interpreted.
         let mut frame = Message::NaiveQuery.encode_frame();
+        frame[3] = 0x60;
+        assert!(matches!(
+            Message::decode_frame(&frame),
+            Err(CodecError::Checksum { .. })
+        ));
+        // A v2 frame has no checksum, so the unknown tag itself is the
+        // error.
+        let mut frame = Message::NaiveQuery.encode_frame_v(V2_PROTOCOL_VERSION, 0);
         frame[3] = 0x60;
         assert!(matches!(
             Message::decode_frame(&frame),
@@ -1503,7 +1678,7 @@ mod tests {
         let payload = enc.into_bytes();
         let mut frame = Vec::new();
         frame.extend_from_slice(&FRAME_MAGIC);
-        frame.push(PROTOCOL_VERSION);
+        frame.push(V2_PROTOCOL_VERSION);
         frame.push(0x84);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&0u64.to_le_bytes()); // v2 trace field
@@ -1571,6 +1746,83 @@ mod tests {
         assert!(matches!(
             Message::decode_frame(&bytes),
             Err(CodecError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE 802.3 check value.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
+    fn request_id_rides_the_frame() {
+        let msg = Message::Query(sample_query());
+        let frame = msg.encode_frame_req(PROTOCOL_VERSION, 7, 0xFACE_FEED_0123_4567);
+        assert_eq!(frame.len(), msg.frame_len());
+        let d = Message::decode_frame_ext(&frame).unwrap();
+        assert_eq!(d.msg, msg);
+        assert_eq!(d.trace, 7);
+        assert_eq!(d.req_id, 0xFACE_FEED_0123_4567);
+        assert_eq!(d.version, PROTOCOL_VERSION);
+        // Framing fields don't change the payload length, so identical
+        // queries keep identical byte counts regardless of ids.
+        assert_eq!(frame.len(), msg.encode_frame().len());
+    }
+
+    #[test]
+    fn v2_frames_still_decode() {
+        // A v2 peer's request (trace field, no req id / checksum) must
+        // still be served, and its trace id must survive.
+        for msg in [
+            Message::Query(sample_query()),
+            Message::NaiveQuery,
+            Message::MetricsReq,
+        ] {
+            let frame = msg.encode_frame_v(V2_PROTOCOL_VERSION, 0xABCD);
+            assert_eq!(
+                frame.len(),
+                msg.frame_len() - REQ_ID_FIELD_LEN - CHECKSUM_FIELD_LEN,
+                "v2 frame must not carry the req-id/checksum fields"
+            );
+            let d = Message::decode_frame_ext(&frame).unwrap();
+            assert_eq!(d.msg, msg);
+            assert_eq!(d.trace, 0xABCD);
+            assert_eq!(d.req_id, 0);
+            assert_eq!(d.version, V2_PROTOCOL_VERSION);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        // The whole point of the v3 checksum: no corrupted frame may decode
+        // to a (possibly different) message. Flip every bit of every byte
+        // of a realistic frame and demand a typed error each time.
+        let msg = Message::Query(sample_query());
+        let frame = msg.encode_frame_req(PROTOCOL_VERSION, 3, 42);
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    Message::decode_frame(&bad).is_err(),
+                    "flip of byte {i} bit {bit} decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_typed() {
+        let mut frame = Message::Ping.encode_frame();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        // Ping has no payload, so `last` lands in the checksum field itself.
+        assert!(matches!(
+            Message::decode_frame(&frame),
+            Err(CodecError::Checksum { .. })
         ));
     }
 

@@ -25,7 +25,11 @@
 //!   (§3.3), and the query-answering belief tracker (Theorem 6.1);
 //! * [`telemetry`] — the observability layer: a global metrics registry,
 //!   query-scoped trace spans stitched across the wire, and Prometheus-style
-//!   / JSON-lines exporters.
+//!   / JSON-lines exporters;
+//! * [`fault`] / [`retry`] — the fault-tolerance layer: seeded fault
+//!   injection (message-level wrapper and a TCP chaos proxy) and safe
+//!   client-side retry with reconnect, backoff + jitter, and at-most-once
+//!   mutation replay.
 
 pub mod aggregate;
 pub mod analysis;
@@ -36,8 +40,10 @@ pub mod constraints;
 pub mod cover;
 pub mod encrypt;
 pub mod error;
+pub mod fault;
 pub mod persist;
 pub mod pool;
+pub mod retry;
 pub mod scheme;
 pub mod server;
 pub mod system;
@@ -50,7 +56,11 @@ pub use client::Client;
 pub use codec::{CodecError, Message, WireCodec};
 pub use constraints::SecurityConstraint;
 pub use error::CoreError;
+pub use fault::{ChaosProxy, FaultConfig, FaultTransport, ProxyFaults};
+pub use retry::{Retry, RetryConfig};
 pub use scheme::{EncryptionScheme, SchemeKind};
 pub use server::Server;
 pub use system::{HostedDatabase, OutsourceConfig, Outsourcer, QueryOutcome};
-pub use transport::{serve, InProcess, ServeConfig, ServeHandle, TcpTransport, Transport};
+pub use transport::{
+    serve, InProcess, Reconnect, ServeConfig, ServeHandle, TcpTransport, Transport,
+};

@@ -11,6 +11,13 @@
 //! is invariant under serialize→parse (text nodes are excluded: adjacent
 //! text merging could shift their positions, and the server never looks up
 //! text intervals).
+//!
+//! Crash safety: current-format (`..2` magic) artifacts end with a CRC32
+//! over everything before it, verified on load — a truncated or bit-flipped
+//! file yields a clean [`CoreError::Persist`], never garbage state. Saves
+//! go through a temp file + `sync_all` + atomic rename, so a crash mid-save
+//! leaves the previous artifact intact. Legacy `..1` files (no checksum)
+//! still load.
 
 use crate::client::Client;
 use crate::encrypt::{ClientCryptoState, OpessAttr, ServerMetadata, ValueCodec};
@@ -24,8 +31,85 @@ use exq_xml::Document;
 use exq_xpath::Path;
 use std::collections::{HashMap, HashSet};
 
-const SERVER_MAGIC: &[u8; 6] = b"EXQSV1";
-const CLIENT_MAGIC: &[u8; 6] = b"EXQCL1";
+const SERVER_MAGIC: &[u8; 6] = b"EXQSV2";
+const CLIENT_MAGIC: &[u8; 6] = b"EXQCL2";
+/// Legacy pre-checksum formats, still loadable.
+const SERVER_MAGIC_V1: &[u8; 6] = b"EXQSV1";
+const CLIENT_MAGIC_V1: &[u8; 6] = b"EXQCL1";
+
+/// Validates the artifact's magic and trailing checksum, returning the body
+/// (between magic and checksum). Current-format files must end with a CRC32
+/// over everything before it; legacy files carry no checksum.
+fn checked_body<'a>(
+    data: &'a [u8],
+    magic: &[u8; 6],
+    magic_v1: &[u8; 6],
+    what: &str,
+) -> Result<&'a [u8], CoreError> {
+    let head = data.get(..6).ok_or_else(|| {
+        CoreError::Persist(format!("not a {what} state file: shorter than its magic"))
+    })?;
+    if head == magic {
+        let split = data
+            .len()
+            .checked_sub(4)
+            .filter(|&s| s >= 6)
+            .ok_or_else(|| CoreError::Persist(format!("{what} state file truncated")))?;
+        let (payload, check) = data.split_at(split);
+        let stored = u32::from_le_bytes([check[0], check[1], check[2], check[3]]);
+        let computed = crate::codec::crc32(&[payload]);
+        if stored != computed {
+            return Err(CoreError::Persist(format!(
+                "{what} state file corrupted: checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            )));
+        }
+        Ok(&payload[6..])
+    } else if head == magic_v1 {
+        Ok(&data[6..])
+    } else {
+        Err(CoreError::Persist(format!("not a {what} state file")))
+    }
+}
+
+/// Appends the trailing CRC32 to a serialized artifact.
+fn seal_checksum(mut buf: Vec<u8>) -> Vec<u8> {
+    let crc = crate::codec::crc32(&[&buf]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Crash-safe write: temp file in the target's directory, `sync_all`, then
+/// atomic rename over the destination. A crash at any point leaves either
+/// the old artifact or the new one, never a torn mix.
+fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<(), CoreError> {
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_owned());
+    let tmp = dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(CoreError::Persist(e.to_string()));
+    }
+    Ok(())
+}
 
 // ---------------------------------------------------------------- codec --
 
@@ -158,10 +242,14 @@ impl Server {
             interval(&mut w, iv);
         }
 
-        // DSI index table.
+        // DSI index table. The backing map iterates in per-instance hash
+        // order; sort by tag so logically identical servers (e.g. before
+        // and after a save/load round trip) serialize byte-identically.
         let dsi = &self.metadata().dsi_table;
         w.u64(dsi.tag_count() as u64);
-        for (tag, ivs) in dsi.iter() {
+        let mut dsi_entries: Vec<(&str, &[Interval])> = dsi.iter().collect();
+        dsi_entries.sort_by_key(|&(tag, _)| tag);
+        for (tag, ivs) in dsi_entries {
             w.string(tag);
             w.u64(ivs.len() as u64);
             for &iv in ivs {
@@ -206,15 +294,13 @@ impl Server {
         for id in dead {
             w.u32(id);
         }
-        w.buf
+        seal_checksum(w.buf)
     }
 
     /// Restores a server from [`save_bytes`](Self::save_bytes) output.
     pub fn load_bytes(data: &[u8]) -> Result<Server, CoreError> {
-        let mut r = R::new(data);
-        if r.take(6)? != SERVER_MAGIC {
-            return Err(R::err("not a server state file"));
-        }
+        let body = checked_body(data, SERVER_MAGIC, SERVER_MAGIC_V1, "server")?;
+        let mut r = R::new(body);
         let visible_xml = r.string()?;
         let visible = if visible_xml.is_empty() {
             Document::new()
@@ -300,9 +386,9 @@ impl Server {
         ))
     }
 
-    /// Saves to a file.
+    /// Saves to a file (crash-safe: temp file + fsync + atomic rename).
     pub fn save(&self, path: &std::path::Path) -> Result<(), CoreError> {
-        std::fs::write(path, self.save_bytes()).map_err(|e| CoreError::Persist(e.to_string()))
+        atomic_write(path, &self.save_bytes())
     }
 
     /// Loads from a file.
@@ -366,15 +452,13 @@ impl Client {
             w.string(&p.to_string());
         }
         w.u8(u8::from(s.lift_to_parent));
-        w.buf
+        seal_checksum(w.buf)
     }
 
     /// Restores a client from [`save_bytes`](Self::save_bytes) output.
     pub fn load_bytes(data: &[u8]) -> Result<Client, CoreError> {
-        let mut r = R::new(data);
-        if r.take(6)? != CLIENT_MAGIC {
-            return Err(R::err("not a client state file"));
-        }
+        let body = checked_body(data, CLIENT_MAGIC, CLIENT_MAGIC_V1, "client")?;
+        let mut r = R::new(body);
         let master: [u8; 32] = r.take(32)?.try_into().unwrap();
         let keys = KeyChain::new(master);
 
@@ -452,9 +536,9 @@ impl Client {
         }))
     }
 
-    /// Saves to a file.
+    /// Saves to a file (crash-safe: temp file + fsync + atomic rename).
     pub fn save(&self, path: &std::path::Path) -> Result<(), CoreError> {
-        std::fs::write(path, self.save_bytes()).map_err(|e| CoreError::Persist(e.to_string()))
+        atomic_write(path, &self.save_bytes())
     }
 
     /// Loads from a file.

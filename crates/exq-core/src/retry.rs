@@ -1,0 +1,408 @@
+//! Client-side retry with reconnect, backoff, and at-most-once mutations.
+//!
+//! [`Retry`] wraps any [`Reconnect`] transport. Each *logical* request gets
+//! a stable, client-generated request id stamped on every attempt's frame;
+//! the server's replay table keys on it, so a mutation whose reply was lost
+//! in flight is answered from the ledger on replay instead of being applied
+//! twice. Read-only requests are idempotent and simply re-run.
+//!
+//! What retries: transport and codec failures (the connection may be dead —
+//! reconnect first), server `Busy` replies (honoring the `retry_after_ms`
+//! hint), and transient error frames of those same classes. Everything else
+//! — query errors, decrypt failures — is deterministic and surfaces
+//! immediately. Backoff is exponential with seeded jitter
+//! ([`crate::fault::SplitMix64`]), so tests are reproducible.
+
+use crate::codec::Message;
+use crate::error::CoreError;
+use crate::fault::SplitMix64;
+use crate::telemetry::{self, Counter};
+use crate::transport::{LinkStats, Reconnect, Transport};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+struct RetryMetrics {
+    attempts: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    busy: Arc<Counter>,
+}
+
+fn retry_metrics() -> &'static RetryMetrics {
+    static METRICS: OnceLock<RetryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| RetryMetrics {
+        attempts: telemetry::counter("exq_retry_attempts_total"),
+        reconnects: telemetry::counter("exq_retry_reconnects_total"),
+        busy: telemetry::counter("exq_retry_busy_total"),
+    })
+}
+
+/// Knobs for [`Retry`].
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total attempts per logical request (first try included). `1`
+    /// disables retrying.
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for backoff jitter (and nothing else): fixed seed → fixed
+    /// retry timing, which the chaos suite relies on.
+    pub jitter_seed: u64,
+    /// Ping before each replay to tell a dead server (fail fast, don't
+    /// burn the budget waiting on big-query timeouts) from a slow one.
+    pub ping_before_retry: bool,
+}
+
+impl RetryConfig {
+    /// `max_attempts` attempts with the default backoff curve.
+    pub fn with_attempts(max_attempts: u32) -> RetryConfig {
+        RetryConfig {
+            max_attempts,
+            ..RetryConfig::default()
+        }
+    }
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0x5EED,
+            ping_before_retry: false,
+        }
+    }
+}
+
+/// Cumulative counts of retry activity on one [`Retry`] wrapper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts beyond the first, across all logical requests.
+    pub retries: u64,
+    /// Reconnects performed between attempts.
+    pub reconnects: u64,
+    /// `Busy` replies honored with backoff.
+    pub busy: u64,
+    /// Logical requests that exhausted the budget and surfaced an error.
+    pub exhausted: u64,
+}
+
+/// The retrying transport wrapper. See the module docs for semantics.
+pub struct Retry<T: Reconnect> {
+    inner: T,
+    config: RetryConfig,
+    rng: SplitMix64,
+    /// High bits of the request-id space for this wrapper instance, so two
+    /// wrappers talking to one server don't collide ids.
+    id_base: u64,
+    next_seq: u64,
+    stats: RetryStats,
+}
+
+impl<T: Reconnect> Retry<T> {
+    pub fn new(inner: T, config: RetryConfig) -> Retry<T> {
+        // Derive the id namespace from the jitter seed so runs are
+        // reproducible; mix in a large odd constant so seed 0 still yields
+        // nonzero ids.
+        let id_base = SplitMix64::new(config.jitter_seed ^ 0xA5A5_A5A5_A5A5_A5A5).next_u64();
+        let rng = SplitMix64::new(config.jitter_seed);
+        Retry {
+            inner,
+            config,
+            rng,
+            id_base,
+            next_seq: 0,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Default config.
+    pub fn with_defaults(inner: T) -> Retry<T> {
+        Retry::new(inner, RetryConfig::default())
+    }
+
+    /// Retry activity so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Mutable access to the wrapped transport (tests inspect fault
+    /// tallies through this).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// A fresh, never-zero request id for one logical request.
+    fn next_request_id(&mut self) -> u64 {
+        self.next_seq += 1;
+        let id = self.id_base.wrapping_add(self.next_seq);
+        if id == 0 {
+            self.next_seq += 1;
+            self.id_base.wrapping_add(self.next_seq)
+        } else {
+            id
+        }
+    }
+
+    /// Exponential backoff with full jitter, floored at 1ms so attempt
+    /// pacing is real even for tiny bases.
+    fn backoff(&mut self, attempt: u32, floor: Duration) -> Duration {
+        let base = self.config.base_backoff.max(Duration::from_millis(1));
+        let exp = base.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.config.max_backoff).max(floor);
+        let jitter = self.rng.next_f64() * 0.5 + 0.5; // [0.5, 1.0)
+        capped.mul_f64(jitter)
+    }
+}
+
+/// Whether a reply that *decoded fine* still warrants a retry: `Busy`
+/// sheds (with the server's pacing hint) and transient error frames of the
+/// codec/transport classes. Wire codes 7 and 8 mirror
+/// [`CoreError::Codec`] / [`CoreError::Transport`].
+fn transient_reply(reply: &Message) -> Option<Duration> {
+    match reply {
+        Message::Busy { retry_after_ms } => Some(Duration::from_millis(*retry_after_ms as u64)),
+        Message::Error(e) if e.code == 7 || e.code == 8 => Some(Duration::ZERO),
+        _ => None,
+    }
+}
+
+/// Whether a roundtrip error warrants reconnect + retry. Transport and
+/// codec failures may be the link's fault; everything else is
+/// deterministic.
+fn transient_error(err: &CoreError) -> bool {
+    matches!(err, CoreError::Transport(_) | CoreError::Codec(_))
+}
+
+impl<T: Reconnect> Transport for Retry<T> {
+    fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError> {
+        let req_id = self.next_request_id();
+        let attempts = self.config.max_attempts.max(1);
+        let mut last_err: Option<CoreError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                retry_metrics().attempts.inc();
+                // The link may be dead — re-dial before replaying. A failed
+                // reconnect consumes the attempt.
+                self.stats.reconnects += 1;
+                retry_metrics().reconnects.inc();
+                if let Err(e) = self.inner.reconnect() {
+                    last_err = Some(e);
+                    let pause = self.backoff(attempt - 1, Duration::ZERO);
+                    thread::sleep(pause);
+                    continue;
+                }
+                if self.config.ping_before_retry {
+                    // Dead server ⇒ ping fails fast and the attempt is
+                    // spent on backoff, not on a long query timeout.
+                    if let Err(e) = self.inner.ping() {
+                        last_err = Some(e);
+                        let pause = self.backoff(attempt - 1, Duration::ZERO);
+                        thread::sleep(pause);
+                        continue;
+                    }
+                }
+            }
+            // Same id on every attempt: the server's replay table dedupes.
+            self.inner.set_next_request_id(req_id);
+            match self.inner.roundtrip(req) {
+                Ok(reply) => match transient_reply(&reply) {
+                    None => return Ok(reply),
+                    Some(hint) => {
+                        if matches!(reply, Message::Busy { .. }) {
+                            self.stats.busy += 1;
+                            retry_metrics().busy.inc();
+                        }
+                        last_err = Some(match reply {
+                            Message::Error(e) => e.into_core(),
+                            _ => CoreError::Transport(format!(
+                                "server busy after {attempts} attempts"
+                            )),
+                        });
+                        if attempt + 1 < attempts {
+                            // Honor the server's pacing hint as a floor.
+                            let pause = self.backoff(attempt, hint);
+                            thread::sleep(pause);
+                        }
+                    }
+                },
+                Err(e) if transient_error(&e) => {
+                    last_err = Some(e);
+                    if attempt + 1 < attempts {
+                        let pause = self.backoff(attempt, Duration::ZERO);
+                        thread::sleep(pause);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.stats.exhausted += 1;
+        Err(last_err.unwrap_or_else(|| {
+            CoreError::Transport(format!("retry budget exhausted after {attempts} attempts"))
+        }))
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.inner.stats()
+    }
+
+    fn set_next_request_id(&mut self, id: u64) {
+        // The wrapper owns id assignment; an externally forced id is
+        // forwarded for the next attempt only.
+        self.inner.set_next_request_id(id);
+    }
+}
+
+impl<T: Reconnect> Reconnect for Retry<T> {
+    fn reconnect(&mut self) -> Result<(), CoreError> {
+        self.inner.reconnect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A scripted fake transport: a queue of outcomes per roundtrip.
+    struct Scripted {
+        outcomes: RefCell<Vec<Result<Message, CoreError>>>,
+        seen_ids: Vec<u64>,
+        next_id: u64,
+        reconnects: u64,
+        stats: LinkStats,
+    }
+
+    impl Scripted {
+        fn new(mut outcomes: Vec<Result<Message, CoreError>>) -> Scripted {
+            outcomes.reverse(); // pop from the back in order
+            Scripted {
+                outcomes: RefCell::new(outcomes),
+                seen_ids: Vec::new(),
+                next_id: 0,
+                reconnects: 0,
+                stats: LinkStats::default(),
+            }
+        }
+    }
+
+    impl Transport for Scripted {
+        fn roundtrip(&mut self, _req: &Message) -> Result<Message, CoreError> {
+            self.seen_ids.push(self.next_id);
+            self.stats.requests += 1;
+            self.outcomes
+                .borrow_mut()
+                .pop()
+                .unwrap_or(Ok(Message::Pong))
+        }
+
+        fn stats(&self) -> LinkStats {
+            self.stats
+        }
+
+        fn set_next_request_id(&mut self, id: u64) {
+            self.next_id = id;
+        }
+    }
+
+    impl Reconnect for Scripted {
+        fn reconnect(&mut self) -> Result<(), CoreError> {
+            self.reconnects += 1;
+            Ok(())
+        }
+    }
+
+    fn fast() -> RetryConfig {
+        RetryConfig {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter_seed: 7,
+            ping_before_retry: false,
+        }
+    }
+
+    #[test]
+    fn transient_failure_retries_with_stable_id() {
+        let inner = Scripted::new(vec![
+            Err(CoreError::Transport("boom".into())),
+            Ok(Message::InsertOk),
+        ]);
+        let mut retry = Retry::new(inner, fast());
+        let reply = retry.roundtrip(&Message::Ping).unwrap();
+        assert_eq!(reply, Message::InsertOk);
+        let inner = retry.into_inner();
+        assert_eq!(inner.seen_ids.len(), 2);
+        // Both attempts carried the same nonzero request id.
+        assert_ne!(inner.seen_ids[0], 0);
+        assert_eq!(inner.seen_ids[0], inner.seen_ids[1]);
+        assert_eq!(inner.reconnects, 1);
+    }
+
+    #[test]
+    fn distinct_logical_requests_get_distinct_ids() {
+        let inner = Scripted::new(vec![Ok(Message::Pong), Ok(Message::Pong)]);
+        let mut retry = Retry::new(inner, fast());
+        retry.roundtrip(&Message::Ping).unwrap();
+        retry.roundtrip(&Message::Ping).unwrap();
+        let inner = retry.into_inner();
+        assert_ne!(inner.seen_ids[0], inner.seen_ids[1]);
+    }
+
+    #[test]
+    fn busy_reply_is_retried_then_succeeds() {
+        let inner = Scripted::new(vec![
+            Ok(Message::Busy { retry_after_ms: 1 }),
+            Ok(Message::Pong),
+        ]);
+        let mut retry = Retry::new(inner, fast());
+        assert_eq!(retry.roundtrip(&Message::Ping).unwrap(), Message::Pong);
+        assert_eq!(retry.retry_stats().busy, 1);
+    }
+
+    #[test]
+    fn deterministic_errors_do_not_retry() {
+        let inner = Scripted::new(vec![Err(CoreError::Query("no such tag".into()))]);
+        let mut retry = Retry::new(inner, fast());
+        let err = retry.roundtrip(&Message::Ping).unwrap_err();
+        assert_eq!(err, CoreError::Query("no such tag".into()));
+        assert_eq!(retry.retry_stats().retries, 0);
+        assert_eq!(retry.into_inner().seen_ids.len(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_last_error() {
+        let inner = Scripted::new(vec![
+            Err(CoreError::Transport("a".into())),
+            Err(CoreError::Transport("b".into())),
+            Err(CoreError::Transport("c".into())),
+        ]);
+        let mut retry = Retry::new(inner, fast());
+        let err = retry.roundtrip(&Message::Ping).unwrap_err();
+        assert_eq!(err, CoreError::Transport("c".into()));
+        assert_eq!(retry.retry_stats().exhausted, 1);
+        assert_eq!(retry.retry_stats().retries, 2);
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let mk = || Retry::new(Scripted::new(vec![]), fast());
+        let mut a = mk();
+        let mut b = mk();
+        for attempt in 0..4 {
+            assert_eq!(
+                a.backoff(attempt, Duration::ZERO),
+                b.backoff(attempt, Duration::ZERO)
+            );
+        }
+    }
+}

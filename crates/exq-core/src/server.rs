@@ -422,6 +422,17 @@ impl Server {
         resp
     }
 
+    /// Whether the response cache already holds the answer to `q` under the
+    /// current generation. A pure probe for the serve loop's admission
+    /// control: no LRU promotion, no hit/miss counting.
+    pub fn has_cached_response(&self, q: &ServerQuery) -> bool {
+        !q.steps.is_empty()
+            && self
+                .caches
+                .responses
+                .peek(&q.encode(), self.caches.generation())
+    }
+
     /// Answers a translated query.
     pub fn answer(&self, q: &ServerQuery) -> ServerResponse {
         if q.steps.is_empty() {

@@ -16,22 +16,28 @@
 //! Both sides treat the peer as untrusted at the framing layer: decode
 //! errors never panic, and a connection that sends garbage framing is
 //! answered with an error frame and closed.
+//!
+//! Fault tolerance: the serve loop enforces an optional max-in-flight
+//! limit and per-request deadline, answering [`Message::Busy`] instead of
+//! queueing unboundedly (cache-hit queries are admitted ahead of misses),
+//! and keeps a [`ReplayTable`] so a mutation replayed by the client-side
+//! retry layer ([`crate::retry::Retry`]) is applied at most once.
 
 use crate::codec::{
-    trace_field_len, CodecError, Message, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
-    TRACE_FIELD_LEN,
+    frame_extra_len, CodecError, DecodedFrame, Message, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
 use crate::error::CoreError;
 use crate::server::Server;
-use crate::telemetry::{self, Counter};
+use crate::telemetry::{self, Counter, Gauge};
 use crate::update::{DeleteOutcome, InsertDelta, InsertionSlot};
 use crate::wire::{ServerQuery, ServerResponse};
 use exq_crypto::SealedBlock;
 use exq_index::dsi::Interval;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -49,6 +55,29 @@ fn wire_metrics() -> &'static WireMetrics {
         requests: telemetry::counter("exq_wire_requests_total"),
         bytes_sent: telemetry::counter("exq_wire_bytes_sent_total"),
         bytes_received: telemetry::counter("exq_wire_bytes_received_total"),
+    })
+}
+
+/// Registry handles for the fault-tolerance counters on the serving side.
+struct FtMetrics {
+    /// Requests refused at admission because the server was saturated.
+    shed: Arc<Counter>,
+    /// Requests admitted but refused because the server could not be
+    /// acquired within the deadline.
+    deadline_shed: Arc<Counter>,
+    /// Mutations answered from the replay table instead of re-applied.
+    replay_hits: Arc<Counter>,
+    /// Currently admitted requests.
+    inflight: Arc<Gauge>,
+}
+
+fn ft_metrics() -> &'static FtMetrics {
+    static METRICS: OnceLock<FtMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| FtMetrics {
+        shed: telemetry::counter("exq_server_shed_total"),
+        deadline_shed: telemetry::counter("exq_server_deadline_shed_total"),
+        replay_hits: telemetry::counter("exq_replay_hits_total"),
+        inflight: telemetry::gauge("exq_server_inflight"),
     })
 }
 
@@ -85,6 +114,25 @@ pub trait Transport {
 
     /// Cumulative traffic over this transport.
     fn stats(&self) -> LinkStats;
+
+    /// Sets the request id stamped on the *next* outbound frame (v3 frames
+    /// only; 0 = unassigned). The retry layer keeps the id stable across
+    /// attempts of one logical request so the server's [`ReplayTable`] can
+    /// deduplicate replayed mutations. Transports without frame-level ids
+    /// ignore it.
+    fn set_next_request_id(&mut self, _id: u64) {}
+
+    /// Liveness probe: one `Ping`/`Pong` roundtrip, returning its duration.
+    /// The retry layer uses this after a reconnect to tell a dead server
+    /// (ping fails) from a slow one (ping answers while a big query would
+    /// not have).
+    fn ping(&mut self) -> Result<Duration, CoreError> {
+        let started = Instant::now();
+        match self.roundtrip(&Message::Ping)? {
+            Message::Pong => Ok(started.elapsed()),
+            other => Err(unexpected("Pong", other)),
+        }
+    }
 
     /// Evaluate a translated query. Under an active trace, the roundtrip is
     /// a span and the server's returned spans are stitched in beneath it.
@@ -186,6 +234,16 @@ pub trait Transport {
     }
 }
 
+/// A transport that can re-establish its link after a failure. The
+/// client-side retry layer ([`crate::retry::Retry`]) calls
+/// [`Reconnect::reconnect`] between attempts when a roundtrip failed with
+/// a transport or codec error, since the underlying connection may be dead.
+pub trait Reconnect: Transport {
+    /// Drops the current link (if any) and establishes a fresh one.
+    /// Cumulative [`LinkStats`] survive the reconnect.
+    fn reconnect(&mut self) -> Result<(), CoreError>;
+}
+
 /// Error frames become their carried error; everything else is a protocol
 /// violation.
 fn unexpected(want: &str, got: Message) -> CoreError {
@@ -214,6 +272,7 @@ pub fn answer_request(server: &Server, req: &Message) -> Result<Message, CoreErr
         Message::InsertionSlotReq(iv) => server.insertion_slot(*iv).map(Message::Slot),
         Message::CacheStatsReq => Ok(Message::CacheStats(server.cache_stats())),
         Message::MetricsReq => Ok(Message::MetricsText(telemetry::render())),
+        Message::Ping => Ok(Message::Pong),
         Message::ApplyInsert(_) | Message::DeleteWhere(_) => Err(CoreError::Transport(
             "mutating request on a read-only server handle".into(),
         )),
@@ -231,6 +290,103 @@ pub fn apply_request(server: &mut Server, req: &Message) -> Result<Message, Core
         Message::DeleteWhere(q) => Ok(Message::Deleted(server.delete_where(q))),
         other => answer_request(server, other),
     }
+}
+
+/// Recorded replies retained for mutation deduplication. Generously larger
+/// than any plausible number of concurrently retrying mutations.
+pub const REPLAY_CAPACITY: usize = 1024;
+
+/// The server-side at-most-once ledger: request id → the reply produced
+/// when that mutation was first applied. A retried mutation (same id, sent
+/// again because the client never saw the reply) is answered from the
+/// ledger instead of being applied twice.
+///
+/// Bounded FIFO: old entries are evicted once [`REPLAY_CAPACITY`] newer
+/// mutations have completed, by which point the original client has long
+/// exhausted its retry budget.
+pub struct ReplayTable {
+    inner: Mutex<ReplayInner>,
+    capacity: usize,
+}
+
+#[derive(Default)]
+struct ReplayInner {
+    replies: HashMap<u64, Message>,
+    order: VecDeque<u64>,
+}
+
+impl ReplayTable {
+    pub fn new(capacity: usize) -> ReplayTable {
+        ReplayTable {
+            inner: Mutex::new(ReplayInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ReplayInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The recorded reply for `req_id`, if that mutation already ran.
+    pub fn get(&self, req_id: u64) -> Option<Message> {
+        self.lock().replies.get(&req_id).cloned()
+    }
+
+    /// Records the reply for a completed mutation, evicting the oldest
+    /// entry when full.
+    pub fn record(&self, req_id: u64, reply: Message) {
+        let mut inner = self.lock();
+        if inner.replies.insert(req_id, reply).is_none() {
+            inner.order.push_back(req_id);
+            while inner.order.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.replies.remove(&old);
+                }
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().replies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ReplayTable {
+    fn default() -> ReplayTable {
+        ReplayTable::new(REPLAY_CAPACITY)
+    }
+}
+
+/// [`apply_request`] with at-most-once replay protection: a mutation
+/// carrying a nonzero request id that the table has already seen returns
+/// its recorded reply instead of being re-applied. Must be called with the
+/// same exclusive access as `apply_request` — the check-then-record is only
+/// race-free because mutations serialize on the server's write lock.
+pub fn apply_request_keyed(
+    server: &mut Server,
+    replay: &ReplayTable,
+    req_id: u64,
+    req: &Message,
+) -> Result<Message, CoreError> {
+    if req.is_mutation() && req_id != 0 {
+        if let Some(reply) = replay.get(req_id) {
+            ft_metrics().replay_hits.inc();
+            return Ok(reply);
+        }
+        let reply = apply_request(server, req)?;
+        // Errors are not recorded: applying a mutation is atomic, so a
+        // deterministic failure simply fails again on replay.
+        replay.record(req_id, reply.clone());
+        return Ok(reply);
+    }
+    apply_request(server, req)
 }
 
 /// Runs a dispatch closure under a server-side trace scope for `trace`
@@ -265,6 +421,10 @@ enum ServerHandle<'a> {
 pub struct InProcess<'a> {
     server: ServerHandle<'a>,
     stats: LinkStats,
+    /// At-most-once ledger for mutations, honored exactly like the serve
+    /// loop's so retry semantics are testable without sockets.
+    replay: ReplayTable,
+    next_req_id: u64,
 }
 
 impl<'a> InProcess<'a> {
@@ -274,6 +434,8 @@ impl<'a> InProcess<'a> {
         InProcess {
             server: ServerHandle::Shared(server),
             stats: LinkStats::default(),
+            replay: ReplayTable::default(),
+            next_req_id: 0,
         }
     }
 
@@ -282,27 +444,35 @@ impl<'a> InProcess<'a> {
         InProcess {
             server: ServerHandle::Exclusive(server),
             stats: LinkStats::default(),
+            replay: ReplayTable::default(),
+            next_req_id: 0,
         }
     }
 }
 
 impl Transport for InProcess<'_> {
     fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError> {
-        let frame = req.encode_frame_traced(telemetry::current_trace());
+        let req_id = std::mem::take(&mut self.next_req_id);
+        let frame = req.encode_frame_req(
+            crate::codec::PROTOCOL_VERSION,
+            telemetry::current_trace(),
+            req_id,
+        );
         self.stats.requests += 1;
         self.stats.bytes_sent += frame.len() as u64;
         // Decode our own frame: the server must only ever see what survives
         // the codec, exactly as over a socket.
-        let (decoded, trace, version) = Message::decode_frame_full(&frame)?;
+        let d = Message::decode_frame_ext(&frame)?;
         // `dispatch_traced` pushes a *fresh* collector: the server runs on
         // the client's thread here, and the shield keeps server spans out
         // of the client's collector (they arrive via the response instead,
         // exactly as over TCP).
-        let resp = dispatch_traced(trace, || match &mut self.server {
-            ServerHandle::Shared(s) => answer_request(s, &decoded),
-            ServerHandle::Exclusive(s) => apply_request(s, &decoded),
+        let replay = &self.replay;
+        let resp = dispatch_traced(d.trace, || match &mut self.server {
+            ServerHandle::Shared(s) => answer_request(s, &d.msg),
+            ServerHandle::Exclusive(s) => apply_request_keyed(s, replay, d.req_id, &d.msg),
         });
-        let resp_frame = resp.encode_frame_v(version, 0);
+        let resp_frame = resp.encode_frame_v(d.version, 0);
         self.stats.bytes_received += resp_frame.len() as u64;
         let m = wire_metrics();
         m.requests.inc();
@@ -313,6 +483,17 @@ impl Transport for InProcess<'_> {
 
     fn stats(&self) -> LinkStats {
         self.stats
+    }
+
+    fn set_next_request_id(&mut self, id: u64) {
+        self.next_req_id = id;
+    }
+}
+
+impl Reconnect for InProcess<'_> {
+    /// An in-process link has no connection to lose.
+    fn reconnect(&mut self) -> Result<(), CoreError> {
+        Ok(())
     }
 }
 
@@ -342,12 +523,47 @@ impl Default for TcpConfig {
     }
 }
 
-/// A blocking TCP client link speaking the frame protocol.
+/// A blocking TCP client link speaking the frame protocol. The resolved
+/// peer addresses and config are retained so the link can be re-dialed
+/// mid-session ([`Reconnect::reconnect`]) after a failure.
 pub struct TcpTransport {
     stream: TcpStream,
     peer: SocketAddr,
+    addrs: Vec<SocketAddr>,
     config: TcpConfig,
     stats: LinkStats,
+    next_req_id: u64,
+}
+
+/// One dial pass over the resolved addresses, with retry + backoff.
+fn dial(addrs: &[SocketAddr], config: &TcpConfig) -> Result<(TcpStream, SocketAddr), CoreError> {
+    let mut backoff = config.retry_backoff;
+    let mut last_err = String::new();
+    for attempt in 0..config.connect_attempts.max(1) {
+        if attempt > 0 {
+            thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        for peer in addrs {
+            match TcpStream::connect_timeout(peer, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(Some(config.io_timeout))
+                        .map_err(|e| CoreError::Transport(e.to_string()))?;
+                    stream
+                        .set_write_timeout(Some(config.io_timeout))
+                        .map_err(|e| CoreError::Transport(e.to_string()))?;
+                    return Ok((stream, *peer));
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+    }
+    Err(CoreError::Transport(format!(
+        "connect to {addrs:?} failed after {} attempts: {last_err}",
+        config.connect_attempts.max(1)
+    )))
 }
 
 impl TcpTransport {
@@ -360,38 +576,15 @@ impl TcpTransport {
         if addrs.is_empty() {
             return Err(CoreError::Transport("address resolved to nothing".into()));
         }
-        let mut backoff = config.retry_backoff;
-        let mut last_err = String::new();
-        for attempt in 0..config.connect_attempts.max(1) {
-            if attempt > 0 {
-                thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
-            }
-            for peer in &addrs {
-                match TcpStream::connect_timeout(peer, config.connect_timeout) {
-                    Ok(stream) => {
-                        stream.set_nodelay(true).ok();
-                        stream
-                            .set_read_timeout(Some(config.io_timeout))
-                            .map_err(|e| CoreError::Transport(e.to_string()))?;
-                        stream
-                            .set_write_timeout(Some(config.io_timeout))
-                            .map_err(|e| CoreError::Transport(e.to_string()))?;
-                        return Ok(TcpTransport {
-                            stream,
-                            peer: *peer,
-                            config,
-                            stats: LinkStats::default(),
-                        });
-                    }
-                    Err(e) => last_err = e.to_string(),
-                }
-            }
-        }
-        Err(CoreError::Transport(format!(
-            "connect to {addrs:?} failed after {} attempts: {last_err}",
-            config.connect_attempts.max(1)
-        )))
+        let (stream, peer) = dial(&addrs, &config)?;
+        Ok(TcpTransport {
+            stream,
+            peer,
+            addrs,
+            config,
+            stats: LinkStats::default(),
+            next_req_id: 0,
+        })
     }
 
     /// Connects with default [`TcpConfig`].
@@ -406,7 +599,12 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError> {
-        let frame = req.encode_frame_traced(telemetry::current_trace());
+        let req_id = std::mem::take(&mut self.next_req_id);
+        let frame = req.encode_frame_req(
+            crate::codec::PROTOCOL_VERSION,
+            telemetry::current_trace(),
+            req_id,
+        );
         self.stream
             .write_all(&frame)
             .and_then(|_| self.stream.flush())
@@ -414,13 +612,13 @@ impl Transport for TcpTransport {
         self.stats.requests += 1;
         self.stats.bytes_sent += frame.len() as u64;
 
-        let mut resp_frame = vec![0u8; FRAME_HEADER_LEN];
+        let mut header = [0u8; FRAME_HEADER_LEN];
         self.stream
-            .read_exact(&mut resp_frame)
+            .read_exact(&mut header)
             .map_err(|e| CoreError::Transport(format!("receive from {} failed: {e}", self.peer)))?;
-        let header: [u8; FRAME_HEADER_LEN] = resp_frame[..].try_into().expect("sized vec");
         let (version, _, payload_len) = Message::parse_header(&header)?;
-        resp_frame.resize(FRAME_HEADER_LEN + trace_field_len(version) + payload_len, 0);
+        let mut resp_frame = vec![0u8; FRAME_HEADER_LEN + frame_extra_len(version) + payload_len];
+        resp_frame[..FRAME_HEADER_LEN].copy_from_slice(&header);
         self.stream
             .read_exact(&mut resp_frame[FRAME_HEADER_LEN..])
             .map_err(|e| CoreError::Transport(format!("receive from {} failed: {e}", self.peer)))?;
@@ -429,13 +627,27 @@ impl Transport for TcpTransport {
         m.requests.inc();
         m.bytes_sent.add(frame.len() as u64);
         m.bytes_received.add(resp_frame.len() as u64);
-        // Sanity note: config retained for future reconnect support.
-        let _ = &self.config;
         Ok(Message::decode_frame(&resp_frame)?)
     }
 
     fn stats(&self) -> LinkStats {
         self.stats
+    }
+
+    fn set_next_request_id(&mut self, id: u64) {
+        self.next_req_id = id;
+    }
+}
+
+impl Reconnect for TcpTransport {
+    /// Re-dials the stored peer addresses with the original config,
+    /// replacing the (possibly dead) stream. Traffic stats carry over; any
+    /// half-read response on the old stream is abandoned with it.
+    fn reconnect(&mut self) -> Result<(), CoreError> {
+        let (stream, peer) = dial(&self.addrs, &self.config)?;
+        self.stream = stream;
+        self.peer = peer;
+        Ok(())
     }
 }
 
@@ -460,6 +672,17 @@ pub struct ServeConfig {
     /// Cache entries per layer: `Some(0)` disables caching, `None` resolves
     /// from `EXQ_CACHE` / the default; applied to the served [`Server`].
     pub cache_entries: Option<usize>,
+    /// Maximum concurrently admitted requests across all connections
+    /// (`0` = unlimited). At the limit, new work is shed with
+    /// [`Message::Busy`] — except cache-hit queries and cheap stats
+    /// requests, which are still admitted.
+    pub max_inflight: usize,
+    /// Per-request deadline on acquiring the server (`ZERO` = none). A
+    /// request that cannot take its lock within the deadline is answered
+    /// [`Message::Busy`] instead of queueing behind a long writer.
+    pub deadline: Duration,
+    /// The `retry_after_ms` hint carried in `Busy` replies.
+    pub retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -470,7 +693,38 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(30),
             threads: 0,
             cache_entries: None,
+            max_inflight: 0,
+            deadline: Duration::ZERO,
+            retry_after: Duration::from_millis(25),
         }
+    }
+}
+
+/// Admission state shared by every connection of one [`serve`] instance.
+struct ServeShared {
+    /// Requests currently being dispatched (admission-controlled).
+    inflight: AtomicUsize,
+    /// At-most-once ledger for mutations, shared across connections so a
+    /// retried mutation dedupes even after a reconnect.
+    replay: ReplayTable,
+}
+
+/// Panic-safe in-flight accounting: decrements the counter (and mirrors
+/// the gauge) even if dispatch panics.
+struct InflightGuard<'a>(&'a ServeShared);
+
+impl<'a> InflightGuard<'a> {
+    fn enter(shared: &'a ServeShared) -> InflightGuard<'a> {
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        ft_metrics().inflight.add(1);
+        InflightGuard(shared)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+        ft_metrics().inflight.add(-1);
     }
 }
 
@@ -548,14 +802,18 @@ pub fn serve(
     }
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let shared = Arc::new(ServeShared {
+        inflight: AtomicUsize::new(0),
+        replay: ReplayTable::default(),
+    });
     let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
 
     for _ in 0..config.workers.max(1) {
         let rx = Arc::clone(&conn_rx);
         let srv = Arc::clone(&server);
         let stop_flag = Arc::clone(&stop);
-        let poll_interval = config.poll_interval;
-        let io_timeout = config.io_timeout;
+        let shr = Arc::clone(&shared);
+        let cfg = config.clone();
         threads.push(thread::spawn(move || loop {
             // Lock is held only for the recv; a worker going down with a
             // panic would poison it, so recover defensively.
@@ -564,9 +822,7 @@ pub fn serve(
                 Err(poisoned) => poisoned.into_inner().recv(),
             };
             match next {
-                Ok(stream) => {
-                    handle_connection(stream, &srv, &stop_flag, poll_interval, io_timeout)
-                }
+                Ok(stream) => handle_connection(stream, &srv, &shr, &stop_flag, &cfg),
                 Err(_) => return, // accept loop gone
             }
         }));
@@ -597,17 +853,18 @@ pub fn serve(
 }
 
 /// Serves one connection until EOF, shutdown, a framing error, or a
-/// mid-frame stall longer than `io_timeout`.
+/// mid-frame stall longer than `config.io_timeout`.
 fn handle_connection(
     stream: TcpStream,
     server: &RwLock<Server>,
+    shared: &ServeShared,
     stop: &AtomicBool,
-    poll_interval: Duration,
-    io_timeout: Duration,
+    config: &ServeConfig,
 ) {
+    let io_timeout = config.io_timeout;
     let mut stream = stream;
     stream.set_nodelay(true).ok();
-    if stream.set_read_timeout(Some(poll_interval)).is_err() {
+    if stream.set_read_timeout(Some(config.poll_interval)).is_err() {
         return;
     }
     loop {
@@ -628,8 +885,8 @@ fn handle_connection(
                 return;
             }
         };
-        // v2 frames carry the trace-id field between header and payload.
-        let mut frame = vec![0u8; FRAME_HEADER_LEN + trace_field_len(version) + payload_len];
+        // Frames beyond v1 carry extra fields between header and payload.
+        let mut frame = vec![0u8; FRAME_HEADER_LEN + frame_extra_len(version) + payload_len];
         frame[..FRAME_HEADER_LEN].copy_from_slice(&header);
         // The payload read is mid-frame from its first moment: the header
         // already arrived, so the full-frame budget is already running.
@@ -643,29 +900,19 @@ fn handle_connection(
             ReadOutcome::Ok => {}
             ReadOutcome::Closed | ReadOutcome::Stopped => return,
         }
-        let reply = match Message::decode_frame_full(&frame) {
+        let reply = match Message::decode_frame_ext(&frame) {
             Err(e) => {
                 send_error(&mut stream, &e, version);
                 return;
             }
-            Ok((req, trace, _)) => dispatch_traced(trace, || {
-                if req.is_mutation() {
-                    match server.write() {
-                        Ok(mut guard) => apply_request(&mut guard, &req),
-                        Err(poisoned) => apply_request(&mut poisoned.into_inner(), &req),
-                    }
-                } else {
-                    match server.read() {
-                        Ok(guard) => answer_request(&guard, &req),
-                        Err(poisoned) => answer_request(&poisoned.into_inner(), &req),
-                    }
-                }
-            }),
+            Ok(d) => serve_one(server, shared, config, &d),
         };
         // Reply in the request's protocol version so legacy peers can
         // decode the response.
         let frame = reply.encode_frame_v(version, 0);
-        debug_assert!(frame.len() <= FRAME_HEADER_LEN + TRACE_FIELD_LEN + MAX_FRAME_LEN);
+        debug_assert!(
+            frame.len() <= FRAME_HEADER_LEN + crate::codec::FRAME_EXTRA_LEN + MAX_FRAME_LEN
+        );
         if stream
             .write_all(&frame)
             .and_then(|_| stream.flush())
@@ -674,6 +921,152 @@ fn handle_connection(
             return;
         }
     }
+}
+
+/// How long a deadline-bounded lock acquisition sleeps between attempts.
+const LOCK_POLL: Duration = Duration::from_micros(500);
+
+/// The `Busy` reply in the requester's dialect: older peers don't know the
+/// `Busy` frame, so they get a transport-class error carrying the hint.
+fn busy_reply(version: u8, retry_after: Duration) -> Message {
+    let retry_after_ms = retry_after.as_millis().min(u32::MAX as u128) as u32;
+    if version >= crate::codec::PROTOCOL_VERSION {
+        Message::Busy { retry_after_ms }
+    } else {
+        Message::Error(WireError::from_core(&CoreError::Transport(format!(
+            "server busy; retry after {retry_after_ms}ms"
+        ))))
+    }
+}
+
+/// Admission policy at the in-flight limit. Cheap stats requests are always
+/// admitted (they answer from atomics); queries are admitted only if the
+/// response cache already holds their answer — shedding expensive misses
+/// while still serving hits keeps goodput up under overload.
+fn should_shed(
+    req: &Message,
+    inflight: usize,
+    max_inflight: usize,
+    cache_hit: impl FnOnce() -> bool,
+) -> bool {
+    if max_inflight == 0 || inflight < max_inflight {
+        return false;
+    }
+    match req {
+        Message::CacheStatsReq | Message::MetricsReq => false,
+        Message::Query(_) => !cache_hit(),
+        _ => true,
+    }
+}
+
+/// Probes whether the response cache holds `q` without blocking: a held
+/// write lock means the answer may be invalidated anyway, so treat it as a
+/// miss.
+fn probe_cache_hit(server: &RwLock<Server>, req: &Message) -> bool {
+    let Message::Query(q) = req else { return false };
+    match server.try_read() {
+        Ok(guard) => guard.has_cached_response(q),
+        Err(_) => false,
+    }
+}
+
+/// Acquires the read lock, giving up after `deadline` (ZERO = wait
+/// forever). Poisoning is recovered as elsewhere in the serve loop.
+fn read_lock_within(
+    server: &RwLock<Server>,
+    deadline: Duration,
+) -> Option<RwLockReadGuard<'_, Server>> {
+    if deadline.is_zero() {
+        return Some(match server.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        });
+    }
+    let until = Instant::now() + deadline;
+    loop {
+        match server.try_read() {
+            Ok(guard) => return Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => return Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                if Instant::now() >= until {
+                    return None;
+                }
+                thread::sleep(LOCK_POLL);
+            }
+        }
+    }
+}
+
+/// Write-lock counterpart of [`read_lock_within`].
+fn write_lock_within(
+    server: &RwLock<Server>,
+    deadline: Duration,
+) -> Option<RwLockWriteGuard<'_, Server>> {
+    if deadline.is_zero() {
+        return Some(match server.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        });
+    }
+    let until = Instant::now() + deadline;
+    loop {
+        match server.try_write() {
+            Ok(guard) => return Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => return Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                if Instant::now() >= until {
+                    return None;
+                }
+                thread::sleep(LOCK_POLL);
+            }
+        }
+    }
+}
+
+/// Dispatches one decoded request under admission control: sheds at the
+/// in-flight limit, bounds lock acquisition by the deadline, and answers
+/// mutations through the replay table for at-most-once semantics.
+fn serve_one(
+    server: &RwLock<Server>,
+    shared: &ServeShared,
+    config: &ServeConfig,
+    d: &DecodedFrame,
+) -> Message {
+    // Liveness probes answer instantly, without the server lock or an
+    // admission slot: a saturated server is alive, not dead.
+    if matches!(d.msg, Message::Ping) {
+        return Message::Pong;
+    }
+    let inflight = shared.inflight.load(Ordering::SeqCst);
+    if should_shed(&d.msg, inflight, config.max_inflight, || {
+        probe_cache_hit(server, &d.msg)
+    }) {
+        ft_metrics().shed.inc();
+        return busy_reply(d.version, config.retry_after);
+    }
+    let _guard = InflightGuard::enter(shared);
+    let deadline = config.deadline;
+    dispatch_traced(d.trace, || {
+        if d.msg.is_mutation() {
+            match write_lock_within(server, deadline) {
+                Some(mut guard) => {
+                    apply_request_keyed(&mut guard, &shared.replay, d.req_id, &d.msg)
+                }
+                None => {
+                    ft_metrics().deadline_shed.inc();
+                    Ok(busy_reply(d.version, config.retry_after))
+                }
+            }
+        } else {
+            match read_lock_within(server, deadline) {
+                Some(guard) => answer_request(&guard, &d.msg),
+                None => {
+                    ft_metrics().deadline_shed.inc();
+                    Ok(busy_reply(d.version, config.retry_after))
+                }
+            }
+        }
+    })
 }
 
 enum ReadOutcome {
@@ -799,9 +1192,56 @@ mod tests {
         );
         assert_eq!(
             stats.bytes_received as usize,
-            FRAME_HEADER_LEN + TRACE_FIELD_LEN + resp.encoded_len()
+            FRAME_HEADER_LEN + crate::codec::FRAME_EXTRA_LEN + resp.encoded_len()
         );
         assert_eq!(stats.bytes_received as usize, resp.payload_bytes());
+    }
+
+    #[test]
+    fn replay_table_dedupes_and_evicts() {
+        let table = ReplayTable::new(2);
+        assert!(table.is_empty());
+        table.record(1, Message::InsertOk);
+        table.record(2, Message::InsertOk);
+        assert_eq!(table.get(1), Some(Message::InsertOk));
+        // Re-recording the same id must not consume a second slot.
+        table.record(1, Message::InsertOk);
+        assert_eq!(table.len(), 2);
+        // A third distinct id evicts the oldest.
+        table.record(3, Message::InsertOk);
+        assert_eq!(table.len(), 2);
+        assert!(table.get(1).is_none());
+        assert!(table.get(2).is_some());
+        assert!(table.get(3).is_some());
+    }
+
+    #[test]
+    fn shed_policy_prefers_cache_hits_and_stats() {
+        let q = Message::Query(ServerQuery {
+            steps: vec![],
+            anchor: 0,
+        });
+        // No limit, or below the limit: never shed.
+        assert!(!should_shed(&q, 100, 0, || false));
+        assert!(!should_shed(&q, 3, 4, || false));
+        // At the limit: cache misses shed, hits admitted.
+        assert!(should_shed(&q, 4, 4, || false));
+        assert!(!should_shed(&q, 4, 4, || true));
+        // Stats requests always admitted; other work sheds.
+        assert!(!should_shed(&Message::CacheStatsReq, 4, 4, || false));
+        assert!(!should_shed(&Message::MetricsReq, 4, 4, || false));
+        assert!(should_shed(&Message::NaiveQuery, 4, 4, || false));
+    }
+
+    #[test]
+    fn busy_reply_downgrades_for_legacy_peers() {
+        let v3 = busy_reply(crate::codec::PROTOCOL_VERSION, Duration::from_millis(25));
+        assert_eq!(v3, Message::Busy { retry_after_ms: 25 });
+        let v1 = busy_reply(
+            crate::codec::LEGACY_PROTOCOL_VERSION,
+            Duration::from_millis(25),
+        );
+        assert!(matches!(v1, Message::Error(_)), "got {v1:?}");
     }
 
     #[test]

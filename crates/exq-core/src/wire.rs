@@ -57,11 +57,11 @@ pub struct ServerQuery {
 
 impl ServerQuery {
     /// Exact wire size in bytes: the length of the encoded `Query` frame
-    /// this query travels in (header and trace field included). A `Query`
-    /// frame's payload is exactly the query's own encoding.
+    /// this query travels in (header and framing fields included). A
+    /// `Query` frame's payload is exactly the query's own encoding.
     pub fn wire_size(&self) -> usize {
         use crate::codec::WireCodec;
-        crate::codec::FRAME_HEADER_LEN + crate::codec::TRACE_FIELD_LEN + self.encoded_len()
+        crate::codec::FRAME_HEADER_LEN + crate::codec::FRAME_EXTRA_LEN + self.encoded_len()
     }
 }
 
@@ -96,10 +96,10 @@ pub struct ServerResponse {
 
 impl ServerResponse {
     /// Exact bytes shipped back to the client: the encoded `Answer` frame
-    /// length (header and trace field included).
+    /// length (header and framing fields included).
     pub fn payload_bytes(&self) -> usize {
         use crate::codec::WireCodec;
-        crate::codec::FRAME_HEADER_LEN + crate::codec::TRACE_FIELD_LEN + self.encoded_len()
+        crate::codec::FRAME_HEADER_LEN + crate::codec::FRAME_EXTRA_LEN + self.encoded_len()
     }
 }
 

@@ -3,8 +3,8 @@
 //! error — never a panic, never a bogus decode that re-encodes differently.
 
 use exq_core::codec::{
-    CodecError, Message, WireCodec, WireError, FRAME_HEADER_LEN, LEGACY_PROTOCOL_VERSION,
-    PROTOCOL_VERSION, TRACE_FIELD_LEN,
+    CodecError, Message, WireCodec, WireError, FRAME_EXTRA_LEN, FRAME_HEADER_LEN,
+    LEGACY_PROTOCOL_VERSION, PROTOCOL_VERSION, TRACE_FIELD_LEN, V2_PROTOCOL_VERSION,
 };
 use exq_core::telemetry::{Side, SpanRec};
 use exq_core::update::{DeleteOutcome, InsertDelta, InsertionSlot};
@@ -308,7 +308,7 @@ proptest! {
     ) {
         let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + TRACE_FIELD_LEN + payload.len());
         frame.extend_from_slice(b"EQ");
-        frame.push(PROTOCOL_VERSION);
+        frame.push(V2_PROTOCOL_VERSION);
         frame.push(msg_type);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&trace.to_le_bytes());
@@ -336,9 +336,11 @@ proptest! {
     fn v1_frames_still_served(msg in arb_message()) {
         let frame = msg.encode_frame_v(LEGACY_PROTOCOL_VERSION, 0);
         // Answer payloads shrink in v1 (telemetry fields dropped), so the
-        // exact-length check only applies to the other message kinds.
+        // exact-length check only applies to the other message kinds. A v1
+        // frame drops all the post-header fields (trace, request id,
+        // checksum) that `frame_len` budgets for the current version.
         if !matches!(msg, Message::Answer(_)) {
-            prop_assert_eq!(frame.len(), msg.frame_len() - TRACE_FIELD_LEN);
+            prop_assert_eq!(frame.len(), msg.frame_len() - FRAME_EXTRA_LEN);
         }
         let (back, trace, version) =
             Message::decode_frame_full(&frame).expect("decode v1 frame");
@@ -372,12 +374,14 @@ proptest! {
 /// `Interval` code can rely on it even on attacker-supplied frames.
 #[test]
 fn decoded_intervals_uphold_invariant() {
-    // frame = header + trace field + varint(lo) + varint(hi); with lo=3,
-    // hi=9 both varints are single bytes, so swapping them fabricates the
-    // inverted interval (9, 3) that the constructor itself would refuse to
-    // build.
-    let mut frame = Message::InsertionSlotReq(exq_index::dsi::Interval::new(3, 9)).encode_frame();
-    let payload = FRAME_HEADER_LEN + TRACE_FIELD_LEN;
+    // v1 frame = header + varint(lo) + varint(hi); with lo=3, hi=9 both
+    // varints are single bytes, so swapping them fabricates the inverted
+    // interval (9, 3) that the constructor itself would refuse to build.
+    // (v1 carries no checksum, so the swap reaches the interval decoder
+    // instead of tripping the v3 CRC first.)
+    let mut frame = Message::InsertionSlotReq(exq_index::dsi::Interval::new(3, 9))
+        .encode_frame_v(LEGACY_PROTOCOL_VERSION, 0);
+    let payload = FRAME_HEADER_LEN;
     frame.swap(payload, payload + 1);
     match Message::decode_frame(&frame) {
         Err(e) => assert!(matches!(e, CodecError::Invalid(_)), "got {e:?}"),

@@ -147,6 +147,66 @@ fn state_files_do_not_leak_plaintext() {
     // owner's private state) — but it must contain the master key material,
     // so sanity-check the magic instead.
     let cbytes = client.save_bytes();
-    assert!(cbytes.starts_with(b"EXQCL1"));
-    assert!(bytes.starts_with(b"EXQSV1"));
+    assert!(cbytes.starts_with(b"EXQCL2"));
+    assert!(bytes.starts_with(b"EXQSV2"));
+}
+
+#[test]
+fn bit_flips_anywhere_are_rejected() {
+    // The trailing checksum must catch corruption at *any* byte, not just
+    // in the magic — sample a spread of positions (plus the checksum
+    // itself) across both artifacts.
+    let (client, server, _) = hosted();
+    for bytes in [server.save_bytes(), client.save_bytes()] {
+        let is_server = bytes.starts_with(b"EXQSV2");
+        let step = (bytes.len() / 64).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x10;
+            let rejected = if is_server {
+                Server::load_bytes(&flipped).is_err()
+            } else {
+                Client::load_bytes(&flipped).is_err()
+            };
+            assert!(rejected, "bit flip at byte {pos} went undetected");
+        }
+    }
+}
+
+#[test]
+fn truncations_are_rejected_cleanly() {
+    let (_, server, _) = hosted();
+    let bytes = server.save_bytes();
+    for keep in [0, 3, 6, 9, bytes.len() - 5, bytes.len() - 1] {
+        let err = Server::load_bytes(&bytes[..keep]).unwrap_err();
+        assert!(
+            matches!(err, exq_core::CoreError::Persist(_)),
+            "truncation to {keep} bytes: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn save_is_atomic_and_durable() {
+    let dir = std::env::temp_dir().join(format!("exq_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("server.exq");
+    let (_, server, _) = hosted();
+    server.save(&path).unwrap();
+    let loaded = Server::load(&path).unwrap();
+    assert_eq!(loaded.save_bytes(), server.save_bytes());
+    // Overwriting in place must go through the rename path (no temp file
+    // left behind) and leave a loadable artifact.
+    server.save(&path).unwrap();
+    assert!(Server::load(&path).is_ok());
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

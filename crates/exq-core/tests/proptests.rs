@@ -129,14 +129,19 @@ proptest! {
         let _ = exq_core::Client::load_bytes(&bytes);
     }
 
-    /// Loaders also survive corrupted-but-magic-prefixed inputs.
+    /// Loaders also survive corrupted-but-magic-prefixed inputs, in both
+    /// the legacy (no checksum) and current (checksummed) formats.
     #[test]
     fn loaders_reject_corrupted_headers(tail in proptest::collection::vec(any::<u8>(), 0..200)) {
-        let mut s = b"EXQSV1".to_vec();
-        s.extend_from_slice(&tail);
-        let _ = exq_core::Server::load_bytes(&s);
-        let mut c = b"EXQCL1".to_vec();
-        c.extend_from_slice(&tail);
-        let _ = exq_core::Client::load_bytes(&c);
+        for magic in [b"EXQSV1", b"EXQSV2"] {
+            let mut s = magic.to_vec();
+            s.extend_from_slice(&tail);
+            let _ = exq_core::Server::load_bytes(&s);
+        }
+        for magic in [b"EXQCL1", b"EXQCL2"] {
+            let mut c = magic.to_vec();
+            c.extend_from_slice(&tail);
+            let _ = exq_core::Client::load_bytes(&c);
+        }
     }
 }

@@ -220,15 +220,15 @@ fn start_with(server: Server, config: ServeConfig) -> ServeHandle {
     serve(listener, shared, config).unwrap()
 }
 
-/// Reads one full response frame (header + optional trace field + payload)
-/// off a raw stream, handling both protocol versions.
+/// Reads one full response frame (header + version-dependent extra fields
+/// + payload) off a raw stream, handling every protocol version.
 fn read_frame(raw: &mut TcpStream) -> Message {
     let mut header = [0u8; FRAME_HEADER_LEN];
     raw.read_exact(&mut header).unwrap();
     let (version, _, payload_len) = Message::parse_header(&header).unwrap();
     let mut frame = header.to_vec();
     frame.resize(
-        FRAME_HEADER_LEN + exq_core::codec::trace_field_len(version) + payload_len,
+        FRAME_HEADER_LEN + exq_core::codec::frame_extra_len(version) + payload_len,
         0,
     );
     raw.read_exact(&mut frame[FRAME_HEADER_LEN..]).unwrap();
