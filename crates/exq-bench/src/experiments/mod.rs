@@ -18,6 +18,7 @@ pub mod e15_parallel;
 pub mod e16_cache;
 pub mod e17_telemetry;
 pub mod e18_faults;
+pub mod e19_tenants;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -119,6 +120,11 @@ pub fn registry() -> Vec<Experiment> {
             "e18",
             "extension: fault tolerance — goodput and latency under injected faults",
             e18_faults::run,
+        ),
+        (
+            "e19",
+            "extension: multi-tenant fairness — hot tenant vs quiet tenants behind one serve loop",
+            e19_tenants::run,
         ),
     ]
 }

@@ -9,7 +9,10 @@ use exq_core::retry::{Retry, RetryConfig};
 use exq_core::scheme::SchemeKind;
 use exq_core::system::{OutsourceConfig, Outsourcer};
 use exq_core::telemetry;
-use exq_core::transport::{serve, InProcess, ServeConfig, ServeHandle, TcpTransport, Transport};
+use exq_core::tenant::TenantRegistry;
+use exq_core::transport::{
+    serve, serve_multi, InProcess, ServeConfig, ServeHandle, TcpTransport, Transport,
+};
 use exq_core::{Client, CoreError, Server};
 use exq_xml::Document;
 use std::fmt::Write as _;
@@ -194,9 +197,13 @@ pub fn cmd_query_remote(
     query: &str,
     threads: usize,
     retries: u32,
+    db: Option<&str>,
 ) -> Result<String, CliError> {
     let client = Client::load(client_path)?.with_threads(threads);
-    let tcp = TcpTransport::connect_default(addr)?;
+    let mut tcp = TcpTransport::connect_default(addr)?;
+    if let Some(db) = db {
+        tcp = tcp.with_db(db)?;
+    }
     if retries == 0 {
         let mut link = tcp;
         return query_over(&client, &mut link, query, false);
@@ -352,6 +359,138 @@ pub fn format_cache_stats(s: &exq_core::cache::CacheStatsSnapshot) -> String {
         s.range_entries,
         s.range_evictions,
     )
+}
+
+/// Opens the directory-of-databases at `dir` (empty registry if the
+/// directory does not exist yet; first created db becomes the default).
+fn open_db_dir(dir: &Path, fallback_default: &str) -> Result<TenantRegistry, CliError> {
+    if dir.join("MANIFEST").exists() || dir.is_file() {
+        Ok(TenantRegistry::open(dir, fallback_default)?)
+    } else {
+        Ok(TenantRegistry::new(fallback_default)?)
+    }
+}
+
+/// `exq db create`: register a sealed server state file as a named
+/// database inside a directory-of-databases. The optional client state
+/// records the sealing key's fingerprint in the manifest so operators can
+/// tell which client artifact opens which db.
+pub fn cmd_db_create(
+    dir: &Path,
+    name: &str,
+    server_path: &Path,
+    client_path: Option<&Path>,
+    max_inflight: usize,
+) -> Result<String, CliError> {
+    let server = Server::load(server_path)?;
+    let fingerprint = match client_path {
+        Some(p) => Client::load(p)?.key_fingerprint(),
+        None => 0,
+    };
+    let blocks = server.block_count();
+    let bytes = server.hosted_bytes();
+    let registry = open_db_dir(dir, name)?;
+    let tenant = registry.create(name, server, fingerprint, max_inflight)?;
+    registry.save_dir(dir)?;
+    Ok(format!(
+        "created database `{name}` in {} ({blocks} blocks, {bytes} hosted bytes, key fp {:016x})\n",
+        dir.display(),
+        tenant.key_fingerprint(),
+    ))
+}
+
+/// `exq db list`: the databases a directory hosts, with per-db size and
+/// quota details; the default db is marked.
+pub fn cmd_db_list(dir: &Path) -> Result<String, CliError> {
+    let registry = TenantRegistry::open(dir, exq_core::DEFAULT_DB)?;
+    let mut report = String::new();
+    for tenant in registry.tenants() {
+        let (blocks, bytes) = match tenant.server.read() {
+            Ok(g) => (g.block_count(), g.hosted_bytes()),
+            Err(p) => {
+                let g = p.into_inner();
+                (g.block_count(), g.hosted_bytes())
+            }
+        };
+        let marker = if tenant.name() == registry.default_db() {
+            " (default)"
+        } else {
+            ""
+        };
+        let quota = match tenant.max_inflight() {
+            0 => "fair-share".to_owned(),
+            n => format!("max {n} in flight"),
+        };
+        let _ = writeln!(
+            report,
+            "{}{marker}: {blocks} blocks, {bytes} hosted bytes, key fp {:016x}, {quota}",
+            tenant.name(),
+            tenant.key_fingerprint(),
+        );
+    }
+    let _ = writeln!(report, "-- {} database(s)", registry.len());
+    Ok(report)
+}
+
+/// `exq db drop`: remove a database from the directory (manifest rewritten,
+/// its state file deleted).
+pub fn cmd_db_drop(dir: &Path, name: &str) -> Result<String, CliError> {
+    let registry = TenantRegistry::load_dir(dir)?;
+    registry.drop_db(name)?;
+    registry.save_dir(dir)?;
+    let state = TenantRegistry::db_path(dir, name);
+    if state.exists() {
+        std::fs::remove_file(&state)?;
+    }
+    Ok(format!(
+        "dropped database `{name}` from {} ({} remaining)\n",
+        dir.display(),
+        registry.len()
+    ))
+}
+
+/// `exq db host`: serve every database in a directory on one TCP address.
+/// v4 clients pick a db with `--db`; v1–v3 clients (and v4 clients that
+/// don't) get the default db.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_db_host(
+    dir: &Path,
+    addr: &str,
+    workers: usize,
+    threads: usize,
+    cache_entries: Option<usize>,
+    max_inflight: usize,
+    max_inflight_per_db: usize,
+    deadline_ms: u64,
+) -> Result<(ServeHandle, String), CliError> {
+    let registry = Arc::new(TenantRegistry::open(dir, exq_core::DEFAULT_DB)?);
+    if registry.is_empty() {
+        return usage(format!("{} hosts no databases", dir.display()));
+    }
+    let listener = std::net::TcpListener::bind(addr)?;
+    let handle = serve_multi(
+        listener,
+        Arc::clone(&registry),
+        ServeConfig {
+            workers,
+            threads,
+            cache_entries,
+            max_inflight,
+            max_inflight_per_db,
+            deadline: std::time::Duration::from_millis(deadline_ms),
+            ..ServeConfig::default()
+        },
+    )?;
+    let names = registry.names().join(", ");
+    let banner = format!(
+        "hosting {} database(s) from {} on {} with {workers} worker(s): {names} \
+         (default: {})\n",
+        registry.len(),
+        dir.display(),
+        handle.addr(),
+        registry.default_db(),
+    );
+    Ok((handle, banner))
 }
 
 /// `exq aggregate`: MIN/MAX/COUNT over an attribute path.
@@ -541,11 +680,20 @@ USAGE:
   exq query     --server server.exq --client client.exq [--naive] [--threads N]
                 [--cache-entries N] 'XPATH'
   exq query     --addr HOST:PORT --client client.exq [--threads N] [--retries N]
+                [--db NAME]         (pick a database on a multi-tenant server)
                 'XPATH'             (--retries: reconnect+replay budget, default 3)
   exq serve     --server server.exq --addr HOST:PORT [--workers N] [--threads N]
                 [--cache-entries N]   (0 disables the server caches)
                 [--max-inflight N]    (shed Busy beyond N concurrent requests; 0=off)
                 [--deadline-ms N]     (per-request lock deadline; 0=off)
+  exq db create --dir DBDIR --name NAME --server server.exq [--client client.exq]
+                [--max-inflight N]    (register a sealed db in a multi-db directory)
+  exq db list   --dir DBDIR           (hosted databases, sizes, key fingerprints)
+  exq db drop   --dir DBDIR --name NAME
+  exq db host   --dir DBDIR --addr HOST:PORT [--workers N] [--threads N]
+                [--cache-entries N] [--max-inflight N] [--max-inflight-per-db N]
+                [--deadline-ms N]     (serve every db in the directory; clients
+                                       route with --db, legacy peers get the default)
   exq ping      --addr HOST:PORT [--count N]   (liveness probe round-trips)
   exq aggregate --server server.exq --client client.exq --fn min|max|count 'PATH'
   exq insert    --server server.exq --client client.exq --parent 'QUERY'

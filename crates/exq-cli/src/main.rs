@@ -122,7 +122,14 @@ fn run(args: &[String]) -> Result<String, CliError> {
                         .transpose()
                         .map_err(|_| CliError::Usage("--retries must be an integer".into()))?
                         .unwrap_or(3);
-                    cmd_query_remote(addr, &path("client")?, q, threads, retries)
+                    cmd_query_remote(
+                        addr,
+                        &path("client")?,
+                        q,
+                        threads,
+                        retries,
+                        flags.get("db").map(String::as_str),
+                    )
                 }
                 None => cmd_query(
                     &path("server")?,
@@ -182,6 +189,74 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     exq_core::telemetry::Level::Info,
                     &format_cache_stats(&handle.cache_stats()),
                 );
+            }
+        }
+        "db" => {
+            let verb = positional
+                .first()
+                .ok_or_else(|| CliError::Usage("db needs a verb (create|list|drop|host)".into()))?;
+            let max_inflight = flags
+                .get("max-inflight")
+                .map(|s| s.parse::<usize>())
+                .transpose()
+                .map_err(|_| CliError::Usage("--max-inflight must be an integer".into()))?
+                .unwrap_or(0);
+            match verb.as_str() {
+                "create" => cmd_db_create(
+                    &path("dir")?,
+                    &string("name")?,
+                    &path("server")?,
+                    flags.get("client").map(PathBuf::from).as_deref(),
+                    max_inflight,
+                ),
+                "list" => cmd_db_list(&path("dir")?),
+                "drop" => cmd_db_drop(&path("dir")?, &string("name")?),
+                "host" => {
+                    let workers = flags
+                        .get("workers")
+                        .map(|s| s.parse::<usize>())
+                        .transpose()
+                        .map_err(|_| CliError::Usage("--workers must be an integer".into()))?
+                        .unwrap_or(4);
+                    let per_db = flags
+                        .get("max-inflight-per-db")
+                        .map(|s| s.parse::<usize>())
+                        .transpose()
+                        .map_err(|_| {
+                            CliError::Usage("--max-inflight-per-db must be an integer".into())
+                        })?
+                        .unwrap_or(0);
+                    let deadline_ms = flags
+                        .get("deadline-ms")
+                        .map(|s| s.parse::<u64>())
+                        .transpose()
+                        .map_err(|_| CliError::Usage("--deadline-ms must be an integer".into()))?
+                        .unwrap_or(0);
+                    let (handle, banner) = cmd_db_host(
+                        &path("dir")?,
+                        &string("addr")?,
+                        workers,
+                        threads,
+                        cache_entries,
+                        max_inflight,
+                        per_db,
+                        deadline_ms,
+                    )?;
+                    print!("{banner}");
+                    // Serve until killed, logging per-db cache counters.
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_secs(60));
+                        for (name, stats) in handle.cache_stats_per_db() {
+                            exq_core::telemetry::log(
+                                exq_core::telemetry::Level::Info,
+                                &format!("db {name}: {}", format_cache_stats(&stats)),
+                            );
+                        }
+                    }
+                }
+                other => Err(CliError::Usage(format!(
+                    "unknown db verb `{other}` (create|list|drop|host)"
+                ))),
             }
         }
         "aggregate" => {

@@ -213,7 +213,7 @@ fn serve_then_stats_scrapes_live_metrics() {
     let addr = handle.addr().to_string();
 
     // Drive one query so the counters move, then scrape the registry.
-    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1).unwrap();
+    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1, None).unwrap();
     assert!(out.contains("Betty"));
     let text = cmd_stats_remote(&addr).unwrap();
     assert!(
@@ -291,7 +291,8 @@ fn serve_and_query_remote() {
     assert!(banner.contains("cache 64 entries"), "banner: {banner}");
     let addr = handle.addr().to_string();
 
-    let remote = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2, 1).unwrap();
+    let remote =
+        cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2, 1, None).unwrap();
     assert!(remote.contains("763895"), "remote output: {remote}");
     // Local and remote answer lines agree (the byte counter line matches
     // too, since both links count the same frames).
@@ -307,7 +308,8 @@ fn serve_and_query_remote() {
     assert_eq!(remote, local);
 
     // A repeat of the same remote query hits the server response cache.
-    let again = cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2, 1).unwrap();
+    let again =
+        cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2, 1, None).unwrap();
     assert_eq!(again, remote);
     let stats = handle.cache_stats();
     assert!(stats.response_hits >= 1, "stats: {stats:?}");
@@ -315,7 +317,7 @@ fn serve_and_query_remote() {
 
     handle.shutdown();
     // Server gone: the connect retries, then errors instead of hanging.
-    assert!(cmd_query_remote(&addr, &client, "//patient", 1, 0).is_err());
+    assert!(cmd_query_remote(&addr, &client, "//patient", 1, 0, None).is_err());
 }
 
 #[test]
@@ -329,4 +331,90 @@ fn ping_measures_live_server_and_fails_on_dead_one() {
     assert!(out.contains("3 ping(s)"), "ping output: {out}");
     handle.shutdown();
     assert!(cmd_ping(&addr, 1).is_err(), "dead server must fail ping");
+}
+
+/// Two databases, sealed under different seeds, registered in one
+/// directory: create → list → host → route with --db → drop.
+#[test]
+fn db_verbs_manage_a_multi_tenant_directory() {
+    let dir = TempDir::new("db-verbs");
+    let dbdir = dir.path("dbs");
+
+    // Two independently keyed databases from the same plaintext.
+    let doc = dir.path("doc.xml");
+    let cons = dir.path("sc.txt");
+    cmd_gen("hospital", 4, 1, &doc, Some(&cons)).unwrap();
+    let (srv_a, cli_a) = (dir.path("a-server.exq"), dir.path("a-client.exq"));
+    let (srv_b, cli_b) = (dir.path("b-server.exq"), dir.path("b-client.exq"));
+    cmd_encrypt(&doc, &cons, "opt", 11, &srv_a, &cli_a).unwrap();
+    cmd_encrypt(&doc, &cons, "opt", 22, &srv_b, &cli_b).unwrap();
+
+    let out = cmd_db_create(&dbdir, "ward-a", &srv_a, Some(&cli_a), 0).unwrap();
+    assert!(out.contains("created database `ward-a`"), "{out}");
+    let out = cmd_db_create(&dbdir, "ward-b", &srv_b, Some(&cli_b), 8).unwrap();
+    assert!(out.contains("ward-b"), "{out}");
+    // Duplicate names are a typed error, not a silent overwrite.
+    assert!(cmd_db_create(&dbdir, "ward-a", &srv_b, None, 0).is_err());
+
+    let listing = cmd_db_list(&dbdir).unwrap();
+    assert!(listing.contains("ward-a (default)"), "{listing}");
+    assert!(listing.contains("ward-b"), "{listing}");
+    assert!(listing.contains("max 8 in flight"), "{listing}");
+    assert!(listing.contains("2 database(s)"), "{listing}");
+
+    // Host both and route queries by db name; each db only decrypts with
+    // its own client artifact.
+    let (handle, banner) = cmd_db_host(&dbdir, "127.0.0.1:0", 2, 1, Some(64), 0, 0, 0).unwrap();
+    assert!(banner.contains("2 database(s)"), "{banner}");
+    let addr = handle.addr().to_string();
+    let out = cmd_query_remote(&addr, &cli_a, "//patient/pname", 1, 1, Some("ward-a")).unwrap();
+    assert!(out.contains("Betty"), "{out}");
+    let out = cmd_query_remote(&addr, &cli_b, "//patient/pname", 1, 1, Some("ward-b")).unwrap();
+    assert!(out.contains("Betty"), "{out}");
+    // No --db lands on the default (ward-a) and still answers for cli_a.
+    let out = cmd_query_remote(&addr, &cli_a, "//patient/pname", 1, 1, None).unwrap();
+    assert!(out.contains("Betty"), "{out}");
+    // Unknown db: typed error over the wire, server stays up.
+    assert!(cmd_query_remote(&addr, &cli_a, "//patient", 1, 0, Some("ward-z")).is_err());
+    let probe = cmd_query_remote(&addr, &cli_b, "//patient/pname", 1, 1, Some("ward-b")).unwrap();
+    assert!(probe.contains("Betty"), "{probe}");
+
+    // The metrics scrape breaks traffic out per db.
+    let text = cmd_stats_remote(&addr).unwrap();
+    assert!(
+        text.contains("exq_db_requests_total{db=\"ward-a\"}"),
+        "metrics: {text}"
+    );
+    assert!(
+        text.contains("exq_cache_response_hits_total{db=\"ward-b\"}")
+            || text.contains("exq_cache_response_misses_total{db=\"ward-b\"}"),
+        "metrics: {text}"
+    );
+    handle.shutdown();
+
+    let out = cmd_db_drop(&dbdir, "ward-b").unwrap();
+    assert!(out.contains("1 remaining"), "{out}");
+    assert!(
+        !dbdir.join("ward-b.exq").exists(),
+        "state file must be deleted"
+    );
+    let listing = cmd_db_list(&dbdir).unwrap();
+    assert!(!listing.contains("ward-b"), "{listing}");
+    assert!(
+        cmd_db_drop(&dbdir, "ward-b").is_err(),
+        "double drop is typed"
+    );
+}
+
+/// `db host` pointed at a legacy single-file artifact auto-migrates it.
+#[test]
+fn db_host_serves_legacy_single_file_artifact() {
+    let dir = TempDir::new("db-legacy");
+    let (server, client) = setup(&dir);
+    let (handle, banner) = cmd_db_host(&server, "127.0.0.1:0", 1, 1, None, 0, 0, 0).unwrap();
+    assert!(banner.contains("default"), "{banner}");
+    let addr = handle.addr().to_string();
+    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1, None).unwrap();
+    assert!(out.contains("Betty"), "{out}");
+    handle.shutdown();
 }

@@ -119,11 +119,22 @@ impl<K, V> Default for Shard<K, V> {
     }
 }
 
-/// Process-wide registry mirrors of one cache layer's counters. Kept
-/// alongside (not instead of) the per-instance atomics: snapshots and the
-/// `CacheStats` wire message report this instance, while the registry
-/// aggregates across every instance the process ever created.
+/// Process-wide registry mirrors of one cache layer's counters. The
+/// unlabeled `exq_cache_<layer>_*` names aggregate across every instance
+/// the process ever created; when a db label is attached (multi-tenant
+/// serving), a second `{db="<name>"}`-labeled series is kept and becomes
+/// the *authoritative* source for snapshots — so the `CacheStats` wire
+/// message and the `MetricsReq` registry scrape literally read the same
+/// atomics and cannot drift, and counts survive `set_capacity`.
 struct CacheMetrics {
+    hits: Arc<telemetry::Counter>,
+    misses: Arc<telemetry::Counter>,
+    evictions: Arc<telemetry::Counter>,
+    db: Option<DbCacheMetrics>,
+}
+
+/// The per-db labeled counter handles of one cache layer.
+struct DbCacheMetrics {
     hits: Arc<telemetry::Counter>,
     misses: Arc<telemetry::Counter>,
     evictions: Arc<telemetry::Counter>,
@@ -135,7 +146,20 @@ impl CacheMetrics {
             hits: telemetry::counter(&format!("exq_cache_{layer}_hits_total")),
             misses: telemetry::counter(&format!("exq_cache_{layer}_misses_total")),
             evictions: telemetry::counter(&format!("exq_cache_{layer}_evictions_total")),
+            db: None,
         }
+    }
+
+    fn labeled(layer: &str, db: &str) -> Self {
+        let mut m = Self::new(layer);
+        m.db = Some(DbCacheMetrics {
+            hits: telemetry::counter(&format!("exq_cache_{layer}_hits_total{{db=\"{db}\"}}")),
+            misses: telemetry::counter(&format!("exq_cache_{layer}_misses_total{{db=\"{db}\"}}")),
+            evictions: telemetry::counter(&format!(
+                "exq_cache_{layer}_evictions_total{{db=\"{db}\"}}"
+            )),
+        });
+        m
     }
 }
 
@@ -179,6 +203,16 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
         c
     }
 
+    /// Like [`GenCache::with_metrics`], but additionally keeps a
+    /// `{db="<name>"}`-labeled registry series that is the authoritative
+    /// source for [`GenCache::counters`] — per-tenant counts that survive
+    /// capacity changes and always agree with the metrics scrape.
+    fn with_db_metrics(capacity: usize, layer: &str, db: &str) -> Self {
+        let mut c = Self::new(capacity);
+        c.metrics = Some(CacheMetrics::labeled(layer, db));
+        c
+    }
+
     pub fn enabled(&self) -> bool {
         self.per_shard > 0
     }
@@ -205,6 +239,9 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &self.metrics {
                     m.hits.inc();
+                    if let Some(db) = &m.db {
+                        db.hits.inc();
+                    }
                 }
                 Some(v)
             }
@@ -213,6 +250,9 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &self.metrics {
                     m.misses.inc();
+                    if let Some(db) = &m.db {
+                        db.misses.inc();
+                    }
                 }
                 None
             }
@@ -220,6 +260,9 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &self.metrics {
                     m.misses.inc();
+                    if let Some(db) = &m.db {
+                        db.misses.inc();
+                    }
                 }
                 None
             }
@@ -260,6 +303,9 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &self.metrics {
                     m.evictions.inc();
+                    if let Some(db) = &m.db {
+                        db.evictions.inc();
+                    }
                 }
             }
         }
@@ -286,6 +332,11 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
     }
 
     fn counters(&self) -> (u64, u64, u64) {
+        // Db-labeled layers report their registry series — the same atomics
+        // the `MetricsReq` scrape renders, so the two paths cannot drift.
+        if let Some(db) = self.metrics.as_ref().and_then(|m| m.db.as_ref()) {
+            return (db.hits.get(), db.misses.get(), db.evictions.get());
+        }
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
@@ -302,6 +353,8 @@ impl<K: Hash + Eq + Clone, V: Clone> GenCache<K, V> {
 pub struct ServerCaches {
     generation: AtomicU64,
     capacity: usize,
+    /// Tenant name whose labeled registry series back these layers, if any.
+    db_label: Option<String>,
     /// Encoded `ServerQuery` bytes → full response.
     pub responses: GenCache<Vec<u8>, Arc<ServerResponse>>,
     /// `(attr, lo, hi)` → resolved block-id set.
@@ -313,9 +366,30 @@ impl ServerCaches {
         ServerCaches {
             generation: AtomicU64::new(0),
             capacity,
+            db_label: None,
             responses: GenCache::with_metrics(capacity, "response"),
             ranges: GenCache::with_metrics(capacity, "range"),
         }
+    }
+
+    fn make_layer<K: Hash + Eq + Clone, V: Clone>(
+        capacity: usize,
+        layer: &str,
+        db_label: Option<&str>,
+    ) -> GenCache<K, V> {
+        match db_label {
+            Some(db) => GenCache::with_db_metrics(capacity, layer, db),
+            None => GenCache::with_metrics(capacity, layer),
+        }
+    }
+
+    /// Attaches a tenant label: both layers are rebuilt backed by
+    /// `{db="<name>"}`-labeled registry counters, making per-db cache stats
+    /// scrapeable and snapshot counters registry-authoritative.
+    pub fn set_db_label(&mut self, db: &str) {
+        self.db_label = Some(db.to_owned());
+        self.responses = Self::make_layer(self.capacity, "response", self.db_label.as_deref());
+        self.ranges = Self::make_layer(self.capacity, "range", self.db_label.as_deref());
     }
 
     pub fn capacity(&self) -> usize {
@@ -339,11 +413,12 @@ impl ServerCaches {
     }
 
     /// Replaces both cache layers with fresh ones of the new capacity
-    /// (counters reset, generation preserved).
+    /// (local counters reset, generation and db label preserved; a
+    /// db-labeled instance keeps counting in its registry series).
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
-        self.responses = GenCache::with_metrics(capacity, "response");
-        self.ranges = GenCache::with_metrics(capacity, "range");
+        self.responses = Self::make_layer(capacity, "response", self.db_label.as_deref());
+        self.ranges = Self::make_layer(capacity, "range", self.db_label.as_deref());
     }
 
     pub fn snapshot(&self) -> CacheStatsSnapshot {
@@ -372,6 +447,9 @@ impl Default for ServerCaches {
 
 impl Clone for ServerCaches {
     fn clone(&self) -> Self {
+        // The clone is a *new instance*: it gets fresh unlabeled layers
+        // even if the original was db-labeled, so two instances never share
+        // one tenant's registry series.
         let fresh = ServerCaches::new(self.capacity);
         fresh.generation.store(self.generation(), Ordering::Release);
         fresh
@@ -475,6 +553,29 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.generation, 1, "set_capacity keeps the generation");
         assert_eq!(snap.response_hits, 0, "set_capacity resets counters");
+    }
+
+    #[test]
+    fn db_labeled_counters_are_registry_backed() {
+        let mut s = ServerCaches::new(4);
+        s.set_db_label("cachetest-db");
+        s.responses.insert(vec![1], Arc::new(resp()), 0);
+        assert!(s.responses.get(&vec![1], 0).is_some());
+        assert!(s.responses.get(&vec![2], 0).is_none());
+        let snap = s.snapshot();
+        assert_eq!((snap.response_hits, snap.response_misses), (1, 1));
+        // The snapshot and the metrics scrape read the same atomics.
+        let text = telemetry::render();
+        assert!(
+            text.contains("exq_cache_response_hits_total{db=\"cachetest-db\"} 1"),
+            "labeled series missing from scrape: {text}"
+        );
+        // Unlike unlabeled instances, labeled counters survive capacity
+        // changes — the registry series is the source of truth.
+        s.set_capacity(8);
+        let snap = s.snapshot();
+        assert_eq!(snap.response_hits, 1);
+        assert_eq!(snap.response_misses, 1);
     }
 
     #[test]

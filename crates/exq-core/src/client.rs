@@ -92,6 +92,19 @@ impl Client {
         &self.state
     }
 
+    /// A stable 64-bit fingerprint of this client's master key (FNV-1a over
+    /// the key bytes). Recorded per tenant in the multi-db registry and
+    /// manifest so operators can tell which key a hosted database expects
+    /// without ever storing the key server-side.
+    pub fn key_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.state.keys.master_key() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     pub(crate) fn state_mut(&mut self) -> &mut ClientCryptoState {
         &mut self.state
     }

@@ -6,10 +6,10 @@
 //! Every message travels as one **frame**:
 //!
 //! ```text
-//! +-------+-----+---------+--------+--------+--------+--------+---------+
-//! | magic | ver | msgtype | paylen | trace  | req id | crc32  | payload |
-//! | "EQ"  | u8  | u8      | u32 LE | u64 LE | u64 LE | u32 LE | paylen  |
-//! +-------+-----+---------+--------+--------+--------+--------+---------+
+//! +-------+-----+---------+--------+--------+--------+--------+-------+---------+
+//! | magic | ver | msgtype | paylen | trace  | req id | crc32  | db id | payload |
+//! | "EQ"  | u8  | u8      | u32 LE | u64 LE | u64 LE | u32 LE | 64 B  | paylen  |
+//! +-------+-----+---------+--------+--------+--------+--------+-------+---------+
 //! ```
 //!
 //! The `trace` field is new in protocol version 2: a query-scoped trace id
@@ -20,9 +20,15 @@
 //! deduplicates mutations, and a **CRC32** over the rest of the frame so a
 //! bit flipped in transit surfaces as a typed [`CodecError::Checksum`]
 //! instead of a silently wrong (or confusingly malformed) message. Version
-//! 1 and 2 frames are still accepted, and replies to an old-version
-//! request are encoded in that version so legacy peers keep working;
-//! `paylen` counts payload bytes only in every version.
+//! 4 adds a fixed-width **db id** field (one length byte + up to
+//! [`MAX_DB_ID_LEN`] bytes of name, zero-padded) so one serve loop can host
+//! many sealed databases: the server routes each request to the tenant the
+//! frame names, and an empty id (length 0) means "the configured default
+//! db", which is also how v1–v3 peers (who cannot name a db at all) are
+//! routed. The db field sits after the checksum field and is covered by
+//! the checksum. Version 1–3 frames are still accepted, and replies to an
+//! old-version request are encoded in that version so legacy peers keep
+//! working; `paylen` counts payload bytes only in every version.
 //!
 //! Inside payloads, integers are LEB128 varints (`u128` is fixed 16-byte
 //! little-endian), strings and byte arrays are varint-length-prefixed, and
@@ -50,9 +56,15 @@ use std::time::Duration;
 
 /// Protocol version carried in every frame header. Version 2 added the
 /// trace-id field after the fixed header and the telemetry fields on
-/// [`ServerResponse`]; version 3 adds the request-id and checksum fields
-/// plus the `Ping`/`Pong`/`Busy` message types.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// [`ServerResponse`]; version 3 added the request-id and checksum fields
+/// plus the `Ping`/`Pong`/`Busy` message types; version 4 adds the db-id
+/// field that routes a frame to one named database on a multi-tenant
+/// server.
+pub const PROTOCOL_VERSION: u8 = 4;
+
+/// The version that introduced the request-id and checksum fields, still
+/// accepted inbound; replies to a v3 request are encoded as v3.
+pub const V3_PROTOCOL_VERSION: u8 = 3;
 
 /// The version that introduced the trace-id field, still accepted inbound;
 /// replies to a v2 request are encoded as v2.
@@ -78,8 +90,18 @@ pub const REQ_ID_FIELD_LEN: usize = 8;
 /// Length of the frame-checksum field that follows the request id (v3+).
 pub const CHECKSUM_FIELD_LEN: usize = 4;
 
+/// Maximum length of a database id in bytes. Chosen so the db field stays
+/// fixed-width (one length byte + this many name bytes) and
+/// [`frame_extra_len`] remains a pure function of the protocol version.
+pub const MAX_DB_ID_LEN: usize = 63;
+
+/// Length of the fixed-width db-id field that follows the checksum (v4+):
+/// one length byte plus [`MAX_DB_ID_LEN`] name bytes, zero-padded.
+pub const DB_ID_FIELD_LEN: usize = 1 + MAX_DB_ID_LEN;
+
 /// Framing bytes after the fixed header in a current-version frame.
-pub const FRAME_EXTRA_LEN: usize = TRACE_FIELD_LEN + REQ_ID_FIELD_LEN + CHECKSUM_FIELD_LEN;
+pub const FRAME_EXTRA_LEN: usize =
+    TRACE_FIELD_LEN + REQ_ID_FIELD_LEN + CHECKSUM_FIELD_LEN + DB_ID_FIELD_LEN;
 
 /// Length of the trace-id field for a given protocol version.
 pub fn trace_field_len(version: u8) -> usize {
@@ -92,11 +114,16 @@ pub fn trace_field_len(version: u8) -> usize {
 
 /// Bytes after the fixed header that belong to framing (not payload) for a
 /// given protocol version: nothing in v1, the trace id in v2, trace id +
-/// request id + checksum in v3.
+/// request id + checksum in v3, all of those plus the db id in v4.
 pub fn frame_extra_len(version: u8) -> usize {
     trace_field_len(version)
-        + if version >= PROTOCOL_VERSION {
+        + if version >= V3_PROTOCOL_VERSION {
             REQ_ID_FIELD_LEN + CHECKSUM_FIELD_LEN
+        } else {
+            0
+        }
+        + if version >= PROTOCOL_VERSION {
+            DB_ID_FIELD_LEN
         } else {
             0
         }
@@ -178,6 +205,9 @@ pub enum CodecError {
     Invalid(&'static str),
     /// Payload decoded but bytes were left over.
     TrailingBytes(usize),
+    /// The v4 db-id framing field is malformed: oversized length byte,
+    /// non-UTF-8 name bytes, or nonzero padding.
+    DbId(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -206,6 +236,7 @@ impl std::fmt::Display for CodecError {
             CodecError::Utf8 => write!(f, "invalid UTF-8 in string"),
             CodecError::Invalid(what) => write!(f, "invalid value: {what}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            CodecError::DbId(what) => write!(f, "malformed db id field: {what}"),
         }
     }
 }
@@ -965,6 +996,7 @@ impl WireError {
             CoreError::Persist(m) => (6, m.clone()),
             CoreError::Codec(m) => (7, m.clone()),
             CoreError::Transport(m) => (8, m.clone()),
+            CoreError::Tenant(m) => (9, m.clone()),
         };
         WireError { code, message }
     }
@@ -980,6 +1012,7 @@ impl WireError {
             6 => CoreError::Persist(self.message),
             7 => CoreError::Codec(self.message),
             8 => CoreError::Transport(self.message),
+            9 => CoreError::Tenant(self.message),
             other => CoreError::Transport(format!(
                 "server error (unknown category {other}): {}",
                 self.message
@@ -1003,13 +1036,15 @@ impl WireCodec for WireError {
 }
 
 /// A fully decoded frame: the message plus every framing field. `trace`
-/// and `req_id` are 0 for frame versions that do not carry them.
+/// and `req_id` are 0 for frame versions that do not carry them; `db` is
+/// empty for pre-v4 frames and for v4 frames addressed to the default db.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodedFrame {
     pub msg: Message,
     pub trace: u64,
     pub req_id: u64,
     pub version: u8,
+    pub db: String,
 }
 
 /// Every message that crosses the client↔server boundary. Requests are
@@ -1233,10 +1268,28 @@ impl Message {
     }
 
     /// Encodes a frame in an explicit protocol version carrying `trace`
-    /// (0 = untraced) and `req_id` (0 = unassigned; ignored below v3). The
-    /// v3 checksum covers every byte of the frame except the checksum field
-    /// itself.
+    /// (0 = untraced) and `req_id` (0 = unassigned; ignored below v3),
+    /// addressed to the default db. The v3+ checksum covers every byte of
+    /// the frame except the checksum field itself.
     pub fn encode_frame_req(&self, version: u8, trace: u64, req_id: u64) -> Vec<u8> {
+        // An empty db id always fits, so this cannot fail.
+        self.encode_frame_db(version, trace, req_id, "")
+            .expect("empty db id is always encodable")
+    }
+
+    /// Encodes a frame in an explicit protocol version, addressed to the
+    /// named db (empty = default db; ignored below v4). Fails with
+    /// [`CodecError::DbId`] if `db` exceeds [`MAX_DB_ID_LEN`] bytes.
+    pub fn encode_frame_db(
+        &self,
+        version: u8,
+        trace: u64,
+        req_id: u64,
+        db: &str,
+    ) -> Result<Vec<u8>, CodecError> {
+        if db.len() > MAX_DB_ID_LEN {
+            return Err(CodecError::DbId("db id exceeds maximum length"));
+        }
         let mut enc = Enc::new();
         self.encode_payload_v(version, &mut enc);
         let payload = enc.into_bytes();
@@ -1249,17 +1302,22 @@ impl Message {
         if version >= V2_PROTOCOL_VERSION {
             frame.extend_from_slice(&trace.to_le_bytes());
         }
-        if version >= PROTOCOL_VERSION {
+        if version >= V3_PROTOCOL_VERSION {
             frame.extend_from_slice(&req_id.to_le_bytes());
             let crc_pos = frame.len();
             frame.extend_from_slice(&[0u8; CHECKSUM_FIELD_LEN]);
+            if version >= PROTOCOL_VERSION {
+                frame.push(db.len() as u8);
+                frame.extend_from_slice(db.as_bytes());
+                frame.resize(crc_pos + CHECKSUM_FIELD_LEN + DB_ID_FIELD_LEN, 0);
+            }
             frame.extend_from_slice(&payload);
             let crc = crc32(&[&frame[..crc_pos], &frame[crc_pos + CHECKSUM_FIELD_LEN..]]);
             frame[crc_pos..crc_pos + CHECKSUM_FIELD_LEN].copy_from_slice(&crc.to_le_bytes());
         } else {
             frame.extend_from_slice(&payload);
         }
-        frame
+        Ok(frame)
     }
 
     fn encode_payload_v(&self, version: u8, enc: &mut Enc) {
@@ -1340,7 +1398,7 @@ impl Message {
             rest = &rest[TRACE_FIELD_LEN..];
         }
         let mut stored_crc = None;
-        if version >= PROTOCOL_VERSION {
+        if version >= V3_PROTOCOL_VERSION {
             let mut raw = [0u8; REQ_ID_FIELD_LEN];
             raw.copy_from_slice(&rest[..REQ_ID_FIELD_LEN]);
             req_id = u64::from_le_bytes(raw);
@@ -1349,6 +1407,11 @@ impl Message {
             raw.copy_from_slice(&rest[..CHECKSUM_FIELD_LEN]);
             stored_crc = Some(u32::from_le_bytes(raw));
             rest = &rest[CHECKSUM_FIELD_LEN..];
+        }
+        let mut db_raw: &[u8] = &[];
+        if version >= PROTOCOL_VERSION {
+            db_raw = &rest[..DB_ID_FIELD_LEN];
+            rest = &rest[DB_ID_FIELD_LEN..];
         }
         if rest.len() < len {
             return Err(CodecError::Truncated);
@@ -1363,12 +1426,29 @@ impl Message {
                 return Err(CodecError::Checksum { stored, computed });
             }
         }
+        // Validate the db id only after the checksum: a corrupted frame
+        // surfaces as `Checksum`, a well-formed frame naming a bad db as the
+        // typed `DbId` error — never a panic.
+        let mut db = String::new();
+        if !db_raw.is_empty() {
+            let db_len = db_raw[0] as usize;
+            if db_len > MAX_DB_ID_LEN {
+                return Err(CodecError::DbId("db id exceeds maximum length"));
+            }
+            if db_raw[1 + db_len..].iter().any(|&b| b != 0) {
+                return Err(CodecError::DbId("nonzero padding after db id"));
+            }
+            db = std::str::from_utf8(&db_raw[1..1 + db_len])
+                .map_err(|_| CodecError::DbId("db id is not valid UTF-8"))?
+                .to_string();
+        }
         let msg = Self::decode_payload_bytes(version, msg_type, rest)?;
         Ok(DecodedFrame {
             msg,
             trace,
             req_id,
             version,
+            db,
         })
     }
 
@@ -1642,7 +1722,7 @@ mod tests {
             Err(CodecError::BadVersion(99))
         );
 
-        // In a v3 frame a flipped type byte fails the checksum before the
+        // In a v3+ frame a flipped type byte fails the checksum before the
         // tag is ever interpreted.
         let mut frame = Message::NaiveQuery.encode_frame();
         frame[3] = 0x60;
@@ -1784,15 +1864,120 @@ mod tests {
             let frame = msg.encode_frame_v(V2_PROTOCOL_VERSION, 0xABCD);
             assert_eq!(
                 frame.len(),
-                msg.frame_len() - REQ_ID_FIELD_LEN - CHECKSUM_FIELD_LEN,
-                "v2 frame must not carry the req-id/checksum fields"
+                msg.frame_len() - REQ_ID_FIELD_LEN - CHECKSUM_FIELD_LEN - DB_ID_FIELD_LEN,
+                "v2 frame must not carry the req-id/checksum/db-id fields"
             );
             let d = Message::decode_frame_ext(&frame).unwrap();
             assert_eq!(d.msg, msg);
             assert_eq!(d.trace, 0xABCD);
             assert_eq!(d.req_id, 0);
             assert_eq!(d.version, V2_PROTOCOL_VERSION);
+            assert_eq!(d.db, "");
         }
+    }
+
+    #[test]
+    fn v3_frames_still_decode() {
+        // A v3 peer's request (req id + checksum, no db field) must still
+        // be served, and both ids must survive.
+        for msg in [
+            Message::Query(sample_query()),
+            Message::NaiveQuery,
+            Message::Ping,
+        ] {
+            let frame = msg.encode_frame_req(V3_PROTOCOL_VERSION, 0xABCD, 77);
+            assert_eq!(
+                frame.len(),
+                msg.frame_len() - DB_ID_FIELD_LEN,
+                "v3 frame must not carry the db-id field"
+            );
+            let d = Message::decode_frame_ext(&frame).unwrap();
+            assert_eq!(d.msg, msg);
+            assert_eq!(d.trace, 0xABCD);
+            assert_eq!(d.req_id, 77);
+            assert_eq!(d.version, V3_PROTOCOL_VERSION);
+            assert_eq!(d.db, "");
+        }
+    }
+
+    #[test]
+    fn db_id_rides_the_frame() {
+        let msg = Message::Query(sample_query());
+        let frame = msg
+            .encode_frame_db(PROTOCOL_VERSION, 7, 42, "hospital-east")
+            .unwrap();
+        assert_eq!(frame.len(), msg.frame_len());
+        let d = Message::decode_frame_ext(&frame).unwrap();
+        assert_eq!(d.msg, msg);
+        assert_eq!(d.trace, 7);
+        assert_eq!(d.req_id, 42);
+        assert_eq!(d.db, "hospital-east");
+        // The db id is framing, not payload: frames to different dbs keep
+        // identical byte counts.
+        assert_eq!(frame.len(), msg.encode_frame().len());
+        // A max-length id still fits the fixed-width field.
+        let long = "d".repeat(MAX_DB_ID_LEN);
+        let frame = msg.encode_frame_db(PROTOCOL_VERSION, 0, 0, &long).unwrap();
+        assert_eq!(Message::decode_frame_ext(&frame).unwrap().db, long);
+    }
+
+    #[test]
+    fn oversized_db_id_rejected_on_encode() {
+        let too_long = "d".repeat(MAX_DB_ID_LEN + 1);
+        assert_eq!(
+            Message::Ping.encode_frame_db(PROTOCOL_VERSION, 0, 0, &too_long),
+            Err(CodecError::DbId("db id exceeds maximum length"))
+        );
+    }
+
+    #[test]
+    fn malformed_db_id_field_is_typed() {
+        let db_pos = FRAME_HEADER_LEN + TRACE_FIELD_LEN + REQ_ID_FIELD_LEN + CHECKSUM_FIELD_LEN;
+        let refresh_crc = |frame: &mut [u8]| {
+            let crc_pos = FRAME_HEADER_LEN + TRACE_FIELD_LEN + REQ_ID_FIELD_LEN;
+            let crc = crc32(&[&frame[..crc_pos], &frame[crc_pos + CHECKSUM_FIELD_LEN..]]);
+            frame[crc_pos..crc_pos + CHECKSUM_FIELD_LEN].copy_from_slice(&crc.to_le_bytes());
+        };
+
+        // Oversized length byte, valid checksum: the typed DbId error.
+        let mut frame = Message::Ping.encode_frame();
+        frame[db_pos] = MAX_DB_ID_LEN as u8 + 1;
+        refresh_crc(&mut frame);
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::DbId("db id exceeds maximum length"))
+        );
+
+        // Nonzero padding past the declared length.
+        let mut frame = Message::Ping
+            .encode_frame_db(PROTOCOL_VERSION, 0, 0, "a")
+            .unwrap();
+        frame[db_pos + 10] = 0xFF;
+        refresh_crc(&mut frame);
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::DbId("nonzero padding after db id"))
+        );
+
+        // Non-UTF-8 name bytes.
+        let mut frame = Message::Ping
+            .encode_frame_db(PROTOCOL_VERSION, 0, 0, "ab")
+            .unwrap();
+        frame[db_pos + 1] = 0xFF;
+        refresh_crc(&mut frame);
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::DbId("db id is not valid UTF-8"))
+        );
+
+        // Without a refreshed checksum, corruption in the db field is a
+        // Checksum error, never a panic or a silently rerouted request.
+        let mut frame = Message::Ping.encode_frame();
+        frame[db_pos] ^= 0x01;
+        assert!(matches!(
+            Message::decode_frame(&frame),
+            Err(CodecError::Checksum { .. })
+        ));
     }
 
     #[test]
@@ -1819,7 +2004,8 @@ mod tests {
         let mut frame = Message::Ping.encode_frame();
         let last = frame.len() - 1;
         frame[last] ^= 0x40;
-        // Ping has no payload, so `last` lands in the checksum field itself.
+        // Ping has no payload, so `last` lands in the db-id padding, which
+        // the checksum covers.
         assert!(matches!(
             Message::decode_frame(&frame),
             Err(CodecError::Checksum { .. })

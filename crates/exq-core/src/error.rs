@@ -23,6 +23,9 @@ pub enum CoreError {
     Codec(String),
     /// A transport-level failure: connect, send, receive, or timeout.
     Transport(String),
+    /// A multi-tenant registry failure: unknown, duplicate, or invalid
+    /// database name.
+    Tenant(String),
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +40,7 @@ impl fmt::Display for CoreError {
             CoreError::Persist(m) => write!(f, "persistence error: {m}"),
             CoreError::Codec(m) => write!(f, "wire codec error: {m}"),
             CoreError::Transport(m) => write!(f, "transport error: {m}"),
+            CoreError::Tenant(m) => write!(f, "tenant error: {m}"),
         }
     }
 }

@@ -48,6 +48,7 @@ pub mod scheme;
 pub mod server;
 pub mod system;
 pub mod telemetry;
+pub mod tenant;
 pub mod transport;
 pub mod update;
 pub mod wire;
@@ -61,6 +62,7 @@ pub use retry::{Retry, RetryConfig};
 pub use scheme::{EncryptionScheme, SchemeKind};
 pub use server::Server;
 pub use system::{HostedDatabase, OutsourceConfig, Outsourcer, QueryOutcome};
+pub use tenant::{Tenant, TenantRegistry, DEFAULT_DB};
 pub use transport::{
-    serve, InProcess, Reconnect, ServeConfig, ServeHandle, TcpTransport, Transport,
+    serve, serve_multi, InProcess, Reconnect, ServeConfig, ServeHandle, TcpTransport, Transport,
 };

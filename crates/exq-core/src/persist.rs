@@ -40,7 +40,7 @@ const CLIENT_MAGIC_V1: &[u8; 6] = b"EXQCL1";
 /// Validates the artifact's magic and trailing checksum, returning the body
 /// (between magic and checksum). Current-format files must end with a CRC32
 /// over everything before it; legacy files carry no checksum.
-fn checked_body<'a>(
+pub(crate) fn checked_body<'a>(
     data: &'a [u8],
     magic: &[u8; 6],
     magic_v1: &[u8; 6],
@@ -72,7 +72,7 @@ fn checked_body<'a>(
 }
 
 /// Appends the trailing CRC32 to a serialized artifact.
-fn seal_checksum(mut buf: Vec<u8>) -> Vec<u8> {
+pub(crate) fn seal_checksum(mut buf: Vec<u8>) -> Vec<u8> {
     let crc = crate::codec::crc32(&[&buf]);
     buf.extend_from_slice(&crc.to_le_bytes());
     buf
@@ -81,7 +81,7 @@ fn seal_checksum(mut buf: Vec<u8>) -> Vec<u8> {
 /// Crash-safe write: temp file in the target's directory, `sync_all`, then
 /// atomic rename over the destination. A crash at any point leaves either
 /// the old artifact or the new one, never a torn mix.
-fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<(), CoreError> {
+pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<(), CoreError> {
     use std::io::Write as _;
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);

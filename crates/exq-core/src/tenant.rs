@@ -1,0 +1,497 @@
+//! Multi-tenancy: one serve loop, many named, independently-keyed sealed
+//! databases.
+//!
+//! The paper's deployment model is a data owner outsourcing one encrypted
+//! document to an untrusted host; a hosted service runs *many* such
+//! databases behind one process. [`TenantRegistry`] maps a database name
+//! (the db id carried by wire-v4 frames) to a [`Tenant`]: the sealed
+//! [`Server`] state, the fingerprint of the client key that sealed it, a
+//! per-db mutation [`ReplayTable`], per-db admission counters and quota,
+//! and per-db traffic counters in the telemetry registry.
+//!
+//! Isolation invariants the registry upholds:
+//!
+//! * **Caches** — each tenant's server carries its own [`ServerCaches`]
+//!   with its own generation counter, so one tenant's mutations never
+//!   invalidate another's cached answers. Registered tenants get
+//!   `{db="<name>"}`-labeled cache counters.
+//! * **Replay** — each tenant has its own replay table, so the same
+//!   request id arriving at two dbs dedupes independently (client request
+//!   ids are only unique per client, not across tenants).
+//! * **Admission** — each tenant has its own in-flight counter and an
+//!   optional per-db cap, so one tenant's Busy storm cannot starve
+//!   another's fair share of the global limit (see the serve loop).
+//!
+//! Persistence is a directory-of-databases layout: a checksummed
+//! `MANIFEST` naming every db plus one crash-safe state file per db.
+//! Old single-file server artifacts are auto-migrated on load
+//! ([`TenantRegistry::open`]): the file is hosted as the default db and
+//! the next [`TenantRegistry::save_dir`] writes the new layout.
+//!
+//! [`ServerCaches`]: crate::cache::ServerCaches
+
+use crate::codec::MAX_DB_ID_LEN;
+use crate::error::CoreError;
+use crate::server::Server;
+use crate::telemetry::{self, Counter};
+use crate::transport::ReplayTable;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The database that anonymous (pre-v4 or empty-db) requests route to.
+pub const DEFAULT_DB: &str = "default";
+
+/// Manifest file name inside a database directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Manifest magic (versioned like the other persistence artifacts).
+const MANIFEST_MAGIC: &[u8; 6] = b"EXQMF1";
+
+/// Validates a database id: non-empty, at most [`MAX_DB_ID_LEN`] bytes,
+/// characters restricted to `[A-Za-z0-9._-]`, and starting with an
+/// alphanumeric — safe as a wire field, a telemetry label, and a file
+/// name, with no escaping anywhere.
+pub fn validate_db_id(name: &str) -> Result<(), CoreError> {
+    if name.is_empty() {
+        return Err(CoreError::Tenant("database name is empty".into()));
+    }
+    if name.len() > MAX_DB_ID_LEN {
+        return Err(CoreError::Tenant(format!(
+            "database name '{name}' exceeds {MAX_DB_ID_LEN} bytes"
+        )));
+    }
+    let mut chars = name.chars();
+    let first = chars.next().unwrap();
+    if !first.is_ascii_alphanumeric() {
+        return Err(CoreError::Tenant(format!(
+            "database name '{name}' must start with an ASCII letter or digit"
+        )));
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+    {
+        return Err(CoreError::Tenant(format!(
+            "database name '{name}' may only contain [A-Za-z0-9._-]"
+        )));
+    }
+    Ok(())
+}
+
+/// One hosted database: sealed server state plus everything the serve loop
+/// must keep *per tenant* so tenants cannot interfere with each other.
+pub struct Tenant {
+    name: String,
+    /// The sealed server. Shared (`Arc<RwLock>`) so a caller that already
+    /// holds a handle (tests, the single-db [`serve`] wrapper) observes
+    /// the same state the serve loop mutates.
+    ///
+    /// [`serve`]: crate::transport::serve
+    pub server: Arc<RwLock<Server>>,
+    /// Per-tenant at-most-once mutation ledger: request ids are only
+    /// unique per client, so replay suppression must not bleed across dbs.
+    pub replay: ReplayTable,
+    /// Requests currently admitted for this tenant.
+    inflight: AtomicUsize,
+    /// Per-db in-flight cap (0 = inherit the serve loop's fair share).
+    max_inflight: AtomicUsize,
+    /// FNV-1a fingerprint of the sealing client's master key (0 when
+    /// unknown, e.g. for servers adopted without their client artifact).
+    key_fingerprint: u64,
+    /// `exq_db_requests_total{db="<name>"}`.
+    requests: Arc<Counter>,
+    /// `exq_db_shed_total{db="<name>"}`.
+    shed: Arc<Counter>,
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("name", &self.name)
+            .field("key_fingerprint", &self.key_fingerprint)
+            .field("inflight", &self.inflight())
+            .field("max_inflight", &self.max_inflight())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tenant {
+    fn new(
+        name: &str,
+        server: Arc<RwLock<Server>>,
+        key_fingerprint: u64,
+        max_inflight: usize,
+    ) -> Tenant {
+        Tenant {
+            name: name.to_owned(),
+            server,
+            replay: ReplayTable::default(),
+            inflight: AtomicUsize::new(0),
+            max_inflight: AtomicUsize::new(max_inflight),
+            key_fingerprint,
+            requests: telemetry::counter(&format!("exq_db_requests_total{{db=\"{name}\"}}")),
+            shed: telemetry::counter(&format!("exq_db_shed_total{{db=\"{name}\"}}")),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn key_fingerprint(&self) -> u64 {
+        self.key_fingerprint
+    }
+
+    /// Requests currently admitted for this tenant.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn enter_inflight(&self) -> usize {
+        self.inflight.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub(crate) fn leave_inflight(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The per-db in-flight quota (0 = inherit the fair share).
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight.load(Ordering::SeqCst)
+    }
+
+    pub fn set_max_inflight(&self, cap: usize) {
+        self.max_inflight.store(cap, Ordering::SeqCst);
+    }
+
+    /// The cap the admission check enforces for this tenant: its own quota
+    /// if set, else the serve loop's computed fair share.
+    pub fn effective_cap(&self, fair_share: usize) -> usize {
+        let own = self.max_inflight();
+        if own > 0 {
+            own
+        } else {
+            fair_share
+        }
+    }
+
+    /// Requests routed to this tenant (admitted or shed).
+    pub fn requests_total(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Requests shed for this tenant at admission.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.get()
+    }
+
+    pub(crate) fn note_request(&self) {
+        self.requests.inc();
+    }
+
+    pub(crate) fn note_shed(&self) {
+        self.shed.inc();
+    }
+
+    /// Cache counters of this tenant's server.
+    pub fn cache_stats(&self) -> crate::cache::CacheStatsSnapshot {
+        match self.server.read() {
+            Ok(guard) => guard.cache_stats(),
+            Err(poisoned) => poisoned.into_inner().cache_stats(),
+        }
+    }
+}
+
+/// A named collection of hosted databases behind one serve loop.
+pub struct TenantRegistry {
+    inner: RwLock<HashMap<String, Arc<Tenant>>>,
+    default_db: String,
+}
+
+impl TenantRegistry {
+    /// An empty registry whose anonymous requests will route to
+    /// `default_db` once a database of that name is created.
+    pub fn new(default_db: &str) -> Result<TenantRegistry, CoreError> {
+        validate_db_id(default_db)?;
+        Ok(TenantRegistry {
+            inner: RwLock::new(HashMap::new()),
+            default_db: default_db.to_owned(),
+        })
+    }
+
+    /// Wraps one already-shared server as the sole (default) database,
+    /// preserving the single-db [`serve`] behavior exactly: the caller's
+    /// `Arc` stays live and the server's caches are *not* relabeled.
+    ///
+    /// [`serve`]: crate::transport::serve
+    pub fn single(name: &str, server: Arc<RwLock<Server>>) -> Result<TenantRegistry, CoreError> {
+        let registry = TenantRegistry::new(name)?;
+        let tenant = Arc::new(Tenant::new(name, server, 0, 0));
+        registry.lock_write().insert(name.to_owned(), tenant);
+        Ok(registry)
+    }
+
+    fn lock_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Tenant>>> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn lock_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Tenant>>> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Registers a database. Rejects invalid names and duplicates with a
+    /// typed [`CoreError::Tenant`]; labels the server's caches with the db
+    /// name so its stats are scrapeable per tenant.
+    pub fn create(
+        &self,
+        name: &str,
+        server: Server,
+        key_fingerprint: u64,
+        max_inflight: usize,
+    ) -> Result<Arc<Tenant>, CoreError> {
+        validate_db_id(name)?;
+        let mut server = server;
+        server.set_cache_db_label(name);
+        let server = Arc::new(RwLock::new(server));
+        let tenant = Arc::new(Tenant::new(name, server, key_fingerprint, max_inflight));
+        let mut map = self.lock_write();
+        if map.contains_key(name) {
+            return Err(CoreError::Tenant(format!(
+                "database '{name}' already exists"
+            )));
+        }
+        map.insert(name.to_owned(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// The tenant a frame's db id routes to: the named db, or the default
+    /// db for an empty id (which is all pre-v4 peers can send). Unknown
+    /// names are a typed error, answered as an error frame — never a
+    /// panic, never another tenant's data.
+    pub fn resolve(&self, db: &str) -> Result<Arc<Tenant>, CoreError> {
+        let name = if db.is_empty() { &self.default_db } else { db };
+        self.lock_read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::Tenant(format!("unknown database '{name}'")))
+    }
+
+    /// The named tenant, if registered.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.lock_read().get(name).cloned()
+    }
+
+    /// Unregisters a database. The state file (if any) is not touched;
+    /// callers that manage a directory remove it and re-save the manifest.
+    pub fn drop_db(&self, name: &str) -> Result<Arc<Tenant>, CoreError> {
+        self.lock_write()
+            .remove(name)
+            .ok_or_else(|| CoreError::Tenant(format!("unknown database '{name}'")))
+    }
+
+    /// Registered database names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.lock_read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock_read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The database anonymous requests route to.
+    pub fn default_db(&self) -> &str {
+        &self.default_db
+    }
+
+    /// All tenants, sorted by name (for logging and per-db stats).
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        let mut out: Vec<Arc<Tenant>> = self.lock_read().values().cloned().collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    // ------------------------------------------------------- persistence --
+
+    /// The state file a database persists to inside `dir`.
+    pub fn db_path(dir: &Path, name: &str) -> PathBuf {
+        dir.join(format!("{name}.exq"))
+    }
+
+    /// Saves every database to `dir` in the directory-of-databases layout:
+    /// one crash-safe state file per db plus a checksummed manifest. The
+    /// directory is created if missing.
+    pub fn save_dir(&self, dir: &Path) -> Result<(), CoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| CoreError::Persist(e.to_string()))?;
+        let tenants = self.tenants();
+        for t in &tenants {
+            let guard = match t.server.read() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.save(&Self::db_path(dir, &t.name))?;
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        write_string(&mut buf, &self.default_db);
+        buf.extend_from_slice(&(tenants.len() as u64).to_le_bytes());
+        for t in &tenants {
+            write_string(&mut buf, &t.name);
+            write_string(&mut buf, &format!("{}.exq", t.name));
+            buf.extend_from_slice(&t.key_fingerprint.to_le_bytes());
+            buf.extend_from_slice(&(t.max_inflight() as u64).to_le_bytes());
+        }
+        crate::persist::atomic_write(
+            &dir.join(MANIFEST_FILE),
+            &crate::persist::seal_checksum(buf),
+        )
+    }
+
+    /// Loads a directory-of-databases layout written by
+    /// [`TenantRegistry::save_dir`].
+    pub fn load_dir(dir: &Path) -> Result<TenantRegistry, CoreError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let data = std::fs::read(&manifest_path)
+            .map_err(|e| CoreError::Persist(format!("read {}: {e}", manifest_path.display())))?;
+        let body = crate::persist::checked_body(&data, MANIFEST_MAGIC, MANIFEST_MAGIC, "manifest")?;
+        let mut pos = 0usize;
+        let default_db = read_string(body, &mut pos)?;
+        let count = read_u64(body, &mut pos)? as usize;
+        // Each entry is at least two length prefixes + two u64s.
+        if count.saturating_mul(32) > body.len() {
+            return Err(CoreError::Persist("manifest count exceeds input".into()));
+        }
+        let registry = TenantRegistry::new(&default_db)?;
+        for _ in 0..count {
+            let name = read_string(body, &mut pos)?;
+            let file = read_string(body, &mut pos)?;
+            let key_fingerprint = read_u64(body, &mut pos)?;
+            let max_inflight = read_u64(body, &mut pos)? as usize;
+            validate_db_id(&name)?;
+            if std::path::Path::new(&file).components().nth(1).is_some() {
+                return Err(CoreError::Persist(format!(
+                    "manifest entry '{name}' names a non-local state file '{file}'"
+                )));
+            }
+            let server = Server::load(&dir.join(&file))?;
+            registry.create(&name, server, key_fingerprint, max_inflight)?;
+        }
+        if pos != body.len() {
+            return Err(CoreError::Persist("manifest trailing bytes".into()));
+        }
+        Ok(registry)
+    }
+
+    /// Opens `path` in whichever layout it holds: a directory with a
+    /// manifest loads as-is, a legacy single-file server artifact is
+    /// auto-migrated in memory — hosted as `default_db` (key fingerprint
+    /// unknown); the next [`TenantRegistry::save_dir`] writes the new
+    /// layout.
+    pub fn open(path: &Path, default_db: &str) -> Result<TenantRegistry, CoreError> {
+        if path.is_dir() {
+            return Self::load_dir(path);
+        }
+        let server = Server::load(path)?;
+        let registry = TenantRegistry::new(default_db)?;
+        registry.create(default_db, server, 0, 0)?;
+        Ok(registry)
+    }
+}
+
+fn write_string(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CoreError> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| CoreError::Persist("manifest truncated".into()))?;
+    let v = u64::from_le_bytes(buf[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+fn read_string(buf: &[u8], pos: &mut usize) -> Result<String, CoreError> {
+    let n = read_u64(buf, pos)? as usize;
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| CoreError::Persist("manifest truncated".into()))?;
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| CoreError::Persist("manifest string is not UTF-8".into()))?
+        .to_owned();
+    *pos = end;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_id_validation() {
+        assert!(validate_db_id("hospital-east").is_ok());
+        assert!(validate_db_id("a").is_ok());
+        assert!(validate_db_id("v2.records_x").is_ok());
+        assert!(validate_db_id(&"d".repeat(MAX_DB_ID_LEN)).is_ok());
+
+        assert!(validate_db_id("").is_err());
+        assert!(validate_db_id(&"d".repeat(MAX_DB_ID_LEN + 1)).is_err());
+        assert!(validate_db_id(".hidden").is_err());
+        assert!(validate_db_id("-flag").is_err());
+        assert!(validate_db_id("has space").is_err());
+        assert!(validate_db_id("has/slash").is_err());
+        assert!(validate_db_id("há").is_err());
+    }
+
+    fn test_server() -> Server {
+        crate::server::tests_support::build_server(crate::scheme::SchemeKind::Opt).0
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_unknowns() {
+        let registry = TenantRegistry::new("main-reg-test").unwrap();
+        registry
+            .create("main-reg-test", test_server(), 7, 0)
+            .unwrap();
+        let err = registry
+            .create("main-reg-test", test_server(), 7, 0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Tenant(_)), "got {err:?}");
+        assert!(matches!(
+            registry.resolve("nope"),
+            Err(CoreError::Tenant(_))
+        ));
+        // Empty id routes to the default db.
+        assert_eq!(registry.resolve("").unwrap().name(), "main-reg-test");
+        assert_eq!(registry.names(), vec!["main-reg-test".to_owned()]);
+        registry.drop_db("main-reg-test").unwrap();
+        assert!(registry.is_empty());
+        assert!(matches!(registry.resolve(""), Err(CoreError::Tenant(_))));
+    }
+
+    #[test]
+    fn effective_cap_prefers_own_quota() {
+        let registry = TenantRegistry::new("cap-test-db").unwrap();
+        let t = registry.create("cap-test-db", test_server(), 0, 0).unwrap();
+        assert_eq!(t.effective_cap(5), 5, "no quota → fair share");
+        t.set_max_inflight(2);
+        assert_eq!(t.effective_cap(5), 2, "own quota wins");
+        assert_eq!(t.effective_cap(0), 2);
+    }
+}

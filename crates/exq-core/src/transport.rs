@@ -8,10 +8,14 @@
 //! * [`TcpTransport`] — a real socket (std only, no async runtime), with
 //!   connect retry + exponential backoff and per-request I/O timeouts.
 //!
-//! The server side is [`serve`]: an accept loop handing connections to a
-//! small worker pool over an `Arc<RwLock<Server>>`. Read-style requests
-//! (queries, block fetches) share the read lock and run concurrently;
-//! mutations (insert/delete) take the write lock.
+//! The server side is [`serve_multi`]: an accept loop handing connections
+//! to a small worker pool over a [`TenantRegistry`] — one process hosting
+//! many named, independently-keyed sealed databases. Each wire-v4 frame
+//! names the db it addresses (empty = the default db, which is also where
+//! v1–v3 peers land); read-style requests share that tenant's read lock
+//! and run concurrently, mutations take its write lock. The single-db
+//! [`serve`] entry point wraps the caller's `Arc<RwLock<Server>>` as the
+//! sole default tenant.
 //!
 //! Both sides treat the peer as untrusted at the framing layer: decode
 //! errors never panic, and a connection that sends garbage framing is
@@ -20,8 +24,12 @@
 //! Fault tolerance: the serve loop enforces an optional max-in-flight
 //! limit and per-request deadline, answering [`Message::Busy`] instead of
 //! queueing unboundedly (cache-hit queries are admitted ahead of misses),
-//! and keeps a [`ReplayTable`] so a mutation replayed by the client-side
-//! retry layer ([`crate::retry::Retry`]) is applied at most once.
+//! and keeps a per-tenant [`ReplayTable`] so a mutation replayed by the
+//! client-side retry layer ([`crate::retry::Retry`]) is applied at most
+//! once. Admission is *fair-share*: on top of the global in-flight limit,
+//! each tenant is capped (its own quota, or `max_inflight` split evenly
+//! across tenants), so one hot tenant's Busy storm cannot starve another
+//! tenant's share of the server.
 
 use crate::codec::{
     frame_extra_len, CodecError, DecodedFrame, Message, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
@@ -29,6 +37,7 @@ use crate::codec::{
 use crate::error::CoreError;
 use crate::server::Server;
 use crate::telemetry::{self, Counter, Gauge};
+use crate::tenant::{Tenant, TenantRegistry, DEFAULT_DB};
 use crate::update::{DeleteOutcome, InsertDelta, InsertionSlot};
 use crate::wire::{ServerQuery, ServerResponse};
 use exq_crypto::SealedBlock;
@@ -533,6 +542,9 @@ pub struct TcpTransport {
     config: TcpConfig,
     stats: LinkStats,
     next_req_id: u64,
+    /// Database the frames address on a multi-tenant server (empty = the
+    /// server's default db).
+    db: String,
 }
 
 /// One dial pass over the resolved addresses, with retry + backoff.
@@ -584,12 +596,27 @@ impl TcpTransport {
             config,
             stats: LinkStats::default(),
             next_req_id: 0,
+            db: String::new(),
         })
     }
 
     /// Connects with default [`TcpConfig`].
     pub fn connect_default(addr: impl ToSocketAddrs) -> Result<TcpTransport, CoreError> {
         TcpTransport::connect(addr, TcpConfig::default())
+    }
+
+    /// Addresses every subsequent frame to the named database on a
+    /// multi-tenant server (builder form). Rejects invalid db ids up
+    /// front, before anything hits the wire.
+    pub fn with_db(mut self, db: &str) -> Result<TcpTransport, CoreError> {
+        crate::tenant::validate_db_id(db)?;
+        self.db = db.to_owned();
+        Ok(self)
+    }
+
+    /// The database this transport addresses (empty = server default).
+    pub fn db(&self) -> &str {
+        &self.db
     }
 
     pub fn peer_addr(&self) -> SocketAddr {
@@ -600,11 +627,12 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn roundtrip(&mut self, req: &Message) -> Result<Message, CoreError> {
         let req_id = std::mem::take(&mut self.next_req_id);
-        let frame = req.encode_frame_req(
+        let frame = req.encode_frame_db(
             crate::codec::PROTOCOL_VERSION,
             telemetry::current_trace(),
             req_id,
-        );
+            &self.db,
+        )?;
         self.stream
             .write_all(&frame)
             .and_then(|_| self.stream.flush())
@@ -677,6 +705,11 @@ pub struct ServeConfig {
     /// [`Message::Busy`] — except cache-hit queries and cheap stats
     /// requests, which are still admitted.
     pub max_inflight: usize,
+    /// Maximum concurrently admitted requests *per database* (`0` = auto:
+    /// each tenant gets a fair share of `max_inflight`, split evenly).
+    /// Keeps one hot tenant's burst from occupying every admission slot
+    /// and starving quiet tenants.
+    pub max_inflight_per_db: usize,
     /// Per-request deadline on acquiring the server (`ZERO` = none). A
     /// request that cannot take its lock within the deadline is answered
     /// [`Message::Busy`] instead of queueing behind a long writer.
@@ -694,37 +727,58 @@ impl Default for ServeConfig {
             threads: 0,
             cache_entries: None,
             max_inflight: 0,
+            max_inflight_per_db: 0,
             deadline: Duration::ZERO,
             retry_after: Duration::from_millis(25),
         }
     }
 }
 
-/// Admission state shared by every connection of one [`serve`] instance.
+/// Admission state shared by every connection of one [`serve_multi`]
+/// instance. Per-tenant state (replay tables, per-db in-flight counters)
+/// lives inside the registry's [`Tenant`]s.
 struct ServeShared {
-    /// Requests currently being dispatched (admission-controlled).
+    /// The databases this instance hosts.
+    registry: Arc<TenantRegistry>,
+    /// Requests currently being dispatched across all tenants
+    /// (admission-controlled).
     inflight: AtomicUsize,
-    /// At-most-once ledger for mutations, shared across connections so a
-    /// retried mutation dedupes even after a reconnect.
-    replay: ReplayTable,
 }
 
-/// Panic-safe in-flight accounting: decrements the counter (and mirrors
-/// the gauge) even if dispatch panics.
-struct InflightGuard<'a>(&'a ServeShared);
+/// Panic-safe in-flight accounting: decrements the global and per-tenant
+/// counters (and mirrors the gauge) even if dispatch panics.
+struct InflightGuard<'a> {
+    shared: &'a ServeShared,
+    tenant: &'a Tenant,
+}
 
 impl<'a> InflightGuard<'a> {
-    fn enter(shared: &'a ServeShared) -> InflightGuard<'a> {
+    fn enter(shared: &'a ServeShared, tenant: &'a Tenant) -> InflightGuard<'a> {
         shared.inflight.fetch_add(1, Ordering::SeqCst);
+        tenant.enter_inflight();
         ft_metrics().inflight.add(1);
-        InflightGuard(shared)
+        InflightGuard { shared, tenant }
     }
 }
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.tenant.leave_inflight();
         ft_metrics().inflight.add(-1);
+    }
+}
+
+/// The per-db admission cap in effect: an explicit `max_inflight_per_db`
+/// wins; otherwise `max_inflight` is split evenly across tenants (at
+/// least 1 each). `0` = no per-db cap.
+fn fair_share(config: &ServeConfig, tenants: usize) -> usize {
+    if config.max_inflight_per_db > 0 {
+        config.max_inflight_per_db
+    } else if config.max_inflight > 0 && tenants > 0 {
+        (config.max_inflight / tenants).max(1)
+    } else {
+        0
     }
 }
 
@@ -734,7 +788,7 @@ pub struct ServeHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     threads: Vec<thread::JoinHandle<()>>,
-    server: Arc<RwLock<Server>>,
+    registry: Arc<TenantRegistry>,
 }
 
 impl ServeHandle {
@@ -743,12 +797,26 @@ impl ServeHandle {
         self.addr
     }
 
-    /// Cache counters of the served instance (for `exq serve` logging).
+    /// The hosted databases.
+    pub fn registry(&self) -> &Arc<TenantRegistry> {
+        &self.registry
+    }
+
+    /// Cache counters of the default database (for `exq serve` logging).
     pub fn cache_stats(&self) -> crate::cache::CacheStatsSnapshot {
-        match self.server.read() {
-            Ok(guard) => guard.cache_stats(),
-            Err(poisoned) => poisoned.into_inner().cache_stats(),
+        match self.registry.resolve("") {
+            Ok(tenant) => tenant.cache_stats(),
+            Err(_) => crate::cache::CacheStatsSnapshot::default(),
         }
+    }
+
+    /// Cache counters broken out per database, sorted by name.
+    pub fn cache_stats_per_db(&self) -> Vec<(String, crate::cache::CacheStatsSnapshot)> {
+        self.registry
+            .tenants()
+            .into_iter()
+            .map(|t| (t.name().to_owned(), t.cache_stats()))
+            .collect()
     }
 
     /// Stops accepting, drains workers, joins threads.
@@ -777,40 +845,59 @@ impl Drop for ServeHandle {
 
 /// Runs the frame protocol over `listener` against a shared server.
 ///
-/// Read-style requests are answered under the read lock (concurrently);
-/// insert/delete take the write lock. Returns immediately; the returned
-/// handle owns the accept and worker threads.
+/// The server becomes the sole (default) database of a single-tenant
+/// registry; frames that don't name a db — and all v1–v3 frames — route
+/// to it, so existing single-database deployments behave exactly as
+/// before. Read-style requests are answered under the read lock
+/// (concurrently); insert/delete take the write lock. Returns
+/// immediately; the returned handle owns the accept and worker threads.
 pub fn serve(
     listener: TcpListener,
     server: Arc<RwLock<Server>>,
     config: ServeConfig,
 ) -> std::io::Result<ServeHandle> {
+    let registry =
+        Arc::new(TenantRegistry::single(DEFAULT_DB, server).expect("default db id is valid"));
+    serve_multi(listener, registry, config)
+}
+
+/// Runs the frame protocol over `listener` against a registry of sealed
+/// databases. v4 frames route by the db id they carry (empty = the
+/// registry's default db); v1–v3 frames always hit the default db.
+/// Unknown db ids are answered with a typed tenant error, never a panic
+/// or a dropped connection.
+pub fn serve_multi(
+    listener: TcpListener,
+    registry: Arc<TenantRegistry>,
+    config: ServeConfig,
+) -> std::io::Result<ServeHandle> {
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    // Apply the intra-query parallelism and cache knobs to the served
+    // Apply the intra-query parallelism and cache knobs to every hosted
     // instance.
-    match server.write() {
-        Ok(mut guard) => {
-            guard.set_threads(config.threads);
-            guard.set_cache_entries(config.cache_entries);
-        }
-        Err(poisoned) => {
-            let mut guard = poisoned.into_inner();
-            guard.set_threads(config.threads);
-            guard.set_cache_entries(config.cache_entries);
+    for tenant in registry.tenants() {
+        match tenant.server.write() {
+            Ok(mut guard) => {
+                guard.set_threads(config.threads);
+                guard.set_cache_entries(config.cache_entries);
+            }
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.set_threads(config.threads);
+                guard.set_cache_entries(config.cache_entries);
+            }
         }
     }
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
     let shared = Arc::new(ServeShared {
+        registry: Arc::clone(&registry),
         inflight: AtomicUsize::new(0),
-        replay: ReplayTable::default(),
     });
     let mut threads = Vec::with_capacity(config.workers.max(1) + 1);
 
     for _ in 0..config.workers.max(1) {
         let rx = Arc::clone(&conn_rx);
-        let srv = Arc::clone(&server);
         let stop_flag = Arc::clone(&stop);
         let shr = Arc::clone(&shared);
         let cfg = config.clone();
@@ -822,7 +909,7 @@ pub fn serve(
                 Err(poisoned) => poisoned.into_inner().recv(),
             };
             match next {
-                Ok(stream) => handle_connection(stream, &srv, &shr, &stop_flag, &cfg),
+                Ok(stream) => handle_connection(stream, &shr, &stop_flag, &cfg),
                 Err(_) => return, // accept loop gone
             }
         }));
@@ -848,7 +935,7 @@ pub fn serve(
         addr,
         stop,
         threads,
-        server,
+        registry,
     })
 }
 
@@ -856,7 +943,6 @@ pub fn serve(
 /// mid-frame stall longer than `config.io_timeout`.
 fn handle_connection(
     stream: TcpStream,
-    server: &RwLock<Server>,
     shared: &ServeShared,
     stop: &AtomicBool,
     config: &ServeConfig,
@@ -905,7 +991,7 @@ fn handle_connection(
                 send_error(&mut stream, &e, version);
                 return;
             }
-            Ok(d) => serve_one(server, shared, config, &d),
+            Ok(d) => serve_one(shared, config, &d),
         };
         // Reply in the request's protocol version so legacy peers can
         // decode the response.
@@ -930,7 +1016,7 @@ const LOCK_POLL: Duration = Duration::from_micros(500);
 /// `Busy` frame, so they get a transport-class error carrying the hint.
 fn busy_reply(version: u8, retry_after: Duration) -> Message {
     let retry_after_ms = retry_after.as_millis().min(u32::MAX as u128) as u32;
-    if version >= crate::codec::PROTOCOL_VERSION {
+    if version >= crate::codec::V3_PROTOCOL_VERSION {
         Message::Busy { retry_after_ms }
     } else {
         Message::Error(WireError::from_core(&CoreError::Transport(format!(
@@ -939,10 +1025,22 @@ fn busy_reply(version: u8, retry_after: Duration) -> Message {
     }
 }
 
-/// Admission policy at the in-flight limit. Cheap stats requests are always
-/// admitted (they answer from atomics); queries are admitted only if the
-/// response cache already holds their answer — shedding expensive misses
-/// while still serving hits keeps goodput up under overload.
+/// Request-class half of the admission policy: given that *some* in-flight
+/// limit has been hit, is this request sheddable? Cheap stats requests are
+/// always admitted (they answer from atomics); queries are admitted only
+/// if the response cache already holds their answer — shedding expensive
+/// misses while still serving hits keeps goodput up under overload.
+fn shed_class(req: &Message, cache_hit: impl FnOnce() -> bool) -> bool {
+    match req {
+        Message::CacheStatsReq | Message::MetricsReq => false,
+        Message::Query(_) => !cache_hit(),
+        _ => true,
+    }
+}
+
+/// Admission policy at a single in-flight limit (the single-tenant view;
+/// [`serve_one`] combines the global and per-db limits via [`shed_class`]).
+#[cfg(test)]
 fn should_shed(
     req: &Message,
     inflight: usize,
@@ -952,11 +1050,7 @@ fn should_shed(
     if max_inflight == 0 || inflight < max_inflight {
         return false;
     }
-    match req {
-        Message::CacheStatsReq | Message::MetricsReq => false,
-        Message::Query(_) => !cache_hit(),
-        _ => true,
-    }
+    shed_class(req, cache_hit)
 }
 
 /// Probes whether the response cache holds `q` without blocking: a held
@@ -1023,34 +1117,40 @@ fn write_lock_within(
     }
 }
 
-/// Dispatches one decoded request under admission control: sheds at the
-/// in-flight limit, bounds lock acquisition by the deadline, and answers
-/// mutations through the replay table for at-most-once semantics.
-fn serve_one(
-    server: &RwLock<Server>,
-    shared: &ServeShared,
-    config: &ServeConfig,
-    d: &DecodedFrame,
-) -> Message {
+/// Dispatches one decoded request under admission control: resolves the
+/// frame's db to a tenant (typed error for unknown dbs), sheds at the
+/// global *or* per-db in-flight limit, bounds lock acquisition by the
+/// deadline, and answers mutations through the tenant's own replay table
+/// for at-most-once semantics.
+fn serve_one(shared: &ServeShared, config: &ServeConfig, d: &DecodedFrame) -> Message {
     // Liveness probes answer instantly, without the server lock or an
     // admission slot: a saturated server is alive, not dead.
     if matches!(d.msg, Message::Ping) {
         return Message::Pong;
     }
+    let tenant = match shared.registry.resolve(&d.db) {
+        Ok(t) => t,
+        Err(e) => return Message::Error(WireError::from_core(&e)),
+    };
+    tenant.note_request();
+    let server = &tenant.server;
     let inflight = shared.inflight.load(Ordering::SeqCst);
-    if should_shed(&d.msg, inflight, config.max_inflight, || {
-        probe_cache_hit(server, &d.msg)
-    }) {
+    let over_global = config.max_inflight != 0 && inflight >= config.max_inflight;
+    let db_cap = tenant.effective_cap(fair_share(config, shared.registry.len()));
+    let over_db = db_cap != 0 && tenant.inflight() >= db_cap;
+    if (over_global || over_db) && shed_class(&d.msg, || probe_cache_hit(server, &d.msg)) {
         ft_metrics().shed.inc();
+        tenant.note_shed();
         return busy_reply(d.version, config.retry_after);
     }
-    let _guard = InflightGuard::enter(shared);
+    let _guard = InflightGuard::enter(shared, &tenant);
     let deadline = config.deadline;
-    dispatch_traced(d.trace, || {
+    let started = Instant::now();
+    let reply = dispatch_traced(d.trace, || {
         if d.msg.is_mutation() {
             match write_lock_within(server, deadline) {
                 Some(mut guard) => {
-                    apply_request_keyed(&mut guard, &shared.replay, d.req_id, &d.msg)
+                    apply_request_keyed(&mut guard, &tenant.replay, d.req_id, &d.msg)
                 }
                 None => {
                     ft_metrics().deadline_shed.inc();
@@ -1066,7 +1166,9 @@ fn serve_one(
                 }
             }
         }
-    })
+    });
+    telemetry::record_span(&format!("db.{}", tenant.name()), started.elapsed());
+    reply
 }
 
 enum ReadOutcome {

@@ -3,8 +3,9 @@
 //! error — never a panic, never a bogus decode that re-encodes differently.
 
 use exq_core::codec::{
-    CodecError, Message, WireCodec, WireError, FRAME_EXTRA_LEN, FRAME_HEADER_LEN,
-    LEGACY_PROTOCOL_VERSION, PROTOCOL_VERSION, TRACE_FIELD_LEN, V2_PROTOCOL_VERSION,
+    crc32, CodecError, Message, WireCodec, WireError, CHECKSUM_FIELD_LEN, DB_ID_FIELD_LEN,
+    FRAME_EXTRA_LEN, FRAME_HEADER_LEN, LEGACY_PROTOCOL_VERSION, PROTOCOL_VERSION, REQ_ID_FIELD_LEN,
+    TRACE_FIELD_LEN, V2_PROTOCOL_VERSION,
 };
 use exq_core::telemetry::{Side, SpanRec};
 use exq_core::update::{DeleteOutcome, InsertDelta, InsertionSlot};
@@ -347,6 +348,66 @@ proptest! {
         prop_assert_eq!(trace, 0, "v1 frames carry no trace id");
         prop_assert_eq!(version, LEGACY_PROTOCOL_VERSION);
         prop_assert_eq!(back.encode_frame_v(LEGACY_PROTOCOL_VERSION, 0), frame);
+    }
+
+    /// Any valid db id rides a v4 frame unchanged, and the frame length is
+    /// invariant in the id (fixed-width field — ids are not length-leaked).
+    #[test]
+    fn db_id_roundtrips_on_any_message(
+        msg in arb_message(),
+        db in "[a-z][a-z0-9._-]{0,62}",
+        trace in any::<u64>(),
+        req_id in any::<u64>(),
+    ) {
+        let frame = msg.encode_frame_db(PROTOCOL_VERSION, trace, req_id, &db).unwrap();
+        let bare = msg.encode_frame_db(PROTOCOL_VERSION, trace, req_id, "").unwrap();
+        prop_assert_eq!(frame.len(), bare.len(), "db id must not change frame length");
+        let d = Message::decode_frame_ext(&frame).expect("decode db frame");
+        prop_assert_eq!(d.db, db);
+        prop_assert_eq!(d.trace, trace);
+        prop_assert_eq!(d.req_id, req_id);
+    }
+
+    /// Single-byte corruption of a v4 frame — including within the db-id
+    /// field — never panics the decoder.
+    #[test]
+    fn db_frame_corruption_never_panics(
+        msg in arb_message(),
+        db in "[a-z][a-z0-9._-]{0,62}",
+        pos in any::<u32>(),
+        xor in 1u8..=255,
+    ) {
+        let mut frame = msg.encode_frame_db(PROTOCOL_VERSION, 7, 9, &db).unwrap();
+        let idx = pos as usize % frame.len();
+        frame[idx] ^= xor;
+        match Message::decode_frame(&frame) {
+            Err(_) => {}
+            Ok(m) => {
+                let _ = m.encode_frame();
+            }
+        }
+    }
+
+    /// Arbitrary bytes in the db-id field — oversized length byte, nonzero
+    /// padding, non-UTF-8 — behind a *valid* checksum always yield a typed
+    /// error or a clean decode, never a panic. (The CRC is recomputed so
+    /// corruption reaches the db-id validator instead of tripping the
+    /// checksum first.)
+    #[test]
+    fn garbage_db_field_is_typed_not_a_panic(
+        msg in arb_message(),
+        field in proptest::collection::vec(any::<u8>(), DB_ID_FIELD_LEN),
+    ) {
+        let mut frame = msg.encode_frame_db(PROTOCOL_VERSION, 1, 2, "x").unwrap();
+        let db_pos = FRAME_HEADER_LEN + TRACE_FIELD_LEN + REQ_ID_FIELD_LEN + CHECKSUM_FIELD_LEN;
+        frame[db_pos..db_pos + DB_ID_FIELD_LEN].copy_from_slice(&field);
+        let crc_pos = FRAME_HEADER_LEN + TRACE_FIELD_LEN + REQ_ID_FIELD_LEN;
+        let crc = crc32(&[&frame[..crc_pos], &frame[crc_pos + CHECKSUM_FIELD_LEN..]]);
+        frame[crc_pos..crc_pos + CHECKSUM_FIELD_LEN].copy_from_slice(&crc.to_le_bytes());
+        match Message::decode_frame_ext(&frame) {
+            Err(CodecError::DbId(_)) | Ok(_) => {}
+            Err(e) => prop_assert!(false, "expected DbId error or clean decode, got {e:?}"),
+        }
     }
 
     /// Single-byte corruption of a traced frame — including within the

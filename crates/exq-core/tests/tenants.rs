@@ -1,0 +1,476 @@
+//! Multi-tenant isolation: one serve loop hosting several independently
+//! keyed sealed databases must keep them bit-for-bit independent — answers,
+//! caches, replay tables, admission slots, and on-disk state — while v1–v3
+//! peers keep getting correct answers from the default db.
+
+use exq_core::codec::{Message, FRAME_HEADER_LEN};
+use exq_core::constraints::SecurityConstraint;
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::tenant::TenantRegistry;
+use exq_core::transport::{serve_multi, ServeConfig, ServeHandle, TcpTransport, Transport};
+use exq_core::{Client, Server};
+use exq_xml::Document;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("exq-tenants-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A hospital database whose patient names/values are salted by `tag` so
+/// every tenant's correct answers are distinguishable, sealed under keys
+/// derived from `seed` so every tenant is independently keyed.
+fn hosted(tag: &str, seed: u64) -> (Client, Server) {
+    let doc = Document::parse(&format!(
+        r#"<hospital>
+            <patient><pname>Betty-{tag}</pname><SSN>763895</SSN><age>35</age>
+              <insurance><policy coverage="1000000">34221</policy></insurance></patient>
+            <patient><pname>Matt-{tag}</pname><SSN>276543</SSN><age>40</age>
+              <insurance><policy coverage="5000">78543</policy></insurance></patient>
+           </hospital>"#
+    ))
+    .unwrap();
+    let cs = vec![
+        SecurityConstraint::parse("//insurance").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap(),
+    ];
+    Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, SchemeKind::Opt, seed)
+        .unwrap()
+        .split()
+}
+
+/// Three independently keyed databases behind one registry, plus each
+/// tenant's paired client.
+fn three_db_registry(prefix: &str) -> (Arc<TenantRegistry>, Vec<(String, Client)>) {
+    let registry = Arc::new(TenantRegistry::new(&format!("{prefix}-a")).unwrap());
+    let mut clients = Vec::new();
+    for (i, suffix) in ["a", "b", "c"].iter().enumerate() {
+        let name = format!("{prefix}-{suffix}");
+        let (client, server) = hosted(suffix, 1000 + i as u64 * 111);
+        registry
+            .create(&name, server, client.key_fingerprint(), 0)
+            .unwrap();
+        clients.push((name, client));
+    }
+    (registry, clients)
+}
+
+fn start(registry: Arc<TenantRegistry>, config: ServeConfig) -> ServeHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    serve_multi(listener, registry, config).unwrap()
+}
+
+fn connect(handle: &ServeHandle, db: &str) -> TcpTransport {
+    TcpTransport::connect_default(handle.addr())
+        .unwrap()
+        .with_db(db)
+        .unwrap()
+}
+
+/// Each tenant's client gets exactly its own database's answers, keyed by
+/// its own keys, through one shared serve loop.
+#[test]
+fn three_tenants_answer_independently() {
+    let (registry, clients) = three_db_registry("ind");
+    assert_eq!(registry.len(), 3);
+    let handle = start(Arc::clone(&registry), ServeConfig::default());
+
+    for (name, client) in &clients {
+        let suffix = name.rsplit('-').next().unwrap();
+        let mut tcp = connect(&handle, name);
+        let out = client.query_via(&mut tcp, "//patient/pname").unwrap();
+        assert_eq!(
+            out.results,
+            [
+                format!("<pname>Betty-{suffix}</pname>"),
+                format!("<pname>Matt-{suffix}</pname>")
+            ],
+            "wrong answers for tenant {name}"
+        );
+        // Value predicates exercise the per-tenant value indexes too.
+        let out = client
+            .query_via(&mut tcp, "//patient[.//policy/@coverage = 5000]/age")
+            .unwrap();
+        assert_eq!(out.results, ["<age>40</age>"], "tenant {name}");
+    }
+    // An anonymous (no --db) v4 client lands on the default db.
+    let (default_name, default_client) = &clients[0];
+    assert_eq!(registry.default_db(), default_name);
+    let mut anon = TcpTransport::connect_default(handle.addr()).unwrap();
+    let out = default_client
+        .query_via(&mut anon, "//patient/age")
+        .unwrap();
+    assert_eq!(out.results.len(), 2);
+    handle.shutdown();
+}
+
+/// Unknown and malformed db ids are answered with a typed error frame —
+/// never a panic, never another tenant's data — and the server stays up.
+#[test]
+fn unknown_and_malformed_db_ids_get_typed_errors() {
+    let (registry, clients) = three_db_registry("bad");
+    let handle = start(Arc::clone(&registry), ServeConfig::default());
+
+    // Well-formed but unregistered name: typed tenant error over the wire.
+    let mut tcp = connect(&handle, "no-such-db");
+    let err = tcp.send_naive().unwrap_err();
+    assert!(
+        err.to_string().contains("unknown database"),
+        "expected a tenant error, got: {err}"
+    );
+
+    // Oversized ids are rejected client-side before anything is sent.
+    assert!(TcpTransport::connect_default(handle.addr())
+        .unwrap()
+        .with_db(&"x".repeat(64))
+        .is_err());
+    assert!(TcpTransport::connect_default(handle.addr())
+        .unwrap()
+        .with_db("")
+        .is_err());
+
+    // A hostile frame with a malformed db-id field (nonzero padding) gets
+    // one error frame, then the connection drops; the server survives.
+    let mut frame = Message::NaiveQuery.encode_frame();
+    let db_pos = FRAME_HEADER_LEN + 8 + 8 + 4;
+    frame[db_pos + 10] = 0xAB; // padding byte beyond the (empty) id
+    let crc_pos = FRAME_HEADER_LEN + 8 + 8;
+    let crc = exq_core::codec::crc32(&[&frame[..crc_pos], &frame[crc_pos + 4..]]);
+    frame[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(&frame).unwrap();
+    raw.flush().unwrap();
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    raw.read_exact(&mut header).unwrap();
+    let (_, msg_type, _) = Message::parse_header(&header).unwrap();
+    assert_eq!(msg_type, 0xFF, "malformed db id must yield an error frame");
+
+    // Healthy tenants are unaffected.
+    let (name, client) = &clients[1];
+    let mut ok = connect(&handle, name);
+    assert_eq!(
+        client
+            .query_via(&mut ok, "//patient/age")
+            .unwrap()
+            .results
+            .len(),
+        2
+    );
+    handle.shutdown();
+}
+
+/// A hot tenant's inserts and deletes must not invalidate another tenant's
+/// cached answers: tenant A's repeat query stays a cache hit with
+/// bit-identical results while tenant B mutates concurrently.
+#[test]
+fn cache_generations_do_not_bleed_across_tenants() {
+    let (registry, clients) = three_db_registry("cache");
+    let handle = start(
+        Arc::clone(&registry),
+        ServeConfig {
+            cache_entries: Some(64),
+            ..ServeConfig::default()
+        },
+    );
+    let (name_a, client_a) = &clients[0];
+    let (name_b, _) = &clients[1];
+    let mut client_b = clients[1].1.clone();
+
+    let q = "//patient[pname = 'Betty-a']/age";
+    let mut tcp_a = connect(&handle, name_a);
+    let cold = client_a.query_via(&mut tcp_a, q).unwrap();
+    assert!(!cold.served_from_cache);
+    let warm = client_a.query_via(&mut tcp_a, q).unwrap();
+    assert!(warm.served_from_cache, "repeat query must hit A's cache");
+    assert_eq!(warm.results, cold.results);
+
+    // Tenant B churns: insert then delete, bumping *its* generation twice.
+    let mut tcp_b = connect(&handle, name_b);
+    let record = r#"<patient><pname>Zoe-b</pname><SSN>112233</SSN><age>29</age>
+        <insurance><policy coverage="7500">55555</policy></insurance></patient>"#;
+    client_b
+        .insert_via(&mut tcp_b, "/hospital", record, 9)
+        .unwrap();
+    let deleted = client_b
+        .delete_via(&mut tcp_b, "//patient[age = 29]")
+        .unwrap();
+    assert_eq!(deleted.deleted, 1);
+
+    // A's cached answer must still be served from cache, bit-identical.
+    let after = client_a.query_via(&mut tcp_a, q).unwrap();
+    assert!(
+        after.served_from_cache,
+        "B's mutations must not bump A's cache generation"
+    );
+    assert_eq!(
+        after.results, cold.results,
+        "answers must stay bit-identical"
+    );
+
+    let stats_a = registry.get(name_a).unwrap().cache_stats();
+    let stats_b = registry.get(name_b).unwrap().cache_stats();
+    assert!(stats_a.response_hits >= 2, "A: {stats_a:?}");
+    assert_eq!(stats_a.generation, 0, "A's generation must be untouched");
+    assert!(stats_b.generation >= 2, "B saw mutations: {stats_b:?}");
+    handle.shutdown();
+}
+
+/// Request ids are only unique per client, so the at-most-once replay
+/// ledger must be per-tenant: the same req id must dedupe retries within
+/// one db while still applying on another db.
+#[test]
+fn replay_tables_do_not_bleed_across_tenants() {
+    let (registry, clients) = three_db_registry("replay");
+    let handle = start(Arc::clone(&registry), ServeConfig::default());
+    let (name_a, client_a) = &clients[0];
+    let (name_b, client_b) = &clients[1];
+
+    let sq_a = client_a
+        .translate("//patient[age = 40]")
+        .unwrap()
+        .server_query
+        .unwrap();
+    let sq_b = client_b
+        .translate("//patient[age = 40]")
+        .unwrap()
+        .server_query
+        .unwrap();
+
+    // Same req id, two tenants: both deletes must actually apply.
+    let mut tcp_a = connect(&handle, name_a);
+    tcp_a.set_next_request_id(777);
+    let first_a = tcp_a.delete_where(&sq_a).unwrap();
+    assert_eq!(first_a.deleted, 1);
+
+    let mut tcp_b = connect(&handle, name_b);
+    tcp_b.set_next_request_id(777);
+    let first_b = tcp_b.delete_where(&sq_b).unwrap();
+    assert_eq!(
+        first_b.deleted, 1,
+        "B's mutation must apply — a shared replay table would have \
+         returned A's recorded reply instead"
+    );
+
+    // Same id again on A: replay hit, the recorded reply comes back even
+    // though the subtree is already gone.
+    tcp_a.set_next_request_id(777);
+    let replayed = tcp_a.delete_where(&sq_a).unwrap();
+    assert_eq!(
+        replayed.deleted, 1,
+        "replayed mutation returns its recorded reply"
+    );
+    // A fresh id really re-executes (nothing left to delete).
+    tcp_a.set_next_request_id(778);
+    assert_eq!(tcp_a.delete_where(&sq_a).unwrap().deleted, 0);
+    handle.shutdown();
+}
+
+/// Per-tenant admission: a hot tenant saturating its fair share gets Busy
+/// while a quiet tenant's requests keep being admitted and answered
+/// bit-identically.
+#[test]
+fn hot_tenant_sheds_without_starving_quiet_tenant() {
+    let (registry, clients) = three_db_registry("fair");
+    let handle = start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 8,
+            max_inflight_per_db: 1,
+            cache_entries: Some(0), // every query is a shed-able miss
+            ..ServeConfig::default()
+        },
+    );
+    let (name_hot, _) = &clients[0];
+    let (name_quiet, client_quiet) = &clients[2];
+
+    // Hot tenant: several threads hammering uncacheable work on one db.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hammers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = handle.addr();
+            let name = name_hot.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut tcp = TcpTransport::connect_default(addr)
+                    .unwrap()
+                    .with_db(&name)
+                    .unwrap();
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let _ = tcp.send_naive(); // Busy errors are expected
+                }
+            })
+        })
+        .collect();
+
+    // Quiet tenant: sequential queries must all be admitted and correct.
+    let expected = [
+        "<pname>Betty-c</pname>".to_owned(),
+        "<pname>Matt-c</pname>".to_owned(),
+    ];
+    let mut tcp_quiet = connect(&handle, name_quiet);
+    for _ in 0..20 {
+        let out = client_quiet
+            .query_via(&mut tcp_quiet, "//patient/pname")
+            .unwrap();
+        assert_eq!(out.results, expected, "quiet tenant must never be starved");
+    }
+
+    // The hot tenant really was shed at its cap; the quiet tenant never was.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let hot = registry.get(name_hot).unwrap();
+    while hot.shed_total() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    for h in hammers {
+        h.join().unwrap();
+    }
+    assert!(hot.shed_total() > 0, "hot tenant at cap 1 must shed");
+    assert_eq!(
+        registry.get(name_quiet).unwrap().shed_total(),
+        0,
+        "quiet tenant must not inherit the hot tenant's Busy storm"
+    );
+    handle.shutdown();
+}
+
+/// Directory-of-databases persistence: save, reload, serve, kill, restart —
+/// every tenant's answers survive identically, as does the manifest
+/// metadata.
+#[test]
+fn multi_db_layout_survives_restart() {
+    let tmp = TempDir::new("layout");
+    let dir = tmp.0.join("dbs");
+    let (registry, clients) = three_db_registry("disk");
+    registry.get(&clients[1].0).unwrap().set_max_inflight(5);
+    registry.save_dir(&dir).unwrap();
+
+    // Reload and serve: every tenant answers; quotas and fingerprints ride
+    // the manifest.
+    let reloaded = Arc::new(TenantRegistry::load_dir(&dir).unwrap());
+    assert_eq!(reloaded.default_db(), registry.default_db());
+    assert_eq!(reloaded.names(), registry.names());
+    assert_eq!(reloaded.get(&clients[1].0).unwrap().max_inflight(), 5);
+    for (name, client) in &clients {
+        assert_eq!(
+            reloaded.get(name).unwrap().key_fingerprint(),
+            client.key_fingerprint(),
+            "fingerprint must survive the manifest"
+        );
+    }
+    let handle = start(Arc::clone(&reloaded), ServeConfig::default());
+    let mut first_answers = Vec::new();
+    for (name, client) in &clients {
+        let mut tcp = connect(&handle, name);
+        first_answers.push(
+            client
+                .query_via(&mut tcp, "//patient/pname")
+                .unwrap()
+                .results,
+        );
+    }
+    handle.shutdown(); // "kill"
+
+    // Restart from disk: bit-identical answers.
+    let restarted = Arc::new(TenantRegistry::load_dir(&dir).unwrap());
+    let handle = start(Arc::clone(&restarted), ServeConfig::default());
+    for ((name, client), before) in clients.iter().zip(&first_answers) {
+        let mut tcp = connect(&handle, name);
+        let again = client.query_via(&mut tcp, "//patient/pname").unwrap();
+        assert_eq!(&again.results, before, "restart changed {name}'s answers");
+    }
+    handle.shutdown();
+}
+
+/// A legacy single-file server artifact opens as a one-db registry (auto-
+/// migration), and the next save writes the directory layout.
+#[test]
+fn single_file_artifact_auto_migrates() {
+    let tmp = TempDir::new("migrate");
+    let (client, server) = hosted("solo", 4242);
+    let legacy = tmp.0.join("server.exq");
+    server.save(&legacy).unwrap();
+
+    let registry = TenantRegistry::open(&legacy, "main").unwrap();
+    assert_eq!(registry.names(), vec!["main".to_owned()]);
+    let handle = start(
+        Arc::new(TenantRegistry::open(&legacy, "main").unwrap()),
+        ServeConfig::default(),
+    );
+    // Anonymous and named routing both reach the migrated db.
+    let mut anon = TcpTransport::connect_default(handle.addr()).unwrap();
+    let out = client.query_via(&mut anon, "//patient/pname").unwrap();
+    assert_eq!(out.results.len(), 2);
+    handle.shutdown();
+
+    // Saving migrates to the directory layout, which opens as a directory.
+    let dir = tmp.0.join("migrated");
+    registry.save_dir(&dir).unwrap();
+    assert!(dir.join("MANIFEST").exists());
+    assert!(dir.join("main.exq").exists());
+    let back = TenantRegistry::open(&dir, "ignored-default").unwrap();
+    assert_eq!(
+        back.default_db(),
+        "main",
+        "manifest default wins over the hint"
+    );
+}
+
+/// v1, v2, and v3 frames carry no db id; a multi-tenant server must answer
+/// them from the default db, framed in the requester's own version.
+#[test]
+fn legacy_v1_v2_v3_peers_get_default_db_answers() {
+    use exq_core::codec::{LEGACY_PROTOCOL_VERSION, V2_PROTOCOL_VERSION, V3_PROTOCOL_VERSION};
+    let (registry, _clients) = three_db_registry("compat");
+    let handle = start(Arc::clone(&registry), ServeConfig::default());
+
+    for version in [
+        LEGACY_PROTOCOL_VERSION,
+        V2_PROTOCOL_VERSION,
+        V3_PROTOCOL_VERSION,
+    ] {
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        let frame = Message::NaiveQuery.encode_frame_v(version, 0);
+        raw.write_all(&frame).unwrap();
+        raw.flush().unwrap();
+
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        raw.read_exact(&mut header).unwrap();
+        let (got_version, msg_type, payload_len) = Message::parse_header(&header).unwrap();
+        assert_eq!(got_version, version, "reply must echo v{version}");
+        assert_eq!(msg_type, 0x81, "expected an Answer frame for v{version}");
+        let mut reply = header.to_vec();
+        reply.resize(
+            FRAME_HEADER_LEN + exq_core::codec::frame_extra_len(version) + payload_len,
+            0,
+        );
+        raw.read_exact(&mut reply[FRAME_HEADER_LEN..]).unwrap();
+        match Message::decode_frame(&reply).unwrap() {
+            Message::Answer(resp) => {
+                assert!(
+                    !resp.pruned_xml.is_empty() || !resp.blocks.is_empty(),
+                    "v{version} answer must carry the default db"
+                );
+            }
+            other => panic!("expected Answer for v{version}, got {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
