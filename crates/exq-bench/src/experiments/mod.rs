@@ -19,6 +19,7 @@ pub mod e16_cache;
 pub mod e17_telemetry;
 pub mod e18_faults;
 pub mod e19_tenants;
+pub mod e20_pipeline;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -125,6 +126,11 @@ pub fn registry() -> Vec<Experiment> {
             "e19",
             "extension: multi-tenant fairness — hot tenant vs quiet tenants behind one serve loop",
             e19_tenants::run,
+        ),
+        (
+            "e20",
+            "extension: pipelined event-loop serving — 100 connections, verified answers",
+            e20_pipeline::run,
         ),
     ]
 }

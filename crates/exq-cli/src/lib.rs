@@ -4,14 +4,16 @@
 //! report, so the test suite can drive them without spawning processes.
 
 use exq_core::aggregate::Aggregate;
+use exq_core::codec::Message;
 use exq_core::constraints::SecurityConstraint;
-use exq_core::retry::{Retry, RetryConfig};
+use exq_core::evloop::serve_event;
+use exq_core::retry::{roundtrip_pipelined, Retry, RetryConfig};
 use exq_core::scheme::SchemeKind;
 use exq_core::system::{OutsourceConfig, Outsourcer};
 use exq_core::telemetry;
 use exq_core::tenant::TenantRegistry;
 use exq_core::transport::{
-    serve, serve_multi, InProcess, ServeConfig, ServeHandle, TcpTransport, Transport,
+    serve, serve_multi, InProcess, Pipeline, ServeConfig, ServeHandle, TcpTransport, Transport,
 };
 use exq_core::{Client, CoreError, Server};
 use exq_xml::Document;
@@ -190,7 +192,10 @@ pub fn cmd_query(
 /// `exq query --addr`: same pipeline, but the server is a network peer.
 /// With `retries > 0` the link is wrapped in the retry layer: transient
 /// failures reconnect and replay (mutation-safe via request ids) up to
-/// `retries` extra attempts.
+/// `retries` extra attempts. With `pipeline > 1` the query is submitted
+/// that many times on one connection before any reply is read — a direct
+/// probe of the server's pipelined serve path (all answers must agree).
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_query_remote(
     addr: &str,
     client_path: &Path,
@@ -198,8 +203,12 @@ pub fn cmd_query_remote(
     threads: usize,
     retries: u32,
     db: Option<&str>,
+    pipeline: usize,
 ) -> Result<String, CliError> {
     let client = Client::load(client_path)?.with_threads(threads);
+    if pipeline > 1 {
+        return query_pipelined(&client, addr, db, query, pipeline, retries);
+    }
     let mut tcp = TcpTransport::connect_default(addr)?;
     if let Some(db) = db {
         tcp = tcp.with_db(db)?;
@@ -217,6 +226,70 @@ pub fn cmd_query_remote(
         },
     );
     query_over(&client, &mut link, query, false)
+}
+
+/// `exq query --addr --pipeline N`: N copies of the translated request in
+/// flight on one connection. Every reply must post-process to the same
+/// results; the report shows them once, plus the amortized per-query time
+/// the pipelining bought.
+fn query_pipelined(
+    client: &Client,
+    addr: &str,
+    db: Option<&str>,
+    query: &str,
+    n: usize,
+    retries: u32,
+) -> Result<String, CliError> {
+    let tq = client.translate(query)?;
+    let (req, post_query) = match &tq.server_query {
+        Some(sq) => (Message::Query(sq.clone()), &tq.post_query),
+        None => (Message::NaiveQuery, &tq.full_query),
+    };
+    let mut pipe = Pipeline::connect_default(addr)?;
+    if let Some(db) = db {
+        pipe = pipe.with_db(db)?;
+    }
+    let reqs = vec![req; n];
+    let retry = RetryConfig::with_attempts(retries.saturating_add(1));
+    let started = std::time::Instant::now();
+    let replies = roundtrip_pipelined(&mut pipe, &reqs, &retry)?;
+    let wall = started.elapsed();
+    let mut results: Option<Vec<String>> = None;
+    for (i, reply) in replies.iter().enumerate() {
+        let resp = match reply {
+            Message::Answer(resp) => resp,
+            Message::Error(e) => return Err(CliError::Core(e.clone().into_core())),
+            other => {
+                return usage(format!(
+                    "reply {i} is not an answer: message type {:#04x}",
+                    other.msg_type()
+                ))
+            }
+        };
+        let post = client.post_process(post_query, resp)?;
+        match &results {
+            None => results = Some(post.results),
+            Some(first) if *first != post.results => {
+                return usage(format!(
+                    "pipelined reply {i} disagrees with reply 0 — correlation broken?"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    let results = results.unwrap_or_default();
+    let mut report = String::new();
+    for r in &results {
+        let _ = writeln!(report, "{r}");
+    }
+    let _ = writeln!(
+        report,
+        "-- {} result(s); {n} identical answer(s) with {n} in flight; \
+         {wall:.2?} total, {:.2?}/query amortized",
+        results.len(),
+        wall / n as u32,
+    );
+    Ok(report)
 }
 
 /// `exq ping --addr`: measure liveness round-trip times against a running
@@ -296,7 +369,9 @@ fn query_over_inner(
 
 /// `exq serve`: host a server state file on a TCP address. Returns the
 /// running handle plus a banner; the binary parks until interrupted, tests
-/// shut the handle down directly.
+/// shut the handle down directly. `event_loop` picks the readiness-based
+/// serve path: idle connections cost buffers instead of worker threads.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_serve(
     server_path: &Path,
     addr: &str,
@@ -305,23 +380,29 @@ pub fn cmd_serve(
     cache_entries: Option<usize>,
     max_inflight: usize,
     deadline_ms: u64,
+    event_loop: bool,
 ) -> Result<(ServeHandle, String), CliError> {
     let server = Server::load(server_path)?;
     let blocks = server.block_count();
     let bytes = server.hosted_bytes();
     let listener = std::net::TcpListener::bind(addr)?;
-    let handle = serve(
-        listener,
-        Arc::new(RwLock::new(server)),
-        ServeConfig {
-            workers,
-            threads,
-            cache_entries,
-            max_inflight,
-            deadline: std::time::Duration::from_millis(deadline_ms),
-            ..ServeConfig::default()
-        },
-    )?;
+    let config = ServeConfig {
+        workers,
+        threads,
+        cache_entries,
+        max_inflight,
+        deadline: std::time::Duration::from_millis(deadline_ms),
+        ..ServeConfig::default()
+    };
+    let shared = Arc::new(RwLock::new(server));
+    let handle = if event_loop {
+        let registry = Arc::new(
+            TenantRegistry::single(exq_core::DEFAULT_DB, shared).expect("default db id is valid"),
+        );
+        serve_event(listener, registry, config)?
+    } else {
+        serve(listener, shared, config)?
+    };
     let per_query = exq_core::pool::resolve_threads(threads);
     let cache = handle.cache_stats().capacity;
     let cache_desc = if cache == 0 {
@@ -335,9 +416,10 @@ pub fn cmd_serve(
         (0, d) => format!(", {d}ms deadline"),
         (m, d) => format!(", max {m} in flight, {d}ms deadline"),
     };
+    let loop_desc = if event_loop { ", event loop" } else { "" };
     let banner = format!(
         "serving {} ({bytes} hosted bytes, {blocks} blocks) on {} with {workers} worker(s), \
-         {per_query} intra-query thread(s), {cache_desc}{load_desc}\n",
+         {per_query} intra-query thread(s), {cache_desc}{load_desc}{loop_desc}\n",
         server_path.display(),
         handle.addr()
     );
@@ -462,28 +544,31 @@ pub fn cmd_db_host(
     max_inflight: usize,
     max_inflight_per_db: usize,
     deadline_ms: u64,
+    event_loop: bool,
 ) -> Result<(ServeHandle, String), CliError> {
     let registry = Arc::new(TenantRegistry::open(dir, exq_core::DEFAULT_DB)?);
     if registry.is_empty() {
         return usage(format!("{} hosts no databases", dir.display()));
     }
     let listener = std::net::TcpListener::bind(addr)?;
-    let handle = serve_multi(
-        listener,
-        Arc::clone(&registry),
-        ServeConfig {
-            workers,
-            threads,
-            cache_entries,
-            max_inflight,
-            max_inflight_per_db,
-            deadline: std::time::Duration::from_millis(deadline_ms),
-            ..ServeConfig::default()
-        },
-    )?;
+    let config = ServeConfig {
+        workers,
+        threads,
+        cache_entries,
+        max_inflight,
+        max_inflight_per_db,
+        deadline: std::time::Duration::from_millis(deadline_ms),
+        ..ServeConfig::default()
+    };
+    let handle = if event_loop {
+        serve_event(listener, Arc::clone(&registry), config)?
+    } else {
+        serve_multi(listener, Arc::clone(&registry), config)?
+    };
     let names = registry.names().join(", ");
+    let loop_desc = if event_loop { " (event loop)" } else { "" };
     let banner = format!(
-        "hosting {} database(s) from {} on {} with {workers} worker(s): {names} \
+        "hosting {} database(s) from {} on {} with {workers} worker(s){loop_desc}: {names} \
          (default: {})\n",
         registry.len(),
         dir.display(),
@@ -681,18 +766,24 @@ USAGE:
                 [--cache-entries N] 'XPATH'
   exq query     --addr HOST:PORT --client client.exq [--threads N] [--retries N]
                 [--db NAME]         (pick a database on a multi-tenant server)
-                'XPATH'             (--retries: reconnect+replay budget, default 3)
+                [--pipeline N]      (submit the query N times in flight on one
+                'XPATH'              connection; all answers must agree)
+                                    (--retries: reconnect+replay budget, default 3)
   exq serve     --server server.exq --addr HOST:PORT [--workers N] [--threads N]
                 [--cache-entries N]   (0 disables the server caches)
                 [--max-inflight N]    (shed Busy beyond N concurrent requests; 0=off)
                 [--deadline-ms N]     (per-request lock deadline; 0=off)
+                [--event-loop]        (readiness-based serve path: one event thread
+                                       multiplexes every connection, workers only
+                                       execute queries; idle peers cost no threads)
   exq db create --dir DBDIR --name NAME --server server.exq [--client client.exq]
                 [--max-inflight N]    (register a sealed db in a multi-db directory)
   exq db list   --dir DBDIR           (hosted databases, sizes, key fingerprints)
   exq db drop   --dir DBDIR --name NAME
   exq db host   --dir DBDIR --addr HOST:PORT [--workers N] [--threads N]
                 [--cache-entries N] [--max-inflight N] [--max-inflight-per-db N]
-                [--deadline-ms N]     (serve every db in the directory; clients
+                [--deadline-ms N] [--event-loop]
+                                      (serve every db in the directory; clients
                                        route with --db, legacy peers get the default)
   exq ping      --addr HOST:PORT [--count N]   (liveness probe round-trips)
   exq aggregate --server server.exq --client client.exq --fn min|max|count 'PATH'

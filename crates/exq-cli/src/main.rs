@@ -28,7 +28,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let mut i = 1;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            if name == "naive" {
+            if name == "naive" || name == "event-loop" {
                 flags.insert(name.to_owned(), "true".to_owned());
             } else {
                 i += 1;
@@ -122,6 +122,12 @@ fn run(args: &[String]) -> Result<String, CliError> {
                         .transpose()
                         .map_err(|_| CliError::Usage("--retries must be an integer".into()))?
                         .unwrap_or(3);
+                    let pipeline = flags
+                        .get("pipeline")
+                        .map(|s| s.parse::<usize>())
+                        .transpose()
+                        .map_err(|_| CliError::Usage("--pipeline must be an integer".into()))?
+                        .unwrap_or(1);
                     cmd_query_remote(
                         addr,
                         &path("client")?,
@@ -129,6 +135,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                         threads,
                         retries,
                         flags.get("db").map(String::as_str),
+                        pipeline,
                     )
                 }
                 None => cmd_query(
@@ -177,6 +184,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 cache_entries,
                 max_inflight,
                 deadline_ms,
+                flags.contains_key("event-loop"),
             )?;
             print!("{banner}");
             // Serve until killed; the handle's threads do all the work.
@@ -241,6 +249,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                         max_inflight,
                         per_db,
                         deadline_ms,
+                        flags.contains_key("event-loop"),
                     )?;
                     print!("{banner}");
                     // Serve until killed, logging per-db cache counters.

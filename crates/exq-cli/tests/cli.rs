@@ -206,14 +206,30 @@ fn binary_smoke() {
 }
 
 #[test]
+fn event_loop_serve_answers_pipelined_queries() {
+    let dir = TempDir::new("evloop-pipeline");
+    let (server, client) = setup(&dir);
+    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0, true).unwrap();
+    assert!(banner.contains("event loop"), "banner: {banner}");
+    let addr = handle.addr().to_string();
+
+    // 8 copies of the query in flight on one connection; the command
+    // verifies every answer agrees before printing.
+    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1, None, 8).unwrap();
+    assert!(out.contains("Betty"), "results: {out}");
+    assert!(out.contains("8 in flight"), "report: {out}");
+    handle.shutdown();
+}
+
+#[test]
 fn serve_then_stats_scrapes_live_metrics() {
     let dir = TempDir::new("stats-live");
     let (server, client) = setup(&dir);
-    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0).unwrap();
+    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0, false).unwrap();
     let addr = handle.addr().to_string();
 
     // Drive one query so the counters move, then scrape the registry.
-    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1, None).unwrap();
+    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1, None, 1).unwrap();
     assert!(out.contains("Betty"));
     let text = cmd_stats_remote(&addr).unwrap();
     assert!(
@@ -286,13 +302,21 @@ fn serve_and_query_remote() {
     let (server, client) = setup(&dir);
 
     // Bind on an ephemeral port, then query it over the wire.
-    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 2, Some(64), 0, 0).unwrap();
+    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 2, Some(64), 0, 0, false).unwrap();
     assert!(banner.contains("serving"), "banner: {banner}");
     assert!(banner.contains("cache 64 entries"), "banner: {banner}");
     let addr = handle.addr().to_string();
 
-    let remote =
-        cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2, 1, None).unwrap();
+    let remote = cmd_query_remote(
+        &addr,
+        &client,
+        "//patient[pname = 'Betty']/SSN",
+        2,
+        1,
+        None,
+        1,
+    )
+    .unwrap();
     assert!(remote.contains("763895"), "remote output: {remote}");
     // Local and remote answer lines agree (the byte counter line matches
     // too, since both links count the same frames).
@@ -308,8 +332,16 @@ fn serve_and_query_remote() {
     assert_eq!(remote, local);
 
     // A repeat of the same remote query hits the server response cache.
-    let again =
-        cmd_query_remote(&addr, &client, "//patient[pname = 'Betty']/SSN", 2, 1, None).unwrap();
+    let again = cmd_query_remote(
+        &addr,
+        &client,
+        "//patient[pname = 'Betty']/SSN",
+        2,
+        1,
+        None,
+        1,
+    )
+    .unwrap();
     assert_eq!(again, remote);
     let stats = handle.cache_stats();
     assert!(stats.response_hits >= 1, "stats: {stats:?}");
@@ -317,14 +349,14 @@ fn serve_and_query_remote() {
 
     handle.shutdown();
     // Server gone: the connect retries, then errors instead of hanging.
-    assert!(cmd_query_remote(&addr, &client, "//patient", 1, 0, None).is_err());
+    assert!(cmd_query_remote(&addr, &client, "//patient", 1, 0, None, 1).is_err());
 }
 
 #[test]
 fn ping_measures_live_server_and_fails_on_dead_one() {
     let dir = TempDir::new("ping");
     let (server, _client) = setup(&dir);
-    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 1, 1, Some(0), 0, 0).unwrap();
+    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 1, 1, Some(0), 0, 0, false).unwrap();
     let addr = handle.addr().to_string();
     let out = cmd_ping(&addr, 3).unwrap();
     assert!(out.contains("seq=2"), "ping output: {out}");
@@ -364,19 +396,21 @@ fn db_verbs_manage_a_multi_tenant_directory() {
 
     // Host both and route queries by db name; each db only decrypts with
     // its own client artifact.
-    let (handle, banner) = cmd_db_host(&dbdir, "127.0.0.1:0", 2, 1, Some(64), 0, 0, 0).unwrap();
+    let (handle, banner) =
+        cmd_db_host(&dbdir, "127.0.0.1:0", 2, 1, Some(64), 0, 0, 0, false).unwrap();
     assert!(banner.contains("2 database(s)"), "{banner}");
     let addr = handle.addr().to_string();
-    let out = cmd_query_remote(&addr, &cli_a, "//patient/pname", 1, 1, Some("ward-a")).unwrap();
+    let out = cmd_query_remote(&addr, &cli_a, "//patient/pname", 1, 1, Some("ward-a"), 1).unwrap();
     assert!(out.contains("Betty"), "{out}");
-    let out = cmd_query_remote(&addr, &cli_b, "//patient/pname", 1, 1, Some("ward-b")).unwrap();
+    let out = cmd_query_remote(&addr, &cli_b, "//patient/pname", 1, 1, Some("ward-b"), 1).unwrap();
     assert!(out.contains("Betty"), "{out}");
     // No --db lands on the default (ward-a) and still answers for cli_a.
-    let out = cmd_query_remote(&addr, &cli_a, "//patient/pname", 1, 1, None).unwrap();
+    let out = cmd_query_remote(&addr, &cli_a, "//patient/pname", 1, 1, None, 1).unwrap();
     assert!(out.contains("Betty"), "{out}");
     // Unknown db: typed error over the wire, server stays up.
-    assert!(cmd_query_remote(&addr, &cli_a, "//patient", 1, 0, Some("ward-z")).is_err());
-    let probe = cmd_query_remote(&addr, &cli_b, "//patient/pname", 1, 1, Some("ward-b")).unwrap();
+    assert!(cmd_query_remote(&addr, &cli_a, "//patient", 1, 0, Some("ward-z"), 1).is_err());
+    let probe =
+        cmd_query_remote(&addr, &cli_b, "//patient/pname", 1, 1, Some("ward-b"), 1).unwrap();
     assert!(probe.contains("Betty"), "{probe}");
 
     // The metrics scrape breaks traffic out per db.
@@ -411,10 +445,10 @@ fn db_verbs_manage_a_multi_tenant_directory() {
 fn db_host_serves_legacy_single_file_artifact() {
     let dir = TempDir::new("db-legacy");
     let (server, client) = setup(&dir);
-    let (handle, banner) = cmd_db_host(&server, "127.0.0.1:0", 1, 1, None, 0, 0, 0).unwrap();
+    let (handle, banner) = cmd_db_host(&server, "127.0.0.1:0", 1, 1, None, 0, 0, 0, false).unwrap();
     assert!(banner.contains("default"), "{banner}");
     let addr = handle.addr().to_string();
-    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1, None).unwrap();
+    let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1, None, 1).unwrap();
     assert!(out.contains("Betty"), "{out}");
     handle.shutdown();
 }

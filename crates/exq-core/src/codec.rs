@@ -57,10 +57,16 @@ use std::time::Duration;
 /// Protocol version carried in every frame header. Version 2 added the
 /// trace-id field after the fixed header and the telemetry fields on
 /// [`ServerResponse`]; version 3 added the request-id and checksum fields
-/// plus the `Ping`/`Pong`/`Busy` message types; version 4 adds the db-id
+/// plus the `Ping`/`Pong`/`Busy` message types; version 4 added the db-id
 /// field that routes a frame to one named database on a multi-tenant
-/// server.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// server; version 5 adds the `Batch`/`BatchAnswer` message types that
+/// carry a group of read-style requests (and their replies) in one frame.
+/// The framing fields are unchanged from v4.
+pub const PROTOCOL_VERSION: u8 = 5;
+
+/// The version that introduced the db-id framing field, still accepted
+/// inbound; replies to a v4 request are encoded as v4.
+pub const V4_PROTOCOL_VERSION: u8 = 4;
 
 /// The version that introduced the request-id and checksum fields, still
 /// accepted inbound; replies to a v3 request are encoded as v3.
@@ -114,7 +120,7 @@ pub fn trace_field_len(version: u8) -> usize {
 
 /// Bytes after the fixed header that belong to framing (not payload) for a
 /// given protocol version: nothing in v1, the trace id in v2, trace id +
-/// request id + checksum in v3, all of those plus the db id in v4.
+/// request id + checksum in v3, all of those plus the db id in v4 and v5.
 pub fn frame_extra_len(version: u8) -> usize {
     trace_field_len(version)
         + if version >= V3_PROTOCOL_VERSION {
@@ -122,7 +128,7 @@ pub fn frame_extra_len(version: u8) -> usize {
         } else {
             0
         }
-        + if version >= PROTOCOL_VERSION {
+        + if version >= V4_PROTOCOL_VERSION {
             DB_ID_FIELD_LEN
         } else {
             0
@@ -1079,6 +1085,12 @@ pub enum Message {
     /// the database, so the retry layer can tell a dead server from a slow
     /// one.
     Ping,
+    /// A group of read-style requests submitted in one frame (v5). The
+    /// server resolves the tenant, takes one admission decision, and runs
+    /// one cache-probe pass for the whole group, answering with a
+    /// [`Message::BatchAnswer`] carrying one reply per item in order.
+    /// Decoding rejects nested batches and mutating items.
+    Batch(Vec<Message>),
 
     // Responses.
     Answer(ServerResponse),
@@ -1099,6 +1111,10 @@ pub enum Message {
     Busy {
         retry_after_ms: u32,
     },
+    /// Reply to [`Message::Batch`] (v5): one response per batch item, in
+    /// submission order. Items that failed dispatch are `Error` entries;
+    /// the batch itself still succeeds.
+    BatchAnswer(Vec<Message>),
     Error(WireError),
 }
 
@@ -1117,6 +1133,7 @@ impl Message {
             Message::CacheStatsReq => 0x09,
             Message::MetricsReq => 0x0A,
             Message::Ping => 0x0B,
+            Message::Batch(_) => 0x0C,
             Message::Answer(_) => 0x81,
             Message::MetricsText(_) => 0x89,
             Message::Block(_) => 0x82,
@@ -1128,6 +1145,7 @@ impl Message {
             Message::CacheStats(_) => 0x88,
             Message::Pong => 0x8A,
             Message::Busy { .. } => 0x8B,
+            Message::BatchAnswer(_) => 0x8C,
             Message::Error(_) => 0xFF,
         }
     }
@@ -1181,8 +1199,53 @@ impl Message {
             Message::Slot(slot) => slot.encode_into(enc),
             Message::Deleted(outcome) => outcome.encode_into(enc),
             Message::CacheStats(stats) => stats.encode_into(enc),
+            Message::Batch(items) | Message::BatchAnswer(items) => {
+                enc.usize(items.len());
+                for item in items {
+                    enc.u8(item.msg_type());
+                    let mut sub = Enc::new();
+                    item.encode_payload(&mut sub);
+                    enc.bytes(&sub.into_bytes());
+                }
+            }
             Message::Error(err) => err.encode_into(enc),
         }
+    }
+
+    /// Decodes the items of a `Batch`/`BatchAnswer` payload: a count, then
+    /// per item a message-type byte and a length-prefixed sub-payload.
+    /// Nested batches are rejected flat (no recursion), `Batch` items must
+    /// be non-mutating requests, `BatchAnswer` items must be responses.
+    fn decode_batch_items(
+        version: u8,
+        dec: &mut Dec<'_>,
+        requests: bool,
+    ) -> Result<Vec<Message>, CodecError> {
+        let n = dec.count(2)?;
+        if n == 0 {
+            return Err(CodecError::Invalid("empty batch"));
+        }
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = dec.u8()?;
+            if tag == 0x0C || tag == 0x8C {
+                return Err(CodecError::Invalid("nested batch"));
+            }
+            let raw = dec.bytes()?;
+            let item = Message::decode_payload_bytes(version, tag, raw)?;
+            if requests {
+                if !item.is_request() {
+                    return Err(CodecError::Invalid("batch item is not a request"));
+                }
+                if item.is_mutation() {
+                    return Err(CodecError::Invalid("mutation inside batch"));
+                }
+            } else if item.is_request() {
+                return Err(CodecError::Invalid("batch answer item is not a response"));
+            }
+            items.push(item);
+        }
+        Ok(items)
     }
 
     fn decode_payload(version: u8, msg_type: u8, dec: &mut Dec<'_>) -> Result<Message, CodecError> {
@@ -1201,6 +1264,12 @@ impl Message {
             0x09 => Ok(Message::CacheStatsReq),
             0x0A => Ok(Message::MetricsReq),
             0x0B => Ok(Message::Ping),
+            0x0C if version >= PROTOCOL_VERSION => Ok(Message::Batch(Message::decode_batch_items(
+                version, dec, true,
+            )?)),
+            0x8C if version >= PROTOCOL_VERSION => Ok(Message::BatchAnswer(
+                Message::decode_batch_items(version, dec, false)?,
+            )),
             0x8A => Ok(Message::Pong),
             0x8B => Ok(Message::Busy {
                 retry_after_ms: dec.u32()?,
@@ -1306,7 +1375,7 @@ impl Message {
             frame.extend_from_slice(&req_id.to_le_bytes());
             let crc_pos = frame.len();
             frame.extend_from_slice(&[0u8; CHECKSUM_FIELD_LEN]);
-            if version >= PROTOCOL_VERSION {
+            if version >= V4_PROTOCOL_VERSION {
                 frame.push(db.len() as u8);
                 frame.extend_from_slice(db.as_bytes());
                 frame.resize(crc_pos + CHECKSUM_FIELD_LEN + DB_ID_FIELD_LEN, 0);
@@ -1409,7 +1478,7 @@ impl Message {
             rest = &rest[CHECKSUM_FIELD_LEN..];
         }
         let mut db_raw: &[u8] = &[];
-        if version >= PROTOCOL_VERSION {
+        if version >= V4_PROTOCOL_VERSION {
             db_raw = &rest[..DB_ID_FIELD_LEN];
             rest = &rest[DB_ID_FIELD_LEN..];
         }
@@ -2010,6 +2079,112 @@ mod tests {
             Message::decode_frame(&frame),
             Err(CodecError::Checksum { .. })
         ));
+    }
+
+    #[test]
+    fn v4_frame_still_carries_db_field() {
+        // v5 changed only the message set; the v4 framing layout (including
+        // the fixed-width db-id field) must be byte-identical to before.
+        assert_eq!(frame_extra_len(V4_PROTOCOL_VERSION), FRAME_EXTRA_LEN);
+        assert_eq!(frame_extra_len(PROTOCOL_VERSION), FRAME_EXTRA_LEN);
+        let frame = Message::Ping
+            .encode_frame_db(V4_PROTOCOL_VERSION, 7, 9, "hospital-east")
+            .unwrap();
+        let d = Message::decode_frame_ext(&frame).unwrap();
+        assert_eq!(d.version, V4_PROTOCOL_VERSION);
+        assert_eq!(d.db, "hospital-east");
+        assert_eq!(d.trace, 7);
+        assert_eq!(d.req_id, 9);
+    }
+
+    #[test]
+    fn batch_frame_roundtrips() {
+        let msg = Message::Batch(vec![
+            Message::Query(sample_query()),
+            Message::NaiveQuery,
+            Message::FetchBlock(7),
+            Message::CacheStatsReq,
+        ]);
+        let frame = msg.encode_frame_req(PROTOCOL_VERSION, 11, 42);
+        let d = Message::decode_frame_ext(&frame).unwrap();
+        assert_eq!(d.msg, msg);
+        assert_eq!(d.trace, 11);
+        assert_eq!(d.req_id, 42);
+
+        let reply = Message::BatchAnswer(vec![
+            Message::Pong,
+            Message::Block(None),
+            Message::Error(WireError::from_core(&CoreError::Query("nope".into()))),
+        ]);
+        let frame = reply.encode_frame_req(PROTOCOL_VERSION, 11, 42);
+        assert_eq!(Message::decode_frame(&frame).unwrap(), reply);
+    }
+
+    #[test]
+    fn batch_rejected_below_v5() {
+        // A v4 peer never sends 0x0C; if one does, it is an unknown tag in
+        // that dialect, not a silently accepted extension.
+        let msg = Message::Batch(vec![Message::Ping]);
+        let frame = msg.encode_frame_db(V4_PROTOCOL_VERSION, 0, 0, "").unwrap();
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::BadTag {
+                context: "message",
+                tag: 0x0C
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_batches_are_typed_errors() {
+        // Nested batch.
+        let nested = Message::Batch(vec![Message::Batch(vec![Message::Ping])]);
+        let frame = nested.encode_frame();
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::Invalid("nested batch"))
+        );
+        // Mutation inside a batch.
+        let q = sample_query();
+        let mutating = Message::Batch(vec![Message::DeleteWhere(q)]);
+        assert_eq!(
+            Message::decode_frame(&mutating.encode_frame()),
+            Err(CodecError::Invalid("mutation inside batch"))
+        );
+        // Empty batch.
+        let empty = Message::Batch(vec![]);
+        assert_eq!(
+            Message::decode_frame(&empty.encode_frame()),
+            Err(CodecError::Invalid("empty batch"))
+        );
+        // A response inside a request batch.
+        let resp = Message::Batch(vec![Message::Pong]);
+        assert_eq!(
+            Message::decode_frame(&resp.encode_frame()),
+            Err(CodecError::Invalid("batch item is not a request"))
+        );
+        // A request inside a batch answer.
+        let req = Message::BatchAnswer(vec![Message::Ping]);
+        assert_eq!(
+            Message::decode_frame(&req.encode_frame()),
+            Err(CodecError::Invalid("batch answer item is not a response"))
+        );
+    }
+
+    #[test]
+    fn reply_frames_echo_request_ids_byte_for_byte() {
+        // Regression for the serve-path correlation bug: a reply encoded
+        // with the request's trace and request ids must carry them in the
+        // exact same byte positions the request frame does.
+        let req = Message::Query(sample_query()).encode_frame_req(PROTOCOL_VERSION, 0xABCD, 77);
+        let reply = Message::Pong.encode_frame_req(PROTOCOL_VERSION, 0xABCD, 77);
+        let trace_pos = FRAME_HEADER_LEN..FRAME_HEADER_LEN + TRACE_FIELD_LEN;
+        let id_pos = FRAME_HEADER_LEN + TRACE_FIELD_LEN
+            ..FRAME_HEADER_LEN + TRACE_FIELD_LEN + REQ_ID_FIELD_LEN;
+        assert_eq!(req[trace_pos.clone()], reply[trace_pos]);
+        assert_eq!(req[id_pos.clone()], reply[id_pos]);
+        let d = Message::decode_frame_ext(&reply).unwrap();
+        assert_eq!((d.trace, d.req_id), (0xABCD, 77));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod constraints;
 pub mod cover;
 pub mod encrypt;
 pub mod error;
+pub mod evloop;
 pub mod fault;
 pub mod persist;
 pub mod pool;
@@ -57,6 +58,7 @@ pub use client::Client;
 pub use codec::{CodecError, Message, WireCodec};
 pub use constraints::SecurityConstraint;
 pub use error::CoreError;
+pub use evloop::serve_event;
 pub use fault::{ChaosProxy, FaultConfig, FaultTransport, ProxyFaults};
 pub use retry::{Retry, RetryConfig};
 pub use scheme::{EncryptionScheme, SchemeKind};
@@ -64,5 +66,6 @@ pub use server::Server;
 pub use system::{HostedDatabase, OutsourceConfig, Outsourcer, QueryOutcome};
 pub use tenant::{Tenant, TenantRegistry, DEFAULT_DB};
 pub use transport::{
-    serve, serve_multi, InProcess, Reconnect, ServeConfig, ServeHandle, TcpTransport, Transport,
+    serve, serve_multi, InProcess, Pipeline, Reconnect, ServeConfig, ServeHandle, TcpTransport,
+    Transport,
 };

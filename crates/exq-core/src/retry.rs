@@ -17,7 +17,8 @@ use crate::codec::Message;
 use crate::error::CoreError;
 use crate::fault::SplitMix64;
 use crate::telemetry::{self, Counter};
-use crate::transport::{LinkStats, Reconnect, Transport};
+use crate::transport::{LinkStats, Pipeline, Reconnect, Transport};
+use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
@@ -266,6 +267,142 @@ impl<T: Reconnect> Reconnect for Retry<T> {
     fn reconnect(&mut self) -> Result<(), CoreError> {
         self.inner.reconnect()
     }
+}
+
+/// The [`Retry`] semantics for a [`Pipeline`]: submits every request before
+/// reading any reply, keeping N in flight, with the same safety rules as
+/// the serial wrapper — each logical request keeps one stable id across
+/// every resubmission (so the server's replay table dedupes mutations),
+/// `Busy` replies are resubmitted after backoff honoring the pacing hint,
+/// and a transport failure reconnects and resubmits everything still
+/// unanswered. Replies are returned in request order.
+///
+/// Requests that fail deterministically (query errors, decrypt failures)
+/// surface as `Message::Error` replies in their slot rather than aborting
+/// the group — with N in flight there is no single failing call site.
+pub fn roundtrip_pipelined(
+    pipe: &mut Pipeline,
+    reqs: &[Message],
+    config: &RetryConfig,
+) -> Result<Vec<Message>, CoreError> {
+    if reqs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut rng = SplitMix64::new(config.jitter_seed ^ 0x9E37_79B9_7F4A_7C15);
+    // Stable, distinct, never-zero ids: consecutive from a seeded base.
+    let mut cursor = rng.next_u64();
+    let ids: Vec<u64> = reqs
+        .iter()
+        .map(|_| {
+            cursor = cursor.wrapping_add(1);
+            if cursor == 0 {
+                cursor = 1;
+            }
+            cursor
+        })
+        .collect();
+    let by_id: HashMap<u64, usize> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+
+    let mut answers: Vec<Option<Message>> = vec![None; reqs.len()];
+    let attempts = config.max_attempts.max(1);
+    let mut last_err: Option<CoreError> = None;
+    // Pacing floor carried from the strongest `Busy` hint of the last round.
+    let mut busy_floor = Duration::ZERO;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            retry_metrics().attempts.inc();
+            let pause = pipeline_backoff(&mut rng, config, attempt - 1, busy_floor);
+            thread::sleep(pause);
+            busy_floor = Duration::ZERO;
+        }
+        let pending: Vec<usize> = (0..reqs.len()).filter(|&i| answers[i].is_none()).collect();
+        if pending.is_empty() {
+            break;
+        }
+        // Submit the whole unanswered set before reading anything back —
+        // that is the pipelining: one flush, N frames in flight.
+        let mut link_down = false;
+        for &i in &pending {
+            match pipe.submit_as(&reqs[i], ids[i]) {
+                Ok(()) => {}
+                Err(e) if transient_error(&e) => {
+                    last_err = Some(e);
+                    link_down = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        while !link_down && pipe.outstanding() > 0 {
+            match pipe.recv() {
+                Ok((id, reply)) => {
+                    let Some(&i) = by_id.get(&id) else {
+                        // The reply-correlation contract is broken (or the
+                        // server predates id echoing): pipelining is unsafe.
+                        return Err(CoreError::Transport(format!(
+                            "uncorrelated reply id {id:#x}; \
+                             server does not echo request ids"
+                        )));
+                    };
+                    match transient_reply(&reply) {
+                        None => answers[i] = Some(reply),
+                        Some(hint) => {
+                            if matches!(reply, Message::Busy { .. }) {
+                                retry_metrics().busy.inc();
+                            }
+                            busy_floor = busy_floor.max(hint);
+                            last_err = Some(match reply {
+                                Message::Error(e) => e.into_core(),
+                                _ => CoreError::Transport(format!(
+                                    "server busy after {attempts} attempts"
+                                )),
+                            });
+                        }
+                    }
+                }
+                Err(e) if transient_error(&e) => {
+                    last_err = Some(e);
+                    link_down = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if link_down && attempt + 1 < attempts {
+            // Re-dial; replies in flight are lost, but ids are stable, so
+            // resubmission is answered from the replay ledger where it
+            // matters.
+            retry_metrics().reconnects.inc();
+            if let Err(e) = pipe.reconnect() {
+                last_err = Some(e);
+            }
+        }
+    }
+    answers
+        .into_iter()
+        .map(|slot| {
+            slot.ok_or_else(|| {
+                last_err.clone().unwrap_or_else(|| {
+                    CoreError::Transport(format!(
+                        "retry budget exhausted after {attempts} attempts"
+                    ))
+                })
+            })
+        })
+        .collect()
+}
+
+/// Standalone mirror of [`Retry::backoff`] for the pipeline path.
+fn pipeline_backoff(
+    rng: &mut SplitMix64,
+    config: &RetryConfig,
+    attempt: u32,
+    floor: Duration,
+) -> Duration {
+    let base = config.base_backoff.max(Duration::from_millis(1));
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let capped = exp.min(config.max_backoff).max(floor);
+    let jitter = rng.next_f64() * 0.5 + 0.5; // [0.5, 1.0)
+    capped.mul_f64(jitter)
 }
 
 #[cfg(test)]

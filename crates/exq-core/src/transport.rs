@@ -90,6 +90,28 @@ fn ft_metrics() -> &'static FtMetrics {
     })
 }
 
+/// Registry handles for the accept-path counters shared by the blocking
+/// serve loop and the event loop.
+pub(crate) struct AcceptMetrics {
+    /// `accept(2)` failures (fd exhaustion, aborted handshakes, …).
+    pub(crate) accept_errors: Arc<Counter>,
+    /// Accepted connections refused with `Busy` because the pending queue
+    /// (blocking loop) or dispatch queue (event loop) was full.
+    pub(crate) accept_rejected: Arc<Counter>,
+    /// Connections accepted and waiting for a worker (blocking loop only;
+    /// the event loop serves every connection from one thread).
+    pub(crate) queue_depth: Arc<Gauge>,
+}
+
+pub(crate) fn accept_metrics() -> &'static AcceptMetrics {
+    static METRICS: OnceLock<AcceptMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| AcceptMetrics {
+        accept_errors: telemetry::counter("exq_accept_errors_total"),
+        accept_rejected: telemetry::counter("exq_accept_rejected_total"),
+        queue_depth: telemetry::gauge("exq_accept_queue_depth"),
+    })
+}
+
 /// Exact byte accounting for one transport: every frame that crossed the
 /// link (or would have, for [`InProcess`]), measured in encoded bytes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -481,7 +503,10 @@ impl Transport for InProcess<'_> {
             ServerHandle::Shared(s) => answer_request(s, &d.msg),
             ServerHandle::Exclusive(s) => apply_request_keyed(s, replay, d.req_id, &d.msg),
         });
-        let resp_frame = resp.encode_frame_v(d.version, 0);
+        // Replies echo the request's trace and request ids so a pipelining
+        // client can correlate them; the in-process link keeps the exact
+        // same bytes-on-the-wire semantics as the serve loop.
+        let resp_frame = resp.encode_frame_req(d.version, d.trace, d.req_id);
         self.stats.bytes_received += resp_frame.len() as u64;
         let m = wire_metrics();
         m.requests.inc();
@@ -655,7 +680,18 @@ impl Transport for TcpTransport {
         m.requests.inc();
         m.bytes_sent.add(frame.len() as u64);
         m.bytes_received.add(resp_frame.len() as u64);
-        Ok(Message::decode_frame(&resp_frame)?)
+        let d = Message::decode_frame_ext(&resp_frame)?;
+        // Servers echo the request id; a nonzero mismatch means this reply
+        // answers some *other* request (a stale frame from a previous
+        // exchange, say) and must not be attributed to this one. Zero is
+        // tolerated for pre-echo servers.
+        if req_id != 0 && d.req_id != 0 && d.req_id != req_id {
+            return Err(CoreError::Transport(format!(
+                "reply correlation mismatch: sent request id {req_id}, reply carries {}",
+                d.req_id
+            )));
+        }
+        Ok(d.msg)
     }
 
     fn stats(&self) -> LinkStats {
@@ -675,6 +711,229 @@ impl Reconnect for TcpTransport {
         let (stream, peer) = dial(&self.addrs, &self.config)?;
         self.stream = stream;
         self.peer = peer;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- pipeline --
+
+/// A pipelining TCP client link: many requests in flight on one
+/// connection, correlated by the v3+ request-id field that server replies
+/// echo. Where [`TcpTransport`] is strictly request→reply, a `Pipeline`
+/// decouples [`Pipeline::submit`] from [`Pipeline::recv`], so a client can
+/// keep the wire full instead of paying a full round trip per request.
+///
+/// Requires protocol v3 or newer (the first dialect with request ids);
+/// naming a database requires v4+, and [`Pipeline::batch`] requires v5.
+pub struct Pipeline {
+    stream: TcpStream,
+    peer: SocketAddr,
+    addrs: Vec<SocketAddr>,
+    config: TcpConfig,
+    version: u8,
+    db: String,
+    next_id: u64,
+    /// Requests submitted but not yet matched to a reply.
+    outstanding: usize,
+    stats: LinkStats,
+}
+
+impl Pipeline {
+    /// Connects with retry and exponential backoff, speaking the current
+    /// protocol version.
+    pub fn connect(addr: impl ToSocketAddrs, config: TcpConfig) -> Result<Pipeline, CoreError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| CoreError::Transport(format!("address resolution failed: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(CoreError::Transport("address resolved to nothing".into()));
+        }
+        let (stream, peer) = dial(&addrs, &config)?;
+        Ok(Pipeline {
+            stream,
+            peer,
+            addrs,
+            config,
+            version: crate::codec::PROTOCOL_VERSION,
+            db: String::new(),
+            next_id: 1,
+            outstanding: 0,
+            stats: LinkStats::default(),
+        })
+    }
+
+    /// Connects with default [`TcpConfig`].
+    pub fn connect_default(addr: impl ToSocketAddrs) -> Result<Pipeline, CoreError> {
+        Pipeline::connect(addr, TcpConfig::default())
+    }
+
+    /// Speaks an explicit protocol version (builder form) — v3 or newer,
+    /// since pipelining needs the request-id field to correlate replies.
+    pub fn with_version(mut self, version: u8) -> Result<Pipeline, CoreError> {
+        if !(crate::codec::V3_PROTOCOL_VERSION..=crate::codec::PROTOCOL_VERSION).contains(&version)
+        {
+            return Err(CoreError::Transport(format!(
+                "pipelining requires protocol v{}..=v{}, got v{version}",
+                crate::codec::V3_PROTOCOL_VERSION,
+                crate::codec::PROTOCOL_VERSION
+            )));
+        }
+        if !self.db.is_empty() && version < crate::codec::V4_PROTOCOL_VERSION {
+            return Err(CoreError::Transport(
+                "a named database needs protocol v4 or newer".into(),
+            ));
+        }
+        self.version = version;
+        Ok(self)
+    }
+
+    /// Addresses every subsequent frame to the named database (v4+).
+    pub fn with_db(mut self, db: &str) -> Result<Pipeline, CoreError> {
+        crate::tenant::validate_db_id(db)?;
+        if !db.is_empty() && self.version < crate::codec::V4_PROTOCOL_VERSION {
+            return Err(CoreError::Transport(
+                "a named database needs protocol v4 or newer".into(),
+            ));
+        }
+        self.db = db.to_owned();
+        Ok(self)
+    }
+
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Cumulative traffic over this pipeline.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Requests submitted but not yet answered.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Submits one request without waiting for its reply, returning the
+    /// request id its reply will carry.
+    pub fn submit(&mut self, req: &Message) -> Result<u64, CoreError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.submit_as(req, id)?;
+        Ok(id)
+    }
+
+    /// Submits one request under a caller-chosen (nonzero) request id —
+    /// the retry layer keeps ids stable across resubmissions of the same
+    /// logical request.
+    pub fn submit_as(&mut self, req: &Message, req_id: u64) -> Result<(), CoreError> {
+        if req_id == 0 {
+            return Err(CoreError::Transport(
+                "pipelined requests need a nonzero request id".into(),
+            ));
+        }
+        let frame =
+            req.encode_frame_db(self.version, telemetry::current_trace(), req_id, &self.db)?;
+        self.stream
+            .write_all(&frame)
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| CoreError::Transport(format!("send to {} failed: {e}", self.peer)))?;
+        self.next_id = self.next_id.max(req_id + 1);
+        self.outstanding += 1;
+        self.stats.requests += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        let m = wire_metrics();
+        m.requests.inc();
+        m.bytes_sent.add(frame.len() as u64);
+        Ok(())
+    }
+
+    /// Receives the next reply frame, whatever request it answers,
+    /// returning the echoed request id alongside the message.
+    pub fn recv(&mut self) -> Result<(u64, Message), CoreError> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.stream
+            .read_exact(&mut header)
+            .map_err(|e| CoreError::Transport(format!("receive from {} failed: {e}", self.peer)))?;
+        let (version, _, payload_len) = Message::parse_header(&header)?;
+        let mut frame = vec![0u8; FRAME_HEADER_LEN + frame_extra_len(version) + payload_len];
+        frame[..FRAME_HEADER_LEN].copy_from_slice(&header);
+        self.stream
+            .read_exact(&mut frame[FRAME_HEADER_LEN..])
+            .map_err(|e| CoreError::Transport(format!("receive from {} failed: {e}", self.peer)))?;
+        self.stats.bytes_received += frame.len() as u64;
+        wire_metrics().bytes_received.add(frame.len() as u64);
+        let d = Message::decode_frame_ext(&frame)?;
+        self.outstanding = self.outstanding.saturating_sub(1);
+        Ok((d.req_id, d.msg))
+    }
+
+    /// Submits every request back-to-back, then drains replies, matching
+    /// them to requests by id. Returns the replies in submission order —
+    /// byte-identical to what serial roundtrips would have produced, just
+    /// without the per-request round-trip wait.
+    pub fn roundtrip_many(&mut self, reqs: &[Message]) -> Result<Vec<Message>, CoreError> {
+        let ids: Vec<u64> = reqs
+            .iter()
+            .map(|req| self.submit(req))
+            .collect::<Result<_, _>>()?;
+        let mut by_id: HashMap<u64, Message> = HashMap::with_capacity(ids.len());
+        while by_id.len() < ids.len() {
+            let (id, msg) = self.recv()?;
+            if !ids.contains(&id) || by_id.insert(id, msg).is_some() {
+                return Err(CoreError::Transport(format!(
+                    "reply carries unknown or duplicate request id {id}"
+                )));
+            }
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| by_id.remove(&id).expect("collected above"))
+            .collect())
+    }
+
+    /// Submits the group as one v5 [`Message::Batch`] frame and unpacks
+    /// the [`Message::BatchAnswer`], returning per-item replies in order.
+    /// A whole-batch `Busy` or `Error` reply surfaces as the error for the
+    /// call.
+    pub fn batch(&mut self, reqs: &[Message]) -> Result<Vec<Message>, CoreError> {
+        if self.version < crate::codec::PROTOCOL_VERSION {
+            return Err(CoreError::Transport(
+                "batch frames need protocol v5 or newer".into(),
+            ));
+        }
+        let id = self.submit(&Message::Batch(reqs.to_vec()))?;
+        let (got, msg) = self.recv()?;
+        if got != id && got != 0 {
+            return Err(CoreError::Transport(format!(
+                "batch reply carries request id {got}, expected {id}"
+            )));
+        }
+        match msg {
+            Message::BatchAnswer(items) => {
+                if items.len() == reqs.len() {
+                    Ok(items)
+                } else {
+                    Err(CoreError::Transport(format!(
+                        "batch answer has {} items for {} requests",
+                        items.len(),
+                        reqs.len()
+                    )))
+                }
+            }
+            other => Err(unexpected("BatchAnswer", other)),
+        }
+    }
+
+    /// Drops the connection and dials afresh. Outstanding requests are
+    /// abandoned (their replies died with the old stream); the caller
+    /// resubmits what it still needs, reusing the original ids so the
+    /// server-side replay table can deduplicate.
+    pub fn reconnect(&mut self) -> Result<(), CoreError> {
+        let (stream, peer) = dial(&self.addrs, &self.config)?;
+        self.stream = stream;
+        self.peer = peer;
+        self.outstanding = 0;
         Ok(())
     }
 }
@@ -716,6 +975,11 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// The `retry_after_ms` hint carried in `Busy` replies.
     pub retry_after: Duration,
+    /// Accepted connections allowed to wait for a worker (blocking serve
+    /// loop) or dispatched requests allowed to wait for one (event loop)
+    /// before new arrivals are refused with `Busy` instead of queueing
+    /// unboundedly (`0` = auto: 8× `workers`, at least 32).
+    pub accept_backlog: usize,
 }
 
 impl Default for ServeConfig {
@@ -730,6 +994,18 @@ impl Default for ServeConfig {
             max_inflight_per_db: 0,
             deadline: Duration::ZERO,
             retry_after: Duration::from_millis(25),
+            accept_backlog: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective bound on the acceptor→worker queue.
+    pub(crate) fn backlog(&self) -> usize {
+        if self.accept_backlog > 0 {
+            self.accept_backlog
+        } else {
+            (self.workers.max(1) * 8).max(32)
         }
     }
 }
@@ -737,12 +1013,12 @@ impl Default for ServeConfig {
 /// Admission state shared by every connection of one [`serve_multi`]
 /// instance. Per-tenant state (replay tables, per-db in-flight counters)
 /// lives inside the registry's [`Tenant`]s.
-struct ServeShared {
+pub(crate) struct ServeShared {
     /// The databases this instance hosts.
-    registry: Arc<TenantRegistry>,
+    pub(crate) registry: Arc<TenantRegistry>,
     /// Requests currently being dispatched across all tenants
     /// (admission-controlled).
-    inflight: AtomicUsize,
+    pub(crate) inflight: AtomicUsize,
 }
 
 /// Panic-safe in-flight accounting: decrements the global and per-tenant
@@ -792,6 +1068,23 @@ pub struct ServeHandle {
 }
 
 impl ServeHandle {
+    /// Assembles a handle around externally spawned serve threads (the
+    /// event loop lives in [`crate::evloop`] but shares this handle so
+    /// callers shut both loop styles down identically).
+    pub(crate) fn assemble(
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        threads: Vec<thread::JoinHandle<()>>,
+        registry: Arc<TenantRegistry>,
+    ) -> ServeHandle {
+        ServeHandle {
+            addr,
+            stop,
+            threads,
+            registry,
+        }
+    }
+
     /// The bound address (useful with ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -873,22 +1166,10 @@ pub fn serve_multi(
 ) -> std::io::Result<ServeHandle> {
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    // Apply the intra-query parallelism and cache knobs to every hosted
-    // instance.
-    for tenant in registry.tenants() {
-        match tenant.server.write() {
-            Ok(mut guard) => {
-                guard.set_threads(config.threads);
-                guard.set_cache_entries(config.cache_entries);
-            }
-            Err(poisoned) => {
-                let mut guard = poisoned.into_inner();
-                guard.set_threads(config.threads);
-                guard.set_cache_entries(config.cache_entries);
-            }
-        }
-    }
-    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    apply_tenant_knobs(&registry, &config);
+    // Bounded: connections past the backlog are answered `Busy` by the
+    // accept thread instead of queueing forever behind pinned workers.
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.backlog());
     let conn_rx = Arc::new(Mutex::new(conn_rx));
     let shared = Arc::new(ServeShared {
         registry: Arc::clone(&registry),
@@ -909,7 +1190,10 @@ pub fn serve_multi(
                 Err(poisoned) => poisoned.into_inner().recv(),
             };
             match next {
-                Ok(stream) => handle_connection(stream, &shr, &stop_flag, &cfg),
+                Ok(stream) => {
+                    accept_metrics().queue_depth.add(-1);
+                    handle_connection(stream, &shr, &stop_flag, &cfg)
+                }
                 Err(_) => return, // accept loop gone
             }
         }));
@@ -917,17 +1201,9 @@ pub fn serve_multi(
 
     {
         let stop_flag = Arc::clone(&stop);
+        let cfg = config.clone();
         threads.push(thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
-                    return; // drops conn_tx, draining the workers
-                }
-                if let Ok(stream) = conn {
-                    if conn_tx.send(stream).is_err() {
-                        return;
-                    }
-                }
-            }
+            accept_loop(&listener, &conn_tx, &stop_flag, &cfg);
         }));
     }
 
@@ -937,6 +1213,80 @@ pub fn serve_multi(
         threads,
         registry,
     })
+}
+
+/// Applies the intra-query parallelism and cache knobs to every hosted
+/// instance (shared by the blocking serve loop and the event loop).
+pub(crate) fn apply_tenant_knobs(registry: &TenantRegistry, config: &ServeConfig) {
+    for tenant in registry.tenants() {
+        match tenant.server.write() {
+            Ok(mut guard) => {
+                guard.set_threads(config.threads);
+                guard.set_cache_entries(config.cache_entries);
+            }
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.set_threads(config.threads);
+                guard.set_cache_entries(config.cache_entries);
+            }
+        }
+    }
+}
+
+/// Smallest/largest sleep after a failed `accept(2)`. Errors like fd
+/// exhaustion (EMFILE) persist for a while: without backoff the accept
+/// thread would spin at 100% CPU re-reporting the same failure.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(100);
+
+/// The blocking accept loop: hand connections to workers through the
+/// bounded queue, refuse with `Busy` past the bound, and back off
+/// (bounded, exponential) on accept errors instead of busy-spinning.
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &mpsc::SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    config: &ServeConfig,
+) {
+    let metrics = accept_metrics();
+    let mut backoff = ACCEPT_BACKOFF_MIN;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return; // drops conn_tx, draining the workers
+        }
+        match conn {
+            Ok(stream) => {
+                backoff = ACCEPT_BACKOFF_MIN;
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {
+                        metrics.queue_depth.add(1);
+                    }
+                    Err(mpsc::TrySendError::Full(stream)) => {
+                        metrics.accept_rejected.inc();
+                        refuse_busy(stream, config.retry_after);
+                    }
+                    Err(mpsc::TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(_) => {
+                metrics.accept_errors.inc();
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
+        }
+    }
+}
+
+/// Best-effort `Busy` to a connection refused at the accept queue, then
+/// close. Encoded as v3 — the oldest dialect with a `Busy` frame — since
+/// the peer has not spoken yet; the write is bounded so a peer that never
+/// reads cannot pin the accept thread.
+pub(crate) fn refuse_busy(stream: TcpStream, retry_after: Duration) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    let frame = busy_reply(crate::codec::V3_PROTOCOL_VERSION, retry_after)
+        .encode_frame_v(crate::codec::V3_PROTOCOL_VERSION, 0);
+    let _ = stream.write_all(&frame);
 }
 
 /// Serves one connection until EOF, shutdown, a framing error, or a
@@ -953,6 +1303,15 @@ fn handle_connection(
     if stream.set_read_timeout(Some(config.poll_interval)).is_err() {
         return;
     }
+    // Writes poll at the same cadence as reads so a peer that stops
+    // reading is held to the mid-frame stall budget instead of pinning
+    // this worker in `write_all` forever.
+    if stream
+        .set_write_timeout(Some(config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
     loop {
         // Waiting for a frame's first byte is *idle* time: poll the stop
         // flag forever, never drop for slowness. Once any byte of a frame
@@ -967,7 +1326,15 @@ fn handle_connection(
             Err(e) => {
                 // Framing is unrecoverable: answer once and drop the link.
                 // The legacy frame version is understood by every peer.
-                send_error(&mut stream, &e, crate::codec::LEGACY_PROTOCOL_VERSION);
+                send_error(
+                    &mut stream,
+                    &e,
+                    crate::codec::LEGACY_PROTOCOL_VERSION,
+                    0,
+                    0,
+                    stop,
+                    io_timeout,
+                );
                 return;
             }
         };
@@ -986,27 +1353,87 @@ fn handle_connection(
             ReadOutcome::Ok => {}
             ReadOutcome::Closed | ReadOutcome::Stopped => return,
         }
-        let reply = match Message::decode_frame_ext(&frame) {
+        let (reply, trace, req_id) = match Message::decode_frame_ext(&frame) {
             Err(e) => {
-                send_error(&mut stream, &e, version);
+                // The payload failed to decode but the framing fields may
+                // still be intact: echo what can be salvaged so even the
+                // error reply correlates for a pipelining client.
+                let (trace, req_id) = salvage_frame_ids(&frame, version);
+                send_error(&mut stream, &e, version, trace, req_id, stop, io_timeout);
                 return;
             }
-            Ok(d) => serve_one(shared, config, &d),
+            Ok(d) => (serve_one(shared, config, &d), d.trace, d.req_id),
         };
         // Reply in the request's protocol version so legacy peers can
-        // decode the response.
-        let frame = reply.encode_frame_v(version, 0);
+        // decode the response, echoing the request's trace and request ids
+        // so a client with several requests in flight can correlate.
+        let frame = reply.encode_frame_req(version, trace, req_id);
         debug_assert!(
             frame.len() <= FRAME_HEADER_LEN + crate::codec::FRAME_EXTRA_LEN + MAX_FRAME_LEN
         );
-        if stream
-            .write_all(&frame)
-            .and_then(|_| stream.flush())
-            .is_err()
-        {
+        if !write_all_or_stop(&mut stream, &frame, stop, io_timeout) {
             return;
         }
     }
+}
+
+/// Best-effort extraction of the trace and request ids from a raw frame
+/// whose payload failed to decode: the framing fields sit at fixed offsets
+/// for a given version, so they survive payload-level corruption. (After a
+/// checksum failure the ids are untrustworthy, but echoing them is
+/// harmless — the worst case is what always happened before: an error the
+/// client cannot correlate.)
+pub(crate) fn salvage_frame_ids(frame: &[u8], version: u8) -> (u64, u64) {
+    use crate::codec::{TRACE_FIELD_LEN, V2_PROTOCOL_VERSION, V3_PROTOCOL_VERSION};
+    let mut trace = 0u64;
+    let mut req_id = 0u64;
+    let trace_pos = FRAME_HEADER_LEN;
+    if version >= V2_PROTOCOL_VERSION && frame.len() >= trace_pos + 8 {
+        trace = u64::from_le_bytes(frame[trace_pos..trace_pos + 8].try_into().unwrap());
+    }
+    let id_pos = FRAME_HEADER_LEN + TRACE_FIELD_LEN;
+    if version >= V3_PROTOCOL_VERSION && frame.len() >= id_pos + 8 {
+        req_id = u64::from_le_bytes(frame[id_pos..id_pos + 8].try_into().unwrap());
+    }
+    (trace, req_id)
+}
+
+/// `write_all` with the same two-regime discipline as the read side: short
+/// socket timeouts keep the stop flag responsive, progress resets the
+/// stall budget, and a peer that stops draining its receive window is
+/// dropped once `io_timeout` passes without a byte leaving. Returns
+/// `false` if the connection should be closed.
+fn write_all_or_stop(
+    stream: &mut TcpStream,
+    buf: &[u8],
+    stop: &AtomicBool,
+    io_timeout: Duration,
+) -> bool {
+    let mut written = 0;
+    let mut deadline = Instant::now() + io_timeout;
+    while written < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        match stream.write(&buf[written..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                written += n;
+                deadline = Instant::now() + io_timeout;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    stream.flush().is_ok()
 }
 
 /// How long a deadline-bounded lock acquisition sleeps between attempts.
@@ -1014,7 +1441,7 @@ const LOCK_POLL: Duration = Duration::from_micros(500);
 
 /// The `Busy` reply in the requester's dialect: older peers don't know the
 /// `Busy` frame, so they get a transport-class error carrying the hint.
-fn busy_reply(version: u8, retry_after: Duration) -> Message {
+pub(crate) fn busy_reply(version: u8, retry_after: Duration) -> Message {
     let retry_after_ms = retry_after.as_millis().min(u32::MAX as u128) as u32;
     if version >= crate::codec::V3_PROTOCOL_VERSION {
         Message::Busy { retry_after_ms }
@@ -1122,11 +1549,14 @@ fn write_lock_within(
 /// global *or* per-db in-flight limit, bounds lock acquisition by the
 /// deadline, and answers mutations through the tenant's own replay table
 /// for at-most-once semantics.
-fn serve_one(shared: &ServeShared, config: &ServeConfig, d: &DecodedFrame) -> Message {
+pub(crate) fn serve_one(shared: &ServeShared, config: &ServeConfig, d: &DecodedFrame) -> Message {
     // Liveness probes answer instantly, without the server lock or an
     // admission slot: a saturated server is alive, not dead.
     if matches!(d.msg, Message::Ping) {
         return Message::Pong;
+    }
+    if let Message::Batch(items) = &d.msg {
+        return serve_batch(shared, config, d, items);
     }
     let tenant = match shared.registry.resolve(&d.db) {
         Ok(t) => t,
@@ -1169,6 +1599,71 @@ fn serve_one(shared: &ServeShared, config: &ServeConfig, d: &DecodedFrame) -> Me
     });
     telemetry::record_span(&format!("db.{}", tenant.name()), started.elapsed());
     reply
+}
+
+/// Dispatches a [`Message::Batch`]: the whole group shares one tenant
+/// resolution, one admission decision (a single in-flight slot), one
+/// cache-probe pass, and one read-lock acquisition. Items are answered in
+/// submission order inside a [`Message::BatchAnswer`]; a failing item
+/// becomes an `Error` entry without sinking its siblings. Mutations and
+/// nested batches never reach here — the codec rejects them at decode.
+fn serve_batch(
+    shared: &ServeShared,
+    config: &ServeConfig,
+    d: &DecodedFrame,
+    items: &[Message],
+) -> Message {
+    let tenant = match shared.registry.resolve(&d.db) {
+        Ok(t) => t,
+        Err(e) => return Message::Error(WireError::from_core(&e)),
+    };
+    tenant.note_request();
+    let server = &tenant.server;
+    let inflight = shared.inflight.load(Ordering::SeqCst);
+    let over_global = config.max_inflight != 0 && inflight >= config.max_inflight;
+    let db_cap = tenant.effective_cap(fair_share(config, shared.registry.len()));
+    let over_db = db_cap != 0 && tenant.inflight() >= db_cap;
+    if (over_global || over_db) && !batch_all_cheap(server, items) {
+        ft_metrics().shed.inc();
+        tenant.note_shed();
+        return busy_reply(d.version, config.retry_after);
+    }
+    let _guard = InflightGuard::enter(shared, &tenant);
+    let started = Instant::now();
+    let reply = dispatch_traced(d.trace, || {
+        match read_lock_within(server, config.deadline) {
+            Some(guard) => Ok(Message::BatchAnswer(
+                items
+                    .iter()
+                    .map(|item| {
+                        answer_request(&guard, item)
+                            .unwrap_or_else(|e| Message::Error(WireError::from_core(&e)))
+                    })
+                    .collect(),
+            )),
+            None => {
+                ft_metrics().deadline_shed.inc();
+                Ok(busy_reply(d.version, config.retry_after))
+            }
+        }
+    });
+    telemetry::record_span(&format!("db.{}", tenant.name()), started.elapsed());
+    reply
+}
+
+/// One cache-probe pass over a batch: under load the batch is still
+/// admitted only if *every* item is cheap — a stats request, or a query
+/// the response cache already answers. A single `try_read` guard probes
+/// all items, so the pass costs one lock attempt regardless of batch size.
+fn batch_all_cheap(server: &RwLock<Server>, items: &[Message]) -> bool {
+    let Ok(guard) = server.try_read() else {
+        return false;
+    };
+    items.iter().all(|item| match item {
+        Message::CacheStatsReq | Message::MetricsReq | Message::Ping => true,
+        Message::Query(q) => guard.has_cached_response(q),
+        _ => false,
+    })
 }
 
 enum ReadOutcome {
@@ -1230,10 +1725,19 @@ fn read_exact_or_stop(
     ReadOutcome::Ok
 }
 
-fn send_error(stream: &mut TcpStream, err: &CodecError, version: u8) {
+fn send_error(
+    stream: &mut TcpStream,
+    err: &CodecError,
+    version: u8,
+    trace: u64,
+    req_id: u64,
+    stop: &AtomicBool,
+    io_timeout: Duration,
+) {
     let core: CoreError = err.clone().into();
-    let frame = Message::Error(WireError::from_core(&core)).encode_frame_v(version, 0);
-    let _ = stream.write_all(&frame).and_then(|_| stream.flush());
+    let frame =
+        Message::Error(WireError::from_core(&core)).encode_frame_req(version, trace, req_id);
+    write_all_or_stop(stream, &frame, stop, io_timeout);
 }
 
 #[cfg(test)]

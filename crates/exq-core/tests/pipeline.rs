@@ -1,0 +1,465 @@
+//! Pipelining and the event-loop serve path.
+//!
+//! The contract under test: replies echo the request's trace and request
+//! ids on the wire (the correlation fix), N requests in flight on one
+//! connection produce bit-identical answers to the same requests issued
+//! serially — across v3/v4/v5 peers and the `Batch` frame — idle
+//! connections beyond the worker count cannot starve a fresh client on
+//! the event loop, and a peer that stops reading its replies is dropped
+//! within the stall budget instead of pinning a worker forever.
+
+use exq_core::codec::{
+    frame_extra_len, Message, FRAME_HEADER_LEN, PROTOCOL_VERSION, V3_PROTOCOL_VERSION,
+    V4_PROTOCOL_VERSION,
+};
+use exq_core::constraints::SecurityConstraint;
+use exq_core::evloop::serve_event;
+use exq_core::retry::{roundtrip_pipelined, RetryConfig};
+use exq_core::scheme::SchemeKind;
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::tenant::TenantRegistry;
+use exq_core::transport::{serve_multi, Pipeline, ServeConfig, ServeHandle, TcpTransport};
+use exq_core::{Client, Server};
+use exq_xml::Document;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn hosted() -> (Client, Server) {
+    let doc = Document::parse(
+        r#"<hospital>
+            <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age>
+              <insurance><policy coverage="1000000">34221</policy></insurance></patient>
+            <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age>
+              <insurance><policy coverage="5000">78543</policy></insurance></patient>
+            <patient><pname>Ray</pname><SSN>554433</SSN><age>52</age>
+              <insurance><policy coverage="250000">90121</policy></insurance></patient>
+           </hospital>"#,
+    )
+    .unwrap();
+    let cs = vec![
+        SecurityConstraint::parse("//insurance").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap(),
+    ];
+    Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, SchemeKind::Opt, 77)
+        .unwrap()
+        .split()
+}
+
+fn registry_with(client: &Client, server: Server) -> Arc<TenantRegistry> {
+    let registry = Arc::new(TenantRegistry::new("main").unwrap());
+    registry
+        .create("main", server, client.key_fingerprint(), 0)
+        .unwrap();
+    registry
+}
+
+fn start_event(registry: Arc<TenantRegistry>, config: ServeConfig) -> ServeHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    serve_event(listener, registry, config).unwrap()
+}
+
+fn start_blocking(registry: Arc<TenantRegistry>, config: ServeConfig) -> ServeHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    serve_multi(listener, registry, config).unwrap()
+}
+
+/// Server-evaluable queries plus their translated request messages.
+fn query_requests(client: &Client) -> Vec<(String, Message)> {
+    [
+        "//patient/pname",
+        "//patient[age > 40]/pname",
+        "//insurance/policy",
+        "//patient[pname = 'Betty']/age",
+        "//nosuchtag",
+    ]
+    .iter()
+    .map(|q| {
+        let tq = client.translate(q).unwrap();
+        let sq = tq
+            .server_query
+            .unwrap_or_else(|| panic!("{q} should be server-evaluable"));
+        (q.to_string(), Message::Query(sq))
+    })
+    .collect()
+}
+
+/// The answer a reply *is*, shorn of per-execution measurement: server
+/// timings, the cache-hit flag, and telemetry spans differ between runs by
+/// construction and are not part of answer equivalence.
+fn canon(m: &Message) -> Message {
+    match m {
+        Message::Answer(r) => {
+            let mut r = r.clone();
+            r.translate_time = Duration::ZERO;
+            r.process_time = Duration::ZERO;
+            r.served_from_cache = false;
+            r.spans.clear();
+            Message::Answer(r)
+        }
+        Message::BatchAnswer(items) => Message::BatchAnswer(items.iter().map(canon).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Reads one whole frame off a raw socket.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header)?;
+    let (version, _, payload_len) = Message::parse_header(&header)
+        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    let total = FRAME_HEADER_LEN + frame_extra_len(version) + payload_len;
+    let mut frame = vec![0u8; total];
+    frame[..FRAME_HEADER_LEN].copy_from_slice(&header);
+    stream.read_exact(&mut frame[FRAME_HEADER_LEN..])?;
+    Ok(frame)
+}
+
+// --------------------------------------------------------------- starvation
+
+/// More idle connections than workers: on the event loop a fresh client
+/// still gets answered, because idle sockets cost buffers, not threads.
+/// (This is exactly the scenario that wedges the thread-per-connection
+/// loop: every worker parked in `read` on an idle socket.)
+#[test]
+fn idle_connections_do_not_starve_fresh_clients_on_event_loop() {
+    let (client, server) = hosted();
+    let registry = registry_with(&client, server);
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let handle = start_event(registry, config);
+
+    // 12 connections that say nothing, held open for the whole test.
+    let idle: Vec<TcpStream> = (0..12)
+        .map(|_| TcpStream::connect(handle.addr()).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut tcp = TcpTransport::connect_default(handle.addr()).unwrap();
+    let out = client.query_via(&mut tcp, "//patient/pname").unwrap();
+    assert_eq!(out.results.len(), 3, "fresh client starved by idle peers");
+
+    drop(idle);
+    handle.shutdown();
+}
+
+// -------------------------------------------------------------- correlation
+
+/// Replies echo the request's trace and request ids byte-for-byte on the
+/// wire — on both serve paths, on answers and on error replies to frames
+/// that fail payload decode (where the ids are salvaged from the raw
+/// frame).
+#[test]
+fn replies_echo_ids_on_the_wire() {
+    let (client, server) = hosted();
+    let registry = registry_with(&client, server);
+    for (label, handle) in [
+        (
+            "blocking",
+            start_blocking(Arc::clone(&registry), ServeConfig::default()),
+        ),
+        (
+            "event",
+            start_event(registry.clone(), ServeConfig::default()),
+        ),
+    ] {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+
+        for version in [V3_PROTOCOL_VERSION, V4_PROTOCOL_VERSION, PROTOCOL_VERSION] {
+            let trace = 0xDEAD_BEEF_0000_0000u64 | version as u64;
+            let req_id = 0x1234_5678_0000_0000u64 | version as u64;
+            let frame = Message::Ping.encode_frame_req(version, trace, req_id);
+            stream.write_all(&frame).unwrap();
+            let reply = read_frame(&mut stream).unwrap();
+            let d = Message::decode_frame_ext(&reply).unwrap();
+            assert_eq!(d.msg, Message::Pong, "{label} v{version}");
+            assert_eq!(d.trace, trace, "{label} v{version} dropped the trace id");
+            assert_eq!(
+                d.req_id, req_id,
+                "{label} v{version} dropped the request id"
+            );
+        }
+
+        // A frame whose header is fine but whose payload is garbage: the
+        // error reply must still carry the ids salvaged from the frame.
+        let good = Message::CacheStatsReq.encode_frame_req(PROTOCOL_VERSION, 0xABAD_1DEA, 777);
+        let mut corrupt = good.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF; // breaks the checksum, ids stay readable
+        stream.write_all(&corrupt).unwrap();
+        let reply = read_frame(&mut stream).unwrap();
+        let d = Message::decode_frame_ext(&reply).unwrap();
+        assert!(
+            matches!(d.msg, Message::Error(_)),
+            "{label}: corrupt frame should answer Error, got {:?}",
+            d.msg
+        );
+        assert_eq!(d.trace, 0xABAD_1DEA, "{label} error reply dropped trace id");
+        assert_eq!(d.req_id, 777, "{label} error reply dropped request id");
+
+        handle.shutdown();
+    }
+}
+
+// -------------------------------------------------------------- equivalence
+
+/// Serial vs. N-in-flight on one connection: bit-identical answers, for
+/// v3, v4, and v5 peers, on both serve paths.
+#[test]
+fn pipelined_matches_serial_across_versions() {
+    let (client, server) = hosted();
+    let registry = registry_with(&client, server);
+    let reqs: Vec<Message> = query_requests(&client)
+        .into_iter()
+        .map(|(_, m)| m)
+        .chain([Message::Ping])
+        .collect();
+
+    for (label, handle) in [
+        (
+            "blocking",
+            start_blocking(Arc::clone(&registry), ServeConfig::default()),
+        ),
+        (
+            "event",
+            start_event(registry.clone(), ServeConfig::default()),
+        ),
+    ] {
+        for version in [V3_PROTOCOL_VERSION, V4_PROTOCOL_VERSION, PROTOCOL_VERSION] {
+            let mut serial = Pipeline::connect_default(handle.addr())
+                .unwrap()
+                .with_version(version)
+                .unwrap();
+            let serial_replies: Vec<Message> = reqs
+                .iter()
+                .map(|r| {
+                    let id = serial.submit(r).unwrap();
+                    let (rid, reply) = serial.recv().unwrap();
+                    assert_eq!(rid, id, "{label} v{version}: serial reply misattributed");
+                    reply
+                })
+                .collect();
+
+            let mut pipe = Pipeline::connect_default(handle.addr())
+                .unwrap()
+                .with_version(version)
+                .unwrap();
+            let pipelined_replies = pipe.roundtrip_many(&reqs).unwrap();
+
+            assert_eq!(serial_replies.len(), pipelined_replies.len());
+            for (i, (s, p)) in serial_replies.iter().zip(&pipelined_replies).enumerate() {
+                // Identical decoded replies, and identical bytes, once
+                // per-execution measurement and framing are held fixed.
+                let (s, p) = (canon(s), canon(p));
+                assert_eq!(s, p, "{label} v{version} req {i}: answers differ");
+                assert_eq!(
+                    s.encode_frame_v(version, 0),
+                    p.encode_frame_v(version, 0),
+                    "{label} v{version} req {i}: answer bytes differ"
+                );
+            }
+        }
+        handle.shutdown();
+    }
+}
+
+/// A v5 `Batch` frame answers item-for-item what the same requests answer
+/// when issued serially, and the answers decrypt to the correct results.
+#[test]
+fn batch_matches_serial_and_decrypts_correctly() {
+    let (client, server) = hosted();
+    let registry = registry_with(&client, server);
+    let handle = start_event(registry, ServeConfig::default());
+    let named = query_requests(&client);
+    let reqs: Vec<Message> = named.iter().map(|(_, m)| m.clone()).collect();
+
+    let mut serial = Pipeline::connect_default(handle.addr()).unwrap();
+    let serial_replies: Vec<Message> = reqs
+        .iter()
+        .map(|r| {
+            serial.submit(r).unwrap();
+            serial.recv().unwrap().1
+        })
+        .collect();
+
+    let mut pipe = Pipeline::connect_default(handle.addr()).unwrap();
+    let batched = pipe.batch(&reqs).unwrap();
+
+    assert_eq!(batched.len(), serial_replies.len());
+    for (i, (s, b)) in serial_replies.iter().zip(&batched).enumerate() {
+        assert_eq!(
+            canon(s),
+            canon(b),
+            "batch item {i} differs from serial answer"
+        );
+    }
+
+    // Ground truth: the batched answers post-process to the same results
+    // the reference query path computes.
+    for ((q, _), reply) in named.iter().zip(&batched) {
+        let Message::Answer(resp) = reply else {
+            panic!("batch item for {q} is not an Answer: {reply:?}");
+        };
+        let tq = client.translate(q).unwrap();
+        let post = client.post_process(&tq.post_query, resp).unwrap();
+        let expect = client.translate(q).unwrap();
+        // Evaluate the reference through a fresh serial roundtrip.
+        let mut tcp = TcpTransport::connect_default(handle.addr()).unwrap();
+        let reference = client.query_via(&mut tcp, q).unwrap();
+        drop(expect);
+        assert_eq!(post.results, reference.results, "batched {q}");
+    }
+    handle.shutdown();
+}
+
+// -------------------------------------------------------- retry under load
+
+/// `roundtrip_pipelined` keeps stable ids across `Busy` resubmissions and
+/// eventually lands every answer even when admission sheds most of the
+/// in-flight window.
+#[test]
+fn pipelined_retry_recovers_from_busy() {
+    let (client, server) = hosted();
+    let registry = registry_with(&client, server);
+    let config = ServeConfig {
+        workers: 4,
+        max_inflight: 1,
+        cache_entries: Some(0), // no cache-hit promotion past admission
+        retry_after: Duration::from_millis(5),
+        ..ServeConfig::default()
+    };
+    let handle = start_event(registry, config);
+
+    let reqs: Vec<Message> = query_requests(&client)
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
+    let mut pipe = Pipeline::connect_default(handle.addr()).unwrap();
+    let retry = RetryConfig {
+        max_attempts: 20,
+        base_backoff: Duration::from_millis(2),
+        ..RetryConfig::default()
+    };
+    let replies = roundtrip_pipelined(&mut pipe, &reqs, &retry).unwrap();
+    assert_eq!(replies.len(), reqs.len());
+    for (i, reply) in replies.iter().enumerate() {
+        assert!(
+            matches!(reply, Message::Answer(_)),
+            "req {i} never got past Busy: {reply:?}"
+        );
+    }
+    handle.shutdown();
+}
+
+// ------------------------------------------------------------ write stalls
+
+/// A peer that submits work and never reads the replies is dropped within
+/// the write-stall budget on both serve paths — instead of blocking a
+/// worker (blocking loop) or growing the write buffer forever (event
+/// loop). Detection: after the stall window, draining the socket must
+/// terminate in EOF/reset, not in an endless stream of timeouts.
+#[test]
+fn stalled_reader_is_dropped_within_budget() {
+    let (client, server) = hosted();
+    let registry = registry_with(&client, server);
+    let io_timeout = Duration::from_millis(400);
+    let mk_config = || ServeConfig {
+        workers: 2,
+        io_timeout,
+        accept_backlog: 10_000, // let every request dispatch; the stall is on writes
+        ..ServeConfig::default()
+    };
+    for (label, handle) in [
+        (
+            "blocking",
+            start_blocking(Arc::clone(&registry), mk_config()),
+        ),
+        ("event", start_event(registry.clone(), mk_config())),
+    ] {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // NaiveQuery ships the whole sealed database per reply — the
+        // cheapest way to overrun every socket buffer in the path. Enough
+        // of them to exceed any auto-tuned kernel buffer by a wide margin.
+        // Written from a helper thread: once the server stops reading
+        // (blocking loop serves one frame at a time) our own sends may
+        // block until the drop resets the connection.
+        let mut wstream = stream.try_clone().unwrap();
+        let writer = std::thread::spawn(move || {
+            for i in 0..20_000u64 {
+                let frame = Message::NaiveQuery.encode_frame_req(PROTOCOL_VERSION, 0, i + 1);
+                if wstream.write_all(&frame).is_err() {
+                    return; // connection dropped mid-send: that's the point
+                }
+            }
+        });
+        // Never read. Give the server time to fill the buffers and trip
+        // the write-stall budget.
+        std::thread::sleep(io_timeout * 4);
+
+        // Drain: buffered replies arrive, then EOF or reset — within a
+        // bounded number of reads. A server still pinned on the write
+        // would instead time out here forever.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut buf = vec![0u8; 1 << 16];
+        let dropped = loop {
+            if Instant::now() > deadline {
+                break false;
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => break true,
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == ErrorKind::ConnectionReset
+                        || e.kind() == ErrorKind::BrokenPipe =>
+                {
+                    break true
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break false
+                }
+                Err(e) => panic!("{label}: unexpected read error: {e}"),
+            }
+        };
+        assert!(dropped, "{label}: stalled reader was not dropped");
+        writer.join().unwrap();
+        handle.shutdown();
+    }
+    let _ = client;
+}
+
+/// After dropping a stalled reader the server keeps serving fresh clients.
+#[test]
+fn server_survives_stalled_reader() {
+    let (client, server) = hosted();
+    let registry = registry_with(&client, server);
+    let config = ServeConfig {
+        workers: 2,
+        io_timeout: Duration::from_millis(300),
+        accept_backlog: 10_000,
+        ..ServeConfig::default()
+    };
+    let handle = start_event(registry, config);
+
+    let mut staller = TcpStream::connect(handle.addr()).unwrap();
+    for i in 0..2000usize {
+        let frame = Message::NaiveQuery.encode_frame_req(PROTOCOL_VERSION, 0, i as u64 + 1);
+        staller.write_all(&frame).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(900));
+
+    let mut tcp = TcpTransport::connect_default(handle.addr()).unwrap();
+    let out = client.query_via(&mut tcp, "//patient/pname").unwrap();
+    assert_eq!(out.results.len(), 3);
+    drop(staller);
+    handle.shutdown();
+}
