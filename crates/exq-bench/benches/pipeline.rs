@@ -100,8 +100,10 @@ fn bench_persistence(c: &mut Criterion) {
     let (client, server) = hosted.split();
     let mut group = c.benchmark_group("persistence_200_datasets");
     group.sample_size(20);
-    group.bench_function("server_save", |b| b.iter(|| server.save_bytes().len()));
-    let bytes = server.save_bytes();
+    group.bench_function("server_save", |b| {
+        b.iter(|| server.save_bytes().unwrap().len())
+    });
+    let bytes = server.save_bytes().unwrap();
     group.bench_function("server_load", |b| {
         b.iter(|| exq_core::Server::load_bytes(&bytes).unwrap().block_count())
     });

@@ -83,7 +83,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let mut distinct = std::collections::HashSet::new();
         let mut size_hist: std::collections::HashMap<usize, usize> =
             std::collections::HashMap::new();
-        let resp = hosted.server.answer_naive();
+        let resp = hosted.server.answer_naive().unwrap();
         for b in &resp.blocks {
             distinct.insert(b.ciphertext.clone());
             *size_hist.entry(b.ciphertext.len()).or_default() += 1;

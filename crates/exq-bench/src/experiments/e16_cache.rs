@@ -119,7 +119,7 @@ fn replay(
     let mut total = Duration::ZERO;
     let mut answers = Vec::with_capacity(schedule.len());
     for &qi in schedule {
-        let resp = sweep.hosted.server.answer(&translated[qi]);
+        let resp = sweep.hosted.server.answer(&translated[qi]).unwrap();
         total += resp.process_time;
         answers.push(resp.pruned_xml);
     }

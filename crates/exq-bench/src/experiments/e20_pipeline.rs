@@ -38,10 +38,18 @@ use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Simulated clients (concurrent connections). The acceptance bar is 100;
-/// the drivers below multiplex them over a thread pool, so the count can
-/// be raised to 1000 without spawning 1000 OS threads.
-const CLIENTS: usize = 100;
+/// Simulated clients (concurrent connections), `EXQ_E20_CLIENTS` env
+/// override (default 100). The drivers below multiplex them over a thread
+/// pool, so 1000 connections do not need 1000 driver threads — and since
+/// the serve paths re-`listen(2)` with a widened kernel backlog, a burst
+/// of 1000 simultaneous connects no longer overflows the SYN queue.
+fn clients() -> usize {
+    std::env::var("EXQ_E20_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(100)
+        .max(1)
+}
 /// Queries per connection (one Zipf draw each).
 const QUERIES_PER_CONN: usize = 20;
 /// Driver threads multiplexing the client connections.
@@ -148,8 +156,9 @@ fn run_conn(
     Ok((started.elapsed(), replies))
 }
 
-/// Runs one serving mode: CLIENTS connections multiplexed over DRIVERS
+/// Runs one serving mode: `clients` connections multiplexed over DRIVERS
 /// threads, every answer decrypted and checked against `references`.
+#[allow(clippy::too_many_arguments)]
 fn run_mode(
     cfg: &ExpConfig,
     handle: &ServeHandle,
@@ -157,6 +166,7 @@ fn run_mode(
     client: &Client,
     requests: &[Message],
     references: &[Vec<String>],
+    clients: usize,
 ) -> ModeOutcome {
     let addr = handle.addr();
     let started = Instant::now();
@@ -170,7 +180,7 @@ fn run_mode(
                 let mut latencies = Vec::new();
                 let (mut completed, mut dropped, mut mismatched) = (0usize, 0usize, 0usize);
                 // Driver d owns connections d, d+DRIVERS, d+2·DRIVERS, …
-                for conn in (d..CLIENTS).step_by(DRIVERS) {
+                for conn in (d..clients).step_by(DRIVERS) {
                     let schedule =
                         zipf_schedule(QUERIES.len(), QUERIES_PER_CONN, seed ^ (conn as u64) << 3);
                     let reqs: Vec<Message> =
@@ -247,6 +257,7 @@ fn build_registry(cfg: &ExpConfig) -> (Arc<TenantRegistry>, Client) {
 }
 
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let clients = clients();
     // In-process reference answers, from an identically seeded database.
     let hosted = Outsourcer::new(OutsourceConfig::default())
         .outsource(
@@ -265,14 +276,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     // The four serving modes. The baseline gets one worker per client —
     // thread-per-connection scales by spending threads; the event loop
     // makes do with EVLOOP_WORKERS.
-    // The event-loop queue bound is sized for the offered load (CLIENTS
+    // The event-loop queue bound is sized for the offered load (clients
     // connections × QUERIES_PER_CONN frames can all be in flight at once
     // when pipelined); the default auto bound of 8×workers would shed the
     // burst with `Busy`, which this experiment counts as a failure.
     let evloop_config = || ServeConfig {
         workers: EVLOOP_WORKERS,
         threads: 1,
-        accept_backlog: 2 * CLIENTS * QUERIES_PER_CONN,
+        accept_backlog: 2 * clients * QUERIES_PER_CONN,
         ..ServeConfig::default()
     };
     let modes: Vec<(&str, bool, ServeConfig, Mode)> = vec![
@@ -280,7 +291,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             "baseline-thread-per-conn",
             false,
             ServeConfig {
-                workers: CLIENTS,
+                workers: clients,
                 threads: 1,
                 ..ServeConfig::default()
             },
@@ -294,7 +305,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "e20_pipeline",
         &format!(
-            "{CLIENTS} concurrent connections × {QUERIES_PER_CONN} Zipf draws, verified \
+            "{clients} concurrent connections × {QUERIES_PER_CONN} Zipf draws, verified \
              answers; amortized per-query latency by serving mode"
         ),
         &[
@@ -338,14 +349,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             })
             .collect();
 
-        let out = run_mode(cfg, &handle, mode, &client, &requests, &references);
+        let out = run_mode(cfg, &handle, mode, &client, &requests, &references, clients);
         handle.shutdown();
 
         assert_eq!(out.dropped, 0, "{name}: dropped answers");
         assert_eq!(out.mismatched, 0, "{name}: wrong answers");
         assert_eq!(
             out.completed,
-            CLIENTS * QUERIES_PER_CONN,
+            clients * QUERIES_PER_CONN,
             "{name}: lost queries"
         );
 
@@ -355,7 +366,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         t.row(vec![
             name.to_string(),
             workers.to_string(),
-            (CLIENTS * QUERIES_PER_CONN).to_string(),
+            (clients * QUERIES_PER_CONN).to_string(),
             out.completed.to_string(),
             out.dropped.to_string(),
             out.mismatched.to_string(),
@@ -368,10 +379,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             json.push_str(",\n");
         }
         json.push_str(&format!(
-            "    {{ \"mode\": \"{name}\", \"workers\": {workers}, \"clients\": {CLIENTS}, \
+            "    {{ \"mode\": \"{name}\", \"workers\": {workers}, \"clients\": {clients}, \
              \"queries\": {}, \"completed\": {}, \"dropped\": {}, \"mismatched\": {}, \
              \"p50_ms\": {:.5}, \"p99_ms\": {:.5}, \"wall_ms\": {:.3}, \"qps\": {qps:.1} }}",
-            CLIENTS * QUERIES_PER_CONN,
+            clients * QUERIES_PER_CONN,
             out.completed,
             out.dropped,
             out.mismatched,
@@ -395,7 +406,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         .unwrap_or(f64::NAN);
     let best = pipelined_p99.min(batch_p99);
     json.push_str(&format!(
-        "\n  ],\n  \"clients\": {CLIENTS},\n  \"queries_per_conn\": {QUERIES_PER_CONN},\n  \
+        "\n  ],\n  \"clients\": {clients},\n  \"queries_per_conn\": {QUERIES_PER_CONN},\n  \
          \"baseline_p99_ms\": {baseline_p99:.5},\n  \"pipelined_p99_ms\": {pipelined_p99:.5},\n  \
          \"batch_p99_ms\": {batch_p99:.5},\n  \"p99_speedup\": {:.3}\n}}\n",
         baseline_p99 / best.max(1e-9),

@@ -20,6 +20,7 @@ pub mod e17_telemetry;
 pub mod e18_faults;
 pub mod e19_tenants;
 pub mod e20_pipeline;
+pub mod e21_outofcore;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -131,6 +132,11 @@ pub fn registry() -> Vec<Experiment> {
             "e20",
             "extension: pipelined event-loop serving — 100 connections, verified answers",
             e20_pipeline::run,
+        ),
+        (
+            "e21",
+            "extension: out-of-core paged hosting — verified answers at shrinking pool budgets",
+            e21_outofcore::run,
         ),
     ]
 }

@@ -9,6 +9,7 @@ use exq_core::constraints::SecurityConstraint;
 use exq_core::evloop::serve_event;
 use exq_core::retry::{roundtrip_pipelined, Retry, RetryConfig};
 use exq_core::scheme::SchemeKind;
+use exq_core::store::{checkpoint_interval, Checkpointer, PagedDb, StoreOptions};
 use exq_core::system::{OutsourceConfig, Outsourcer};
 use exq_core::telemetry;
 use exq_core::tenant::TenantRegistry;
@@ -367,10 +368,29 @@ fn query_over_inner(
     Ok((report, resp.served_from_cache))
 }
 
+/// Resolves the out-of-core buffer budget: the `--cache-mb` flag wins,
+/// then the `EXQ_CACHE_MB` environment variable; `None` means host fully
+/// resident (the classic mode).
+pub fn resolve_store_opts(cache_mb: Option<usize>) -> Option<StoreOptions> {
+    let mb = cache_mb.or_else(|| {
+        std::env::var("EXQ_CACHE_MB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    })?;
+    Some(StoreOptions {
+        cache_bytes: mb.max(1) * 1024 * 1024,
+        ..StoreOptions::default()
+    })
+}
+
 /// `exq serve`: host a server state file on a TCP address. Returns the
 /// running handle plus a banner; the binary parks until interrupted, tests
 /// shut the handle down directly. `event_loop` picks the readiness-based
 /// serve path: idle connections cost buffers instead of worker threads.
+/// With `cache_mb` (or `EXQ_CACHE_MB`) the database hosts out-of-core:
+/// the artifact migrates to a paged sibling, sealed blocks page in through
+/// a buffer pool of that many MiB, and the returned [`Checkpointer`] folds
+/// the WAL in the background (keep it alive as long as the handle).
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_serve(
     server_path: &Path,
@@ -381,8 +401,26 @@ pub fn cmd_serve(
     max_inflight: usize,
     deadline_ms: u64,
     event_loop: bool,
-) -> Result<(ServeHandle, String), CliError> {
-    let server = Server::load(server_path)?;
+    cache_mb: Option<usize>,
+) -> Result<(ServeHandle, Option<Checkpointer>, String), CliError> {
+    let store_opts = resolve_store_opts(cache_mb);
+    let (server, paged) = match &store_opts {
+        Some(opts) => {
+            let (server, db, replay) =
+                PagedDb::open_or_migrate(server_path, exq_core::DEFAULT_DB, *opts)?;
+            if replay.replayed + replay.failed > 0 {
+                telemetry::log(
+                    telemetry::Level::Info,
+                    &format!(
+                        "WAL replay: {} mutation(s) re-applied, {} failed-as-logged",
+                        replay.replayed, replay.failed
+                    ),
+                );
+            }
+            (server, Some(db))
+        }
+        None => (Server::load(server_path)?, None),
+    };
     let blocks = server.block_count();
     let bytes = server.hosted_bytes();
     let listener = std::net::TcpListener::bind(addr)?;
@@ -395,6 +433,9 @@ pub fn cmd_serve(
         ..ServeConfig::default()
     };
     let shared = Arc::new(RwLock::new(server));
+    let checkpointer = paged
+        .as_ref()
+        .map(|_| Checkpointer::spawn(Arc::clone(&shared), checkpoint_interval()));
     let handle = if event_loop {
         let registry = Arc::new(
             TenantRegistry::single(exq_core::DEFAULT_DB, shared).expect("default db id is valid"),
@@ -417,13 +458,24 @@ pub fn cmd_serve(
         (m, d) => format!(", max {m} in flight, {d}ms deadline"),
     };
     let loop_desc = if event_loop { ", event loop" } else { "" };
+    let paged_desc = match (&paged, &store_opts) {
+        (Some(db), Some(opts)) => {
+            let fp = db.footprint();
+            format!(
+                ", out-of-core ({} MiB budget, {} pages on disk)",
+                opts.cache_bytes / (1024 * 1024),
+                fp.page_count
+            )
+        }
+        _ => String::new(),
+    };
     let banner = format!(
         "serving {} ({bytes} hosted bytes, {blocks} blocks) on {} with {workers} worker(s), \
-         {per_query} intra-query thread(s), {cache_desc}{load_desc}{loop_desc}\n",
+         {per_query} intra-query thread(s), {cache_desc}{load_desc}{loop_desc}{paged_desc}\n",
         server_path.display(),
         handle.addr()
     );
-    Ok((handle, banner))
+    Ok((handle, checkpointer, banner))
 }
 
 /// One-line cache counter report for `exq serve` logs.
@@ -482,19 +534,36 @@ pub fn cmd_db_create(
 }
 
 /// `exq db list`: the databases a directory hosts, with per-db size and
-/// quota details; the default db is marked.
+/// quota details; the default db is marked. Databases with a paged sibling
+/// additionally report their out-of-core footprint (on-disk bytes, page
+/// count, resident pages, WAL depth) — the same numbers the per-db
+/// `{db="..."}` telemetry gauges expose on a live server.
 pub fn cmd_db_list(dir: &Path) -> Result<String, CliError> {
     let registry = TenantRegistry::open(dir, exq_core::DEFAULT_DB)?;
     let mut report = String::new();
     for tenant in registry.tenants() {
-        let (blocks, bytes) = match tenant.server.read() {
-            Ok(g) => (g.block_count(), g.hosted_bytes()),
-            Err(p) => {
-                let g = p.into_inner();
-                (g.block_count(), g.hosted_bytes())
+        let name = tenant.name();
+        let state = TenantRegistry::db_path(dir, name);
+        // A paged sibling is authoritative: the legacy artifact the
+        // registry loaded may predate checkpointed mutations.
+        let (blocks, bytes, footprint) = if PagedDb::is_paged(&state) {
+            let (server, db, _) =
+                PagedDb::open(&PagedDb::pages_dir(&state), name, StoreOptions::default())?;
+            (
+                server.block_count(),
+                server.hosted_bytes(),
+                Some(db.footprint()),
+            )
+        } else {
+            match tenant.server.read() {
+                Ok(g) => (g.block_count(), g.hosted_bytes(), None),
+                Err(p) => {
+                    let g = p.into_inner();
+                    (g.block_count(), g.hosted_bytes(), None)
+                }
             }
         };
-        let marker = if tenant.name() == registry.default_db() {
+        let marker = if name == registry.default_db() {
             " (default)"
         } else {
             ""
@@ -503,10 +572,16 @@ pub fn cmd_db_list(dir: &Path) -> Result<String, CliError> {
             0 => "fair-share".to_owned(),
             n => format!("max {n} in flight"),
         };
+        let paged = match footprint {
+            Some(fp) => format!(
+                ", paged: {} bytes on disk, {} pages ({} resident), WAL depth {}",
+                fp.disk_bytes, fp.page_count, fp.resident_pages, fp.wal_depth
+            ),
+            None => String::new(),
+        };
         let _ = writeln!(
             report,
-            "{}{marker}: {blocks} blocks, {bytes} hosted bytes, key fp {:016x}, {quota}",
-            tenant.name(),
+            "{name}{marker}: {blocks} blocks, {bytes} hosted bytes, key fp {:016x}, {quota}{paged}",
             tenant.key_fingerprint(),
         );
     }
@@ -533,7 +608,9 @@ pub fn cmd_db_drop(dir: &Path, name: &str) -> Result<String, CliError> {
 
 /// `exq db host`: serve every database in a directory on one TCP address.
 /// v4 clients pick a db with `--db`; v1–v3 clients (and v4 clients that
-/// don't) get the default db.
+/// don't) get the default db. With `cache_mb` (or `EXQ_CACHE_MB`) every
+/// database hosts out-of-core behind its own buffer pool, and one
+/// background [`Checkpointer`] thread sweeps all of them.
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_db_host(
     dir: &Path,
@@ -545,11 +622,24 @@ pub fn cmd_db_host(
     max_inflight_per_db: usize,
     deadline_ms: u64,
     event_loop: bool,
-) -> Result<(ServeHandle, String), CliError> {
-    let registry = Arc::new(TenantRegistry::open(dir, exq_core::DEFAULT_DB)?);
+    cache_mb: Option<usize>,
+) -> Result<(ServeHandle, Option<Checkpointer>, String), CliError> {
+    let store_opts = resolve_store_opts(cache_mb);
+    let registry = Arc::new(match &store_opts {
+        Some(opts) => TenantRegistry::open_paged(dir, exq_core::DEFAULT_DB, *opts)?,
+        None => TenantRegistry::open(dir, exq_core::DEFAULT_DB)?,
+    });
     if registry.is_empty() {
         return usage(format!("{} hosts no databases", dir.display()));
     }
+    let checkpointer = store_opts.as_ref().map(|_| {
+        let servers = registry
+            .tenants()
+            .iter()
+            .map(|t| Arc::clone(&t.server))
+            .collect();
+        Checkpointer::spawn_many(servers, checkpoint_interval())
+    });
     let listener = std::net::TcpListener::bind(addr)?;
     let config = ServeConfig {
         workers,
@@ -567,15 +657,22 @@ pub fn cmd_db_host(
     };
     let names = registry.names().join(", ");
     let loop_desc = if event_loop { " (event loop)" } else { "" };
+    let paged_desc = match &store_opts {
+        Some(opts) => format!(
+            " out-of-core ({} MiB budget/db),",
+            opts.cache_bytes / (1024 * 1024)
+        ),
+        None => String::new(),
+    };
     let banner = format!(
-        "hosting {} database(s) from {} on {} with {workers} worker(s){loop_desc}: {names} \
-         (default: {})\n",
+        "hosting {} database(s) from {} on {} with {workers} worker(s){loop_desc},{paged_desc} \
+         dbs: {names} (default: {})\n",
         registry.len(),
         dir.display(),
         handle.addr(),
         registry.default_db(),
     );
-    Ok((handle, banner))
+    Ok((handle, checkpointer, banner))
 }
 
 /// `exq aggregate`: MIN/MAX/COUNT over an attribute path.
@@ -776,13 +873,20 @@ USAGE:
                 [--event-loop]        (readiness-based serve path: one event thread
                                        multiplexes every connection, workers only
                                        execute queries; idle peers cost no threads)
+                [--cache-mb N]        (host out-of-core: blocks page in through a
+                                       buffer pool of N MiB; the artifact migrates
+                                       to a paged sibling with a write-ahead log
+                                       and background checkpointing; env
+                                       EXQ_CACHE_MB sets the same budget)
   exq db create --dir DBDIR --name NAME --server server.exq [--client client.exq]
                 [--max-inflight N]    (register a sealed db in a multi-db directory)
-  exq db list   --dir DBDIR           (hosted databases, sizes, key fingerprints)
+  exq db list   --dir DBDIR           (hosted databases, sizes, key fingerprints;
+                                       paged dbs add on-disk bytes, page counts,
+                                       resident pages, and WAL depth)
   exq db drop   --dir DBDIR --name NAME
   exq db host   --dir DBDIR --addr HOST:PORT [--workers N] [--threads N]
                 [--cache-entries N] [--max-inflight N] [--max-inflight-per-db N]
-                [--deadline-ms N] [--event-loop]
+                [--deadline-ms N] [--event-loop] [--cache-mb N]
                                       (serve every db in the directory; clients
                                        route with --db, legacy peers get the default)
   exq ping      --addr HOST:PORT [--count N]   (liveness probe round-trips)

@@ -73,6 +73,12 @@ fn run(args: &[String]) -> Result<String, CliError> {
         .map(|s| s.parse::<usize>())
         .transpose()
         .map_err(|_| CliError::Usage("--cache-entries must be an integer".into()))?;
+    // None falls back to EXQ_CACHE_MB; absent both, host fully resident.
+    let cache_mb = flags
+        .get("cache-mb")
+        .map(|s| s.parse::<usize>())
+        .transpose()
+        .map_err(|_| CliError::Usage("--cache-mb must be an integer".into()))?;
     // Global observability flags, honored by every command.
     let slow_ms = flags
         .get("slow-ms")
@@ -176,7 +182,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 .transpose()
                 .map_err(|_| CliError::Usage("--deadline-ms must be an integer".into()))?
                 .unwrap_or(0);
-            let (handle, banner) = cmd_serve(
+            let (handle, _checkpointer, banner) = cmd_serve(
                 &path("server")?,
                 &string("addr")?,
                 workers,
@@ -185,9 +191,11 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 max_inflight,
                 deadline_ms,
                 flags.contains_key("event-loop"),
+                cache_mb,
             )?;
             print!("{banner}");
-            // Serve until killed; the handle's threads do all the work.
+            // Serve until killed; the handle's threads do all the work (the
+            // checkpointer folds the WAL in the background until dropped).
             // Periodic cache counters go through the leveled stderr logger
             // (`--log-level info` to see them) so stdout stays
             // machine-readable for scripts scraping the banner.
@@ -240,7 +248,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                         .transpose()
                         .map_err(|_| CliError::Usage("--deadline-ms must be an integer".into()))?
                         .unwrap_or(0);
-                    let (handle, banner) = cmd_db_host(
+                    let (handle, _checkpointer, banner) = cmd_db_host(
                         &path("dir")?,
                         &string("addr")?,
                         workers,
@@ -250,6 +258,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                         per_db,
                         deadline_ms,
                         flags.contains_key("event-loop"),
+                        cache_mb,
                     )?;
                     print!("{banner}");
                     // Serve until killed, logging per-db cache counters.

@@ -209,7 +209,8 @@ fn binary_smoke() {
 fn event_loop_serve_answers_pipelined_queries() {
     let dir = TempDir::new("evloop-pipeline");
     let (server, client) = setup(&dir);
-    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0, true).unwrap();
+    let (handle, _ckpt, banner) =
+        cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0, true, None).unwrap();
     assert!(banner.contains("event loop"), "banner: {banner}");
     let addr = handle.addr().to_string();
 
@@ -225,7 +226,8 @@ fn event_loop_serve_answers_pipelined_queries() {
 fn serve_then_stats_scrapes_live_metrics() {
     let dir = TempDir::new("stats-live");
     let (server, client) = setup(&dir);
-    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0, false).unwrap();
+    let (handle, _ckpt, _banner) =
+        cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0, false, None).unwrap();
     let addr = handle.addr().to_string();
 
     // Drive one query so the counters move, then scrape the registry.
@@ -302,7 +304,8 @@ fn serve_and_query_remote() {
     let (server, client) = setup(&dir);
 
     // Bind on an ephemeral port, then query it over the wire.
-    let (handle, banner) = cmd_serve(&server, "127.0.0.1:0", 2, 2, Some(64), 0, 0, false).unwrap();
+    let (handle, _ckpt, banner) =
+        cmd_serve(&server, "127.0.0.1:0", 2, 2, Some(64), 0, 0, false, None).unwrap();
     assert!(banner.contains("serving"), "banner: {banner}");
     assert!(banner.contains("cache 64 entries"), "banner: {banner}");
     let addr = handle.addr().to_string();
@@ -356,7 +359,8 @@ fn serve_and_query_remote() {
 fn ping_measures_live_server_and_fails_on_dead_one() {
     let dir = TempDir::new("ping");
     let (server, _client) = setup(&dir);
-    let (handle, _banner) = cmd_serve(&server, "127.0.0.1:0", 1, 1, Some(0), 0, 0, false).unwrap();
+    let (handle, _ckpt, _banner) =
+        cmd_serve(&server, "127.0.0.1:0", 1, 1, Some(0), 0, 0, false, None).unwrap();
     let addr = handle.addr().to_string();
     let out = cmd_ping(&addr, 3).unwrap();
     assert!(out.contains("seq=2"), "ping output: {out}");
@@ -396,8 +400,8 @@ fn db_verbs_manage_a_multi_tenant_directory() {
 
     // Host both and route queries by db name; each db only decrypts with
     // its own client artifact.
-    let (handle, banner) =
-        cmd_db_host(&dbdir, "127.0.0.1:0", 2, 1, Some(64), 0, 0, 0, false).unwrap();
+    let (handle, _ckpt, banner) =
+        cmd_db_host(&dbdir, "127.0.0.1:0", 2, 1, Some(64), 0, 0, 0, false, None).unwrap();
     assert!(banner.contains("2 database(s)"), "{banner}");
     let addr = handle.addr().to_string();
     let out = cmd_query_remote(&addr, &cli_a, "//patient/pname", 1, 1, Some("ward-a"), 1).unwrap();
@@ -445,10 +449,91 @@ fn db_verbs_manage_a_multi_tenant_directory() {
 fn db_host_serves_legacy_single_file_artifact() {
     let dir = TempDir::new("db-legacy");
     let (server, client) = setup(&dir);
-    let (handle, banner) = cmd_db_host(&server, "127.0.0.1:0", 1, 1, None, 0, 0, 0, false).unwrap();
+    let (handle, _ckpt, banner) =
+        cmd_db_host(&server, "127.0.0.1:0", 1, 1, None, 0, 0, 0, false, None).unwrap();
     assert!(banner.contains("default"), "{banner}");
     let addr = handle.addr().to_string();
     let out = cmd_query_remote(&addr, &client, "//patient/pname", 1, 1, None, 1).unwrap();
     assert!(out.contains("Betty"), "{out}");
     handle.shutdown();
+}
+
+#[test]
+fn serve_out_of_core_answers_and_persists_mutations() {
+    let dir = TempDir::new("ooc-serve");
+    let (server, client) = setup(&dir);
+
+    // Host the artifact out-of-core with a 1 MiB buffer budget. The banner
+    // reports the paged footprint; answers must match the resident path.
+    let (handle, ckpt, banner) =
+        cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0, false, Some(1)).unwrap();
+    assert!(ckpt.is_some(), "paged serve must spawn a checkpointer");
+    assert!(banner.contains("out-of-core"), "{banner}");
+    let addr = handle.addr().to_string();
+    let out = cmd_query_remote(
+        &addr,
+        &client,
+        "//patient[pname = 'Betty']/SSN",
+        1,
+        0,
+        None,
+        1,
+    )
+    .unwrap();
+    assert!(out.contains("763895"), "{out}");
+    drop(ckpt);
+    handle.shutdown();
+
+    // The pages sibling now exists and a re-serve opens it directly.
+    assert!(exq_core::store::PagedDb::is_paged(&server));
+    let (handle, ckpt, _banner) =
+        cmd_serve(&server, "127.0.0.1:0", 2, 1, Some(64), 0, 0, false, Some(1)).unwrap();
+    let addr = handle.addr().to_string();
+    let out = cmd_query_remote(
+        &addr,
+        &client,
+        "//patient[pname = 'Betty']/SSN",
+        1,
+        0,
+        None,
+        1,
+    )
+    .unwrap();
+    assert!(out.contains("763895"), "{out}");
+    drop(ckpt);
+    handle.shutdown();
+}
+
+#[test]
+fn db_list_reports_out_of_core_footprint() {
+    let dir = TempDir::new("ooc-list");
+    let (server, _client) = setup(&dir);
+    let dbdir = dir.path("dbs");
+    cmd_db_create(&dbdir, "ward", &server, None, 0).unwrap();
+
+    // Resident db: no paged columns yet.
+    let listing = cmd_db_list(&dbdir).unwrap();
+    assert!(listing.contains("ward"), "{listing}");
+    assert!(!listing.contains("paged:"), "{listing}");
+
+    // Migrate by hosting out-of-core once, then list again.
+    let (handle, ckpt, _banner) = cmd_db_host(
+        &dbdir,
+        "127.0.0.1:0",
+        1,
+        1,
+        Some(0),
+        0,
+        0,
+        0,
+        false,
+        Some(1),
+    )
+    .unwrap();
+    drop(ckpt);
+    handle.shutdown();
+    let listing = cmd_db_list(&dbdir).unwrap();
+    assert!(listing.contains("paged:"), "{listing}");
+    assert!(listing.contains("bytes on disk"), "{listing}");
+    assert!(listing.contains("WAL depth 0"), "{listing}");
 }

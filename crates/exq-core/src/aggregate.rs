@@ -49,7 +49,8 @@ impl Server {
             tree.min_entry()
         };
         if let Some((_, b)) = raw {
-            if self.fetch_block(b).is_some() {
+            // Liveness probe only — no need to page the block in.
+            if self.block_live(b) {
                 return raw;
             }
         }
@@ -60,7 +61,7 @@ impl Server {
         } else {
             Box::new(entries.into_iter())
         };
-        it.find(|&(_, b)| self.fetch_block(b).is_some())
+        it.find(|&(_, b)| self.block_live(b))
     }
 }
 

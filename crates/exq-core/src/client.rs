@@ -205,7 +205,7 @@ impl Client {
     /// owner's data-recovery path (decrypt everything, splice, strip
     /// decoys). Returns `None` only for an empty hosted database.
     pub fn export(&self, server: &Server) -> Result<Option<Document>, CoreError> {
-        let resp = server.answer_naive();
+        let resp = server.answer_naive()?;
         let decrypted = self.decrypt_blocks(&resp.blocks)?;
         self.reconstruct(&resp.pruned_xml, &decrypted)
     }

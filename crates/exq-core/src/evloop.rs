@@ -150,6 +150,7 @@ mod linux {
     ) -> std::io::Result<ServeHandle> {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        crate::transport::tune_listen_backlog(&listener, &config);
         apply_tenant_knobs(&registry, &config);
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(ServeShared {

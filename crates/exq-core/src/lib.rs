@@ -29,7 +29,11 @@
 //! * [`fault`] / [`retry`] — the fault-tolerance layer: seeded fault
 //!   injection (message-level wrapper and a TCP chaos proxy) and safe
 //!   client-side retry with reconnect, backoff + jitter, and at-most-once
-//!   mutation replay.
+//!   mutation replay;
+//! * [`store`] — the out-of-core storage engine: sealed blocks and DSI
+//!   posting lists in a paged file behind a pinning buffer pool, a
+//!   write-ahead log for O(update) mutations, and a background
+//!   checkpointer that folds the log into pages off the serving path.
 
 pub mod aggregate;
 pub mod analysis;
@@ -47,6 +51,7 @@ pub mod pool;
 pub mod retry;
 pub mod scheme;
 pub mod server;
+pub mod store;
 pub mod system;
 pub mod telemetry;
 pub mod tenant;

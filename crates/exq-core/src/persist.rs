@@ -113,51 +113,51 @@ pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> Result<(), C
 
 // ---------------------------------------------------------------- codec --
 
-/// Minimal byte writer.
+/// Minimal byte writer (shared with the paged-store metadata codec).
 #[derive(Default)]
-struct W {
-    buf: Vec<u8>,
+pub(crate) struct W {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl W {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u128(&mut self, v: u128) {
+    pub(crate) fn u128(&mut self, v: u128) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn bytes(&mut self, v: &[u8]) {
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
         self.u64(v.len() as u64);
         self.buf.extend_from_slice(v);
     }
-    fn string(&mut self, v: &str) {
+    pub(crate) fn string(&mut self, v: &str) {
         self.bytes(v.as_bytes());
     }
 }
 
-/// Minimal byte reader.
-struct R<'a> {
+/// Minimal byte reader (shared with the paged-store metadata codec).
+pub(crate) struct R<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> R<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         R { buf, pos: 0 }
     }
-    fn err(msg: &str) -> CoreError {
+    pub(crate) fn err(msg: &str) -> CoreError {
         CoreError::Persist(msg.to_owned())
     }
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
         let end = self
             .pos
             .checked_add(n)
@@ -167,22 +167,22 @@ impl<'a> R<'a> {
         self.pos = end;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, CoreError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CoreError> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, CoreError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CoreError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, CoreError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CoreError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn u128(&mut self) -> Result<u128, CoreError> {
+    pub(crate) fn u128(&mut self) -> Result<u128, CoreError> {
         Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
     }
-    fn f64(&mut self) -> Result<f64, CoreError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, CoreError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn bytes(&mut self) -> Result<Vec<u8>, CoreError> {
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>, CoreError> {
         let n = self.u64()? as usize;
         if n > self.buf.len() {
             return Err(Self::err("length prefix exceeds input"));
@@ -192,7 +192,7 @@ impl<'a> R<'a> {
     /// Reads an element count, bounding it by the remaining input (each
     /// element occupies at least `min_entry_size` bytes) so corrupted
     /// prefixes cannot trigger huge allocations.
-    fn count(&mut self, min_entry_size: usize) -> Result<usize, CoreError> {
+    pub(crate) fn count(&mut self, min_entry_size: usize) -> Result<usize, CoreError> {
         let n = self.u64()? as usize;
         let remaining = self.buf.len() - self.pos;
         if n.checked_mul(min_entry_size.max(1))
@@ -202,20 +202,20 @@ impl<'a> R<'a> {
         }
         Ok(n)
     }
-    fn string(&mut self) -> Result<String, CoreError> {
+    pub(crate) fn string(&mut self) -> Result<String, CoreError> {
         String::from_utf8(self.bytes()?).map_err(|_| Self::err("non-UTF-8 string"))
     }
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
 
-fn interval(w: &mut W, iv: Interval) {
+pub(crate) fn interval(w: &mut W, iv: Interval) {
     w.u64(iv.lo);
     w.u64(iv.hi);
 }
 
-fn read_interval(r: &mut R) -> Result<Interval, CoreError> {
+pub(crate) fn read_interval(r: &mut R) -> Result<Interval, CoreError> {
     let lo = r.u64()?;
     let hi = r.u64()?;
     if lo >= hi {
@@ -226,9 +226,73 @@ fn read_interval(r: &mut R) -> Result<Interval, CoreError> {
 
 // ---------------------------------------------------------------- server --
 
+/// Memo of the serialized sealed-block section of a server artifact.
+///
+/// The block list is append-only (deletions tombstone ids, never remove
+/// entries) and sealed blocks are immutable, so the encoding of blocks
+/// `0..n` is a byte-stable prefix of the encoding of blocks `0..n+k`.
+/// A save after an insert therefore only serializes the *new* blocks and
+/// reuses the cached prefix — the mutation path's save cost becomes
+/// O(update), not O(database). Cloning a server yields a fresh empty cache
+/// (same policy as [`ServerCaches`](crate::cache::ServerCaches)).
+#[derive(Default)]
+pub(crate) struct BlockEncCache(std::sync::Mutex<EncCacheState>);
+
+#[derive(Default)]
+struct EncCacheState {
+    encoded: Vec<u8>,
+    count: usize,
+}
+
+impl Clone for BlockEncCache {
+    fn clone(&self) -> Self {
+        BlockEncCache::default()
+    }
+}
+
+impl std::fmt::Debug for BlockEncCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        f.debug_struct("BlockEncCache")
+            .field("count", &st.count)
+            .field("bytes", &st.encoded.len())
+            .finish()
+    }
+}
+
+fn encode_block(buf: &mut Vec<u8>, b: &SealedBlock) {
+    buf.extend_from_slice(&b.id.to_le_bytes());
+    buf.extend_from_slice(&b.nonce);
+    buf.extend_from_slice(&(b.ciphertext.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&b.ciphertext);
+    buf.extend_from_slice(&b.tag);
+}
+
+impl BlockEncCache {
+    /// Appends the encoding of `blocks` to `out`, extending the cached
+    /// prefix with any blocks not yet encoded.
+    pub(crate) fn encode_blocks(&self, blocks: &[std::sync::Arc<SealedBlock>], out: &mut Vec<u8>) {
+        let mut st = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        if st.count > blocks.len() {
+            // Defensive: the list shrank (never happens in practice) —
+            // drop the memo rather than emit a stale prefix.
+            st.encoded.clear();
+            st.count = 0;
+        }
+        for b in &blocks[st.count..] {
+            encode_block(&mut st.encoded, b);
+        }
+        st.count = blocks.len();
+        out.extend_from_slice(&st.encoded);
+    }
+}
+
 impl Server {
     /// Serializes the full hosted state.
-    pub fn save_bytes(&self) -> Vec<u8> {
+    ///
+    /// Fallible because a paged server reads its sealed blocks back through
+    /// the store; an all-in-RAM server cannot actually fail here.
+    pub fn save_bytes(&self) -> Result<Vec<u8>, CoreError> {
         let mut w = W::default();
         w.buf.extend_from_slice(SERVER_MAGIC);
         let visible_xml = self.visible_xml();
@@ -280,21 +344,18 @@ impl Server {
             }
         }
 
-        // Blocks (including tombstoned slots: ids are positional).
-        let blocks = self.all_blocks();
+        // Blocks (including tombstoned slots: ids are positional). The
+        // encoding is served from the append-only prefix cache so saving
+        // after an insert re-serializes only the new blocks.
+        let blocks = self.collect_blocks()?;
         w.u64(blocks.len() as u64);
-        for b in blocks {
-            w.u32(b.id);
-            w.buf.extend_from_slice(&b.nonce);
-            w.bytes(&b.ciphertext);
-            w.buf.extend_from_slice(&b.tag);
-        }
+        self.enc_cache().encode_blocks(&blocks, &mut w.buf);
         let dead = self.dead_block_ids();
         w.u64(dead.len() as u64);
         for id in dead {
             w.u32(id);
         }
-        seal_checksum(w.buf)
+        Ok(seal_checksum(w.buf))
     }
 
     /// Restores a server from [`save_bytes`](Self::save_bytes) output.
@@ -388,7 +449,7 @@ impl Server {
 
     /// Saves to a file (crash-safe: temp file + fsync + atomic rename).
     pub fn save(&self, path: &std::path::Path) -> Result<(), CoreError> {
-        atomic_write(path, &self.save_bytes())
+        atomic_write(path, &self.save_bytes()?)
     }
 
     /// Loads from a file.

@@ -19,6 +19,8 @@ use crate::cache::{CacheStatsSnapshot, ServerCaches};
 use crate::codec::WireCodec;
 use crate::encrypt::{EncryptedOutput, ServerMetadata, BLOCK_MARKER_TAG};
 use crate::error::CoreError;
+use crate::persist::BlockEncCache;
+use crate::store::{BlockStore, PagedDb};
 use crate::telemetry;
 use crate::wire::{SAxis, SPred, SStep, ServerQuery, ServerResponse};
 use exq_crypto::SealedBlock;
@@ -63,9 +65,14 @@ pub struct Server {
     /// whenever the universe is (re)built so `apply_axis` from the document
     /// node is a set probe instead of a per-candidate containment stab.
     top_level: HashSet<Interval>,
-    blocks: Vec<Arc<SealedBlock>>,
+    /// Sealed blocks: fully resident, or paged in through an out-of-core
+    /// store (see `crate::store`).
+    blocks: BlockStore,
     /// Blocks tombstoned by deletions (update support).
     dead_blocks: HashSet<u32>,
+    /// Append-only memo of the serialized block section (see
+    /// [`BlockEncCache`]). Runtime-only; cloning yields a fresh cache.
+    enc_cache: BlockEncCache,
     /// Worker threads for intra-query candidate filtering and response
     /// assembly (resolved; >= 1). Runtime-only: not persisted.
     threads: usize,
@@ -112,8 +119,9 @@ impl Server {
             metadata: out.metadata.clone(),
             universe,
             top_level,
-            blocks: out.blocks.iter().cloned().map(Arc::new).collect(),
+            blocks: BlockStore::Resident(out.blocks.iter().cloned().map(Arc::new).collect()),
             dead_blocks: HashSet::new(),
+            enc_cache: BlockEncCache::default(),
             threads: crate::pool::default_threads(),
             caches: ServerCaches::default(),
         }
@@ -162,14 +170,20 @@ impl Server {
     }
 
     /// True when a block id refers to live data.
-    fn block_live(&self, id: u32) -> bool {
+    pub(crate) fn block_live(&self, id: u32) -> bool {
         !self.dead_blocks.contains(&id) && (id as usize) < self.blocks.len()
     }
 
     /// Total bytes the server hosts (visible doc + blocks) — what the naive
-    /// method ships for every query.
+    /// method ships for every query. For a paged server the block total is
+    /// tracked, not recomputed, so this never touches disk.
     pub fn hosted_bytes(&self) -> usize {
-        self.visible.serialized_size() + self.blocks.iter().map(|b| b.stored_size()).sum::<usize>()
+        self.visible.serialized_size() + self.blocks.payload_bytes() as usize
+    }
+
+    /// Total stored bytes of every sealed block (tombstoned included).
+    pub(crate) fn payload_bytes(&self) -> u64 {
+        self.blocks.payload_bytes()
     }
 
     /// Number of sealed blocks hosted.
@@ -178,12 +192,72 @@ impl Server {
     }
 
     /// Fetches one sealed block by id (used by the MIN/MAX aggregate path,
-    /// which ships a single block instead of a query response).
-    pub fn fetch_block(&self, id: u32) -> Option<exq_crypto::SealedBlock> {
+    /// which ships a single block instead of a query response). On a paged
+    /// server this may read from disk; a store failure is a typed error,
+    /// never a silently-missing block.
+    pub fn fetch_block(&self, id: u32) -> Result<Option<exq_crypto::SealedBlock>, CoreError> {
         if !self.block_live(id) {
-            return None;
+            return Ok(None);
         }
-        self.blocks.get(id as usize).map(|b| (**b).clone())
+        Ok(self.blocks.get(id)?.map(|b| (*b).clone()))
+    }
+
+    // --- out-of-core plumbing (see `crate::store`) ------------------------
+
+    /// The paged store backing this server, when hosted out-of-core.
+    pub fn paged_store(&self) -> Option<Arc<PagedDb>> {
+        match &self.blocks {
+            BlockStore::Resident(_) => None,
+            BlockStore::Paged { db, .. } => Some(Arc::clone(db)),
+        }
+    }
+
+    /// Converts a resident server to paged mode. The store must already
+    /// hold every block (a full checkpoint ran); the resident copies drop.
+    pub(crate) fn attach_paged(&mut self, db: Arc<PagedDb>) {
+        if let BlockStore::Resident(v) = &self.blocks {
+            let payload_bytes = v.iter().map(|b| b.stored_size() as u64).sum();
+            self.blocks = BlockStore::Paged {
+                db,
+                count: v.len() as u32,
+                payload_bytes,
+                overlay: HashMap::new(),
+            };
+        }
+    }
+
+    /// Blocks inserted since the last checkpoint, in id order.
+    pub(crate) fn overlay_blocks(&self) -> Vec<(u32, Arc<SealedBlock>)> {
+        match &self.blocks {
+            BlockStore::Resident(_) => Vec::new(),
+            BlockStore::Paged { overlay, .. } => {
+                let mut v: Vec<(u32, Arc<SealedBlock>)> =
+                    overlay.iter().map(|(&id, b)| (id, Arc::clone(b))).collect();
+                v.sort_unstable_by_key(|&(id, _)| id);
+                v
+            }
+        }
+    }
+
+    /// Drops overlay entries the predicate marks durable (checkpointed).
+    pub(crate) fn drain_overlay_if(&mut self, durable: impl Fn(u32) -> bool) {
+        if let BlockStore::Paged { overlay, .. } = &mut self.blocks {
+            overlay.retain(|&id, _| !durable(id));
+        }
+    }
+
+    /// Appends a mutation record to the WAL when paged (fsync = commit);
+    /// a no-op for resident servers.
+    pub(crate) fn log_mutation(&self, kind: u8, payload: &[u8]) -> Result<(), CoreError> {
+        if let BlockStore::Paged { db, .. } = &self.blocks {
+            db.append_wal(kind, payload)?;
+        }
+        Ok(())
+    }
+
+    /// The serialized-block-section memo (see `crate::persist`).
+    pub(crate) fn enc_cache(&self) -> &BlockEncCache {
+        &self.enc_cache
     }
 
     /// Read-only access to the hosted metadata (used by the security
@@ -226,7 +300,7 @@ impl Server {
     }
 
     pub(crate) fn push_block(&mut self, block: SealedBlock) {
-        self.blocks.push(Arc::new(block));
+        self.blocks.push(block);
         self.caches.bump_generation();
     }
 
@@ -347,8 +421,10 @@ impl Server {
             .collect()
     }
 
-    pub(crate) fn all_blocks(&self) -> &[Arc<SealedBlock>] {
-        &self.blocks
+    /// Every hosted block in id order. Pages the whole database in when
+    /// out-of-core (full save / naive answer paths only).
+    pub(crate) fn collect_blocks(&self) -> Result<Vec<Arc<SealedBlock>>, CoreError> {
+        self.blocks.collect()
     }
 
     pub(crate) fn dead_block_ids(&self) -> Vec<u32> {
@@ -357,12 +433,30 @@ impl Server {
         v
     }
 
-    /// Reassembles a server from persisted parts.
+    /// Reassembles a server from persisted parts (resident blocks).
     pub(crate) fn from_parts(
         visible: Document,
         pos_intervals: HashMap<usize, Interval>,
         metadata: ServerMetadata,
         blocks: Vec<SealedBlock>,
+        dead_blocks: HashSet<u32>,
+    ) -> Server {
+        Self::from_store_parts(
+            visible,
+            pos_intervals,
+            metadata,
+            BlockStore::Resident(blocks.into_iter().map(Arc::new).collect()),
+            dead_blocks,
+        )
+    }
+
+    /// Reassembles a server around an arbitrary block store (the paged
+    /// open path hands in a `BlockStore::Paged`).
+    pub(crate) fn from_store_parts(
+        visible: Document,
+        pos_intervals: HashMap<usize, Interval>,
+        metadata: ServerMetadata,
+        blocks: BlockStore,
         dead_blocks: HashSet<u32>,
     ) -> Server {
         let mut interval_to_visible = HashMap::with_capacity(pos_intervals.len());
@@ -383,8 +477,9 @@ impl Server {
             metadata,
             universe,
             top_level,
-            blocks: blocks.into_iter().map(Arc::new).collect(),
+            blocks,
             dead_blocks,
+            enc_cache: BlockEncCache::default(),
             threads: crate::pool::default_threads(),
             caches: ServerCaches::default(),
         }
@@ -411,16 +506,16 @@ impl Server {
         self.visible.to_xml()
     }
 
-    /// The naive method of §7.3: ship the entire hosted database.
-    pub fn answer_naive(&self) -> ServerResponse {
+    /// The naive method of §7.3: ship the entire hosted database. On a
+    /// paged server this reads every block back through the buffer pool.
+    pub fn answer_naive(&self) -> Result<ServerResponse, CoreError> {
         let start = Instant::now();
         let resp = ServerResponse {
             pruned_xml: self.visible.to_xml(),
             blocks: self
-                .blocks
-                .iter()
+                .collect_blocks()?
+                .into_iter()
                 .filter(|b| self.block_live(b.id))
-                .cloned()
                 .collect(),
             translate_time: std::time::Duration::ZERO,
             process_time: start.elapsed(),
@@ -428,7 +523,7 @@ impl Server {
             spans: Vec::new(),
         };
         telemetry::record_span("server.assemble", resp.process_time);
-        resp
+        Ok(resp)
     }
 
     /// Whether the response cache already holds the answer to `q` under the
@@ -442,8 +537,10 @@ impl Server {
                 .peek(&q.encode(), self.caches.generation())
     }
 
-    /// Answers a translated query.
-    pub fn answer(&self, q: &ServerQuery) -> ServerResponse {
+    /// Answers a translated query. Fallible because a paged server reads
+    /// shipped blocks through the store; a read failure is a typed error
+    /// answered as an error frame — never a partial response.
+    pub fn answer(&self, q: &ServerQuery) -> Result<ServerResponse, CoreError> {
         if q.steps.is_empty() {
             // Degenerate query (`.`): equivalent to the naive method.
             // Not cached — it ships the whole database anyway.
@@ -471,14 +568,14 @@ impl Server {
                 let blocks = hit.blocks.clone();
                 let assemble_time = t.elapsed();
                 telemetry::record_span("server.assemble", assemble_time);
-                return ServerResponse {
+                return Ok(ServerResponse {
                     pruned_xml,
                     blocks,
                     translate_time: probe_time,
                     process_time: assemble_time,
                     served_from_cache: true,
                     spans: Vec::new(),
-                };
+                });
             }
             Some(key)
         } else {
@@ -520,7 +617,7 @@ impl Server {
         }
         telemetry::record_span("server.sjoin", t_sjoin.elapsed());
         let t_assemble = Instant::now();
-        let (pruned_xml, blocks) = self.assemble(&targets);
+        let (pruned_xml, blocks) = self.assemble(&targets)?;
         telemetry::record_span("server.assemble", t_assemble.elapsed());
         let resp = ServerResponse {
             pruned_xml,
@@ -535,7 +632,7 @@ impl Server {
                 .responses
                 .insert(key, Arc::new(resp.clone()), generation);
         }
-        resp
+        Ok(resp)
     }
 
     /// Resolves one ciphertext range against an attribute's B-tree,
@@ -910,9 +1007,9 @@ impl Server {
     /// are then unioned — set union is order-insensitive and the pruned
     /// document is emitted in document order from the union, so the output
     /// is byte-identical to the serial pass.
-    fn assemble(&self, anchors: &[Interval]) -> (String, Vec<Arc<SealedBlock>>) {
+    fn assemble(&self, anchors: &[Interval]) -> Result<(String, Vec<Arc<SealedBlock>>), CoreError> {
         if anchors.is_empty() {
-            return (String::new(), Vec::new());
+            return Ok((String::new(), Vec::new()));
         }
         let regions = crate::pool::parallel_map(self.threads, anchors, |a| {
             let mut include: HashSet<NodeId> = HashSet::new();
@@ -954,12 +1051,16 @@ impl Server {
         }
 
         let pruned = self.clone_filtered(&include);
-        let blocks = block_ids
-            .into_iter()
-            .filter(|&b| self.block_live(b))
-            .filter_map(|b| self.blocks.get(b as usize).cloned())
-            .collect();
-        (pruned.to_xml(), blocks)
+        let mut blocks = Vec::with_capacity(block_ids.len());
+        for b in block_ids {
+            if !self.block_live(b) {
+                continue;
+            }
+            if let Some(block) = self.blocks.get(b)? {
+                blocks.push(block);
+            }
+        }
+        Ok((pruned.to_xml(), blocks))
     }
 
     fn marker_block_id(&self, marker: NodeId) -> Option<u32> {
@@ -1134,7 +1235,7 @@ mod tests {
     #[test]
     fn answer_naive_ships_everything() {
         let (s, _) = server(SchemeKind::Opt);
-        let resp = s.answer_naive();
+        let resp = s.answer_naive().unwrap();
         assert_eq!(resp.blocks.len(), s.block_count());
         assert_eq!(resp.pruned_xml, s.visible_xml());
     }
@@ -1142,10 +1243,12 @@ mod tests {
     #[test]
     fn empty_query_degenerates_to_naive() {
         let (s, _) = server(SchemeKind::Opt);
-        let resp = s.answer(&ServerQuery {
-            steps: Vec::new(),
-            anchor: 0,
-        });
+        let resp = s
+            .answer(&ServerQuery {
+                steps: Vec::new(),
+                anchor: 0,
+            })
+            .unwrap();
         assert_eq!(resp.blocks.len(), s.block_count());
     }
 }

@@ -1,0 +1,714 @@
+//! Out-of-core hosting: the glue between [`Server`] and the paged storage
+//! engine in `exq-store`.
+//!
+//! An all-in-RAM server keeps every sealed block resident and persists by
+//! rewriting one artifact file. A *paged* server keeps the metadata (DSI
+//! table, block table, value indexes, visible document) resident — the
+//! query planner probes them on every request — while the sealed block
+//! payloads, the dominant bytes, live in an [`exq_store::PagedStore`] and
+//! page in on demand through its buffer pool. Record ids follow
+//! [`exq_index::paged`]: record 0 is the metadata image, `(1<<32)|b` is
+//! block `b`, `(2<<32)|k` is posting list `k`.
+//!
+//! ## Mutations: log-then-apply
+//!
+//! `apply_insert` / `delete_where` on a paged server first append the
+//! mutation's wire encoding to the WAL (fsync = commit point), then apply
+//! it in memory; new blocks land in a small overlay map until the next
+//! checkpoint folds them into pages. Replay on open re-applies the logged
+//! mutations through the same code path, so a kill -9 at any moment either
+//! recovers the mutation (it was acked) or cleanly drops a torn tail (it
+//! was not).
+//!
+//! ## Checkpointing
+//!
+//! [`checkpoint_once`] snapshots the server under the read lock (queries
+//! keep flowing), folds the metadata image, the posting lists, and the
+//! overlay blocks into the page file copy-on-write, flips the superblock,
+//! compacts the WAL, and finally drains the overlay under a brief write
+//! lock. The dirty set is O(metadata + update): block payloads already on
+//! pages are never rewritten. [`Checkpointer`] runs this on a background
+//! thread off the serving path.
+
+use crate::error::CoreError;
+use crate::persist::{interval, read_interval, R, W};
+use crate::server::Server;
+use crate::telemetry::{self, Counter, Gauge};
+use exq_crypto::SealedBlock;
+use exq_index::paged::{
+    block_record_id, encode_postings, load_postings, posting_record_id, REC_META,
+};
+use exq_index::{BTree, BlockTable, DsiIndexTable};
+use exq_store::PagedStore;
+use exq_xml::Document;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+pub use exq_store::{PoolStats, StoreFootprint, StoreOptions};
+
+/// Magic of the paged metadata record (record id 0).
+const META_MAGIC: &[u8; 6] = b"EXQPM1";
+
+/// WAL record kind: an `InsertDelta` wire encoding.
+pub(crate) const KIND_INSERT: u8 = 1;
+/// WAL record kind: a `ServerQuery` wire encoding (delete-where).
+pub(crate) const KIND_DELETE: u8 = 2;
+
+impl From<exq_store::StoreError> for CoreError {
+    fn from(e: exq_store::StoreError) -> CoreError {
+        CoreError::Persist(format!("store: {e}"))
+    }
+}
+
+/// What WAL replay did while opening a paged database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Logged mutations re-applied.
+    pub replayed: usize,
+    /// Logged mutations whose re-application failed (deterministic: the
+    /// live call failed identically after its WAL append).
+    pub failed: usize,
+    /// True when a torn record tail was truncated from the log.
+    pub dropped_torn_tail: bool,
+}
+
+/// The sealed-block side of a [`Server`]: either fully resident or backed
+/// by a paged store with an overlay of not-yet-checkpointed blocks.
+#[derive(Debug, Clone)]
+pub(crate) enum BlockStore {
+    /// Every block in RAM (the classic mode).
+    Resident(Vec<Arc<SealedBlock>>),
+    /// Blocks page in through `db`; `overlay` holds blocks inserted since
+    /// the last checkpoint.
+    Paged {
+        db: Arc<PagedDb>,
+        count: u32,
+        payload_bytes: u64,
+        overlay: HashMap<u32, Arc<SealedBlock>>,
+    },
+}
+
+impl BlockStore {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            BlockStore::Resident(v) => v.len(),
+            BlockStore::Paged { count, .. } => *count as usize,
+        }
+    }
+
+    /// Total stored bytes of every block (tombstoned included).
+    pub(crate) fn payload_bytes(&self) -> u64 {
+        match self {
+            BlockStore::Resident(v) => v.iter().map(|b| b.stored_size() as u64).sum(),
+            BlockStore::Paged { payload_bytes, .. } => *payload_bytes,
+        }
+    }
+
+    pub(crate) fn get(&self, id: u32) -> Result<Option<Arc<SealedBlock>>, CoreError> {
+        match self {
+            BlockStore::Resident(v) => Ok(v.get(id as usize).cloned()),
+            BlockStore::Paged {
+                db, count, overlay, ..
+            } => {
+                if id >= *count {
+                    return Ok(None);
+                }
+                if let Some(b) = overlay.get(&id) {
+                    return Ok(Some(Arc::clone(b)));
+                }
+                db.load_block(id).map(Some)
+            }
+        }
+    }
+
+    pub(crate) fn push(&mut self, block: SealedBlock) {
+        match self {
+            BlockStore::Resident(v) => v.push(Arc::new(block)),
+            BlockStore::Paged {
+                count,
+                payload_bytes,
+                overlay,
+                ..
+            } => {
+                let id = block.id;
+                *payload_bytes += block.stored_size() as u64;
+                overlay.insert(id, Arc::new(block));
+                *count = (*count).max(id + 1);
+            }
+        }
+    }
+
+    /// Every block, in id order (pages the whole database in when paged).
+    pub(crate) fn collect(&self) -> Result<Vec<Arc<SealedBlock>>, CoreError> {
+        match self {
+            BlockStore::Resident(v) => Ok(v.clone()),
+            BlockStore::Paged { count, .. } => {
+                let mut out = Vec::with_capacity(*count as usize);
+                for id in 0..*count {
+                    out.push(self.get(id)?.ok_or_else(|| {
+                        CoreError::Persist(format!("block {id} missing from paged store"))
+                    })?);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// A paged database: the store plus its per-db telemetry series.
+pub struct PagedDb {
+    store: PagedStore,
+    label: String,
+    read_block_ns: &'static str,
+    checkpoints: Arc<Counter>,
+    pool_hits: Arc<Gauge>,
+    pool_misses: Arc<Gauge>,
+    pool_evictions: Arc<Gauge>,
+    resident_pages: Arc<Gauge>,
+    disk_bytes: Arc<Gauge>,
+    wal_depth: Arc<Gauge>,
+    wal_bytes: Arc<Gauge>,
+}
+
+impl std::fmt::Debug for PagedDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedDb")
+            .field("label", &self.label)
+            .field("dir", &self.store.dir())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PagedDb {
+    fn with_store(store: PagedStore, label: &str) -> Arc<PagedDb> {
+        let g = |name: &str| telemetry::gauge(&format!("{name}{{db=\"{label}\"}}"));
+        Arc::new(PagedDb {
+            store,
+            label: label.to_owned(),
+            read_block_ns: "store.read_block",
+            checkpoints: telemetry::counter(&format!(
+                "exq_store_checkpoints_total{{db=\"{label}\"}}"
+            )),
+            pool_hits: g("exq_store_pool_hits_total"),
+            pool_misses: g("exq_store_pool_misses_total"),
+            pool_evictions: g("exq_store_pool_evictions_total"),
+            resident_pages: g("exq_store_resident_pages"),
+            disk_bytes: g("exq_db_disk_bytes"),
+            wal_depth: g("exq_store_wal_depth"),
+            wal_bytes: g("exq_store_wal_bytes"),
+        })
+    }
+
+    /// The pages directory a legacy single-file artifact migrates into:
+    /// a sibling directory named `<file>.pages`.
+    pub fn pages_dir(legacy_path: &Path) -> PathBuf {
+        let mut os = legacy_path.as_os_str().to_owned();
+        os.push(".pages");
+        PathBuf::from(os)
+    }
+
+    /// True when `legacy_path` already has a paged sibling.
+    pub fn is_paged(legacy_path: &Path) -> bool {
+        PagedStore::exists(&Self::pages_dir(legacy_path))
+    }
+
+    /// Opens a database out-of-core. If the paged sibling of `path`
+    /// exists it is authoritative (the WAL replays on top of the last
+    /// checkpoint); otherwise the legacy single-file artifact at `path`
+    /// loads byte-compatibly and migrates: a full checkpoint writes every
+    /// record into a fresh paged store. The legacy file is left untouched.
+    pub fn open_or_migrate(
+        path: &Path,
+        label: &str,
+        opts: StoreOptions,
+    ) -> Result<(Server, Arc<PagedDb>, ReplaySummary), CoreError> {
+        let dir = Self::pages_dir(path);
+        if PagedStore::exists(&dir) {
+            return Self::open(&dir, label, opts);
+        }
+        let mut server = Server::load(path)?;
+        let db = Self::create_from_server(&dir, label, opts, &server)?;
+        server.attach_paged(Arc::clone(&db));
+        db.publish_metrics();
+        Ok((server, db, ReplaySummary::default()))
+    }
+
+    /// Creates a fresh paged store at `dir` holding `server`'s full state
+    /// (metadata image, posting lists, every sealed block).
+    pub(crate) fn create_from_server(
+        dir: &Path,
+        label: &str,
+        opts: StoreOptions,
+        server: &Server,
+    ) -> Result<Arc<PagedDb>, CoreError> {
+        let store = PagedStore::create(dir, opts)?;
+        let mut dirty: Vec<(u64, Option<Vec<u8>>)> = vec![(REC_META, Some(encode_meta(server)))];
+        for (k, list) in sorted_postings(server).into_iter().enumerate() {
+            dirty.push((posting_record_id(k as u32), Some(encode_postings(list))));
+        }
+        for b in server.collect_blocks()? {
+            dirty.push((block_record_id(b.id), Some(encode_block_record(&b))));
+        }
+        store.checkpoint(&dirty, 0)?;
+        Ok(Self::with_store(store, label))
+    }
+
+    /// Converts a live resident server in place: writes its state into a
+    /// fresh paged store at `dir` and attaches it. Returns the store
+    /// handle. Used by tests and tools that build a database in memory and
+    /// then host it out-of-core.
+    pub fn attach_new(
+        server: &mut Server,
+        dir: &Path,
+        label: &str,
+        opts: StoreOptions,
+    ) -> Result<Arc<PagedDb>, CoreError> {
+        let db = Self::create_from_server(dir, label, opts, server)?;
+        server.attach_paged(Arc::clone(&db));
+        db.publish_metrics();
+        Ok(db)
+    }
+
+    /// Opens an existing paged store and rebuilds the server: metadata
+    /// image + posting lists hydrate the resident structures, then the WAL
+    /// replays mutations committed after the last checkpoint.
+    pub fn open(
+        dir: &Path,
+        label: &str,
+        opts: StoreOptions,
+    ) -> Result<(Server, Arc<PagedDb>, ReplaySummary), CoreError> {
+        let (store, replay) = PagedStore::open(dir, opts)?;
+        let db = Self::with_store(store, label);
+        let meta = db.store.get(REC_META)?;
+        let mut server = decode_meta(&meta, &db)?;
+        let mut summary = ReplaySummary {
+            dropped_torn_tail: replay.dropped_torn_tail,
+            ..ReplaySummary::default()
+        };
+        for rec in &replay.records {
+            // Replay errors are deterministic mirrors of the live call's
+            // outcome (the mutation was logged before it was applied), so
+            // a failed record is counted, not fatal — the recovered state
+            // matches the pre-crash state exactly.
+            let ok = match rec.kind {
+                KIND_INSERT => {
+                    use crate::codec::WireCodec;
+                    let delta = crate::update::InsertDelta::decode(&rec.payload)
+                        .map_err(|e| CoreError::Persist(format!("WAL insert record: {e}")))?;
+                    server.apply_insert_unlogged(&delta).is_ok()
+                }
+                KIND_DELETE => {
+                    use crate::codec::WireCodec;
+                    let q = crate::wire::ServerQuery::decode(&rec.payload)
+                        .map_err(|e| CoreError::Persist(format!("WAL delete record: {e}")))?;
+                    server.delete_where_unlogged(&q);
+                    true
+                }
+                k => {
+                    return Err(CoreError::Persist(format!(
+                        "WAL record {} has unknown kind {k}",
+                        rec.seq
+                    )))
+                }
+            };
+            if ok {
+                summary.replayed += 1;
+            } else {
+                summary.failed += 1;
+            }
+        }
+        db.publish_metrics();
+        Ok((server, db, summary))
+    }
+
+    /// Reads one sealed block record, pinning its pages.
+    pub(crate) fn load_block(&self, id: u32) -> Result<Arc<SealedBlock>, CoreError> {
+        let t = Instant::now();
+        let raw = self.store.get(block_record_id(id))?;
+        let block = decode_block_record(id, &raw)?;
+        telemetry::record_span(self.read_block_ns, t.elapsed());
+        Ok(Arc::new(block))
+    }
+
+    /// Appends one mutation record to the WAL; `Ok` means fsynced.
+    pub(crate) fn append_wal(&self, kind: u8, payload: &[u8]) -> Result<u64, CoreError> {
+        let t = Instant::now();
+        let seq = self.store.append_wal(kind, payload)?;
+        telemetry::record_span("store.wal_append", t.elapsed());
+        self.publish_metrics();
+        Ok(seq)
+    }
+
+    /// Whether a block record is already durable in pages.
+    pub(crate) fn block_checkpointed(&self, id: u32) -> bool {
+        self.store.contains(block_record_id(id))
+    }
+
+    /// The store's on-disk / residency footprint.
+    pub fn footprint(&self) -> StoreFootprint {
+        self.store.footprint()
+    }
+
+    /// Buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.store.pool_stats()
+    }
+
+    /// The telemetry db label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Arms a one-shot crash injection point in the next checkpoint
+    /// (see [`exq_store::crash`]). Test hook.
+    #[doc(hidden)]
+    pub fn inject_checkpoint_crash(&self, point: u8) {
+        self.store.inject_checkpoint_crash(point);
+    }
+
+    /// Pushes the store's footprint and pool counters into the per-db
+    /// telemetry gauges.
+    pub fn publish_metrics(&self) {
+        let fp = self.store.footprint();
+        let ps = self.store.pool_stats();
+        self.pool_hits.set(ps.hits as i64);
+        self.pool_misses.set(ps.misses as i64);
+        self.pool_evictions.set(ps.evictions as i64);
+        self.resident_pages.set(fp.resident_pages as i64);
+        self.disk_bytes.set(fp.disk_bytes as i64);
+        self.wal_depth.set(fp.wal_depth as i64);
+        self.wal_bytes.set(fp.wal_bytes as i64);
+    }
+
+    /// Checkpoints folded since this handle was created.
+    pub fn checkpoints_total(&self) -> u64 {
+        self.checkpoints.get()
+    }
+}
+
+/// The server's posting lists in persisted order: tags sorted, one list per
+/// tag. Index `k` here *is* posting record id `(2<<32)|k`.
+fn sorted_postings(server: &Server) -> Vec<&[exq_index::dsi::Interval]> {
+    let mut entries: Vec<(&str, &[exq_index::dsi::Interval])> =
+        server.metadata().dsi_table.iter().collect();
+    entries.sort_by_key(|&(tag, _)| tag);
+    entries.into_iter().map(|(_, list)| list).collect()
+}
+
+fn sorted_tags(server: &Server) -> Vec<&str> {
+    let mut tags: Vec<&str> = server
+        .metadata()
+        .dsi_table
+        .iter()
+        .map(|(tag, _)| tag)
+        .collect();
+    tags.sort_unstable();
+    tags
+}
+
+/// Encodes the metadata image (record 0): everything a server needs except
+/// block payloads and posting lists, which live in their own records.
+fn encode_meta(server: &Server) -> Vec<u8> {
+    let mut w = W::default();
+    w.buf.extend_from_slice(META_MAGIC);
+    w.string(&server.visible_xml());
+
+    let positions = server.interval_positions();
+    w.u64(positions.len() as u64);
+    for (pos, iv) in positions {
+        w.u64(pos as u64);
+        interval(&mut w, iv);
+    }
+
+    // Tag names only, in posting-record order; the lists are records.
+    let tags = sorted_tags(server);
+    w.u64(tags.len() as u64);
+    for tag in tags {
+        w.string(tag);
+    }
+
+    let bt = &server.metadata().block_table;
+    w.u64(bt.len() as u64);
+    for (iv, id) in bt.iter() {
+        interval(&mut w, iv);
+        w.u32(id);
+    }
+
+    let vi = &server.metadata().value_indexes;
+    w.u64(vi.len() as u64);
+    let mut attrs: Vec<&String> = vi.keys().collect();
+    attrs.sort();
+    for attr in attrs {
+        w.string(attr);
+        let entries = vi[attr].iter();
+        w.u64(entries.len() as u64);
+        for (k, v) in entries {
+            w.u128(k);
+            w.u32(v);
+        }
+    }
+
+    w.u32(server.block_count() as u32);
+    w.u64(server.payload_bytes());
+    let dead = server.dead_block_ids();
+    w.u64(dead.len() as u64);
+    for id in dead {
+        w.u32(id);
+    }
+    w.buf
+}
+
+/// Rebuilds a server from the metadata image, loading posting lists
+/// through the store (their pages pin and release like any other read).
+fn decode_meta(bytes: &[u8], db: &Arc<PagedDb>) -> Result<Server, CoreError> {
+    if bytes.len() < 6 || &bytes[..6] != META_MAGIC {
+        return Err(CoreError::Persist(
+            "paged metadata record has wrong magic".into(),
+        ));
+    }
+    let mut r = R::new(&bytes[6..]);
+    let visible_xml = r.string()?;
+    let visible = if visible_xml.is_empty() {
+        Document::new()
+    } else {
+        Document::parse(&visible_xml)
+            .map_err(|e| CoreError::Persist(format!("visible doc: {e}")))?
+    };
+
+    let n = r.count(24)?;
+    let mut pos_intervals = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let pos = r.u64()? as usize;
+        pos_intervals.insert(pos, read_interval(&mut r)?);
+    }
+
+    let tag_count = r.count(8)?;
+    let mut dsi = DsiIndexTable::new();
+    for k in 0..tag_count {
+        let tag = r.string()?;
+        for iv in load_postings(&db.store, k as u32)? {
+            dsi.add(&tag, iv);
+        }
+    }
+    dsi.seal();
+
+    let mut bt = BlockTable::new();
+    let k = r.count(20)?;
+    for _ in 0..k {
+        let iv = read_interval(&mut r)?;
+        let id = r.u32()?;
+        bt.add(iv, id);
+    }
+    bt.seal();
+
+    let mut value_indexes = HashMap::new();
+    let k = r.count(16)?;
+    for _ in 0..k {
+        let attr = r.string()?;
+        let n = r.count(20)?;
+        let mut tree = BTree::new();
+        for _ in 0..n {
+            let key = r.u128()?;
+            let val = r.u32()?;
+            tree.insert(key, val);
+        }
+        value_indexes.insert(attr, tree);
+    }
+
+    let block_count = r.u32()?;
+    let payload_bytes = r.u64()?;
+    let k = r.count(4)?;
+    let mut dead = HashSet::with_capacity(k);
+    for _ in 0..k {
+        dead.insert(r.u32()?);
+    }
+    if !r.finished() {
+        return Err(CoreError::Persist(
+            "paged metadata record has trailing bytes".into(),
+        ));
+    }
+
+    Ok(Server::from_store_parts(
+        visible,
+        pos_intervals,
+        crate::encrypt::ServerMetadata {
+            dsi_table: dsi,
+            block_table: bt,
+            value_indexes,
+        },
+        BlockStore::Paged {
+            db: Arc::clone(db),
+            count: block_count,
+            payload_bytes,
+            overlay: HashMap::new(),
+        },
+        dead,
+    ))
+}
+
+/// Block record layout: `[nonce 12][tag 16][ciphertext..]`. The id is the
+/// record id's low 32 bits, so it is not stored again.
+fn encode_block_record(b: &SealedBlock) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + b.ciphertext.len());
+    out.extend_from_slice(&b.nonce);
+    out.extend_from_slice(&b.tag);
+    out.extend_from_slice(&b.ciphertext);
+    out
+}
+
+fn decode_block_record(id: u32, raw: &[u8]) -> Result<SealedBlock, CoreError> {
+    if raw.len() < 28 {
+        return Err(CoreError::Persist(format!(
+            "block record {id} truncated ({} bytes)",
+            raw.len()
+        )));
+    }
+    Ok(SealedBlock {
+        id,
+        nonce: raw[..12].try_into().unwrap(),
+        tag: raw[12..28].try_into().unwrap(),
+        ciphertext: raw[28..].to_vec(),
+    })
+}
+
+fn read_server(lock: &RwLock<Server>) -> std::sync::RwLockReadGuard<'_, Server> {
+    match lock.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn write_server(lock: &RwLock<Server>) -> std::sync::RwLockWriteGuard<'_, Server> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Folds everything committed so far into the page file. Returns `false`
+/// when the server is not paged or there is nothing to fold.
+///
+/// The snapshot (a server clone — cheap: block payloads are not resident)
+/// and the WAL horizon are captured under the *same* read lock, so a
+/// mutation is either in both (folded, then dropped from the log) or in
+/// neither (stays in the log) — never double-applied on recovery. Queries
+/// keep flowing during the fold; the write lock is only taken at the end,
+/// briefly, to drain the overlay.
+pub fn checkpoint_once(server: &RwLock<Server>) -> Result<bool, CoreError> {
+    let (snapshot, wal_seq, db) = {
+        let g = read_server(server);
+        let Some(db) = g.paged_store() else {
+            return Ok(false);
+        };
+        if db.store.footprint().wal_depth == 0 {
+            db.publish_metrics();
+            return Ok(false);
+        }
+        (g.clone(), db.store.wal_next_seq() - 1, db)
+    };
+
+    let t = Instant::now();
+    let mut dirty: Vec<(u64, Option<Vec<u8>>)> = vec![(REC_META, Some(encode_meta(&snapshot)))];
+    let lists = sorted_postings(&snapshot);
+    for (k, list) in lists.iter().enumerate() {
+        dirty.push((posting_record_id(k as u32), Some(encode_postings(list))));
+    }
+    // Tags removed by deletions leave stale high-index posting records.
+    let mut k = lists.len() as u32;
+    while db.store.contains(posting_record_id(k)) {
+        dirty.push((posting_record_id(k), None));
+        k += 1;
+    }
+    // Only blocks not yet in pages are written: O(update), not O(db).
+    for (id, b) in snapshot.overlay_blocks() {
+        if !db.block_checkpointed(id) {
+            dirty.push((block_record_id(id), Some(encode_block_record(&b))));
+        }
+    }
+    db.store.checkpoint(&dirty, wal_seq)?;
+    {
+        let mut g = write_server(server);
+        g.drain_overlay_if(|id| db.block_checkpointed(id));
+    }
+    telemetry::record_span("store.checkpoint", t.elapsed());
+    db.checkpoints.inc();
+    db.publish_metrics();
+    Ok(true)
+}
+
+/// Resolves the background checkpoint interval: `EXQ_CHECKPOINT_MS`
+/// (milliseconds), default 2000.
+pub fn checkpoint_interval() -> Duration {
+    let ms = std::env::var("EXQ_CHECKPOINT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2000)
+        .max(1);
+    Duration::from_millis(ms)
+}
+
+/// A background checkpointer: folds the WAL into pages off the serving
+/// path. Stops (and joins) on [`Checkpointer::stop`] or drop.
+pub struct Checkpointer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    /// Spawns the checkpoint thread for one hosted server.
+    pub fn spawn(server: Arc<RwLock<Server>>, interval: Duration) -> Checkpointer {
+        Self::spawn_many(vec![server], interval)
+    }
+
+    /// Spawns one checkpoint thread sweeping several hosted servers (the
+    /// multi-tenant serve loop uses this: one thread, all dbs).
+    pub fn spawn_many(servers: Vec<Arc<RwLock<Server>>>, interval: Duration) -> Checkpointer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("exq-checkpoint".into())
+            .spawn(move || {
+                let tick = Duration::from_millis(20).min(interval);
+                let mut since = Duration::ZERO;
+                while !stop2.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    since += tick;
+                    if since < interval {
+                        continue;
+                    }
+                    since = Duration::ZERO;
+                    for s in &servers {
+                        // A checkpoint failure (e.g. disk full) leaves the
+                        // WAL intact; the next sweep retries.
+                        let _ = checkpoint_once(s);
+                    }
+                }
+            })
+            .expect("spawn checkpointer");
+        Checkpointer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread and joins it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -332,12 +332,25 @@ impl TenantRegistry {
     }
 
     /// Saves every database to `dir` in the directory-of-databases layout:
-    /// one crash-safe state file per db plus a checksummed manifest. The
-    /// directory is created if missing.
+    /// one crash-safe state file per db plus a checksummed manifest. A
+    /// paged tenant checkpoints its store (folds the WAL into pages)
+    /// instead of rewriting a single-file artifact. The directory is
+    /// created if missing.
     pub fn save_dir(&self, dir: &Path) -> Result<(), CoreError> {
         std::fs::create_dir_all(dir).map_err(|e| CoreError::Persist(e.to_string()))?;
         let tenants = self.tenants();
         for t in &tenants {
+            let paged = {
+                let guard = match t.server.read() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard.paged_store().is_some()
+            };
+            if paged {
+                crate::store::checkpoint_once(&t.server)?;
+                continue;
+            }
             let guard = match t.server.read() {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
@@ -363,6 +376,30 @@ impl TenantRegistry {
     /// Loads a directory-of-databases layout written by
     /// [`TenantRegistry::save_dir`].
     pub fn load_dir(dir: &Path) -> Result<TenantRegistry, CoreError> {
+        Self::load_dir_with(dir, &|path, _name| Server::load(path))
+    }
+
+    /// Loads a directory-of-databases layout, opening every database
+    /// out-of-core: paged siblings are authoritative, legacy single-file
+    /// artifacts migrate on first open.
+    pub fn load_dir_paged(
+        dir: &Path,
+        opts: crate::store::StoreOptions,
+    ) -> Result<TenantRegistry, CoreError> {
+        Self::load_dir_with(dir, &|path, name| {
+            let (server, _db, replay) = crate::store::PagedDb::open_or_migrate(path, name, opts)?;
+            if replay.replayed + replay.failed > 0 || replay.dropped_torn_tail {
+                telemetry::counter(&format!("exq_store_replayed_total{{db=\"{name}\"}}"))
+                    .add(replay.replayed as u64);
+            }
+            Ok(server)
+        })
+    }
+
+    fn load_dir_with(
+        dir: &Path,
+        open: &dyn Fn(&Path, &str) -> Result<Server, CoreError>,
+    ) -> Result<TenantRegistry, CoreError> {
         let manifest_path = dir.join(MANIFEST_FILE);
         let data = std::fs::read(&manifest_path)
             .map_err(|e| CoreError::Persist(format!("read {}: {e}", manifest_path.display())))?;
@@ -386,7 +423,7 @@ impl TenantRegistry {
                     "manifest entry '{name}' names a non-local state file '{file}'"
                 )));
             }
-            let server = Server::load(&dir.join(&file))?;
+            let server = open(&dir.join(&file), &name)?;
             registry.create(&name, server, key_fingerprint, max_inflight)?;
         }
         if pos != body.len() {
@@ -405,6 +442,23 @@ impl TenantRegistry {
             return Self::load_dir(path);
         }
         let server = Server::load(path)?;
+        let registry = TenantRegistry::new(default_db)?;
+        registry.create(default_db, server, 0, 0)?;
+        Ok(registry)
+    }
+
+    /// [`TenantRegistry::open`], but every database is hosted out-of-core
+    /// through a paged store (migrating legacy artifacts on first open).
+    pub fn open_paged(
+        path: &Path,
+        default_db: &str,
+        opts: crate::store::StoreOptions,
+    ) -> Result<TenantRegistry, CoreError> {
+        if path.is_dir() {
+            return Self::load_dir_paged(path, opts);
+        }
+        let (server, _db, _replay) =
+            crate::store::PagedDb::open_or_migrate(path, default_db, opts)?;
         let registry = TenantRegistry::new(default_db)?;
         registry.create(default_db, server, 0, 0)?;
         Ok(registry)

@@ -293,9 +293,9 @@ fn unexpected(want: &str, got: Message) -> CoreError {
 /// are rejected (the caller must hold exclusive access for those).
 pub fn answer_request(server: &Server, req: &Message) -> Result<Message, CoreError> {
     match req {
-        Message::Query(q) => Ok(Message::Answer(server.answer(q))),
-        Message::NaiveQuery => Ok(Message::Answer(server.answer_naive())),
-        Message::FetchBlock(id) => Ok(Message::Block(server.fetch_block(*id))),
+        Message::Query(q) => server.answer(q).map(Message::Answer),
+        Message::NaiveQuery => server.answer_naive().map(Message::Answer),
+        Message::FetchBlock(id) => server.fetch_block(*id).map(Message::Block),
         Message::ValueExtreme { attr_key, max } => {
             Ok(Message::Extreme(server.value_extreme(attr_key, *max)))
         }
@@ -318,7 +318,7 @@ pub fn answer_request(server: &Server, req: &Message) -> Result<Message, CoreErr
 pub fn apply_request(server: &mut Server, req: &Message) -> Result<Message, CoreError> {
     match req {
         Message::ApplyInsert(delta) => server.apply_insert(delta).map(|()| Message::InsertOk),
-        Message::DeleteWhere(q) => Ok(Message::Deleted(server.delete_where(q))),
+        Message::DeleteWhere(q) => server.delete_where(q).map(Message::Deleted),
         other => answer_request(server, other),
     }
 }
@@ -1154,6 +1154,36 @@ pub fn serve(
     serve_multi(listener, registry, config)
 }
 
+/// Raises the kernel accept backlog on an already-listening socket.
+///
+/// `TcpListener::bind` hardcodes a backlog of 128; a burst of ~1000
+/// simultaneous connects (E20 at scale) overflows the SYN queue and the
+/// excess either times out or sees `ECONNREFUSED` before the accept loop
+/// ever runs. POSIX allows re-calling `listen(2)` on a listening socket
+/// to grow the backlog, so that is exactly what this does — the kernel
+/// still clamps to `net.core.somaxconn`. Best-effort: a failure keeps the
+/// default backlog rather than refusing to serve.
+#[cfg(unix)]
+pub(crate) fn tune_listen_backlog(listener: &TcpListener, config: &ServeConfig) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn listen(fd: std::ffi::c_int, backlog: std::ffi::c_int) -> std::ffi::c_int;
+    }
+    let want = config.backlog().max(1024).min(i32::MAX as usize) as std::ffi::c_int;
+    if unsafe { listen(listener.as_raw_fd(), want) } != 0 {
+        telemetry::log(
+            telemetry::Level::Warn,
+            &format!(
+                "listen backlog {want} not applied: {}",
+                std::io::Error::last_os_error()
+            ),
+        );
+    }
+}
+
+#[cfg(not(unix))]
+pub(crate) fn tune_listen_backlog(_listener: &TcpListener, _config: &ServeConfig) {}
+
 /// Runs the frame protocol over `listener` against a registry of sealed
 /// databases. v4 frames route by the db id they carry (empty = the
 /// registry's default db); v1–v3 frames always hit the default db.
@@ -1166,6 +1196,7 @@ pub fn serve_multi(
 ) -> std::io::Result<ServeHandle> {
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    tune_listen_backlog(&listener, &config);
     apply_tenant_knobs(&registry, &config);
     // Bounded: connections past the backlog are answered `Busy` by the
     // accept thread instead of queueing forever behind pinned workers.

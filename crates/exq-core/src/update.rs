@@ -110,8 +110,17 @@ impl Server {
         })
     }
 
-    /// Applies a client-prepared insertion.
+    /// Applies a client-prepared insertion. On a paged server the delta's
+    /// wire encoding is appended to the WAL (fsync = commit) *before* the
+    /// in-memory apply, so a kill at any later point replays it on open.
     pub fn apply_insert(&mut self, delta: &InsertDelta) -> Result<(), CoreError> {
+        use crate::codec::WireCodec;
+        self.log_mutation(crate::store::KIND_INSERT, &delta.encode())?;
+        self.apply_insert_unlogged(delta)
+    }
+
+    /// The in-memory insert apply, shared by the live path and WAL replay.
+    pub(crate) fn apply_insert_unlogged(&mut self, delta: &InsertDelta) -> Result<(), CoreError> {
         let vis_parent = self
             .visible_node_of(&delta.parent)
             .ok_or_else(|| CoreError::Query("insertion parent vanished".into()))?;
@@ -135,8 +144,19 @@ impl Server {
         Ok(())
     }
 
-    /// Deletes every subtree matched by the translated query.
-    pub fn delete_where(&mut self, q: &crate::wire::ServerQuery) -> DeleteOutcome {
+    /// Deletes every subtree matched by the translated query. WAL-logged
+    /// like [`Server::apply_insert`] when paged.
+    pub fn delete_where(
+        &mut self,
+        q: &crate::wire::ServerQuery,
+    ) -> Result<DeleteOutcome, CoreError> {
+        use crate::codec::WireCodec;
+        self.log_mutation(crate::store::KIND_DELETE, &q.encode())?;
+        Ok(self.delete_where_unlogged(q))
+    }
+
+    /// The in-memory delete apply, shared by the live path and WAL replay.
+    pub(crate) fn delete_where_unlogged(&mut self, q: &crate::wire::ServerQuery) -> DeleteOutcome {
         let victims = self.locate(q);
         let mut out = DeleteOutcome {
             deleted: 0,

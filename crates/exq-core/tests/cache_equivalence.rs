@@ -93,12 +93,12 @@ fn cached_answers_are_bit_identical_to_uncached() {
             None => continue,
         };
         server.set_cache_entries(Some(0));
-        let reference = server.answer(&sq);
+        let reference = server.answer(&sq).unwrap();
 
         server.set_cache_entries(Some(256));
-        let cold = server.answer(&sq);
+        let cold = server.answer(&sq).unwrap();
         let hits_before = server.cache_stats().response_hits;
-        let warm = server.answer(&sq);
+        let warm = server.answer(&sq).unwrap();
         assert!(
             server.cache_stats().response_hits > hits_before,
             "warm pass for {q} did not hit the response cache"
@@ -227,10 +227,10 @@ fn delete_invalidates_cached_answers() {
         // Tombstoned blocks must not resurface from any cache layer: every
         // shipped block still exists on the server.
         let sq = client_t.translate(q).unwrap().server_query.unwrap();
-        let resp = server.answer(&sq);
+        let resp = server.answer(&sq).unwrap();
         for b in &resp.blocks {
             assert!(
-                server.fetch_block(b.id).is_some(),
+                server.fetch_block(b.id).unwrap().is_some(),
                 "response shipped tombstoned block {} at {t} threads",
                 b.id
             );

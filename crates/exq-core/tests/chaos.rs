@@ -361,7 +361,7 @@ fn client_survives_server_restart_via_reconnect() {
         let mut link = InProcess::shared(&server);
         client.run(&mut link, "//patient/pname").unwrap()
     };
-    let bytes = server.save_bytes();
+    let bytes = server.save_bytes().unwrap();
 
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let handle = serve(

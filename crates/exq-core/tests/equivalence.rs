@@ -81,10 +81,10 @@ fn server_responses_are_thread_count_invariant() {
             None => continue,
         };
         server.set_threads(1);
-        let reference = server.answer(&sq);
+        let reference = server.answer(&sq).unwrap();
         for &t in THREADS {
             server.set_threads(t);
-            let resp = server.answer(&sq);
+            let resp = server.answer(&sq).unwrap();
             assert_eq!(
                 resp.pruned_xml, reference.pruned_xml,
                 "pruned_xml diverged for {q} at {t} threads"

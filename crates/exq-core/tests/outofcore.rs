@@ -1,0 +1,245 @@
+//! Out-of-core equivalence: a database hosted through the paged store with
+//! a deliberately tiny buffer budget must answer every query identically to
+//! the all-in-RAM server, survive mutations + reopen, and migrate legacy
+//! single-file artifacts without touching them.
+
+use exq_core::constraints::SecurityConstraint;
+use exq_core::scheme::SchemeKind;
+use exq_core::store::{checkpoint_once, Checkpointer, PagedDb, StoreOptions};
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::{Client, Server};
+use exq_xml::Document;
+use std::sync::{Arc, RwLock};
+
+/// Tiny pages + a budget of a few frames: every multi-block query must
+/// page blocks in and out through the pool.
+fn tiny_opts() -> StoreOptions {
+    StoreOptions {
+        page_size: 256,
+        cache_bytes: 1024,
+    }
+}
+
+fn hosted() -> (Client, Server) {
+    let doc = Document::parse(
+        r#"<hospital>
+            <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age>
+              <insurance><policy coverage="1000000">34221</policy></insurance></patient>
+            <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age>
+              <insurance><policy coverage="5000">78543</policy></insurance></patient>
+            <patient><pname>Zoe</pname><SSN>112358</SSN><age>29</age>
+              <insurance><policy coverage="10000">91111</policy></insurance></patient>
+            <patient><pname>Quinn</pname><SSN>314159</SSN><age>61</age>
+              <insurance><policy coverage="250000">27182</policy></insurance></patient>
+           </hospital>"#,
+    )
+    .unwrap();
+    let cs = vec![
+        SecurityConstraint::parse("//insurance").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /age)").unwrap(),
+    ];
+    Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, SchemeKind::Opt, 31)
+        .unwrap()
+        .split()
+}
+
+const QUERIES: &[&str] = &[
+    "//patient",
+    "//patient[pname = 'Betty']/SSN",
+    "//patient[.//policy/@coverage >= 10000]/SSN",
+    "//insurance//policy",
+    "//patient[age = 40]/pname",
+    "//pname",
+];
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("exq-ooc-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn paged_answers_match_resident_under_tiny_budget() {
+    let (client, resident) = hosted();
+    let dir = scratch("equiv");
+    let path = dir.join("db.exq");
+    resident.save(&path).unwrap();
+
+    let (paged, db, replay) = PagedDb::open_or_migrate(&path, "equiv", tiny_opts()).unwrap();
+    assert_eq!(replay.replayed, 0);
+    for q in QUERIES {
+        let a = client.query(&resident, q).unwrap().results;
+        let b = client.query(&paged, q).unwrap().results;
+        assert_eq!(a, b, "paged answer diverged for {q}");
+    }
+    // The budget is a handful of 256-byte frames against a multi-KiB
+    // database: the pool must actually have evicted.
+    let fp = db.footprint();
+    assert!(
+        fp.resident_pages < fp.page_count,
+        "database fits in the tiny budget (resident {} of {}), test is vacuous",
+        fp.resident_pages,
+        fp.page_count
+    );
+    assert!(
+        db.pool_stats().evictions > 0,
+        "no evictions under tiny budget"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn migration_leaves_legacy_file_untouched() {
+    let (_, server) = hosted();
+    let dir = scratch("migrate");
+    let path = dir.join("db.exq");
+    server.save(&path).unwrap();
+    let before = std::fs::read(&path).unwrap();
+
+    let (_paged, _db, _) = PagedDb::open_or_migrate(&path, "migrate", tiny_opts()).unwrap();
+    assert!(PagedDb::is_paged(&path), "pages sibling missing");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        before,
+        "migration modified the legacy artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mutations_replay_from_wal_on_reopen() {
+    let (mut client, resident) = hosted();
+    let dir = scratch("replay");
+    let path = dir.join("db.exq");
+    resident.save(&path).unwrap();
+
+    let (mut paged, db, _) = PagedDb::open_or_migrate(&path, "replay", tiny_opts()).unwrap();
+    client
+        .insert(
+            &mut paged,
+            "/hospital",
+            "<patient><pname>Ada</pname><SSN>999111</SSN><age>36</age></patient>",
+            5,
+        )
+        .unwrap();
+    client.delete(&mut paged, "//patient[age = 40]").unwrap();
+    assert!(db.footprint().wal_depth >= 2, "mutations were not logged");
+
+    // Bit-identical recovery: the canonical single-file image of the
+    // reopened database must equal the live (never-crashed) one.
+    let reference = paged.save_bytes().unwrap();
+    let expect: Vec<_> = QUERIES
+        .iter()
+        .map(|q| client.query(&paged, q).unwrap().results)
+        .collect();
+    drop(paged);
+    drop(db);
+
+    let (reopened, _db, replay) = PagedDb::open_or_migrate(&path, "replay", tiny_opts()).unwrap();
+    assert_eq!(replay.replayed, 2);
+    assert_eq!(replay.failed, 0);
+    assert_eq!(
+        reopened.save_bytes().unwrap(),
+        reference,
+        "recovered state is not bit-identical"
+    );
+    for (q, want) in QUERIES.iter().zip(&expect) {
+        assert_eq!(&client.query(&reopened, q).unwrap().results, want, "{q}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_folds_wal_and_skips_clean_stores() {
+    let (mut client, resident) = hosted();
+    let dir = scratch("ckpt");
+    let path = dir.join("db.exq");
+    resident.save(&path).unwrap();
+
+    let (mut paged, db, _) = PagedDb::open_or_migrate(&path, "ckpt", tiny_opts()).unwrap();
+    client
+        .insert(
+            &mut paged,
+            "/hospital",
+            "<patient><pname>Lin</pname><SSN>555000</SSN><age>50</age></patient>",
+            5,
+        )
+        .unwrap();
+    client.delete(&mut paged, "//patient[age = 29]").unwrap();
+    let reference = paged.save_bytes().unwrap();
+
+    let lock = RwLock::new(paged);
+    assert!(checkpoint_once(&lock).unwrap(), "checkpoint had work to do");
+    assert_eq!(db.footprint().wal_depth, 0, "WAL not folded");
+    assert_eq!(db.checkpoints_total(), 1);
+    // Nothing left to fold: the second call is a no-op.
+    assert!(!checkpoint_once(&lock).unwrap());
+    drop(lock);
+    drop(db);
+
+    let (reopened, db, replay) = PagedDb::open_or_migrate(&path, "ckpt", tiny_opts()).unwrap();
+    assert_eq!(replay.replayed, 0, "checkpointed mutations replayed again");
+    assert_eq!(reopened.save_bytes().unwrap(), reference);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn background_checkpointer_folds_off_the_serving_path() {
+    let (mut client, resident) = hosted();
+    let dir = scratch("bg");
+    let path = dir.join("db.exq");
+    resident.save(&path).unwrap();
+
+    let (mut paged, db, _) = PagedDb::open_or_migrate(&path, "bg", tiny_opts()).unwrap();
+    client
+        .insert(
+            &mut paged,
+            "/hospital",
+            "<patient><pname>Kim</pname><SSN>777000</SSN><age>44</age></patient>",
+            5,
+        )
+        .unwrap();
+    let lock = Arc::new(RwLock::new(paged));
+    let ckpt = Checkpointer::spawn(Arc::clone(&lock), std::time::Duration::from_millis(30));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while db.footprint().wal_depth > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    ckpt.stop();
+    assert_eq!(
+        db.footprint().wal_depth,
+        0,
+        "background fold never happened"
+    );
+    // Serving continued throughout: the lock is still usable.
+    let out = client
+        .query(&lock.read().unwrap(), "//patient[age = 44]/pname")
+        .unwrap();
+    assert_eq!(out.results.len(), 1);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn aggregates_and_naive_path_work_paged() {
+    use exq_core::aggregate::Aggregate;
+    let (client, resident) = hosted();
+    let dir = scratch("agg");
+    let path = dir.join("db.exq");
+    resident.save(&path).unwrap();
+
+    let (paged, db, _) = PagedDb::open_or_migrate(&path, "agg", tiny_opts()).unwrap();
+    let max = client
+        .aggregate(&paged, "//policy/@coverage", Aggregate::Max)
+        .unwrap();
+    assert_eq!(max.value.as_deref(), Some("1000000"));
+    let naive_a = client.export(&resident).unwrap().unwrap().to_xml();
+    let naive_b = client.export(&paged).unwrap().unwrap().to_xml();
+    assert_eq!(naive_a, naive_b, "naive export diverged out-of-core");
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -41,7 +41,7 @@ const QUERIES: &[&str] = &[
 #[test]
 fn server_roundtrip_answers_identically() {
     let (client, server, _) = hosted();
-    let bytes = server.save_bytes();
+    let bytes = server.save_bytes().unwrap();
     let restored = Server::load_bytes(&bytes).unwrap();
     for q in QUERIES {
         let a = client.query(&server, q).unwrap().results;
@@ -94,7 +94,7 @@ fn updates_survive_persistence() {
         .unwrap();
     client.delete(&mut server, "//patient[age = 40]").unwrap();
 
-    let server2 = Server::load_bytes(&server.save_bytes()).unwrap();
+    let server2 = Server::load_bytes(&server.save_bytes().unwrap()).unwrap();
     let client2 = Client::load_bytes(&client.save_bytes()).unwrap();
 
     let out = client2.query(&server2, "//patient/pname").unwrap();
@@ -111,7 +111,7 @@ fn updates_survive_persistence() {
 fn aggregates_survive_persistence() {
     use exq_core::aggregate::Aggregate;
     let (client, server, _) = hosted();
-    let server2 = Server::load_bytes(&server.save_bytes()).unwrap();
+    let server2 = Server::load_bytes(&server.save_bytes().unwrap()).unwrap();
     let client2 = Client::load_bytes(&client.save_bytes()).unwrap();
     let max = client2
         .aggregate(&server2, "//policy/@coverage", Aggregate::Max)
@@ -122,14 +122,14 @@ fn aggregates_survive_persistence() {
 #[test]
 fn corrupted_files_rejected() {
     let (client, server, _) = hosted();
-    let mut s = server.save_bytes();
+    let mut s = server.save_bytes().unwrap();
     s[0] ^= 0xFF;
     assert!(Server::load_bytes(&s).is_err());
     let mut c = client.save_bytes();
     c[0] ^= 0xFF;
     assert!(Client::load_bytes(&c).is_err());
     // Truncation.
-    let s = server.save_bytes();
+    let s = server.save_bytes().unwrap();
     assert!(Server::load_bytes(&s[..s.len() / 2]).is_err());
     assert!(Server::load_bytes(&[]).is_err());
 }
@@ -137,7 +137,7 @@ fn corrupted_files_rejected() {
 #[test]
 fn state_files_do_not_leak_plaintext() {
     let (client, server, _) = hosted();
-    let bytes = server.save_bytes();
+    let bytes = server.save_bytes().unwrap();
     let as_text = String::from_utf8_lossy(&bytes);
     // Node-type-protected values must not appear in the server state file.
     for secret in ["34221", "78543", "1000000"] {
@@ -157,7 +157,7 @@ fn bit_flips_anywhere_are_rejected() {
     // in the magic — sample a spread of positions (plus the checksum
     // itself) across both artifacts.
     let (client, server, _) = hosted();
-    for bytes in [server.save_bytes(), client.save_bytes()] {
+    for bytes in [server.save_bytes().unwrap(), client.save_bytes()] {
         let is_server = bytes.starts_with(b"EXQSV2");
         let step = (bytes.len() / 64).max(1);
         for pos in (0..bytes.len()).step_by(step) {
@@ -176,7 +176,7 @@ fn bit_flips_anywhere_are_rejected() {
 #[test]
 fn truncations_are_rejected_cleanly() {
     let (_, server, _) = hosted();
-    let bytes = server.save_bytes();
+    let bytes = server.save_bytes().unwrap();
     for keep in [0, 3, 6, 9, bytes.len() - 5, bytes.len() - 1] {
         let err = Server::load_bytes(&bytes[..keep]).unwrap_err();
         assert!(
@@ -194,7 +194,7 @@ fn save_is_atomic_and_durable() {
     let (_, server, _) = hosted();
     server.save(&path).unwrap();
     let loaded = Server::load(&path).unwrap();
-    assert_eq!(loaded.save_bytes(), server.save_bytes());
+    assert_eq!(loaded.save_bytes().unwrap(), server.save_bytes().unwrap());
     // Overwriting in place must go through the rename path (no temp file
     // left behind) and leave a loadable artifact.
     server.save(&path).unwrap();

@@ -1,0 +1,301 @@
+//! Crash-recovery torture: truncate the WAL at (and inside) every record
+//! boundary, flip bits mid-log, and kill the checkpointer at every
+//! injection point. In every survivable case the reopened database must be
+//! bit-identical to a never-crashed reference; in every unsurvivable case
+//! the open must fail loudly — the server never serves garbage.
+
+use exq_core::constraints::SecurityConstraint;
+use exq_core::scheme::SchemeKind;
+use exq_core::store::{checkpoint_once, PagedDb, StoreOptions};
+use exq_core::system::{OutsourceConfig, Outsourcer};
+use exq_core::{Client, Server};
+use exq_xml::Document;
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+const WAL_MAGIC_LEN: usize = 8; // b"EXQWAL1\n"
+const FRAME_OVERHEAD: usize = 4 + 8 + 1 + 4; // len | seq | kind | crc
+
+fn tiny_opts() -> StoreOptions {
+    StoreOptions {
+        page_size: 256,
+        cache_bytes: 4096,
+    }
+}
+
+fn hosted() -> (Client, Server) {
+    let doc = Document::parse(
+        r#"<hospital>
+            <patient><pname>Betty</pname><SSN>763895</SSN><age>35</age>
+              <insurance><policy coverage="1000000">34221</policy></insurance></patient>
+            <patient><pname>Matt</pname><SSN>276543</SSN><age>40</age>
+              <insurance><policy coverage="5000">78543</policy></insurance></patient>
+            <patient><pname>Zoe</pname><SSN>112358</SSN><age>29</age>
+              <insurance><policy coverage="10000">91111</policy></insurance></patient>
+           </hospital>"#,
+    )
+    .unwrap();
+    let cs = vec![
+        SecurityConstraint::parse("//insurance").unwrap(),
+        SecurityConstraint::parse("//patient:(/pname, /SSN)").unwrap(),
+    ];
+    Outsourcer::new(OutsourceConfig::default())
+        .outsource(&doc, &cs, SchemeKind::Opt, 31)
+        .unwrap()
+        .split()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("exq-torture-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_pages(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// A golden run: migrate, apply `MUTATIONS` without checkpointing, and
+/// record the canonical single-file image after every mutation prefix.
+/// Returns (client, pages dir, per-prefix reference images).
+struct Golden {
+    dir: PathBuf,
+    pages: PathBuf,
+    refs: Vec<Vec<u8>>,
+}
+
+fn golden(name: &str) -> Golden {
+    let (mut client, resident) = hosted();
+    let dir = scratch(name);
+    let path = dir.join("db.exq");
+    resident.save(&path).unwrap();
+    let (mut paged, db, _) = PagedDb::open_or_migrate(&path, name, tiny_opts()).unwrap();
+
+    let mut refs = vec![paged.save_bytes().unwrap()];
+    client
+        .insert(
+            &mut paged,
+            "/hospital",
+            "<patient><pname>Ada</pname><SSN>999111</SSN><age>36</age></patient>",
+            5,
+        )
+        .unwrap();
+    refs.push(paged.save_bytes().unwrap());
+    client.delete(&mut paged, "//patient[age = 40]").unwrap();
+    refs.push(paged.save_bytes().unwrap());
+    client
+        .insert(
+            &mut paged,
+            "/hospital",
+            "<patient><pname>Lin</pname><SSN>555000</SSN><age>50</age></patient>",
+            5,
+        )
+        .unwrap();
+    refs.push(paged.save_bytes().unwrap());
+    assert_eq!(db.footprint().wal_depth, 3, "golden run WAL depth");
+    drop(paged);
+    drop(db);
+    Golden {
+        pages: PagedDb::pages_dir(&path),
+        dir,
+        refs,
+    }
+}
+
+/// Byte offsets of each frame boundary in a WAL image (offset 0 of the
+/// returned vec = end of magic = "zero records kept").
+fn frame_boundaries(wal: &[u8]) -> Vec<usize> {
+    assert_eq!(&wal[..WAL_MAGIC_LEN], b"EXQWAL1\n");
+    let mut bounds = vec![WAL_MAGIC_LEN];
+    let mut pos = WAL_MAGIC_LEN;
+    while pos < wal.len() {
+        let len = u32::from_le_bytes(wal[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += FRAME_OVERHEAD + len;
+        bounds.push(pos);
+    }
+    assert_eq!(pos, wal.len(), "WAL has trailing bytes");
+    bounds
+}
+
+fn reopen(dir: &Path, label: &str) -> (Server, exq_core::store::ReplaySummary) {
+    let (s, _db, replay) = PagedDb::open(dir, label, tiny_opts()).unwrap();
+    (s, replay)
+}
+
+#[test]
+fn truncation_at_every_record_boundary_recovers_the_prefix() {
+    let g = golden("bound");
+    let wal = std::fs::read(g.pages.join("log.wal")).unwrap();
+    let bounds = frame_boundaries(&wal);
+    assert_eq!(bounds.len(), g.refs.len(), "one boundary per prefix");
+
+    let work = g.dir.join("work.exq.pages");
+    for (kept, &cut) in bounds.iter().enumerate() {
+        copy_pages(&g.pages, &work);
+        std::fs::write(work.join("log.wal"), &wal[..cut]).unwrap();
+        let (server, replay) = reopen(&work, "bound");
+        assert_eq!(replay.replayed, kept, "cut at byte {cut}");
+        assert!(!replay.dropped_torn_tail);
+        assert_eq!(
+            server.save_bytes().unwrap(),
+            g.refs[kept],
+            "state after clean cut to {kept} records is not bit-identical"
+        );
+    }
+    std::fs::remove_dir_all(&g.dir).ok();
+}
+
+#[test]
+fn torn_tails_inside_every_frame_drop_only_the_torn_record() {
+    let g = golden("torn");
+    let wal = std::fs::read(g.pages.join("log.wal")).unwrap();
+    let bounds = frame_boundaries(&wal);
+
+    let work = g.dir.join("work.exq.pages");
+    for kept in 0..bounds.len() - 1 {
+        let (start, end) = (bounds[kept], bounds[kept + 1]);
+        // A crash can land mid-append at any byte: sample the first, a
+        // middle, and the last-but-one offset of the torn frame.
+        for cut in [start + 1, start + (end - start) / 2, end - 1] {
+            copy_pages(&g.pages, &work);
+            std::fs::write(work.join("log.wal"), &wal[..cut]).unwrap();
+            let (server, replay) = reopen(&work, "torn");
+            assert_eq!(replay.replayed, kept, "torn cut at byte {cut}");
+            assert!(replay.dropped_torn_tail, "cut at {cut} not flagged torn");
+            assert_eq!(
+                server.save_bytes().unwrap(),
+                g.refs[kept],
+                "torn tail at byte {cut} did not recover prefix {kept}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&g.dir).ok();
+}
+
+#[test]
+fn interior_corruption_is_refused_not_served() {
+    let g = golden("flip");
+    let wal = std::fs::read(g.pages.join("log.wal")).unwrap();
+    let bounds = frame_boundaries(&wal);
+
+    let work = g.dir.join("work.exq.pages");
+    // Flip one byte in the middle of every frame except the last; with
+    // valid frames after the damage this is disk corruption, not a torn
+    // append, and the open must fail rather than skip records.
+    for kept in 0..bounds.len() - 2 {
+        let mid = bounds[kept] + (bounds[kept + 1] - bounds[kept]) / 2;
+        let mut damaged = wal.clone();
+        damaged[mid] ^= 0xA5;
+        copy_pages(&g.pages, &work);
+        std::fs::write(work.join("log.wal"), &damaged).unwrap();
+        assert!(
+            PagedDb::open(&work, "flip", tiny_opts()).is_err(),
+            "interior flip at byte {mid} was silently accepted"
+        );
+    }
+    // A flip inside the *final* frame is indistinguishable from a crashed
+    // append: the damaged record drops, everything before it survives.
+    let last = bounds.len() - 2;
+    let mid = bounds[last] + (bounds[last + 1] - bounds[last]) / 2;
+    let mut damaged = wal.clone();
+    damaged[mid] ^= 0xA5;
+    copy_pages(&g.pages, &work);
+    std::fs::write(work.join("log.wal"), &damaged).unwrap();
+    let (server, replay) = reopen(&work, "flip");
+    assert_eq!(replay.replayed, last);
+    assert!(replay.dropped_torn_tail);
+    assert_eq!(server.save_bytes().unwrap(), g.refs[last]);
+    std::fs::remove_dir_all(&g.dir).ok();
+}
+
+#[test]
+fn kill_during_checkpoint_at_every_injection_point_loses_nothing() {
+    // Injection points: 1 = before data pages sync, 2 = before the
+    // superblock flip, 3 = after the flip but before WAL compaction.
+    for point in [1u8, 2, 3] {
+        let g = golden(&format!("kill{point}"));
+        let work = g.dir.join("work.exq.pages");
+        copy_pages(&g.pages, &work);
+
+        let (server, db, replay) = PagedDb::open(&work, "kill", tiny_opts()).unwrap();
+        assert_eq!(replay.replayed, 3);
+        db.inject_checkpoint_crash(point);
+        let lock = RwLock::new(server);
+        let err = checkpoint_once(&lock).unwrap_err();
+        assert!(
+            format!("{err}").contains("injected checkpoint crash"),
+            "point {point}: expected injected crash, got {err}"
+        );
+        drop(lock);
+        drop(db);
+
+        // "kill -9": reopen from disk with no in-process state carried over.
+        let (recovered, db, _) = PagedDb::open(&work, "kill", tiny_opts()).unwrap();
+        assert_eq!(
+            recovered.save_bytes().unwrap(),
+            *g.refs.last().unwrap(),
+            "crash at point {point} lost a committed mutation"
+        );
+
+        // The store stays fully usable: the next checkpoint completes and
+        // the folded state is still bit-identical.
+        let lock = RwLock::new(recovered);
+        checkpoint_once(&lock).unwrap();
+        assert_eq!(db.footprint().wal_depth, 0);
+        drop(lock);
+        drop(db);
+        let (folded, _, replay) = PagedDb::open(&work, "kill", tiny_opts()).unwrap();
+        assert_eq!(replay.replayed, 0);
+        assert_eq!(folded.save_bytes().unwrap(), *g.refs.last().unwrap());
+        std::fs::remove_dir_all(&g.dir).ok();
+    }
+}
+
+#[test]
+fn data_page_corruption_is_detected() {
+    let g = golden("page");
+    let work = g.dir.join("work.exq.pages");
+    copy_pages(&g.pages, &work);
+    // Flip a byte inside a data page (past the two superblocks) and prove
+    // the CRC catches it: either the open fails or the damaged record does.
+    let mut data = std::fs::read(work.join("data.exqp")).unwrap();
+    let target = 2 * 256 + 100; // page 2, inside the payload
+    data[target] ^= 0xFF;
+    std::fs::write(work.join("data.exqp"), &data).unwrap();
+    let served = PagedDb::open(&work, "page", tiny_opts()).and_then(|(s, _, _)| s.save_bytes());
+    match served {
+        Err(_) => {}
+        Ok(bytes) => assert_eq!(
+            bytes,
+            *g.refs.last().unwrap(),
+            "corrupted page served altered data as genuine"
+        ),
+    }
+    std::fs::remove_dir_all(&g.dir).ok();
+}
+
+#[test]
+fn missing_wal_or_superblock_fails_loudly() {
+    let g = golden("missing");
+    let work = g.dir.join("work.exq.pages");
+
+    copy_pages(&g.pages, &work);
+    std::fs::write(work.join("log.wal"), b"garbage").unwrap();
+    assert!(PagedDb::open(&work, "missing", tiny_opts()).is_err());
+
+    copy_pages(&g.pages, &work);
+    let mut data = std::fs::read(work.join("data.exqp")).unwrap();
+    // Destroy both superblock slots.
+    for b in data.iter_mut().take(2 * 256) {
+        *b = 0;
+    }
+    std::fs::write(work.join("data.exqp"), &data).unwrap();
+    assert!(PagedDb::open(&work, "missing", tiny_opts()).is_err());
+    std::fs::remove_dir_all(&g.dir).ok();
+}

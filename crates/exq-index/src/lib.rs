@@ -9,10 +9,13 @@
 //! * [`sjoin`] — stack-based structural-join operators over intervals
 //!   (ancestor–descendant, and parent–child derived from interval nesting,
 //!   §5.1/§6.2);
-//! * [`tables`] — the DSI index table and encryption block table of §5.1.1.
+//! * [`tables`] — the DSI index table and encryption block table of §5.1.1;
+//! * [`paged`] — page-aware posting/block access: the out-of-core store's
+//!   record-id namespace and the delta-varint posting-list codec.
 
 pub mod btree;
 pub mod dsi;
+pub mod paged;
 pub mod sjoin;
 pub mod tables;
 

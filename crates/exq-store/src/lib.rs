@@ -1,0 +1,115 @@
+//! Out-of-core paged storage for hosted encrypted databases.
+//!
+//! The serving layers above (`exq-core`) keep a hosted database's *payload*
+//! — sealed ciphertext blocks and index posting lists — in a page file
+//! behind a pinning buffer pool, so a database several times larger than
+//! RAM serves queries whose latency depends on the *working set*, not the
+//! database size. Mutations append logical records to a write-ahead log
+//! instead of rewriting the artifact, and a background checkpointer folds
+//! the log into the page file off the serving path.
+//!
+//! This crate is the physical layer and knows nothing about XML or
+//! encryption: it stores opaque variable-length **records** keyed by `u64`
+//! ids across fixed-size pages. The pieces:
+//!
+//! * [`page`] — the page file: fixed-size pages, CRC32 per page, and a
+//!   double-buffered superblock (two slots, monotonically versioned) so a
+//!   torn superblock write falls back to the previous durable state.
+//! * [`pool`] — the buffer pool: a byte budget's worth of page frames with
+//!   clock (second-chance) eviction and pin guards that keep a page's bytes
+//!   alive while a reader assembles a record from them.
+//! * [`wal`] — the write-ahead log: length+CRC framed records with
+//!   monotonic sequence numbers, fsync'd on append, replay that cleanly
+//!   drops a torn tail but reports mid-file corruption as a typed error.
+//! * [`store`] — [`PagedStore`]: the record directory plus copy-on-write
+//!   checkpointing that folds dirty records into free pages, flips the
+//!   superblock, and compacts the log — a kill at any instant leaves
+//!   either the old durable state (plus the log) or the new one.
+
+pub mod page;
+pub mod pool;
+pub mod store;
+pub mod wal;
+
+pub use page::{PageFile, DEFAULT_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_BYTES};
+pub use pool::{BufferPool, PinnedPage, PoolStats};
+pub use store::{PagedStore, StoreFootprint, StoreOptions};
+pub use wal::{Wal, WalRecord, WalReplay};
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// On-disk state failed validation (bad magic, CRC mismatch, impossible
+    /// lengths). The caller never sees garbage bytes — corruption is always
+    /// a typed error.
+    Corrupt(String),
+    /// A record id was requested that the directory does not hold.
+    MissingRecord(u64),
+    /// The test-only crash injection point fired (see
+    /// [`PagedStore::inject_checkpoint_crash`]).
+    InjectedCrash,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage io: {e}"),
+            StoreError::Corrupt(m) => write!(f, "storage corrupt: {m}"),
+            StoreError::MissingRecord(id) => write!(f, "missing record {id:#x}"),
+            StoreError::InjectedCrash => write!(f, "injected checkpoint crash"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE, reflected) over a byte slice — same polynomial as the wire
+/// codec's frame checksum, reimplemented here so the crate stays
+/// dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

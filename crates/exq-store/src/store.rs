@@ -1,0 +1,630 @@
+//! [`PagedStore`]: opaque records over pages, plus WAL and checkpointing.
+//!
+//! A store lives in its own directory holding two files:
+//!
+//! ```text
+//! data.exqp   page file (superblocks + data pages, CRC each)
+//! log.wal     write-ahead log
+//! ```
+//!
+//! Records are variable-length byte strings keyed by `u64` ids, chunked
+//! across pages; the **directory** (id → length + page chain) is itself
+//! stored in pages referenced by the superblock. Reads pin pages through
+//! the buffer pool.
+//!
+//! ## Checkpoint protocol (copy-on-write)
+//!
+//! 1. Write dirty records and the new directory into **free** pages only —
+//!    pages not referenced by the current durable superblock — extending
+//!    the file as needed. The old state remains fully intact.
+//! 2. `fsync` the page file.
+//! 3. Write the new superblock (version+1, the folded `wal_seq`) into the
+//!    *alternate* slot and `fsync`. This single page flip is the commit
+//!    point: a kill before it recovers to the old state plus the log; a
+//!    kill after it recovers to the new state.
+//! 4. Compact the WAL, dropping records with `seq ≤ wal_seq`. A kill
+//!    between 3 and 4 is harmless — replay skips records the superblock
+//!    already covers.
+
+use crate::page::{PageFile, Superblock};
+use crate::pool::{BufferPool, PoolStats};
+use crate::wal::{Wal, WalReplay};
+use crate::{StoreError, DEFAULT_PAGE_SIZE};
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+const DATA_FILE: &str = "data.exqp";
+const WAL_FILE: &str = "log.wal";
+
+/// Tuning knobs for opening/creating a store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Page size for a *new* store; existing stores keep the size they
+    /// were created with.
+    pub page_size: usize,
+    /// Buffer-pool budget in bytes.
+    pub cache_bytes: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            page_size: DEFAULT_PAGE_SIZE,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Point-in-time on-disk / in-memory footprint of a store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreFootprint {
+    /// Page file + WAL bytes on disk.
+    pub disk_bytes: u64,
+    /// Pages allocated in the page file (superblocks included).
+    pub page_count: u64,
+    /// Pages currently resident in the buffer pool.
+    pub resident_pages: u64,
+    /// Buffer-pool frame capacity.
+    pub capacity_pages: u64,
+    /// Records currently in the WAL awaiting checkpoint.
+    pub wal_depth: u64,
+    /// WAL file size in bytes.
+    pub wal_bytes: u64,
+}
+
+/// Test-only crash injection points inside [`PagedStore::checkpoint`].
+pub mod crash {
+    /// No injected crash (default).
+    pub const NONE: u8 = 0;
+    /// Fail after writing data/directory pages, before the fsync.
+    pub const BEFORE_DATA_SYNC: u8 = 1;
+    /// Fail after the data fsync, before the superblock flip.
+    pub const BEFORE_FLIP: u8 = 2;
+    /// Fail after the superblock flip, before WAL compaction.
+    pub const BEFORE_COMPACT: u8 = 3;
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RecordLoc {
+    len: u64,
+    pages: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: PageFile,
+    /// BTreeMap so directory encoding (and thus checkpoint output) is
+    /// deterministic.
+    directory: BTreeMap<u64, RecordLoc>,
+    superblock: Superblock,
+    slot: usize,
+}
+
+/// The paged store. Internally synchronized; share via `Arc`.
+#[derive(Debug)]
+pub struct PagedStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    wal: Mutex<Wal>,
+    pool: BufferPool,
+    crash_at: AtomicU8,
+}
+
+impl PagedStore {
+    /// Creates a fresh, empty store in `dir` (created if absent; existing
+    /// store files are truncated).
+    pub fn create(dir: &Path, opts: StoreOptions) -> Result<PagedStore, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut file = PageFile::create(&dir.join(DATA_FILE), opts.page_size)?;
+        let sb = Superblock {
+            version: 1,
+            page_size: opts.page_size as u64,
+            wal_seq: 0,
+            dir_len: 0,
+            dir_pages: vec![],
+        };
+        file.write_superblock(&sb, 1)?; // lands in slot 0
+        let wal = Wal::create(&dir.join(WAL_FILE), 1)?;
+        Ok(PagedStore {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(Inner {
+                file,
+                directory: BTreeMap::new(),
+                superblock: sb,
+                slot: 0,
+            }),
+            wal: Mutex::new(wal),
+            pool: BufferPool::with_budget(opts.cache_bytes, opts.page_size),
+            crash_at: AtomicU8::new(crash::NONE),
+        })
+    }
+
+    /// True if `dir` looks like a paged store (has a page file).
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(DATA_FILE).is_file()
+    }
+
+    /// Opens an existing store, recovering the newest durable superblock
+    /// and scanning the WAL. Returns the store plus the log records **not
+    /// yet folded into the checkpoint** (`seq > superblock.wal_seq`) for
+    /// the logical layer to replay.
+    pub fn open(dir: &Path, opts: StoreOptions) -> Result<(PagedStore, WalReplay), StoreError> {
+        let data_path = dir.join(DATA_FILE);
+        let page_size = Self::detect_page_size(&data_path, opts.page_size)?;
+        let mut file = PageFile::open(&data_path, page_size)?;
+        let (superblock, slot) = file.read_superblock()?;
+        let directory = Self::load_directory(&mut file, &superblock)?;
+        let (wal, mut replay) = Wal::open(&dir.join(WAL_FILE))?;
+        // Records the checkpoint already folded in must not replay twice.
+        replay.records.retain(|r| r.seq > superblock.wal_seq);
+        Ok((
+            PagedStore {
+                dir: dir.to_path_buf(),
+                inner: Mutex::new(Inner {
+                    file,
+                    directory,
+                    superblock,
+                    slot,
+                }),
+                wal: Mutex::new(wal),
+                pool: BufferPool::with_budget(opts.cache_bytes, page_size),
+                crash_at: AtomicU8::new(crash::NONE),
+            },
+            replay,
+        ))
+    }
+
+    /// Recovers the page size from the file: peek the size field of the
+    /// slot-0 superblock payload (at a fixed offset regardless of page
+    /// size), falling back to the hint when the peek is implausible. The
+    /// real superblock read then validates it properly.
+    fn detect_page_size(path: &Path, hint: usize) -> Result<usize, StoreError> {
+        use std::io::Read;
+        let mut head = [0u8; 32];
+        let mut f = std::fs::File::open(path)?;
+        let n = f.read(&mut head)?;
+        let len = f.metadata()?.len();
+        // Payload starts after the 8-byte page header; page_size sits at
+        // payload offset 16 (after magic + version).
+        if n == 32 {
+            let peek = u64::from_le_bytes(head[24..32].try_into().unwrap()) as usize;
+            if (crate::MIN_PAGE_SIZE..=1 << 20).contains(&peek)
+                && len >= 2 * peek as u64
+                && len % peek as u64 == 0
+            {
+                return Ok(peek);
+            }
+        }
+        Ok(hint)
+    }
+
+    fn load_directory(
+        file: &mut PageFile,
+        sb: &Superblock,
+    ) -> Result<BTreeMap<u64, RecordLoc>, StoreError> {
+        let mut raw = Vec::with_capacity(sb.dir_len as usize);
+        for &p in &sb.dir_pages {
+            raw.extend_from_slice(&file.read_page(p)?);
+        }
+        if raw.len() < sb.dir_len as usize {
+            return Err(StoreError::Corrupt(format!(
+                "directory pages hold {} bytes, superblock says {}",
+                raw.len(),
+                sb.dir_len
+            )));
+        }
+        raw.truncate(sb.dir_len as usize);
+        Self::decode_directory(&raw)
+    }
+
+    fn encode_directory(dir: &BTreeMap<u64, RecordLoc>) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(dir.len() as u64).to_le_bytes());
+        for (id, loc) in dir {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&loc.len.to_le_bytes());
+            out.extend_from_slice(&(loc.pages.len() as u32).to_le_bytes());
+            for &p in &loc.pages {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode_directory(raw: &[u8]) -> Result<BTreeMap<u64, RecordLoc>, StoreError> {
+        let err = |m: &str| StoreError::Corrupt(format!("directory: {m}"));
+        if raw.len() < 8 {
+            return Err(err("truncated header"));
+        }
+        let count = u64::from_le_bytes(raw[0..8].try_into().unwrap());
+        let mut pos = 8usize;
+        let mut dir = BTreeMap::new();
+        for _ in 0..count {
+            if raw.len() - pos < 20 {
+                return Err(err("truncated entry"));
+            }
+            let id = u64::from_le_bytes(raw[pos..pos + 8].try_into().unwrap());
+            let len = u64::from_le_bytes(raw[pos + 8..pos + 16].try_into().unwrap());
+            let n = u32::from_le_bytes(raw[pos + 16..pos + 20].try_into().unwrap()) as usize;
+            pos += 20;
+            if raw.len() - pos < 4 * n {
+                return Err(err("truncated page chain"));
+            }
+            let pages = (0..n)
+                .map(|i| u32::from_le_bytes(raw[pos + 4 * i..pos + 4 * i + 4].try_into().unwrap()))
+                .collect();
+            pos += 4 * n;
+            dir.insert(id, RecordLoc { len, pages });
+        }
+        if pos != raw.len() {
+            return Err(err("trailing bytes"));
+        }
+        Ok(dir)
+    }
+
+    /// Directory path this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of records in the directory.
+    pub fn record_count(&self) -> usize {
+        self.inner.lock().unwrap().directory.len()
+    }
+
+    /// Whether the directory holds a record with this id.
+    pub fn contains(&self, id: u64) -> bool {
+        self.inner.lock().unwrap().directory.contains_key(&id)
+    }
+
+    /// All record ids, ascending.
+    pub fn record_ids(&self) -> Vec<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .directory
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Reads one record, pinning its pages through the buffer pool.
+    pub fn get(&self, id: u64) -> Result<Vec<u8>, StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        let loc = inner
+            .directory
+            .get(&id)
+            .cloned()
+            .ok_or(StoreError::MissingRecord(id))?;
+        let mut out = Vec::with_capacity(loc.len as usize);
+        for &p in &loc.pages {
+            let pin = match self.pool.get(p) {
+                Some(pin) => pin,
+                None => {
+                    let payload = inner.file.read_page(p)?;
+                    self.pool.insert(p, payload)
+                }
+            };
+            out.extend_from_slice(&pin);
+        }
+        if out.len() != loc.len as usize {
+            return Err(StoreError::Corrupt(format!(
+                "record {id:#x}: page chain holds {} bytes, directory says {}",
+                out.len(),
+                loc.len
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Appends a logical record to the WAL and fsyncs. `Ok(seq)` means the
+    /// mutation is committed.
+    pub fn append_wal(&self, kind: u8, payload: &[u8]) -> Result<u64, StoreError> {
+        self.wal.lock().unwrap().append(kind, payload)
+    }
+
+    /// Highest WAL sequence folded into the durable checkpoint.
+    pub fn checkpointed_seq(&self) -> u64 {
+        self.inner.lock().unwrap().superblock.wal_seq
+    }
+
+    /// Sequence number the next WAL append will use.
+    pub fn wal_next_seq(&self) -> u64 {
+        self.wal.lock().unwrap().next_seq()
+    }
+
+    /// Arms a one-shot crash injection point (see [`crash`]) for the next
+    /// [`checkpoint`](Self::checkpoint) call. Test-only.
+    pub fn inject_checkpoint_crash(&self, point: u8) {
+        self.crash_at.store(point, Ordering::SeqCst);
+    }
+
+    fn crash_if(&self, point: u8) -> Result<(), StoreError> {
+        if self.crash_at.load(Ordering::SeqCst) == point {
+            self.crash_at.store(crash::NONE, Ordering::SeqCst);
+            return Err(StoreError::InjectedCrash);
+        }
+        Ok(())
+    }
+
+    /// Folds dirty records into the page file (copy-on-write) and declares
+    /// every WAL record with `seq ≤ wal_seq` durable, then compacts the
+    /// log. `None` content removes the record.
+    pub fn checkpoint(
+        &self,
+        dirty: &[(u64, Option<Vec<u8>>)],
+        wal_seq: u64,
+    ) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().unwrap();
+        if dirty.is_empty() && wal_seq <= inner.superblock.wal_seq {
+            return Ok(());
+        }
+        // Pages the current durable state references: never overwrite them.
+        let mut referenced: HashSet<u32> = [0u32, 1].into_iter().collect();
+        for loc in inner.directory.values() {
+            referenced.extend(loc.pages.iter().copied());
+        }
+        referenced.extend(inner.superblock.dir_pages.iter().copied());
+
+        let total = inner.file.pages();
+        let mut free: Vec<u32> = (2..total).filter(|p| !referenced.contains(p)).collect();
+        free.reverse(); // pop() yields the lowest ids first
+        let mut next_new = total;
+        let mut alloc = |inner: &Inner| -> u32 {
+            let _ = inner;
+            if let Some(p) = free.pop() {
+                p
+            } else {
+                let p = next_new;
+                next_new += 1;
+                p
+            }
+        };
+
+        let capacity = inner.file.payload_capacity();
+        let mut new_dir = inner.directory.clone();
+        let mut written: Vec<u32> = Vec::new();
+        for (id, content) in dirty {
+            match content {
+                None => {
+                    new_dir.remove(id);
+                }
+                Some(bytes) => {
+                    let mut pages = Vec::with_capacity(bytes.len() / capacity + 1);
+                    let mut chunks: Vec<&[u8]> = bytes.chunks(capacity).collect();
+                    if chunks.is_empty() {
+                        chunks.push(&[]);
+                    }
+                    for chunk in chunks {
+                        let p = alloc(&inner);
+                        inner.file.write_page(p, chunk)?;
+                        pages.push(p);
+                        written.push(p);
+                    }
+                    new_dir.insert(
+                        *id,
+                        RecordLoc {
+                            len: bytes.len() as u64,
+                            pages,
+                        },
+                    );
+                }
+            }
+        }
+
+        let encoded = Self::encode_directory(&new_dir);
+        let mut dir_pages = Vec::new();
+        let mut dir_chunks: Vec<&[u8]> = encoded.chunks(capacity).collect();
+        if dir_chunks.is_empty() {
+            dir_chunks.push(&[]);
+        }
+        for chunk in dir_chunks {
+            let p = alloc(&inner);
+            inner.file.write_page(p, chunk)?;
+            dir_pages.push(p);
+            written.push(p);
+        }
+
+        self.crash_if(crash::BEFORE_DATA_SYNC)?;
+        inner.file.sync()?;
+        self.crash_if(crash::BEFORE_FLIP)?;
+
+        let sb = Superblock {
+            version: inner.superblock.version + 1,
+            page_size: inner.superblock.page_size,
+            wal_seq: wal_seq.max(inner.superblock.wal_seq),
+            dir_len: encoded.len() as u64,
+            dir_pages,
+        };
+        let slot = inner.slot;
+        inner.file.write_superblock(&sb, slot)?;
+        inner.slot = (slot + 1) % 2;
+        inner.superblock = sb;
+        inner.directory = new_dir;
+        // Freshly written pages may shadow stale frames cached from an
+        // earlier epoch (free-page reuse): drop them.
+        self.pool.invalidate(&written);
+        drop(inner);
+
+        self.crash_if(crash::BEFORE_COMPACT)?;
+        self.wal.lock().unwrap().compact(wal_seq)
+    }
+
+    /// Buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// On-disk and residency footprint.
+    pub fn footprint(&self) -> StoreFootprint {
+        let inner = self.inner.lock().unwrap();
+        let (page_bytes, pages) = (inner.file.disk_bytes(), inner.file.pages());
+        drop(inner);
+        let wal = self.wal.lock().unwrap();
+        let (wal_bytes, wal_depth) = (wal.bytes(), wal.depth());
+        drop(wal);
+        let pool = self.pool.stats();
+        StoreFootprint {
+            disk_bytes: page_bytes + wal_bytes,
+            page_count: pages as u64,
+            resident_pages: pool.resident_pages,
+            capacity_pages: pool.capacity_pages,
+            wal_depth,
+            wal_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("exq-store-store-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_opts() -> StoreOptions {
+        StoreOptions {
+            page_size: crate::MIN_PAGE_SIZE,
+            cache_bytes: 4 * crate::MIN_PAGE_SIZE, // 4 frames: constant eviction
+        }
+    }
+
+    #[test]
+    fn checkpoint_get_reopen_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let store = PagedStore::create(&dir, tiny_opts()).unwrap();
+        // Record 2 spans multiple tiny pages.
+        let big: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        store
+            .checkpoint(
+                &[
+                    (1, Some(b"small".to_vec())),
+                    (2, Some(big.clone())),
+                    (3, Some(vec![])),
+                ],
+                0,
+            )
+            .unwrap();
+        assert_eq!(store.get(1).unwrap(), b"small");
+        assert_eq!(store.get(2).unwrap(), big);
+        assert_eq!(store.get(3).unwrap(), b"");
+        assert!(matches!(store.get(9), Err(StoreError::MissingRecord(9))));
+        drop(store);
+        let (store, replay) = PagedStore::open(&dir, tiny_opts()).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(store.record_count(), 3);
+        assert_eq!(store.get(2).unwrap(), big);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cow_checkpoint_reuses_free_pages_without_stale_reads() {
+        let dir = tmpdir("cow");
+        let store = PagedStore::create(&dir, tiny_opts()).unwrap();
+        let a: Vec<u8> = vec![0xAA; 500];
+        let b: Vec<u8> = vec![0xBB; 500];
+        store.checkpoint(&[(1, Some(a))], 0).unwrap();
+        let pages_after_first = store.footprint().page_count;
+        // Read to warm the pool, then rewrite the record several times:
+        // free-page reuse must not grow the file unboundedly or serve
+        // stale cached frames.
+        for round in 0..5u8 {
+            assert!(store.get(1).is_ok());
+            let fresh: Vec<u8> = vec![0xB0 | round; 500];
+            store.checkpoint(&[(1, Some(fresh.clone()))], 0).unwrap();
+            assert_eq!(store.get(1).unwrap(), fresh, "round {round}");
+        }
+        let pages_final = store.footprint().page_count;
+        // Old + new copies coexist transiently, so at most ~2x the single
+        // copy footprint plus directory pages.
+        assert!(
+            pages_final <= pages_after_first * 2 + 4,
+            "file grew {pages_after_first} -> {pages_final} pages"
+        );
+        store.checkpoint(&[(2, Some(b.clone()))], 0).unwrap();
+        assert_eq!(store.get(2).unwrap(), b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_records_replay_only_once() {
+        let dir = tmpdir("replay-once");
+        let store = PagedStore::create(&dir, tiny_opts()).unwrap();
+        let s1 = store.append_wal(7, b"one").unwrap();
+        let _s2 = store.append_wal(7, b"two").unwrap();
+        // Checkpoint folds seq 1 only.
+        store.checkpoint(&[(1, Some(b"x".to_vec()))], s1).unwrap();
+        drop(store);
+        let (_store, replay) = PagedStore::open(&dir, tiny_opts()).unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2], "only the unfolded record replays");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_injection_preserves_old_state() {
+        for point in [crash::BEFORE_DATA_SYNC, crash::BEFORE_FLIP] {
+            let dir = tmpdir(&format!("crash-{point}"));
+            let store = PagedStore::create(&dir, tiny_opts()).unwrap();
+            store
+                .checkpoint(&[(1, Some(b"stable".to_vec()))], 0)
+                .unwrap();
+            let seq = store.append_wal(9, b"pending").unwrap();
+            store.inject_checkpoint_crash(point);
+            let err = store
+                .checkpoint(&[(1, Some(b"NEWER".to_vec()))], seq)
+                .unwrap_err();
+            assert!(matches!(err, StoreError::InjectedCrash));
+            drop(store);
+            // Reopen: old record intact, WAL record still pending replay.
+            let (store, replay) = PagedStore::open(&dir, tiny_opts()).unwrap();
+            assert_eq!(store.get(1).unwrap(), b"stable");
+            assert_eq!(replay.records.len(), 1);
+            assert_eq!(replay.records[0].payload, b"pending");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn crash_between_flip_and_compact_skips_folded_records() {
+        let dir = tmpdir("crash-compact");
+        let store = PagedStore::create(&dir, tiny_opts()).unwrap();
+        let seq = store.append_wal(9, b"folded").unwrap();
+        store.inject_checkpoint_crash(crash::BEFORE_COMPACT);
+        let err = store
+            .checkpoint(&[(1, Some(b"new".to_vec()))], seq)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InjectedCrash));
+        drop(store);
+        // The flip landed, so the new state is durable and the stale WAL
+        // record must NOT replay again.
+        let (store, replay) = PagedStore::open(&dir, tiny_opts()).unwrap();
+        assert_eq!(store.get(1).unwrap(), b"new");
+        assert!(replay.records.is_empty());
+        assert_eq!(store.checkpointed_seq(), seq);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_removal() {
+        let dir = tmpdir("removal");
+        let store = PagedStore::create(&dir, tiny_opts()).unwrap();
+        store
+            .checkpoint(&[(1, Some(b"a".to_vec())), (2, Some(b"b".to_vec()))], 0)
+            .unwrap();
+        store.checkpoint(&[(1, None)], 0).unwrap();
+        assert!(!store.contains(1));
+        assert_eq!(store.get(2).unwrap(), b"b");
+        drop(store);
+        let (store, _) = PagedStore::open(&dir, tiny_opts()).unwrap();
+        assert_eq!(store.record_ids(), vec![2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

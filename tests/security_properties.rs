@@ -91,7 +91,7 @@ fn blocks_are_pairwise_distinct() {
     let hosted = Outsourcer::new(OutsourceConfig::default())
         .outsource(&doc, &cs, SchemeKind::Opt, 4)
         .unwrap();
-    let resp = hosted.server.answer_naive();
+    let resp = hosted.server.answer_naive().unwrap();
     let mut seen = std::collections::HashSet::new();
     for b in &resp.blocks {
         assert!(seen.insert(b.ciphertext.clone()), "duplicate ciphertext");
