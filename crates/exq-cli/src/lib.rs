@@ -537,7 +537,10 @@ pub fn cmd_db_create(
 /// quota details; the default db is marked. Databases with a paged sibling
 /// additionally report their out-of-core footprint (on-disk bytes, page
 /// count, resident pages, WAL depth) — the same numbers the per-db
-/// `{db="..."}` telemetry gauges expose on a live server.
+/// `{db="..."}` telemetry gauges expose on a live server. Paged siblings
+/// are inspected strictly read-only ([`PagedDb::inspect`]) so listing is
+/// safe while a live server owns the store: nothing truncates a WAL tail a
+/// concurrent appender may still be writing.
 pub fn cmd_db_list(dir: &Path) -> Result<String, CliError> {
     let registry = TenantRegistry::open(dir, exq_core::DEFAULT_DB)?;
     let mut report = String::new();
@@ -545,14 +548,15 @@ pub fn cmd_db_list(dir: &Path) -> Result<String, CliError> {
         let name = tenant.name();
         let state = TenantRegistry::db_path(dir, name);
         // A paged sibling is authoritative: the legacy artifact the
-        // registry loaded may predate checkpointed mutations.
+        // registry loaded may predate checkpointed mutations. Its numbers
+        // are as of the last checkpoint; the WAL depth column counts the
+        // committed mutations still pending on top.
         let (blocks, bytes, footprint) = if PagedDb::is_paged(&state) {
-            let (server, db, _) =
-                PagedDb::open(&PagedDb::pages_dir(&state), name, StoreOptions::default())?;
+            let r = PagedDb::inspect(&PagedDb::pages_dir(&state))?;
             (
-                server.block_count(),
-                server.hosted_bytes(),
-                Some(db.footprint()),
+                r.block_count as usize,
+                r.hosted_bytes as usize,
+                Some(r.footprint),
             )
         } else {
             match tenant.server.read() {

@@ -387,6 +387,80 @@ impl PagedDb {
     pub fn checkpoints_total(&self) -> u64 {
         self.checkpoints.get()
     }
+
+    /// Read-only inspection of the paged store at `dir`, for reporting
+    /// tools (`exq db list`). Unlike [`PagedDb::open`], this never opens
+    /// the WAL for writing — no torn-tail truncation, no compaction — so
+    /// it is safe against a store a live server currently owns. The
+    /// numbers are as of the last durable checkpoint; the footprint's
+    /// `wal_depth` counts committed mutations still pending on top.
+    pub fn inspect(dir: &Path) -> Result<PagedDbReport, CoreError> {
+        let mut rd = exq_store::StoreReader::open(dir, exq_store::DEFAULT_PAGE_SIZE)?;
+        let meta = rd.get(REC_META)?;
+        let (block_count, payload_bytes, visible_bytes) = peek_meta_counts(&meta)?;
+        Ok(PagedDbReport {
+            block_count,
+            hosted_bytes: visible_bytes + payload_bytes,
+            footprint: rd.footprint(),
+        })
+    }
+}
+
+/// What [`PagedDb::inspect`] reports about a paged database directory, as
+/// of its last durable checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct PagedDbReport {
+    /// Sealed blocks the checkpointed metadata records (tombstones
+    /// included) — [`Server::block_count`] of the checkpointed state.
+    pub block_count: u32,
+    /// [`Server::hosted_bytes`] of the checkpointed state: visible
+    /// document + block payload bytes.
+    pub hosted_bytes: u64,
+    /// On-disk footprint; residency fields are zero (a read-only view has
+    /// no buffer pool).
+    pub footprint: StoreFootprint,
+}
+
+/// Walks the metadata image (see [`encode_meta`]) just far enough to pull
+/// out the block count, the block payload bytes, and the visible document's
+/// serialized size — the inputs of `db list`'s size columns — without
+/// hydrating posting lists or indexes. Must skip fields in exactly the
+/// order [`decode_meta`] reads them (the drift guard test in
+/// `tests/outofcore.rs` compares both paths).
+fn peek_meta_counts(bytes: &[u8]) -> Result<(u32, u64, u64), CoreError> {
+    if bytes.len() < 6 || &bytes[..6] != META_MAGIC {
+        return Err(CoreError::Persist(
+            "paged metadata record has wrong magic".into(),
+        ));
+    }
+    let mut r = R::new(&bytes[6..]);
+    let visible_bytes = r.bytes()?.len() as u64;
+    let n = r.count(24)?;
+    for _ in 0..n {
+        r.u64()?;
+        read_interval(&mut r)?;
+    }
+    let n = r.count(8)?;
+    for _ in 0..n {
+        r.bytes()?;
+    }
+    let n = r.count(20)?;
+    for _ in 0..n {
+        read_interval(&mut r)?;
+        r.u32()?;
+    }
+    let n = r.count(16)?;
+    for _ in 0..n {
+        r.bytes()?;
+        let m = r.count(20)?;
+        for _ in 0..m {
+            r.u128()?;
+            r.u32()?;
+        }
+    }
+    let block_count = r.u32()?;
+    let payload_bytes = r.u64()?;
+    Ok((block_count, payload_bytes, visible_bytes))
 }
 
 /// The server's posting lists in persisted order: tags sorted, one list per

@@ -152,6 +152,55 @@ fn mutations_replay_from_wal_on_reopen() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Drift guard for `PagedDb::inspect`'s metadata peek: its numbers must
+/// match what a full open reports, and inspection must leave the store's
+/// files byte-identical (a live server may own them).
+#[test]
+fn read_only_inspect_matches_full_open_and_mutates_nothing() {
+    let (mut client, resident) = hosted();
+    let dir = scratch("inspect");
+    let path = dir.join("db.exq");
+    resident.save(&path).unwrap();
+
+    let (mut paged, db, _) = PagedDb::open_or_migrate(&path, "inspect", tiny_opts()).unwrap();
+    let pages = PagedDb::pages_dir(&path);
+
+    let report = PagedDb::inspect(&pages).unwrap();
+    assert_eq!(report.block_count as usize, paged.block_count());
+    assert_eq!(report.hosted_bytes as usize, paged.hosted_bytes());
+    assert_eq!(report.footprint.wal_depth, 0);
+    assert!(report.footprint.disk_bytes > 0);
+
+    // Leave a committed-but-unfolded mutation in the WAL, then inspect:
+    // the store files must come back byte-identical (no tail truncation,
+    // no compaction) and the pending record must show as WAL depth.
+    client
+        .insert(
+            &mut paged,
+            "/hospital",
+            "<patient><pname>Ada</pname><SSN>999111</SSN><age>36</age></patient>",
+            5,
+        )
+        .unwrap();
+    let wal_before = std::fs::read(pages.join("log.wal")).unwrap();
+    let data_before = std::fs::read(pages.join("data.exqp")).unwrap();
+    let report = PagedDb::inspect(&pages).unwrap();
+    assert_eq!(report.footprint.wal_depth, 1, "pending mutation not seen");
+    assert_eq!(std::fs::read(pages.join("log.wal")).unwrap(), wal_before);
+    assert_eq!(std::fs::read(pages.join("data.exqp")).unwrap(), data_before);
+
+    // After folding the mutation, inspect matches the updated server again.
+    let lock = RwLock::new(paged);
+    assert!(checkpoint_once(&lock).unwrap());
+    let paged = lock.into_inner().unwrap();
+    let report = PagedDb::inspect(&pages).unwrap();
+    assert_eq!(report.block_count as usize, paged.block_count());
+    assert_eq!(report.hosted_bytes as usize, paged.hosted_bytes());
+    assert_eq!(report.footprint.wal_depth, 0);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn checkpoint_folds_wal_and_skips_clean_stores() {
     let (mut client, resident) = hosted();

@@ -31,9 +31,11 @@ pub mod pool;
 pub mod store;
 pub mod wal;
 
-pub use page::{PageFile, DEFAULT_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_BYTES};
+pub use page::{
+    PageFile, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_BYTES,
+};
 pub use pool::{BufferPool, PinnedPage, PoolStats};
-pub use store::{PagedStore, StoreFootprint, StoreOptions};
+pub use store::{PagedStore, StoreFootprint, StoreOptions, StoreReader};
 pub use wal::{Wal, WalRecord, WalReplay};
 
 /// Errors from the storage layer.

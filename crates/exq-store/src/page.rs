@@ -33,6 +33,9 @@ pub const DEFAULT_PAGE_SIZE: usize = 8192;
 /// records and eviction with small data).
 pub const MIN_PAGE_SIZE: usize = 128;
 
+/// Largest allowed page size.
+pub const MAX_PAGE_SIZE: usize = 1 << 20;
+
 /// Bytes of per-page header (`crc32` + `used`).
 pub const PAGE_HEADER_BYTES: usize = 8;
 
@@ -100,6 +103,62 @@ impl Superblock {
     }
 }
 
+/// Recovers a page file's page size from its head bytes without knowing it
+/// in advance. `head` must hold the first `min(file_len, 2 * MAX_PAGE_SIZE)`
+/// bytes of the file.
+///
+/// Slot 0 starts at offset 0, so when it is intact its CRC-validated
+/// superblock names the size directly. When slot 0 is torn (a crash mid
+/// superblock flip), slot 1 begins exactly one page in — so any
+/// CRC-validated superblock whose file offset equals its own recorded page
+/// size identifies it. Only when *both* slots fail does this return `None`.
+pub fn probe_page_size(head: &[u8], file_len: u64) -> Option<usize> {
+    let plausible = |sz: usize| {
+        (MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&sz)
+            && file_len >= 2 * sz as u64
+            && file_len % sz as u64 == 0
+    };
+    if let Some(sb) = decode_superblock_at(head, 0) {
+        let sz = sb.page_size as usize;
+        if plausible(sz) {
+            return Some(sz);
+        }
+    }
+    let scan_end = head
+        .len()
+        .saturating_sub(PAGE_HEADER_BYTES + SUPER_MAGIC.len());
+    for pos in MIN_PAGE_SIZE..=scan_end.min(MAX_PAGE_SIZE) {
+        if &head[pos + PAGE_HEADER_BYTES..pos + PAGE_HEADER_BYTES + 8] == SUPER_MAGIC
+            && plausible(pos)
+        {
+            if let Some(sb) = decode_superblock_at(head, pos) {
+                if sb.page_size as usize == pos {
+                    return Some(pos);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Decodes a CRC-valid superblock page starting at byte `off` of `head`,
+/// without needing the page size (the CRC covers only the used payload).
+fn decode_superblock_at(head: &[u8], off: usize) -> Option<Superblock> {
+    let rest = head.get(off..)?;
+    if rest.len() < PAGE_HEADER_BYTES {
+        return None;
+    }
+    let stored = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+    let used = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
+    if used > rest.len() - PAGE_HEADER_BYTES {
+        return None;
+    }
+    if stored != crc32(&rest[4..PAGE_HEADER_BYTES + used]) {
+        return None;
+    }
+    Superblock::decode(&rest[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + used]).ok()
+}
+
 /// The page file handle. All reads verify the per-page CRC; all writes
 /// compute it. Not internally synchronized — [`PagedStore`] wraps it in a
 /// lock.
@@ -118,9 +177,9 @@ impl PageFile {
     /// slots. The caller must write a valid superblock before the file is
     /// openable.
     pub fn create(path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
-        if !(MIN_PAGE_SIZE..=1 << 20).contains(&page_size) {
+        if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) {
             return Err(StoreError::Corrupt(format!(
-                "page size {page_size} outside [{MIN_PAGE_SIZE}, 1 MiB]"
+                "page size {page_size} outside [{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]"
             )));
         }
         let file = OpenOptions::new()
@@ -137,12 +196,24 @@ impl PageFile {
         })
     }
 
-    /// Opens an existing page file. The page size is recovered from the
-    /// valid superblock (both slots are tried at every supported size would
-    /// be wasteful — the caller passes the size it expects, and the
-    /// superblock must agree).
+    /// Opens an existing page file read-write. The caller passes the page
+    /// size it expects (see [`probe_page_size`] for recovering it from the
+    /// file itself); the superblock read then validates it properly.
     pub fn open(path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Self::with_file(file, page_size)
+    }
+
+    /// Opens an existing page file for reading only — never writes, so it
+    /// is safe against a store another process (or another handle in this
+    /// one) currently owns. Calling [`write_page`](Self::write_page) on the
+    /// result fails with an I/O error.
+    pub fn open_read(path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        Self::with_file(file, page_size)
+    }
+
+    fn with_file(file: File, page_size: usize) -> Result<PageFile, StoreError> {
         let len = file.metadata()?.len();
         if page_size < MIN_PAGE_SIZE || len < 2 * page_size as u64 {
             return Err(StoreError::Corrupt(format!(
@@ -178,6 +249,12 @@ impl PageFile {
 
     /// Reads one page's payload, verifying the CRC.
     pub fn read_page(&mut self, id: u32) -> Result<Vec<u8>, StoreError> {
+        if id >= self.pages {
+            // Another handle on the same file may have extended it since
+            // this one snapshotted its length (checkpoints allocate fresh
+            // pages); re-derive the count before declaring `id` bad.
+            self.pages = (self.file.metadata()?.len() / self.page_size as u64) as u32;
+        }
         if id >= self.pages {
             return Err(StoreError::Corrupt(format!(
                 "page {id} out of range (file has {})",
@@ -352,6 +429,42 @@ mod tests {
         }
         let mut f = PageFile::open(&path, MIN_PAGE_SIZE).unwrap();
         assert_eq!(f.read_superblock().unwrap(), (v1, 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn probe_page_size_survives_torn_slot0() {
+        let path = tmp("probe.exqp");
+        let mut f = PageFile::create(&path, 256).unwrap();
+        let v1 = Superblock {
+            version: 1,
+            page_size: 256,
+            wal_seq: 0,
+            dir_len: 0,
+            dir_pages: vec![],
+        };
+        f.write_superblock(&v1, 1).unwrap(); // slot 0
+        let v2 = Superblock { version: 2, ..v1 };
+        f.write_superblock(&v2, 0).unwrap(); // slot 1
+        drop(f);
+        let probe = |path: &Path| {
+            let head = std::fs::read(path).unwrap();
+            let len = head.len() as u64;
+            probe_page_size(&head, len)
+        };
+        assert_eq!(probe(&path), Some(256), "intact slot 0");
+        // Tear slot 0 (crash mid-flip targeting it): slot 1 still names it.
+        let scribble = |path: &Path, off: u64| {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut raw = OpenOptions::new().write(true).open(path).unwrap();
+            raw.seek(SeekFrom::Start(off)).unwrap();
+            raw.write_all(&[0xFF; 16]).unwrap();
+        };
+        scribble(&path, 0);
+        assert_eq!(probe(&path), Some(256), "torn slot 0, intact slot 1");
+        // Both slots torn: nothing to recover from.
+        scribble(&path, 256);
+        assert_eq!(probe(&path), None);
         std::fs::remove_file(&path).ok();
     }
 

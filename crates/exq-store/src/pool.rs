@@ -71,6 +71,12 @@ struct Frames {
     hand: usize,
     /// page id -> index in `ring`.
     index: HashMap<u32, usize>,
+    /// Invalidation stamp: bumped by every [`BufferPool::invalidate`] /
+    /// [`BufferPool::clear`]. Readers that fetched a page from disk without
+    /// holding the store's write lock pass the stamp they saw *before* the
+    /// read into [`BufferPool::insert_if`]; a stamp mismatch means an
+    /// invalidation raced the read and the bytes must not be cached.
+    stamp: u64,
 }
 
 /// The pool itself. Internally synchronized; shared via `Arc`.
@@ -109,17 +115,49 @@ impl BufferPool {
         }
     }
 
+    /// The current invalidation stamp. Capture it *before* reading a page
+    /// from disk outside the store's write lock, then cache the bytes with
+    /// [`insert_if`](Self::insert_if).
+    pub fn stamp(&self) -> u64 {
+        self.frames.lock().unwrap().stamp
+    }
+
+    /// Inserts a page only when no invalidation happened since `stamp` was
+    /// captured — otherwise the bytes may predate a checkpoint's rewrite of
+    /// that page and caching them would serve stale data to later readers.
+    /// Always returns a pin on the bytes (the caller's copy is still a
+    /// valid read of the state it looked the page up in).
+    pub fn insert_if(&self, stamp: u64, page: u32, payload: Vec<u8>) -> PinnedPage {
+        let f = self.frames.lock().unwrap();
+        if f.stamp != stamp {
+            return PinnedPage {
+                bytes: Arc::new(payload),
+            };
+        }
+        Self::insert_locked(f, page, &self.counters, self.capacity, payload)
+    }
+
     /// Inserts (or refreshes) a page read from disk and returns a pin on
     /// it. Runs the clock sweep if the pool is at capacity.
     pub fn insert(&self, page: u32, payload: Vec<u8>) -> PinnedPage {
+        let f = self.frames.lock().unwrap();
+        Self::insert_locked(f, page, &self.counters, self.capacity, payload)
+    }
+
+    fn insert_locked(
+        mut f: std::sync::MutexGuard<'_, Frames>,
+        page: u32,
+        counters: &Counters,
+        capacity: usize,
+        payload: Vec<u8>,
+    ) -> PinnedPage {
         let bytes = Arc::new(payload);
-        let mut f = self.frames.lock().unwrap();
         if let Some(&i) = f.index.get(&page) {
             f.ring[i].bytes = Arc::clone(&bytes);
             f.ring[i].referenced = true;
             return PinnedPage { bytes };
         }
-        if f.ring.len() >= self.capacity {
+        if f.ring.len() >= capacity {
             // Clock sweep: clear reference bits until a clear frame turns
             // up. Bounded: after one full lap every bit is clear.
             loop {
@@ -138,7 +176,7 @@ impl BufferPool {
                 };
                 f.index.insert(page, hand);
                 f.hand = (hand + 1) % f.ring.len();
-                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                counters.evictions.fetch_add(1, Ordering::Relaxed);
                 return PinnedPage { bytes };
             }
         }
@@ -156,6 +194,7 @@ impl BufferPool {
     /// free pages rewritten with new content must not serve stale frames.
     pub fn invalidate(&self, pages: &[u32]) {
         let mut f = self.frames.lock().unwrap();
+        f.stamp += 1;
         for &p in pages {
             if let Some(i) = f.index.remove(&p) {
                 // Swap-remove keeps the ring dense; fix the moved frame's
@@ -177,6 +216,7 @@ impl BufferPool {
     /// Drops every cached frame.
     pub fn clear(&self) {
         let mut f = self.frames.lock().unwrap();
+        f.stamp += 1;
         f.ring.clear();
         f.index.clear();
         f.hand = 0;
@@ -231,6 +271,26 @@ mod tests {
         assert!(pool.get(7).is_none());
         // The pin still holds the bytes.
         assert_eq!(pin.bytes(), &[42u8; 16][..]);
+    }
+
+    #[test]
+    fn stamped_insert_refuses_after_invalidation() {
+        let pool = BufferPool::with_budget(8 * 128, 128);
+        let stamp = pool.stamp();
+        let pin = pool.insert_if(stamp, 1, vec![1]);
+        assert_eq!(pin.bytes(), &[1][..]);
+        assert!(pool.get(1).is_some());
+        // A read that raced an invalidation: the returned pin is still a
+        // valid snapshot read, but the frame must not be cached.
+        let stale_stamp = pool.stamp();
+        pool.invalidate(&[1]);
+        let pin = pool.insert_if(stale_stamp, 1, vec![9]);
+        assert_eq!(pin.bytes(), &[9][..]);
+        assert!(pool.get(1).is_none());
+        // With a fresh stamp the insert caches again.
+        let pin = pool.insert_if(pool.stamp(), 1, vec![7]);
+        assert_eq!(pin.bytes(), &[7][..]);
+        assert!(pool.get(1).is_some());
     }
 
     #[test]

@@ -82,7 +82,14 @@ impl Wal {
     /// find the tail, and truncating a torn tail so subsequent appends
     /// start on a clean boundary. Returns the handle and the replayable
     /// records.
-    pub fn open(path: &Path) -> Result<(Wal, WalReplay), StoreError> {
+    ///
+    /// `first_seq` floors the next sequence number: after a checkpoint
+    /// compacts the log to empty, the surviving records alone no longer
+    /// remember how far the sequence advanced, so the owner passes the
+    /// highest sequence its durable state covers plus one. Without the
+    /// floor, appends after a reopen would reuse already-folded sequence
+    /// numbers and the next recovery would silently skip them.
+    pub fn open(path: &Path, first_seq: u64) -> Result<(Wal, WalReplay), StoreError> {
         let replay = Self::replay(path)?;
         let valid_len = WAL_MAGIC.len() as u64
             + replay
@@ -96,7 +103,12 @@ impl Wal {
             file.sync_all()?;
         }
         file.seek(SeekFrom::Start(valid_len))?;
-        let next_seq = replay.records.last().map(|r| r.seq + 1).unwrap_or(1);
+        let next_seq = replay
+            .records
+            .last()
+            .map(|r| r.seq + 1)
+            .unwrap_or(1)
+            .max(first_seq);
         Ok((
             Wal {
                 path: path.to_path_buf(),
@@ -293,7 +305,7 @@ mod tests {
         // a clean recovery preserving record 1.
         for cut in first_end..full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
-            let (wal, replay) = Wal::open(&path).unwrap();
+            let (wal, replay) = Wal::open(&path, 1).unwrap();
             assert_eq!(replay.records.len(), 1, "cut at {cut}");
             // cut == first_end is a clean file ending exactly after
             // record 1; every other cut leaves a torn tail.
@@ -303,7 +315,7 @@ mod tests {
         // And truncation inside the FIRST record leaves an empty, usable log.
         for cut in WAL_MAGIC.len()..first_end {
             std::fs::write(&path, &full[..cut]).unwrap();
-            let (wal, replay) = Wal::open(&path).unwrap();
+            let (wal, replay) = Wal::open(&path, 1).unwrap();
             assert!(replay.records.is_empty(), "cut at {cut}");
             assert_eq!(wal.next_seq(), 1);
         }
@@ -318,7 +330,7 @@ mod tests {
         drop(wal);
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 2]).unwrap();
-        let (mut wal, replay) = Wal::open(&path).unwrap();
+        let (mut wal, replay) = Wal::open(&path, 1).unwrap();
         assert!(replay.dropped_torn_tail);
         wal.append(3, b"fresh").unwrap();
         let replay = Wal::replay(&path).unwrap();
@@ -340,7 +352,7 @@ mod tests {
         bytes[WAL_MAGIC.len() + 14] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(Wal::replay(&path), Err(StoreError::Corrupt(_))));
-        assert!(matches!(Wal::open(&path), Err(StoreError::Corrupt(_))));
+        assert!(matches!(Wal::open(&path, 1), Err(StoreError::Corrupt(_))));
     }
 
     #[test]
