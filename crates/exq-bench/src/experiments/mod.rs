@@ -21,6 +21,7 @@ pub mod e18_faults;
 pub mod e19_tenants;
 pub mod e20_pipeline;
 pub mod e21_outofcore;
+pub mod e22_storageobs;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -137,6 +138,11 @@ pub fn registry() -> Vec<Experiment> {
             "e21",
             "extension: out-of-core paged hosting — verified answers at shrinking pool budgets",
             e21_outofcore::run,
+        ),
+        (
+            "e22",
+            "extension: storage observability — overhead, exact profile/registry reconciliation, serial≡pipelined",
+            e22_storageobs::run,
         ),
     ]
 }

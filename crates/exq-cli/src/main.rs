@@ -28,7 +28,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let mut i = 1;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            if name == "naive" || name == "event-loop" {
+            if name == "naive" || name == "event-loop" || name == "once" || name == "check" {
                 flags.insert(name.to_owned(), "true".to_owned());
             } else {
                 i += 1;
@@ -307,6 +307,27 @@ fn run(args: &[String]) -> Result<String, CliError> {
             Some(addr) => cmd_stats_remote(addr),
             None => cmd_stats(&path("server")?),
         },
+        "top" => {
+            let addr = string("addr")?;
+            let interval_ms = flags
+                .get("interval-ms")
+                .map(|s| s.parse::<u64>())
+                .transpose()
+                .map_err(|_| CliError::Usage("--interval-ms must be an integer".into()))?
+                .unwrap_or(1000);
+            if flags.contains_key("once") {
+                return cmd_top(&addr, interval_ms);
+            }
+            // Live view: one frame per interval until killed.
+            loop {
+                let frame = cmd_top(&addr, interval_ms)?;
+                // ANSI clear-and-home so successive frames overwrite in place.
+                print!("\x1b[2J\x1b[H{frame}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+        }
+        "debug" => cmd_debug(&string("addr")?, flags.contains_key("check")),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }

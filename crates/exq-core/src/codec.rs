@@ -1091,6 +1091,10 @@ pub enum Message {
     /// [`Message::BatchAnswer`] carrying one reply per item in order.
     /// Decoding rejects nested batches and mutating items.
     Batch(Vec<Message>),
+    /// Request the server's flight-recorder dump (v5): the ring of recent
+    /// operational events as JSON lines. Older peers see an unknown tag
+    /// and reply with a typed error.
+    FlightReq,
 
     // Responses.
     Answer(ServerResponse),
@@ -1115,6 +1119,9 @@ pub enum Message {
     /// submission order. Items that failed dispatch are `Error` entries;
     /// the batch itself still succeeds.
     BatchAnswer(Vec<Message>),
+    /// Reply to [`Message::FlightReq`] (v5): the flight recorder's events
+    /// as JSON lines, oldest first.
+    FlightDump(String),
     Error(WireError),
 }
 
@@ -1134,6 +1141,7 @@ impl Message {
             Message::MetricsReq => 0x0A,
             Message::Ping => 0x0B,
             Message::Batch(_) => 0x0C,
+            Message::FlightReq => 0x0D,
             Message::Answer(_) => 0x81,
             Message::MetricsText(_) => 0x89,
             Message::Block(_) => 0x82,
@@ -1146,6 +1154,7 @@ impl Message {
             Message::Pong => 0x8A,
             Message::Busy { .. } => 0x8B,
             Message::BatchAnswer(_) => 0x8C,
+            Message::FlightDump(_) => 0x8D,
             Message::Error(_) => 0xFF,
         }
     }
@@ -1164,9 +1173,9 @@ impl Message {
         match self {
             Message::Query(q) | Message::Locate(q) | Message::DeleteWhere(q) => q.encode_into(enc),
             Message::NaiveQuery | Message::InsertOk | Message::CacheStatsReq => {}
-            Message::MetricsReq | Message::Ping | Message::Pong => {}
+            Message::MetricsReq | Message::Ping | Message::Pong | Message::FlightReq => {}
             Message::Busy { retry_after_ms } => enc.varint(*retry_after_ms as u64),
-            Message::MetricsText(text) => enc.str(text),
+            Message::MetricsText(text) | Message::FlightDump(text) => enc.str(text),
             Message::FetchBlock(id) => enc.varint(*id as u64),
             Message::ValueExtreme { attr_key, max } => {
                 enc.str(attr_key);
@@ -1267,9 +1276,11 @@ impl Message {
             0x0C if version >= PROTOCOL_VERSION => Ok(Message::Batch(Message::decode_batch_items(
                 version, dec, true,
             )?)),
+            0x0D if version >= PROTOCOL_VERSION => Ok(Message::FlightReq),
             0x8C if version >= PROTOCOL_VERSION => Ok(Message::BatchAnswer(
                 Message::decode_batch_items(version, dec, false)?,
             )),
+            0x8D if version >= PROTOCOL_VERSION => Ok(Message::FlightDump(dec.str()?)),
             0x8A => Ok(Message::Pong),
             0x8B => Ok(Message::Busy {
                 retry_after_ms: dec.u32()?,
@@ -2131,6 +2142,42 @@ mod tests {
             Err(CodecError::BadTag {
                 context: "message",
                 tag: 0x0C
+            })
+        );
+    }
+
+    #[test]
+    fn flight_frames_roundtrip_and_are_rejected_below_v5() {
+        let frame = Message::FlightReq.encode_frame_req(PROTOCOL_VERSION, 5, 9);
+        let d = Message::decode_frame_ext(&frame).unwrap();
+        assert_eq!(d.msg, Message::FlightReq);
+        assert_eq!((d.trace, d.req_id), (5, 9));
+
+        let dump = "{\"seq\":0,\"event\":\"shed\",\"db\":\"x\"}\n".to_string();
+        let reply = Message::FlightDump(dump.clone());
+        let frame = reply.encode_frame_req(PROTOCOL_VERSION, 5, 9);
+        assert_eq!(Message::decode_frame(&frame).unwrap(), reply);
+
+        // Older dialects treat 0x0D/0x8D as unknown tags, never as silent
+        // extensions.
+        let frame = Message::FlightReq
+            .encode_frame_db(V4_PROTOCOL_VERSION, 0, 0, "")
+            .unwrap();
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::BadTag {
+                context: "message",
+                tag: 0x0D
+            })
+        );
+        let frame = Message::FlightDump(dump)
+            .encode_frame_db(V4_PROTOCOL_VERSION, 0, 0, "")
+            .unwrap();
+        assert_eq!(
+            Message::decode_frame(&frame),
+            Err(CodecError::BadTag {
+                context: "message",
+                tag: 0x8D
             })
         );
     }

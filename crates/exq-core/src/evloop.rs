@@ -48,7 +48,7 @@ pub fn serve_event(
 mod linux {
     use super::sys;
     use crate::codec::{frame_extra_len, DecodedFrame, Message, FRAME_HEADER_LEN};
-    use crate::telemetry::{self, Counter, Gauge};
+    use crate::telemetry::{self, Counter, Gauge, Histogram};
     use crate::tenant::TenantRegistry;
     use crate::transport::{
         accept_metrics, apply_tenant_knobs, busy_reply, salvage_frame_ids, serve_one, ServeConfig,
@@ -72,6 +72,9 @@ mod linux {
         wakeups: Arc<Counter>,
         /// Requests dispatched to workers and not yet completed.
         queue_depth: Arc<Gauge>,
+        /// Time a request spent in the dispatch queue before a worker
+        /// picked it up — the saturation signal `exq top` watches.
+        queue_wait: Arc<Histogram>,
     }
 
     fn ev_metrics() -> &'static EvMetrics {
@@ -80,6 +83,7 @@ mod linux {
             connections: telemetry::gauge("exq_evloop_connections"),
             wakeups: telemetry::counter("exq_evloop_wakeups_total"),
             queue_depth: telemetry::gauge("exq_evloop_queue_depth"),
+            queue_wait: telemetry::histogram("exq_evloop_queue_wait_seconds"),
         })
     }
 
@@ -97,6 +101,8 @@ mod linux {
     struct Job {
         token: u64,
         frame: DecodedFrame,
+        /// When the event loop enqueued it (queue-wait attribution).
+        enqueued: Instant,
     }
 
     /// One encoded reply on its way back to the writer.
@@ -181,6 +187,11 @@ mod linux {
                 };
                 let Ok(job) = job else { return }; // event loop gone
                 ev_metrics().queue_depth.add(-1);
+                if telemetry::enabled() {
+                    ev_metrics()
+                        .queue_wait
+                        .observe_duration(job.enqueued.elapsed());
+                }
                 let d = &job.frame;
                 let reply = serve_one(&shr, &cfg, d);
                 let bytes = reply.encode_frame_req(d.version, d.trace, d.req_id);
@@ -213,6 +224,7 @@ mod linux {
                     next_token: 0,
                     accept_resume: None,
                     accept_backoff: Duration::from_millis(1),
+                    accept_error_streak: 0,
                 }
                 .run();
             }));
@@ -237,6 +249,9 @@ mod linux {
         /// listener is re-armed when the instant passes.
         accept_resume: Option<Instant>,
         accept_backoff: Duration,
+        /// Consecutive accept failures (reset by a successful accept),
+        /// reported in flight-recorder events.
+        accept_error_streak: u64,
     }
 
     impl EventLoop {
@@ -281,6 +296,7 @@ mod linux {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
                         self.accept_backoff = Duration::from_millis(1);
+                        self.accept_error_streak = 0;
                         self.register(stream);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -289,6 +305,14 @@ mod linux {
                         // EMFILE and friends persist; pause the listener so
                         // a level-triggered epoll doesn't spin on it.
                         accept_metrics().accept_errors.inc();
+                        self.accept_error_streak += 1;
+                        crate::flight::event(
+                            crate::flight::Kind::AcceptError,
+                            "",
+                            self.accept_error_streak,
+                            0,
+                            0,
+                        );
                         let _ = self.epoll.del(self.listener.as_raw_fd());
                         self.accept_resume = Some(Instant::now() + self.accept_backoff);
                         self.accept_backoff =
@@ -432,7 +456,11 @@ mod linux {
                             // Liveness answers never queue behind work.
                             Some(Message::Pong.encode_frame_req(d.version, d.trace, d.req_id))
                         } else {
-                            match self.job_tx.try_send(Job { token, frame: d }) {
+                            match self.job_tx.try_send(Job {
+                                token,
+                                frame: d,
+                                enqueued: Instant::now(),
+                            }) {
                                 Ok(()) => {
                                     ev_metrics().queue_depth.add(1);
                                     conn.inflight += 1;

@@ -24,8 +24,11 @@
 //!   (Theorems 4.1/5.1/5.2), frequency- and size-based attack simulators
 //!   (§3.3), and the query-answering belief tracker (Theorem 6.1);
 //! * [`telemetry`] — the observability layer: a global metrics registry,
-//!   query-scoped trace spans stitched across the wire, and Prometheus-style
-//!   / JSON-lines exporters;
+//!   query-scoped trace spans stitched across the wire, per-query resource
+//!   profiles, and Prometheus-style / JSON-lines exporters;
+//! * [`flight`] — the always-on flight recorder: a lock-free ring of recent
+//!   operational events (admissions, sheds, checkpoints, slow fsyncs)
+//!   dumped over the wire (`FlightReq`) or to stderr on panic;
 //! * [`fault`] / [`retry`] — the fault-tolerance layer: seeded fault
 //!   injection (message-level wrapper and a TCP chaos proxy) and safe
 //!   client-side retry with reconnect, backoff + jitter, and at-most-once
@@ -46,6 +49,7 @@ pub mod encrypt;
 pub mod error;
 pub mod evloop;
 pub mod fault;
+pub mod flight;
 pub mod persist;
 pub mod pool;
 pub mod retry;

@@ -43,8 +43,8 @@ use exq_store::PagedStore;
 use exq_xml::Document;
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 pub use exq_store::{PoolStats, StoreFootprint, StoreOptions};
@@ -61,6 +61,123 @@ impl From<exq_store::StoreError> for CoreError {
     fn from(e: exq_store::StoreError) -> CoreError {
         CoreError::Persist(format!("store: {e}"))
     }
+}
+
+// ------------------------------------------------------ engine observer --
+
+/// Cached handles for the engine-level series the observer feeds, so a
+/// storage event costs atomic adds, never a registry lookup.
+struct EngineSeries {
+    page_fault: Arc<telemetry::Histogram>,
+    wal_fsync: Arc<telemetry::Histogram>,
+    wal_replay: Arc<telemetry::Histogram>,
+    checkpoint: Arc<telemetry::Histogram>,
+    epoch_retries: Arc<Counter>,
+    wal_compactions: Arc<Counter>,
+    /// Running eviction total, for sampled flight-recorder pressure events.
+    evictions: AtomicU64,
+}
+
+fn engine_series() -> &'static EngineSeries {
+    static SERIES: OnceLock<EngineSeries> = OnceLock::new();
+    SERIES.get_or_init(|| EngineSeries {
+        page_fault: telemetry::histogram("exq_store_page_fault_seconds"),
+        wal_fsync: telemetry::histogram("exq_store_wal_fsync_seconds"),
+        wal_replay: telemetry::histogram("exq_store_wal_replay_seconds"),
+        checkpoint: telemetry::histogram("exq_store_checkpoint_seconds"),
+        epoch_retries: telemetry::counter("exq_store_epoch_retries_total"),
+        wal_compactions: telemetry::counter("exq_store_wal_compactions_total"),
+        evictions: AtomicU64::new(0),
+    })
+}
+
+/// The bridge installed into `exq-store`'s observer slot: every storage
+/// event lands in the engine histograms, in the calling thread's active
+/// [`telemetry::QueryProfile`] (hooks fire on the thread that did the
+/// work, so attribution is exact — the background checkpointer has no
+/// active profile and never pollutes a query's numbers), and — for the
+/// operationally loud ones — in the flight recorder. Every method bails
+/// on one relaxed load when telemetry is off, so the telemetry-off
+/// configuration measures a true zero-instrumentation baseline.
+struct CoreStoreObserver;
+
+impl exq_store::StoreObserver for CoreStoreObserver {
+    fn pool_hit(&self) {
+        if telemetry::enabled() {
+            telemetry::with_profile(|p| p.pool_hits += 1);
+        }
+    }
+
+    fn pool_miss(&self) {
+        if telemetry::enabled() {
+            telemetry::with_profile(|p| p.pool_misses += 1);
+        }
+    }
+
+    fn page_fault(&self, nanos: u64) {
+        if telemetry::enabled() {
+            engine_series().page_fault.observe(nanos);
+            telemetry::with_profile(|p| p.pages_faulted += 1);
+        }
+    }
+
+    fn eviction(&self) {
+        if telemetry::enabled() {
+            let total = engine_series().evictions.fetch_add(1, Ordering::Relaxed) + 1;
+            telemetry::with_profile(|p| p.evictions += 1);
+            crate::flight::evict_pressure(total);
+        }
+    }
+
+    fn epoch_retry(&self) {
+        if telemetry::enabled() {
+            engine_series().epoch_retries.inc();
+            telemetry::with_profile(|p| p.epoch_retries += 1);
+        }
+    }
+
+    fn wal_fsync(&self, bytes: u64, nanos: u64) {
+        if telemetry::enabled() {
+            engine_series().wal_fsync.observe(nanos);
+            telemetry::with_profile(|p| p.wal_bytes += bytes);
+            if nanos > crate::flight::FSYNC_SLOW_NANOS {
+                crate::flight::event(
+                    crate::flight::Kind::WalFsyncSlow,
+                    "",
+                    bytes,
+                    nanos / 1000,
+                    0,
+                );
+            }
+        }
+    }
+
+    fn wal_replay(&self, _records: u64, nanos: u64) {
+        if telemetry::enabled() {
+            engine_series().wal_replay.observe(nanos);
+        }
+    }
+
+    fn wal_compaction(&self) {
+        if telemetry::enabled() {
+            engine_series().wal_compactions.inc();
+        }
+    }
+
+    fn checkpoint(&self, _pages_folded: u64, nanos: u64) {
+        if telemetry::enabled() {
+            engine_series().checkpoint.observe(nanos);
+        }
+    }
+}
+
+/// Installs [`CoreStoreObserver`] into `exq-store`. Idempotent (first
+/// install wins, even against another observer in the same process);
+/// called from every [`PagedDb`] construction so any paged database is
+/// observed without callers opting in.
+fn install_store_observer() {
+    static OBS: CoreStoreObserver = CoreStoreObserver;
+    let _ = exq_store::set_observer(&OBS);
 }
 
 /// What WAL replay did while opening a paged database.
@@ -164,6 +281,8 @@ pub struct PagedDb {
     label: String,
     read_block_ns: &'static str,
     checkpoints: Arc<Counter>,
+    pages_folded: Arc<Counter>,
+    wal_compactions: Arc<Counter>,
     pool_hits: Arc<Gauge>,
     pool_misses: Arc<Gauge>,
     pool_evictions: Arc<Gauge>,
@@ -184,14 +303,16 @@ impl std::fmt::Debug for PagedDb {
 
 impl PagedDb {
     fn with_store(store: PagedStore, label: &str) -> Arc<PagedDb> {
-        let g = |name: &str| telemetry::gauge(&format!("{name}{{db=\"{label}\"}}"));
+        install_store_observer();
+        let g = |name: &str| telemetry::gauge(&telemetry::db_series(name, label));
+        let c = |name: &str| telemetry::counter(&telemetry::db_series(name, label));
         Arc::new(PagedDb {
             store,
             label: label.to_owned(),
             read_block_ns: "store.read_block",
-            checkpoints: telemetry::counter(&format!(
-                "exq_store_checkpoints_total{{db=\"{label}\"}}"
-            )),
+            checkpoints: c("exq_store_checkpoints_total"),
+            pages_folded: c("exq_store_checkpoint_pages_folded_total"),
+            wal_compactions: c("exq_store_wal_compactions_total"),
             pool_hits: g("exq_store_pool_hits_total"),
             pool_misses: g("exq_store_pool_misses_total"),
             pool_evictions: g("exq_store_pool_evictions_total"),
@@ -329,6 +450,7 @@ impl PagedDb {
         let t = Instant::now();
         let raw = self.store.get(block_record_id(id))?;
         let block = decode_block_record(id, &raw)?;
+        telemetry::with_profile(|p| p.records_decoded += 1);
         telemetry::record_span(self.read_block_ns, t.elapsed());
         Ok(Arc::new(block))
     }
@@ -672,18 +794,26 @@ fn write_server(lock: &RwLock<Server>) -> std::sync::RwLockWriteGuard<'_, Server
 /// keep flowing during the fold; the write lock is only taken at the end,
 /// briefly, to drain the overlay.
 pub fn checkpoint_once(server: &RwLock<Server>) -> Result<bool, CoreError> {
-    let (snapshot, wal_seq, db) = {
+    let (snapshot, wal_seq, db, wal_depth) = {
         let g = read_server(server);
         let Some(db) = g.paged_store() else {
             return Ok(false);
         };
-        if db.store.footprint().wal_depth == 0 {
+        let wal_depth = db.store.footprint().wal_depth;
+        if wal_depth == 0 {
             db.publish_metrics();
             return Ok(false);
         }
-        (g.clone(), db.store.wal_next_seq() - 1, db)
+        (g.clone(), db.store.wal_next_seq() - 1, db, wal_depth)
     };
 
+    crate::flight::event(
+        crate::flight::Kind::CheckpointBegin,
+        &db.label,
+        wal_depth,
+        0,
+        0,
+    );
     let t = Instant::now();
     let mut dirty: Vec<(u64, Option<Vec<u8>>)> = vec![(REC_META, Some(encode_meta(&snapshot)))];
     let lists = sorted_postings(&snapshot);
@@ -702,15 +832,38 @@ pub fn checkpoint_once(server: &RwLock<Server>) -> Result<bool, CoreError> {
             dirty.push((block_record_id(id), Some(encode_block_record(&b))));
         }
     }
-    db.store.checkpoint(&dirty, wal_seq)?;
+    let folded = db.store.checkpoint(&dirty, wal_seq)?;
     {
         let mut g = write_server(server);
         g.drain_overlay_if(|id| db.block_checkpointed(id));
     }
-    telemetry::record_span("store.checkpoint", t.elapsed());
+    let elapsed = t.elapsed();
+    telemetry::record_span("store.checkpoint", elapsed);
+    telemetry::record_span(
+        &format!("store.checkpoint.{}", span_label(&db.label)),
+        elapsed,
+    );
     db.checkpoints.inc();
+    db.pages_folded.add(folded);
+    db.wal_compactions.inc();
     db.publish_metrics();
+    crate::flight::event(
+        crate::flight::Kind::CheckpointEnd,
+        &db.label,
+        folded,
+        elapsed.as_micros().min(u64::MAX as u128) as u64,
+        0,
+    );
     Ok(true)
+}
+
+/// A db label safe inside a span (and thus metric) name: db ids allow
+/// `.` and `-`, which spans reserve, so both map to `_`.
+fn span_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Resolves the background checkpoint interval: `EXQ_CHECKPOINT_MS`

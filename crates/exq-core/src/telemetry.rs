@@ -241,6 +241,23 @@ impl Registry {
         }
     }
 
+    /// Removes every series carrying this database's `{db="…"}` label —
+    /// called when a database is dropped, so its gauges and counters stop
+    /// exporting their last values forever. Handles still held by live
+    /// objects keep counting privately; they are simply no longer
+    /// rendered. Returns the number of series removed.
+    pub fn remove_db_series(&self, db: &str) -> usize {
+        let suffix = format!("{{db=\"{}\"}}", escape_label(db));
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut w = shard.write().expect("registry shard");
+            let before = w.len();
+            w.retain(|name, _| !name.ends_with(&suffix));
+            removed += before - w.len();
+        }
+        removed
+    }
+
     /// Prometheus-style text exposition: `# TYPE` lines, cumulative
     /// `_bucket{le="…"}` rows (seconds), `_sum`/`_count`, sorted by name so
     /// the output is diffable.
@@ -314,6 +331,38 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
 /// Renders the global registry's Prometheus-style exposition.
 pub fn render() -> String {
     registry().render()
+}
+
+/// Escapes a string for use as a Prometheus label *value*: backslash,
+/// double quote, and newline are backslash-escaped exactly as the
+/// exposition format requires. The escaping is injective, so two distinct
+/// db ids can never collide into one series name (`a"}` vs `a\"}` stay
+/// distinct) and the rendered exposition stays parseable whatever the
+/// label contains.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// The canonical name of a per-database series: `name{db="<escaped id>"}`.
+/// Every per-db metric in the codebase is built through this helper, which
+/// is what lets [`remove_db_series`] find them all by suffix when a
+/// database is dropped.
+pub fn db_series(name: &str, db: &str) -> String {
+    format!("{name}{{db=\"{}\"}}", escape_label(db))
+}
+
+/// Removes this database's per-db series from the global registry.
+pub fn remove_db_series(db: &str) -> usize {
+    registry().remove_db_series(db)
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
@@ -738,6 +787,91 @@ pub fn log(level: Level, msg: &str) {
     eprintln!("[exq:{}] {msg}", level.as_str());
 }
 
+// --------------------------------------------------------- query profiles --
+
+/// Per-query resource profile: what one dispatched request actually cost
+/// the storage engine. Collected on the serving thread between
+/// [`profile_begin`] and [`profile_take`]; the storage observer and the
+/// paged-store glue feed it as the work happens, so the totals are exact
+/// per-request attribution, not sampled estimates. The serve paths attach
+/// the profile to the request's trace spans, the slow-query log, and the
+/// per-db registry counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Buffer-pool lookups that found the page resident.
+    pub pool_hits: u64,
+    /// Buffer-pool lookups that missed.
+    pub pool_misses: u64,
+    /// Pages read from disk to satisfy this request.
+    pub pages_faulted: u64,
+    /// Pool evictions this request's inserts triggered.
+    pub evictions: u64,
+    /// Record reads that raced a checkpoint publish and retried.
+    pub epoch_retries: u64,
+    /// WAL bytes this request appended (mutations only).
+    pub wal_bytes: u64,
+    /// Store records decoded (sealed blocks, postings, metadata images).
+    pub records_decoded: u64,
+    /// Sealed blocks shipped in the answer.
+    pub blocks_shipped: u64,
+    /// Whether the response-cache probe hit.
+    pub cache_hit: bool,
+}
+
+impl QueryProfile {
+    /// The profile as `(span name, raw count)` pairs, for riding a trace
+    /// as `profile.*` spans: the count travels in the span's nanosecond
+    /// field, so profiles reach the client inside `Answer` spans with no
+    /// wire-format change. Consumers (`exq explain`, the E22 experiment)
+    /// read the nanos back as counts.
+    pub fn span_fields(&self) -> [(&'static str, u64); 9] {
+        [
+            ("profile.pool_hits", self.pool_hits),
+            ("profile.pool_misses", self.pool_misses),
+            ("profile.pages_faulted", self.pages_faulted),
+            ("profile.evictions", self.evictions),
+            ("profile.epoch_retries", self.epoch_retries),
+            ("profile.wal_bytes", self.wal_bytes),
+            ("profile.records_decoded", self.records_decoded),
+            ("profile.blocks_shipped", self.blocks_shipped),
+            ("profile.cache_hit", self.cache_hit as u64),
+        ]
+    }
+}
+
+thread_local! {
+    /// The serving thread's active profile. At most one request is
+    /// dispatched per thread at a time (both serve paths execute a request
+    /// start-to-finish on one worker thread), so a single slot suffices.
+    static PROFILE: RefCell<Option<QueryProfile>> = const { RefCell::new(None) };
+}
+
+/// Starts profile collection on this thread. No-op when telemetry is
+/// disabled, so the telemetry-off configuration pays only the master
+/// switch's atomic load.
+pub fn profile_begin() {
+    if !enabled() {
+        return;
+    }
+    PROFILE.with(|p| *p.borrow_mut() = Some(QueryProfile::default()));
+}
+
+/// Ends collection and returns the profile (`None` when collection never
+/// began — telemetry off, or a thread that isn't serving a request).
+pub fn profile_take() -> Option<QueryProfile> {
+    PROFILE.with(|p| p.borrow_mut().take())
+}
+
+/// Applies `f` to this thread's active profile, if any. The inactive path
+/// is a single thread-local borrow — cheap enough for pool hit/miss rates.
+pub fn with_profile(f: impl FnOnce(&mut QueryProfile)) {
+    PROFILE.with(|p| {
+        if let Some(prof) = p.borrow_mut().as_mut() {
+            f(prof);
+        }
+    });
+}
+
 // ------------------------------------------------------------- slow query --
 
 static SLOW_NS: AtomicU64 = AtomicU64::new(0);
@@ -768,6 +902,47 @@ pub fn note_query(desc: &str, total: Duration, served_from_cache: bool) {
             ),
         );
     }
+}
+
+/// The nanosecond slow-query threshold currently in force (0 = disabled).
+pub fn slow_threshold_ns() -> u64 {
+    SLOW_NS.load(Ordering::Relaxed)
+}
+
+/// Server-side slow-request accounting: applies the slow threshold to one
+/// dispatched request and, when crossed, logs the db name annotated with
+/// the request's resource profile — a slow query arrives explaining *why*
+/// it was slow (faults? evictions? WAL stalls?), not just that it was.
+pub fn note_server_query(db: &str, total: Duration, profile: Option<&QueryProfile>) {
+    let threshold = SLOW_NS.load(Ordering::Relaxed);
+    let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+    if threshold == 0 || total_ns < threshold {
+        return;
+    }
+    counter("exq_slow_queries_total").inc();
+    let detail = match profile {
+        Some(p) => format!(
+            " [pool {}h/{}m, {} faulted, {} evicted, {} retries, {} wal B, \
+             {} decoded, {} blocks, cache {}]",
+            p.pool_hits,
+            p.pool_misses,
+            p.pages_faulted,
+            p.evictions,
+            p.epoch_retries,
+            p.wal_bytes,
+            p.records_decoded,
+            p.blocks_shipped,
+            if p.cache_hit { "hit" } else { "miss" },
+        ),
+        None => String::new(),
+    };
+    log(
+        Level::Warn,
+        &format!(
+            "slow request ({:.2} ms) on db `{db}`{detail}",
+            total.as_secs_f64() * 1e3
+        ),
+    );
 }
 
 #[cfg(test)]
@@ -930,5 +1105,52 @@ mod tests {
         assert_ne!(a, 0);
         assert_ne!(b, 0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn label_escaping_is_injective_on_hostile_pairs() {
+        // The classic collision: `a"}` raw vs `a\"}` would render the same
+        // without injective escaping.
+        assert_ne!(escape_label("a\"}"), escape_label("a\\\"}"));
+        assert_eq!(escape_label("plain-db_1.x"), "plain-db_1.x");
+        assert_eq!(escape_label("q\"uote"), "q\\\"uote");
+        assert_eq!(escape_label("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_label("new\nline"), "new\\nline");
+        assert_ne!(db_series("m", "a\"}"), db_series("m", "a\\\"}"));
+    }
+
+    #[test]
+    fn remove_db_series_drops_only_that_db() {
+        let r = Registry::new();
+        r.counter(&db_series("exq_test_requests_total", "keep"))
+            .add(1);
+        r.counter(&db_series("exq_test_requests_total", "gone"))
+            .add(2);
+        r.gauge(&db_series("exq_test_depth", "gone")).set(9);
+        r.counter("exq_test_global_total").add(5);
+        let removed = r.remove_db_series("gone");
+        assert_eq!(removed, 2);
+        let text = r.render();
+        assert!(text.contains("{db=\"keep\"}"));
+        assert!(!text.contains("{db=\"gone\"}"));
+        assert!(text.contains("exq_test_global_total 5"));
+        assert_eq!(r.remove_db_series("gone"), 0);
+    }
+
+    #[test]
+    fn profile_collects_only_between_begin_and_take() {
+        assert_eq!(profile_take(), None);
+        with_profile(|p| p.pool_hits += 1); // inactive: dropped
+        profile_begin();
+        with_profile(|p| {
+            p.pool_hits += 2;
+            p.wal_bytes += 100;
+        });
+        with_profile(|p| p.cache_hit = true);
+        let p = profile_take().expect("profile active");
+        assert_eq!(p.pool_hits, 2);
+        assert_eq!(p.wal_bytes, 100);
+        assert!(p.cache_hit);
+        assert_eq!(profile_take(), None, "take clears the slot");
     }
 }

@@ -52,7 +52,9 @@ const MANIFEST_MAGIC: &[u8; 6] = b"EXQMF1";
 /// Validates a database id: non-empty, at most [`MAX_DB_ID_LEN`] bytes,
 /// characters restricted to `[A-Za-z0-9._-]`, and starting with an
 /// alphanumeric — safe as a wire field, a telemetry label, and a file
-/// name, with no escaping anywhere.
+/// name. (Telemetry labels go through [`telemetry::db_series`] anyway, so
+/// even a hostile name that slipped past validation could not corrupt the
+/// exposition — defense in depth, not a reason to loosen this check.)
 pub fn validate_db_id(name: &str) -> Result<(), CoreError> {
     if name.is_empty() {
         return Err(CoreError::Tenant("database name is empty".into()));
@@ -104,6 +106,42 @@ pub struct Tenant {
     requests: Arc<Counter>,
     /// `exq_db_shed_total{db="<name>"}`.
     shed: Arc<Counter>,
+    /// Per-db resource totals, fed once per request from the request's
+    /// taken [`telemetry::QueryProfile`] — so background work (the
+    /// checkpointer's own faults and fsyncs) never pollutes them, and the
+    /// sum of per-query profiles reconciles with these counters exactly.
+    profile: DbProfileCounters,
+}
+
+/// The per-db aggregation of [`telemetry::QueryProfile`]: one counter per
+/// profile field, labeled `{db="<name>"}`.
+struct DbProfileCounters {
+    pool_hits: Arc<Counter>,
+    pool_misses: Arc<Counter>,
+    pages_faulted: Arc<Counter>,
+    evictions: Arc<Counter>,
+    epoch_retries: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    records_decoded: Arc<Counter>,
+    blocks_shipped: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+}
+
+impl DbProfileCounters {
+    fn new(name: &str) -> DbProfileCounters {
+        let c = |metric: &str| telemetry::counter(&telemetry::db_series(metric, name));
+        DbProfileCounters {
+            pool_hits: c("exq_db_pool_hits_total"),
+            pool_misses: c("exq_db_pool_misses_total"),
+            pages_faulted: c("exq_db_pages_faulted_total"),
+            evictions: c("exq_db_evictions_total"),
+            epoch_retries: c("exq_db_epoch_retries_total"),
+            wal_bytes: c("exq_db_wal_bytes_total"),
+            records_decoded: c("exq_db_records_decoded_total"),
+            blocks_shipped: c("exq_db_blocks_shipped_total"),
+            cache_hits: c("exq_db_cache_hits_total"),
+        }
+    }
 }
 
 impl std::fmt::Debug for Tenant {
@@ -131,8 +169,9 @@ impl Tenant {
             inflight: AtomicUsize::new(0),
             max_inflight: AtomicUsize::new(max_inflight),
             key_fingerprint,
-            requests: telemetry::counter(&format!("exq_db_requests_total{{db=\"{name}\"}}")),
-            shed: telemetry::counter(&format!("exq_db_shed_total{{db=\"{name}\"}}")),
+            requests: telemetry::counter(&telemetry::db_series("exq_db_requests_total", name)),
+            shed: telemetry::counter(&telemetry::db_series("exq_db_shed_total", name)),
+            profile: DbProfileCounters::new(name),
         }
     }
 
@@ -193,6 +232,37 @@ impl Tenant {
 
     pub(crate) fn note_shed(&self) {
         self.shed.inc();
+    }
+
+    /// Folds one finished request's resource profile into this db's
+    /// totals. Called exactly once per dispatched request by the serve
+    /// paths, so `sum(profiles) == registry counters` holds exactly.
+    pub(crate) fn note_profile(&self, p: &telemetry::QueryProfile) {
+        self.profile.pool_hits.add(p.pool_hits);
+        self.profile.pool_misses.add(p.pool_misses);
+        self.profile.pages_faulted.add(p.pages_faulted);
+        self.profile.evictions.add(p.evictions);
+        self.profile.epoch_retries.add(p.epoch_retries);
+        self.profile.wal_bytes.add(p.wal_bytes);
+        self.profile.records_decoded.add(p.records_decoded);
+        self.profile.blocks_shipped.add(p.blocks_shipped);
+        if p.cache_hit {
+            self.profile.cache_hits.inc();
+        }
+    }
+
+    /// Republishes this tenant's storage gauges (pool occupancy, WAL
+    /// depth, disk footprint) if it is paged. Called after checkpoints and
+    /// on every metrics scrape so gauges are fresh at read time instead of
+    /// trailing the last mutation.
+    pub fn refresh_store_gauges(&self) {
+        let guard = match self.server.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(db) = guard.paged_store() {
+            db.publish_metrics();
+        }
     }
 
     /// Cache counters of this tenant's server.
@@ -289,12 +359,18 @@ impl TenantRegistry {
         self.lock_read().get(name).cloned()
     }
 
-    /// Unregisters a database. The state file (if any) is not touched;
-    /// callers that manage a directory remove it and re-save the manifest.
+    /// Unregisters a database and removes its `{db="<name>"}` series from
+    /// the telemetry registry — a dropped db must disappear from the next
+    /// scrape, not linger as a frozen ghost. The state file (if any) is
+    /// not touched; callers that manage a directory remove it and re-save
+    /// the manifest.
     pub fn drop_db(&self, name: &str) -> Result<Arc<Tenant>, CoreError> {
-        self.lock_write()
+        let tenant = self
+            .lock_write()
             .remove(name)
-            .ok_or_else(|| CoreError::Tenant(format!("unknown database '{name}'")))
+            .ok_or_else(|| CoreError::Tenant(format!("unknown database '{name}'")))?;
+        telemetry::remove_db_series(name);
+        Ok(tenant)
     }
 
     /// Registered database names, sorted.
@@ -322,6 +398,15 @@ impl TenantRegistry {
         let mut out: Vec<Arc<Tenant>> = self.lock_read().values().cloned().collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
+    }
+
+    /// Republishes every paged tenant's storage gauges (see
+    /// [`Tenant::refresh_store_gauges`]). The serve paths call this on
+    /// metrics scrapes so a scrape always reads current occupancy.
+    pub fn refresh_store_gauges(&self) {
+        for t in self.tenants() {
+            t.refresh_store_gauges();
+        }
     }
 
     // ------------------------------------------------------- persistence --

@@ -263,6 +263,15 @@ pub trait Transport {
             other => Err(unexpected("MetricsText", other)),
         }
     }
+
+    /// The server's flight-recorder dump as JSON lines (oldest event
+    /// first). Pre-v5 servers answer with a typed error.
+    fn flight_dump(&mut self) -> Result<String, CoreError> {
+        match self.roundtrip(&Message::FlightReq)? {
+            Message::FlightDump(text) => Ok(text),
+            other => Err(unexpected("FlightDump", other)),
+        }
+    }
 }
 
 /// A transport that can re-establish its link after a failure. The
@@ -302,7 +311,17 @@ pub fn answer_request(server: &Server, req: &Message) -> Result<Message, CoreErr
         Message::Locate(q) => Ok(Message::Intervals(server.locate(q))),
         Message::InsertionSlotReq(iv) => server.insertion_slot(*iv).map(Message::Slot),
         Message::CacheStatsReq => Ok(Message::CacheStats(server.cache_stats())),
-        Message::MetricsReq => Ok(Message::MetricsText(telemetry::render())),
+        Message::MetricsReq => {
+            // A scrape must read *current* occupancy, not the gauges as of
+            // the last mutation: republish this server's storage gauges
+            // before rendering. (The serve loop additionally refreshes
+            // every registered tenant.)
+            if let Some(db) = server.paged_store() {
+                db.publish_metrics();
+            }
+            Ok(Message::MetricsText(telemetry::render()))
+        }
+        Message::FlightReq => Ok(Message::FlightDump(crate::flight::dump_json())),
         Message::Ping => Ok(Message::Pong),
         Message::ApplyInsert(_) | Message::DeleteWhere(_) => Err(CoreError::Transport(
             "mutating request on a read-only server handle".into(),
@@ -424,7 +443,15 @@ pub fn apply_request_keyed(
 /// (0 = untraced, inert scope); spans collected during dispatch ride back
 /// on `Answer` responses so the client can stitch them into its tree.
 /// Errors become error frames here so span collection can't be skipped.
+/// When trace-all is on, untraced frames get a server-local trace id —
+/// mutations and raw pipeline clients never stamp their frames, and a
+/// server operator who asked for everything should still see them.
 fn dispatch_traced(trace: u64, dispatch: impl FnOnce() -> Result<Message, CoreError>) -> Message {
+    let trace = if trace == 0 && telemetry::tracing_wanted() {
+        telemetry::new_trace_id()
+    } else {
+        trace
+    };
     let scope = telemetry::begin_trace(trace, telemetry::Side::Server);
     let result = dispatch();
     let spans = scope.finish();
@@ -1281,6 +1308,7 @@ fn accept_loop(
 ) {
     let metrics = accept_metrics();
     let mut backoff = ACCEPT_BACKOFF_MIN;
+    let mut consecutive_errors = 0u64;
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return; // drops conn_tx, draining the workers
@@ -1288,6 +1316,7 @@ fn accept_loop(
         match conn {
             Ok(stream) => {
                 backoff = ACCEPT_BACKOFF_MIN;
+                consecutive_errors = 0;
                 match conn_tx.try_send(stream) {
                     Ok(()) => {
                         metrics.queue_depth.add(1);
@@ -1301,6 +1330,14 @@ fn accept_loop(
             }
             Err(_) => {
                 metrics.accept_errors.inc();
+                consecutive_errors += 1;
+                crate::flight::event(
+                    crate::flight::Kind::AcceptError,
+                    "",
+                    consecutive_errors,
+                    0,
+                    0,
+                );
                 thread::sleep(backoff);
                 backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
             }
@@ -1474,6 +1511,7 @@ const LOCK_POLL: Duration = Duration::from_micros(500);
 /// `Busy` frame, so they get a transport-class error carrying the hint.
 pub(crate) fn busy_reply(version: u8, retry_after: Duration) -> Message {
     let retry_after_ms = retry_after.as_millis().min(u32::MAX as u128) as u32;
+    crate::flight::event(crate::flight::Kind::Busy, "", retry_after_ms as u64, 0, 0);
     if version >= crate::codec::V3_PROTOCOL_VERSION {
         Message::Busy { retry_after_ms }
     } else {
@@ -1490,7 +1528,7 @@ pub(crate) fn busy_reply(version: u8, retry_after: Duration) -> Message {
 /// misses while still serving hits keeps goodput up under overload.
 fn shed_class(req: &Message, cache_hit: impl FnOnce() -> bool) -> bool {
     match req {
-        Message::CacheStatsReq | Message::MetricsReq => false,
+        Message::CacheStatsReq | Message::MetricsReq | Message::FlightReq => false,
         Message::Query(_) => !cache_hit(),
         _ => true,
     }
@@ -1602,13 +1640,33 @@ pub(crate) fn serve_one(shared: &ServeShared, config: &ServeConfig, d: &DecodedF
     if (over_global || over_db) && shed_class(&d.msg, || probe_cache_hit(server, &d.msg)) {
         ft_metrics().shed.inc();
         tenant.note_shed();
+        crate::flight::event(
+            crate::flight::Kind::Shed,
+            tenant.name(),
+            inflight as u64,
+            db_cap as u64,
+            0,
+        );
         return busy_reply(d.version, config.retry_after);
     }
+    if matches!(d.msg, Message::MetricsReq) {
+        // Scrape-time freshness for every hosted db, not just this one.
+        shared.registry.refresh_store_gauges();
+    }
     let _guard = InflightGuard::enter(shared, &tenant);
+    crate::flight::event(
+        crate::flight::Kind::Admit,
+        tenant.name(),
+        shared.inflight.load(Ordering::SeqCst) as u64,
+        0,
+        0,
+    );
     let deadline = config.deadline;
     let started = Instant::now();
+    let mut profile = None;
     let reply = dispatch_traced(d.trace, || {
-        if d.msg.is_mutation() {
+        telemetry::profile_begin();
+        let result = if d.msg.is_mutation() {
             match write_lock_within(server, deadline) {
                 Some(mut guard) => {
                     apply_request_keyed(&mut guard, &tenant.replay, d.req_id, &d.msg)
@@ -1626,10 +1684,73 @@ pub(crate) fn serve_one(shared: &ServeShared, config: &ServeConfig, d: &DecodedF
                     Ok(busy_reply(d.version, config.retry_after))
                 }
             }
-        }
+        };
+        profile = finish_profile(&tenant, &result);
+        result
     });
-    telemetry::record_span(&format!("db.{}", tenant.name()), started.elapsed());
+    let total = started.elapsed();
+    telemetry::record_span(&format!("db.{}", tenant.name()), total);
+    note_slow(tenant.name(), total, profile.as_ref());
     reply
+}
+
+/// Closes out one dispatched request's resource profile. Must run inside
+/// the dispatch closure (the trace scope is still open there, so the
+/// `profile.*` spans ride back on the `Answer`): stamps the reply's
+/// shipped blocks and cache outcome into the profile, folds it into the
+/// tenant's per-db totals — exactly once per request, which is what makes
+/// `sum(profiles) == registry counters` hold — and records each field as
+/// a `profile.*` span whose nanosecond value carries the raw count.
+fn finish_profile(
+    tenant: &Tenant,
+    result: &Result<Message, CoreError>,
+) -> Option<telemetry::QueryProfile> {
+    match result {
+        Ok(Message::Answer(resp)) => telemetry::with_profile(|p| {
+            p.blocks_shipped += resp.blocks.len() as u64;
+            p.cache_hit = resp.served_from_cache;
+        }),
+        Ok(Message::BatchAnswer(items)) => telemetry::with_profile(|p| {
+            let mut answers = 0u64;
+            let mut cached = 0u64;
+            for item in items {
+                if let Message::Answer(r) = item {
+                    answers += 1;
+                    p.blocks_shipped += r.blocks.len() as u64;
+                    cached += r.served_from_cache as u64;
+                }
+            }
+            p.cache_hit = answers > 0 && cached == answers;
+        }),
+        _ => {}
+    }
+    let profile = telemetry::profile_take()?;
+    tenant.note_profile(&profile);
+    if telemetry::current_trace() != 0 {
+        for (name, value) in profile.span_fields() {
+            if value > 0 {
+                telemetry::record_span(name, Duration::from_nanos(value));
+            }
+        }
+    }
+    Some(profile)
+}
+
+/// Slow-request accounting shared by both serve paths: the annotated
+/// slow-query log line plus a flight-recorder event.
+fn note_slow(db: &str, total: Duration, profile: Option<&telemetry::QueryProfile>) {
+    telemetry::note_server_query(db, total, profile);
+    let threshold = telemetry::slow_threshold_ns();
+    let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+    if threshold > 0 && total_ns >= threshold {
+        crate::flight::event(
+            crate::flight::Kind::SlowQuery,
+            db,
+            total_ns / 1000,
+            profile.map_or(0, |p| p.pages_faulted),
+            profile.map_or(0, |p| p.blocks_shipped),
+        );
+    }
 }
 
 /// Dispatches a [`Message::Batch`]: the whole group shares one tenant
@@ -1657,12 +1778,31 @@ fn serve_batch(
     if (over_global || over_db) && !batch_all_cheap(server, items) {
         ft_metrics().shed.inc();
         tenant.note_shed();
+        crate::flight::event(
+            crate::flight::Kind::Shed,
+            tenant.name(),
+            inflight as u64,
+            db_cap as u64,
+            0,
+        );
         return busy_reply(d.version, config.retry_after);
     }
+    if items.iter().any(|m| matches!(m, Message::MetricsReq)) {
+        shared.registry.refresh_store_gauges();
+    }
     let _guard = InflightGuard::enter(shared, &tenant);
+    crate::flight::event(
+        crate::flight::Kind::Admit,
+        tenant.name(),
+        shared.inflight.load(Ordering::SeqCst) as u64,
+        0,
+        0,
+    );
     let started = Instant::now();
+    let mut profile = None;
     let reply = dispatch_traced(d.trace, || {
-        match read_lock_within(server, config.deadline) {
+        telemetry::profile_begin();
+        let result = match read_lock_within(server, config.deadline) {
             Some(guard) => Ok(Message::BatchAnswer(
                 items
                     .iter()
@@ -1676,9 +1816,13 @@ fn serve_batch(
                 ft_metrics().deadline_shed.inc();
                 Ok(busy_reply(d.version, config.retry_after))
             }
-        }
+        };
+        profile = finish_profile(&tenant, &result);
+        result
     });
-    telemetry::record_span(&format!("db.{}", tenant.name()), started.elapsed());
+    let total = started.elapsed();
+    telemetry::record_span(&format!("db.{}", tenant.name()), total);
+    note_slow(tenant.name(), total, profile.as_ref());
     reply
 }
 
@@ -1691,7 +1835,7 @@ fn batch_all_cheap(server: &RwLock<Server>, items: &[Message]) -> bool {
         return false;
     };
     items.iter().all(|item| match item {
-        Message::CacheStatsReq | Message::MetricsReq | Message::Ping => true,
+        Message::CacheStatsReq | Message::MetricsReq | Message::FlightReq | Message::Ping => true,
         Message::Query(q) => guard.has_cached_response(q),
         _ => false,
     })

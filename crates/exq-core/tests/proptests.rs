@@ -145,3 +145,170 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability hardening: hostile db ids and the flight-recorder ring.
+// ---------------------------------------------------------------------------
+
+/// Splits one exposition line into `(series, value)` with quote-aware
+/// scanning: whitespace inside a `{label="…"}` section (or escaped quotes
+/// within it) must not terminate the series name.
+fn split_series_value(line: &str) -> Option<(String, f64)> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ' ' if !in_quotes => {
+                let (name, rest) = line.split_at(i);
+                let value: f64 = rest
+                    .trim()
+                    .parse()
+                    .ok()
+                    .or_else(|| (rest.trim() == "+Inf").then_some(f64::INFINITY))?;
+                return (!name.is_empty() && !in_quotes).then(|| (name.to_string(), value));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Alphabet of label-hostile characters: quotes, backslashes, newlines,
+/// braces, spaces, and multibyte text.
+fn hostile_char(idx: u8) -> char {
+    const ALPHABET: &[char] = &[
+        '"', '\\', '\n', '{', '}', ' ', '=', ',', 'a', 'B', '7', '-', '.', 'é', '⊕',
+    ];
+    ALPHABET[idx as usize % ALPHABET.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Prometheus exposition stays line-parseable no matter what a db id
+    /// contains, and distinct ids never collide onto one series.
+    #[test]
+    fn exposition_survives_hostile_db_ids(
+        raw_a in proptest::collection::vec(any::<u8>(), 1..12),
+        raw_b in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let id_a: String = raw_a.iter().map(|&b| hostile_char(b)).collect();
+        let id_b: String = raw_b.iter().map(|&b| hostile_char(b)).collect();
+        // Distinct ids map to distinct series (escape_label is injective).
+        if id_a != id_b {
+            prop_assert_ne!(
+                exq_core::telemetry::db_series("exq_db_requests_total", &id_a),
+                exq_core::telemetry::db_series("exq_db_requests_total", &id_b),
+            );
+        }
+        let series = exq_core::telemetry::db_series("exq_db_requests_total", &id_a);
+        exq_core::telemetry::counter(&series).inc();
+        let text = exq_core::telemetry::render();
+        prop_assert!(text.contains(&series), "registered series must render");
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            prop_assert!(
+                split_series_value(line).is_some(),
+                "unparseable exposition line: {:?}",
+                line
+            );
+        }
+        // Escaped newlines must never break a series across lines.
+        prop_assert!(!series.contains('\n'));
+        // Clean up so repeated cases don't grow the registry unboundedly.
+        let removed = exq_core::telemetry::remove_db_series(&id_a);
+        prop_assert!(removed >= 1, "drop must find the series it registered");
+        prop_assert!(!exq_core::telemetry::render().contains(&series));
+    }
+}
+
+/// Eight writer threads hammer the flight recorder concurrently. Every
+/// event that survives into a snapshot must be intact (its payload words
+/// satisfy the writer's invariant), the ring never exceeds its fixed
+/// capacity, and the JSON dump stays valid throughout.
+#[test]
+fn flight_recorder_survives_eight_thread_hammer() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const THREADS: u64 = 8;
+    const EVENTS_PER_THREAD: u64 = 4_000;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut dumps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let dump = exq_core::flight::dump_json();
+                exq_core::flight::validate_json_lines(&dump)
+                    .expect("concurrent dump must stay valid JSON lines");
+                dumps += 1;
+            }
+            dumps
+        })
+    };
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    // Invariant: c == a * 1_000_000 + b, a == thread id.
+                    exq_core::flight::event(
+                        exq_core::flight::Kind::Admit,
+                        "hammer-db",
+                        t,
+                        i,
+                        t * 1_000_000 + i,
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let dumps = reader.join().unwrap();
+    assert!(dumps > 0, "reader thread must have raced at least one dump");
+
+    let events = exq_core::flight::snapshot();
+    assert!(
+        events.len() <= exq_core::flight::CAPACITY,
+        "ring must stay bounded: {} > {}",
+        events.len(),
+        exq_core::flight::CAPACITY
+    );
+    let mut ours = 0usize;
+    let mut last_seq = None;
+    for e in &events {
+        if let Some(prev) = last_seq {
+            assert!(e.seq > prev, "snapshot seqs must be strictly increasing");
+        }
+        last_seq = Some(e.seq);
+        if e.db == "hammer-db" {
+            ours += 1;
+            assert!(e.a < THREADS, "torn event: thread id {}", e.a);
+            assert_eq!(
+                e.c,
+                e.a * 1_000_000 + e.b,
+                "torn event payload: a={} b={} c={}",
+                e.a,
+                e.b,
+                e.c
+            );
+        }
+    }
+    assert!(
+        ours > 0,
+        "hammer events must be visible in the final snapshot"
+    );
+}

@@ -474,3 +474,60 @@ fn legacy_v1_v2_v3_peers_get_default_db_answers() {
     }
     handle.shutdown();
 }
+
+/// Dropping a database removes every one of its `{db="…"}` series from
+/// the telemetry exposition — a dropped db must not linger as a frozen
+/// ghost on the next scrape.
+#[test]
+fn dropped_db_series_vanish_from_exposition() {
+    let name = "dropvanish-db";
+    let registry = TenantRegistry::new(name).unwrap();
+    let (client, server) = hosted("dv", 4242);
+    registry
+        .create(name, server, client.key_fingerprint(), 0)
+        .unwrap();
+    // Registration creates the per-db counters; traffic bumps them.
+    registry.resolve("").unwrap();
+    let label = format!("{{db=\"{name}\"}}");
+    let text = exq_core::telemetry::render();
+    assert!(
+        text.contains(&label),
+        "per-db series must exist while the db is registered"
+    );
+
+    registry.drop_db(name).unwrap();
+    let text = exq_core::telemetry::render();
+    assert!(
+        !text.contains(&label),
+        "per-db series must vanish after drop; exposition still has:\n{}",
+        text.lines()
+            .filter(|l| l.contains(&label))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Other dbs' series are untouched (spot-check the suffix matching).
+    assert!(exq_core::telemetry::remove_db_series(name) == 0);
+}
+
+/// `FlightReq` answers with the recorder's ring as JSON lines over the
+/// wire, and the dump stays parseable with real traffic behind it.
+#[test]
+fn flight_dump_is_valid_json_lines_over_the_wire() {
+    let (registry, clients) = three_db_registry("flt");
+    let handle = start(Arc::clone(&registry), ServeConfig::default());
+    let (name, client) = &clients[1];
+    let mut tcp = connect(&handle, name);
+    for _ in 0..3 {
+        client.query_via(&mut tcp, "//patient/pname").unwrap();
+    }
+    let dump = tcp.flight_dump().unwrap();
+    let lines =
+        exq_core::flight::validate_json_lines(&dump).expect("flight dump must be valid JSON lines");
+    assert!(
+        lines >= 3,
+        "expected at least the admit events, got {lines}"
+    );
+    assert!(dump.contains("\"event\":\"admit\""), "dump:\n{dump}");
+    assert!(dump.contains(&format!("\"db\":\"{name}\"")));
+    handle.shutdown();
+}

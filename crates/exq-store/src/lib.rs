@@ -26,14 +26,14 @@
 //!   superblock, and compacts the log — a kill at any instant leaves
 //!   either the old durable state (plus the log) or the new one.
 
+pub mod obs;
 pub mod page;
 pub mod pool;
 pub mod store;
 pub mod wal;
 
-pub use page::{
-    PageFile, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_BYTES,
-};
+pub use obs::{set_observer, StoreObserver};
+pub use page::{PageFile, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_BYTES};
 pub use pool::{BufferPool, PinnedPage, PoolStats};
 pub use store::{PagedStore, StoreFootprint, StoreOptions, StoreReader};
 pub use wal::{Wal, WalRecord, WalReplay};

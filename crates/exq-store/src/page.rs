@@ -116,7 +116,7 @@ pub fn probe_page_size(head: &[u8], file_len: u64) -> Option<usize> {
     let plausible = |sz: usize| {
         (MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&sz)
             && file_len >= 2 * sz as u64
-            && file_len % sz as u64 == 0
+            && file_len.is_multiple_of(sz as u64)
     };
     if let Some(sb) = decode_superblock_at(head, 0) {
         let sz = sb.page_size as usize;

@@ -108,9 +108,11 @@ impl BufferPool {
             let bytes = Arc::clone(&f.ring[i].bytes);
             drop(f);
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            crate::obs::obs().pool_hit();
             Some(PinnedPage { bytes })
         } else {
             self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            crate::obs::obs().pool_miss();
             None
         }
     }
@@ -177,6 +179,7 @@ impl BufferPool {
                 f.index.insert(page, hand);
                 f.hand = (hand + 1) % f.ring.len();
                 counters.evictions.fetch_add(1, Ordering::Relaxed);
+                crate::obs::obs().eviction();
                 return PinnedPage { bytes };
             }
         }

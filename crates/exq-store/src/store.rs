@@ -316,6 +316,7 @@ impl PagedStore {
             if let Some(out) = self.try_get(id)? {
                 return Ok(out);
             }
+            crate::obs::obs().epoch_retry();
         }
         // Pathological publish rate: the writer lock excludes checkpoints,
         // so under it the snapshot cannot be invalidated.
@@ -350,7 +351,9 @@ impl PagedStore {
                     // invalidation (checkpoint rewriting pages) races the
                     // read, insert_if refuses to cache possibly-stale bytes.
                     let stamp = self.pool.stamp();
+                    let fault_started = std::time::Instant::now();
                     let payload = { self.reader.lock().unwrap().read_page(p) };
+                    crate::obs::obs().page_fault(fault_started.elapsed().as_nanos() as u64);
                     match payload {
                         Ok(payload) => self.pool.insert_if(stamp, p, payload),
                         Err(e) => {
@@ -412,15 +415,18 @@ impl PagedStore {
 
     /// Folds dirty records into the page file (copy-on-write) and declares
     /// every WAL record with `seq ≤ wal_seq` durable, then compacts the
-    /// log. `None` content removes the record.
+    /// log. `None` content removes the record. Returns the number of pages
+    /// written ("folded") by this checkpoint — data and directory pages —
+    /// so the layer above can account checkpoint I/O per database.
     pub fn checkpoint(
         &self,
         dirty: &[(u64, Option<Vec<u8>>)],
         wal_seq: u64,
-    ) -> Result<(), StoreError> {
+    ) -> Result<u64, StoreError> {
+        let fold_started = std::time::Instant::now();
         let mut inner = self.inner.lock().unwrap();
         if dirty.is_empty() && wal_seq <= inner.superblock.wal_seq {
-            return Ok(());
+            return Ok(0);
         }
         let cur_dir = self.published.lock().unwrap().clone();
         // Pages the current durable state references: never overwrite them.
@@ -517,7 +523,10 @@ impl PagedStore {
         drop(inner);
 
         self.crash_if(crash::BEFORE_COMPACT)?;
-        self.wal.lock().unwrap().compact(wal_seq)
+        self.wal.lock().unwrap().compact(wal_seq)?;
+        let folded = written.len() as u64;
+        crate::obs::obs().checkpoint(folded, fold_started.elapsed().as_nanos() as u64);
+        Ok(folded)
     }
 
     /// Buffer-pool counters.
@@ -868,9 +877,7 @@ mod tests {
         // Rewrite the record 40 times; free-page reuse makes the new
         // version land on pages the previous-but-one version occupied.
         for round in 1..=40u8 {
-            store
-                .checkpoint(&[(1, Some(vec![round; 600]))], 0)
-                .unwrap();
+            store.checkpoint(&[(1, Some(vec![round; 600]))], 0).unwrap();
         }
         done.store(true, Ordering::SeqCst);
         for r in readers {

@@ -90,7 +90,12 @@ impl Wal {
     /// floor, appends after a reopen would reuse already-folded sequence
     /// numbers and the next recovery would silently skip them.
     pub fn open(path: &Path, first_seq: u64) -> Result<(Wal, WalReplay), StoreError> {
+        let scan_started = std::time::Instant::now();
         let replay = Self::replay(path)?;
+        crate::obs::obs().wal_replay(
+            replay.records.len() as u64,
+            scan_started.elapsed().as_nanos() as u64,
+        );
         let valid_len = WAL_MAGIC.len() as u64
             + replay
                 .records
@@ -204,8 +209,10 @@ impl Wal {
         frame.extend_from_slice(payload);
         let crc = crc32(&frame[4..]);
         frame.extend_from_slice(&crc.to_le_bytes());
+        let sync_started = std::time::Instant::now();
         self.file.write_all(&frame)?;
         self.file.sync_all()?;
+        crate::obs::obs().wal_fsync(frame.len() as u64, sync_started.elapsed().as_nanos() as u64);
         self.next_seq = seq + 1;
         self.bytes += frame.len() as u64;
         self.records += 1;
@@ -247,6 +254,7 @@ impl Wal {
         self.file.sync_all()?;
         self.bytes = bytes;
         self.records = kept;
+        crate::obs::obs().wal_compaction();
         Ok(())
     }
 
