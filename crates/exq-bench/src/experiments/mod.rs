@@ -22,6 +22,7 @@ pub mod e19_tenants;
 pub mod e20_pipeline;
 pub mod e21_outofcore;
 pub mod e22_storageobs;
+pub mod e23_diskfaults;
 
 use crate::report::Table;
 use crate::{robust_mean, ExpConfig};
@@ -143,6 +144,11 @@ pub fn registry() -> Vec<Experiment> {
             "e22",
             "extension: storage observability — overhead, exact profile/registry reconciliation, serial≡pipelined",
             e22_storageobs::run,
+        ),
+        (
+            "e23",
+            "extension: disk-fault torture — seeded kill-and-recover cycles, availability vs injected write-fault rate",
+            e23_diskfaults::run,
         ),
     ]
 }

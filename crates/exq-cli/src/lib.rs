@@ -14,7 +14,7 @@ use exq_core::system::{OutsourceConfig, Outsourcer};
 use exq_core::telemetry;
 use exq_core::tenant::TenantRegistry;
 use exq_core::transport::{
-    serve, serve_multi, InProcess, Pipeline, ServeConfig, ServeHandle, TcpTransport, Transport,
+    serve_multi, InProcess, Pipeline, ServeConfig, ServeHandle, TcpTransport, Transport,
 };
 use exq_core::{Client, CoreError, Server};
 use exq_xml::Document;
@@ -437,16 +437,20 @@ pub fn cmd_serve(
         ..ServeConfig::default()
     };
     let shared = Arc::new(RwLock::new(server));
+    // One registry serves both the request path and the checkpointer so
+    // they share the same Tenant: health flipped by a failed checkpoint
+    // (Degraded/Faulted) is the health the serve path gates on.
+    let registry = Arc::new(
+        TenantRegistry::single(exq_core::DEFAULT_DB, Arc::clone(&shared))
+            .expect("default db id is valid"),
+    );
     let checkpointer = paged
         .as_ref()
-        .map(|_| Checkpointer::spawn(Arc::clone(&shared), checkpoint_interval()));
+        .map(|_| Checkpointer::spawn_tenants(Arc::clone(&registry), checkpoint_interval()));
     let handle = if event_loop {
-        let registry = Arc::new(
-            TenantRegistry::single(exq_core::DEFAULT_DB, shared).expect("default db id is valid"),
-        );
         serve_event(listener, registry, config)?
     } else {
-        serve(listener, shared, config)?
+        serve_multi(listener, registry, config)?
     };
     let per_query = exq_core::pool::resolve_threads(threads);
     let cache = handle.cache_stats().capacity;
@@ -537,14 +541,20 @@ pub fn cmd_db_create(
     ))
 }
 
-/// `exq db list`: the databases a directory hosts, with per-db size and
-/// quota details; the default db is marked. Databases with a paged sibling
-/// additionally report their out-of-core footprint (on-disk bytes, page
-/// count, resident pages, WAL depth) — the same numbers the per-db
-/// `{db="..."}` telemetry gauges expose on a live server. Paged siblings
-/// are inspected strictly read-only ([`PagedDb::inspect`]) so listing is
-/// safe while a live server owns the store: nothing truncates a WAL tail a
-/// concurrent appender may still be writing.
+/// `exq db list`: the databases a directory hosts, with per-db size,
+/// quota, and health details; the default db is marked. Databases with a
+/// paged sibling additionally report their out-of-core footprint (on-disk
+/// bytes, page count, resident pages, WAL depth) — the same numbers the
+/// per-db `{db="..."}` telemetry gauges expose on a live server. Paged
+/// siblings are inspected strictly read-only ([`PagedDb::inspect`]) so
+/// listing is safe while a live server owns the store: nothing truncates
+/// a WAL tail a concurrent appender may still be writing.
+///
+/// The health column reflects what the inspection itself proved: a store
+/// that opens and decodes is `healthy`; one whose superblocks, directory,
+/// or metadata fail is listed as `faulted: <why>` instead of sinking the
+/// whole listing — a hosted directory with one rotten db must still list
+/// the other nine.
 pub fn cmd_db_list(dir: &Path) -> Result<String, CliError> {
     let registry = TenantRegistry::open(dir, exq_core::DEFAULT_DB)?;
     let mut report = String::new();
@@ -555,21 +565,25 @@ pub fn cmd_db_list(dir: &Path) -> Result<String, CliError> {
         // registry loaded may predate checkpointed mutations. Its numbers
         // are as of the last checkpoint; the WAL depth column counts the
         // committed mutations still pending on top.
-        let (blocks, bytes, footprint) = if PagedDb::is_paged(&state) {
-            let r = PagedDb::inspect(&PagedDb::pages_dir(&state))?;
-            (
-                r.block_count as usize,
-                r.hosted_bytes as usize,
-                Some(r.footprint),
-            )
+        let (blocks, bytes, footprint, health) = if PagedDb::is_paged(&state) {
+            match PagedDb::inspect(&PagedDb::pages_dir(&state)) {
+                Ok(r) => (
+                    r.block_count as usize,
+                    r.hosted_bytes as usize,
+                    Some(r.footprint),
+                    "healthy".to_owned(),
+                ),
+                Err(e) => (0, 0, None, format!("faulted: {e}")),
+            }
         } else {
-            match tenant.server.read() {
-                Ok(g) => (g.block_count(), g.hosted_bytes(), None),
+            let h = match tenant.server.read() {
+                Ok(g) => (g.block_count(), g.hosted_bytes()),
                 Err(p) => {
                     let g = p.into_inner();
-                    (g.block_count(), g.hosted_bytes(), None)
+                    (g.block_count(), g.hosted_bytes())
                 }
-            }
+            };
+            (h.0, h.1, None, "healthy".to_owned())
         };
         let marker = if name == registry.default_db() {
             " (default)"
@@ -589,7 +603,7 @@ pub fn cmd_db_list(dir: &Path) -> Result<String, CliError> {
         };
         let _ = writeln!(
             report,
-            "{name}{marker}: {blocks} blocks, {bytes} hosted bytes, key fp {:016x}, {quota}{paged}",
+            "{name}{marker}: {health}, {blocks} blocks, {bytes} hosted bytes, key fp {:016x}, {quota}{paged}",
             tenant.key_fingerprint(),
         );
     }
@@ -641,14 +655,12 @@ pub fn cmd_db_host(
     if registry.is_empty() {
         return usage(format!("{} hosts no databases", dir.display()));
     }
-    let checkpointer = store_opts.as_ref().map(|_| {
-        let servers = registry
-            .tenants()
-            .iter()
-            .map(|t| Arc::clone(&t.server))
-            .collect();
-        Checkpointer::spawn_many(servers, checkpoint_interval())
-    });
+    // Tenant-aware checkpointing: the sweep re-reads the registry each
+    // tick, tends each db's health (degraded probe / recovery), and runs
+    // the idle-tick scrubber on top of the plain checkpoint cadence.
+    let checkpointer = store_opts
+        .as_ref()
+        .map(|_| Checkpointer::spawn_tenants(Arc::clone(&registry), checkpoint_interval()));
     let listener = std::net::TcpListener::bind(addr)?;
     let config = ServeConfig {
         workers,
@@ -945,8 +957,8 @@ pub fn top_frame_from(prev_text: &str, cur_text: &str, dt_secs: f64) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<14} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}",
-        "db", "qps", "shed/s", "cache%", "faults/s", "resident", "wal", "p99(ms)"
+        "{:<14} {:>8} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "db", "health", "qps", "shed/s", "cache%", "faults/s", "resident", "wal", "p99(ms)"
     );
     for db in db_names(&cur) {
         let requests = delta("exq_db_requests_total", &db);
@@ -963,6 +975,13 @@ pub fn top_frame_from(prev_text: &str, cur_text: &str, dt_secs: f64) -> String {
         let faults = delta("exq_db_pages_faulted_total", &db) / dt;
         let resident = gauge("exq_store_resident_pages", &db);
         let wal = gauge("exq_store_wal_depth", &db);
+        // 0=healthy 1=degraded 2=faulted; the gauge only exists once the
+        // tenant has published health (fresh servers read as healthy).
+        let health = match gauge("exq_db_health", &db) as u8 {
+            1 => "degraded",
+            2 => "faulted",
+            _ => "ok",
+        };
         let p99 = match p99_ms(&prev, &cur, &db) {
             Some(v) if v.is_finite() => format!("{v:.2}"),
             Some(_) => ">max".to_owned(),
@@ -970,7 +989,7 @@ pub fn top_frame_from(prev_text: &str, cur_text: &str, dt_secs: f64) -> String {
         };
         let _ = writeln!(
             out,
-            "{db:<14} {qps:>8.1} {shed:>7.1} {cache_pct:>7} {faults:>9.1} \
+            "{db:<14} {health:>8} {qps:>8.1} {shed:>7.1} {cache_pct:>7} {faults:>9.1} \
              {resident:>9.0} {wal:>9.0} {p99:>9}"
         );
     }

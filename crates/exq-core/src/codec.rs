@@ -1003,6 +1003,14 @@ impl WireError {
             CoreError::Codec(m) => (7, m.clone()),
             CoreError::Transport(m) => (8, m.clone()),
             CoreError::Tenant(m) => (9, m.clone()),
+            // The retry-after hint rides inside the message as
+            // "<ms>;<reason>" so the WireError frame shape (code + string)
+            // stays byte-compatible with older peers, which surface it as
+            // an unknown category with a readable message.
+            CoreError::Unavailable {
+                retry_after_ms,
+                reason,
+            } => (10, format!("{retry_after_ms};{reason}")),
         };
         WireError { code, message }
     }
@@ -1019,6 +1027,16 @@ impl WireError {
             7 => CoreError::Codec(self.message),
             8 => CoreError::Transport(self.message),
             9 => CoreError::Tenant(self.message),
+            10 => {
+                let (ms, reason) = match self.message.split_once(';') {
+                    Some((ms, reason)) => (ms.parse().unwrap_or(0), reason.to_string()),
+                    None => (0, self.message),
+                };
+                CoreError::Unavailable {
+                    retry_after_ms: ms,
+                    reason,
+                }
+            }
             other => CoreError::Transport(format!(
                 "server error (unknown category {other}): {}",
                 self.message
@@ -1778,6 +1796,31 @@ mod tests {
             let back = Message::decode_frame(&frame).unwrap();
             assert_eq!(back, msg);
         }
+    }
+
+    #[test]
+    fn unavailable_round_trips_with_retry_hint() {
+        let core = CoreError::Unavailable {
+            retry_after_ms: 1500,
+            reason: "degraded: wal append failed".into(),
+        };
+        let wire = WireError::from_core(&core);
+        assert_eq!(wire.code, 10);
+        assert_eq!(wire.message, "1500;degraded: wal append failed");
+        assert_eq!(wire.clone().into_core(), core);
+
+        // A malformed hint degrades gracefully instead of erroring.
+        let mangled = WireError {
+            code: 10,
+            message: "storage gone".into(),
+        };
+        assert_eq!(
+            mangled.into_core(),
+            CoreError::Unavailable {
+                retry_after_ms: 0,
+                reason: "storage gone".into()
+            }
+        );
     }
 
     #[test]

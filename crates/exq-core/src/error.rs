@@ -26,6 +26,17 @@ pub enum CoreError {
     /// A multi-tenant registry failure: unknown, duplicate, or invalid
     /// database name.
     Tenant(String),
+    /// The database is temporarily refusing this class of request —
+    /// degraded (read-only) after a storage fault, or faulted entirely.
+    /// `retry_after_ms` hints when a client might probe again; retrying
+    /// sooner cannot help, so the retry policy treats this as
+    /// non-retriable.
+    Unavailable {
+        /// Suggested wait before the next attempt, in milliseconds.
+        retry_after_ms: u32,
+        /// Human-readable cause (e.g. "degraded: wal append failed").
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +52,10 @@ impl fmt::Display for CoreError {
             CoreError::Codec(m) => write!(f, "wire codec error: {m}"),
             CoreError::Transport(m) => write!(f, "transport error: {m}"),
             CoreError::Tenant(m) => write!(f, "tenant error: {m}"),
+            CoreError::Unavailable {
+                retry_after_ms,
+                reason,
+            } => write!(f, "unavailable (retry after {retry_after_ms}ms): {reason}"),
         }
     }
 }

@@ -71,6 +71,15 @@ pub enum Kind {
     /// The accept loop hit an error and backed off. `a` = consecutive
     /// errors.
     AcceptError = 9,
+    /// A db's health dropped after a storage fault. `a` = new health
+    /// (1 = degraded read-only, 2 = faulted).
+    Degraded = 10,
+    /// A degraded db's storage probe succeeded; back to healthy.
+    /// `a` = milliseconds spent degraded (0 when unknown).
+    Recovered = 11,
+    /// The scrubber quarantined and rebuilt corrupt pages. `a` = records
+    /// repaired, `b` = pages quarantined, `c` = records lost (unrepairable).
+    ScrubRepair = 12,
 }
 
 impl Kind {
@@ -85,6 +94,9 @@ impl Kind {
             Kind::EvictPressure => "evict_pressure",
             Kind::SlowQuery => "slow_query",
             Kind::AcceptError => "accept_error",
+            Kind::Degraded => "degraded",
+            Kind::Recovered => "recovered",
+            Kind::ScrubRepair => "scrub_repair",
         }
     }
 
@@ -99,6 +111,9 @@ impl Kind {
             7 => Kind::EvictPressure,
             8 => Kind::SlowQuery,
             9 => Kind::AcceptError,
+            10 => Kind::Degraded,
+            11 => Kind::Recovered,
+            12 => Kind::ScrubRepair,
             _ => return None,
         })
     }
@@ -116,6 +131,9 @@ impl Kind {
             Kind::EvictPressure => [Some("evictions_total"), None, None],
             Kind::SlowQuery => [Some("dur_us"), Some("pages_faulted"), Some("blocks")],
             Kind::AcceptError => [Some("consecutive"), None, None],
+            Kind::Degraded => [Some("health"), None, None],
+            Kind::Recovered => [Some("degraded_ms"), None, None],
+            Kind::ScrubRepair => [Some("repaired"), Some("quarantined"), Some("lost")],
         }
     }
 }

@@ -171,6 +171,11 @@ impl<T: Reconnect> Retry<T> {
 fn transient_reply(reply: &Message) -> Option<Duration> {
     match reply {
         Message::Busy { retry_after_ms } => Some(Duration::from_millis(*retry_after_ms as u64)),
+        // Code 10 (`CoreError::Unavailable`) carries a retry-after hint but
+        // is deliberately NOT transient: the db is degraded after a storage
+        // fault and burning the budget hammering it cannot help — surface
+        // the hint to the caller, who decides when to probe again.
+        Message::Error(e) if e.code == 10 => None,
         Message::Error(e) if e.code == 7 || e.code == 8 => Some(Duration::ZERO),
         _ => None,
     }
@@ -512,6 +517,21 @@ mod tests {
         let mut retry = Retry::new(inner, fast());
         let err = retry.roundtrip(&Message::Ping).unwrap_err();
         assert_eq!(err, CoreError::Query("no such tag".into()));
+        assert_eq!(retry.retry_stats().retries, 0);
+        assert_eq!(retry.into_inner().seen_ids.len(), 1);
+    }
+
+    #[test]
+    fn unavailable_reply_is_not_retried() {
+        use crate::codec::WireError;
+        let degraded = Message::Error(WireError::from_core(&CoreError::Unavailable {
+            retry_after_ms: 250,
+            reason: "degraded: wal append failed".into(),
+        }));
+        let inner = Scripted::new(vec![Ok(degraded.clone()), Ok(Message::Pong)]);
+        let mut retry = Retry::new(inner, fast());
+        // The error frame surfaces on the first attempt — no backoff loop.
+        assert_eq!(retry.roundtrip(&Message::Ping).unwrap(), degraded);
         assert_eq!(retry.retry_stats().retries, 0);
         assert_eq!(retry.into_inner().seen_ids.len(), 1);
     }

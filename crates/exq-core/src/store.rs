@@ -74,6 +74,8 @@ struct EngineSeries {
     checkpoint: Arc<telemetry::Histogram>,
     epoch_retries: Arc<Counter>,
     wal_compactions: Arc<Counter>,
+    scrub_pages: Arc<Counter>,
+    scrub_corrupt_pages: Arc<Counter>,
     /// Running eviction total, for sampled flight-recorder pressure events.
     evictions: AtomicU64,
 }
@@ -87,6 +89,8 @@ fn engine_series() -> &'static EngineSeries {
         checkpoint: telemetry::histogram("exq_store_checkpoint_seconds"),
         epoch_retries: telemetry::counter("exq_store_epoch_retries_total"),
         wal_compactions: telemetry::counter("exq_store_wal_compactions_total"),
+        scrub_pages: telemetry::counter("exq_store_scrub_pages_total"),
+        scrub_corrupt_pages: telemetry::counter("exq_store_scrub_corrupt_pages_total"),
         evictions: AtomicU64::new(0),
     })
 }
@@ -167,6 +171,18 @@ impl exq_store::StoreObserver for CoreStoreObserver {
     fn checkpoint(&self, _pages_folded: u64, nanos: u64) {
         if telemetry::enabled() {
             engine_series().checkpoint.observe(nanos);
+        }
+    }
+
+    fn scrub(&self, scanned: u64, _corrupt_records: u64) {
+        if telemetry::enabled() {
+            engine_series().scrub_pages.add(scanned);
+        }
+    }
+
+    fn scrub_corrupt(&self, _id: u64, pages: u64) {
+        if telemetry::enabled() {
+            engine_series().scrub_corrupt_pages.add(pages);
         }
     }
 }
@@ -365,7 +381,20 @@ impl PagedDb {
         opts: StoreOptions,
         server: &Server,
     ) -> Result<Arc<PagedDb>, CoreError> {
-        let store = PagedStore::create(dir, opts)?;
+        Self::create_from_server_with(exq_store::os_vfs(), dir, label, opts, server)
+    }
+
+    /// [`create_from_server`](Self::create_from_server) against an
+    /// explicit [`exq_store::Vfs`] (the crash-torture harness runs whole
+    /// databases on a [`exq_store::FaultVfs`]).
+    pub(crate) fn create_from_server_with(
+        vfs: Arc<dyn exq_store::Vfs>,
+        dir: &Path,
+        label: &str,
+        opts: StoreOptions,
+        server: &Server,
+    ) -> Result<Arc<PagedDb>, CoreError> {
+        let store = PagedStore::create_with(vfs, dir, opts)?;
         let mut dirty: Vec<(u64, Option<Vec<u8>>)> = vec![(REC_META, Some(encode_meta(server)))];
         for (k, list) in sorted_postings(server).into_iter().enumerate() {
             dirty.push((posting_record_id(k as u32), Some(encode_postings(list))));
@@ -387,7 +416,19 @@ impl PagedDb {
         label: &str,
         opts: StoreOptions,
     ) -> Result<Arc<PagedDb>, CoreError> {
-        let db = Self::create_from_server(dir, label, opts, server)?;
+        Self::attach_new_with(server, exq_store::os_vfs(), dir, label, opts)
+    }
+
+    /// [`attach_new`](Self::attach_new) against an explicit
+    /// [`exq_store::Vfs`].
+    pub fn attach_new_with(
+        server: &mut Server,
+        vfs: Arc<dyn exq_store::Vfs>,
+        dir: &Path,
+        label: &str,
+        opts: StoreOptions,
+    ) -> Result<Arc<PagedDb>, CoreError> {
+        let db = Self::create_from_server_with(vfs, dir, label, opts, server)?;
         server.attach_paged(Arc::clone(&db));
         db.publish_metrics();
         Ok(db)
@@ -401,7 +442,17 @@ impl PagedDb {
         label: &str,
         opts: StoreOptions,
     ) -> Result<(Server, Arc<PagedDb>, ReplaySummary), CoreError> {
-        let (store, replay) = PagedStore::open(dir, opts)?;
+        Self::open_with(exq_store::os_vfs(), dir, label, opts)
+    }
+
+    /// [`open`](Self::open) against an explicit [`exq_store::Vfs`].
+    pub fn open_with(
+        vfs: Arc<dyn exq_store::Vfs>,
+        dir: &Path,
+        label: &str,
+        opts: StoreOptions,
+    ) -> Result<(Server, Arc<PagedDb>, ReplaySummary), CoreError> {
+        let (store, replay) = PagedStore::open_with(vfs, dir, opts)?;
         let db = Self::with_store(store, label);
         let meta = db.store.get(REC_META)?;
         let mut server = decode_meta(&meta, &db)?;
@@ -857,6 +908,124 @@ pub fn checkpoint_once(server: &RwLock<Server>) -> Result<bool, CoreError> {
     Ok(true)
 }
 
+/// Page budget of one background scrub step: enough to sweep a multi-GB
+/// store in minutes of idle ticks without stealing a tick's latency.
+pub const SCRUB_PAGES_PER_TICK: usize = 256;
+
+/// What one [`scrub_once`] step did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// Pages CRC-verified against disk this step.
+    pub scanned: u64,
+    /// Corrupt records rebuilt onto fresh pages.
+    pub repaired: u64,
+    /// Corrupt pages quarantined (never reallocated).
+    pub quarantined: u64,
+    /// Corrupt records no repair source could rebuild — the db must be
+    /// marked faulted by the caller.
+    pub lost: u64,
+    /// Whether the step finished a full cyclic pass over the store.
+    pub completed_pass: bool,
+}
+
+/// One bounded step of the self-healing scrub: verifies up to `max_pages`
+/// page CRCs against the *disk* image and rebuilds whatever is corrupt.
+///
+/// The repair ladder, per corrupt record:
+///
+/// 1. **Resident state** — the metadata image and posting lists are fully
+///    reconstructible from the in-memory server; block records inserted
+///    since the last checkpoint still sit in the overlay. Re-encode.
+/// 2. **Buffer pool** — a checkpointed block whose disk page rotted may
+///    still have the good frame cached ([`PagedStore::salvage_record`]).
+/// 3. **WAL tail** — the insert delta that sealed the block may still be
+///    in the log; decode it and re-encode the block.
+/// 4. Nothing worked: the record is **lost** and the caller must flip the
+///    db to `Faulted` — serving a hole as an answer is not an option.
+///
+/// Rebuilt records land on fresh pages via [`PagedStore::rewrite_records`]
+/// (a forced copy-on-write fold at the current WAL horizon), so the repair
+/// itself is crash-safe: a kill mid-repair leaves the old directory, and
+/// the next pass finds the same corruption again.
+pub fn scrub_once(server: &RwLock<Server>, max_pages: usize) -> Result<ScrubOutcome, CoreError> {
+    let g = read_server(server);
+    let Some(db) = g.paged_store() else {
+        return Ok(ScrubOutcome::default());
+    };
+    let report = db.store.scrub_step(max_pages)?;
+    let mut out = ScrubOutcome {
+        scanned: report.scanned_pages,
+        completed_pass: report.completed_pass,
+        ..ScrubOutcome::default()
+    };
+    if report.corrupt.is_empty() {
+        return Ok(out);
+    }
+
+    let overlay: HashMap<u32, Arc<SealedBlock>> = g.overlay_blocks().into_iter().collect();
+    let lists = sorted_postings(&g);
+    let mut dirty: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+    for rec in &report.corrupt {
+        out.quarantined += rec.pages.len() as u64;
+        match rec.id {
+            // The in-memory directory is authoritative; any forced fold
+            // rewrites the on-disk chain onto fresh pages.
+            exq_store::SCRUB_DIRECTORY => {}
+            REC_META => dirty.push((REC_META, Some(encode_meta(&g)))),
+            id if id >> 32 == 2 => {
+                let k = (id & 0xFFFF_FFFF) as usize;
+                // Posting lists live in the resident server; an index past
+                // the current tag set is a stale record — drop it.
+                dirty.push((id, lists.get(k).map(|list| encode_postings(list))));
+            }
+            id if id >> 32 == 1 => {
+                let bid = (id & 0xFFFF_FFFF) as u32;
+                if let Some(b) = overlay.get(&bid) {
+                    dirty.push((id, Some(encode_block_record(b))));
+                } else if let Some(raw) = db.store.salvage_record(id) {
+                    dirty.push((id, Some(raw)));
+                } else if let Some(b) = wal_tail_block(&db, bid)? {
+                    dirty.push((id, Some(encode_block_record(&b))));
+                } else {
+                    out.lost += 1;
+                }
+            }
+            _ => out.lost += 1,
+        }
+    }
+    out.repaired = dirty.len() as u64;
+    db.store.rewrite_records(&dirty)?;
+    db.publish_metrics();
+    crate::flight::event(
+        crate::flight::Kind::ScrubRepair,
+        &db.label,
+        out.repaired,
+        out.quarantined,
+        out.lost,
+    );
+    Ok(out)
+}
+
+/// Last resort of the block repair ladder: scans the WAL tail's insert
+/// deltas for sealed block `bid` (the insert that created a block may not
+/// be folded yet — then its payload is still in the log, byte-exact).
+fn wal_tail_block(db: &PagedDb, bid: u32) -> Result<Option<SealedBlock>, CoreError> {
+    use crate::codec::WireCodec;
+    let mut found = None;
+    for rec in db.store.wal_records()? {
+        if rec.kind != KIND_INSERT {
+            continue;
+        }
+        let Ok(delta) = crate::update::InsertDelta::decode(&rec.payload) else {
+            continue;
+        };
+        if let Some(b) = delta.blocks.into_iter().find(|b| b.id == bid) {
+            found = Some(b); // later records win, like replay order
+        }
+    }
+    Ok(found)
+}
+
 /// A db label safe inside a span (and thus metric) name: db ids allow
 /// `.` and `-`, which spans reserve, so both map to `_`.
 fn span_label(label: &str) -> String {
@@ -893,6 +1062,35 @@ impl Checkpointer {
     /// Spawns one checkpoint thread sweeping several hosted servers (the
     /// multi-tenant serve loop uses this: one thread, all dbs).
     pub fn spawn_many(servers: Vec<Arc<RwLock<Server>>>, interval: Duration) -> Checkpointer {
+        Self::spawn_loop(interval, move || {
+            for s in &servers {
+                // A checkpoint failure (e.g. disk full) leaves the WAL
+                // intact; the next sweep retries. catch_unwind so a
+                // panicking fold can never kill the background thread.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = checkpoint_once(s);
+                }));
+            }
+        })
+    }
+
+    /// Spawns the checkpoint thread for a tenant registry: each sweep
+    /// [`tend`]s every hosted db — checkpointing it, probing degraded
+    /// storage for recovery, and spending idle ticks scrubbing page CRCs.
+    /// The tenant list is re-read every sweep so dbs created or dropped
+    /// after spawn are picked up.
+    pub fn spawn_tenants(
+        registry: Arc<crate::tenant::TenantRegistry>,
+        interval: Duration,
+    ) -> Checkpointer {
+        Self::spawn_loop(interval, move || {
+            for t in registry.tenants() {
+                tend(&t);
+            }
+        })
+    }
+
+    fn spawn_loop(interval: Duration, mut sweep: impl FnMut() + Send + 'static) -> Checkpointer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -907,11 +1105,7 @@ impl Checkpointer {
                         continue;
                     }
                     since = Duration::ZERO;
-                    for s in &servers {
-                        // A checkpoint failure (e.g. disk full) leaves the
-                        // WAL intact; the next sweep retries.
-                        let _ = checkpoint_once(s);
-                    }
+                    sweep();
                 }
             })
             .expect("spawn checkpointer");
@@ -937,5 +1131,60 @@ impl Checkpointer {
 impl Drop for Checkpointer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// One maintenance pass over one hosted db — the unit of the background
+/// sweep, public so tests and single-shot tools can drive it without the
+/// thread. In order:
+///
+/// * `Faulted` dbs are left alone (only a reopen clears that state).
+/// * A `Degraded` db gets a storage probe ([`PagedStore::probe_sync`]):
+///   if the WAL and page file fsync again, the db flips back to healthy
+///   and this very pass resumes checkpointing; if not, it stays
+///   read-only until the next sweep.
+/// * A checkpoint failure (or panic — the fold runs under
+///   `catch_unwind`, and the store's internal locks recover from poison)
+///   flips the db to `Degraded` instead of killing the thread: reads
+///   keep serving, the WAL keeps its committed tail, and the fold is
+///   retried after recovery.
+/// * An idle tick (nothing to fold) is spent scrubbing up to
+///   [`SCRUB_PAGES_PER_TICK`] page CRCs; an unrepairable record flips
+///   the db to `Faulted`.
+pub fn tend(tenant: &crate::tenant::Tenant) {
+    use crate::tenant::DbHealth;
+    let server = &tenant.server;
+    match tenant.health() {
+        DbHealth::Faulted => return,
+        DbHealth::Degraded => {
+            let probe = {
+                let g = read_server(server);
+                match g.paged_store() {
+                    Some(db) => db.store.probe_sync().map_err(CoreError::from),
+                    None => Ok(()),
+                }
+            };
+            if probe.is_err() {
+                return;
+            }
+            tenant.set_healthy();
+        }
+        DbHealth::Healthy => {}
+    }
+    let folded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| checkpoint_once(server)));
+    match folded {
+        Ok(Ok(true)) => {}
+        Ok(Ok(false)) => {
+            // Idle: spend the tick verifying page CRCs.
+            match scrub_once(server, SCRUB_PAGES_PER_TICK) {
+                Ok(out) if out.lost > 0 => {
+                    tenant.set_faulted(&format!("{} record(s) unrepairable", out.lost));
+                }
+                Ok(_) => {}
+                Err(e) => tenant.set_degraded(&format!("scrub failed: {e}")),
+            }
+        }
+        Ok(Err(e)) => tenant.set_degraded(&format!("checkpoint failed: {e}")),
+        Err(_) => tenant.set_degraded("checkpoint panicked"),
     }
 }

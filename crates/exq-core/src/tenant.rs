@@ -33,21 +33,67 @@
 use crate::codec::MAX_DB_ID_LEN;
 use crate::error::CoreError;
 use crate::server::Server;
-use crate::telemetry::{self, Counter};
+use crate::telemetry::{self, Counter, Gauge};
 use crate::transport::ReplayTable;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// The database that anonymous (pre-v4 or empty-db) requests route to.
 pub const DEFAULT_DB: &str = "default";
+
+/// Serving state of one hosted database after storage faults. Owned by the
+/// tenant, surfaced in `exq db list`, `exq top`, the flight recorder, and
+/// the `exq_db_health` gauge; enforced by the serve paths.
+///
+/// Transitions: a failed WAL append or checkpoint flips `Healthy →
+/// Degraded` (reads keep serving from pool + page file, mutations get
+/// [`CoreError::Unavailable`]); a successful storage probe on a later
+/// checkpointer tick flips back. `Faulted` — storage unusable even for
+/// reads (e.g. the scrubber found an unrepairable record) — refuses
+/// everything but pings and diagnostics, and only a reopen clears it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DbHealth {
+    /// Fully serving.
+    Healthy = 0,
+    /// Read-only: storage writes are failing, reads still answer.
+    Degraded = 1,
+    /// Not serving data at all.
+    Faulted = 2,
+}
+
+impl DbHealth {
+    fn from_u8(v: u8) -> DbHealth {
+        match v {
+            1 => DbHealth::Degraded,
+            2 => DbHealth::Faulted,
+            _ => DbHealth::Healthy,
+        }
+    }
+
+    /// Stable lowercase label for CLI columns and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            DbHealth::Healthy => "healthy",
+            DbHealth::Degraded => "degraded",
+            DbHealth::Faulted => "faulted",
+        }
+    }
+}
 
 /// Manifest file name inside a database directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
 /// Manifest magic (versioned like the other persistence artifacts).
 const MANIFEST_MAGIC: &[u8; 6] = b"EXQMF1";
+
+/// Retry-after hint stamped on [`CoreError::Unavailable`] refusals: the
+/// checkpointer probes degraded storage once per tick, so sooner retries
+/// cannot observe a recovery.
+pub const HEALTH_RETRY_AFTER_MS: u32 = 1000;
 
 /// Validates a database id: non-empty, at most [`MAX_DB_ID_LEN`] bytes,
 /// characters restricted to `[A-Za-z0-9._-]`, and starting with an
@@ -111,6 +157,14 @@ pub struct Tenant {
     /// checkpointer's own faults and fsyncs) never pollutes them, and the
     /// sum of per-query profiles reconciles with these counters exactly.
     profile: DbProfileCounters,
+    /// Current [`DbHealth`] discriminant.
+    health: AtomicU8,
+    /// Why the db left `Healthy` (empty when healthy).
+    health_reason: Mutex<String>,
+    /// When the db left `Healthy` (for the recovery event's duration).
+    unhealthy_since: Mutex<Option<Instant>>,
+    /// `exq_db_health{db="<name>"}`: 0 healthy, 1 degraded, 2 faulted.
+    health_gauge: Arc<Gauge>,
 }
 
 /// The per-db aggregation of [`telemetry::QueryProfile`]: one counter per
@@ -172,6 +226,10 @@ impl Tenant {
             requests: telemetry::counter(&telemetry::db_series("exq_db_requests_total", name)),
             shed: telemetry::counter(&telemetry::db_series("exq_db_shed_total", name)),
             profile: DbProfileCounters::new(name),
+            health: AtomicU8::new(DbHealth::Healthy as u8),
+            health_reason: Mutex::new(String::new()),
+            unhealthy_since: Mutex::new(None),
+            health_gauge: telemetry::gauge(&telemetry::db_series("exq_db_health", name)),
         }
     }
 
@@ -262,6 +320,88 @@ impl Tenant {
         };
         if let Some(db) = guard.paged_store() {
             db.publish_metrics();
+        }
+    }
+
+    /// Current serving health.
+    pub fn health(&self) -> DbHealth {
+        DbHealth::from_u8(self.health.load(Ordering::SeqCst))
+    }
+
+    /// Why the db is not `Healthy` (empty string when it is).
+    pub fn health_reason(&self) -> String {
+        match self.health_reason.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+
+    fn set_health(&self, next: DbHealth, reason: &str) {
+        let prev = DbHealth::from_u8(self.health.swap(next as u8, Ordering::SeqCst));
+        {
+            let mut g = match self.health_reason.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            g.clear();
+            g.push_str(reason);
+        }
+        self.health_gauge.set(next as i64);
+        if prev == next {
+            return;
+        }
+        let mut since = match self.unhealthy_since.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if next == DbHealth::Healthy {
+            let ms = since
+                .take()
+                .map(|t| t.elapsed().as_millis() as u64)
+                .unwrap_or(0);
+            crate::flight::event(crate::flight::Kind::Recovered, &self.name, ms, 0, 0);
+        } else {
+            if prev == DbHealth::Healthy {
+                *since = Some(Instant::now());
+            }
+            crate::flight::event(crate::flight::Kind::Degraded, &self.name, next as u64, 0, 0);
+        }
+    }
+
+    /// Flips to read-only after a storage write failure. Keeps the first
+    /// reason if already degraded; never *improves* a `Faulted` db (that
+    /// takes an explicit [`Tenant::set_healthy`] or reopen).
+    pub fn set_degraded(&self, reason: &str) {
+        if self.health() == DbHealth::Faulted {
+            return;
+        }
+        if self.health() == DbHealth::Degraded {
+            return;
+        }
+        self.set_health(DbHealth::Degraded, reason);
+    }
+
+    /// Storage is unusable even for reads.
+    pub fn set_faulted(&self, reason: &str) {
+        self.set_health(DbHealth::Faulted, reason);
+    }
+
+    /// Storage answered a probe; resume full service.
+    pub fn set_healthy(&self) {
+        self.set_health(DbHealth::Healthy, "");
+    }
+
+    /// The serve-path gate: `Ok` when `msg_is_mutation`-class traffic is
+    /// allowed, a typed [`CoreError::Unavailable`] otherwise. Read-only
+    /// traffic passes unless the db is `Faulted`.
+    pub fn admit_health(&self, is_mutation: bool) -> Result<(), CoreError> {
+        match self.health() {
+            DbHealth::Healthy => Ok(()),
+            DbHealth::Degraded if !is_mutation => Ok(()),
+            state => Err(CoreError::Unavailable {
+                retry_after_ms: HEALTH_RETRY_AFTER_MS,
+                reason: format!("{}: {}", state.label(), self.health_reason()),
+            }),
         }
     }
 
@@ -622,6 +762,48 @@ mod tests {
         registry.drop_db("main-reg-test").unwrap();
         assert!(registry.is_empty());
         assert!(matches!(registry.resolve(""), Err(CoreError::Tenant(_))));
+    }
+
+    #[test]
+    fn health_transitions_and_gating() {
+        let registry = TenantRegistry::new("health-test-db").unwrap();
+        let t = registry
+            .create("health-test-db", test_server(), 0, 0)
+            .unwrap();
+        assert_eq!(t.health(), DbHealth::Healthy);
+        assert!(t.admit_health(true).is_ok());
+
+        t.set_degraded("wal append failed");
+        assert_eq!(t.health(), DbHealth::Degraded);
+        assert_eq!(t.health_reason(), "wal append failed");
+        // Reads pass, mutations refuse with the typed error + hint.
+        assert!(t.admit_health(false).is_ok());
+        match t.admit_health(true) {
+            Err(CoreError::Unavailable {
+                retry_after_ms,
+                reason,
+            }) => {
+                assert_eq!(retry_after_ms, HEALTH_RETRY_AFTER_MS);
+                assert_eq!(reason, "degraded: wal append failed");
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        // The first cause sticks while degraded.
+        t.set_degraded("second fault");
+        assert_eq!(t.health_reason(), "wal append failed");
+
+        t.set_healthy();
+        assert_eq!(t.health(), DbHealth::Healthy);
+        assert_eq!(t.health_reason(), "");
+        assert!(t.admit_health(true).is_ok());
+
+        t.set_faulted("unrepairable record");
+        assert!(t.admit_health(false).is_err());
+        // Degraded never *improves* a faulted db.
+        t.set_degraded("later write error");
+        assert_eq!(t.health(), DbHealth::Faulted);
+        t.set_healthy();
+        assert_eq!(t.health(), DbHealth::Healthy);
     }
 
     #[test]

@@ -1632,6 +1632,17 @@ pub(crate) fn serve_one(shared: &ServeShared, config: &ServeConfig, d: &DecodedF
         Err(e) => return Message::Error(WireError::from_core(&e)),
     };
     tenant.note_request();
+    // Health gate: a degraded db refuses mutations (reads keep serving
+    // from pool + page file), a faulted db refuses data traffic entirely.
+    // Diagnostics always pass so operators can see what is wrong.
+    if !matches!(
+        d.msg,
+        Message::MetricsReq | Message::FlightReq | Message::CacheStatsReq
+    ) {
+        if let Err(e) = tenant.admit_health(d.msg.is_mutation()) {
+            return Message::Error(WireError::from_core(&e));
+        }
+    }
     let server = &tenant.server;
     let inflight = shared.inflight.load(Ordering::SeqCst);
     let over_global = config.max_inflight != 0 && inflight >= config.max_inflight;
@@ -1669,7 +1680,15 @@ pub(crate) fn serve_one(shared: &ServeShared, config: &ServeConfig, d: &DecodedF
         let result = if d.msg.is_mutation() {
             match write_lock_within(server, deadline) {
                 Some(mut guard) => {
-                    apply_request_keyed(&mut guard, &tenant.replay, d.req_id, &d.msg)
+                    let r = apply_request_keyed(&mut guard, &tenant.replay, d.req_id, &d.msg);
+                    // A persistence failure on the mutation path means the
+                    // WAL (or store) is not accepting writes: flip this db
+                    // to read-only now rather than waiting for the
+                    // checkpointer to find out.
+                    if let Err(CoreError::Persist(m)) = &r {
+                        tenant.set_degraded(m);
+                    }
+                    r
                 }
                 None => {
                     ft_metrics().deadline_shed.inc();
@@ -1770,6 +1789,20 @@ fn serve_batch(
         Err(e) => return Message::Error(WireError::from_core(&e)),
     };
     tenant.note_request();
+    // Batches are read-only by construction (the codec rejects nested
+    // mutations), so they pass on degraded dbs — but not on faulted ones,
+    // unless every item is a diagnostic.
+    let all_diagnostic = items.iter().all(|m| {
+        matches!(
+            m,
+            Message::MetricsReq | Message::FlightReq | Message::CacheStatsReq | Message::Ping
+        )
+    });
+    if !all_diagnostic {
+        if let Err(e) = tenant.admit_health(false) {
+            return Message::Error(WireError::from_core(&e));
+        }
+    }
     let server = &tenant.server;
     let inflight = shared.inflight.load(Ordering::SeqCst);
     let over_global = config.max_inflight != 0 && inflight >= config.max_inflight;

@@ -25,17 +25,26 @@
 //!   checkpointing that folds dirty records into free pages, flips the
 //!   superblock, and compacts the log — a kill at any instant leaves
 //!   either the old durable state (plus the log) or the new one.
+//! * [`vfs`] — the filesystem seam: every file operation above goes
+//!   through a [`Vfs`], either the real OS filesystem ([`OsVfs`]) or a
+//!   seeded in-memory [`FaultVfs`] that injects EIO/ENOSPC, torn writes,
+//!   lying fsyncs, power cuts, and bit rot for crash-torture tests.
 
 pub mod obs;
 pub mod page;
 pub mod pool;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use obs::{set_observer, StoreObserver};
 pub use page::{PageFile, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_BYTES};
 pub use pool::{BufferPool, PinnedPage, PoolStats};
-pub use store::{PagedStore, StoreFootprint, StoreOptions, StoreReader};
+pub use store::{
+    CorruptRecord, PagedStore, ScrubReport, StoreFootprint, StoreOptions, StoreReader,
+    SCRUB_DIRECTORY,
+};
+pub use vfs::{os_vfs, FaultConfig, FaultVfs, OpenMode, OsVfs, Vfs, VfsFile};
 pub use wal::{Wal, WalRecord, WalReplay};
 
 /// Errors from the storage layer.

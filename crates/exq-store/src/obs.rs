@@ -53,6 +53,17 @@ pub trait StoreObserver: Sync + Send {
     fn checkpoint(&self, pages_folded: u64, nanos: u64) {
         let _ = (pages_folded, nanos);
     }
+    /// One scrub step finished: `scanned` pages CRC-verified against disk,
+    /// `corrupt_records` record chains found holding at least one corrupt
+    /// page.
+    fn scrub(&self, scanned: u64, corrupt_records: u64) {
+        let _ = (scanned, corrupt_records);
+    }
+    /// The scrubber quarantined `pages` corrupt pages belonging to record
+    /// `id` (`SCRUB_DIRECTORY` for the directory chain itself).
+    fn scrub_corrupt(&self, id: u64, pages: u64) {
+        let _ = (id, pages);
+    }
 }
 
 struct Noop;

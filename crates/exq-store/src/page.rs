@@ -20,9 +20,8 @@
 //! Checkpoints write the *other* slot, so a kill mid-write leaves the
 //! previous slot intact and recovery falls back to it.
 
+use crate::vfs::{OpenMode, Vfs, VfsFile};
 use crate::{crc32, StoreError};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Default page size: 8 KiB (within the 4–16 KiB band native XML stores
@@ -166,7 +165,7 @@ fn decode_superblock_at(head: &[u8], off: usize) -> Option<Superblock> {
 /// [`PagedStore`]: crate::store::PagedStore
 #[derive(Debug)]
 pub struct PageFile {
-    file: File,
+    file: Box<dyn VfsFile>,
     page_size: usize,
     /// Pages currently allocated in the file (file length / page size).
     pages: u32,
@@ -176,18 +175,13 @@ impl PageFile {
     /// Creates a fresh page file with two zeroed (invalid) superblock
     /// slots. The caller must write a valid superblock before the file is
     /// openable.
-    pub fn create(path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
+    pub fn create(vfs: &dyn Vfs, path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
         if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) {
             return Err(StoreError::Corrupt(format!(
                 "page size {page_size} outside [{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]"
             )));
         }
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let mut file = vfs.open(path, OpenMode::CreateTruncate)?;
         file.set_len(2 * page_size as u64)?;
         Ok(PageFile {
             file,
@@ -199,8 +193,8 @@ impl PageFile {
     /// Opens an existing page file read-write. The caller passes the page
     /// size it expects (see [`probe_page_size`] for recovering it from the
     /// file itself); the superblock read then validates it properly.
-    pub fn open(path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+    pub fn open(vfs: &dyn Vfs, path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
+        let file = vfs.open(path, OpenMode::ReadWrite)?;
         Self::with_file(file, page_size)
     }
 
@@ -208,13 +202,13 @@ impl PageFile {
     /// is safe against a store another process (or another handle in this
     /// one) currently owns. Calling [`write_page`](Self::write_page) on the
     /// result fails with an I/O error.
-    pub fn open_read(path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
-        let file = OpenOptions::new().read(true).open(path)?;
+    pub fn open_read(vfs: &dyn Vfs, path: &Path, page_size: usize) -> Result<PageFile, StoreError> {
+        let file = vfs.open(path, OpenMode::Read)?;
         Self::with_file(file, page_size)
     }
 
-    fn with_file(file: File, page_size: usize) -> Result<PageFile, StoreError> {
-        let len = file.metadata()?.len();
+    fn with_file(mut file: Box<dyn VfsFile>, page_size: usize) -> Result<PageFile, StoreError> {
+        let len = file.len()?;
         if page_size < MIN_PAGE_SIZE || len < 2 * page_size as u64 {
             return Err(StoreError::Corrupt(format!(
                 "page file shorter than its superblocks ({len} bytes)"
@@ -253,7 +247,7 @@ impl PageFile {
             // Another handle on the same file may have extended it since
             // this one snapshotted its length (checkpoints allocate fresh
             // pages); re-derive the count before declaring `id` bad.
-            self.pages = (self.file.metadata()?.len() / self.page_size as u64) as u32;
+            self.pages = (self.file.len()? / self.page_size as u64) as u32;
         }
         if id >= self.pages {
             return Err(StoreError::Corrupt(format!(
@@ -263,8 +257,7 @@ impl PageFile {
         }
         let mut buf = vec![0u8; self.page_size];
         self.file
-            .seek(SeekFrom::Start(id as u64 * self.page_size as u64))?;
-        self.file.read_exact(&mut buf)?;
+            .read_exact_at(id as u64 * self.page_size as u64, &mut buf)?;
         let stored = u32::from_le_bytes(buf[0..4].try_into().unwrap());
         let used = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
         if used > self.payload_capacity() {
@@ -306,8 +299,7 @@ impl PageFile {
         let crc = crc32(&buf[4..PAGE_HEADER_BYTES + payload.len()]);
         buf[0..4].copy_from_slice(&crc.to_le_bytes());
         self.file
-            .seek(SeekFrom::Start(id as u64 * self.page_size as u64))?;
-        self.file.write_all(&buf)?;
+            .write_all_at(id as u64 * self.page_size as u64, &buf)?;
         if id == self.pages {
             self.pages += 1;
         }
@@ -316,8 +308,7 @@ impl PageFile {
 
     /// fsync.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.file.sync_all()?;
-        Ok(())
+        self.file.sync()
     }
 
     /// Reads the newest valid superblock: tries both slots, tolerating a
@@ -369,6 +360,8 @@ impl PageFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::OsVfs;
+    use std::fs::OpenOptions;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("exq-store-page-{}", std::process::id()));
@@ -379,7 +372,7 @@ mod tests {
     #[test]
     fn page_roundtrip_and_crc() {
         let path = tmp("roundtrip.exqp");
-        let mut f = PageFile::create(&path, MIN_PAGE_SIZE).unwrap();
+        let mut f = PageFile::create(&OsVfs, &path, MIN_PAGE_SIZE).unwrap();
         f.write_page(2, b"hello pages").unwrap();
         f.write_page(3, &[]).unwrap();
         assert_eq!(f.read_page(2).unwrap(), b"hello pages");
@@ -392,7 +385,7 @@ mod tests {
                 .unwrap();
             raw.write_all(&[0xFF]).unwrap();
         }
-        let mut f = PageFile::open(&path, MIN_PAGE_SIZE).unwrap();
+        let mut f = PageFile::open(&OsVfs, &path, MIN_PAGE_SIZE).unwrap();
         assert!(matches!(f.read_page(2), Err(StoreError::Corrupt(_))));
         assert_eq!(f.read_page(3).unwrap(), b"");
         std::fs::remove_file(&path).ok();
@@ -401,7 +394,7 @@ mod tests {
     #[test]
     fn superblock_two_slot_fallback() {
         let path = tmp("super.exqp");
-        let mut f = PageFile::create(&path, MIN_PAGE_SIZE).unwrap();
+        let mut f = PageFile::create(&OsVfs, &path, MIN_PAGE_SIZE).unwrap();
         // Fresh file: no valid superblock at all.
         assert!(f.read_superblock().is_err());
         let v1 = Superblock {
@@ -427,7 +420,7 @@ mod tests {
             raw.seek(SeekFrom::Start(MIN_PAGE_SIZE as u64 + 9)).unwrap();
             raw.write_all(&[0xAA]).unwrap();
         }
-        let mut f = PageFile::open(&path, MIN_PAGE_SIZE).unwrap();
+        let mut f = PageFile::open(&OsVfs, &path, MIN_PAGE_SIZE).unwrap();
         assert_eq!(f.read_superblock().unwrap(), (v1, 0));
         std::fs::remove_file(&path).ok();
     }
@@ -435,7 +428,7 @@ mod tests {
     #[test]
     fn probe_page_size_survives_torn_slot0() {
         let path = tmp("probe.exqp");
-        let mut f = PageFile::create(&path, 256).unwrap();
+        let mut f = PageFile::create(&OsVfs, &path, 256).unwrap();
         let v1 = Superblock {
             version: 1,
             page_size: 256,
@@ -471,7 +464,7 @@ mod tests {
     #[test]
     fn payload_capacity_enforced() {
         let path = tmp("cap.exqp");
-        let mut f = PageFile::create(&path, MIN_PAGE_SIZE).unwrap();
+        let mut f = PageFile::create(&OsVfs, &path, MIN_PAGE_SIZE).unwrap();
         let too_big = vec![0u8; MIN_PAGE_SIZE - PAGE_HEADER_BYTES + 1];
         assert!(f.write_page(2, &too_big).is_err());
         // Non-contiguous allocation is a bug, not silent file growth.

@@ -41,12 +41,22 @@
 
 use crate::page::{self, PageFile, Superblock};
 use crate::pool::{BufferPool, PoolStats};
-use crate::wal::{Wal, WalReplay};
+use crate::vfs::{os_vfs, OpenMode, Vfs};
+use crate::wal::{Wal, WalRecord, WalReplay};
 use crate::{StoreError, DEFAULT_PAGE_SIZE};
 use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning: a panicking holder (a failed
+/// checkpoint on the background thread, say) must degrade the store, not
+/// wedge every later caller behind a `PoisonError`. The store's invariants
+/// are structured so any interrupted writer leaves recoverable state (the
+/// copy-on-write protocol never touches published pages).
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 const DATA_FILE: &str = "data.exqp";
 const WAL_FILE: &str = "log.wal";
@@ -85,6 +95,8 @@ pub struct StoreFootprint {
     pub wal_depth: u64,
     /// WAL file size in bytes.
     pub wal_bytes: u64,
+    /// Pages the scrubber has quarantined (never reused for allocation).
+    pub quarantined_pages: u64,
 }
 
 /// Test-only crash injection points inside [`PagedStore::checkpoint`].
@@ -105,6 +117,32 @@ struct RecordLoc {
     pages: Vec<u32>,
 }
 
+/// Pseudo record id the scrubber reports when a *directory* page — not a
+/// record's data page — fails its CRC. Repair is a forced directory
+/// rewrite rather than a record rebuild.
+pub const SCRUB_DIRECTORY: u64 = u64::MAX;
+
+/// One corrupt record surfaced by [`PagedStore::scrub_step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptRecord {
+    /// Record id (or [`SCRUB_DIRECTORY`]).
+    pub id: u64,
+    /// The pages of its chain that failed their CRC (now quarantined).
+    pub pages: Vec<u32>,
+}
+
+/// What one bounded scrub step covered and found.
+#[derive(Debug, Default)]
+pub struct ScrubReport {
+    /// Pages whose CRC was verified this step.
+    pub scanned_pages: u64,
+    /// Records with at least one corrupt page, quarantined and awaiting
+    /// repair by the layer above.
+    pub corrupt: Vec<CorruptRecord>,
+    /// True when this step finished a full pass over the store.
+    pub completed_pass: bool,
+}
+
 /// The writer side of the store: held for the whole of a checkpoint, never
 /// touched by reads.
 #[derive(Debug)]
@@ -118,6 +156,7 @@ struct Inner {
 #[derive(Debug)]
 pub struct PagedStore {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     inner: Mutex<Inner>,
     /// The published record directory (BTreeMap so directory encoding —
     /// and thus checkpoint output — is deterministic). Locked only for
@@ -130,15 +169,30 @@ pub struct PagedStore {
     wal: Mutex<Wal>,
     pool: BufferPool,
     crash_at: AtomicU8,
+    /// Pages whose CRC failed a scrub: suspected bad media, excluded from
+    /// allocation for the store's lifetime (cleared by a reopen).
+    quarantined: Mutex<HashSet<u32>>,
+    /// Next record id a scrub step starts from (0 = start of a pass,
+    /// which also verifies the directory chain).
+    scrub_cursor: Mutex<u64>,
 }
 
 impl PagedStore {
-    /// Creates a fresh, empty store in `dir` (created if absent; existing
-    /// store files are truncated).
+    /// Creates a fresh, empty store in `dir` on the real filesystem.
     pub fn create(dir: &Path, opts: StoreOptions) -> Result<PagedStore, StoreError> {
-        std::fs::create_dir_all(dir)?;
+        Self::create_with(os_vfs(), dir, opts)
+    }
+
+    /// Creates a fresh, empty store in `dir` over the given [`Vfs`]
+    /// (created if absent; existing store files are truncated).
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        opts: StoreOptions,
+    ) -> Result<PagedStore, StoreError> {
+        vfs.create_dir_all(dir)?;
         let data_path = dir.join(DATA_FILE);
-        let mut file = PageFile::create(&data_path, opts.page_size)?;
+        let mut file = PageFile::create(&*vfs, &data_path, opts.page_size)?;
         let sb = Superblock {
             version: 1,
             page_size: opts.page_size as u64,
@@ -147,10 +201,11 @@ impl PagedStore {
             dir_pages: vec![],
         };
         file.write_superblock(&sb, 1)?; // lands in slot 0
-        let reader = PageFile::open_read(&data_path, opts.page_size)?;
-        let wal = Wal::create(&dir.join(WAL_FILE), 1)?;
+        let reader = PageFile::open_read(&*vfs, &data_path, opts.page_size)?;
+        let wal = Wal::create(Arc::clone(&vfs), &dir.join(WAL_FILE), 1)?;
         Ok(PagedStore {
             dir: dir.to_path_buf(),
+            vfs,
             inner: Mutex::new(Inner {
                 file,
                 superblock: sb,
@@ -162,6 +217,8 @@ impl PagedStore {
             wal: Mutex::new(wal),
             pool: BufferPool::with_budget(opts.cache_bytes, opts.page_size),
             crash_at: AtomicU8::new(crash::NONE),
+            quarantined: Mutex::new(HashSet::new()),
+            scrub_cursor: Mutex::new(0),
         })
     }
 
@@ -170,26 +227,45 @@ impl PagedStore {
         dir.join(DATA_FILE).is_file()
     }
 
+    /// [`exists`](Self::exists) over an arbitrary [`Vfs`].
+    pub fn exists_in(vfs: &dyn Vfs, dir: &Path) -> bool {
+        vfs.exists(&dir.join(DATA_FILE))
+    }
+
+    /// Opens an existing store on the real filesystem.
+    pub fn open(dir: &Path, opts: StoreOptions) -> Result<(PagedStore, WalReplay), StoreError> {
+        Self::open_with(os_vfs(), dir, opts)
+    }
+
     /// Opens an existing store, recovering the newest durable superblock
     /// and scanning the WAL. Returns the store plus the log records **not
     /// yet folded into the checkpoint** (`seq > superblock.wal_seq`) for
     /// the logical layer to replay.
-    pub fn open(dir: &Path, opts: StoreOptions) -> Result<(PagedStore, WalReplay), StoreError> {
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        opts: StoreOptions,
+    ) -> Result<(PagedStore, WalReplay), StoreError> {
         let data_path = dir.join(DATA_FILE);
-        let page_size = Self::detect_page_size(&data_path, opts.page_size)?;
-        let mut file = PageFile::open(&data_path, page_size)?;
+        let page_size = Self::detect_page_size(&*vfs, &data_path, opts.page_size)?;
+        let mut file = PageFile::open(&*vfs, &data_path, page_size)?;
         let (superblock, slot) = file.read_superblock()?;
         let directory = Self::load_directory(&mut file, &superblock)?;
-        let reader = PageFile::open_read(&data_path, page_size)?;
+        let reader = PageFile::open_read(&*vfs, &data_path, page_size)?;
         // The compacted log alone no longer remembers how far the sequence
         // advanced; floor it past everything the checkpoint covers so new
         // appends never reuse a folded sequence number.
-        let (wal, mut replay) = Wal::open(&dir.join(WAL_FILE), superblock.wal_seq + 1)?;
+        let (wal, mut replay) = Wal::open(
+            Arc::clone(&vfs),
+            &dir.join(WAL_FILE),
+            superblock.wal_seq + 1,
+        )?;
         // Records the checkpoint already folded in must not replay twice.
         replay.records.retain(|r| r.seq > superblock.wal_seq);
         Ok((
             PagedStore {
                 dir: dir.to_path_buf(),
+                vfs,
                 inner: Mutex::new(Inner {
                     file,
                     superblock,
@@ -201,6 +277,8 @@ impl PagedStore {
                 wal: Mutex::new(wal),
                 pool: BufferPool::with_budget(opts.cache_bytes, page_size),
                 crash_at: AtomicU8::new(crash::NONE),
+                quarantined: Mutex::new(HashSet::new()),
+                scrub_cursor: Mutex::new(0),
             },
             replay,
         ))
@@ -211,13 +289,12 @@ impl PagedStore {
     /// other slot is torn mid-flip. Only when both slots fail does the
     /// caller's hint stand in (and the real superblock read then reports
     /// the corruption properly).
-    fn detect_page_size(path: &Path, hint: usize) -> Result<usize, StoreError> {
-        use std::io::Read;
-        let f = std::fs::File::open(path)?;
-        let len = f.metadata()?.len();
-        let mut head = Vec::new();
-        f.take(2 * page::MAX_PAGE_SIZE as u64)
-            .read_to_end(&mut head)?;
+    fn detect_page_size(vfs: &dyn Vfs, path: &Path, hint: usize) -> Result<usize, StoreError> {
+        let mut f = vfs.open(path, OpenMode::Read)?;
+        let len = f.len()?;
+        let head_len = len.min(2 * page::MAX_PAGE_SIZE as u64) as usize;
+        let mut head = vec![0u8; head_len];
+        f.read_exact_at(0, &mut head)?;
         Ok(page::probe_page_size(&head, len).unwrap_or(hint))
     }
 
@@ -292,17 +369,17 @@ impl PagedStore {
 
     /// Number of records in the directory.
     pub fn record_count(&self) -> usize {
-        self.published.lock().unwrap().len()
+        locked(&self.published).len()
     }
 
     /// Whether the directory holds a record with this id.
     pub fn contains(&self, id: u64) -> bool {
-        self.published.lock().unwrap().contains_key(&id)
+        locked(&self.published).contains_key(&id)
     }
 
     /// All record ids, ascending.
     pub fn record_ids(&self) -> Vec<u64> {
-        self.published.lock().unwrap().keys().copied().collect()
+        locked(&self.published).keys().copied().collect()
     }
 
     /// Reads one record, pinning its pages through the buffer pool. Never
@@ -320,7 +397,7 @@ impl PagedStore {
         }
         // Pathological publish rate: the writer lock excludes checkpoints,
         // so under it the snapshot cannot be invalidated.
-        let _writer = self.inner.lock().unwrap();
+        let _writer = locked(&self.inner);
         self.try_get(id)?.ok_or_else(|| {
             StoreError::Corrupt(format!(
                 "record {id:#x}: directory epoch changed under the writer lock"
@@ -332,7 +409,7 @@ impl PagedStore {
     /// means a checkpoint published mid-read and the caller should retry.
     fn try_get(&self, id: u64) -> Result<Option<Vec<u8>>, StoreError> {
         let (epoch, loc) = {
-            let dir = self.published.lock().unwrap();
+            let dir = locked(&self.published);
             // Reading the epoch under the directory lock pairs it with the
             // publish (which bumps the epoch under the same lock).
             let epoch = self.dir_epoch.load(Ordering::SeqCst);
@@ -352,7 +429,7 @@ impl PagedStore {
                     // read, insert_if refuses to cache possibly-stale bytes.
                     let stamp = self.pool.stamp();
                     let fault_started = std::time::Instant::now();
-                    let payload = { self.reader.lock().unwrap().read_page(p) };
+                    let payload = { locked(&self.reader).read_page(p) };
                     crate::obs::obs().page_fault(fault_started.elapsed().as_nanos() as u64);
                     match payload {
                         Ok(payload) => self.pool.insert_if(stamp, p, payload),
@@ -386,17 +463,17 @@ impl PagedStore {
     /// Appends a logical record to the WAL and fsyncs. `Ok(seq)` means the
     /// mutation is committed.
     pub fn append_wal(&self, kind: u8, payload: &[u8]) -> Result<u64, StoreError> {
-        self.wal.lock().unwrap().append(kind, payload)
+        locked(&self.wal).append(kind, payload)
     }
 
     /// Highest WAL sequence folded into the durable checkpoint.
     pub fn checkpointed_seq(&self) -> u64 {
-        self.inner.lock().unwrap().superblock.wal_seq
+        locked(&self.inner).superblock.wal_seq
     }
 
     /// Sequence number the next WAL append will use.
     pub fn wal_next_seq(&self) -> u64 {
-        self.wal.lock().unwrap().next_seq()
+        locked(&self.wal).next_seq()
     }
 
     /// Arms a one-shot crash injection point (see [`crash`]) for the next
@@ -423,12 +500,31 @@ impl PagedStore {
         dirty: &[(u64, Option<Vec<u8>>)],
         wal_seq: u64,
     ) -> Result<u64, StoreError> {
+        self.checkpoint_impl(dirty, wal_seq, false)
+    }
+
+    /// Rewrites the given records (and, always, the directory) through the
+    /// ordinary copy-on-write fold without advancing the folded WAL
+    /// sequence: the scrubber's repair primitive. Because the fold only
+    /// writes free, non-quarantined pages, the rebuilt records land on
+    /// fresh media and the corrupt pages become unreferenced.
+    pub fn rewrite_records(&self, dirty: &[(u64, Option<Vec<u8>>)]) -> Result<u64, StoreError> {
+        let seq = self.checkpointed_seq();
+        self.checkpoint_impl(dirty, seq, true)
+    }
+
+    fn checkpoint_impl(
+        &self,
+        dirty: &[(u64, Option<Vec<u8>>)],
+        wal_seq: u64,
+        force: bool,
+    ) -> Result<u64, StoreError> {
         let fold_started = std::time::Instant::now();
-        let mut inner = self.inner.lock().unwrap();
-        if dirty.is_empty() && wal_seq <= inner.superblock.wal_seq {
+        let mut inner = locked(&self.inner);
+        if !force && dirty.is_empty() && wal_seq <= inner.superblock.wal_seq {
             return Ok(0);
         }
-        let cur_dir = self.published.lock().unwrap().clone();
+        let cur_dir = locked(&self.published).clone();
         // Pages the current durable state references: never overwrite them.
         // (This is also what keeps in-flight reads safe without a lock —
         // they only ever touch pages the published directory references.)
@@ -438,8 +534,11 @@ impl PagedStore {
         }
         referenced.extend(inner.superblock.dir_pages.iter().copied());
 
+        let quarantined = locked(&self.quarantined).clone();
         let total = inner.file.pages();
-        let mut free: Vec<u32> = (2..total).filter(|p| !referenced.contains(p)).collect();
+        let mut free: Vec<u32> = (2..total)
+            .filter(|p| !referenced.contains(p) && !quarantined.contains(p))
+            .collect();
         free.reverse(); // pop() yields the lowest ids first
         let mut next_new = total;
         let mut alloc = move || -> u32 {
@@ -516,17 +615,157 @@ impl PagedStore {
         // the new directory, so no reader can reach them through it.
         self.pool.invalidate(&written);
         {
-            let mut dir = self.published.lock().unwrap();
+            let mut dir = locked(&self.published);
             *dir = new_dir;
             self.dir_epoch.fetch_add(1, Ordering::SeqCst);
         }
         drop(inner);
 
         self.crash_if(crash::BEFORE_COMPACT)?;
-        self.wal.lock().unwrap().compact(wal_seq)?;
+        locked(&self.wal).compact(wal_seq)?;
         let folded = written.len() as u64;
         crate::obs::obs().checkpoint(folded, fold_started.elapsed().as_nanos() as u64);
         Ok(folded)
+    }
+
+    /// Verifies the CRCs of up to `max_pages` referenced pages against the
+    /// *disk* image (the buffer pool is deliberately bypassed — a cached
+    /// frame can mask rotted media indefinitely). Corrupt pages are
+    /// quarantined (excluded from future allocation), dropped from the
+    /// pool, and reported per owning record for the layer above to
+    /// rebuild via [`rewrite_records`](Self::rewrite_records).
+    ///
+    /// Each call is one bounded step of a cyclic pass: the cursor persists
+    /// across calls, so a background thread can spread a full-store scan
+    /// over many idle ticks. Runs under the writer lock (excluding
+    /// checkpoints) so the directory cannot shift mid-scan; reads stay
+    /// unaffected.
+    pub fn scrub_step(&self, max_pages: usize) -> Result<ScrubReport, StoreError> {
+        let mut inner = locked(&self.inner);
+        let mut cursor = locked(&self.scrub_cursor);
+        let mut report = ScrubReport::default();
+        let mut budget = max_pages;
+
+        let mut verify_chain =
+            |inner: &mut Inner, id: u64, pages: &[u32], budget: &mut usize| -> Vec<u32> {
+                let mut bad = Vec::new();
+                for &p in pages {
+                    if *budget == 0 {
+                        break;
+                    }
+                    *budget -= 1;
+                    report.scanned_pages += 1;
+                    match inner.file.read_page(p) {
+                        Ok(_) => {}
+                        Err(StoreError::Corrupt(_)) => bad.push(p),
+                        // A read error is not a corruption verdict; the
+                        // page stays unverified and the next pass retries.
+                        Err(_) => {}
+                    }
+                }
+                if !bad.is_empty() {
+                    crate::obs::obs().scrub_corrupt(id, bad.len() as u64);
+                }
+                bad
+            };
+
+        // A pass opens with the directory chain itself.
+        if *cursor == 0 && budget > 0 {
+            let dir_pages = inner.superblock.dir_pages.clone();
+            let bad = verify_chain(&mut inner, SCRUB_DIRECTORY, &dir_pages, &mut budget);
+            if !bad.is_empty() {
+                locked(&self.quarantined).extend(bad.iter().copied());
+                report.corrupt.push(CorruptRecord {
+                    id: SCRUB_DIRECTORY,
+                    pages: bad,
+                });
+            }
+        }
+
+        let chains: Vec<(u64, Vec<u32>)> = locked(&self.published)
+            .range(*cursor..)
+            .map(|(id, loc)| (*id, loc.pages.clone()))
+            .collect();
+        let mut exhausted = true;
+        for (id, pages) in chains {
+            if budget < pages.len() {
+                // Records are the scrub unit: partial-chain verdicts would
+                // double-count pages across steps. Resume here next tick.
+                *cursor = id;
+                exhausted = false;
+                break;
+            }
+            let bad = verify_chain(&mut inner, id, &pages, &mut budget);
+            if !bad.is_empty() {
+                locked(&self.quarantined).extend(bad.iter().copied());
+                // Deliberately do NOT drop the pool frames of quarantined
+                // pages: a cached frame passed its CRC when it was read, so
+                // it is the last good copy of rotted media — both the bytes
+                // readers keep being served and the source
+                // [`salvage_record`] re-seals the record from. Quarantine
+                // only stops the *page slot* from being reallocated; the
+                // frame dies naturally when the repaired record's new pages
+                // shadow it or the clock evicts it.
+                report.corrupt.push(CorruptRecord { id, pages: bad });
+            }
+        }
+        if exhausted {
+            *cursor = 0;
+            report.completed_pass = true;
+        }
+        crate::obs::obs().scrub(report.scanned_pages, report.corrupt.len() as u64);
+        Ok(report)
+    }
+
+    /// Best-effort recovery of a record whose disk image is corrupt:
+    /// assembles the chain from buffer-pool frames (CRC-verified when they
+    /// were loaded) where the disk page fails, falling back to disk for
+    /// the healthy pages. `None` when any page is unobtainable from either
+    /// source.
+    pub fn salvage_record(&self, id: u64) -> Option<Vec<u8>> {
+        let loc = locked(&self.published).get(&id).cloned()?;
+        let mut inner = locked(&self.inner);
+        let mut out = Vec::with_capacity(loc.len as usize);
+        for &p in &loc.pages {
+            if let Some(pin) = self.pool.get(p) {
+                out.extend_from_slice(&pin);
+            } else if let Ok(bytes) = inner.file.read_page(p) {
+                out.extend_from_slice(&bytes);
+            } else {
+                return None;
+            }
+        }
+        (out.len() == loc.len as usize).then_some(out)
+    }
+
+    /// Every decodable record currently in the WAL file (folded or not):
+    /// the scrubber's other repair source, for records whose insert is
+    /// still in the log tail.
+    pub fn wal_records(&self) -> Result<Vec<WalRecord>, StoreError> {
+        locked(&self.wal).records()
+    }
+
+    /// fsyncs the WAL and page file without writing anything: degraded
+    /// mode's "is storage answering again?" recovery probe.
+    pub fn probe_sync(&self) -> Result<(), StoreError> {
+        locked(&self.wal).probe_sync()?;
+        locked(&self.inner).file.sync()
+    }
+
+    /// Pages currently quarantined by the scrubber.
+    pub fn quarantined_pages(&self) -> u64 {
+        locked(&self.quarantined).len() as u64
+    }
+
+    /// The [`Vfs`] this store was opened against.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
+    }
+
+    /// The on-disk page chain currently published for `id` (repair tooling
+    /// uses this to correlate scrub reports with records).
+    pub fn record_pages(&self, id: u64) -> Option<Vec<u32>> {
+        locked(&self.published).get(&id).map(|l| l.pages.clone())
     }
 
     /// Buffer-pool counters.
@@ -536,10 +775,10 @@ impl PagedStore {
 
     /// On-disk and residency footprint.
     pub fn footprint(&self) -> StoreFootprint {
-        let inner = self.inner.lock().unwrap();
+        let inner = locked(&self.inner);
         let (page_bytes, pages) = (inner.file.disk_bytes(), inner.file.pages());
         drop(inner);
-        let wal = self.wal.lock().unwrap();
+        let wal = locked(&self.wal);
         let (wal_bytes, wal_depth) = (wal.bytes(), wal.depth());
         drop(wal);
         let pool = self.pool.stats();
@@ -550,6 +789,7 @@ impl PagedStore {
             capacity_pages: pool.capacity_pages,
             wal_depth,
             wal_bytes,
+            quarantined_pages: self.quarantined_pages(),
         }
     }
 }
@@ -574,19 +814,28 @@ impl StoreReader {
     /// Opens a read-only view of the store in `dir`. `page_size_hint` is
     /// only consulted when both superblock slots fail to name the size.
     pub fn open(dir: &Path, page_size_hint: usize) -> Result<StoreReader, StoreError> {
+        Self::open_with(os_vfs(), dir, page_size_hint)
+    }
+
+    /// [`open`](Self::open) against an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        page_size_hint: usize,
+    ) -> Result<StoreReader, StoreError> {
         let data_path = dir.join(DATA_FILE);
-        let page_size = PagedStore::detect_page_size(&data_path, page_size_hint)?;
-        let mut file = PageFile::open_read(&data_path, page_size)?;
+        let page_size = PagedStore::detect_page_size(&*vfs, &data_path, page_size_hint)?;
+        let mut file = PageFile::open_read(&*vfs, &data_path, page_size)?;
         let (superblock, _slot) = file.read_superblock()?;
         let directory = PagedStore::load_directory(&mut file, &superblock)?;
         let wal_path = dir.join(WAL_FILE);
-        let replay = Wal::replay(&wal_path)?;
+        let replay = Wal::replay_with(&*vfs, &wal_path)?;
         let wal_depth = replay
             .records
             .iter()
             .filter(|r| r.seq > superblock.wal_seq)
             .count() as u64;
-        let wal_bytes = std::fs::metadata(&wal_path)?.len();
+        let wal_bytes = vfs.open(&wal_path, OpenMode::Read)?.len()?;
         Ok(StoreReader {
             file,
             superblock,
@@ -647,6 +896,7 @@ impl StoreReader {
             capacity_pages: 0,
             wal_depth: self.wal_depth,
             wal_bytes: self.wal_bytes,
+            quarantined_pages: 0,
         }
     }
 }

@@ -1,0 +1,193 @@
+//! Property tests for the fault-injection VFS and the scrubber.
+//!
+//! Two guarantees the crash-torture harness leans on:
+//!
+//! 1. **Determinism** — a `FaultVfs` is a pure function of its seed and
+//!    the operation sequence: same seed, same script → identical fault
+//!    schedule (every operation succeeds or fails identically) and
+//!    byte-identical volatile + durable file images. Without this, a
+//!    torture failure is not replayable from its seed.
+//! 2. **Scrub round-trip** — flipping a bit at *any* byte of a live page
+//!    (CRC field, length field, payload) is detected by a scrub pass,
+//!    the page is quarantined and never reallocated, and the record
+//!    rebuilds onto fresh pages with its original bytes.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use exq_store::{
+    FaultConfig, FaultVfs, OpenMode, PagedStore, StoreOptions, Vfs, MIN_PAGE_SIZE,
+    PAGE_HEADER_BYTES,
+};
+use proptest::prelude::*;
+
+/// Replays a small operation script against a fresh `FaultVfs`, logging
+/// every outcome (success shape or error text) plus the final state
+/// digest. Two runs with the same inputs must produce identical logs.
+fn run_script(
+    seed: u64,
+    rates: (u16, u16, u16, u16, u16, u16),
+    script: &[(u8, u16, u8)],
+) -> (Vec<String>, u64) {
+    let vfs = FaultVfs::new(seed);
+    vfs.set_config(FaultConfig {
+        read_err_per_mille: rates.0,
+        write_err_per_mille: rates.1,
+        enospc_per_mille: rates.2,
+        torn_write_per_mille: rates.3,
+        sync_err_per_mille: rates.4,
+        lying_fsync_per_mille: rates.5,
+    });
+    let mut log = Vec::new();
+    let path = PathBuf::from("/prop/a.bin");
+    let mut file = match vfs.open(&path, OpenMode::CreateTruncate) {
+        Ok(f) => f,
+        Err(e) => {
+            log.push(format!("open: {e}"));
+            return (log, vfs.state_digest());
+        }
+    };
+    let mut cursor = 0u64;
+    for &(op, len, fill) in script {
+        let entry = match op % 3 {
+            0 => {
+                let data = vec![fill; len as usize];
+                let r = file.write_all_at(cursor, &data);
+                if r.is_ok() {
+                    cursor += len as u64;
+                }
+                format!("write {len}: {:?}", r.map_err(|e| e.to_string()))
+            }
+            1 => format!("sync: {:?}", file.sync().map_err(|e| e.to_string())),
+            _ => {
+                let flen = file.len().unwrap_or(0);
+                let want = (len as u64).min(flen) as usize;
+                let mut buf = vec![0u8; want];
+                let r = file.read_exact_at(0, &mut buf);
+                format!(
+                    "read {want}: {:?} crc={}",
+                    r.map_err(|e| e.to_string()),
+                    exq_store::crc32(&buf)
+                )
+            }
+        };
+        log.push(entry);
+    }
+    (log, vfs.state_digest())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fault_vfs_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        rates in (0u16..400, 0u16..400, 0u16..400, 0u16..400, 0u16..400, 0u16..400),
+        script in proptest::collection::vec((0u8..3, 1u16..200, any::<u8>()), 1..40),
+    ) {
+        let (log_a, digest_a) = run_script(seed, rates, &script);
+        let (log_b, digest_b) = run_script(seed, rates, &script);
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(digest_a, digest_b);
+    }
+
+    /// Different seeds must (overwhelmingly) produce different schedules
+    /// once faults are possible — a constant schedule would also pass the
+    /// determinism test, so pin the seed actually being consumed.
+    #[test]
+    fn fault_schedule_consumes_the_seed(seed in any::<u64>()) {
+        let rates = (0, 500, 0, 0, 0, 0);
+        let script: Vec<(u8, u16, u8)> = (0..24).map(|i| (0, 32, i as u8)).collect();
+        let (log_a, _) = run_script(seed, rates, &script);
+        let (log_b, _) = run_script(seed ^ 0x9E37_79B9_7F4A_7C15, rates, &script);
+        let (log_a2, _) = run_script(seed, rates, &script);
+        prop_assert_eq!(&log_a, &log_a2);
+        // 24 draws at 50%: both runs all-same-outcome has probability ~2^-24
+        // per run; a collision of full logs is effectively impossible.
+        prop_assert_ne!(log_a, log_b);
+    }
+}
+
+/// The quarantine/rebuild round trip, exhaustively over every byte of a
+/// page: CRC header (0..4), used-length field (4..8), and a payload
+/// sized to fill the page so every remaining byte is CRC-covered.
+#[test]
+fn scrub_quarantine_rebuild_roundtrips_every_corruption_site() {
+    const ID: u64 = 7;
+    let payload: Vec<u8> = (0..(MIN_PAGE_SIZE - PAGE_HEADER_BYTES))
+        .map(|i| (i * 31 % 251) as u8)
+        .collect();
+
+    for site in 0..MIN_PAGE_SIZE {
+        let vfs = FaultVfs::new(site as u64);
+        let dir = Path::new("/scrub");
+        let store = PagedStore::create_with(
+            Arc::new(vfs.clone()),
+            dir,
+            StoreOptions {
+                page_size: MIN_PAGE_SIZE,
+                cache_bytes: 64 * MIN_PAGE_SIZE,
+            },
+        )
+        .unwrap();
+        store.checkpoint(&[(ID, Some(payload.clone()))], 1).unwrap();
+        assert_eq!(store.get(ID).unwrap(), payload, "site {site}: seed read");
+
+        let pages = store.record_pages(ID).unwrap();
+        assert_eq!(pages.len(), 1, "payload fills exactly one page");
+        let rotted = pages[0];
+        let offset = rotted as u64 * MIN_PAGE_SIZE as u64 + site as u64;
+        assert!(
+            vfs.rot_bit(&dir.join("data.exqp"), offset, (site % 8) as u8),
+            "site {site}: rot must land in the file"
+        );
+
+        // The warm buffer pool still holds the good frame: salvage works
+        // even though the disk image is now rotten.
+        assert_eq!(
+            store.salvage_record(ID).as_ref(),
+            Some(&payload),
+            "site {site}: pool salvage"
+        );
+
+        let report = store.scrub_step(usize::MAX).unwrap();
+        assert!(report.completed_pass, "site {site}");
+        assert_eq!(report.corrupt.len(), 1, "site {site}: one corrupt record");
+        assert_eq!(report.corrupt[0].id, ID, "site {site}");
+        assert_eq!(report.corrupt[0].pages, vec![rotted], "site {site}");
+        assert_eq!(store.quarantined_pages(), 1, "site {site}");
+
+        // Quarantine keeps the CRC-verified frame alive: readers are still
+        // served the last good copy of the rotted page, and that same
+        // frame is what repair re-seals the record from.
+        assert_eq!(
+            store.get(ID).unwrap(),
+            payload,
+            "site {site}: quarantined record must keep serving from the pool"
+        );
+        assert_eq!(
+            store.salvage_record(ID).as_ref(),
+            Some(&payload),
+            "site {site}: salvage after quarantine"
+        );
+
+        // Rebuild onto fresh pages; the quarantined page must not return.
+        store
+            .rewrite_records(&[(ID, Some(payload.clone()))])
+            .unwrap();
+        assert_eq!(store.get(ID).unwrap(), payload, "site {site}: rebuilt");
+        let new_pages = store.record_pages(ID).unwrap();
+        assert!(
+            !new_pages.contains(&rotted),
+            "site {site}: quarantined page {rotted} was reallocated"
+        );
+
+        let clean = store.scrub_step(usize::MAX).unwrap();
+        assert!(clean.completed_pass, "site {site}");
+        assert!(
+            clean.corrupt.is_empty(),
+            "site {site}: store still corrupt after rebuild: {:?}",
+            clean.corrupt
+        );
+    }
+}
